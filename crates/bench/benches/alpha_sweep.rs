@@ -1,0 +1,32 @@
+//! §IV-C prose-experiment bench: the ASETS\* cell across Zipf skews
+//! (length-distribution skew moves the EDF/SRPT crossover; the bench
+//! tracks how simulation cost varies with the skew too — more short
+//! transactions means more scheduling points per unit of work).
+
+use asets_bench::{bench_workload, run_cell};
+use asets_core::policy::PolicyKind;
+use asets_workload::TableISpec;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("alpha_sweep");
+    for alpha in [0.0, 0.5, 1.0, 1.5] {
+        let specs = bench_workload(&TableISpec { alpha, ..TableISpec::transaction_level(0.7) });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("alpha{alpha}")),
+            &specs,
+            |b, specs| {
+                b.iter(|| black_box(run_cell(specs, PolicyKind::asets_star()).summary.avg_tardiness));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

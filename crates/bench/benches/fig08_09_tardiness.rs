@@ -1,0 +1,36 @@
+//! Figures 8 & 9 bench: one simulation cell per policy at a low-utilization
+//! point (Fig. 8 territory, U = 0.3) and a high-utilization point (Fig. 9,
+//! U = 0.9).
+
+use asets_bench::{bench_workload, run_cell};
+use asets_core::policy::PolicyKind;
+use asets_workload::TableISpec;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let policies = [
+        PolicyKind::Fcfs,
+        PolicyKind::Edf,
+        PolicyKind::Srpt,
+        PolicyKind::LeastSlack,
+        PolicyKind::asets_star(),
+    ];
+    for (fig, util) in [("fig08_low_util", 0.3), ("fig09_high_util", 0.9)] {
+        let mut g = c.benchmark_group(fig);
+        let specs = bench_workload(&TableISpec::transaction_level(util));
+        for kind in policies {
+            g.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
+                b.iter(|| black_box(run_cell(&specs, kind).summary.avg_tardiness));
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

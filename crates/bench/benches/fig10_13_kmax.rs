@@ -1,0 +1,30 @@
+//! Figures 10–13 bench: the ASETS\* cell across the slack-factor bounds
+//! k_max ∈ {1, 2, 3, 4} at the crossover-region utilization (U = 0.6),
+//! where the normalized-tardiness figures measure their biggest gains.
+
+use asets_bench::{bench_workload, run_cell};
+use asets_core::policy::PolicyKind;
+use asets_workload::TableISpec;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_13_kmax_sweep");
+    for k_max in [1.0, 2.0, 3.0, 4.0] {
+        let specs = bench_workload(&TableISpec { k_max, ..TableISpec::transaction_level(0.6) });
+        for kind in [PolicyKind::Edf, PolicyKind::Srpt, PolicyKind::asets_star()] {
+            let id = BenchmarkId::new(kind.label(), format!("kmax{k_max}"));
+            g.bench_with_input(id, &kind, |b, &kind| {
+                b.iter(|| black_box(run_cell(&specs, kind).summary.avg_tardiness));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

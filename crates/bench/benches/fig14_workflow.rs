@@ -1,0 +1,28 @@
+//! Figure 14 bench: the workflow-level cell (chains ≤ 5, equal weights) —
+//! `Ready` vs ASETS\* at high utilization, where the representative boost
+//! does its work. The ASETS\* bar also quantifies the overhead of workflow
+//! bookkeeping relative to the strawman.
+
+use asets_bench::{bench_workload, run_cell};
+use asets_core::policy::PolicyKind;
+use asets_workload::TableISpec;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig14_workflow_level");
+    let specs = bench_workload(&TableISpec::workflow_level(0.9));
+    for kind in [PolicyKind::Ready, PolicyKind::asets_star()] {
+        g.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
+            b.iter(|| black_box(run_cell(&specs, kind).summary.avg_tardiness));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

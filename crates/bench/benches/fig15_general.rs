@@ -1,0 +1,33 @@
+//! Figure 15 bench: the general-case cell (workflows + weights 1–10) —
+//! EDF vs HDF vs ASETS\* on average weighted tardiness at high load, plus
+//! the two impact-rule variants of ASETS\* (DESIGN.md D1 ablation).
+
+use asets_bench::{bench_workload, run_cell};
+use asets_core::policy::{ImpactRule, PolicyKind};
+use asets_workload::TableISpec;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig15_general_case");
+    let specs = bench_workload(&TableISpec::general_case(0.9));
+    let policies = [
+        (PolicyKind::Edf, "EDF"),
+        (PolicyKind::Hdf, "HDF"),
+        (PolicyKind::AsetsStar { impact: ImpactRule::Paper }, "ASETS*-paper"),
+        (PolicyKind::AsetsStar { impact: ImpactRule::Symmetric }, "ASETS*-symmetric"),
+    ];
+    for (kind, label) in policies {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &kind, |b, &kind| {
+            b.iter(|| black_box(run_cell(&specs, kind).summary.avg_weighted_tardiness));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Figures 16 & 17 bench: balance-aware ASETS\* across the paper's
+//! time-based activation rates (0.002 → 0.01) and one count-based rate,
+//! against the plain ASETS\* baseline — the cell behind both figures.
+
+use asets_bench::{bench_workload, run_cell};
+use asets_core::policy::{ActivationMode, ImpactRule, PolicyKind};
+use asets_workload::TableISpec;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig16_17_balance_aware");
+    let specs = bench_workload(&TableISpec::general_case(0.9));
+
+    g.bench_function("baseline_ASETS*", |b| {
+        b.iter(|| {
+            black_box(run_cell(&specs, PolicyKind::asets_star()).summary.max_weighted_tardiness)
+        });
+    });
+    for rate in [0.002, 0.006, 0.01] {
+        let kind = PolicyKind::BalanceAware {
+            impact: ImpactRule::Paper,
+            activation: ActivationMode::time_rate(rate),
+        };
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("time_rate{rate}")),
+            &kind,
+            |b, &kind| {
+                b.iter(|| black_box(run_cell(&specs, kind).summary.max_weighted_tardiness));
+            },
+        );
+    }
+    let count_kind = PolicyKind::BalanceAware {
+        impact: ImpactRule::Paper,
+        activation: ActivationMode::count_rate(0.1),
+    };
+    g.bench_function("count_rate0.1", |b| {
+        b.iter(|| black_box(run_cell(&specs, count_kind).summary.max_weighted_tardiness));
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! The §III-A complexity claim: ASETS\* "scales in a similar manner as EDF
+//! and SRPT" with `O(log N)` list maintenance.
+//!
+//! Three benches:
+//! 1. keyed-queue primitive ops at several sizes (the `log N` factor);
+//! 2. whole-run cost of the *indexed* ASETS\* vs the O(n)-rescan oracle at
+//!    growing batch sizes — the ablation that justifies the index;
+//! 3. whole-run cost of EDF vs SRPT vs ASETS\* at the same size (the
+//!    "similar manner" claim).
+
+use asets_core::policy::reference::NaiveAsetsStar;
+use asets_core::policy::{AsetsStar, PolicyKind};
+use asets_core::queue::KeyedQueue;
+use asets_core::table::TxnTable;
+use asets_sim::simulate_with;
+use asets_workload::{generate, TableISpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn queue_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("keyed_queue_ops");
+    for n in [100u32, 1_000, 10_000] {
+        g.bench_with_input(BenchmarkId::new("insert_pop_cycle", n), &n, |b, &n| {
+            let mut q: KeyedQueue<u64> = KeyedQueue::with_capacity(n as usize);
+            for i in 0..n {
+                q.insert(i, (i as u64).wrapping_mul(0x9E3779B9) % 1_000_000);
+            }
+            let mut i = n;
+            b.iter(|| {
+                let (k, id) = q.pop().expect("non-empty");
+                q.insert(id, k ^ 0x5555);
+                i = i.wrapping_add(1);
+                black_box(id)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn indexed_vs_naive(c: &mut Criterion) {
+    let mut g = c.benchmark_group("asets_star_indexed_vs_naive");
+    g.sample_size(10);
+    for n in [100usize, 400, 1_600] {
+        let spec = TableISpec { n_txns: n, ..TableISpec::general_case(0.9) };
+        let specs = generate(&spec, 101).expect("valid spec");
+        g.bench_with_input(BenchmarkId::new("indexed", n), &specs, |b, specs| {
+            b.iter(|| {
+                let table = TxnTable::new(specs.clone()).unwrap();
+                let policy = AsetsStar::with_defaults(&table);
+                black_box(simulate_with(specs.clone(), policy).unwrap().summary.avg_tardiness)
+            });
+        });
+        // The naive oracle rescans every workflow at every decision; skip
+        // the largest size to keep the bench bounded.
+        if n <= 400 {
+            g.bench_with_input(BenchmarkId::new("naive_oracle", n), &specs, |b, specs| {
+                b.iter(|| {
+                    let table = TxnTable::new(specs.clone()).unwrap();
+                    let policy = NaiveAsetsStar::with_defaults(&table);
+                    black_box(
+                        simulate_with(specs.clone(), policy).unwrap().summary.avg_tardiness,
+                    )
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+fn scales_like_edf_srpt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scales_like_edf_srpt");
+    g.sample_size(10);
+    let spec = TableISpec { n_txns: 2_000, ..TableISpec::transaction_level(0.9) };
+    let specs = generate(&spec, 101).expect("valid spec");
+    for kind in [PolicyKind::Edf, PolicyKind::Srpt, PolicyKind::Asets, PolicyKind::asets_star()] {
+        g.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
+            b.iter(|| {
+                black_box(
+                    asets_sim::simulate(specs.clone(), kind).unwrap().summary.avg_tardiness,
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, queue_ops, indexed_vs_naive, scales_like_edf_srpt);
+criterion_main!(benches);

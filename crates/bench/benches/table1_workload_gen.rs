@@ -1,0 +1,44 @@
+//! Table I bench: the workload generator itself — Zipf sampling, Poisson
+//! arrivals, deadline/weight assignment and workflow chaining at the
+//! paper's full batch size (1000 transactions).
+
+use asets_workload::{generate, Rng64, TableISpec, Zipf};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_workload_gen");
+
+    g.bench_function("zipf_sample_50_a0.5", |b| {
+        let zipf = Zipf::new(50, 0.5);
+        let mut rng = Rng64::new(1);
+        b.iter(|| black_box(zipf.sample(&mut rng)));
+    });
+
+    g.bench_function("generate_1000_transaction_level", |b| {
+        let spec = TableISpec::transaction_level(0.5);
+        b.iter_batched(
+            || spec,
+            |spec| black_box(generate(&spec, 101).unwrap()),
+            BatchSize::SmallInput,
+        );
+    });
+
+    g.bench_function("generate_1000_general_case", |b| {
+        let spec = TableISpec::general_case(0.5);
+        b.iter_batched(
+            || spec,
+            |spec| black_box(generate(&spec, 101).unwrap()),
+            BatchSize::SmallInput,
+        );
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Substrate bench: the web-database query engine and the page-compile
+//! path that produces transaction lengths — the cost model's own cost.
+
+use asets_webdb::app::stock::{stock_database, stock_requests, StockDbParams};
+use asets_webdb::compile::compile_requests;
+use asets_webdb::query::cost::CostModel;
+use asets_webdb::sql::query;
+use asets_core::time::SimDuration;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let params = StockDbParams { n_stocks: 1000, n_users: 50, ..Default::default() };
+    let db = stock_database(&params, 7).expect("static schemas");
+
+    let mut g = c.benchmark_group("webdb_engine");
+
+    g.bench_function("sql_scan_sort_limit", |b| {
+        b.iter(|| {
+            black_box(
+                query(
+                    "SELECT symbol, price FROM stocks ORDER BY price DESC LIMIT 20",
+                    &db,
+                )
+                .unwrap()
+                .rows
+                .len(),
+            )
+        });
+    });
+
+    g.bench_function("sql_join_aggregate", |b| {
+        b.iter(|| {
+            black_box(
+                query(
+                    "SELECT sector, COUNT(*) AS n, AVG(price) AS p FROM portfolios \
+                     JOIN stocks ON symbol = symbol GROUP BY sector",
+                    &db,
+                )
+                .unwrap()
+                .rows
+                .len(),
+            )
+        });
+    });
+
+    g.bench_function("sql_pk_point_lookup", |b| {
+        // The optimizer turns this into an IndexLookup.
+        b.iter(|| {
+            black_box(
+                query("SELECT price FROM stocks WHERE symbol = 'S042'", &db)
+                    .unwrap()
+                    .rows
+                    .len(),
+            )
+        });
+    });
+
+    g.bench_function("compile_50_stock_pages", |b| {
+        let requests = stock_requests(50, SimDuration::from_units_int(4));
+        let cost = CostModel::default();
+        b.iter(|| {
+            black_box(compile_requests(&requests, &db, &cost).unwrap().0.len())
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

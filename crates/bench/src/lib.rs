@@ -1,0 +1,42 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Each `benches/*.rs` file regenerates one of the paper's tables or
+//! figures as a criterion benchmark: the benched closure is exactly one
+//! *simulation cell* of that figure (one workload seed under one policy),
+//! so criterion's timings double as a record of how cheap the reproduction
+//! is to re-run. Benchmark sizes are scaled down from the paper protocol
+//! (which `repro` runs at full size) to keep `cargo bench --workspace` in
+//! the minutes range.
+
+use asets_core::policy::PolicyKind;
+use asets_core::txn::TxnSpec;
+use asets_sim::{simulate, SimResult};
+use asets_workload::{generate, TableISpec};
+
+/// Batch size used by the figure benches.
+pub const BENCH_N: usize = 300;
+/// The seed used by the figure benches.
+pub const BENCH_SEED: u64 = 101;
+
+/// Generate one bench-sized Table I batch.
+pub fn bench_workload(spec: &TableISpec) -> Vec<TxnSpec> {
+    let spec = TableISpec { n_txns: BENCH_N, ..*spec };
+    generate(&spec, BENCH_SEED).expect("valid bench spec")
+}
+
+/// Run one cell and return its result (the benched unit).
+pub fn run_cell(specs: &[TxnSpec], policy: PolicyKind) -> SimResult {
+    simulate(specs.to_vec(), policy).expect("bench workload is acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_cell_runs() {
+        let specs = bench_workload(&TableISpec::transaction_level(0.5));
+        let r = run_cell(&specs, PolicyKind::asets_star());
+        assert_eq!(r.outcomes.len(), BENCH_N);
+    }
+}

@@ -1,0 +1,302 @@
+//! O(n)-per-decision reference oracles.
+//!
+//! Each indexed policy in this crate has a deliberately naive twin here that
+//! rescans the whole transaction table at every `select`. The twins share
+//! the *decision* code (`decide_eq1`, `edf_wins`) but none of the *index*
+//! code (keyed queues, migration, refresh), so a property test asserting
+//! `indexed.select(..) == naive.select(..)` over random workloads exercises
+//! exactly the bookkeeping that is hard to get right.
+//!
+//! They also serve as executable specifications: if the paper's prose and
+//! the indexed implementation ever seem to disagree, the few lines of the
+//! oracle are the ground truth to read.
+
+use super::asets::decide_eq1;
+use super::asets_star::edf_wins;
+use super::{AsetsStarConfig, Scheduler};
+use crate::table::TxnTable;
+use crate::time::SimTime;
+use crate::txn::{TxnId, TxnPhase};
+use crate::workflow::{WfId, WorkflowSet};
+
+/// Scan-based argmin over ready transactions with a comparable key.
+fn scan_min_by_key<K: Ord>(table: &TxnTable, key: impl Fn(TxnId) -> K) -> Option<TxnId> {
+    table
+        .ids()
+        .filter(|&t| table.state(t).is_ready())
+        .min_by_key(|&t| (key(t), t)) // tie-break by id, like KeyedQueue
+}
+
+macro_rules! naive_policy {
+    ($(#[$doc:meta])* $name:ident, $label:literal, |$table:ident, $now:ident, $t:ident| $key:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Default)]
+        pub struct $name;
+
+        impl Scheduler for $name {
+            fn name(&self) -> &str {
+                $label
+            }
+            fn on_ready(&mut self, _t: TxnId, _table: &TxnTable, _now: SimTime) {}
+            fn on_requeue(&mut self, _t: TxnId, _table: &TxnTable, _now: SimTime) {}
+            fn on_complete(&mut self, _t: TxnId, _table: &TxnTable, _now: SimTime) {}
+            fn select(&mut self, $table: &TxnTable, $now: SimTime) -> Option<TxnId> {
+                let _ = $now;
+                scan_min_by_key($table, |$t| $key)
+            }
+        }
+    };
+}
+
+naive_policy!(
+    /// O(n) FCFS: min arrival time.
+    NaiveFcfs, "naive-FCFS", |table, now, t| table.spec(t).arrival
+);
+naive_policy!(
+    /// O(n) EDF: min deadline.
+    NaiveEdf, "naive-EDF", |table, now, t| table.deadline(t)
+);
+naive_policy!(
+    /// O(n) SRPT: min remaining time.
+    NaiveSrpt, "naive-SRPT", |table, now, t| table.remaining(t)
+);
+naive_policy!(
+    /// O(n) Least-Slack: min signed slack (equivalently min `d − r`).
+    NaiveLs, "naive-LS", |table, now, t| table.slack(t, now)
+);
+naive_policy!(
+    /// O(n) HDF: max density `w/r` == min of the negated cross-product key.
+    /// Encoded as `min (r/w)` lexicographic rational: compare `r·w'` vs `r'·w`
+    /// via an exact (num, den) pair folded into a single `u128`-comparable
+    /// form is not possible with a plain key, so we key by the reciprocal
+    /// ratio using 128-bit scaled division with the id tie-break handled by
+    /// `scan_min_by_key`. Remaining time is bounded (≪ 2⁶⁴), so scaling by
+    /// 2³² keeps full precision for all realistic inputs... — but rather
+    /// than argue precision, key exactly: `(r << 32) / w` never collides
+    /// differently from `r/w` for `r < 2⁹²` and integral weights.
+    NaiveHdf, "naive-HDF", |table, now, t| {
+        let r = table.remaining(t).ticks() as u128;
+        let w = table.weight(t).get() as u128;
+        (r << 32) / w
+    }
+);
+
+/// O(n) transaction-level ASETS: partition ready transactions by Definition
+/// 6/7 feasibility, take the deadline-min and remaining-min of the halves,
+/// and apply Eq. 1.
+#[derive(Debug, Default)]
+pub struct NaiveAsets;
+
+impl Scheduler for NaiveAsets {
+    fn name(&self) -> &str {
+        "naive-ASETS"
+    }
+    fn on_ready(&mut self, _t: TxnId, _table: &TxnTable, _now: SimTime) {}
+    fn on_requeue(&mut self, _t: TxnId, _table: &TxnTable, _now: SimTime) {}
+    fn on_complete(&mut self, _t: TxnId, _table: &TxnTable, _now: SimTime) {}
+
+    fn select(&mut self, table: &TxnTable, now: SimTime) -> Option<TxnId> {
+        let mut edf_top: Option<TxnId> = None;
+        let mut srpt_top: Option<TxnId> = None;
+        for t in table.ids().filter(|&t| table.state(t).is_ready()) {
+            if table.can_meet_deadline(t, now) {
+                let better = edf_top.is_none_or(|b| table.deadline(t) < table.deadline(b));
+                if better {
+                    edf_top = Some(t);
+                }
+            } else {
+                let better = srpt_top.is_none_or(|b| table.remaining(t) < table.remaining(b));
+                if better {
+                    srpt_top = Some(t);
+                }
+            }
+        }
+        decide_eq1(table, now, edf_top, srpt_top)
+    }
+}
+
+/// O(n·workflows) workflow-level ASETS\*: rebuilds both lists from scratch
+/// at every decision by scanning every workflow.
+#[derive(Debug)]
+pub struct NaiveAsetsStar {
+    wfs: WorkflowSet,
+    cfg: AsetsStarConfig,
+}
+
+impl NaiveAsetsStar {
+    /// Build the oracle for a batch with the given configuration.
+    pub fn new(table: &TxnTable, cfg: AsetsStarConfig) -> Self {
+        NaiveAsetsStar { wfs: WorkflowSet::build(table), cfg }
+    }
+
+    /// Paper-default configuration.
+    pub fn with_defaults(table: &TxnTable) -> Self {
+        Self::new(table, AsetsStarConfig::default())
+    }
+}
+
+impl Scheduler for NaiveAsetsStar {
+    fn name(&self) -> &str {
+        "naive-ASETS*"
+    }
+    fn on_ready(&mut self, _t: TxnId, _table: &TxnTable, _now: SimTime) {}
+    fn on_blocked_arrival(&mut self, _t: TxnId, _table: &TxnTable, _now: SimTime) {}
+    fn on_requeue(&mut self, _t: TxnId, _table: &TxnTable, _now: SimTime) {}
+    fn on_complete(&mut self, _t: TxnId, _table: &TxnTable, _now: SimTime) {}
+
+    fn select(&mut self, table: &TxnTable, now: SimTime) -> Option<TxnId> {
+        // Collect schedulable workflows with their representatives.
+        let mut edf_top: Option<WfId> = None; // min (d_rep, id)
+        let mut hdf_top: Option<WfId> = None; // max density, tie smaller id
+        for w in self.wfs.ids() {
+            if self.wfs.head(w, table, crate::workflow::HeadRule::FirstById).is_none() {
+                continue;
+            }
+            let Some(rep) = self.wfs.representative(w, table) else {
+                continue;
+            };
+            if rep.can_meet_deadline(now) {
+                let better = edf_top.is_none_or(|b| {
+                    let bd = self.wfs.representative(b, table).unwrap().deadline;
+                    rep.deadline < bd
+                });
+                if better {
+                    edf_top = Some(w);
+                }
+            } else {
+                let better = hdf_top.is_none_or(|b| {
+                    let brep = self.wfs.representative(b, table).unwrap();
+                    let lhs = rep.weight.get() as u128 * brep.remaining.ticks() as u128;
+                    let rhs = brep.weight.get() as u128 * rep.remaining.ticks() as u128;
+                    lhs > rhs
+                });
+                if better {
+                    hdf_top = Some(w);
+                }
+            }
+        }
+        match (edf_top, hdf_top) {
+            (None, None) => None,
+            (Some(a), None) => self.wfs.head(a, table, self.cfg.edf_head),
+            (None, Some(b)) => self.wfs.head(b, table, self.cfg.hdf_head),
+            (Some(a), Some(b)) => {
+                let head_a = self.wfs.head(a, table, self.cfg.edf_head).unwrap();
+                let head_b = self.wfs.head(b, table, self.cfg.hdf_head).unwrap();
+                let rep_a = self.wfs.representative(a, table).unwrap();
+                let rep_b = self.wfs.representative(b, table).unwrap();
+                if edf_wins(self.cfg.impact, table, now, head_a, &rep_a, head_b, &rep_b) {
+                    Some(head_a)
+                } else {
+                    Some(head_b)
+                }
+            }
+        }
+    }
+}
+
+/// Check that no transaction is Ready/Running without all predecessors
+/// completed — a structural invariant used by integration tests.
+pub fn check_precedence_invariant(table: &TxnTable) -> Result<(), String> {
+    for t in table.ids() {
+        let st = table.state(t);
+        if matches!(st.phase, TxnPhase::Ready | TxnPhase::Running | TxnPhase::Completed) {
+            for &p in table.dag().preds(t) {
+                let pred_done = table.state(p).is_completed();
+                let self_started =
+                    st.phase == TxnPhase::Running || st.phase == TxnPhase::Completed;
+                if self_started && !pred_done {
+                    return Err(format!("{t} ran before its predecessor {p} completed"));
+                }
+                if st.phase == TxnPhase::Ready && !pred_done {
+                    return Err(format!("{t} ready while predecessor {p} incomplete"));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+    use crate::txn::{TxnSpec, Weight};
+
+    fn at(u: u64) -> SimTime {
+        SimTime::from_units_int(u)
+    }
+    fn units(u: u64) -> SimDuration {
+        SimDuration::from_units_int(u)
+    }
+
+    fn ready_table() -> TxnTable {
+        let mut tbl = TxnTable::new(vec![
+            TxnSpec::independent(at(0), at(30), units(2), Weight(1)),
+            TxnSpec::independent(at(1), at(10), units(8), Weight(2)),
+            TxnSpec::independent(at(2), at(20), units(4), Weight(9)),
+        ])
+        .unwrap();
+        for t in 0..3u32 {
+            tbl.arrive(TxnId(t), at(2));
+        }
+        tbl
+    }
+
+    #[test]
+    fn naive_baselines_pick_like_their_indexed_twins() {
+        let tbl = ready_table();
+        assert_eq!(NaiveFcfs.select(&tbl, at(2)), Some(TxnId(0)));
+        assert_eq!(NaiveEdf.select(&tbl, at(2)), Some(TxnId(1)));
+        assert_eq!(NaiveSrpt.select(&tbl, at(2)), Some(TxnId(0)));
+        assert_eq!(NaiveLs.select(&tbl, at(2)), Some(TxnId(1)));
+        assert_eq!(NaiveHdf.select(&tbl, at(2)), Some(TxnId(2)));
+    }
+
+    #[test]
+    fn naive_asets_matches_example_2() {
+        let mut tbl = TxnTable::new(vec![
+            TxnSpec::independent(at(0), SimTime::from_units(3.0 - 1e-6), units(3), Weight::ONE),
+            TxnSpec::independent(at(0), at(7), units(5), Weight::ONE),
+        ])
+        .unwrap();
+        tbl.arrive(TxnId(0), at(0));
+        tbl.arrive(TxnId(1), at(0));
+        assert_eq!(NaiveAsets.select(&tbl, at(0)), Some(TxnId(0)));
+    }
+
+    #[test]
+    fn naive_star_runs_head_of_boosted_workflow() {
+        let mut tbl = TxnTable::new(vec![
+            TxnSpec {
+                deps: vec![],
+                ..TxnSpec::independent(at(0), at(100), units(3), Weight(1))
+            },
+            TxnSpec {
+                deps: vec![TxnId(0)],
+                ..TxnSpec::independent(at(0), at(6), units(1), Weight(9))
+            },
+            TxnSpec::independent(at(0), at(50), units(2), Weight(1)),
+        ])
+        .unwrap();
+        tbl.arrive(TxnId(0), at(0));
+        tbl.arrive(TxnId(1), at(0));
+        tbl.arrive(TxnId(2), at(0));
+        let mut p = NaiveAsetsStar::with_defaults(&tbl);
+        assert_eq!(p.select(&tbl, at(0)), Some(TxnId(0)));
+    }
+
+    #[test]
+    fn precedence_invariant_accepts_legal_states() {
+        let tbl = ready_table();
+        assert!(check_precedence_invariant(&tbl).is_ok());
+    }
+
+    #[test]
+    fn empty_table_selects_none_everywhere() {
+        let tbl = TxnTable::new(vec![]).unwrap();
+        assert_eq!(NaiveFcfs.select(&tbl, at(0)), None);
+        assert_eq!(NaiveAsets.select(&tbl, at(0)), None);
+        let mut s = NaiveAsetsStar::with_defaults(&tbl);
+        assert_eq!(s.select(&tbl, at(0)), None);
+    }
+}

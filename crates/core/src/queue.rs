@@ -1,0 +1,353 @@
+//! Keyed priority queues for scheduler lists.
+//!
+//! Every policy in this crate maintains one or more *lists* of transactions
+//! (or workflows) ordered by some key — deadline for EDF, remaining time for
+//! SRPT, density for HDF, latest start time for the ASETS\* migration index.
+//! Beyond `peek-min`/`pop-min` they all need `remove(id)` (a transaction can
+//! leave a list from the middle: it completes, migrates between lists, or is
+//! preempted and re-keyed). The paper suggests "the standard balanced binary
+//! search tree" for `O(log N)` updates; [`KeyedQueue`] is exactly that —
+//! a `BTreeSet<(K, u32)>` plus a dense id → key back-index so removal never
+//! scans.
+//!
+//! Keys must be totally ordered and `Copy`. Ties are broken by id, which
+//! makes every policy deterministic for a given workload (important for the
+//! seed-reproducible experiments and for the policy-vs-oracle property
+//! tests).
+
+use std::collections::BTreeSet;
+
+/// A priority queue over dense `u32` ids with `O(log n)` insert, remove,
+/// re-key, and min queries. Smallest key wins; ties break toward the
+/// smaller id.
+#[derive(Debug, Clone, Default)]
+pub struct KeyedQueue<K: Ord + Copy> {
+    set: BTreeSet<(K, u32)>,
+    key_of: Vec<Option<K>>,
+}
+
+impl<K: Ord + Copy> KeyedQueue<K> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        KeyedQueue { set: BTreeSet::new(), key_of: Vec::new() }
+    }
+
+    /// An empty queue with the back-index pre-sized for ids `0..capacity`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        KeyedQueue { set: BTreeSet::new(), key_of: vec![None; capacity] }
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// True iff no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// True iff `id` is present.
+    #[inline]
+    pub fn contains(&self, id: u32) -> bool {
+        self.key_of.get(id as usize).is_some_and(|k| k.is_some())
+    }
+
+    /// The key currently associated with `id`, if present.
+    #[inline]
+    pub fn key_of(&self, id: u32) -> Option<K> {
+        self.key_of.get(id as usize).copied().flatten()
+    }
+
+    /// Insert `id` with `key`.
+    ///
+    /// # Panics
+    /// If `id` is already present — callers are expected to know; a silent
+    /// upsert here has historically masked list-migration bugs.
+    pub fn insert(&mut self, id: u32, key: K) {
+        let slot = self.slot_mut(id);
+        assert!(slot.is_none(), "id {id} inserted twice");
+        *slot = Some(key);
+        let fresh = self.set.insert((key, id));
+        debug_assert!(fresh);
+    }
+
+    /// Remove `id`. Returns its key, or `None` if it was not present.
+    pub fn remove(&mut self, id: u32) -> Option<K> {
+        let key = self.key_of.get_mut(id as usize)?.take()?;
+        let removed = self.set.remove(&(key, id));
+        debug_assert!(removed, "back-index said present but set entry missing");
+        Some(key)
+    }
+
+    /// Change the key of `id` (must be present).
+    ///
+    /// # Panics
+    /// If `id` is not present.
+    pub fn rekey(&mut self, id: u32, new_key: K) {
+        let old = self.remove(id).unwrap_or_else(|| panic!("rekey of absent id {id}"));
+        let _ = old;
+        self.insert(id, new_key);
+    }
+
+    /// The (key, id) pair with the smallest key, without removing it.
+    #[inline]
+    pub fn peek(&self) -> Option<(K, u32)> {
+        self.set.first().copied()
+    }
+
+    /// The id with the smallest key, without removing it.
+    #[inline]
+    pub fn peek_id(&self) -> Option<u32> {
+        self.peek().map(|(_, id)| id)
+    }
+
+    /// Remove and return the (key, id) pair with the smallest key.
+    pub fn pop(&mut self) -> Option<(K, u32)> {
+        let entry = self.set.pop_first()?;
+        self.key_of[entry.1 as usize] = None;
+        Some(entry)
+    }
+
+    /// Drain every entry whose key is `<= bound`, in key order. This is the
+    /// ASETS\* migration primitive: with keys = latest start times, draining
+    /// up to `now` yields exactly the transactions that just became
+    /// infeasible and must move from the EDF-List to the SRPT-List.
+    pub fn drain_up_to(&mut self, bound: K) -> Vec<(K, u32)> {
+        let mut out = Vec::new();
+        while let Some(&(k, id)) = self.set.first() {
+            if k > bound {
+                break;
+            }
+            self.set.pop_first();
+            self.key_of[id as usize] = None;
+            out.push((k, id));
+        }
+        out
+    }
+
+    /// Iterate entries in key order (ascending).
+    pub fn iter(&self) -> impl Iterator<Item = (K, u32)> + '_ {
+        self.set.iter().copied()
+    }
+
+    /// Remove all entries.
+    pub fn clear(&mut self) {
+        self.set.clear();
+        self.key_of.iter_mut().for_each(|s| *s = None);
+    }
+
+    fn slot_mut(&mut self, id: u32) -> &mut Option<K> {
+        let idx = id as usize;
+        if idx >= self.key_of.len() {
+            self.key_of.resize(idx + 1, None);
+        }
+        &mut self.key_of[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_order_with_tie_break_by_id() {
+        let mut q = KeyedQueue::new();
+        q.insert(3, 10u64);
+        q.insert(1, 10u64);
+        q.insert(2, 5u64);
+        assert_eq!(q.peek(), Some((5, 2)));
+        assert_eq!(q.pop(), Some((5, 2)));
+        assert_eq!(q.pop(), Some((10, 1)), "equal keys break toward smaller id");
+        assert_eq!(q.pop(), Some((10, 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn remove_from_middle() {
+        let mut q = KeyedQueue::new();
+        for (id, k) in [(0u32, 3u64), (1, 1), (2, 2)] {
+            q.insert(id, k);
+        }
+        assert_eq!(q.remove(2), Some(2));
+        assert!(!q.contains(2));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some((1, 1)));
+        assert_eq!(q.pop(), Some((3, 0)));
+    }
+
+    #[test]
+    fn remove_absent_is_none() {
+        let mut q: KeyedQueue<u64> = KeyedQueue::new();
+        assert_eq!(q.remove(7), None);
+        q.insert(7, 1);
+        assert_eq!(q.remove(7), Some(1));
+        assert_eq!(q.remove(7), None, "second removal is a no-op");
+    }
+
+    #[test]
+    fn rekey_moves_position() {
+        let mut q = KeyedQueue::new();
+        q.insert(0, 10u64);
+        q.insert(1, 20u64);
+        q.rekey(1, 5);
+        assert_eq!(q.peek(), Some((5, 1)));
+        assert_eq!(q.key_of(1), Some(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "inserted twice")]
+    fn double_insert_panics() {
+        let mut q = KeyedQueue::new();
+        q.insert(0, 1u64);
+        q.insert(0, 2u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "rekey of absent")]
+    fn rekey_absent_panics() {
+        let mut q: KeyedQueue<u64> = KeyedQueue::new();
+        q.rekey(0, 1);
+    }
+
+    #[test]
+    fn drain_up_to_takes_exactly_the_prefix() {
+        let mut q = KeyedQueue::new();
+        for (id, k) in [(0u32, 1u64), (1, 3), (2, 5), (3, 7)] {
+            q.insert(id, k);
+        }
+        let drained = q.drain_up_to(5);
+        assert_eq!(drained, vec![(1, 0), (3, 1), (5, 2)], "bound is inclusive");
+        assert_eq!(q.len(), 1);
+        assert!(q.contains(3));
+    }
+
+    #[test]
+    fn drain_up_to_empty_prefix() {
+        let mut q = KeyedQueue::new();
+        q.insert(0, 10u64);
+        assert!(q.drain_up_to(5).is_empty());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn iter_is_key_ordered() {
+        let mut q = KeyedQueue::new();
+        for (id, k) in [(5u32, 50u64), (1, 10), (3, 30)] {
+            q.insert(id, k);
+        }
+        let keys: Vec<u64> = q.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![10, 30, 50]);
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut q = KeyedQueue::new();
+        q.insert(0, 1u64);
+        q.insert(1, 2u64);
+        q.clear();
+        assert!(q.is_empty());
+        assert!(!q.contains(0));
+        q.insert(0, 9); // reinsertion after clear works
+        assert_eq!(q.peek_id(), Some(0));
+    }
+
+    #[test]
+    fn with_capacity_presizes_back_index() {
+        let mut q: KeyedQueue<u64> = KeyedQueue::with_capacity(100);
+        q.insert(99, 1);
+        assert!(q.contains(99));
+    }
+
+    #[test]
+    fn tuple_keys_compose() {
+        // Composite key: (deadline, arrival) — the kind EDF-with-FCFS-tiebreak uses.
+        let mut q = KeyedQueue::new();
+        q.insert(0, (10u64, 5u64));
+        q.insert(1, (10u64, 3u64));
+        assert_eq!(q.peek_id(), Some(1));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    /// Model-based test: KeyedQueue behaves like a reference BTreeMap<id, key>
+    /// under an arbitrary sequence of insert/remove/rekey/pop operations.
+    #[derive(Debug, Clone)]
+    enum Op {
+        Insert(u32, u64),
+        Remove(u32),
+        Rekey(u32, u64),
+        Pop,
+        DrainUpTo(u64),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0u32..16, any::<u64>()).prop_map(|(i, k)| Op::Insert(i, k)),
+            (0u32..16).prop_map(Op::Remove),
+            (0u32..16, any::<u64>()).prop_map(|(i, k)| Op::Rekey(i, k)),
+            Just(Op::Pop),
+            any::<u64>().prop_map(Op::DrainUpTo),
+        ]
+    }
+
+    fn model_min(model: &BTreeMap<u32, u64>) -> Option<(u64, u32)> {
+        model.iter().map(|(&id, &k)| (k, id)).min()
+    }
+
+    proptest! {
+        #[test]
+        fn matches_reference_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+            let mut q = KeyedQueue::new();
+            let mut model: BTreeMap<u32, u64> = BTreeMap::new();
+            for op in ops {
+                match op {
+                    Op::Insert(id, k) => {
+                        if let std::collections::btree_map::Entry::Vacant(e) = model.entry(id) {
+                            q.insert(id, k);
+                            e.insert(k);
+                        }
+                    }
+                    Op::Remove(id) => {
+                        prop_assert_eq!(q.remove(id), model.remove(&id));
+                    }
+                    Op::Rekey(id, k) => {
+                        if model.contains_key(&id) {
+                            q.rekey(id, k);
+                            model.insert(id, k);
+                        }
+                    }
+                    Op::Pop => {
+                        let expect = model_min(&model);
+                        if let Some((_, id)) = expect {
+                            model.remove(&id);
+                        }
+                        prop_assert_eq!(q.pop(), expect);
+                    }
+                    Op::DrainUpTo(bound) => {
+                        let drained = q.drain_up_to(bound);
+                        let mut expect: Vec<(u64, u32)> = model
+                            .iter()
+                            .filter(|(_, &k)| k <= bound)
+                            .map(|(&id, &k)| (k, id))
+                            .collect();
+                        expect.sort_unstable();
+                        for (_, id) in &expect {
+                            model.remove(id);
+                        }
+                        prop_assert_eq!(drained, expect);
+                    }
+                }
+                prop_assert_eq!(q.len(), model.len());
+                prop_assert_eq!(q.peek(), model_min(&model));
+            }
+        }
+    }
+}

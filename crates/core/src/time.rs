@@ -1,0 +1,549 @@
+//! Fixed-point simulation time.
+//!
+//! The paper measures everything in abstract "time units" (transaction
+//! lengths are Zipf-distributed over `[1, 50]` time units, deadlines are
+//! `a_i + (1 + k_i) * l_i`, and so on). The simulator needs a time type that
+//!
+//! * has a **total order** (priority-queue keys — `f64` is out),
+//! * supports exact arithmetic (no drift when a transaction is preempted and
+//!   resumed hundreds of times), and
+//! * still represents fractional time units (slack factors `k_i` are drawn
+//!   uniformly from `[0, k_max]`, inter-arrival gaps are exponential).
+//!
+//! We therefore use fixed-point `u64` *microticks*: one paper time unit is
+//! [`TICKS_PER_UNIT`] = 10⁶ microticks. At the paper's scales (1000
+//! transactions, lengths ≤ 50 units, utilizations ≥ 0.1) a full simulation
+//! spans well under 10⁹ microticks, leaving ten orders of magnitude of
+//! headroom before `u64` overflow.
+//!
+//! [`SimTime`] is a point on the timeline; [`SimDuration`] is a length of
+//! time. Mixing them up is a type error, which catches a whole class of
+//! scheduler arithmetic bugs (e.g. comparing a slack against a deadline).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Number of fixed-point microticks per abstract paper "time unit".
+pub const TICKS_PER_UNIT: u64 = 1_000_000;
+
+/// A point in simulated time, in microticks since the start of the run.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+/// A non-negative span of simulated time, in microticks.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The origin of the simulation clock.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant; used as an "infinitely far" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from raw microticks.
+    #[inline]
+    pub const fn from_ticks(ticks: u64) -> Self {
+        SimTime(ticks)
+    }
+
+    /// Construct from whole paper time units.
+    #[inline]
+    pub const fn from_units_int(units: u64) -> Self {
+        SimTime(units * TICKS_PER_UNIT)
+    }
+
+    /// Construct from fractional paper time units.
+    ///
+    /// Negative or non-finite inputs saturate to zero; this only happens on
+    /// caller bugs and is easier to debug than a panic deep in a generator.
+    #[inline]
+    pub fn from_units(units: f64) -> Self {
+        SimTime(f64_to_ticks(units))
+    }
+
+    /// Raw microticks since the origin.
+    #[inline]
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// This instant expressed in fractional paper time units.
+    #[inline]
+    pub fn as_units(self) -> f64 {
+        self.0 as f64 / TICKS_PER_UNIT as f64
+    }
+
+    /// The duration from the origin to this instant.
+    #[inline]
+    pub const fn since_origin(self) -> SimDuration {
+        SimDuration(self.0)
+    }
+
+    /// `self - earlier`, or `None` if `earlier` is after `self`.
+    #[inline]
+    pub fn checked_since(self, earlier: SimTime) -> Option<SimDuration> {
+        self.0.checked_sub(earlier.0).map(SimDuration)
+    }
+
+    /// `max(self - earlier, 0)` — the non-negative elapsed span.
+    ///
+    /// This is exactly the shape of the paper's tardiness definition
+    /// (`t_i = 0` iff `f_i <= d_i`, else `f_i - d_i`).
+    #[inline]
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Saturating addition of a duration (useful near the `MAX` sentinel).
+    #[inline]
+    pub fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl SimDuration {
+    /// The empty span.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The largest representable span; used as an "infinite" sentinel.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Construct from raw microticks.
+    #[inline]
+    pub const fn from_ticks(ticks: u64) -> Self {
+        SimDuration(ticks)
+    }
+
+    /// Construct from whole paper time units.
+    #[inline]
+    pub const fn from_units_int(units: u64) -> Self {
+        SimDuration(units * TICKS_PER_UNIT)
+    }
+
+    /// Construct from fractional paper time units (saturates at zero for
+    /// negative / non-finite input).
+    #[inline]
+    pub fn from_units(units: f64) -> Self {
+        SimDuration(f64_to_ticks(units))
+    }
+
+    /// Raw microticks.
+    #[inline]
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// This span in fractional paper time units.
+    #[inline]
+    pub fn as_units(self) -> f64 {
+        self.0 as f64 / TICKS_PER_UNIT as f64
+    }
+
+    /// True iff the span is empty.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// `max(self - other, 0)`.
+    #[inline]
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Checked subtraction.
+    #[inline]
+    pub fn checked_sub(self, other: SimDuration) -> Option<SimDuration> {
+        self.0.checked_sub(other.0).map(SimDuration)
+    }
+
+    /// Multiply by an integer weight, widening to `u128` so that weighted
+    /// tardiness accumulators cannot overflow.
+    #[inline]
+    pub fn weighted(self, weight: u64) -> u128 {
+        self.0 as u128 * weight as u128
+    }
+
+    /// Scale by a non-negative factor (used by activation-period arithmetic).
+    #[inline]
+    pub fn scale(self, factor: f64) -> SimDuration {
+        SimDuration(f64_to_ticks(self.as_units() * factor))
+    }
+}
+
+/// Signed slack: `d_i - (t + r_i)` can be negative once a transaction can no
+/// longer meet its deadline. Kept as a separate type so that a negative slack
+/// cannot silently wrap a `u64`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Slack(i128);
+
+impl Slack {
+    /// Zero slack: the transaction finishes exactly at its deadline if it
+    /// starts right now.
+    pub const ZERO: Slack = Slack(0);
+
+    /// Compute `deadline - (now + remaining)` as a signed quantity.
+    #[inline]
+    pub fn compute(now: SimTime, remaining: SimDuration, deadline: SimTime) -> Slack {
+        Slack(deadline.0 as i128 - (now.0 as i128 + remaining.0 as i128))
+    }
+
+    /// Raw signed microticks.
+    #[inline]
+    pub const fn ticks(self) -> i128 {
+        self.0
+    }
+
+    /// Construct from signed microticks.
+    #[inline]
+    pub const fn from_ticks(ticks: i128) -> Slack {
+        Slack(ticks)
+    }
+
+    /// Slack in fractional paper time units.
+    #[inline]
+    pub fn as_units(self) -> f64 {
+        self.0 as f64 / TICKS_PER_UNIT as f64
+    }
+
+    /// True iff the deadline is still reachable (`slack >= 0`).
+    #[inline]
+    pub const fn is_feasible(self) -> bool {
+        self.0 >= 0
+    }
+
+    /// The non-negative part of the slack, as a duration.
+    #[inline]
+    pub fn clamp_non_negative(self) -> SimDuration {
+        if self.0 <= 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration(self.0 as u64)
+        }
+    }
+}
+
+#[inline]
+fn f64_to_ticks(units: f64) -> u64 {
+    if !units.is_finite() || units <= 0.0 {
+        return 0;
+    }
+    let ticks = units * TICKS_PER_UNIT as f64;
+    if ticks >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        ticks.round() as u64
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    /// Panics (in debug) on negative spans; use [`SimTime::saturating_since`]
+    /// or [`SimTime::checked_since`] when order is not guaranteed.
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, |acc, d| acc + d)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}", self.as_units())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}u", self.as_units())
+    }
+}
+
+impl fmt::Display for Slack {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "slack={:.6}", self.as_units())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_roundtrip_is_exact_for_integers() {
+        for u in [0u64, 1, 7, 50, 12345] {
+            let t = SimTime::from_units_int(u);
+            assert_eq!(t.ticks(), u * TICKS_PER_UNIT);
+            assert_eq!(t.as_units(), u as f64);
+        }
+    }
+
+    #[test]
+    fn fractional_units_round_to_nearest_tick() {
+        let d = SimDuration::from_units(1.5);
+        assert_eq!(d.ticks(), 1_500_000);
+        let d = SimDuration::from_units(0.000_000_4);
+        assert_eq!(d.ticks(), 0, "sub-half-tick rounds down");
+        let d = SimDuration::from_units(0.000_000_6);
+        assert_eq!(d.ticks(), 1, "over-half-tick rounds up");
+    }
+
+    #[test]
+    fn negative_and_nan_units_saturate_to_zero() {
+        assert_eq!(SimDuration::from_units(-3.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_units(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimTime::from_units(f64::NEG_INFINITY), SimTime::ZERO);
+    }
+
+    #[test]
+    fn huge_units_saturate_to_max() {
+        assert_eq!(SimDuration::from_units(1e30), SimDuration::MAX);
+    }
+
+    #[test]
+    fn time_plus_duration() {
+        let t = SimTime::from_units_int(10) + SimDuration::from_units_int(5);
+        assert_eq!(t, SimTime::from_units_int(15));
+    }
+
+    #[test]
+    fn saturating_since_is_tardiness_shaped() {
+        let deadline = SimTime::from_units_int(10);
+        let early_finish = SimTime::from_units_int(8);
+        let late_finish = SimTime::from_units_int(13);
+        assert_eq!(early_finish.saturating_since(deadline), SimDuration::ZERO);
+        assert_eq!(
+            late_finish.saturating_since(deadline),
+            SimDuration::from_units_int(3)
+        );
+    }
+
+    #[test]
+    fn checked_since_detects_order() {
+        let a = SimTime::from_units_int(3);
+        let b = SimTime::from_units_int(5);
+        assert_eq!(b.checked_since(a), Some(SimDuration::from_units_int(2)));
+        assert_eq!(a.checked_since(b), None);
+    }
+
+    #[test]
+    fn slack_signs() {
+        let now = SimTime::from_units_int(10);
+        // Deadline 20, remaining 5 -> slack +5.
+        let s = Slack::compute(now, SimDuration::from_units_int(5), SimTime::from_units_int(20));
+        assert!(s.is_feasible());
+        assert_eq!(s.as_units(), 5.0);
+        assert_eq!(s.clamp_non_negative(), SimDuration::from_units_int(5));
+        // Deadline 12, remaining 5 -> slack -3.
+        let s = Slack::compute(now, SimDuration::from_units_int(5), SimTime::from_units_int(12));
+        assert!(!s.is_feasible());
+        assert_eq!(s.as_units(), -3.0);
+        assert_eq!(s.clamp_non_negative(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn slack_total_order_matches_urgency() {
+        let now = SimTime::from_units_int(0);
+        let tight = Slack::compute(now, SimDuration::from_units_int(9), SimTime::from_units_int(10));
+        let loose = Slack::compute(now, SimDuration::from_units_int(1), SimTime::from_units_int(10));
+        let missed =
+            Slack::compute(now, SimDuration::from_units_int(20), SimTime::from_units_int(10));
+        assert!(missed < tight && tight < loose);
+    }
+
+    #[test]
+    fn weighted_widens_to_u128() {
+        let d = SimDuration::MAX;
+        // Must not overflow even at the extreme.
+        let w = d.weighted(u64::MAX);
+        assert_eq!(w, u64::MAX as u128 * u64::MAX as u128);
+    }
+
+    #[test]
+    fn duration_sum() {
+        let total: SimDuration = (1..=4u64).map(SimDuration::from_units_int).sum();
+        assert_eq!(total, SimDuration::from_units_int(10));
+    }
+
+    #[test]
+    fn duration_scale() {
+        let d = SimDuration::from_units_int(10);
+        assert_eq!(d.scale(0.5), SimDuration::from_units_int(5));
+        assert_eq!(d.scale(0.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn saturating_add_near_sentinel() {
+        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_units_int(1)), SimTime::MAX);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", SimTime::from_units(1.25)), "t=1.250000");
+        assert_eq!(format!("{}", SimDuration::from_units(2.5)), "2.500000u");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    // Bounded so sums cannot overflow u64 inside the laws below.
+    const BOUND: u64 = 1 << 40;
+
+    proptest! {
+        /// Duration addition is commutative and associative.
+        #[test]
+        fn duration_addition_laws(a in 0..BOUND, b in 0..BOUND, c in 0..BOUND) {
+            let (a, b, c) = (
+                SimDuration::from_ticks(a),
+                SimDuration::from_ticks(b),
+                SimDuration::from_ticks(c),
+            );
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_eq!((a + b) + c, a + (b + c));
+        }
+
+        /// `(t + d) - t == d` and `(t + d) - d == t`.
+        #[test]
+        fn add_sub_round_trips(t in 0..BOUND, d in 0..BOUND) {
+            let time = SimTime::from_ticks(t);
+            let dur = SimDuration::from_ticks(d);
+            prop_assert_eq!((time + dur) - time, dur);
+            prop_assert_eq!((time + dur) - dur, time);
+        }
+
+        /// Slack is anti-monotone in `now` and in `remaining`, monotone in
+        /// the deadline.
+        #[test]
+        fn slack_monotonicity(now in 0..BOUND, r in 0..BOUND, d in 0..BOUND, bump in 1..1000u64) {
+            let now_t = SimTime::from_ticks(now);
+            let rem = SimDuration::from_ticks(r);
+            let dl = SimTime::from_ticks(d);
+            let s = Slack::compute(now_t, rem, dl);
+            prop_assert!(Slack::compute(now_t + SimDuration::from_ticks(bump), rem, dl) < s);
+            prop_assert!(Slack::compute(now_t, rem + SimDuration::from_ticks(bump), dl) < s);
+            prop_assert!(Slack::compute(now_t, rem, dl + SimDuration::from_ticks(bump)) > s);
+        }
+
+        /// Running preserves `now + remaining` (the invariant the ASETS*
+        /// migration index rests on): serving x while time advances x keeps
+        /// slack constant.
+        #[test]
+        fn slack_invariant_under_service(
+            now in 0..BOUND, r in 1..BOUND, d in 0..BOUND, served_frac in 0.0f64..1.0
+        ) {
+            let served = ((r as f64) * served_frac) as u64;
+            let before = Slack::compute(
+                SimTime::from_ticks(now),
+                SimDuration::from_ticks(r),
+                SimTime::from_ticks(d),
+            );
+            let after = Slack::compute(
+                SimTime::from_ticks(now + served),
+                SimDuration::from_ticks(r - served),
+                SimTime::from_ticks(d),
+            );
+            prop_assert_eq!(before, after);
+        }
+
+        /// saturating_since never underflows and agrees with checked_since
+        /// when ordered.
+        #[test]
+        fn since_agreement(a in 0..BOUND, b in 0..BOUND) {
+            let (ta, tb) = (SimTime::from_ticks(a), SimTime::from_ticks(b));
+            match ta.checked_since(tb) {
+                Some(d) => prop_assert_eq!(ta.saturating_since(tb), d),
+                None => prop_assert_eq!(ta.saturating_since(tb), SimDuration::ZERO),
+            }
+        }
+
+        /// Integer-unit round trips are exact while tick counts stay inside
+        /// f64's 53-bit exact-integer range (u·10⁶ < 2⁵³ ⟺ u < 2³³);
+        /// simulations live many orders of magnitude below that.
+        #[test]
+        fn unit_round_trip(u in 0..(1u64 << 33)) {
+            prop_assert_eq!(SimDuration::from_units_int(u).as_units(), u as f64);
+        }
+    }
+}

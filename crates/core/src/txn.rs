@@ -1,0 +1,307 @@
+//! Transactions: the unit of scheduling.
+//!
+//! A *web transaction* materializes one content fragment of a dynamic web
+//! page (paper §II-A, Definition 1). It is fully described by five static
+//! parameters — arrival time `a_i`, soft deadline `d_i`, length `l_i`,
+//! weight `w_i`, and dependency list `l_i` (the paper overloads `l`; we call
+//! the dependency list `deps`) — plus one piece of runtime state, the
+//! *remaining* processing time `r_i`, which shrinks as the transaction runs.
+
+use crate::time::{SimDuration, SimTime, Slack};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a transaction within a [`crate::table::TxnTable`].
+///
+/// Dense indices (0..n) so tables can be plain vectors.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct TxnId(pub u32);
+
+impl TxnId {
+    /// The dense index of this id.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Transaction weight / utility (paper: drawn uniformly from `[1, 10]`).
+///
+/// Integral so that weighted-tardiness accumulators stay exact.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Weight(pub u32);
+
+impl Weight {
+    /// The neutral weight: with all weights `ONE`, HDF reduces to SRPT and
+    /// weighted tardiness reduces to plain tardiness.
+    pub const ONE: Weight = Weight(1);
+
+    /// Raw value.
+    #[inline]
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+}
+
+impl Default for Weight {
+    fn default() -> Self {
+        Weight::ONE
+    }
+}
+
+impl fmt::Display for Weight {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+/// The immutable description of a transaction, as submitted to the system.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TxnSpec {
+    /// Arrival time `a_i`: when the transaction is submitted.
+    pub arrival: SimTime,
+    /// Soft deadline `d_i`: the SLA of the corresponding fragment.
+    pub deadline: SimTime,
+    /// Total processing time `l_i` needed on the backend database.
+    pub length: SimDuration,
+    /// Importance `w_i` of the fragment this transaction materializes.
+    pub weight: Weight,
+    /// Dependency list: every transaction here must complete before this one
+    /// may start (`T_x -> T_i` for each `T_x` in `deps`).
+    pub deps: Vec<TxnId>,
+}
+
+impl TxnSpec {
+    /// A convenience constructor for an independent transaction.
+    pub fn independent(
+        arrival: SimTime,
+        deadline: SimTime,
+        length: SimDuration,
+        weight: Weight,
+    ) -> Self {
+        TxnSpec { arrival, deadline, length, weight, deps: Vec::new() }
+    }
+
+    /// True iff the transaction has no precedence constraints.
+    #[inline]
+    pub fn is_independent(&self) -> bool {
+        self.deps.is_empty()
+    }
+
+    /// The initial slack at arrival: `d_i - (a_i + l_i)`.
+    ///
+    /// The paper's generator guarantees this is non-negative
+    /// (`d_i = a_i + l_i + k_i * l_i`, `k_i >= 0`) but hand-built workloads
+    /// may violate it, so the result is signed.
+    pub fn initial_slack(&self) -> Slack {
+        Slack::compute(self.arrival, self.length, self.deadline)
+    }
+}
+
+/// The lifecycle of a transaction inside the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TxnPhase {
+    /// Not yet arrived (its arrival event is still in the future).
+    Pending,
+    /// Arrived but blocked: some predecessor has not completed.
+    Blocked,
+    /// Arrived and all predecessors completed; eligible to run.
+    Ready,
+    /// Currently holding the (single) backend server.
+    Running,
+    /// Finished; `finish` below is set.
+    Completed,
+}
+
+/// Mutable runtime state tracked per transaction by the
+/// [`crate::table::TxnTable`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TxnState {
+    /// Where the transaction currently is in its lifecycle.
+    pub phase: TxnPhase,
+    /// Remaining processing time `r_i`. Equals `length` until the
+    /// transaction first runs; reaches zero exactly at completion.
+    pub remaining: SimDuration,
+    /// Number of not-yet-completed predecessors. The transaction becomes
+    /// ready when this hits zero *and* it has arrived.
+    pub blocked_on: u32,
+    /// Time the transaction became ready (for response-time style metrics).
+    pub ready_at: Option<SimTime>,
+    /// Time the transaction finished, once `phase == Completed`.
+    pub finish: Option<SimTime>,
+    /// Cumulative service received (invariant: `service + remaining == length`).
+    pub service: SimDuration,
+    /// How many times the transaction was preempted while running.
+    pub preemptions: u32,
+}
+
+impl TxnState {
+    /// Fresh runtime state for a spec: not arrived, full remaining time,
+    /// blocked on every dependency.
+    pub fn new(spec: &TxnSpec) -> Self {
+        TxnState {
+            phase: TxnPhase::Pending,
+            remaining: spec.length,
+            blocked_on: spec.deps.len() as u32,
+            ready_at: None,
+            finish: None,
+            service: SimDuration::ZERO,
+            preemptions: 0,
+        }
+    }
+
+    /// True iff the transaction is eligible for selection by a policy.
+    #[inline]
+    pub fn is_ready(&self) -> bool {
+        matches!(self.phase, TxnPhase::Ready | TxnPhase::Running)
+    }
+
+    /// True iff the transaction has left the system.
+    #[inline]
+    pub fn is_completed(&self) -> bool {
+        self.phase == TxnPhase::Completed
+    }
+}
+
+/// A completed transaction's outcome, used by the metrics module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TxnOutcome {
+    /// Which transaction.
+    pub id: TxnId,
+    /// Its arrival time `a_i`.
+    pub arrival: SimTime,
+    /// Its deadline `d_i`.
+    pub deadline: SimTime,
+    /// Its finish time `f_i`.
+    pub finish: SimTime,
+    /// Its weight `w_i`.
+    pub weight: Weight,
+    /// Its total length `l_i`.
+    pub length: SimDuration,
+}
+
+impl TxnOutcome {
+    /// Tardiness `t_i = max(0, f_i - d_i)` (paper Definition 3).
+    #[inline]
+    pub fn tardiness(&self) -> SimDuration {
+        self.finish.saturating_since(self.deadline)
+    }
+
+    /// Weighted tardiness `t_i * w_i`, widened to `u128` ticks.
+    #[inline]
+    pub fn weighted_tardiness_ticks(&self) -> u128 {
+        self.tardiness().weighted(self.weight.get() as u64)
+    }
+
+    /// Response time `f_i - a_i`.
+    #[inline]
+    pub fn response_time(&self) -> SimDuration {
+        self.finish.saturating_since(self.arrival)
+    }
+
+    /// Whether the deadline was met.
+    #[inline]
+    pub fn met_deadline(&self) -> bool {
+        self.finish <= self.deadline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn units(u: u64) -> SimDuration {
+        SimDuration::from_units_int(u)
+    }
+    fn at(u: u64) -> SimTime {
+        SimTime::from_units_int(u)
+    }
+
+    #[test]
+    fn independent_spec_has_no_deps() {
+        let s = TxnSpec::independent(at(0), at(10), units(5), Weight::ONE);
+        assert!(s.is_independent());
+        assert_eq!(s.initial_slack().as_units(), 5.0);
+    }
+
+    #[test]
+    fn initial_slack_can_be_negative() {
+        let s = TxnSpec::independent(at(0), at(3), units(5), Weight::ONE);
+        assert_eq!(s.initial_slack().as_units(), -2.0);
+        assert!(!s.initial_slack().is_feasible());
+    }
+
+    #[test]
+    fn fresh_state_tracks_deps() {
+        let s = TxnSpec {
+            arrival: at(0),
+            deadline: at(10),
+            length: units(4),
+            weight: Weight(3),
+            deps: vec![TxnId(0), TxnId(1)],
+        };
+        let st = TxnState::new(&s);
+        assert_eq!(st.phase, TxnPhase::Pending);
+        assert_eq!(st.blocked_on, 2);
+        assert_eq!(st.remaining, units(4));
+        assert!(!st.is_ready());
+        assert!(!st.is_completed());
+    }
+
+    #[test]
+    fn outcome_tardiness_matches_definition_3() {
+        let on_time = TxnOutcome {
+            id: TxnId(0),
+            arrival: at(0),
+            deadline: at(10),
+            finish: at(10),
+            weight: Weight(4),
+            length: units(5),
+        };
+        assert_eq!(on_time.tardiness(), SimDuration::ZERO);
+        assert!(on_time.met_deadline());
+        assert_eq!(on_time.weighted_tardiness_ticks(), 0);
+
+        let late = TxnOutcome { finish: at(13), ..on_time };
+        assert_eq!(late.tardiness(), units(3));
+        assert!(!late.met_deadline());
+        assert_eq!(
+            late.weighted_tardiness_ticks(),
+            units(3).weighted(4)
+        );
+    }
+
+    #[test]
+    fn response_time_is_finish_minus_arrival() {
+        let o = TxnOutcome {
+            id: TxnId(7),
+            arrival: at(2),
+            deadline: at(10),
+            finish: at(9),
+            weight: Weight::ONE,
+            length: units(5),
+        };
+        assert_eq!(o.response_time(), units(7));
+    }
+
+    #[test]
+    fn ids_display_like_the_paper() {
+        assert_eq!(TxnId(4).to_string(), "T4");
+        assert_eq!(Weight(9).to_string(), "w9");
+    }
+
+    #[test]
+    fn weight_default_is_one() {
+        assert_eq!(Weight::default(), Weight::ONE);
+    }
+}

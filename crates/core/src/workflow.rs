@@ -1,0 +1,446 @@
+//! Workflows: the scheduling unit of ASETS\* under precedence constraints.
+//!
+//! Paper §II-A: *"a workflow is defined for every transaction that does not
+//! appear in any dependency list"* (a DAG root); the workflow contains the
+//! root plus the transitive closure of its dependency list, and a transaction
+//! can belong to more than one workflow (shared fragments).
+//!
+//! Two per-workflow notions drive the workflow-level policy (§III-B):
+//!
+//! * the **head transaction** (Definition 8) — a member that is ready for
+//!   execution right now; it is the thing that actually runs, and
+//! * the **representative transaction** (Definition 9) — a *virtual*
+//!   transaction carrying the minimum deadline, minimum remaining processing
+//!   time, and maximum weight over the workflow's remaining members; it is
+//!   what the workflow is *ranked by* in the EDF/HDF lists.
+//!
+//! Interpretation decisions (documented in DESIGN.md):
+//!
+//! * **D2** — a tree-shaped workflow can have several ready members; the
+//!   paper says "the" head. We expose all heads and a [`HeadRule`] selector
+//!   (earliest deadline / highest density / lowest id).
+//! * **D9** — the representative ranges over members that are *visible to
+//!   the scheduler*: arrived and not yet completed. A member whose arrival
+//!   event is still in the future is unknown to an online scheduler, so it
+//!   cannot contribute its deadline or weight yet.
+
+use crate::table::TxnTable;
+use crate::time::{SimDuration, SimTime, Slack};
+use crate::txn::{TxnId, TxnPhase, Weight};
+use std::fmt;
+
+/// Identifier of a workflow within a [`WorkflowSet`] (dense index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WfId(pub u32);
+
+impl WfId {
+    /// Dense index of this workflow.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for WfId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "K{}", self.0)
+    }
+}
+
+/// How to pick *the* head when a workflow has several ready members (D2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HeadRule {
+    /// The ready member with the earliest deadline (ties by id). Natural for
+    /// a workflow sitting in the EDF-List.
+    #[default]
+    EarliestDeadline,
+    /// The ready member with the highest density `w/r` (ties by id). Natural
+    /// for a workflow sitting in the HDF/SRPT-List.
+    HighestDensity,
+    /// The ready member with the smallest id — a deliberately naive baseline
+    /// for the head-rule ablation.
+    FirstById,
+}
+
+/// The virtual representative transaction of a workflow (Definition 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Representative {
+    /// Minimum (earliest) deadline among visible remaining members.
+    pub deadline: SimTime,
+    /// Minimum remaining processing time among visible remaining members.
+    pub remaining: SimDuration,
+    /// Maximum weight among visible remaining members.
+    pub weight: Weight,
+}
+
+impl Representative {
+    /// Slack of the representative at `now`: `d_rep - (now + r_rep)`.
+    #[inline]
+    pub fn slack(&self, now: SimTime) -> Slack {
+        Slack::compute(now, self.remaining, self.deadline)
+    }
+
+    /// EDF-List membership test for the whole workflow (§III-B): the
+    /// workflow belongs in the EDF-List iff its representative could still
+    /// meet its deadline starting now.
+    #[inline]
+    pub fn can_meet_deadline(&self, now: SimTime) -> bool {
+        self.slack(now).is_feasible()
+    }
+}
+
+/// The static workflow structure extracted from a transaction batch.
+#[derive(Debug, Clone)]
+pub struct WorkflowSet {
+    /// Per-workflow member lists (sorted by id).
+    members: Vec<Vec<TxnId>>,
+    /// Per-workflow root transaction.
+    roots: Vec<TxnId>,
+    /// Per-transaction list of workflows it belongs to.
+    of_txn: Vec<Vec<WfId>>,
+}
+
+impl WorkflowSet {
+    /// Extract one workflow per DAG root. Every transaction belongs to at
+    /// least one workflow (follow successors upward from any transaction and
+    /// you must reach a root, since the graph is a finite DAG).
+    pub fn build(table: &TxnTable) -> WorkflowSet {
+        let dag = table.dag();
+        let roots: Vec<TxnId> = dag.roots().to_vec();
+        let mut members = Vec::with_capacity(roots.len());
+        let mut of_txn: Vec<Vec<WfId>> = vec![Vec::new(); table.len()];
+        for (w, &root) in roots.iter().enumerate() {
+            let m = dag.workflow_members(root);
+            for &t in &m {
+                of_txn[t.index()].push(WfId(w as u32));
+            }
+            members.push(m);
+        }
+        WorkflowSet { members, roots, of_txn }
+    }
+
+    /// Number of workflows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True iff there are no workflows (empty batch).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// All workflow ids.
+    pub fn ids(&self) -> impl Iterator<Item = WfId> + '_ {
+        (0..self.members.len() as u32).map(WfId)
+    }
+
+    /// Members of workflow `w`, sorted by transaction id.
+    #[inline]
+    pub fn members(&self, w: WfId) -> &[TxnId] {
+        &self.members[w.index()]
+    }
+
+    /// Root transaction of workflow `w`.
+    #[inline]
+    pub fn root(&self, w: WfId) -> TxnId {
+        self.roots[w.index()]
+    }
+
+    /// Workflows containing transaction `t` (at least one).
+    #[inline]
+    pub fn workflows_of(&self, t: TxnId) -> &[WfId] {
+        &self.of_txn[t.index()]
+    }
+
+    /// The representative transaction of `w` right now, or `None` when the
+    /// workflow has no visible remaining member (everything completed, or
+    /// nothing has arrived yet — D9).
+    pub fn representative(&self, w: WfId, table: &TxnTable) -> Option<Representative> {
+        let mut rep: Option<Representative> = None;
+        for &t in self.members(w) {
+            let st = table.state(t);
+            let visible = matches!(
+                st.phase,
+                TxnPhase::Blocked | TxnPhase::Ready | TxnPhase::Running
+            );
+            if !visible {
+                continue;
+            }
+            let spec = table.spec(t);
+            match &mut rep {
+                None => {
+                    rep = Some(Representative {
+                        deadline: spec.deadline,
+                        remaining: st.remaining,
+                        weight: spec.weight,
+                    })
+                }
+                Some(r) => {
+                    r.deadline = r.deadline.min(spec.deadline);
+                    r.remaining = r.remaining.min(st.remaining);
+                    r.weight = r.weight.max(spec.weight);
+                }
+            }
+        }
+        rep
+    }
+
+    /// All ready members of `w` (candidates for head), in id order.
+    pub fn heads(&self, w: WfId, table: &TxnTable) -> Vec<TxnId> {
+        self.members(w).iter().copied().filter(|&t| table.state(t).is_ready()).collect()
+    }
+
+    /// The head of `w` under `rule`, or `None` if no member is ready.
+    pub fn head(&self, w: WfId, table: &TxnTable, rule: HeadRule) -> Option<TxnId> {
+        let mut best: Option<TxnId> = None;
+        for &t in self.members(w) {
+            if !table.state(t).is_ready() {
+                continue;
+            }
+            best = Some(match best {
+                None => t,
+                Some(b) => match rule {
+                    HeadRule::FirstById => b, // members are id-sorted; first wins
+                    HeadRule::EarliestDeadline => {
+                        if table.deadline(t) < table.deadline(b) {
+                            t
+                        } else {
+                            b
+                        }
+                    }
+                    HeadRule::HighestDensity => {
+                        if denser(table, t, b) {
+                            t
+                        } else {
+                            b
+                        }
+                    }
+                },
+            });
+        }
+        best
+    }
+
+    /// True iff every member of `w` has completed.
+    pub fn is_finished(&self, w: WfId, table: &TxnTable) -> bool {
+        self.members(w).iter().all(|&t| table.state(t).is_completed())
+    }
+}
+
+/// Exact density comparison `w_a/r_a > w_b/r_b` by cross-multiplication in
+/// `u128` — no float rounding, and a zero remaining time (a transaction at
+/// its completion instant) is treated as infinitely dense.
+pub fn denser(table: &TxnTable, a: TxnId, b: TxnId) -> bool {
+    let (wa, ra) = (table.weight(a).get() as u128, table.remaining(a).ticks() as u128);
+    let (wb, rb) = (table.weight(b).get() as u128, table.remaining(b).ticks() as u128);
+    match (ra == 0, rb == 0) {
+        (true, false) => true,
+        (false, true) => false,
+        (true, true) => wa > wb,
+        (false, false) => wa * rb > wb * ra,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::txn::TxnSpec;
+
+    fn units(u: u64) -> SimDuration {
+        SimDuration::from_units_int(u)
+    }
+    fn at(u: u64) -> SimTime {
+        SimTime::from_units_int(u)
+    }
+
+    fn spec(arr: u64, dl: u64, len: u64, w: u32, deps: Vec<TxnId>) -> TxnSpec {
+        TxnSpec { arrival: at(arr), deadline: at(dl), length: units(len), weight: Weight(w), deps }
+    }
+
+    /// The §II-B stock page: T0 (all prices) -> T1 (portfolio join) ->
+    /// {T2 (portfolio value), T3 (alerts)}. Roots: T2 and T3; T3 (alerts)
+    /// has the *earliest* deadline despite being most-dependent — the
+    /// paper's deadline/precedence conflict.
+    fn stock_table() -> TxnTable {
+        TxnTable::new(vec![
+            spec(0, 20, 4, 1, vec![]),
+            spec(0, 18, 3, 2, vec![TxnId(0)]),
+            spec(0, 25, 2, 3, vec![TxnId(1)]),
+            spec(0, 9, 1, 5, vec![TxnId(1)]), // alerts: earliest deadline, max weight
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn one_workflow_per_root() {
+        let tbl = stock_table();
+        let wfs = WorkflowSet::build(&tbl);
+        assert_eq!(wfs.len(), 2);
+        assert_eq!(wfs.root(WfId(0)), TxnId(2));
+        assert_eq!(wfs.root(WfId(1)), TxnId(3));
+        assert_eq!(wfs.members(WfId(0)), &[TxnId(0), TxnId(1), TxnId(2)]);
+        assert_eq!(wfs.members(WfId(1)), &[TxnId(0), TxnId(1), TxnId(3)]);
+    }
+
+    #[test]
+    fn shared_members_map_to_both_workflows() {
+        let tbl = stock_table();
+        let wfs = WorkflowSet::build(&tbl);
+        assert_eq!(wfs.workflows_of(TxnId(0)), &[WfId(0), WfId(1)]);
+        assert_eq!(wfs.workflows_of(TxnId(1)), &[WfId(0), WfId(1)]);
+        assert_eq!(wfs.workflows_of(TxnId(2)), &[WfId(0)]);
+        assert_eq!(wfs.workflows_of(TxnId(3)), &[WfId(1)]);
+    }
+
+    #[test]
+    fn representative_needs_visibility() {
+        let mut tbl = stock_table();
+        let wfs = WorkflowSet::build(&tbl);
+        // Nothing arrived: no representative (D9).
+        assert_eq!(wfs.representative(WfId(1), &tbl), None);
+        // T0 arrives: representative = T0 alone.
+        tbl.arrive(TxnId(0), at(0));
+        let r = wfs.representative(WfId(1), &tbl).unwrap();
+        assert_eq!(r.deadline, at(20));
+        assert_eq!(r.remaining, units(4));
+        assert_eq!(r.weight, Weight(1));
+    }
+
+    #[test]
+    fn representative_takes_min_deadline_min_remaining_max_weight() {
+        let mut tbl = stock_table();
+        let wfs = WorkflowSet::build(&tbl);
+        for t in 0..4 {
+            tbl.arrive(TxnId(t), at(0));
+        }
+        // Workflow K1 = {T0(d20,r4,w1), T1(d18,r3,w2), T3(d9,r1,w5)}.
+        let r = wfs.representative(WfId(1), &tbl).unwrap();
+        assert_eq!(r.deadline, at(9), "alerts deadline dominates");
+        assert_eq!(r.remaining, units(1));
+        assert_eq!(r.weight, Weight(5));
+    }
+
+    #[test]
+    fn representative_ignores_completed_members() {
+        let mut tbl = stock_table();
+        let wfs = WorkflowSet::build(&tbl);
+        for t in 0..4 {
+            tbl.arrive(TxnId(t), at(0));
+        }
+        tbl.start_running(TxnId(0));
+        tbl.complete(TxnId(0), at(4), units(4));
+        tbl.start_running(TxnId(1));
+        tbl.complete(TxnId(1), at(7), units(3));
+        // K1 remaining = {T3}: rep is T3 itself.
+        let r = wfs.representative(WfId(1), &tbl).unwrap();
+        assert_eq!(r.deadline, at(9));
+        assert_eq!(r.remaining, units(1));
+        assert_eq!(r.weight, Weight(5));
+    }
+
+    #[test]
+    fn representative_slack_and_edf_membership() {
+        let mut tbl = stock_table();
+        let wfs = WorkflowSet::build(&tbl);
+        for t in 0..4 {
+            tbl.arrive(TxnId(t), at(0));
+        }
+        let r = wfs.representative(WfId(1), &tbl).unwrap();
+        // d_rep=9, r_rep=1: feasible until t=8.
+        assert!(r.can_meet_deadline(at(8)));
+        assert!(!r.can_meet_deadline(at(9)));
+        assert_eq!(r.slack(at(3)).as_units(), 5.0);
+    }
+
+    #[test]
+    fn head_is_the_ready_frontier() {
+        let mut tbl = stock_table();
+        let wfs = WorkflowSet::build(&tbl);
+        for t in 0..4 {
+            tbl.arrive(TxnId(t), at(0));
+        }
+        // Only T0 (the leaf) is ready.
+        assert_eq!(wfs.heads(WfId(1), &tbl), vec![TxnId(0)]);
+        assert_eq!(wfs.head(WfId(1), &tbl, HeadRule::EarliestDeadline), Some(TxnId(0)));
+        // Complete T0 and T1: now T2 and T3 are ready, and K0/K1 have
+        // distinct heads.
+        tbl.start_running(TxnId(0));
+        tbl.complete(TxnId(0), at(4), units(4));
+        tbl.start_running(TxnId(1));
+        tbl.complete(TxnId(1), at(7), units(3));
+        assert_eq!(wfs.head(WfId(0), &tbl, HeadRule::EarliestDeadline), Some(TxnId(2)));
+        assert_eq!(wfs.head(WfId(1), &tbl, HeadRule::EarliestDeadline), Some(TxnId(3)));
+    }
+
+    #[test]
+    fn head_rules_disagree_on_multi_ready_workflows() {
+        // One root T2 depending on two ready leaves with opposite orderings:
+        // T0: d=5,  r=4, w=1  (earlier deadline, low density 0.25)
+        // T1: d=30, r=1, w=8  (later deadline, high density 8)
+        let mut tbl = TxnTable::new(vec![
+            spec(0, 5, 4, 1, vec![]),
+            spec(0, 30, 1, 8, vec![]),
+            spec(0, 40, 1, 1, vec![TxnId(0), TxnId(1)]),
+        ])
+        .unwrap();
+        let wfs = WorkflowSet::build(&tbl);
+        for t in 0..3 {
+            tbl.arrive(TxnId(t), at(0));
+        }
+        let w = WfId(0);
+        assert_eq!(wfs.head(w, &tbl, HeadRule::EarliestDeadline), Some(TxnId(0)));
+        assert_eq!(wfs.head(w, &tbl, HeadRule::HighestDensity), Some(TxnId(1)));
+        assert_eq!(wfs.head(w, &tbl, HeadRule::FirstById), Some(TxnId(0)));
+    }
+
+    #[test]
+    fn no_head_when_nothing_ready() {
+        let tbl = stock_table();
+        let wfs = WorkflowSet::build(&tbl);
+        assert_eq!(wfs.head(WfId(0), &tbl, HeadRule::default()), None);
+        assert!(wfs.heads(WfId(0), &tbl).is_empty());
+    }
+
+    #[test]
+    fn is_finished_tracks_completion() {
+        let mut tbl = TxnTable::new(vec![spec(0, 10, 1, 1, vec![])]).unwrap();
+        let wfs = WorkflowSet::build(&tbl);
+        assert!(!wfs.is_finished(WfId(0), &tbl));
+        tbl.arrive(TxnId(0), at(0));
+        tbl.start_running(TxnId(0));
+        tbl.complete(TxnId(0), at(1), units(1));
+        assert!(wfs.is_finished(WfId(0), &tbl));
+    }
+
+    #[test]
+    fn denser_cross_multiplication() {
+        let mut tbl = TxnTable::new(vec![
+            spec(0, 100, 3, 6, vec![]), // density 2
+            spec(0, 100, 2, 5, vec![]), // density 2.5
+            spec(0, 100, 4, 8, vec![]), // density 2
+        ])
+        .unwrap();
+        for t in 0..3 {
+            tbl.arrive(TxnId(t), at(0));
+        }
+        assert!(denser(&tbl, TxnId(1), TxnId(0)));
+        assert!(!denser(&tbl, TxnId(0), TxnId(1)));
+        assert!(!denser(&tbl, TxnId(0), TxnId(2)), "equal density is not strictly denser");
+    }
+
+    #[test]
+    fn independent_batch_yields_singleton_workflows() {
+        let tbl = TxnTable::new(vec![
+            spec(0, 10, 1, 1, vec![]),
+            spec(0, 10, 1, 1, vec![]),
+        ])
+        .unwrap();
+        let wfs = WorkflowSet::build(&tbl);
+        assert_eq!(wfs.len(), 2);
+        for w in wfs.ids() {
+            assert_eq!(wfs.members(w).len(), 1);
+        }
+    }
+}

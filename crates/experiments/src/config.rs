@@ -1,0 +1,166 @@
+//! Experiment configuration.
+//!
+//! Every figure runner takes an [`ExpConfig`] controlling the sweep
+//! resolution and the averaging protocol. The default is the paper protocol
+//! (1000 transactions, five seeds, utilization 0.1…1.0 in steps of 0.1);
+//! `quick()` is a scaled-down version for smoke tests and CI.
+
+use asets_workload::PAPER_SEEDS;
+use serde::{Deserialize, Serialize};
+
+/// Global experiment knobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExpConfig {
+    /// Seeds to average over (paper: five runs).
+    pub seeds: Vec<u64>,
+    /// Batch size per run (paper: 1000).
+    pub n_txns: usize,
+    /// Utilization sweep points for the U-axis figures.
+    pub utilizations: Vec<f64>,
+}
+
+impl ExpConfig {
+    /// The paper's evaluation protocol (§IV-A).
+    pub fn paper() -> ExpConfig {
+        ExpConfig {
+            seeds: PAPER_SEEDS.to_vec(),
+            n_txns: 1000,
+            utilizations: (1..=10).map(|i| i as f64 / 10.0).collect(),
+        }
+    }
+
+    /// A scaled-down protocol for smoke tests: 2 seeds, 200 transactions,
+    /// three utilization points.
+    pub fn quick() -> ExpConfig {
+        ExpConfig {
+            seeds: vec![101, 202],
+            n_txns: 200,
+            utilizations: vec![0.3, 0.6, 0.9],
+        }
+    }
+
+    /// Restrict the sweep to utilizations within `[lo, hi]` (inclusive).
+    pub fn with_util_range(mut self, lo: f64, hi: f64) -> ExpConfig {
+        self.utilizations.retain(|&u| u >= lo - 1e-9 && u <= hi + 1e-9);
+        self
+    }
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        ExpConfig::paper()
+    }
+}
+
+/// Identifier of every table/figure the harness can regenerate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FigureId {
+    /// Table I: generator audit.
+    Table1,
+    /// Fig. 8: avg tardiness, low utilization.
+    Fig8,
+    /// Fig. 9: avg tardiness, high utilization.
+    Fig9,
+    /// Fig. 10: normalized avg tardiness, k_max = 3.
+    Fig10,
+    /// Fig. 11: normalized, k_max = 1.
+    Fig11,
+    /// Fig. 12: normalized, k_max = 2.
+    Fig12,
+    /// Fig. 13: normalized, k_max = 4.
+    Fig13,
+    /// §IV-C text experiment: crossover vs Zipf α.
+    AlphaSweep,
+    /// Fig. 14: workflow level, ASETS\* vs Ready.
+    Fig14,
+    /// Fig. 15: general case, weighted tardiness.
+    Fig15,
+    /// Fig. 16: balance-aware max weighted tardiness vs activation rate.
+    Fig16,
+    /// Fig. 17: balance-aware avg weighted tardiness vs activation rate.
+    Fig17,
+    /// Design-decision ablations (impact rule, head rule, submission model).
+    Ablations,
+    /// Extension: fragment-cache TTL on the stock application.
+    CacheTtl,
+    /// Extension: deadline-miss ratio across policies (the §V metric).
+    MissRatio,
+}
+
+impl FigureId {
+    /// All figures, in paper order.
+    pub const ALL: [FigureId; 15] = [
+        FigureId::Table1,
+        FigureId::Fig8,
+        FigureId::Fig9,
+        FigureId::Fig10,
+        FigureId::Fig11,
+        FigureId::Fig12,
+        FigureId::Fig13,
+        FigureId::AlphaSweep,
+        FigureId::Fig14,
+        FigureId::Fig15,
+        FigureId::Fig16,
+        FigureId::Fig17,
+        FigureId::Ablations,
+        FigureId::CacheTtl,
+        FigureId::MissRatio,
+    ];
+
+    /// CLI name (`repro <name>`).
+    pub fn name(self) -> &'static str {
+        match self {
+            FigureId::Table1 => "table1",
+            FigureId::Fig8 => "fig8",
+            FigureId::Fig9 => "fig9",
+            FigureId::Fig10 => "fig10",
+            FigureId::Fig11 => "fig11",
+            FigureId::Fig12 => "fig12",
+            FigureId::Fig13 => "fig13",
+            FigureId::AlphaSweep => "alpha",
+            FigureId::Fig14 => "fig14",
+            FigureId::Fig15 => "fig15",
+            FigureId::Fig16 => "fig16",
+            FigureId::Fig17 => "fig17",
+            FigureId::Ablations => "ablations",
+            FigureId::CacheTtl => "cache",
+            FigureId::MissRatio => "missratio",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn parse(s: &str) -> Option<FigureId> {
+        FigureId::ALL.into_iter().find(|f| f.name() == s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_protocol_matches_table_i() {
+        let c = ExpConfig::paper();
+        assert_eq!(c.seeds.len(), 5);
+        assert_eq!(c.n_txns, 1000);
+        assert_eq!(c.utilizations.len(), 10);
+        assert_eq!(c.utilizations[0], 0.1);
+        assert_eq!(c.utilizations[9], 1.0);
+    }
+
+    #[test]
+    fn util_range_filter() {
+        let c = ExpConfig::paper().with_util_range(0.1, 0.5);
+        assert_eq!(c.utilizations, vec![0.1, 0.2, 0.3, 0.4, 0.5]);
+        let c = ExpConfig::paper().with_util_range(0.6, 1.0);
+        assert_eq!(c.utilizations.len(), 5);
+    }
+
+    #[test]
+    fn figure_names_round_trip() {
+        for f in FigureId::ALL {
+            assert_eq!(FigureId::parse(f.name()), Some(f));
+        }
+        assert_eq!(FigureId::parse("nope"), None);
+    }
+}

@@ -1,0 +1,116 @@
+//! The §IV-C prose experiment: transaction-length skewness.
+//!
+//! The paper omits the plots "due to space limitations" but reports two
+//! findings, both reproduced here: (1) ASETS\* outperforms EDF and SRPT at
+//! every utilization for every α, and (2) "the more skewed the transaction
+//! length distribution, the earlier (i.e., at lower utilization) the
+//! cross-over point between EDF and SRPT".
+
+use crate::config::ExpConfig;
+use crate::figures::fig10_13::crossover_utilization;
+use crate::report::Report;
+use crate::sweep::run_grid;
+use asets_core::policy::PolicyKind;
+use asets_workload::TableISpec;
+
+/// The α values swept (paper default 0.5 in the middle).
+pub const ALPHAS: [f64; 4] = [0.0, 0.5, 1.0, 1.5];
+
+/// Run the α sweep: rows are α values; columns are the EDF/SRPT crossover
+/// utilization and the worst-case (max over U) ASETS\* normalized ratios.
+pub fn run(cfg: &ExpConfig) -> Report {
+    let mut report = Report::new(
+        "alpha-sweep (§IV-C prose) — crossover and ASETS* dominance vs Zipf skew (k_max=3)",
+        "alpha",
+        vec![
+            "crossover_util".into(),
+            "max ASETS*/EDF".into(),
+            "max ASETS*/SRPT".into(),
+        ],
+    );
+    for &alpha in &ALPHAS {
+        let inner = per_alpha(cfg, alpha);
+        let cross = crossover_utilization(&inner).unwrap_or(f64::NAN);
+        let max_ratio = |name: &str| {
+            inner
+                .series(name)
+                .unwrap()
+                .into_iter()
+                .filter(|v| !v.is_nan())
+                .fold(f64::NEG_INFINITY, f64::max)
+        };
+        report.push_row(
+            alpha,
+            vec![cross, max_ratio("ASETS*/EDF"), max_ratio("ASETS*/SRPT")],
+        );
+    }
+    report.note("expected: crossover_util non-increasing in alpha; ratios <= ~1".to_string());
+    report
+}
+
+/// The full per-α utilization sweep (also used by the tests).
+pub fn per_alpha(cfg: &ExpConfig, alpha: f64) -> Report {
+    let mut report = Report::new(
+        format!("avg tardiness sweep at alpha={alpha}"),
+        "util",
+        vec![
+            "EDF".into(),
+            "SRPT".into(),
+            "ASETS*".into(),
+            "ASETS*/EDF".into(),
+            "ASETS*/SRPT".into(),
+        ],
+    );
+    let pols = [PolicyKind::Edf, PolicyKind::Srpt, PolicyKind::asets_star()];
+    let points: Vec<(TableISpec, PolicyKind)> = cfg
+        .utilizations
+        .iter()
+        .flat_map(|&u| {
+            let spec =
+                TableISpec { n_txns: cfg.n_txns, alpha, ..TableISpec::transaction_level(u) };
+            pols.iter().map(move |&p| (spec, p))
+        })
+        .collect();
+    let results = run_grid(&points, &cfg.seeds).expect("valid spec");
+    for (i, &u) in cfg.utilizations.iter().enumerate() {
+        let edf = results[i * 3].avg_tardiness;
+        let srpt = results[i * 3 + 1].avg_tardiness;
+        let asets = results[i * 3 + 2].avg_tardiness;
+        let norm = |den: f64| if den > 1e-9 { asets / den } else { f64::NAN };
+        report.push_row(u, vec![edf, srpt, asets, norm(edf), norm(srpt)]);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_one_row_per_alpha() {
+        let cfg = ExpConfig { seeds: vec![101], n_txns: 120, utilizations: vec![0.4, 0.8] };
+        let r = run(&cfg);
+        assert_eq!(r.rows.len(), ALPHAS.len());
+    }
+
+    #[test]
+    fn asets_dominates_for_extreme_skews() {
+        let cfg = ExpConfig {
+            seeds: vec![101, 202],
+            n_txns: 250,
+            utilizations: vec![0.3, 0.7, 1.0],
+        };
+        for alpha in [0.0, 1.5] {
+            let inner = per_alpha(&cfg, alpha);
+            let edf = inner.series("EDF").unwrap();
+            let srpt = inner.series("SRPT").unwrap();
+            let asets = inner.series("ASETS*").unwrap();
+            for i in 0..asets.len() {
+                assert!(
+                    asets[i] <= edf[i].min(srpt[i]) * 1.08 + 1e-6,
+                    "alpha={alpha}, point {i}"
+                );
+            }
+        }
+    }
+}

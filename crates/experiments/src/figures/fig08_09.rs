@@ -1,0 +1,134 @@
+//! Figures 8 & 9 — average tardiness vs. system utilization at the
+//! transaction level (α = 0.5, k_max = 3.0), five policies: FCFS, EDF,
+//! SRPT, LS, ASETS\*.
+//!
+//! The paper splits the utilization axis across two figures "to zoom in":
+//! Fig. 8 covers 0.1–0.5 (EDF territory), Fig. 9 covers 0.6–1.0 (where
+//! SRPT overtakes EDF and ASETS\* gains most, ~30% at the crossover).
+
+use crate::config::ExpConfig;
+use crate::report::{improvement_pct, Report};
+use crate::sweep::run_grid;
+use asets_core::policy::PolicyKind;
+use asets_workload::TableISpec;
+
+/// The five §IV-C policies, in the paper's order. At the transaction level
+/// (no dependencies, unit weights) the full workflow-level ASETS\* policy
+/// reduces exactly to transaction-level ASETS; we run the full policy so the
+/// figure exercises the same code path as Figs. 14–17.
+pub fn policies() -> Vec<(PolicyKind, &'static str)> {
+    vec![
+        (PolicyKind::Fcfs, "FCFS"),
+        (PolicyKind::Edf, "EDF"),
+        (PolicyKind::Srpt, "SRPT"),
+        (PolicyKind::LeastSlack, "LS"),
+        (PolicyKind::asets_star(), "ASETS*"),
+    ]
+}
+
+fn run_range(cfg: &ExpConfig, lo: f64, hi: f64, title: &str) -> Report {
+    let cfg = cfg.clone().with_util_range(lo, hi);
+    let pols = policies();
+    let mut report = Report::new(
+        title,
+        "util",
+        pols.iter().map(|(_, n)| n.to_string()).collect(),
+    );
+    let points: Vec<(TableISpec, PolicyKind)> = cfg
+        .utilizations
+        .iter()
+        .flat_map(|&u| {
+            let spec = TableISpec { n_txns: cfg.n_txns, ..TableISpec::transaction_level(u) };
+            pols.iter().map(move |&(p, _)| (spec, p))
+        })
+        .collect();
+    let results = run_grid(&points, &cfg.seeds).expect("valid Table I spec");
+    for (i, &u) in cfg.utilizations.iter().enumerate() {
+        let row: Vec<f64> = (0..pols.len())
+            .map(|j| results[i * pols.len() + j].avg_tardiness)
+            .collect();
+        report.push_row(u, row);
+    }
+    annotate_shape(&mut report);
+    report
+}
+
+/// Fig. 8: low utilization (0.1–0.5).
+pub fn run_low(cfg: &ExpConfig) -> Report {
+    run_range(cfg, 0.0, 0.55, "Fig. 8 — Avg tardiness, low utilization (alpha=0.5, k_max=3)")
+}
+
+/// Fig. 9: high utilization (0.6–1.0).
+pub fn run_high(cfg: &ExpConfig) -> Report {
+    run_range(cfg, 0.55, 1.01, "Fig. 9 — Avg tardiness, high utilization (alpha=0.5, k_max=3)")
+}
+
+/// Append the paper's qualitative claims as measured notes.
+fn annotate_shape(report: &mut Report) {
+    let (Some(edf), Some(srpt), Some(asets)) =
+        (report.series("EDF"), report.series("SRPT"), report.series("ASETS*"))
+    else {
+        return;
+    };
+    let dominated = edf
+        .iter()
+        .zip(&srpt)
+        .zip(&asets)
+        .filter(|((e, s), a)| **a <= e.min(**s) + 1e-9)
+        .count();
+    report.note(format!(
+        "ASETS* <= min(EDF, SRPT) on {dominated}/{} sweep points",
+        edf.len()
+    ));
+    let best_gain = edf
+        .iter()
+        .zip(&srpt)
+        .zip(&asets)
+        .map(|((e, s), a)| improvement_pct(e.min(*s), *a))
+        .fold(f64::NEG_INFINITY, f64::max);
+    report.note(format!("max improvement over best baseline: {best_gain:.1}%"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_and_high_split_the_axis() {
+        let cfg = ExpConfig {
+            seeds: vec![101],
+            n_txns: 150,
+            utilizations: vec![0.2, 0.5, 0.8],
+        };
+        let low = run_low(&cfg);
+        let high = run_high(&cfg);
+        assert_eq!(low.rows.len(), 2);
+        assert_eq!(high.rows.len(), 1);
+        assert_eq!(low.columns.len(), 5);
+    }
+
+    #[test]
+    fn asets_star_dominates_edf_and_srpt_quick() {
+        let cfg = ExpConfig::quick();
+        let r = run_low(&cfg);
+        let edf = r.series("EDF").unwrap();
+        let srpt = r.series("SRPT").unwrap();
+        let asets = r.series("ASETS*").unwrap();
+        for i in 0..asets.len() {
+            assert!(
+                asets[i] <= edf[i].min(srpt[i]) * 1.05 + 1e-6,
+                "u-point {i}: ASETS* {} vs EDF {} / SRPT {}",
+                asets[i],
+                edf[i],
+                srpt[i]
+            );
+        }
+    }
+
+    #[test]
+    fn notes_are_emitted() {
+        let cfg = ExpConfig { seeds: vec![101], n_txns: 100, utilizations: vec![0.4] };
+        let r = run_low(&cfg);
+        assert!(r.notes.iter().any(|n| n.contains("min(EDF, SRPT)")));
+    }
+}

@@ -1,0 +1,118 @@
+//! Figures 10–13 — ASETS\* average tardiness *normalized* to EDF and to
+//! SRPT, for slack-factor bounds k_max ∈ {3, 1, 2, 4} respectively.
+//!
+//! Paper shapes: the normalized curves sit at or below 1.0 everywhere; the
+//! EDF-vs-SRPT crossover (where the two normalization denominators swap
+//! which is smaller) moves **right** as k_max grows — looser deadlines let
+//! EDF cope with higher utilization.
+
+use crate::config::ExpConfig;
+use crate::report::Report;
+use crate::sweep::run_grid;
+use asets_core::policy::PolicyKind;
+use asets_workload::TableISpec;
+
+/// Run the normalized-tardiness figure for one `k_max`.
+pub fn run(cfg: &ExpConfig, k_max: f64) -> Report {
+    let fig = match k_max as u32 {
+        3 => "Fig. 10",
+        1 => "Fig. 11",
+        2 => "Fig. 12",
+        4 => "Fig. 13",
+        _ => "Fig. 10-13 (custom k_max)",
+    };
+    let mut report = Report::new(
+        format!("{fig} — Normalized avg tardiness (k_max={k_max})"),
+        "util",
+        vec![
+            "ASETS*/EDF".into(),
+            "ASETS*/SRPT".into(),
+            "EDF".into(),
+            "SRPT".into(),
+            "ASETS*".into(),
+        ],
+    );
+    let pols = [PolicyKind::Edf, PolicyKind::Srpt, PolicyKind::asets_star()];
+    let points: Vec<(TableISpec, PolicyKind)> = cfg
+        .utilizations
+        .iter()
+        .flat_map(|&u| {
+            let spec =
+                TableISpec { n_txns: cfg.n_txns, k_max, ..TableISpec::transaction_level(u) };
+            pols.iter().map(move |&p| (spec, p))
+        })
+        .collect();
+    let results = run_grid(&points, &cfg.seeds).expect("valid spec");
+    for (i, &u) in cfg.utilizations.iter().enumerate() {
+        let edf = results[i * 3].avg_tardiness;
+        let srpt = results[i * 3 + 1].avg_tardiness;
+        let asets = results[i * 3 + 2].avg_tardiness;
+        let norm = |den: f64| if den > 1e-9 { asets / den } else { f64::NAN };
+        report.push_row(u, vec![norm(edf), norm(srpt), edf, srpt, asets]);
+    }
+    if let Some(cross) = crossover_utilization(&report) {
+        report.note(format!("EDF/SRPT crossover at utilization ~{cross:.1}"));
+    } else {
+        report.note("no EDF/SRPT crossover inside the sweep range".to_string());
+    }
+    report
+}
+
+/// The first sweep utilization at which SRPT strictly beats EDF — the
+/// paper's crossover point (moves right with k_max, left with α).
+pub fn crossover_utilization(report: &Report) -> Option<f64> {
+    let edf = report.series("EDF")?;
+    let srpt = report.series("SRPT")?;
+    report
+        .rows
+        .iter()
+        .enumerate()
+        .find(|&(i, _)| srpt[i] < edf[i] && edf[i] > 1e-9)
+        .map(|(_, (u, _))| *u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> ExpConfig {
+        ExpConfig {
+            seeds: vec![101, 202],
+            n_txns: 250,
+            utilizations: vec![0.2, 0.5, 0.8, 1.0],
+        }
+    }
+
+    #[test]
+    fn normalized_ratios_at_or_below_one_with_slack() {
+        let r = run(&tiny_cfg(), 3.0);
+        for (u, row) in &r.rows {
+            for v in &row[..2] {
+                if !v.is_nan() {
+                    assert!(*v <= 1.10, "u={u}: normalized {v} far above 1");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crossover_moves_right_with_k_max() {
+        // Stochastic but robust at these sizes: tighter deadlines push the
+        // crossover earlier.
+        let c1 = crossover_utilization(&run(&tiny_cfg(), 0.5));
+        let c4 = crossover_utilization(&run(&tiny_cfg(), 6.0));
+        match (c1, c4) {
+            (Some(a), Some(b)) => assert!(a <= b, "k_max 0.5 crossover {a} vs 6.0 {b}"),
+            (Some(_), None) => {} // with very loose deadlines EDF never loses: fine
+            other => panic!("unexpected crossover pattern {other:?}"),
+        }
+    }
+
+    #[test]
+    fn title_names_the_right_figure() {
+        let cfg = ExpConfig { seeds: vec![101], n_txns: 60, utilizations: vec![0.5] };
+        assert!(run(&cfg, 1.0).title.contains("Fig. 11"));
+        assert!(run(&cfg, 2.0).title.contains("Fig. 12"));
+        assert!(run(&cfg, 4.0).title.contains("Fig. 13"));
+    }
+}

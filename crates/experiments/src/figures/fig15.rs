@@ -1,0 +1,84 @@
+//! Figure 15 — the general case (§III-C, §IV-E): precedence constraints
+//! *and* weights, objective = average **weighted** tardiness.
+//!
+//! Policies: EDF (best at low load), HDF (optimal once everything is late),
+//! and ASETS\* which must combine the advantages of both — at or below the
+//! envelope min(EDF, HDF) at every utilization.
+
+use crate::config::ExpConfig;
+use crate::report::{improvement_pct, Report};
+use crate::sweep::run_grid;
+use asets_core::policy::PolicyKind;
+use asets_workload::TableISpec;
+
+/// Run Fig. 15.
+pub fn run(cfg: &ExpConfig) -> Report {
+    let mut report = Report::new(
+        "Fig. 15 — Avg weighted tardiness, general case (workflows + weights 1–10)",
+        "util",
+        vec!["EDF".into(), "HDF".into(), "ASETS*".into()],
+    );
+    let pols = [PolicyKind::Edf, PolicyKind::Hdf, PolicyKind::asets_star()];
+    let points: Vec<(TableISpec, PolicyKind)> = cfg
+        .utilizations
+        .iter()
+        .flat_map(|&u| {
+            let spec = TableISpec { n_txns: cfg.n_txns, ..TableISpec::general_case(u) };
+            pols.iter().map(move |&p| (spec, p))
+        })
+        .collect();
+    let results = run_grid(&points, &cfg.seeds).expect("valid spec");
+    let mut dominated = 0usize;
+    let mut best_gain = f64::NEG_INFINITY;
+    for (i, &u) in cfg.utilizations.iter().enumerate() {
+        let edf = results[i * 3].avg_weighted_tardiness;
+        let hdf = results[i * 3 + 1].avg_weighted_tardiness;
+        let asets = results[i * 3 + 2].avg_weighted_tardiness;
+        if asets <= edf.min(hdf) + 1e-9 {
+            dominated += 1;
+        }
+        best_gain = best_gain.max(improvement_pct(edf.min(hdf), asets));
+        report.push_row(u, vec![edf, hdf, asets]);
+    }
+    report.note(format!(
+        "ASETS* <= min(EDF, HDF) on {dominated}/{} points; max improvement {best_gain:.1}%",
+        cfg.utilizations.len()
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asets_star_combines_edf_and_hdf() {
+        let cfg = ExpConfig {
+            seeds: vec![101, 202],
+            n_txns: 300,
+            utilizations: vec![0.3, 0.7, 1.0],
+        };
+        let r = run(&cfg);
+        let edf = r.series("EDF").unwrap();
+        let hdf = r.series("HDF").unwrap();
+        let asets = r.series("ASETS*").unwrap();
+        for i in 0..asets.len() {
+            assert!(
+                asets[i] <= edf[i].min(hdf[i]) * 1.08 + 1e-6,
+                "point {i}: ASETS* {} vs EDF {} / HDF {}",
+                asets[i],
+                edf[i],
+                hdf[i]
+            );
+        }
+    }
+
+    #[test]
+    fn hdf_beats_edf_under_overload() {
+        let cfg = ExpConfig { seeds: vec![101, 202], n_txns: 400, utilizations: vec![1.0] };
+        let r = run(&cfg);
+        let edf = r.series("EDF").unwrap()[0];
+        let hdf = r.series("HDF").unwrap()[0];
+        assert!(hdf < edf, "at U=1.0 HDF ({hdf}) must beat EDF ({edf})");
+    }
+}

@@ -1,0 +1,149 @@
+//! Figures 16 & 17 — balance-aware ASETS\* (§III-D, §IV-F): the trade-off
+//! between worst-case (maximum weighted tardiness, Fig. 16) and
+//! average-case (average weighted tardiness, Fig. 17) performance as the
+//! activation rate grows.
+//!
+//! Sweep: time-based activation rate 0.002 → 0.01 (the paper also sweeps
+//! count-based 0.02 → 0.1 and reports "same behaviour"; both are produced
+//! here). Expected shapes: max weighted tardiness *decreases* with the
+//! rate (paper: up to 27%); average weighted tardiness *increases* slightly
+//! (paper: up to 5%).
+
+use crate::config::ExpConfig;
+use crate::report::{improvement_pct, Report};
+use crate::sweep::run_averaged;
+use asets_core::policy::{ActivationMode, ImpactRule, PolicyKind};
+use asets_workload::TableISpec;
+
+/// Time-based activation rates from the paper.
+pub const TIME_RATES: [f64; 5] = [0.002, 0.004, 0.006, 0.008, 0.01];
+/// Count-based activation rates from the paper.
+pub const COUNT_RATES: [f64; 5] = [0.02, 0.04, 0.06, 0.08, 0.1];
+
+/// The utilization at which the balance study runs (the paper fixes a
+/// single high-load operating point; starvation is a high-load phenomenon).
+pub const BALANCE_UTIL: f64 = 0.9;
+
+struct BalanceSweep {
+    rates: Vec<f64>,
+    base_max: f64,
+    base_avg: f64,
+    max_wt: Vec<f64>,
+    avg_wt: Vec<f64>,
+}
+
+fn sweep(cfg: &ExpConfig, count_based: bool) -> BalanceSweep {
+    let spec = TableISpec { n_txns: cfg.n_txns, ..TableISpec::general_case(BALANCE_UTIL) };
+    let base = run_averaged(&spec, PolicyKind::asets_star(), &cfg.seeds).expect("valid spec");
+    let rates: Vec<f64> =
+        if count_based { COUNT_RATES.to_vec() } else { TIME_RATES.to_vec() };
+    let mut max_wt = Vec::new();
+    let mut avg_wt = Vec::new();
+    for &rate in &rates {
+        let activation = if count_based {
+            ActivationMode::count_rate(rate)
+        } else {
+            ActivationMode::time_rate(rate)
+        };
+        let kind = PolicyKind::BalanceAware { impact: ImpactRule::Paper, activation };
+        let s = run_averaged(&spec, kind, &cfg.seeds).expect("valid spec");
+        max_wt.push(s.max_weighted_tardiness);
+        avg_wt.push(s.avg_weighted_tardiness);
+    }
+    BalanceSweep {
+        rates,
+        base_max: base.max_weighted_tardiness,
+        base_avg: base.avg_weighted_tardiness,
+        max_wt,
+        avg_wt,
+    }
+}
+
+/// Fig. 16: maximum weighted tardiness vs activation rate.
+pub fn run_max(cfg: &ExpConfig) -> Report {
+    run_metric(cfg, false, true)
+}
+
+/// Fig. 17: average weighted tardiness vs activation rate.
+pub fn run_avg(cfg: &ExpConfig) -> Report {
+    run_metric(cfg, false, false)
+}
+
+/// The count-based variants the paper describes in prose.
+pub fn run_count_based(cfg: &ExpConfig) -> (Report, Report) {
+    (run_metric(cfg, true, true), run_metric(cfg, true, false))
+}
+
+fn run_metric(cfg: &ExpConfig, count_based: bool, worst_case: bool) -> Report {
+    let s = sweep(cfg, count_based);
+    let mode = if count_based { "count-based" } else { "time-based" };
+    let (fig, metric, base, series) = if worst_case {
+        ("Fig. 16", "max weighted tardiness", s.base_max, &s.max_wt)
+    } else {
+        ("Fig. 17", "avg weighted tardiness", s.base_avg, &s.avg_wt)
+    };
+    let mut report = Report::new(
+        format!("{fig} — {metric} of balance-aware ASETS* ({mode}, U={BALANCE_UTIL})"),
+        "rate",
+        vec!["ASETS*".into(), "ASETS*-balance".into(), "delta%".into()],
+    );
+    for (i, &rate) in s.rates.iter().enumerate() {
+        let delta = -improvement_pct(base, series[i]);
+        report.push_row(rate, vec![base, series[i], delta]);
+    }
+    if worst_case {
+        let best = series.iter().copied().fold(f64::INFINITY, f64::min);
+        report.note(format!(
+            "worst-case improvement at max rate: {:.1}% (paper: up to 27%)",
+            improvement_pct(base, best)
+        ));
+    } else {
+        let worst = series.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        report.note(format!(
+            "average-case degradation at max rate: {:.1}% (paper: up to 5%)",
+            -improvement_pct(base, worst)
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ExpConfig {
+        ExpConfig { seeds: vec![101, 202], n_txns: 400, utilizations: vec![] }
+    }
+
+    #[test]
+    fn higher_rate_improves_worst_case() {
+        let r = run_max(&cfg());
+        let bal = r.series("ASETS*-balance").unwrap();
+        let base = r.series("ASETS*").unwrap()[0];
+        // At the highest rate the worst case must improve on the baseline.
+        assert!(
+            *bal.last().unwrap() < base,
+            "balance-aware max_wt {} vs baseline {base}",
+            bal.last().unwrap()
+        );
+    }
+
+    #[test]
+    fn average_case_pays_a_bounded_price() {
+        let r = run_avg(&cfg());
+        let bal = r.series("ASETS*-balance").unwrap();
+        let base = r.series("ASETS*").unwrap()[0];
+        for (i, v) in bal.iter().enumerate() {
+            assert!(*v >= base * 0.97, "rate idx {i}: balance better on average?");
+            assert!(*v <= base * 1.35, "rate idx {i}: degradation {v} vs {base} too large");
+        }
+    }
+
+    #[test]
+    fn count_based_shows_same_behaviour() {
+        let (mx, av) = run_count_based(&cfg());
+        let base = mx.series("ASETS*").unwrap()[0];
+        assert!(*mx.series("ASETS*-balance").unwrap().last().unwrap() < base);
+        assert!(!av.rows.is_empty());
+    }
+}

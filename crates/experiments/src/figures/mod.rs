@@ -1,0 +1,67 @@
+//! One module per table/figure of the paper's evaluation (§IV), plus the
+//! α-sweep the paper describes in prose and the design-decision ablations.
+//!
+//! Every module exposes `run(&ExpConfig) -> Report` (or several reports);
+//! [`run_figure`] dispatches by [`FigureId`]. See DESIGN.md §5 for the
+//! experiment index and EXPERIMENTS.md for recorded paper-vs-measured
+//! results.
+
+pub mod ablations;
+pub mod alpha_sweep;
+pub mod cache_ttl;
+pub mod fig08_09;
+pub mod fig10_13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16_17;
+pub mod miss_ratio;
+pub mod table1;
+
+use crate::config::{ExpConfig, FigureId};
+use crate::report::Report;
+
+/// Run one figure and return its report(s).
+pub fn run_figure(id: FigureId, cfg: &ExpConfig) -> Vec<Report> {
+    match id {
+        FigureId::Table1 => vec![table1::run(cfg)],
+        FigureId::Fig8 => vec![fig08_09::run_low(cfg)],
+        FigureId::Fig9 => vec![fig08_09::run_high(cfg)],
+        FigureId::Fig10 => vec![fig10_13::run(cfg, 3.0)],
+        FigureId::Fig11 => vec![fig10_13::run(cfg, 1.0)],
+        FigureId::Fig12 => vec![fig10_13::run(cfg, 2.0)],
+        FigureId::Fig13 => vec![fig10_13::run(cfg, 4.0)],
+        FigureId::AlphaSweep => vec![alpha_sweep::run(cfg)],
+        FigureId::Fig14 => vec![fig14::run(cfg)],
+        FigureId::Fig15 => vec![fig15::run(cfg)],
+        FigureId::Fig16 => {
+            let (count_max, _) = fig16_17::run_count_based(cfg);
+            vec![fig16_17::run_max(cfg), count_max]
+        }
+        FigureId::Fig17 => {
+            let (_, count_avg) = fig16_17::run_count_based(cfg);
+            vec![fig16_17::run_avg(cfg), count_avg]
+        }
+        FigureId::Ablations => ablations::run_all(cfg),
+        FigureId::CacheTtl => vec![cache_ttl::run(cfg)],
+        FigureId::MissRatio => vec![miss_ratio::run(cfg)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Smoke-run every figure at quick resolution; shape assertions live in
+    /// the individual modules and the integration tests.
+    #[test]
+    fn every_figure_runs_quick() {
+        let cfg = ExpConfig::quick();
+        for id in [FigureId::Table1, FigureId::Fig8, FigureId::Fig15] {
+            let reports = run_figure(id, &cfg);
+            assert!(!reports.is_empty());
+            for r in reports {
+                assert!(!r.rows.is_empty(), "{}", r.title);
+            }
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # asets-experiments
+//!
+//! The reproduction harness: regenerates **every table and figure** of the
+//! paper's evaluation (§IV) — Table I, Figures 8–17, the α-sweep the paper
+//! describes in prose, and ablations for the interpretation decisions in
+//! DESIGN.md.
+//!
+//! Run it with the `repro` binary:
+//!
+//! ```text
+//! cargo run --release -p asets-experiments --bin repro -- all
+//! cargo run --release -p asets-experiments --bin repro -- fig9 --csv results/
+//! cargo run --release -p asets-experiments --bin repro -- fig16 --quick
+//! ```
+//!
+//! Each figure module documents the paper's expected shape and records
+//! measured notes in its [`report::Report`]; EXPERIMENTS.md archives a full
+//! paper-vs-measured run.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod figures;
+pub mod report;
+pub mod sweep;
+
+pub use config::{ExpConfig, FigureId};
+pub use report::Report;

@@ -1,0 +1,230 @@
+//! Experiment reports: aligned text tables and CSV output.
+//!
+//! Every figure runner produces a [`Report`] — a titled table whose first
+//! column is the sweep axis (utilization, activation rate, …) and whose
+//! remaining columns are one series per policy/variant, exactly the
+//! rows/series the paper plots.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// One regenerated table/figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// Human title, e.g. `"Fig. 8 — Avg tardiness under low utilization"`.
+    pub title: String,
+    /// What the rows sweep over (x-axis label).
+    pub axis: String,
+    /// Series names (column headers after the axis).
+    pub columns: Vec<String>,
+    /// Rows: `(x, values)`, one value per column (NaN renders as `-`).
+    pub rows: Vec<(f64, Vec<f64>)>,
+    /// Free-form notes appended below the table (observed shape checks,
+    /// paper-vs-measured commentary).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Create an empty report.
+    pub fn new(
+        title: impl Into<String>,
+        axis: impl Into<String>,
+        columns: Vec<String>,
+    ) -> Report {
+        Report {
+            title: title.into(),
+            axis: axis.into(),
+            columns,
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// If the value count does not match the column count.
+    pub fn push_row(&mut self, x: f64, values: Vec<f64>) {
+        assert_eq!(values.len(), self.columns.len(), "row width mismatch");
+        self.rows.push((x, values));
+    }
+
+    /// Append a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// The values of the named series, in row order.
+    pub fn series(&self, column: &str) -> Option<Vec<f64>> {
+        let i = self.columns.iter().position(|c| c == column)?;
+        Some(self.rows.iter().map(|(_, v)| v[i]).collect())
+    }
+
+    /// Render as an aligned text table.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "=== {} ===", self.title);
+        let width = 12usize;
+        let _ = write!(out, "{:>8}", self.axis);
+        for c in &self.columns {
+            let _ = write!(out, " {c:>width$}");
+        }
+        let _ = writeln!(out);
+        for (x, vals) in &self.rows {
+            let _ = write!(out, "{x:>8.3}");
+            for v in vals {
+                if v.is_nan() {
+                    let _ = write!(out, " {:>width$}", "-");
+                } else {
+                    let _ = write!(out, " {v:>width$.4}");
+                }
+            }
+            let _ = writeln!(out);
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "  note: {n}");
+        }
+        out
+    }
+
+    /// Render as a GitHub-flavored markdown table (used to assemble
+    /// EXPERIMENTS.md).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "**{}**\n", self.title);
+        let header: Vec<String> =
+            std::iter::once(self.axis.clone()).chain(self.columns.iter().cloned()).collect();
+        let _ = writeln!(out, "| {} |", header.join(" | "));
+        let _ = writeln!(out, "|{}|", vec!["---"; header.len()].join("|"));
+        for (x, vals) in &self.rows {
+            let mut cells = vec![format!("{x}")];
+            cells.extend(vals.iter().map(|v| {
+                if v.is_nan() {
+                    "–".to_string()
+                } else {
+                    format!("{v:.4}")
+                }
+            }));
+            let _ = writeln!(out, "| {} |", cells.join(" | "));
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "\n*{n}*");
+        }
+        out
+    }
+
+    /// Render as CSV (axis column then series columns; notes as `#` lines).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        for n in &self.notes {
+            let _ = writeln!(out, "# note: {n}");
+        }
+        let header: Vec<String> =
+            std::iter::once(self.axis.clone()).chain(self.columns.iter().cloned()).collect();
+        let _ = writeln!(out, "{}", header.join(","));
+        for (x, vals) in &self.rows {
+            let mut cells = vec![format!("{x}")];
+            cells.extend(vals.iter().map(|v| {
+                if v.is_nan() {
+                    String::new()
+                } else {
+                    format!("{v}")
+                }
+            }));
+            let _ = writeln!(out, "{}", cells.join(","));
+        }
+        out
+    }
+
+    /// Write the CSV next to siblings in `dir` as `<slug>.csv`.
+    pub fn write_csv(&self, dir: &Path, slug: &str) -> io::Result<()> {
+        fs::create_dir_all(dir)?;
+        fs::write(dir.join(format!("{slug}.csv")), self.to_csv())
+    }
+}
+
+/// Relative improvement of `better` over `worse` in percent
+/// (`(worse - better) / worse * 100`); NaN-safe.
+pub fn improvement_pct(worse: f64, better: f64) -> f64 {
+    if worse.abs() < f64::EPSILON {
+        0.0
+    } else {
+        (worse - better) / worse * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report::new("Test", "util", vec!["EDF".into(), "SRPT".into()]);
+        r.push_row(0.1, vec![1.5, 2.5]);
+        r.push_row(0.2, vec![3.0, f64::NAN]);
+        r.note("shape holds");
+        r
+    }
+
+    #[test]
+    fn text_rendering_contains_everything() {
+        let t = sample().to_text();
+        assert!(t.contains("=== Test ==="));
+        assert!(t.contains("EDF"));
+        assert!(t.contains("1.5000"));
+        assert!(t.contains("shape holds"));
+        assert!(t.contains(" -"), "NaN renders as dash");
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let c = sample().to_csv();
+        let lines: Vec<&str> = c.lines().collect();
+        assert_eq!(lines[0], "# Test");
+        assert_eq!(lines[1], "# note: shape holds");
+        assert_eq!(lines[2], "util,EDF,SRPT");
+        assert_eq!(lines[3], "0.1,1.5,2.5");
+        assert_eq!(lines[4], "0.2,3,");
+    }
+
+    #[test]
+    fn series_extraction() {
+        let r = sample();
+        assert_eq!(r.series("EDF"), Some(vec![1.5, 3.0]));
+        assert_eq!(r.series("nope"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        sample().push_row(0.3, vec![1.0]);
+    }
+
+    #[test]
+    fn csv_write_to_disk() {
+        let dir = std::env::temp_dir().join("asets_report_test");
+        sample().write_csv(&dir, "t").unwrap();
+        let body = std::fs::read_to_string(dir.join("t.csv")).unwrap();
+        assert!(body.contains("util,EDF,SRPT"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let md = sample().to_markdown();
+        assert!(md.contains("| util | EDF | SRPT |"));
+        assert!(md.contains("|---|---|---|"));
+        assert!(md.contains("| 0.1 | 1.5000 | 2.5000 |"));
+        assert!(md.contains("| 0.2 | 3.0000 | – |"));
+        assert!(md.contains("*shape holds*"));
+    }
+
+    #[test]
+    fn improvement_math() {
+        assert!((improvement_pct(10.0, 7.0) - 30.0).abs() < 1e-12);
+        assert_eq!(improvement_pct(0.0, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,490 @@
+//! The discrete-event simulation engine.
+//!
+//! Model (paper §II-A, §IV-A): a single backend database server executes one
+//! transaction at a time; service equals the transaction's processing time.
+//! Scheduling is **event-preemptive**: the running transaction can lose the
+//! server only at a scheduling point — a transaction arrival, a transaction
+//! completion, or a policy wake-up (the balance-aware activation timer).
+//! Between events the server runs undisturbed, which is exactly the
+//! invocation model the paper claims for ASETS\*.
+//!
+//! At every scheduling point the engine:
+//!
+//! 1. settles the running transaction — completes it if its remaining time
+//!    elapsed, otherwise *pauses* it (crediting service) and lets the policy
+//!    re-key it;
+//! 2. delivers all arrivals due at this instant;
+//! 3. asks the policy to `select`, dispatching its choice and recording a
+//!    preemption iff the server switched away from a paused transaction.
+//!
+//! The engine is fully deterministic: simultaneous events are processed in
+//! a fixed order and all policy tie-breaks are by transaction id.
+
+use crate::events::{next_event, ArrivalSchedule};
+use crate::stats::{BacklogSample, BacklogSeries, RunStats};
+use crate::trace::{Trace, TraceEvent};
+use asets_core::time::SimDuration;
+use asets_core::txn::TxnPhase;
+use asets_core::dag::DagError;
+use asets_core::metrics::MetricsSummary;
+use asets_core::policy::Scheduler;
+use asets_core::table::TxnTable;
+use asets_core::time::SimTime;
+use asets_core::txn::{TxnId, TxnOutcome, TxnSpec};
+
+/// The currently executing transaction.
+#[derive(Debug, Clone, Copy)]
+struct Running {
+    txn: TxnId,
+    since: SimTime,
+}
+
+/// The outcome of a completed simulation run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Aggregated paper metrics (Definitions 3–5 and companions).
+    pub summary: MetricsSummary,
+    /// Per-transaction outcomes, in id order.
+    pub outcomes: Vec<TxnOutcome>,
+    /// Mechanical run statistics.
+    pub stats: RunStats,
+    /// Execution trace, when recording was requested.
+    pub trace: Option<Trace>,
+    /// Backlog time series, when sampling was requested.
+    pub backlog: Option<BacklogSeries>,
+}
+
+/// A single-server discrete-event simulation of one transaction batch under
+/// one policy.
+pub struct Engine<S> {
+    table: TxnTable,
+    policy: S,
+    arrivals: ArrivalSchedule,
+    now: SimTime,
+    last_event: SimTime,
+    running: Option<Running>,
+    stats: RunStats,
+    trace: Option<Trace>,
+    backlog: Option<(SimDuration, SimTime, BacklogSeries)>,
+}
+
+impl<S: Scheduler> Engine<S> {
+    /// Build an engine over a validated batch.
+    pub fn new(specs: Vec<TxnSpec>, policy: S) -> Result<Self, DagError> {
+        let arrivals = ArrivalSchedule::new(&specs);
+        let table = TxnTable::new(specs)?;
+        Ok(Engine {
+            table,
+            policy,
+            arrivals,
+            now: SimTime::ZERO,
+            last_event: SimTime::ZERO,
+            running: None,
+            stats: RunStats::default(),
+            trace: None,
+            backlog: None,
+        })
+    }
+
+    /// Enable trace recording (off by default; traces are large).
+    pub fn with_trace(mut self) -> Self {
+        self.trace = Some(Trace::default());
+        self
+    }
+
+    /// Record a backlog sample at scheduling points, at most once per
+    /// `interval` of simulated time.
+    pub fn with_backlog_sampling(mut self, interval: SimDuration) -> Self {
+        assert!(!interval.is_zero(), "sampling interval must be positive");
+        self.backlog = Some((interval, SimTime::ZERO, BacklogSeries::default()));
+        self
+    }
+
+    /// Read access to the table mid-run (used by tests).
+    pub fn table(&self) -> &TxnTable {
+        &self.table
+    }
+
+    /// The policy driving this engine.
+    pub fn policy(&self) -> &S {
+        &self.policy
+    }
+
+    /// Run to completion of every transaction and report.
+    ///
+    /// # Panics
+    /// If the policy stalls (returns `None` while transactions are ready) or
+    /// selects a non-ready transaction — both are policy bugs, not workload
+    /// conditions, so they fail loudly.
+    pub fn run(mut self) -> SimResult {
+        while !self.table.all_completed() {
+            let completion = self.running.map(|r| r.since + self.table.remaining(r.txn));
+            let arrival = self.arrivals.peek_time();
+            let wakeup = self.policy.next_wakeup(self.now).filter(|&w| w > self.now);
+            let Some((t, _kind)) = next_event(completion, arrival, wakeup) else {
+                panic!(
+                    "simulation stalled at {} with {}/{} completed: policy `{}` \
+                     left ready transactions unscheduled",
+                    self.now,
+                    self.table.completed_count(),
+                    self.table.len(),
+                    self.policy.name()
+                );
+            };
+            debug_assert!(t >= self.now, "time went backwards");
+            self.step_to(t);
+        }
+        debug_assert!(self.arrivals.exhausted());
+        let outcomes = self.table.outcomes();
+        SimResult {
+            summary: MetricsSummary::from_outcomes(&outcomes),
+            outcomes,
+            stats: self.stats,
+            trace: self.trace,
+            backlog: self.backlog.map(|(_, _, series)| series),
+        }
+    }
+
+    /// Process the scheduling point at instant `t`.
+    fn step_to(&mut self, t: SimTime) {
+        self.now = t;
+
+        // 1. Settle the server.
+        let prev_alive = match self.running.take() {
+            Some(r) => {
+                let served = t - r.since;
+                self.stats.busy += served;
+                if served == self.table.remaining(r.txn) {
+                    let released = self.table.complete(r.txn, t, served);
+                    self.stats.completed += 1;
+                    self.stats.makespan = t;
+                    self.record(TraceEvent::Completed {
+                        at: t,
+                        txn: r.txn,
+                        met_deadline: t <= self.table.deadline(r.txn),
+                    });
+                    self.policy.on_complete(r.txn, &self.table, t);
+                    for d in released {
+                        self.policy.on_ready(d, &self.table, t);
+                    }
+                    None
+                } else {
+                    self.table.pause(r.txn, served);
+                    self.policy.on_requeue(r.txn, &self.table, t);
+                    Some(r.txn)
+                }
+            }
+            None => {
+                self.stats.idle += t - self.last_event;
+                None
+            }
+        };
+        self.last_event = t;
+
+        // 2. Deliver arrivals due now.
+        for id in self.arrivals.pop_due(t) {
+            let ready = self.table.arrive(id, t);
+            self.record(TraceEvent::Arrived { at: t, txn: id, ready });
+            if ready {
+                self.policy.on_ready(id, &self.table, t);
+            } else {
+                self.policy.on_blocked_arrival(id, &self.table, t);
+            }
+        }
+
+        // 3. Sample backlog if due.
+        self.sample_backlog(t);
+
+        // 4. Select and dispatch.
+        self.stats.scheduling_points += 1;
+        match self.policy.select(&self.table, t) {
+            Some(choice) => {
+                assert!(
+                    self.table.state(choice).is_ready(),
+                    "policy `{}` selected non-ready {choice}",
+                    self.policy.name()
+                );
+                if prev_alive != Some(choice) {
+                    if let Some(p) = prev_alive {
+                        self.table.record_preemption(p);
+                        self.stats.preemptions += 1;
+                        self.record(TraceEvent::Preempted { at: t, txn: p, by: choice });
+                    }
+                    self.record(TraceEvent::Dispatched { at: t, txn: choice });
+                }
+                self.table.start_running(choice);
+                self.stats.dispatches += 1;
+                self.running = Some(Running { txn: choice, since: t });
+            }
+            None => {
+                assert!(
+                    prev_alive.is_none(),
+                    "policy `{}` returned None while {} is paused with work left",
+                    self.policy.name(),
+                    prev_alive.expect("checked Some")
+                );
+                debug_assert!(
+                    self.table.ready_ids().is_empty(),
+                    "policy `{}` returned None with ready transactions pending",
+                    self.policy.name()
+                );
+            }
+        }
+    }
+
+    /// Take a backlog sample at `t` if the sampling interval elapsed.
+    fn sample_backlog(&mut self, t: SimTime) {
+        let Some((interval, next_at, series)) = &mut self.backlog else {
+            return;
+        };
+        if t < *next_at {
+            return;
+        }
+        *next_at = t + *interval;
+        let mut ready = 0u32;
+        let mut blocked = 0u32;
+        let mut infeasible = 0u32;
+        for id in self.table.ids() {
+            match self.table.state(id).phase {
+                TxnPhase::Ready | TxnPhase::Running => {
+                    ready += 1;
+                    if !self.table.can_meet_deadline(id, t) {
+                        infeasible += 1;
+                    }
+                }
+                TxnPhase::Blocked => blocked += 1,
+                _ => {}
+            }
+        }
+        series.samples.push(BacklogSample { at: t, ready, blocked, infeasible });
+    }
+
+    fn record(&mut self, e: TraceEvent) {
+        if let Some(trace) = &mut self.trace {
+            trace.events.push(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asets_core::policy::{Edf, Fcfs, Srpt};
+    use asets_core::time::SimDuration;
+    use asets_core::txn::Weight;
+
+    fn at(u: u64) -> SimTime {
+        SimTime::from_units_int(u)
+    }
+    fn units(u: u64) -> SimDuration {
+        SimDuration::from_units_int(u)
+    }
+    fn ind(arr: u64, dl: u64, len: u64) -> TxnSpec {
+        TxnSpec::independent(at(arr), at(dl), units(len), Weight::ONE)
+    }
+
+    #[test]
+    fn single_txn_runs_immediately() {
+        let r = Engine::new(vec![ind(0, 10, 4)], Fcfs::new()).unwrap().with_trace().run();
+        assert_eq!(r.outcomes.len(), 1);
+        assert_eq!(r.outcomes[0].finish, at(4));
+        assert_eq!(r.summary.avg_tardiness, 0.0);
+        assert_eq!(r.stats.makespan, at(4));
+        assert_eq!(r.stats.preemptions, 0);
+        assert_eq!(r.stats.busy, units(4));
+        assert_eq!(r.stats.idle, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn fcfs_never_preempts() {
+        // Short urgent txn arrives mid-service of a long one: FCFS ignores it.
+        let r = Engine::new(vec![ind(0, 100, 10), ind(2, 3, 1)], Fcfs::new())
+            .unwrap()
+            .with_trace()
+            .run();
+        assert_eq!(r.stats.preemptions, 0);
+        assert_eq!(r.outcomes[0].finish, at(10));
+        assert_eq!(r.outcomes[1].finish, at(11));
+        assert_eq!(r.outcomes[1].tardiness(), units(8));
+    }
+
+    #[test]
+    fn srpt_preempts_on_shorter_arrival() {
+        let r = Engine::new(vec![ind(0, 100, 10), ind(2, 100, 1)], Srpt::new())
+            .unwrap()
+            .with_trace()
+            .run();
+        assert_eq!(r.stats.preemptions, 1);
+        let trace = r.trace.unwrap();
+        assert_eq!(trace.completion_order(), vec![TxnId(1), TxnId(0)]);
+        assert_eq!(r.outcomes[1].finish, at(3));
+        assert_eq!(r.outcomes[0].finish, at(11), "work-conserving: 10 + 1 total");
+    }
+
+    #[test]
+    fn srpt_does_not_preempt_for_longer_arrival() {
+        // Running has r=3 left when a len-5 txn arrives: no switch.
+        let r = Engine::new(vec![ind(0, 100, 10), ind(7, 100, 5)], Srpt::new())
+            .unwrap()
+            .run();
+        assert_eq!(r.stats.preemptions, 0);
+        assert_eq!(r.outcomes[0].finish, at(10));
+    }
+
+    /// Paper Example 1 / Fig. 2(a): a case where EDF beats SRPT.
+    /// T1: d=6, r=5; T2: d=7, r=2, both at t=0.
+    /// EDF: T1 first -> T1 at 5 (on time), T2 at 7 (on time): tardiness 0.
+    /// SRPT: T2 first -> T2 at 2, T1 at 7: tardiness 1.
+    #[test]
+    fn example1_edf_beats_srpt() {
+        let specs = vec![ind(0, 6, 5), ind(0, 7, 2)];
+        let edf = Engine::new(specs.clone(), Edf::new()).unwrap().run();
+        let srpt = Engine::new(specs, Srpt::new()).unwrap().run();
+        assert_eq!(edf.summary.total_tardiness, 0.0);
+        assert_eq!(srpt.summary.total_tardiness, 1.0);
+    }
+
+    /// Paper Example 1 / Fig. 2(b): a case where SRPT beats EDF.
+    /// T1: d=1, r=5 (hopeless); T2: d=4, r=2.
+    /// EDF: T1 first (earlier deadline, already missed) -> T1 at 5 (t=4),
+    /// T2 at 7 (t=3): total 7. SRPT: T2 at 2 (on time), T1 at 7 (t=6): 6.
+    #[test]
+    fn example1_srpt_beats_edf() {
+        let specs = vec![ind(0, 1, 5), ind(0, 4, 2)];
+        let edf = Engine::new(specs.clone(), Edf::new()).unwrap().run();
+        let srpt = Engine::new(specs, Srpt::new()).unwrap().run();
+        assert_eq!(edf.summary.total_tardiness, 7.0);
+        assert_eq!(srpt.summary.total_tardiness, 6.0);
+        assert!(srpt.summary.total_tardiness < edf.summary.total_tardiness);
+    }
+
+    #[test]
+    fn idle_gaps_are_accounted() {
+        let r = Engine::new(vec![ind(0, 10, 2), ind(7, 20, 3)], Fcfs::new()).unwrap().run();
+        assert_eq!(r.stats.busy, units(5));
+        assert_eq!(r.stats.idle, units(5), "gap from 2 to 7");
+        assert_eq!(r.stats.makespan, at(10));
+    }
+
+    #[test]
+    fn dependencies_execute_in_order_with_fcfs() {
+        // T1 depends on T0 but arrives first; FCFS must not run it early.
+        let specs = vec![
+            TxnSpec { deps: vec![], ..ind(5, 30, 2) },
+            TxnSpec { deps: vec![TxnId(0)], ..ind(0, 10, 2) },
+        ];
+        let r = Engine::new(specs, Fcfs::new()).unwrap().with_trace().run();
+        let trace = r.trace.unwrap();
+        assert_eq!(trace.completion_order(), vec![TxnId(0), TxnId(1)]);
+        assert_eq!(r.outcomes[0].finish, at(7));
+        assert_eq!(r.outcomes[1].finish, at(9));
+    }
+
+    #[test]
+    fn chain_release_is_immediate() {
+        // T0 -> T1 -> T2, all at t=0: must run back-to-back.
+        let specs = vec![
+            ind(0, 100, 2),
+            TxnSpec { deps: vec![TxnId(0)], ..ind(0, 100, 3) },
+            TxnSpec { deps: vec![TxnId(1)], ..ind(0, 100, 4) },
+        ];
+        let r = Engine::new(specs, Edf::new()).unwrap().run();
+        assert_eq!(r.stats.makespan, at(9));
+        assert_eq!(r.stats.idle, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn work_conservation_across_policies() {
+        // Same batch, all-busy horizon: every policy finishes at the same
+        // makespan (the server never idles while work is pending).
+        let specs = vec![ind(0, 5, 4), ind(1, 9, 3), ind(2, 4, 2), ind(3, 30, 5)];
+        let m_fcfs = Engine::new(specs.clone(), Fcfs::new()).unwrap().run().stats.makespan;
+        let m_edf = Engine::new(specs.clone(), Edf::new()).unwrap().run().stats.makespan;
+        let m_srpt = Engine::new(specs, Srpt::new()).unwrap().run().stats.makespan;
+        assert_eq!(m_fcfs, at(14));
+        assert_eq!(m_edf, at(14));
+        assert_eq!(m_srpt, at(14));
+    }
+
+    #[test]
+    fn simultaneous_arrivals_tie_break_by_policy_key() {
+        let r = Engine::new(vec![ind(0, 9, 3), ind(0, 4, 3)], Edf::new())
+            .unwrap()
+            .with_trace()
+            .run();
+        let trace = r.trace.unwrap();
+        assert_eq!(trace.completion_order(), vec![TxnId(1), TxnId(0)]);
+    }
+
+    #[test]
+    fn empty_batch_completes_trivially() {
+        let r = Engine::new(vec![], Fcfs::new()).unwrap().run();
+        assert_eq!(r.outcomes.len(), 0);
+        assert_eq!(r.stats.scheduling_points, 0);
+    }
+
+    #[test]
+    fn zero_length_transactions_complete_instantly() {
+        // A zero-length transaction (legal at the type level, never emitted
+        // by the generators) completes at its dispatch instant without
+        // wedging the event loop.
+        let specs = vec![
+            TxnSpec::independent(at(0), at(5), SimDuration::ZERO, Weight::ONE),
+            ind(0, 10, 3),
+        ];
+        let r = Engine::new(specs, Edf::new()).unwrap().run();
+        assert_eq!(r.outcomes[0].finish, at(0));
+        assert_eq!(r.outcomes[0].tardiness(), SimDuration::ZERO);
+        assert_eq!(r.outcomes[1].finish, at(3));
+    }
+
+    #[test]
+    fn backlog_sampling_observes_queue_growth() {
+        // Ten simultaneous arrivals with dead deadlines: the first sample
+        // (t=0) must see 10 ready, most already infeasible.
+        let specs: Vec<TxnSpec> = (0..10).map(|_| ind(0, 1, 5)).collect();
+        let r = Engine::new(specs, Srpt::new())
+            .unwrap()
+            .with_backlog_sampling(units(1))
+            .run();
+        let series = r.backlog.expect("sampling enabled");
+        assert!(!series.samples.is_empty());
+        let first = &series.samples[0];
+        assert_eq!(first.at, at(0));
+        assert_eq!(first.ready, 10);
+        assert!(first.infeasible >= 9, "deadline 1, lengths 5: nearly all hopeless");
+        assert_eq!(series.peak_ready(), 10);
+        // Samples honor the interval: strictly increasing times.
+        for w in series.samples.windows(2) {
+            assert!(w[1].at >= w[0].at + units(1));
+        }
+    }
+
+    #[test]
+    fn backlog_sampling_counts_blocked() {
+        let specs = vec![
+            ind(0, 100, 5),
+            TxnSpec { deps: vec![TxnId(0)], ..ind(0, 100, 5) },
+        ];
+        let r = Engine::new(specs, Fcfs::new())
+            .unwrap()
+            .with_backlog_sampling(units(1))
+            .run();
+        let series = r.backlog.unwrap();
+        assert_eq!(series.samples[0].blocked, 1);
+        assert_eq!(series.samples[0].ready, 1);
+    }
+
+    #[test]
+    fn fractional_times_are_exact() {
+        // Arrival at 0.5, length 1.25 -> finish at 1.75 exactly.
+        let spec = TxnSpec::independent(
+            SimTime::from_units(0.5),
+            SimTime::from_units(3.0),
+            SimDuration::from_units(1.25),
+            Weight::ONE,
+        );
+        let r = Engine::new(vec![spec], Fcfs::new()).unwrap().run();
+        assert_eq!(r.outcomes[0].finish, SimTime::from_units(1.75));
+    }
+}

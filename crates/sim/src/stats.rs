@@ -1,0 +1,126 @@
+//! Run-level statistics beyond the per-transaction metrics.
+//!
+//! These let experiments report the *mechanics* of a run — how many
+//! scheduling points fired, how often the server actually switched
+//! transactions, how much of the horizon the (single) server was busy —
+//! which is what the O(log n) overhead bench and the work-conservation
+//! invariants are written against.
+
+use asets_core::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One backlog sample taken at a scheduling point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BacklogSample {
+    /// When the sample was taken.
+    pub at: SimTime,
+    /// Transactions ready to run (including the one about to be dispatched).
+    pub ready: u32,
+    /// Transactions arrived but blocked on predecessors.
+    pub blocked: u32,
+    /// Ready transactions that can no longer meet their deadline — the
+    /// "domino" population EDF mishandles (§III-A).
+    pub infeasible: u32,
+}
+
+/// A backlog time series sampled at scheduling points, at most one sample
+/// per `interval` of simulated time.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BacklogSeries {
+    /// Samples in time order.
+    pub samples: Vec<BacklogSample>,
+}
+
+impl BacklogSeries {
+    /// Largest ready backlog observed.
+    pub fn peak_ready(&self) -> u32 {
+        self.samples.iter().map(|s| s.ready).max().unwrap_or(0)
+    }
+
+    /// Largest infeasible population observed.
+    pub fn peak_infeasible(&self) -> u32 {
+        self.samples.iter().map(|s| s.infeasible).max().unwrap_or(0)
+    }
+}
+
+/// Mechanical statistics of one simulation run.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Scheduling points processed (arrivals + completions + wakeups,
+    /// merged per instant).
+    pub scheduling_points: u64,
+    /// Times the server switched away from a paused transaction that still
+    /// had work left (genuine preemptions).
+    pub preemptions: u64,
+    /// Times a `select` returned a transaction (dispatches, including
+    /// resuming the same transaction after a pause).
+    pub dispatches: u64,
+    /// Total time the server spent executing transactions.
+    pub busy: SimDuration,
+    /// Total time the server sat idle with work still pending in the future.
+    pub idle: SimDuration,
+    /// Instant the last transaction completed.
+    pub makespan: SimTime,
+    /// Number of transactions completed (must equal the batch size at the
+    /// end of a run).
+    pub completed: u64,
+}
+
+impl RunStats {
+    /// Server utilization over the makespan: `busy / makespan`
+    /// (1.0 for an empty run to make the invariant `busy + idle = makespan`
+    /// trivially consistent).
+    pub fn utilization(&self) -> f64 {
+        let horizon = self.makespan.since_origin();
+        if horizon.is_zero() {
+            1.0
+        } else {
+            self.busy.as_units() / horizon.as_units()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_is_busy_over_makespan() {
+        let s = RunStats {
+            busy: SimDuration::from_units_int(30),
+            idle: SimDuration::from_units_int(10),
+            makespan: SimTime::from_units_int(40),
+            ..RunStats::default()
+        };
+        assert!((s.utilization() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_utilization_is_defined() {
+        assert_eq!(RunStats::default().utilization(), 1.0);
+    }
+
+    #[test]
+    fn backlog_series_peaks() {
+        let series = BacklogSeries {
+            samples: vec![
+                BacklogSample { at: SimTime::ZERO, ready: 2, blocked: 1, infeasible: 0 },
+                BacklogSample {
+                    at: SimTime::from_units_int(5),
+                    ready: 7,
+                    blocked: 0,
+                    infeasible: 4,
+                },
+                BacklogSample {
+                    at: SimTime::from_units_int(9),
+                    ready: 3,
+                    blocked: 2,
+                    infeasible: 1,
+                },
+            ],
+        };
+        assert_eq!(series.peak_ready(), 7);
+        assert_eq!(series.peak_infeasible(), 4);
+        assert_eq!(BacklogSeries::default().peak_ready(), 0);
+    }
+}

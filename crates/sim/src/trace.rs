@@ -1,0 +1,252 @@
+//! Optional execution traces.
+//!
+//! A trace records every state change of the (single) server as a flat,
+//! time-ordered event list. Traces are what the paper-example integration
+//! tests assert against (exact dispatch orders for Examples 1–4), and what
+//! the example binaries print to show *why* a policy behaved as it did.
+
+use asets_core::time::SimTime;
+use asets_core::txn::TxnId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One observable scheduling event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A transaction arrived (ready or blocked).
+    Arrived {
+        /// When.
+        at: SimTime,
+        /// Which transaction.
+        txn: TxnId,
+        /// Whether it was immediately ready.
+        ready: bool,
+    },
+    /// The server started (or resumed) executing a transaction.
+    Dispatched {
+        /// When.
+        at: SimTime,
+        /// Which transaction.
+        txn: TxnId,
+    },
+    /// The server switched away from a transaction that still had work.
+    Preempted {
+        /// When.
+        at: SimTime,
+        /// The transaction that lost the server.
+        txn: TxnId,
+        /// The transaction that took it.
+        by: TxnId,
+    },
+    /// A transaction finished.
+    Completed {
+        /// When.
+        at: SimTime,
+        /// Which transaction.
+        txn: TxnId,
+        /// Whether it met its deadline.
+        met_deadline: bool,
+    },
+}
+
+impl TraceEvent {
+    /// The instant of the event.
+    pub fn at(&self) -> SimTime {
+        match *self {
+            TraceEvent::Arrived { at, .. }
+            | TraceEvent::Dispatched { at, .. }
+            | TraceEvent::Preempted { at, .. }
+            | TraceEvent::Completed { at, .. } => at,
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TraceEvent::Arrived { at, txn, ready } => {
+                write!(f, "[{:>10.3}] {txn} arrived ({})", at.as_units(), if ready { "ready" } else { "blocked" })
+            }
+            TraceEvent::Dispatched { at, txn } => {
+                write!(f, "[{:>10.3}] {txn} dispatched", at.as_units())
+            }
+            TraceEvent::Preempted { at, txn, by } => {
+                write!(f, "[{:>10.3}] {txn} preempted by {by}", at.as_units())
+            }
+            TraceEvent::Completed { at, txn, met_deadline } => {
+                write!(
+                    f,
+                    "[{:>10.3}] {txn} completed ({})",
+                    at.as_units(),
+                    if met_deadline { "met deadline" } else { "TARDY" }
+                )
+            }
+        }
+    }
+}
+
+/// A full run trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Events in simulation order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// The order in which transactions completed.
+    pub fn completion_order(&self) -> Vec<TxnId> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Completed { txn, .. } => Some(*txn),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The sequence of dispatched transactions (with repeats on resume).
+    pub fn dispatch_sequence(&self) -> Vec<TxnId> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Dispatched { txn, .. } => Some(*txn),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Number of preemption events.
+    pub fn preemption_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Preempted { .. }))
+            .count()
+    }
+
+    /// Render the server timeline as an ASCII Gantt chart, one row per
+    /// transaction, `width` columns spanning `[0, makespan]`. Execution is
+    /// drawn as `#`, the deadline as `|` (or `!` when overdrawn by
+    /// execution), idle/waiting as spaces.
+    pub fn render_gantt(&self, width: usize) -> String {
+        use std::collections::BTreeMap;
+        let width = width.max(10);
+        let end = self.events.last().map(|e| e.at()).unwrap_or(SimTime::ZERO);
+        if end == SimTime::ZERO {
+            return String::from("(empty trace)\n");
+        }
+        let col = |t: SimTime| -> usize {
+            ((t.ticks() as u128 * (width as u128 - 1)) / end.ticks() as u128) as usize
+        };
+        // Reconstruct busy intervals per transaction from the event stream.
+        let mut rows: BTreeMap<TxnId, Vec<char>> = BTreeMap::new();
+        let mut running: Option<(TxnId, SimTime)> = None;
+        let paint = |rows: &mut BTreeMap<TxnId, Vec<char>>, txn: TxnId, from: SimTime, to: SimTime| {
+            let row = rows.entry(txn).or_insert_with(|| vec![' '; width]);
+            for c in row.iter_mut().take(col(to) + 1).skip(col(from)) {
+                *c = '#';
+            }
+        };
+        for e in &self.events {
+            match *e {
+                TraceEvent::Arrived { txn, .. } => {
+                    rows.entry(txn).or_insert_with(|| vec![' '; width]);
+                }
+                TraceEvent::Dispatched { at, txn } => {
+                    if let Some((prev, since)) = running.take() {
+                        paint(&mut rows, prev, since, at);
+                    }
+                    running = Some((txn, at));
+                }
+                TraceEvent::Preempted { .. } => {
+                    // The pause itself is painted when the next Dispatched
+                    // (which always follows) closes the interval above.
+                }
+                TraceEvent::Completed { at, txn, .. } => {
+                    if let Some((cur, since)) = running.take() {
+                        debug_assert_eq!(cur, txn, "completion of a non-running txn");
+                        paint(&mut rows, cur, since, at);
+                    }
+                }
+            }
+        }
+        let mut out = String::new();
+        for (txn, row) in rows {
+            out.push_str(&format!("{:>6} |", txn.to_string()));
+            out.extend(row);
+            out.push_str("|\n");
+        }
+        out.push_str(&format!(
+            "{:>6} 0{:>width$.1}\n",
+            "t",
+            end.as_units(),
+            width = width
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(u: u64) -> SimTime {
+        SimTime::from_units_int(u)
+    }
+
+    #[test]
+    fn accessors_filter_by_kind() {
+        let trace = Trace {
+            events: vec![
+                TraceEvent::Arrived { at: at(0), txn: TxnId(0), ready: true },
+                TraceEvent::Dispatched { at: at(0), txn: TxnId(0) },
+                TraceEvent::Preempted { at: at(1), txn: TxnId(0), by: TxnId(1) },
+                TraceEvent::Dispatched { at: at(1), txn: TxnId(1) },
+                TraceEvent::Completed { at: at(2), txn: TxnId(1), met_deadline: true },
+                TraceEvent::Dispatched { at: at(2), txn: TxnId(0) },
+                TraceEvent::Completed { at: at(3), txn: TxnId(0), met_deadline: false },
+            ],
+        };
+        assert_eq!(trace.completion_order(), vec![TxnId(1), TxnId(0)]);
+        assert_eq!(
+            trace.dispatch_sequence(),
+            vec![TxnId(0), TxnId(1), TxnId(0)]
+        );
+        assert_eq!(trace.preemption_count(), 1);
+    }
+
+    #[test]
+    fn gantt_renders_busy_intervals() {
+        let trace = Trace {
+            events: vec![
+                TraceEvent::Arrived { at: at(0), txn: TxnId(0), ready: true },
+                TraceEvent::Dispatched { at: at(0), txn: TxnId(0) },
+                TraceEvent::Arrived { at: at(5), txn: TxnId(1), ready: true },
+                TraceEvent::Preempted { at: at(5), txn: TxnId(0), by: TxnId(1) },
+                TraceEvent::Dispatched { at: at(5), txn: TxnId(1) },
+                TraceEvent::Completed { at: at(7), txn: TxnId(1), met_deadline: true },
+                TraceEvent::Dispatched { at: at(7), txn: TxnId(0) },
+                TraceEvent::Completed { at: at(10), txn: TxnId(0), met_deadline: false },
+            ],
+        };
+        let g = trace.render_gantt(40);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 3, "two txn rows plus the axis:\n{g}");
+        assert!(lines[0].starts_with("    T0 |#"));
+        assert!(lines[0].matches('#').count() > lines[1].matches('#').count());
+        // T1's work sits strictly inside the horizon.
+        assert!(lines[1].trim_start_matches("    T1 |").starts_with(' '));
+    }
+
+    #[test]
+    fn gantt_empty_trace() {
+        assert_eq!(Trace::default().render_gantt(40), "(empty trace)\n");
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = TraceEvent::Completed { at: at(5), txn: TxnId(3), met_deadline: false };
+        let s = e.to_string();
+        assert!(s.contains("T3") && s.contains("TARDY"), "{s}");
+        assert_eq!(e.at(), at(5));
+    }
+}

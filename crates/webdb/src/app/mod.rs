@@ -1,0 +1,3 @@
+//! Demo applications built on the web-database substrate.
+
+pub mod stock;

@@ -1,0 +1,336 @@
+//! Fragment caching / materialization.
+//!
+//! Paper §II-A, Definition 1 footnote on lengths: *"We assume that if
+//! caching or materialization is utilized for fragments [WebView
+//! materialization, Labrinidis & Roussopoulos], then transactions' lengths
+//! are adjusted accordingly."* This module realizes that adjustment: a
+//! [`FragmentCache`] remembers recently materialized fragment plans, and
+//! [`crate::compile::compile_requests_cached`] compiles a cache *hit* into
+//! a transaction whose length is the (small, fixed) cache-probe cost
+//! instead of the full query cost.
+//!
+//! Cache keys are structural plan fingerprints, so the same fragment
+//! requested by two users (e.g. the shared "all stock prices" fragment)
+//! hits, while per-user fragments (filtered on `user_id`) naturally miss.
+//! Entries expire after a TTL in *simulated* time — freshness is a QoD
+//! knob, exactly the QoS/QoD trade-off the paper cites.
+
+use crate::query::plan::Plan;
+use crate::storage::Database;
+use asets_core::time::{SimDuration, SimTime};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// A structural fingerprint of a plan (stable within a process run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanFingerprint(u64);
+
+/// Compute the fingerprint of a plan.
+pub fn fingerprint(plan: &Plan) -> PlanFingerprint {
+    // Debug formatting is a faithful structural encoding of the plan tree
+    // (all variants and expressions derive Debug deterministically).
+    let mut h = DefaultHasher::new();
+    format!("{plan:?}").hash(&mut h);
+    PlanFingerprint(h.finish())
+}
+
+/// Cache configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheConfig {
+    /// How long (simulated) a materialized fragment stays fresh.
+    pub ttl: SimDuration,
+    /// The transaction length charged on a cache hit (probe + HTML splice).
+    pub hit_cost: SimDuration,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            ttl: SimDuration::from_units_int(50),
+            hit_cost: SimDuration::from_units(0.2),
+        }
+    }
+}
+
+/// One cached materialization.
+#[derive(Debug, Clone)]
+struct Entry {
+    /// When the copy goes stale by TTL.
+    expiry: SimTime,
+    /// `(table, version)` pairs of every base table the plan reads, at
+    /// materialization time — the QoD freshness snapshot.
+    table_versions: Vec<(String, u64)>,
+}
+
+/// A TTL cache over fragment materializations, keyed by plan fingerprint.
+#[derive(Debug, Clone)]
+pub struct FragmentCache {
+    config: CacheConfig,
+    entries: HashMap<PlanFingerprint, Entry>,
+    hits: u64,
+    misses: u64,
+    /// Hits served from a copy whose base tables had changed since
+    /// materialization — content the user saw that was already stale.
+    stale_hits: u64,
+}
+
+/// The base tables a plan reads, sorted and deduplicated.
+pub fn plan_tables(plan: &Plan) -> Vec<String> {
+    let mut tables: Vec<String> = plan
+        .nodes()
+        .into_iter()
+        .filter_map(|n| match n {
+            Plan::Scan { table } | Plan::IndexLookup { table, .. } => Some(table.clone()),
+            _ => None,
+        })
+        .collect();
+    tables.sort_unstable();
+    tables.dedup();
+    tables
+}
+
+impl FragmentCache {
+    /// An empty cache.
+    pub fn new(config: CacheConfig) -> FragmentCache {
+        FragmentCache { config, entries: HashMap::new(), hits: 0, misses: 0, stale_hits: 0 }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Probe the cache at simulated instant `now`. A miss *installs* the
+    /// entry (the materialization this transaction performs will populate
+    /// the cache, fresh until `now + ttl`).
+    pub fn probe(&mut self, plan: &Plan, now: SimTime) -> CacheOutcome {
+        self.probe_with(plan, now, Vec::new())
+    }
+
+    /// Probe with QoD accounting against live data: a hit whose base tables
+    /// changed since materialization counts as a *stale hit* (the §V-cited
+    /// QoS/QoD trade-off, measured).
+    pub fn probe_versioned(&mut self, plan: &Plan, now: SimTime, db: &Database) -> CacheOutcome {
+        let versions: Vec<(String, u64)> = plan_tables(plan)
+            .into_iter()
+            .filter_map(|t| db.table(&t).ok().map(|tb| (t, tb.version())))
+            .collect();
+        self.probe_with(plan, now, versions)
+    }
+
+    fn probe_with(
+        &mut self,
+        plan: &Plan,
+        now: SimTime,
+        current_versions: Vec<(String, u64)>,
+    ) -> CacheOutcome {
+        let key = fingerprint(plan);
+        match self.entries.get(&key) {
+            Some(entry) if entry.expiry > now => {
+                self.hits += 1;
+                if entry.table_versions != current_versions {
+                    self.stale_hits += 1;
+                }
+                CacheOutcome::Hit { fresh_until: entry.expiry }
+            }
+            _ => {
+                self.misses += 1;
+                let expiry = now + self.config.ttl;
+                self.entries.insert(key, Entry { expiry, table_versions: current_versions });
+                CacheOutcome::Miss { fresh_until: expiry }
+            }
+        }
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hits that served content whose base tables had changed (only
+    /// meaningful when probing via [`FragmentCache::probe_versioned`]).
+    pub fn stale_hits(&self) -> u64 {
+        self.stale_hits
+    }
+
+    /// Hit ratio over all probes (0 when never probed).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of hits that were stale (0 when no hits).
+    pub fn staleness_ratio(&self) -> f64 {
+        if self.hits == 0 {
+            0.0
+        } else {
+            self.stale_hits as f64 / self.hits as f64
+        }
+    }
+
+    /// Drop expired entries (bookkeeping; correctness never depends on it).
+    pub fn evict_expired(&mut self, now: SimTime) {
+        self.entries.retain(|_, entry| entry.expiry > now);
+    }
+
+    /// Number of live entries (including possibly-expired ones until
+    /// [`FragmentCache::evict_expired`] runs).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True iff no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The result of a cache probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Fresh materialization available; charge the hit cost.
+    Hit {
+        /// When the cached copy goes stale.
+        fresh_until: SimTime,
+    },
+    /// No fresh copy; the transaction materializes (and caches) it.
+    Miss {
+        /// When the copy this transaction installs will go stale.
+        fresh_until: SimTime,
+    },
+}
+
+impl CacheOutcome {
+    /// True iff a hit.
+    pub fn is_hit(&self) -> bool {
+        matches!(self, CacheOutcome::Hit { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::value::Value;
+
+    fn at(u: u64) -> SimTime {
+        SimTime::from_units_int(u)
+    }
+
+    fn cache(ttl: u64) -> FragmentCache {
+        FragmentCache::new(CacheConfig {
+            ttl: SimDuration::from_units_int(ttl),
+            hit_cost: SimDuration::from_units(0.2),
+        })
+    }
+
+    #[test]
+    fn fingerprints_are_structural() {
+        let a = Plan::scan("stocks").filter(Expr::col("price").gt(Expr::lit(Value::Int(5))));
+        let b = Plan::scan("stocks").filter(Expr::col("price").gt(Expr::lit(Value::Int(5))));
+        let c = Plan::scan("stocks").filter(Expr::col("price").gt(Expr::lit(Value::Int(6))));
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        assert_ne!(fingerprint(&a), fingerprint(&c));
+    }
+
+    #[test]
+    fn miss_then_hit_within_ttl() {
+        let mut c = cache(10);
+        let plan = Plan::scan("stocks");
+        assert!(!c.probe(&plan, at(0)).is_hit());
+        assert!(c.probe(&plan, at(5)).is_hit());
+        assert!(c.probe(&plan, at(9)).is_hit());
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 1);
+        assert!((c.hit_ratio() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expiry_causes_miss_and_reinstall() {
+        let mut c = cache(10);
+        let plan = Plan::scan("stocks");
+        c.probe(&plan, at(0)); // fresh until 10
+        assert!(!c.probe(&plan, at(10)).is_hit(), "expiry is exclusive");
+        // Reinstalled: fresh until 20.
+        assert!(c.probe(&plan, at(15)).is_hit());
+    }
+
+    #[test]
+    fn distinct_plans_do_not_collide() {
+        let mut c = cache(100);
+        c.probe(&Plan::scan("stocks"), at(0));
+        assert!(!c.probe(&Plan::scan("portfolios"), at(1)).is_hit());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn evict_expired_prunes() {
+        let mut c = cache(10);
+        c.probe(&Plan::scan("a"), at(0));
+        c.probe(&Plan::scan("b"), at(8));
+        c.evict_expired(at(12));
+        assert_eq!(c.len(), 1, "only b (fresh until 18) survives");
+    }
+
+    #[test]
+    fn empty_cache_ratio_is_zero() {
+        assert_eq!(cache(1).hit_ratio(), 0.0);
+        assert_eq!(cache(1).staleness_ratio(), 0.0);
+        assert!(cache(1).is_empty());
+    }
+
+    #[test]
+    fn versioned_probe_counts_stale_hits() {
+        use crate::schema::{Column, Schema};
+        use crate::storage::Table;
+        use crate::value::ValueType;
+        let mut db = Database::new();
+        let schema = Schema::new(vec![
+            Column::required("symbol", ValueType::Str),
+            Column::required("price", ValueType::Float),
+        ])
+        .unwrap();
+        let mut t = Table::with_primary_key("stocks", schema, "symbol").unwrap();
+        t.insert(vec![Value::str("AAPL"), Value::Float(100.0)]).unwrap();
+        db.create(t).unwrap();
+
+        let plan = Plan::scan("stocks");
+        let mut c = cache(100);
+        assert!(!c.probe_versioned(&plan, at(0), &db).is_hit());
+        // Fresh data: hit, not stale.
+        assert!(c.probe_versioned(&plan, at(1), &db).is_hit());
+        assert_eq!(c.stale_hits(), 0);
+        // Mutate the base table: next hit serves stale content.
+        db.table_mut("stocks")
+            .unwrap()
+            .update_by_key(&Value::str("AAPL"), |row| row[1] = Value::Float(101.0))
+            .unwrap();
+        assert!(c.probe_versioned(&plan, at(2), &db).is_hit());
+        assert_eq!(c.stale_hits(), 1);
+        assert!((c.staleness_ratio() - 0.5).abs() < 1e-12);
+        // Re-materialization (after expiry) refreshes the snapshot.
+        assert!(!c.probe_versioned(&plan, at(200), &db).is_hit());
+        assert!(c.probe_versioned(&plan, at(201), &db).is_hit());
+        assert_eq!(c.stale_hits(), 1, "fresh copy again");
+    }
+
+    #[test]
+    fn plan_tables_extracts_base_tables() {
+        let p = Plan::scan("a").join(Plan::scan("b"), "x", "x").filter(
+            Expr::col("x").eq(Expr::lit(Value::Int(1))),
+        );
+        assert_eq!(plan_tables(&p), vec!["a".to_string(), "b".to_string()]);
+        let p2 = Plan::scan("a").join(Plan::scan("a"), "x", "x");
+        assert_eq!(plan_tables(&p2), vec!["a".to_string()], "deduplicated");
+    }
+}

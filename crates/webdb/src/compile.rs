@@ -1,0 +1,308 @@
+//! Compiling page requests into scheduler workloads.
+//!
+//! This is the bridge the paper's system model describes: each fragment of
+//! each requested page becomes one web transaction whose
+//!
+//! * **arrival** is the page submission time,
+//! * **deadline** is submission + the fragment's SLA,
+//! * **length** comes from the cost model profiling the fragment's query
+//!   against the current database,
+//! * **weight** is the fragment's weight, and
+//! * **dependency list** is the fragment's intra-page dependency list,
+//!   mapped to global transaction ids.
+//!
+//! [`PageBinding`] remembers the mapping so simulation outcomes can be
+//! folded back into per-page latencies.
+
+use crate::cache::FragmentCache;
+use crate::page::PageRequest;
+use crate::query::cost::CostModel;
+use crate::query::plan::QueryError;
+use crate::storage::Database;
+use asets_core::time::SimDuration;
+use asets_core::txn::{TxnId, TxnOutcome, TxnSpec};
+
+/// Maps compiled transactions back to (page, fragment).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageBinding {
+    /// `txn id index -> (page index, fragment index)`.
+    pub of_txn: Vec<(usize, usize)>,
+    /// `page index -> first txn id` (fragments are contiguous).
+    pub first_txn: Vec<TxnId>,
+    /// `page index -> fragment count`.
+    pub fragment_count: Vec<usize>,
+}
+
+/// One page's scheduled outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PageOutcome {
+    /// Page index in the compiled request list.
+    pub page: usize,
+    /// When the *last* fragment finished — the page's perceived latency end.
+    pub finish: asets_core::time::SimTime,
+    /// Total tardiness over the page's fragments, in time units.
+    pub total_tardiness: f64,
+    /// Total weighted tardiness over the page's fragments.
+    pub total_weighted_tardiness: f64,
+    /// Number of fragments that missed their SLA.
+    pub missed_fragments: usize,
+}
+
+impl PageBinding {
+    /// Fold per-transaction outcomes (ordered by id, as
+    /// `TxnTable::outcomes` returns them) into per-page outcomes.
+    pub fn page_outcomes(&self, outcomes: &[TxnOutcome]) -> Vec<PageOutcome> {
+        let mut pages: Vec<PageOutcome> = self
+            .first_txn
+            .iter()
+            .enumerate()
+            .map(|(i, _)| PageOutcome {
+                page: i,
+                finish: asets_core::time::SimTime::ZERO,
+                total_tardiness: 0.0,
+                total_weighted_tardiness: 0.0,
+                missed_fragments: 0,
+            })
+            .collect();
+        for o in outcomes {
+            let (page, _frag) = self.of_txn[o.id.index()];
+            let p = &mut pages[page];
+            p.finish = p.finish.max(o.finish);
+            p.total_tardiness += o.tardiness().as_units();
+            p.total_weighted_tardiness +=
+                o.tardiness().as_units() * o.weight.get() as f64;
+            if !o.met_deadline() {
+                p.missed_fragments += 1;
+            }
+        }
+        pages
+    }
+}
+
+/// Compile a batch of page requests into a scheduler workload.
+pub fn compile_requests(
+    requests: &[PageRequest],
+    db: &Database,
+    cost: &CostModel,
+) -> Result<(Vec<TxnSpec>, PageBinding), QueryError> {
+    compile_inner(requests, db, cost, None)
+}
+
+/// Compile with a [`FragmentCache`]: fragments whose plan has a fresh
+/// materialization (by the page's *submit* time) get the cache-probe cost
+/// as their length instead of the full query cost — the paper's §II-A
+/// "lengths are adjusted accordingly" under caching/materialization.
+///
+/// Requests must be in non-decreasing submit order (cache freshness is
+/// evaluated along simulated time).
+pub fn compile_requests_cached(
+    requests: &[PageRequest],
+    db: &Database,
+    cost: &CostModel,
+    cache: &mut FragmentCache,
+) -> Result<(Vec<TxnSpec>, PageBinding), QueryError> {
+    compile_inner(requests, db, cost, Some(cache))
+}
+
+fn compile_inner(
+    requests: &[PageRequest],
+    db: &Database,
+    cost: &CostModel,
+    mut cache: Option<&mut FragmentCache>,
+) -> Result<(Vec<TxnSpec>, PageBinding), QueryError> {
+    if cache.is_some() {
+        debug_assert!(
+            requests.windows(2).all(|w| w[0].submit <= w[1].submit),
+            "cached compilation expects submit-ordered requests"
+        );
+    }
+    let mut specs: Vec<TxnSpec> = Vec::new();
+    let mut of_txn = Vec::new();
+    let mut first_txn = Vec::new();
+    let mut fragment_count = Vec::new();
+    for (p, req) in requests.iter().enumerate() {
+        let base = specs.len() as u32;
+        first_txn.push(TxnId(base));
+        fragment_count.push(req.template.fragments().len());
+        for (f, frag) in req.template.fragments().iter().enumerate() {
+            // Fragments execute their *optimized* plans (index lookups,
+            // fused filters), so lengths are profiled on the same shape.
+            let plan = crate::query::optimize::optimize(&frag.plan, db)?;
+            let hit = match cache.as_deref_mut() {
+                Some(c) => c.probe_versioned(&plan, req.submit, db).is_hit(),
+                None => false,
+            };
+            let length: SimDuration = if hit {
+                cache.as_deref().expect("probed above").config().hit_cost
+            } else {
+                cost.profile(&plan, db)?.as_duration()
+            };
+            let deps = frag
+                .depends_on
+                .iter()
+                .map(|d| TxnId(base + d.0))
+                .collect();
+            specs.push(TxnSpec {
+                arrival: req.submit,
+                deadline: req.submit + frag.sla,
+                length,
+                weight: frag.weight,
+                deps,
+            });
+            of_txn.push((p, f));
+        }
+    }
+    Ok((specs, PageBinding { of_txn, first_txn, fragment_count }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragment::{Fragment, FragmentId};
+    use crate::page::PageTemplate;
+    use crate::query::plan::Plan;
+    use crate::schema::{Column, Schema};
+    use crate::storage::Table;
+    use crate::value::{Value, ValueType};
+    use asets_core::time::SimTime;
+    use asets_core::txn::Weight;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let schema = Schema::new(vec![Column::required("x", ValueType::Int)]).unwrap();
+        let mut t = Table::new("t", schema);
+        for i in 0..100 {
+            t.insert(vec![Value::Int(i)]).unwrap();
+        }
+        db.create(t).unwrap();
+        db
+    }
+
+    fn template() -> PageTemplate {
+        PageTemplate::new(
+            "page",
+            vec![
+                Fragment::new("a", Plan::scan("t"), SimDuration::from_units_int(10), Weight(1)),
+                Fragment::new("b", Plan::scan("t"), SimDuration::from_units_int(5), Weight(9))
+                    .after(vec![FragmentId(0)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn requests() -> Vec<PageRequest> {
+        vec![
+            PageRequest { template: template(), submit: SimTime::from_units_int(0) },
+            PageRequest { template: template(), submit: SimTime::from_units_int(7) },
+        ]
+    }
+
+    #[test]
+    fn compiles_one_txn_per_fragment() {
+        let (specs, binding) = compile_requests(&requests(), &db(), &CostModel::default()).unwrap();
+        assert_eq!(specs.len(), 4);
+        assert_eq!(binding.first_txn, vec![TxnId(0), TxnId(2)]);
+        assert_eq!(binding.of_txn[3], (1, 1));
+    }
+
+    #[test]
+    fn deadlines_are_submit_plus_sla() {
+        let (specs, _) = compile_requests(&requests(), &db(), &CostModel::default()).unwrap();
+        assert_eq!(specs[0].deadline, SimTime::from_units_int(10));
+        assert_eq!(specs[3].deadline, SimTime::from_units_int(12), "submit 7 + sla 5");
+        assert_eq!(specs[2].arrival, SimTime::from_units_int(7));
+    }
+
+    #[test]
+    fn deps_map_to_global_ids() {
+        let (specs, _) = compile_requests(&requests(), &db(), &CostModel::default()).unwrap();
+        assert!(specs[0].deps.is_empty());
+        assert_eq!(specs[1].deps, vec![TxnId(0)]);
+        assert_eq!(specs[3].deps, vec![TxnId(2)], "second page offsets by 2");
+    }
+
+    #[test]
+    fn lengths_come_from_the_cost_model() {
+        let cost = CostModel::default();
+        let (specs, _) = compile_requests(&requests(), &db(), &cost).unwrap();
+        let expected = cost.profile(&Plan::scan("t"), &db()).unwrap().as_duration();
+        assert_eq!(specs[0].length, expected);
+        assert!(specs[0].length.as_units() > 0.0);
+    }
+
+    #[test]
+    fn compiled_workload_is_schedulable_end_to_end() {
+        let (specs, binding) = compile_requests(&requests(), &db(), &CostModel::default()).unwrap();
+        let result =
+            asets_sim::simulate(specs, asets_core::policy::PolicyKind::asets_star()).unwrap();
+        let pages = binding.page_outcomes(&result.outcomes);
+        assert_eq!(pages.len(), 2);
+        for p in &pages {
+            assert!(p.finish > SimTime::ZERO);
+        }
+        // Fragment b of each page must finish after fragment a (dependency).
+        let a0 = result.outcomes[0].finish;
+        let b0 = result.outcomes[1].finish;
+        assert!(b0 > a0);
+    }
+
+    #[test]
+    fn cached_compilation_shrinks_shared_fragment_lengths() {
+        use crate::cache::{CacheConfig, FragmentCache};
+        let db = db();
+        let cost = CostModel::default();
+        let mut cache = FragmentCache::new(CacheConfig {
+            ttl: SimDuration::from_units_int(100),
+            hit_cost: SimDuration::from_units(0.2),
+        });
+        // Every fragment in the fixture shares the identical plan
+        // (scan of `t`): the very first compilation misses and installs,
+        // and every later fragment — in the same page or the next — hits.
+        let (specs, _) = compile_requests_cached(&requests(), &db, &cost, &mut cache).unwrap();
+        let full = cost.profile(&Plan::scan("t"), &db).unwrap().as_duration();
+        let hit = SimDuration::from_units(0.2);
+        assert_eq!(specs[0].length, full, "first fragment ever misses");
+        assert_eq!(specs[1].length, hit, "same plan within the page hits");
+        assert_eq!(specs[2].length, hit, "second page hits");
+        assert_eq!(specs[3].length, hit);
+        assert_eq!(cache.hits(), 3);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn cached_compilation_respects_ttl() {
+        use crate::cache::{CacheConfig, FragmentCache};
+        let db = db();
+        let cost = CostModel::default();
+        let mut cache = FragmentCache::new(CacheConfig {
+            ttl: SimDuration::from_units_int(5), // shorter than the 7-unit gap
+            hit_cost: SimDuration::from_units(0.2),
+        });
+        let (specs, _) = compile_requests_cached(&requests(), &db, &cost, &mut cache).unwrap();
+        let full = cost.profile(&Plan::scan("t"), &db).unwrap().as_duration();
+        assert_eq!(specs[2].length, full, "stale by submit time 7: full cost again");
+    }
+
+    #[test]
+    fn page_outcomes_aggregate_tardiness() {
+        use asets_core::txn::TxnOutcome;
+        let binding = PageBinding {
+            of_txn: vec![(0, 0), (0, 1)],
+            first_txn: vec![TxnId(0)],
+            fragment_count: vec![2],
+        };
+        let o = |id: u32, dl: u64, fin: u64, w: u32| TxnOutcome {
+            id: TxnId(id),
+            arrival: SimTime::ZERO,
+            deadline: SimTime::from_units_int(dl),
+            finish: SimTime::from_units_int(fin),
+            weight: Weight(w),
+            length: SimDuration::from_units_int(1),
+        };
+        let pages = binding.page_outcomes(&[o(0, 10, 12, 2), o(1, 20, 15, 5)]);
+        assert_eq!(pages[0].missed_fragments, 1);
+        assert!((pages[0].total_tardiness - 2.0).abs() < 1e-9);
+        assert!((pages[0].total_weighted_tardiness - 4.0).abs() < 1e-9);
+        assert_eq!(pages[0].finish, SimTime::from_units_int(15));
+    }
+}

@@ -1,0 +1,349 @@
+//! Scalar expressions over rows.
+//!
+//! A small expression language for filters and computed projections:
+//! column references, literals, comparison, arithmetic, boolean logic and
+//! a couple of scalar helpers. Evaluation is schema-resolved up front
+//! (column names bind to indices once per query, not per row).
+
+use crate::schema::{Row, Schema, SchemaError};
+use crate::value::Value;
+use std::fmt;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (float division; division by zero yields NULL)
+    Div,
+    /// `AND` (strict boolean)
+    And,
+    /// `OR` (strict boolean)
+    Or,
+}
+
+/// An expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Reference to a named column.
+    Col(String),
+    /// A constant.
+    Lit(Value),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Boolean negation.
+    Not(Box<Expr>),
+    /// Absolute value of a numeric.
+    Abs(Box<Expr>),
+    /// NULL test.
+    IsNull(Box<Expr>),
+}
+
+impl Expr {
+    /// Column reference.
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Col(name.into())
+    }
+
+    /// Literal.
+    pub fn lit(v: Value) -> Expr {
+        Expr::Lit(v)
+    }
+
+    /// Convenience binary-op builder.
+    pub fn bin(op: BinOp, l: Expr, r: Expr) -> Expr {
+        Expr::Bin(op, Box::new(l), Box::new(r))
+    }
+
+    /// `self = other`.
+    pub fn eq(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::Eq, self, other)
+    }
+
+    /// `self > other`.
+    pub fn gt(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::Gt, self, other)
+    }
+
+    /// `self >= other`.
+    pub fn ge(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::Ge, self, other)
+    }
+
+    /// `self AND other`.
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::bin(BinOp::And, self, other)
+    }
+
+    /// Compile against a schema: resolve column names to indices.
+    pub fn compile(&self, schema: &Schema) -> Result<CompiledExpr, SchemaError> {
+        Ok(match self {
+            Expr::Col(name) => CompiledExpr::Col(schema.index_of(name)?),
+            Expr::Lit(v) => CompiledExpr::Lit(v.clone()),
+            Expr::Bin(op, l, r) => CompiledExpr::Bin(
+                *op,
+                Box::new(l.compile(schema)?),
+                Box::new(r.compile(schema)?),
+            ),
+            Expr::Not(e) => CompiledExpr::Not(Box::new(e.compile(schema)?)),
+            Expr::Abs(e) => CompiledExpr::Abs(Box::new(e.compile(schema)?)),
+            Expr::IsNull(e) => CompiledExpr::IsNull(Box::new(e.compile(schema)?)),
+        })
+    }
+}
+
+/// Evaluation errors (type mismatches discovered at run time).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalError(pub String);
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "expression error: {}", self.0)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// A schema-resolved expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompiledExpr {
+    /// Column by index.
+    Col(usize),
+    /// Constant.
+    Lit(Value),
+    /// Binary op.
+    Bin(BinOp, Box<CompiledExpr>, Box<CompiledExpr>),
+    /// Negation.
+    Not(Box<CompiledExpr>),
+    /// Absolute value.
+    Abs(Box<CompiledExpr>),
+    /// NULL test.
+    IsNull(Box<CompiledExpr>),
+}
+
+impl CompiledExpr {
+    /// Evaluate against a row.
+    pub fn eval(&self, row: &Row) -> Result<Value, EvalError> {
+        Ok(match self {
+            CompiledExpr::Col(i) => row[*i].clone(),
+            CompiledExpr::Lit(v) => v.clone(),
+            CompiledExpr::Not(e) => match e.eval(row)? {
+                Value::Bool(b) => Value::Bool(!b),
+                Value::Null => Value::Null,
+                other => return Err(EvalError(format!("NOT on non-boolean `{other}`"))),
+            },
+            CompiledExpr::Abs(e) => match e.eval(row)? {
+                Value::Int(i) => Value::Int(i.abs()),
+                Value::Float(f) => Value::float(f.abs()),
+                Value::Null => Value::Null,
+                other => return Err(EvalError(format!("ABS on non-numeric `{other}`"))),
+            },
+            CompiledExpr::IsNull(e) => Value::Bool(e.eval(row)?.is_null()),
+            CompiledExpr::Bin(op, l, r) => {
+                let l = l.eval(row)?;
+                let r = r.eval(row)?;
+                eval_bin(*op, l, r)?
+            }
+        })
+    }
+
+    /// Evaluate as a predicate: NULL counts as false.
+    pub fn eval_bool(&self, row: &Row) -> Result<bool, EvalError> {
+        match self.eval(row)? {
+            Value::Bool(b) => Ok(b),
+            Value::Null => Ok(false),
+            other => Err(EvalError(format!("predicate evaluated to non-boolean `{other}`"))),
+        }
+    }
+}
+
+fn eval_bin(op: BinOp, l: Value, r: Value) -> Result<Value, EvalError> {
+    use BinOp::*;
+    match op {
+        Eq | Ne | Lt | Le | Gt | Ge => {
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            let ord = l.cmp(&r);
+            let b = match op {
+                Eq => ord.is_eq(),
+                Ne => ord.is_ne(),
+                Lt => ord.is_lt(),
+                Le => ord.is_le(),
+                Gt => ord.is_gt(),
+                Ge => ord.is_ge(),
+                _ => unreachable!(),
+            };
+            Ok(Value::Bool(b))
+        }
+        Add | Sub | Mul | Div => {
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            match (l.as_i64(), r.as_i64(), op) {
+                // Integer arithmetic stays integral except division.
+                (Some(a), Some(b), Add) => return Ok(Value::Int(a.wrapping_add(b))),
+                (Some(a), Some(b), Sub) => return Ok(Value::Int(a.wrapping_sub(b))),
+                (Some(a), Some(b), Mul) => return Ok(Value::Int(a.wrapping_mul(b))),
+                _ => {}
+            }
+            let (a, b) = match (l.as_f64(), r.as_f64()) {
+                (Some(a), Some(b)) => (a, b),
+                _ => return Err(EvalError(format!("arithmetic on non-numeric `{l}`/`{r}`"))),
+            };
+            Ok(match op {
+                Add => Value::float(a + b),
+                Sub => Value::float(a - b),
+                Mul => Value::float(a * b),
+                Div => {
+                    if b == 0.0 {
+                        Value::Null
+                    } else {
+                        Value::float(a / b)
+                    }
+                }
+                _ => unreachable!(),
+            })
+        }
+        And | Or => {
+            let (a, b) = match (l.as_bool(), r.as_bool()) {
+                (Some(a), Some(b)) => (a, b),
+                _ => {
+                    if l.is_null() || r.is_null() {
+                        return Ok(Value::Null);
+                    }
+                    return Err(EvalError(format!("logic on non-boolean `{l}`/`{r}`")));
+                }
+            };
+            Ok(Value::Bool(if op == And { a && b } else { a || b }))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::value::ValueType;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::required("symbol", ValueType::Str),
+            Column::required("price", ValueType::Float),
+            Column::required("qty", ValueType::Int),
+            Column::nullable("note", ValueType::Str),
+        ])
+        .unwrap()
+    }
+
+    fn row() -> Row {
+        vec![Value::str("AAPL"), Value::Float(150.0), Value::Int(4), Value::Null]
+    }
+
+    fn eval(e: Expr) -> Value {
+        e.compile(&schema()).unwrap().eval(&row()).unwrap()
+    }
+
+    #[test]
+    fn column_and_literal() {
+        assert_eq!(eval(Expr::col("symbol")), Value::str("AAPL"));
+        assert_eq!(eval(Expr::lit(Value::Int(7))), Value::Int(7));
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(
+            eval(Expr::col("price").gt(Expr::lit(Value::Float(100.0)))),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval(Expr::col("qty").eq(Expr::lit(Value::Int(4)))),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval(Expr::col("symbol").eq(Expr::lit(Value::str("MSFT")))),
+            Value::Bool(false)
+        );
+    }
+
+    #[test]
+    fn arithmetic_int_and_float() {
+        // qty * price -> float; qty + qty -> int.
+        assert_eq!(
+            eval(Expr::bin(BinOp::Mul, Expr::col("qty"), Expr::col("price"))),
+            Value::Float(600.0)
+        );
+        assert_eq!(
+            eval(Expr::bin(BinOp::Add, Expr::col("qty"), Expr::col("qty"))),
+            Value::Int(8)
+        );
+    }
+
+    #[test]
+    fn division_by_zero_is_null() {
+        assert_eq!(
+            eval(Expr::bin(BinOp::Div, Expr::col("price"), Expr::lit(Value::Int(0)))),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn null_propagates_and_predicates_treat_null_as_false() {
+        let e = Expr::col("note").eq(Expr::lit(Value::str("x")));
+        let c = e.compile(&schema()).unwrap();
+        assert_eq!(c.eval(&row()).unwrap(), Value::Null);
+        assert!(!c.eval_bool(&row()).unwrap());
+    }
+
+    #[test]
+    fn logic_and_not() {
+        let t = Expr::lit(Value::Bool(true));
+        let f = Expr::lit(Value::Bool(false));
+        assert_eq!(eval(t.clone().and(f.clone())), Value::Bool(false));
+        assert_eq!(eval(Expr::bin(BinOp::Or, t.clone(), f)), Value::Bool(true));
+        assert_eq!(eval(Expr::Not(Box::new(t))), Value::Bool(false));
+    }
+
+    #[test]
+    fn abs_and_is_null() {
+        assert_eq!(eval(Expr::Abs(Box::new(Expr::lit(Value::Int(-5))))), Value::Int(5));
+        assert_eq!(
+            eval(Expr::IsNull(Box::new(Expr::col("note")))),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval(Expr::IsNull(Box::new(Expr::col("qty")))),
+            Value::Bool(false)
+        );
+    }
+
+    #[test]
+    fn unknown_column_fails_at_compile() {
+        assert!(Expr::col("nope").compile(&schema()).is_err());
+    }
+
+    #[test]
+    fn type_errors_surface() {
+        let e = Expr::bin(BinOp::Add, Expr::col("symbol"), Expr::col("qty"));
+        let c = e.compile(&schema()).unwrap();
+        assert!(c.eval(&row()).is_err());
+        let p = Expr::col("qty");
+        assert!(p.compile(&schema()).unwrap().eval_bool(&row()).is_err());
+    }
+}

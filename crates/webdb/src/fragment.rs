@@ -1,0 +1,112 @@
+//! Content fragments.
+//!
+//! A dynamic web page is composed of *content fragments*; each fragment is
+//! materialized by one web transaction running a query against the backend
+//! database (paper §II-A, with the simplification — which the paper also
+//! makes — that one fragment maps to one transaction). A fragment carries:
+//!
+//! * its **query plan** (what to run),
+//! * its **SLA** — the soft deadline offset from page submission,
+//! * its **weight** — importance within the page (subscription level,
+//!   user preference),
+//! * its **intra-page dependencies** — fragments whose output it consumes.
+
+use crate::query::plan::Plan;
+use asets_core::time::SimDuration;
+use asets_core::txn::Weight;
+use std::fmt;
+
+/// Index of a fragment within its page template.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FragmentId(pub u32);
+
+impl FragmentId {
+    /// Dense index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FragmentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "G{}", self.0)
+    }
+}
+
+/// A content-fragment definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fragment {
+    /// Human-readable name (used in rendered output and traces).
+    pub name: String,
+    /// The query materializing this fragment.
+    pub plan: Plan,
+    /// Soft deadline: the SLA offset from page submission time.
+    pub sla: SimDuration,
+    /// Importance of this fragment within the page.
+    pub weight: Weight,
+    /// Fragments (in the same page) whose output this one consumes.
+    pub depends_on: Vec<FragmentId>,
+}
+
+impl Fragment {
+    /// Builder-style constructor for an independent fragment.
+    pub fn new(name: impl Into<String>, plan: Plan, sla: SimDuration, weight: Weight) -> Fragment {
+        Fragment { name: name.into(), plan, sla, weight, depends_on: Vec::new() }
+    }
+
+    /// Author a fragment directly in SQL.
+    pub fn sql(
+        name: impl Into<String>,
+        sql: &str,
+        sla: SimDuration,
+        weight: Weight,
+    ) -> Result<Fragment, crate::sql::ParseError> {
+        Ok(Fragment::new(name, crate::sql::parse_query(sql)?, sla, weight))
+    }
+
+    /// Add intra-page dependencies.
+    pub fn after(mut self, deps: Vec<FragmentId>) -> Fragment {
+        self.depends_on = deps;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asets_core::time::SimDuration;
+
+    #[test]
+    fn builder_sets_fields() {
+        let f = Fragment::new(
+            "prices",
+            Plan::scan("stocks"),
+            SimDuration::from_units_int(40),
+            Weight(2),
+        )
+        .after(vec![FragmentId(0)]);
+        assert_eq!(f.name, "prices");
+        assert_eq!(f.weight, Weight(2));
+        assert_eq!(f.depends_on, vec![FragmentId(0)]);
+    }
+
+    #[test]
+    fn sql_fragments_parse() {
+        let f = Fragment::sql(
+            "top_movers",
+            "SELECT symbol, price FROM stocks ORDER BY price DESC LIMIT 5",
+            SimDuration::from_units_int(15),
+            Weight(3),
+        )
+        .unwrap();
+        assert_eq!(f.name, "top_movers");
+        assert!(matches!(f.plan, Plan::Limit { .. }));
+        assert!(Fragment::sql("bad", "SELEKT", SimDuration::ZERO, Weight::ONE).is_err());
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(FragmentId(2).to_string(), "G2");
+        assert_eq!(FragmentId(2).index(), 2);
+    }
+}

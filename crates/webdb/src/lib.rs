@@ -1,0 +1,61 @@
+//! # asets-webdb
+//!
+//! The **web-database substrate** of the ASETS\* reproduction: the system
+//! the paper's transactions live in. Dynamic web pages are composed of
+//! content fragments; each fragment is materialized by a query against a
+//! backend database; interdependent fragments induce transaction workflows
+//! (paper §II-A/§II-B).
+//!
+//! This crate provides, from scratch:
+//!
+//! * an in-memory relational engine — typed schemas ([`schema`]), row
+//!   storage with primary-key indexes ([`storage`]), expressions
+//!   ([`expr`]), and a plan-based executor with scan / filter / project /
+//!   hash-join / aggregate / sort / limit operators ([`query`]);
+//! * a deterministic **cost model** ([`query::cost`]) that profiles a
+//!   fragment's plan to produce the transaction length `r_i` the scheduler
+//!   needs up front;
+//! * **fragments, page templates and rendering** ([`fragment`], [`page`]);
+//! * the **compiler** from page requests to scheduler workloads
+//!   ([`compile`]), with per-page outcome folding;
+//! * the paper's §II-B **stock-portfolio application** ([`app::stock`]),
+//!   including its deadline/precedence conflict (alerts are the most
+//!   dependent fragment *and* the most urgent).
+//!
+//! ```
+//! use asets_webdb::app::stock;
+//! use asets_webdb::compile::compile_requests;
+//! use asets_webdb::query::cost::CostModel;
+//! use asets_core::time::SimDuration;
+//!
+//! let params = stock::StockDbParams { n_stocks: 80, n_users: 10, ..Default::default() };
+//! let db = stock::stock_database(&params, 42).unwrap();
+//! let requests = stock::stock_requests(10, SimDuration::from_units_int(8));
+//! let (specs, binding) = compile_requests(&requests, &db, &CostModel::default()).unwrap();
+//! let result = asets_sim::simulate(specs, asets_core::policy::PolicyKind::asets_star()).unwrap();
+//! let pages = binding.page_outcomes(&result.outcomes);
+//! assert_eq!(pages.len(), 10);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod app;
+pub mod cache;
+pub mod compile;
+pub mod expr;
+pub mod fragment;
+pub mod page;
+pub mod query;
+pub mod schema;
+pub mod sql;
+pub mod storage;
+pub mod value;
+
+pub use cache::{CacheConfig, CacheOutcome, FragmentCache};
+pub use compile::{compile_requests, compile_requests_cached, PageBinding, PageOutcome};
+pub use fragment::{Fragment, FragmentId};
+pub use page::{render, PageRequest, PageTemplate, RenderedPage};
+pub use query::{execute, CostModel, Plan, QueryError};
+pub use storage::{Database, Table};
+pub use value::{Value, ValueType};

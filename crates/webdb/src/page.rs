@@ -1,0 +1,285 @@
+//! Page templates, page requests and page rendering.
+//!
+//! A [`PageTemplate`] is a validated set of fragments with an acyclic
+//! intra-page dependency graph. A [`PageRequest`] is one user asking for
+//! one template at one instant (the §II-B "user logs onto the system").
+//! [`render`] materializes a page immediately (executing fragments in
+//! dependency order) — the non-scheduled path used to verify content; the
+//! scheduled path goes through [`crate::compile`].
+
+use crate::fragment::{Fragment, FragmentId};
+use crate::query::exec::execute;
+use crate::query::plan::QueryError;
+use crate::storage::Database;
+use asets_core::time::SimTime;
+use std::fmt;
+
+/// A validated page template.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PageTemplate {
+    name: String,
+    fragments: Vec<Fragment>,
+}
+
+/// Template validation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TemplateError {
+    /// No fragments.
+    Empty,
+    /// A dependency index is out of range.
+    BadDependency(FragmentId),
+    /// The intra-page dependency graph has a cycle.
+    Cycle,
+}
+
+impl fmt::Display for TemplateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TemplateError::Empty => write!(f, "page template has no fragments"),
+            TemplateError::BadDependency(id) => write!(f, "dependency on missing fragment {id}"),
+            TemplateError::Cycle => write!(f, "fragment dependency cycle"),
+        }
+    }
+}
+
+impl std::error::Error for TemplateError {}
+
+impl PageTemplate {
+    /// Build and validate a template.
+    pub fn new(name: impl Into<String>, fragments: Vec<Fragment>) -> Result<Self, TemplateError> {
+        if fragments.is_empty() {
+            return Err(TemplateError::Empty);
+        }
+        let n = fragments.len();
+        for f in &fragments {
+            for d in &f.depends_on {
+                if d.index() >= n {
+                    return Err(TemplateError::BadDependency(*d));
+                }
+            }
+        }
+        // Kahn cycle check.
+        let mut indeg: Vec<u32> =
+            fragments.iter().map(|f| f.depends_on.len() as u32).collect();
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, f) in fragments.iter().enumerate() {
+            for d in &f.depends_on {
+                succs[d.index()].push(i);
+            }
+        }
+        let mut seen = 0;
+        while let Some(i) = queue.pop() {
+            seen += 1;
+            for &s in &succs[i] {
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    queue.push(s);
+                }
+            }
+        }
+        if seen != n {
+            return Err(TemplateError::Cycle);
+        }
+        Ok(PageTemplate { name: name.into(), fragments })
+    }
+
+    /// Template name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The fragments, indexed by [`FragmentId`].
+    pub fn fragments(&self) -> &[Fragment] {
+        &self.fragments
+    }
+
+    /// Fragment ids in a dependency-respecting order.
+    pub fn topo_order(&self) -> Vec<FragmentId> {
+        let n = self.fragments.len();
+        let mut indeg: Vec<u32> =
+            self.fragments.iter().map(|f| f.depends_on.len() as u32).collect();
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, f) in self.fragments.iter().enumerate() {
+            for d in &f.depends_on {
+                succs[d.index()].push(i);
+            }
+        }
+        let mut queue: std::collections::VecDeque<usize> =
+            (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut out = Vec::with_capacity(n);
+        while let Some(i) = queue.pop_front() {
+            out.push(FragmentId(i as u32));
+            for &s in &succs[i] {
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    queue.push_back(s);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One user's request for one page at one instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PageRequest {
+    /// The page to materialize.
+    pub template: PageTemplate,
+    /// Submission time (user login / navigation).
+    pub submit: SimTime,
+}
+
+/// A materialized fragment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RenderedFragment {
+    /// Fragment name.
+    pub name: String,
+    /// Rows produced.
+    pub row_count: usize,
+    /// Simple HTML rendering of the result.
+    pub html: String,
+}
+
+/// A fully materialized page.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RenderedPage {
+    /// Template name.
+    pub name: String,
+    /// Fragments, in template order.
+    pub fragments: Vec<RenderedFragment>,
+}
+
+impl RenderedPage {
+    /// Concatenated page HTML.
+    pub fn html(&self) -> String {
+        let mut out = format!("<html><!-- page: {} -->\n", self.name);
+        for f in &self.fragments {
+            out.push_str(&f.html);
+            out.push('\n');
+        }
+        out.push_str("</html>");
+        out
+    }
+}
+
+/// Materialize a page right now (unscheduled), executing fragments in
+/// dependency order.
+pub fn render(template: &PageTemplate, db: &Database) -> Result<RenderedPage, QueryError> {
+    let mut rendered: Vec<Option<RenderedFragment>> = vec![None; template.fragments().len()];
+    for id in template.topo_order() {
+        let frag = &template.fragments()[id.index()];
+        let result = execute(&frag.plan, db)?;
+        let mut html = format!("<div class=\"fragment\" id=\"{}\"><table>", frag.name);
+        // Header row.
+        html.push_str("<tr>");
+        for c in result.schema.columns() {
+            html.push_str(&format!("<th>{}</th>", c.name));
+        }
+        html.push_str("</tr>");
+        for row in &result.rows {
+            html.push_str("<tr>");
+            for v in row {
+                html.push_str(&format!("<td>{v}</td>"));
+            }
+            html.push_str("</tr>");
+        }
+        html.push_str("</table></div>");
+        rendered[id.index()] =
+            Some(RenderedFragment { name: frag.name.clone(), row_count: result.rows.len(), html });
+    }
+    Ok(RenderedPage {
+        name: template.name().to_string(),
+        fragments: rendered.into_iter().map(|f| f.expect("topo covered all")).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::plan::Plan;
+    use crate::schema::{Column, Schema};
+    use crate::storage::Table;
+    use crate::value::{Value, ValueType};
+    use asets_core::time::SimDuration;
+    use asets_core::txn::Weight;
+
+    fn frag(name: &str, deps: Vec<FragmentId>) -> Fragment {
+        Fragment::new(name, Plan::scan("t"), SimDuration::from_units_int(10), Weight::ONE)
+            .after(deps)
+    }
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let schema = Schema::new(vec![Column::required("x", ValueType::Int)]).unwrap();
+        let mut t = Table::new("t", schema);
+        t.insert(vec![Value::Int(1)]).unwrap();
+        t.insert(vec![Value::Int(2)]).unwrap();
+        db.create(t).unwrap();
+        db
+    }
+
+    #[test]
+    fn template_validation() {
+        assert_eq!(PageTemplate::new("p", vec![]).unwrap_err(), TemplateError::Empty);
+        assert_eq!(
+            PageTemplate::new("p", vec![frag("a", vec![FragmentId(5)])]).unwrap_err(),
+            TemplateError::BadDependency(FragmentId(5))
+        );
+        assert_eq!(
+            PageTemplate::new(
+                "p",
+                vec![frag("a", vec![FragmentId(1)]), frag("b", vec![FragmentId(0)])]
+            )
+            .unwrap_err(),
+            TemplateError::Cycle
+        );
+    }
+
+    #[test]
+    fn topo_order_respects_deps() {
+        let t = PageTemplate::new(
+            "p",
+            vec![
+                frag("c", vec![FragmentId(2)]),
+                frag("a", vec![]),
+                frag("b", vec![FragmentId(1)]),
+            ],
+        )
+        .unwrap();
+        let order = t.topo_order();
+        let pos = |id: FragmentId| order.iter().position(|&x| x == id).unwrap();
+        assert!(pos(FragmentId(1)) < pos(FragmentId(2)));
+        assert!(pos(FragmentId(2)) < pos(FragmentId(0)));
+    }
+
+    #[test]
+    fn render_produces_html_per_fragment() {
+        let t = PageTemplate::new(
+            "home",
+            vec![frag("a", vec![]), frag("b", vec![FragmentId(0)])],
+        )
+        .unwrap();
+        let page = render(&t, &db()).unwrap();
+        assert_eq!(page.fragments.len(), 2);
+        assert_eq!(page.fragments[0].row_count, 2);
+        assert!(page.fragments[0].html.contains("<th>x</th>"));
+        assert!(page.html().starts_with("<html>"));
+        assert!(page.html().contains("id=\"b\""));
+    }
+
+    #[test]
+    fn render_surfaces_query_errors() {
+        let t = PageTemplate::new(
+            "broken",
+            vec![Fragment::new(
+                "bad",
+                Plan::scan("missing_table"),
+                SimDuration::from_units_int(5),
+                Weight::ONE,
+            )],
+        )
+        .unwrap();
+        assert!(render(&t, &db()).is_err());
+    }
+}

@@ -1,0 +1,484 @@
+//! The query executor.
+//!
+//! Straightforward materializing operators — full scans, compiled-predicate
+//! filters, hash joins (build right, probe left), hash aggregation, sorts.
+//! Every operator counts the *work units* it performs into [`ExecStats`];
+//! the cost model converts those counters into simulated transaction
+//! lengths, so "how long a fragment's transaction takes" is grounded in the
+//! actual data it touches.
+
+use super::plan::{AggFunc, AggSpec, Plan, QueryError};
+use crate::schema::{Row, Schema};
+use crate::storage::Database;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Work-unit counters accumulated during execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Rows read from base tables.
+    pub rows_scanned: u64,
+    /// Primary-key index probes.
+    pub index_lookups: u64,
+    /// Predicate evaluations.
+    pub rows_filtered: u64,
+    /// Projection expression evaluations (rows × columns).
+    pub cells_projected: u64,
+    /// Hash-table inserts (join builds and aggregation groups).
+    pub rows_built: u64,
+    /// Hash-table probes.
+    pub rows_probed: u64,
+    /// Sort comparisons (counted as `n·log2(n)` rounded up).
+    pub sort_comparisons: u64,
+    /// Rows produced at the plan root.
+    pub rows_output: u64,
+}
+
+/// A materialized query result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    /// Output schema.
+    pub schema: Schema,
+    /// Output rows.
+    pub rows: Vec<Row>,
+    /// Work performed.
+    pub stats: ExecStats,
+}
+
+/// Execute a plan against a database.
+pub fn execute(plan: &Plan, db: &Database) -> Result<ResultSet, QueryError> {
+    let mut stats = ExecStats::default();
+    let (schema, rows) = run(plan, db, &mut stats)?;
+    stats.rows_output = rows.len() as u64;
+    Ok(ResultSet { schema, rows, stats })
+}
+
+fn run(plan: &Plan, db: &Database, stats: &mut ExecStats) -> Result<(Schema, Vec<Row>), QueryError> {
+    match plan {
+        Plan::Scan { table } => {
+            let t = db.table(table)?;
+            stats.rows_scanned += t.len() as u64;
+            Ok((t.schema().clone(), t.rows().to_vec()))
+        }
+        Plan::IndexLookup { table, key } => {
+            let t = db.table(table)?;
+            if t.primary_key().is_none() {
+                return Err(QueryError::Plan(format!(
+                    "IndexLookup on `{table}` which has no primary key"
+                )));
+            }
+            stats.index_lookups += 1;
+            let rows = t.get_by_key(key).map(|r| vec![r.clone()]).unwrap_or_default();
+            Ok((t.schema().clone(), rows))
+        }
+        Plan::Filter { input, predicate } => {
+            let (schema, rows) = run(input, db, stats)?;
+            let compiled = predicate.compile(&schema)?;
+            let mut out = Vec::new();
+            for row in rows {
+                stats.rows_filtered += 1;
+                if compiled.eval_bool(&row)? {
+                    out.push(row);
+                }
+            }
+            Ok((schema, out))
+        }
+        Plan::Project { input, columns } => {
+            let (schema, rows) = run(input, db, stats)?;
+            let compiled: Vec<_> = columns
+                .iter()
+                .map(|(_, e)| e.compile(&schema))
+                .collect::<Result<_, _>>()?;
+            let out_schema = plan.output_schema(db)?;
+            let mut out = Vec::with_capacity(rows.len());
+            for row in rows {
+                let mut new_row = Vec::with_capacity(compiled.len());
+                for c in &compiled {
+                    stats.cells_projected += 1;
+                    new_row.push(c.eval(&row)?);
+                }
+                out.push(new_row);
+            }
+            Ok((out_schema, out))
+        }
+        Plan::Join { left, right, left_col, right_col } => {
+            let (ls, lrows) = run(left, db, stats)?;
+            let (rs, rrows) = run(right, db, stats)?;
+            let li = ls.index_of(left_col)?;
+            let ri = rs.index_of(right_col)?;
+            // Build on the right.
+            let mut table: HashMap<Value, Vec<&Row>> = HashMap::new();
+            for row in &rrows {
+                stats.rows_built += 1;
+                if row[ri].is_null() {
+                    continue; // NULL never joins
+                }
+                table.entry(row[ri].clone()).or_default().push(row);
+            }
+            let out_schema = ls.join(&rs, "r")?;
+            let mut out = Vec::new();
+            for lrow in &lrows {
+                stats.rows_probed += 1;
+                if lrow[li].is_null() {
+                    continue;
+                }
+                if let Some(matches) = table.get(&lrow[li]) {
+                    for rrow in matches {
+                        let mut joined = lrow.clone();
+                        joined.extend((*rrow).clone());
+                        out.push(joined);
+                    }
+                }
+            }
+            Ok((out_schema, out))
+        }
+        Plan::Aggregate { input, group_by, aggs } => {
+            let (schema, rows) = run(input, db, stats)?;
+            let out_schema = plan.output_schema(db)?;
+            let group_idx = group_by.as_deref().map(|g| schema.index_of(g)).transpose()?;
+            let agg_idx: Vec<Option<usize>> = aggs
+                .iter()
+                .map(|a| a.input.as_deref().map(|c| schema.index_of(c)).transpose())
+                .collect::<Result<_, _>>()?;
+
+            // Group key -> accumulators; insertion order kept for determinism.
+            let mut order: Vec<Value> = Vec::new();
+            let mut groups: HashMap<Value, Vec<AggAcc>> = HashMap::new();
+            let global_key = Value::Null;
+            if group_idx.is_none() {
+                // A global aggregate has exactly one (possibly empty) group.
+                order.push(global_key.clone());
+                groups.insert(global_key.clone(), aggs.iter().map(AggAcc::new).collect());
+            }
+            for row in &rows {
+                stats.rows_built += 1;
+                let key = match group_idx {
+                    Some(i) => row[i].clone(),
+                    None => global_key.clone(),
+                };
+                let accs = groups.entry(key.clone()).or_insert_with(|| {
+                    order.push(key.clone());
+                    aggs.iter().map(AggAcc::new).collect()
+                });
+                for (acc, idx) in accs.iter_mut().zip(&agg_idx) {
+                    let v = idx.map(|i| &row[i]);
+                    acc.update(v)?;
+                }
+            }
+            let mut out = Vec::with_capacity(order.len());
+            for key in order {
+                let accs = &groups[&key];
+                let mut row = Vec::new();
+                if group_idx.is_some() {
+                    row.push(key);
+                }
+                for acc in accs {
+                    row.push(acc.finish());
+                }
+                out.push(row);
+            }
+            Ok((out_schema, out))
+        }
+        Plan::Sort { input, by, desc } => {
+            let (schema, mut rows) = run(input, db, stats)?;
+            let i = schema.index_of(by)?;
+            let n = rows.len() as u64;
+            stats.sort_comparisons += n * (64 - n.max(1).leading_zeros() as u64);
+            rows.sort_by(|a, b| {
+                let ord = a[i].cmp(&b[i]);
+                if *desc {
+                    ord.reverse()
+                } else {
+                    ord
+                }
+            });
+            Ok((schema, rows))
+        }
+        Plan::Limit { input, n } => {
+            let (schema, mut rows) = run(input, db, stats)?;
+            rows.truncate(*n);
+            Ok((schema, rows))
+        }
+    }
+}
+
+/// Streaming accumulator for one aggregate output.
+#[derive(Debug)]
+struct AggAcc {
+    func: AggFunc,
+    count: u64,
+    sum: f64,
+    int_sum: i64,
+    saw_float: bool,
+    min: Option<Value>,
+    max: Option<Value>,
+}
+
+impl AggAcc {
+    fn new(spec: &AggSpec) -> AggAcc {
+        AggAcc {
+            func: spec.func,
+            count: 0,
+            sum: 0.0,
+            int_sum: 0,
+            saw_float: false,
+            min: None,
+            max: None,
+        }
+    }
+
+    fn update(&mut self, v: Option<&Value>) -> Result<(), QueryError> {
+        match self.func {
+            AggFunc::Count => {
+                self.count += 1;
+            }
+            AggFunc::Sum | AggFunc::Avg => {
+                let v = v.expect("validated: Sum/Avg have input columns");
+                if v.is_null() {
+                    return Ok(());
+                }
+                let f = v.as_f64().ok_or_else(|| {
+                    QueryError::Plan(format!("aggregating non-numeric `{v}`"))
+                })?;
+                if let Some(i) = v.as_i64() {
+                    self.int_sum = self.int_sum.wrapping_add(i);
+                } else {
+                    self.saw_float = true;
+                }
+                self.sum += f;
+                self.count += 1;
+            }
+            AggFunc::Min | AggFunc::Max => {
+                let v = v.expect("validated: Min/Max have input columns");
+                if v.is_null() {
+                    return Ok(());
+                }
+                let slot = if self.func == AggFunc::Min { &mut self.min } else { &mut self.max };
+                let better = match slot.as_ref() {
+                    None => true,
+                    Some(cur) => {
+                        if self.func == AggFunc::Min {
+                            v < cur
+                        } else {
+                            v > cur
+                        }
+                    }
+                };
+                if better {
+                    *slot = Some(v.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(&self) -> Value {
+        match self.func {
+            AggFunc::Count => Value::Int(self.count as i64),
+            AggFunc::Sum => {
+                if self.count == 0 {
+                    Value::Null
+                } else if self.saw_float {
+                    Value::float(self.sum)
+                } else {
+                    Value::Int(self.int_sum)
+                }
+            }
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::float(self.sum / self.count as f64)
+                }
+            }
+            AggFunc::Min => self.min.clone().unwrap_or(Value::Null),
+            AggFunc::Max => self.max.clone().unwrap_or(Value::Null),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::schema::Column;
+    use crate::storage::Table;
+    use crate::value::ValueType;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let stocks = Schema::new(vec![
+            Column::required("symbol", ValueType::Str),
+            Column::required("price", ValueType::Float),
+            Column::required("sector", ValueType::Str),
+        ])
+        .unwrap();
+        let mut t = Table::new("stocks", stocks);
+        for (s, p, sec) in [
+            ("AAPL", 150.0, "tech"),
+            ("MSFT", 300.0, "tech"),
+            ("XOM", 100.0, "energy"),
+            ("CVX", 160.0, "energy"),
+        ] {
+            t.insert(vec![Value::str(s), Value::Float(p), Value::str(sec)]).unwrap();
+        }
+        db.create(t).unwrap();
+
+        let holdings = Schema::new(vec![
+            Column::required("symbol", ValueType::Str),
+            Column::required("qty", ValueType::Int),
+        ])
+        .unwrap();
+        let mut h = Table::new("holdings", holdings);
+        for (s, q) in [("AAPL", 10), ("XOM", 5)] {
+            h.insert(vec![Value::str(s), Value::Int(q)]).unwrap();
+        }
+        db.create(h).unwrap();
+        db
+    }
+
+    #[test]
+    fn scan_returns_all_rows() {
+        let r = execute(&Plan::scan("stocks"), &db()).unwrap();
+        assert_eq!(r.rows.len(), 4);
+        assert_eq!(r.stats.rows_scanned, 4);
+        assert_eq!(r.stats.rows_output, 4);
+    }
+
+    #[test]
+    fn filter_selects() {
+        let p = Plan::scan("stocks").filter(Expr::col("price").gt(Expr::lit(Value::Float(140.0))));
+        let r = execute(&p, &db()).unwrap();
+        assert_eq!(r.rows.len(), 3);
+        assert_eq!(r.stats.rows_filtered, 4);
+    }
+
+    #[test]
+    fn project_computes() {
+        use crate::expr::BinOp;
+        let p = Plan::scan("holdings").project(vec![
+            ("symbol", Expr::col("symbol")),
+            ("double_qty", Expr::bin(BinOp::Mul, Expr::col("qty"), Expr::lit(Value::Int(2)))),
+        ]);
+        let r = execute(&p, &db()).unwrap();
+        assert_eq!(r.rows[0], vec![Value::str("AAPL"), Value::Int(20)]);
+        assert_eq!(r.stats.cells_projected, 4);
+    }
+
+    #[test]
+    fn hash_join_matches_pairs() {
+        let p = Plan::scan("holdings").join(Plan::scan("stocks"), "symbol", "symbol");
+        let r = execute(&p, &db()).unwrap();
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.stats.rows_built, 4, "stocks side built");
+        assert_eq!(r.stats.rows_probed, 2, "holdings side probed");
+        // Joined row: symbol, qty, r.symbol, price, sector.
+        assert_eq!(r.schema.len(), 5);
+        let aapl = r.rows.iter().find(|row| row[0] == Value::str("AAPL")).unwrap();
+        assert_eq!(aapl[3], Value::Float(150.0));
+    }
+
+    #[test]
+    fn global_aggregate() {
+        let p = Plan::scan("stocks").aggregate(
+            None,
+            vec![
+                AggSpec { output: "n".into(), func: AggFunc::Count, input: None },
+                AggSpec { output: "avg_p".into(), func: AggFunc::Avg, input: Some("price".into()) },
+                AggSpec { output: "max_p".into(), func: AggFunc::Max, input: Some("price".into()) },
+            ],
+        );
+        let r = execute(&p, &db()).unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][0], Value::Int(4));
+        assert_eq!(r.rows[0][1], Value::Float(177.5));
+        assert_eq!(r.rows[0][2], Value::Float(300.0));
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input() {
+        let p = Plan::scan("stocks")
+            .filter(Expr::col("price").gt(Expr::lit(Value::Float(1e9))))
+            .aggregate(
+                None,
+                vec![
+                    AggSpec { output: "n".into(), func: AggFunc::Count, input: None },
+                    AggSpec { output: "s".into(), func: AggFunc::Sum, input: Some("price".into()) },
+                ],
+            );
+        let r = execute(&p, &db()).unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int(0), Value::Null]]);
+    }
+
+    #[test]
+    fn grouped_aggregate() {
+        let p = Plan::scan("stocks").aggregate(
+            Some("sector"),
+            vec![AggSpec { output: "n".into(), func: AggFunc::Count, input: None }],
+        );
+        let r = execute(&p, &db()).unwrap();
+        assert_eq!(r.rows.len(), 2);
+        // Insertion order: tech first.
+        assert_eq!(r.rows[0], vec![Value::str("tech"), Value::Int(2)]);
+        assert_eq!(r.rows[1], vec![Value::str("energy"), Value::Int(2)]);
+    }
+
+    #[test]
+    fn sum_of_ints_stays_int() {
+        let p = Plan::scan("holdings").aggregate(
+            None,
+            vec![AggSpec { output: "total".into(), func: AggFunc::Sum, input: Some("qty".into()) }],
+        );
+        let r = execute(&p, &db()).unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(15));
+    }
+
+    #[test]
+    fn sort_and_limit() {
+        let p = Plan::scan("stocks").sort("price", true).limit(2);
+        let r = execute(&p, &db()).unwrap();
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0][0], Value::str("MSFT"));
+        assert_eq!(r.rows[1][0], Value::str("CVX"));
+        assert!(r.stats.sort_comparisons > 0);
+    }
+
+    #[test]
+    fn composed_pipeline_portfolio_value() {
+        use crate::expr::BinOp;
+        // The §II-B T3: portfolio value = sum(price * qty) over the join.
+        let p = Plan::scan("holdings")
+            .join(Plan::scan("stocks"), "symbol", "symbol")
+            .project(vec![(
+                "position",
+                Expr::bin(BinOp::Mul, Expr::col("qty"), Expr::col("price")),
+            )])
+            .aggregate(
+                None,
+                vec![AggSpec {
+                    output: "value".into(),
+                    func: AggFunc::Sum,
+                    input: Some("position".into()),
+                }],
+            );
+        let r = execute(&p, &db()).unwrap();
+        assert_eq!(r.rows[0][0], Value::Float(10.0 * 150.0 + 5.0 * 100.0));
+    }
+
+    #[test]
+    fn join_skips_nulls() {
+        let mut db = db();
+        let schema = Schema::new(vec![
+            Column::nullable("symbol", ValueType::Str),
+            Column::required("qty", ValueType::Int),
+        ])
+        .unwrap();
+        let mut t = Table::new("maybe", schema);
+        t.insert(vec![Value::Null, Value::Int(1)]).unwrap();
+        t.insert(vec![Value::str("AAPL"), Value::Int(2)]).unwrap();
+        db.create(t).unwrap();
+        let p = Plan::scan("maybe").join(Plan::scan("stocks"), "symbol", "symbol");
+        let r = execute(&p, &db).unwrap();
+        assert_eq!(r.rows.len(), 1, "NULL never joins");
+    }
+}

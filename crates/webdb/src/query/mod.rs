@@ -1,0 +1,12 @@
+//! The query layer: logical plans, a row-at-a-time executor, and the
+//! deterministic cost model that gives web transactions their lengths.
+
+pub mod cost;
+pub mod exec;
+pub mod optimize;
+pub mod plan;
+
+pub use cost::{CostModel, PlanCost};
+pub use optimize::optimize;
+pub use exec::{execute, ExecStats, ResultSet};
+pub use plan::{AggFunc, Plan, QueryError};

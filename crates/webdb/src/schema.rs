@@ -1,0 +1,241 @@
+//! Table schemas and rows.
+
+use crate::value::{Value, ValueType};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A named, typed column. Nullable by default.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Column {
+    /// Column name (unique within a schema).
+    pub name: String,
+    /// Value type.
+    pub ty: ValueType,
+    /// Whether NULL is allowed.
+    pub nullable: bool,
+}
+
+impl Column {
+    /// A non-nullable column.
+    pub fn required(name: impl Into<String>, ty: ValueType) -> Column {
+        Column { name: name.into(), ty, nullable: false }
+    }
+
+    /// A nullable column.
+    pub fn nullable(name: impl Into<String>, ty: ValueType) -> Column {
+        Column { name: name.into(), ty, nullable: true }
+    }
+}
+
+/// An ordered set of columns.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+/// A row: one value per schema column, in order.
+pub type Row = Vec<Value>;
+
+/// Schema/row mismatches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// Two columns share a name.
+    DuplicateColumn(String),
+    /// A referenced column does not exist.
+    UnknownColumn(String),
+    /// Row has the wrong number of values.
+    Arity {
+        /// Expected column count.
+        expected: usize,
+        /// Provided value count.
+        got: usize,
+    },
+    /// A value's type does not match its column.
+    TypeMismatch {
+        /// Offending column name.
+        column: String,
+        /// Expected type.
+        expected: ValueType,
+        /// The offending value, rendered.
+        got: String,
+    },
+    /// NULL in a non-nullable column.
+    NullViolation(String),
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::DuplicateColumn(c) => write!(f, "duplicate column `{c}`"),
+            SchemaError::UnknownColumn(c) => write!(f, "unknown column `{c}`"),
+            SchemaError::Arity { expected, got } => {
+                write!(f, "row has {got} values, schema has {expected} columns")
+            }
+            SchemaError::TypeMismatch { column, expected, got } => {
+                write!(f, "column `{column}` expects {expected:?}, got `{got}`")
+            }
+            SchemaError::NullViolation(c) => write!(f, "NULL in non-nullable column `{c}`"),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+impl Schema {
+    /// Build a schema, rejecting duplicate column names.
+    pub fn new(columns: Vec<Column>) -> Result<Schema, SchemaError> {
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].iter().any(|o| o.name == c.name) {
+                return Err(SchemaError::DuplicateColumn(c.name.clone()));
+            }
+        }
+        Ok(Schema { columns })
+    }
+
+    /// The columns, in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True iff no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Index of the named column.
+    pub fn index_of(&self, name: &str) -> Result<usize, SchemaError> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or_else(|| SchemaError::UnknownColumn(name.to_string()))
+    }
+
+    /// The named column.
+    pub fn column(&self, name: &str) -> Result<&Column, SchemaError> {
+        self.index_of(name).map(|i| &self.columns[i])
+    }
+
+    /// Validate a row against this schema.
+    pub fn check_row(&self, row: &Row) -> Result<(), SchemaError> {
+        if row.len() != self.columns.len() {
+            return Err(SchemaError::Arity { expected: self.columns.len(), got: row.len() });
+        }
+        for (c, v) in self.columns.iter().zip(row) {
+            match v.value_type() {
+                None => {
+                    if !c.nullable {
+                        return Err(SchemaError::NullViolation(c.name.clone()));
+                    }
+                }
+                Some(t) if t != c.ty => {
+                    return Err(SchemaError::TypeMismatch {
+                        column: c.name.clone(),
+                        expected: c.ty,
+                        got: v.to_string(),
+                    });
+                }
+                Some(_) => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Concatenate two schemas (for joins), prefixing clashing names from
+    /// the right side with `right_prefix.`.
+    pub fn join(&self, right: &Schema, right_prefix: &str) -> Result<Schema, SchemaError> {
+        let mut cols = self.columns.clone();
+        for c in &right.columns {
+            let name = if self.index_of(&c.name).is_ok() {
+                format!("{right_prefix}.{}", c.name)
+            } else {
+                c.name.clone()
+            };
+            cols.push(Column { name, ty: c.ty, nullable: c.nullable });
+        }
+        Schema::new(cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::required("id", ValueType::Int),
+            Column::required("name", ValueType::Str),
+            Column::nullable("price", ValueType::Float),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn duplicate_columns_rejected() {
+        let e = Schema::new(vec![
+            Column::required("x", ValueType::Int),
+            Column::required("x", ValueType::Str),
+        ])
+        .unwrap_err();
+        assert_eq!(e, SchemaError::DuplicateColumn("x".into()));
+    }
+
+    #[test]
+    fn index_lookup() {
+        let s = schema();
+        assert_eq!(s.index_of("price").unwrap(), 2);
+        assert!(s.index_of("nope").is_err());
+        assert_eq!(s.column("name").unwrap().ty, ValueType::Str);
+    }
+
+    #[test]
+    fn valid_row_passes() {
+        let s = schema();
+        s.check_row(&vec![Value::Int(1), Value::str("AAPL"), Value::Float(150.0)]).unwrap();
+        s.check_row(&vec![Value::Int(1), Value::str("AAPL"), Value::Null]).unwrap();
+    }
+
+    #[test]
+    fn arity_checked() {
+        let e = schema().check_row(&vec![Value::Int(1)]).unwrap_err();
+        assert_eq!(e, SchemaError::Arity { expected: 3, got: 1 });
+    }
+
+    #[test]
+    fn type_checked() {
+        let e = schema()
+            .check_row(&vec![Value::str("x"), Value::str("y"), Value::Null])
+            .unwrap_err();
+        assert!(matches!(e, SchemaError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn null_violation_checked() {
+        let e = schema()
+            .check_row(&vec![Value::Null, Value::str("y"), Value::Null])
+            .unwrap_err();
+        assert_eq!(e, SchemaError::NullViolation("id".into()));
+    }
+
+    #[test]
+    fn join_prefixes_clashes() {
+        let left = schema();
+        let right = Schema::new(vec![
+            Column::required("id", ValueType::Int),
+            Column::required("qty", ValueType::Int),
+        ])
+        .unwrap();
+        let joined = left.join(&right, "r").unwrap();
+        let names: Vec<&str> = joined.columns().iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["id", "name", "price", "r.id", "qty"]);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(SchemaError::UnknownColumn("q".into()).to_string().contains("`q`"));
+    }
+}

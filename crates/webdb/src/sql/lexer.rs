@@ -1,0 +1,336 @@
+//! SQL tokenizer.
+//!
+//! Hand-rolled, position-tracking lexer for the small SQL dialect of
+//! [`crate::sql`]: identifiers, integer/float literals, single-quoted
+//! strings (with `''` escaping), punctuation and the comparison operators.
+//! Keywords are recognized case-insensitively at parse time (the lexer
+//! just produces identifiers).
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (case preserved; keyword matching is
+    /// case-insensitive in the parser).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (quotes removed, `''` unescaped).
+    Str(String),
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `*`
+    Star,
+    /// `.`
+    Dot,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Float(x) => write!(f, "{x}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Comma => write!(f, ","),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Star => write!(f, "*"),
+            Token::Dot => write!(f, "."),
+            Token::Eq => write!(f, "="),
+            Token::Ne => write!(f, "<>"),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Slash => write!(f, "/"),
+        }
+    }
+}
+
+/// A lexing failure with byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset into the input.
+    pub pos: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize a SQL string.
+pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token::Minus);
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(LexError { pos: i, message: "`!` must be `!=`".into() });
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(b'=') => {
+                    tokens.push(Token::Le);
+                    i += 2;
+                }
+                Some(b'>') => {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(LexError {
+                                pos: start,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                        Some(b'\'') => {
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && i + 1 < bytes.len()
+                    && (bytes[i + 1] as char).is_ascii_digit()
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &input[start..i];
+                if is_float {
+                    let v = text.parse::<f64>().map_err(|e| LexError {
+                        pos: start,
+                        message: format!("bad float `{text}`: {e}"),
+                    })?;
+                    tokens.push(Token::Float(v));
+                } else {
+                    let v = text.parse::<i64>().map_err(|e| LexError {
+                        pos: start,
+                        message: format!("bad integer `{text}`: {e}"),
+                    })?;
+                    tokens.push(Token::Int(v));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(input[start..i].to_string()));
+            }
+            other => {
+                return Err(LexError { pos: i, message: format!("unexpected character `{other}`") })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_select() {
+        let t = lex("SELECT symbol, price FROM stocks").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("SELECT".into()),
+                Token::Ident("symbol".into()),
+                Token::Comma,
+                Token::Ident("price".into()),
+                Token::Ident("FROM".into()),
+                Token::Ident("stocks".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_operators() {
+        let t = lex("price >= 10.5 AND qty <> 3").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("price".into()),
+                Token::Ge,
+                Token::Float(10.5),
+                Token::Ident("AND".into()),
+                Token::Ident("qty".into()),
+                Token::Ne,
+                Token::Int(3),
+            ]
+        );
+    }
+
+    #[test]
+    fn all_comparison_spellings() {
+        assert_eq!(lex("a != b").unwrap()[1], Token::Ne);
+        assert_eq!(lex("a <> b").unwrap()[1], Token::Ne);
+        assert_eq!(lex("a <= b").unwrap()[1], Token::Le);
+        assert_eq!(lex("a < b").unwrap()[1], Token::Lt);
+    }
+
+    #[test]
+    fn string_literals_with_escapes() {
+        let t = lex("name = 'O''Brien'").unwrap();
+        assert_eq!(t[2], Token::Str("O'Brien".into()));
+    }
+
+    #[test]
+    fn unterminated_string_fails() {
+        let e = lex("name = 'oops").unwrap_err();
+        assert!(e.message.contains("unterminated"));
+        assert_eq!(e.pos, 7);
+    }
+
+    #[test]
+    fn punctuation_and_arith() {
+        let t = lex("SUM(a.b) * 2 - 1 / 3").unwrap();
+        assert!(t.contains(&Token::LParen));
+        assert!(t.contains(&Token::Dot));
+        assert!(t.contains(&Token::Star));
+        assert!(t.contains(&Token::Minus));
+        assert!(t.contains(&Token::Slash));
+    }
+
+    #[test]
+    fn bad_character_reports_position() {
+        let e = lex("a = ;").unwrap_err();
+        assert_eq!(e.pos, 4);
+    }
+
+    #[test]
+    fn underscored_identifiers() {
+        let t = lex("base_price").unwrap();
+        assert_eq!(t, vec![Token::Ident("base_price".into())]);
+    }
+
+    #[test]
+    fn float_needs_digits_after_dot() {
+        // `1.` is Int(1) followed by Dot (qualified-name syntax wins).
+        let t = lex("1.x").unwrap();
+        assert_eq!(t[0], Token::Int(1));
+        assert_eq!(t[1], Token::Dot);
+    }
+}

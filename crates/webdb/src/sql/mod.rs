@@ -1,0 +1,167 @@
+//! A small SQL front-end over the plan algebra.
+//!
+//! Fragments can be authored as SQL instead of hand-built plans:
+//!
+//! ```
+//! use asets_webdb::sql::query;
+//! use asets_webdb::app::stock::{stock_database, StockDbParams};
+//!
+//! let params = StockDbParams { n_stocks: 50, n_users: 4, ..Default::default() };
+//! let db = stock_database(&params, 1).unwrap();
+//! let result = query(
+//!     "SELECT sector, AVG(price) AS avg_price FROM stocks \
+//!      GROUP BY sector ORDER BY avg_price DESC LIMIT 3",
+//!     &db,
+//! )
+//! .unwrap();
+//! assert_eq!(result.rows.len(), 3);
+//! ```
+//!
+//! Supported: `SELECT` lists with expressions, aliases and the COUNT / SUM /
+//! AVG / MIN / MAX aggregates; one `JOIN ... ON a = b`; `WHERE` with full
+//! boolean/comparison/arithmetic expressions, `IS [NOT] NULL`, `ABS`;
+//! `GROUP BY`; `ORDER BY ... [ASC|DESC]`; `LIMIT`.
+
+mod lexer;
+mod parser;
+
+pub use lexer::{lex, LexError, Token};
+pub use parser::{parse_query, ParseError};
+
+use crate::query::exec::{execute, ResultSet};
+use crate::query::optimize::optimize;
+use crate::query::plan::QueryError;
+use crate::storage::Database;
+
+/// Parse, optimize and execute a SQL query against a database.
+pub fn query(sql: &str, db: &Database) -> Result<ResultSet, SqlError> {
+    let plan = parse_query(sql)?;
+    let plan = optimize(&plan, db)?;
+    Ok(execute(&plan, db)?)
+}
+
+/// Errors from the SQL front-end: parse-time or execution-time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// The statement did not parse.
+    Parse(ParseError),
+    /// The plan failed to bind or execute.
+    Query(QueryError),
+}
+
+impl std::fmt::Display for SqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SqlError::Parse(e) => write!(f, "{e}"),
+            SqlError::Query(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<ParseError> for SqlError {
+    fn from(e: ParseError) -> Self {
+        SqlError::Parse(e)
+    }
+}
+impl From<QueryError> for SqlError {
+    fn from(e: QueryError) -> Self {
+        SqlError::Query(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, Schema};
+    use crate::storage::Table;
+    use crate::value::{Value, ValueType};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let stocks = Schema::new(vec![
+            Column::required("symbol", ValueType::Str),
+            Column::required("price", ValueType::Float),
+            Column::required("sector", ValueType::Str),
+        ])
+        .unwrap();
+        let mut t = Table::new("stocks", stocks);
+        for (s, p, sec) in [
+            ("AAPL", 150.0, "tech"),
+            ("MSFT", 300.0, "tech"),
+            ("XOM", 100.0, "energy"),
+        ] {
+            t.insert(vec![Value::str(s), Value::Float(p), Value::str(sec)]).unwrap();
+        }
+        db.create(t).unwrap();
+        let holdings = Schema::new(vec![
+            Column::required("symbol", ValueType::Str),
+            Column::required("qty", ValueType::Int),
+        ])
+        .unwrap();
+        let mut h = Table::new("holdings", holdings);
+        h.insert(vec![Value::str("AAPL"), Value::Int(10)]).unwrap();
+        h.insert(vec![Value::str("XOM"), Value::Int(5)]).unwrap();
+        db.create(h).unwrap();
+        db
+    }
+
+    #[test]
+    fn end_to_end_filter_sort() {
+        let r = query(
+            "SELECT symbol FROM stocks WHERE price >= 150 ORDER BY price DESC",
+            &db(),
+        )
+        .unwrap();
+        assert_eq!(
+            r.rows,
+            vec![vec![Value::str("MSFT")], vec![Value::str("AAPL")]]
+        );
+    }
+
+    #[test]
+    fn end_to_end_join_project() {
+        let r = query(
+            "SELECT symbol, qty * price AS position FROM holdings \
+             JOIN stocks ON symbol = symbol",
+            &db(),
+        )
+        .unwrap();
+        assert_eq!(r.rows.len(), 2);
+        let aapl = r.rows.iter().find(|row| row[0] == Value::str("AAPL")).unwrap();
+        assert_eq!(aapl[1], Value::Float(1500.0));
+    }
+
+    #[test]
+    fn end_to_end_group_by() {
+        let r = query(
+            "SELECT sector, COUNT(*) AS n, MAX(price) AS top FROM stocks GROUP BY sector",
+            &db(),
+        )
+        .unwrap();
+        assert_eq!(r.schema.column("n").unwrap().ty, ValueType::Int);
+        let tech = r.rows.iter().find(|row| row[0] == Value::str("tech")).unwrap();
+        assert_eq!(tech[1], Value::Int(2));
+        assert_eq!(tech[2], Value::Float(300.0));
+    }
+
+    #[test]
+    fn parse_errors_are_typed() {
+        assert!(matches!(query("SELEKT *", &db()), Err(SqlError::Parse(_))));
+        assert!(matches!(
+            query("SELECT * FROM missing", &db()),
+            Err(SqlError::Query(_))
+        ));
+        assert!(matches!(
+            query("SELECT nope FROM stocks", &db()),
+            Err(SqlError::Query(_))
+        ));
+    }
+
+    #[test]
+    fn string_predicates() {
+        let r = query("SELECT price FROM stocks WHERE symbol = 'AAPL'", &db()).unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Float(150.0)]]);
+    }
+}

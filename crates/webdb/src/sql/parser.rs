@@ -1,0 +1,679 @@
+//! SQL parser: tokens → [`Plan`].
+//!
+//! Grammar (keywords case-insensitive):
+//!
+//! ```text
+//! query     := SELECT select_list FROM ident [join] [where] [group] [order] [limit]
+//! select    := '*' | item (',' item)*
+//! item      := expr [AS ident] | agg '(' (column | '*') ')' [AS ident]
+//! agg       := COUNT | SUM | AVG | MIN | MAX
+//! join      := JOIN ident ON column '=' column
+//! where     := WHERE expr
+//! group     := GROUP BY column
+//! order     := ORDER BY column [ASC | DESC]
+//! limit     := LIMIT int
+//! expr      := or; or := and (OR and)*; and := unary (AND unary)*
+//! unary     := NOT unary | cmp
+//! cmp       := add [(= | <> | != | < | <= | > | >=) add] | add IS [NOT] NULL
+//! add       := mul (('+'|'-') mul)*
+//! mul       := atom (('*'|'/') atom)*
+//! atom      := literal | column | ABS '(' expr ')' | '(' expr ')' | '-' atom
+//! column    := ident ['.' ident]      (qualifier joins with '.': `r.symbol`)
+//! ```
+//!
+//! The planner stage lowers the parsed query onto the [`Plan`] algebra:
+//! `FROM`/`JOIN` → Scan/Join, `WHERE` → Filter, aggregates/`GROUP BY` →
+//! Aggregate, plain select items → Project, then Sort and Limit.
+
+use super::lexer::{lex, Token};
+use crate::expr::{BinOp, Expr};
+use crate::query::plan::{AggFunc, AggSpec, Plan};
+use crate::value::Value;
+use std::fmt;
+
+/// A parse failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Token index where parsing failed (usize::MAX for lex errors).
+    pub at: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at token {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a SQL `SELECT` statement into a logical [`Plan`].
+pub fn parse_query(sql: &str) -> Result<Plan, ParseError> {
+    let tokens =
+        lex(sql).map_err(|e| ParseError { at: usize::MAX, message: e.to_string() })?;
+    let mut p = Parser { tokens, pos: 0 };
+    let plan = p.query()?;
+    if p.pos != p.tokens.len() {
+        return Err(p.err(format!("trailing input starting at `{}`", p.tokens[p.pos])));
+    }
+    Ok(plan)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+/// A parsed select item.
+enum SelectItem {
+    Wildcard,
+    Expr { expr: Expr, alias: Option<String> },
+    Agg { func: AggFunc, input: Option<String>, alias: Option<String> },
+}
+
+impl Parser {
+    fn err(&self, message: String) -> ParseError {
+        ParseError { at: self.pos, message }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consume the given keyword (case-insensitive) if present.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if let Some(Token::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{kw}`")))
+        }
+    }
+
+    fn expect(&mut self, t: Token) -> Result<(), ParseError> {
+        if self.eat(&t) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{t}`")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected identifier, got {other:?}"))),
+        }
+    }
+
+    /// `ident ['.' ident]` — a possibly qualified column name.
+    fn column_name(&mut self) -> Result<String, ParseError> {
+        let first = self.ident()?;
+        if self.eat(&Token::Dot) {
+            let second = self.ident()?;
+            Ok(format!("{first}.{second}"))
+        } else {
+            Ok(first)
+        }
+    }
+
+    fn query(&mut self) -> Result<Plan, ParseError> {
+        self.expect_kw("SELECT")?;
+        let items = self.select_list()?;
+        self.expect_kw("FROM")?;
+        let table = self.ident()?;
+        let mut plan = Plan::scan(table);
+
+        if self.eat_kw("JOIN") {
+            let right = self.ident()?;
+            self.expect_kw("ON")?;
+            let lcol = self.column_name()?;
+            self.expect(Token::Eq)?;
+            let rcol = self.column_name()?;
+            plan = plan.join(Plan::scan(right), &lcol, &rcol);
+        }
+
+        if self.eat_kw("WHERE") {
+            let pred = self.expr()?;
+            plan = plan.filter(pred);
+        }
+
+        let group_by = if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            Some(self.column_name()?)
+        } else {
+            None
+        };
+
+        let order = if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            let col = self.column_name()?;
+            let desc = if self.eat_kw("DESC") {
+                true
+            } else {
+                let _ = self.eat_kw("ASC");
+                false
+            };
+            Some((col, desc))
+        } else {
+            None
+        };
+
+        let limit = if self.eat_kw("LIMIT") {
+            match self.next() {
+                Some(Token::Int(n)) if n >= 0 => Some(n as usize),
+                other => {
+                    return Err(
+                        self.err(format!("LIMIT needs a non-negative integer, got {other:?}"))
+                    )
+                }
+            }
+        } else {
+            None
+        };
+
+        // ORDER BY may reference either a projected output name or an
+        // underlying column that the projection drops (standard SQL allows
+        // both). Sort after the select stage when the sort key is visible
+        // in its output, before it otherwise.
+        let sort_after = match &order {
+            None => true,
+            Some((col, _)) => select_output_names(&items, group_by.as_deref())
+                .is_none_or(|names| names.iter().any(|n| n == col)),
+        };
+        if let (Some((col, desc)), false) = (&order, sort_after) {
+            plan = plan.sort(col, *desc);
+        }
+        plan = self.apply_select(plan, items, group_by)?;
+        if let (Some((col, desc)), true) = (&order, sort_after) {
+            plan = plan.sort(col, *desc);
+        }
+        if let Some(n) = limit {
+            plan = plan.limit(n);
+        }
+        Ok(plan)
+    }
+
+    fn select_list(&mut self) -> Result<Vec<SelectItem>, ParseError> {
+        if self.eat(&Token::Star) {
+            return Ok(vec![SelectItem::Wildcard]);
+        }
+        let mut items = vec![self.select_item()?];
+        while self.eat(&Token::Comma) {
+            items.push(self.select_item()?);
+        }
+        Ok(items)
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, ParseError> {
+        // Aggregate call?
+        if let Some(Token::Ident(name)) = self.peek() {
+            let func = match name.to_ascii_uppercase().as_str() {
+                "COUNT" => Some(AggFunc::Count),
+                "SUM" => Some(AggFunc::Sum),
+                "AVG" => Some(AggFunc::Avg),
+                "MIN" => Some(AggFunc::Min),
+                "MAX" => Some(AggFunc::Max),
+                _ => None,
+            };
+            if let Some(func) = func {
+                if self.tokens.get(self.pos + 1) == Some(&Token::LParen) {
+                    self.pos += 2; // func name + '('
+                    let input = if self.eat(&Token::Star) {
+                        if func != AggFunc::Count {
+                            return Err(self.err(format!("{func:?}(*) is only valid for COUNT")));
+                        }
+                        None
+                    } else {
+                        Some(self.column_name()?)
+                    };
+                    self.expect(Token::RParen)?;
+                    let alias = self.alias()?;
+                    return Ok(SelectItem::Agg { func, input, alias });
+                }
+            }
+        }
+        let expr = self.expr()?;
+        let alias = self.alias()?;
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn alias(&mut self) -> Result<Option<String>, ParseError> {
+        if self.eat_kw("AS") {
+            Ok(Some(self.ident()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn apply_select(
+        &self,
+        plan: Plan,
+        items: Vec<SelectItem>,
+        group_by: Option<String>,
+    ) -> Result<Plan, ParseError> {
+        let has_agg = items.iter().any(|i| matches!(i, SelectItem::Agg { .. }));
+        if !has_agg {
+            if group_by.is_some() {
+                return Err(ParseError {
+                    at: self.pos,
+                    message: "GROUP BY requires aggregate select items".into(),
+                });
+            }
+            if items.len() == 1 && matches!(items[0], SelectItem::Wildcard) {
+                return Ok(plan);
+            }
+            let mut columns = Vec::new();
+            for item in items {
+                match item {
+                    SelectItem::Wildcard => {
+                        return Err(ParseError {
+                            at: self.pos,
+                            message: "`*` cannot mix with other select items".into(),
+                        })
+                    }
+                    SelectItem::Expr { expr, alias } => {
+                        let name = alias.unwrap_or_else(|| default_name(&expr));
+                        columns.push((name, expr));
+                    }
+                    SelectItem::Agg { .. } => unreachable!("has_agg is false"),
+                }
+            }
+            return Ok(Plan::Project { input: Box::new(plan), columns });
+        }
+
+        // Aggregate query: every item must be an aggregate or the group-by
+        // column itself.
+        let mut aggs = Vec::new();
+        for item in items {
+            match item {
+                SelectItem::Agg { func, input, alias } => {
+                    let output = alias.unwrap_or_else(|| agg_name(func, input.as_deref()));
+                    aggs.push(AggSpec { output, func, input });
+                }
+                SelectItem::Expr { expr, alias: _ } => match (&expr, &group_by) {
+                    (Expr::Col(c), Some(g)) if c == g => {
+                        // The group column is emitted automatically by the
+                        // Aggregate operator; nothing to add.
+                    }
+                    _ => {
+                        return Err(ParseError {
+                            at: self.pos,
+                            message:
+                                "non-aggregate select items must be the GROUP BY column".into(),
+                        })
+                    }
+                },
+                SelectItem::Wildcard => {
+                    return Err(ParseError {
+                        at: self.pos,
+                        message: "`*` cannot appear in an aggregate select list".into(),
+                    })
+                }
+            }
+        }
+        Ok(plan.aggregate(group_by.as_deref(), aggs))
+    }
+
+    // ---- expressions -------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_kw("OR") {
+            let rhs = self.and_expr()?;
+            lhs = Expr::bin(BinOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        while self.eat_kw("AND") {
+            let rhs = self.unary_expr()?;
+            lhs = Expr::bin(BinOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_kw("NOT") {
+            let inner = self.unary_expr()?;
+            return Ok(Expr::Not(Box::new(inner)));
+        }
+        self.cmp_expr()
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.add_expr()?;
+        // IS [NOT] NULL
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            let test = Expr::IsNull(Box::new(lhs));
+            return Ok(if negated { Expr::Not(Box::new(test)) } else { test });
+        }
+        let op = match self.peek() {
+            Some(Token::Eq) => Some(BinOp::Eq),
+            Some(Token::Ne) => Some(BinOp::Ne),
+            Some(Token::Lt) => Some(BinOp::Lt),
+            Some(Token::Le) => Some(BinOp::Le),
+            Some(Token::Gt) => Some(BinOp::Gt),
+            Some(Token::Ge) => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let rhs = self.add_expr()?;
+            Ok(Expr::bin(op, lhs, rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.mul_expr()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.atom()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.atom()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn atom(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().cloned() {
+            Some(Token::Int(i)) => {
+                self.pos += 1;
+                Ok(Expr::lit(Value::Int(i)))
+            }
+            Some(Token::Float(f)) => {
+                self.pos += 1;
+                Ok(Expr::lit(Value::float(f)))
+            }
+            Some(Token::Str(s)) => {
+                self.pos += 1;
+                Ok(Expr::lit(Value::Str(s)))
+            }
+            Some(Token::Minus) => {
+                self.pos += 1;
+                let inner = self.atom()?;
+                Ok(Expr::bin(BinOp::Sub, Expr::lit(Value::Int(0)), inner))
+            }
+            Some(Token::LParen) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect(Token::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Ident(name)) => {
+                if name.eq_ignore_ascii_case("ABS")
+                    && self.tokens.get(self.pos + 1) == Some(&Token::LParen)
+                {
+                    self.pos += 2;
+                    let inner = self.expr()?;
+                    self.expect(Token::RParen)?;
+                    return Ok(Expr::Abs(Box::new(inner)));
+                }
+                if name.eq_ignore_ascii_case("TRUE") {
+                    self.pos += 1;
+                    return Ok(Expr::lit(Value::Bool(true)));
+                }
+                if name.eq_ignore_ascii_case("FALSE") {
+                    self.pos += 1;
+                    return Ok(Expr::lit(Value::Bool(false)));
+                }
+                if name.eq_ignore_ascii_case("NULL") {
+                    self.pos += 1;
+                    return Ok(Expr::lit(Value::Null));
+                }
+                self.pos += 1;
+                // Qualified column?
+                if self.eat(&Token::Dot) {
+                    let second = self.ident()?;
+                    Ok(Expr::col(format!("{name}.{second}")))
+                } else {
+                    Ok(Expr::col(name))
+                }
+            }
+            other => Err(self.err(format!("expected expression, got {other:?}"))),
+        }
+    }
+}
+
+/// The output column names the select stage will produce, or `None` for a
+/// bare `SELECT *` (every input column stays visible).
+fn select_output_names(items: &[SelectItem], group_by: Option<&str>) -> Option<Vec<String>> {
+    if items.iter().any(|i| matches!(i, SelectItem::Wildcard)) {
+        return None;
+    }
+    let mut names: Vec<String> = group_by.iter().map(|g| g.to_string()).collect();
+    for item in items {
+        match item {
+            SelectItem::Wildcard => unreachable!("handled above"),
+            SelectItem::Expr { expr, alias } => {
+                names.push(alias.clone().unwrap_or_else(|| default_name(expr)));
+            }
+            SelectItem::Agg { func, input, alias } => {
+                names.push(
+                    alias.clone().unwrap_or_else(|| agg_name(*func, input.as_deref())),
+                );
+            }
+        }
+    }
+    Some(names)
+}
+
+fn default_name(expr: &Expr) -> String {
+    match expr {
+        Expr::Col(c) => c.clone(),
+        _ => "expr".to_string(),
+    }
+}
+
+fn agg_name(func: AggFunc, input: Option<&str>) -> String {
+    let f = match func {
+        AggFunc::Count => "count",
+        AggFunc::Sum => "sum",
+        AggFunc::Avg => "avg",
+        AggFunc::Min => "min",
+        AggFunc::Max => "max",
+    };
+    match input {
+        Some(c) => format!("{f}_{}", c.replace('.', "_")),
+        None => f.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_star() {
+        assert_eq!(parse_query("SELECT * FROM stocks").unwrap(), Plan::scan("stocks"));
+    }
+
+    #[test]
+    fn projection_with_aliases() {
+        let p = parse_query("SELECT symbol, price * qty AS position FROM stocks").unwrap();
+        let Plan::Project { columns, .. } = p else { panic!("expected projection") };
+        assert_eq!(columns[0].0, "symbol");
+        assert_eq!(columns[1].0, "position");
+        assert_eq!(
+            columns[1].1,
+            Expr::bin(BinOp::Mul, Expr::col("price"), Expr::col("qty"))
+        );
+    }
+
+    #[test]
+    fn where_clause_precedence() {
+        // AND binds tighter than OR.
+        let p = parse_query("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3").unwrap();
+        let Plan::Filter { predicate, .. } = p else { panic!("expected filter") };
+        let Expr::Bin(BinOp::Or, _, rhs) = predicate else { panic!("OR at top") };
+        assert!(matches!(*rhs, Expr::Bin(BinOp::And, _, _)));
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        // a + b * c parses as a + (b * c).
+        let p = parse_query("SELECT a + b * c FROM t").unwrap();
+        let Plan::Project { columns, .. } = p else { panic!() };
+        let Expr::Bin(BinOp::Add, _, rhs) = &columns[0].1 else { panic!("Add at top") };
+        assert!(matches!(**rhs, Expr::Bin(BinOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn join_on() {
+        let p = parse_query(
+            "SELECT * FROM holdings JOIN stocks ON symbol = symbol WHERE qty > 0",
+        )
+        .unwrap();
+        let Plan::Filter { input, .. } = p else { panic!() };
+        assert!(matches!(*input, Plan::Join { .. }));
+    }
+
+    #[test]
+    fn qualified_columns() {
+        let p = parse_query("SELECT r.symbol FROM a JOIN b ON x = r.x").unwrap();
+        let Plan::Project { columns, input } = p else { panic!() };
+        assert_eq!(columns[0].1, Expr::col("r.symbol"));
+        let Plan::Join { right_col, .. } = *input else { panic!() };
+        assert_eq!(right_col, "r.x");
+    }
+
+    #[test]
+    fn aggregates_global() {
+        let p = parse_query("SELECT COUNT(*), SUM(price) AS total FROM stocks").unwrap();
+        let Plan::Aggregate { group_by, aggs, .. } = p else { panic!() };
+        assert_eq!(group_by, None);
+        assert_eq!(aggs[0], AggSpec { output: "count".into(), func: AggFunc::Count, input: None });
+        assert_eq!(
+            aggs[1],
+            AggSpec { output: "total".into(), func: AggFunc::Sum, input: Some("price".into()) }
+        );
+    }
+
+    #[test]
+    fn aggregates_grouped() {
+        let p =
+            parse_query("SELECT sector, AVG(price) FROM stocks GROUP BY sector").unwrap();
+        let Plan::Aggregate { group_by, aggs, .. } = p else { panic!() };
+        assert_eq!(group_by, Some("sector".into()));
+        assert_eq!(aggs.len(), 1);
+        assert_eq!(aggs[0].output, "avg_price");
+    }
+
+    #[test]
+    fn order_and_limit() {
+        let p = parse_query("SELECT * FROM t ORDER BY price DESC LIMIT 10").unwrap();
+        let Plan::Limit { input, n } = p else { panic!() };
+        assert_eq!(n, 10);
+        let Plan::Sort { by, desc, .. } = *input else { panic!() };
+        assert_eq!(by, "price");
+        assert!(desc);
+    }
+
+    #[test]
+    fn order_asc_is_default_and_explicit() {
+        for q in ["SELECT * FROM t ORDER BY x", "SELECT * FROM t ORDER BY x ASC"] {
+            let p = parse_query(q).unwrap();
+            let Plan::Sort { desc, .. } = p else { panic!() };
+            assert!(!desc);
+        }
+    }
+
+    #[test]
+    fn is_null_and_not() {
+        let p = parse_query("SELECT * FROM t WHERE note IS NULL").unwrap();
+        let Plan::Filter { predicate, .. } = p else { panic!() };
+        assert!(matches!(predicate, Expr::IsNull(_)));
+        let p = parse_query("SELECT * FROM t WHERE NOT note IS NOT NULL").unwrap();
+        let Plan::Filter { predicate, .. } = p else { panic!() };
+        assert!(matches!(predicate, Expr::Not(_)));
+    }
+
+    #[test]
+    fn abs_and_negation() {
+        let p = parse_query("SELECT ABS(price - base) / base AS move FROM t").unwrap();
+        let Plan::Project { columns, .. } = p else { panic!() };
+        assert!(matches!(columns[0].1, Expr::Bin(BinOp::Div, _, _)));
+        let p = parse_query("SELECT * FROM t WHERE x > -5").unwrap();
+        let Plan::Filter { .. } = p else { panic!() };
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert!(parse_query("select * from t where x = 1 order by x limit 1").is_ok());
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse_query("").is_err());
+        assert!(parse_query("SELECT FROM t").is_err());
+        assert!(parse_query("SELECT * FROM t extra").is_err());
+        assert!(parse_query("SELECT * FROM t LIMIT -1").is_err());
+        assert!(parse_query("SELECT *, x FROM t").is_err());
+        assert!(parse_query("SELECT SUM(*) FROM t").is_err());
+        assert!(parse_query("SELECT x FROM t GROUP BY y").is_err());
+        assert!(parse_query("SELECT x, COUNT(*) FROM t GROUP BY y").is_err());
+        assert!(parse_query("SELECT * FROM t WHERE").is_err());
+    }
+
+    #[test]
+    fn group_column_in_select_is_allowed_once() {
+        let p = parse_query("SELECT sector, COUNT(*) AS n FROM s GROUP BY sector").unwrap();
+        let Plan::Aggregate { aggs, .. } = p else { panic!() };
+        assert_eq!(aggs.len(), 1, "group column is implicit in Aggregate output");
+    }
+}

@@ -1,0 +1,289 @@
+//! In-memory storage: tables and the database catalog.
+//!
+//! One backend database serves every fragment (paper §II-A assumes "a
+//! single backend database from which all fragments are generated"). Tables
+//! are row stores with an optional unique primary-key index (hash) used by
+//! point lookups and by the cost model's selectivity statistics.
+
+use crate::schema::{Row, Schema, SchemaError};
+use crate::value::Value;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Storage-level errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// Table name already exists.
+    TableExists(String),
+    /// Table not found.
+    NoSuchTable(String),
+    /// Row violates the table schema.
+    Schema(SchemaError),
+    /// Duplicate primary-key value.
+    DuplicateKey(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::TableExists(t) => write!(f, "table `{t}` already exists"),
+            StorageError::NoSuchTable(t) => write!(f, "no such table `{t}`"),
+            StorageError::Schema(e) => write!(f, "schema violation: {e}"),
+            StorageError::DuplicateKey(k) => write!(f, "duplicate key `{k}`"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<SchemaError> for StorageError {
+    fn from(e: SchemaError) -> Self {
+        StorageError::Schema(e)
+    }
+}
+
+/// A heap table with an optional unique primary-key hash index.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    rows: Vec<Row>,
+    /// `Some((column index, value -> row index))` when a primary key is set.
+    pk: Option<(usize, HashMap<Value, usize>)>,
+    /// Monotone data version, bumped by every successful mutation — the
+    /// freshness signal the fragment cache's QoD accounting keys off.
+    version: u64,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Table {
+        Table { name: name.into(), schema, rows: Vec::new(), pk: None, version: 0 }
+    }
+
+    /// Create an empty table with a unique primary key on `key_column`.
+    pub fn with_primary_key(
+        name: impl Into<String>,
+        schema: Schema,
+        key_column: &str,
+    ) -> Result<Table, StorageError> {
+        let idx = schema.index_of(key_column)?;
+        Ok(Table {
+            name: name.into(),
+            schema,
+            rows: Vec::new(),
+            pk: Some((idx, HashMap::new())),
+            version: 0,
+        })
+    }
+
+    /// The table's monotone data version (bumps on every mutation).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// All rows, in insertion order.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Insert a row, validating schema and key uniqueness.
+    pub fn insert(&mut self, row: Row) -> Result<(), StorageError> {
+        self.schema.check_row(&row)?;
+        if let Some((k, index)) = &mut self.pk {
+            let key = row[*k].clone();
+            if index.contains_key(&key) {
+                return Err(StorageError::DuplicateKey(key.to_string()));
+            }
+            index.insert(key, self.rows.len());
+        }
+        self.rows.push(row);
+        self.version += 1;
+        Ok(())
+    }
+
+    /// The primary-key column name, if the table has one.
+    pub fn primary_key(&self) -> Option<&str> {
+        self.pk.as_ref().map(|(i, _)| self.schema.columns()[*i].name.as_str())
+    }
+
+    /// Point lookup by primary key; `None` if no key or no match.
+    pub fn get_by_key(&self, key: &Value) -> Option<&Row> {
+        let (_, index) = self.pk.as_ref()?;
+        index.get(key).map(|&i| &self.rows[i])
+    }
+
+    /// Update the row with the given primary key in place via `f`.
+    /// Returns whether a row was updated. The key column must not change.
+    pub fn update_by_key(
+        &mut self,
+        key: &Value,
+        f: impl FnOnce(&mut Row),
+    ) -> Result<bool, StorageError> {
+        let Some((k, index)) = self.pk.as_ref() else {
+            return Ok(false);
+        };
+        let Some(&i) = index.get(key) else {
+            return Ok(false);
+        };
+        let k = *k;
+        let mut row = self.rows[i].clone();
+        f(&mut row);
+        if row[k] != *key {
+            return Err(StorageError::DuplicateKey(format!(
+                "primary key of `{}` may not change in update",
+                self.name
+            )));
+        }
+        self.schema.check_row(&row)?;
+        self.rows[i] = row;
+        self.version += 1;
+        Ok(true)
+    }
+}
+
+/// The database catalog: named tables.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    tables: HashMap<String, Table>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Register a table.
+    pub fn create(&mut self, table: Table) -> Result<(), StorageError> {
+        if self.tables.contains_key(table.name()) {
+            return Err(StorageError::TableExists(table.name().to_string()));
+        }
+        self.tables.insert(table.name().to_string(), table);
+        Ok(())
+    }
+
+    /// Borrow a table.
+    pub fn table(&self, name: &str) -> Result<&Table, StorageError> {
+        self.tables.get(name).ok_or_else(|| StorageError::NoSuchTable(name.to_string()))
+    }
+
+    /// Mutably borrow a table.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table, StorageError> {
+        self.tables.get_mut(name).ok_or_else(|| StorageError::NoSuchTable(name.to_string()))
+    }
+
+    /// Table names, sorted (deterministic iteration for reports).
+    pub fn table_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.tables.keys().map(|s| s.as_str()).collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::value::ValueType;
+
+    fn stocks() -> Table {
+        let schema = Schema::new(vec![
+            Column::required("symbol", ValueType::Str),
+            Column::required("price", ValueType::Float),
+        ])
+        .unwrap();
+        Table::with_primary_key("stocks", schema, "symbol").unwrap()
+    }
+
+    #[test]
+    fn insert_and_scan() {
+        let mut t = stocks();
+        t.insert(vec![Value::str("AAPL"), Value::Float(150.0)]).unwrap();
+        t.insert(vec![Value::str("MSFT"), Value::Float(300.0)]).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.rows()[1][0], Value::str("MSFT"));
+    }
+
+    #[test]
+    fn key_lookup() {
+        let mut t = stocks();
+        t.insert(vec![Value::str("AAPL"), Value::Float(150.0)]).unwrap();
+        assert_eq!(t.get_by_key(&Value::str("AAPL")).unwrap()[1], Value::Float(150.0));
+        assert!(t.get_by_key(&Value::str("GOOG")).is_none());
+    }
+
+    #[test]
+    fn duplicate_key_rejected() {
+        let mut t = stocks();
+        t.insert(vec![Value::str("AAPL"), Value::Float(150.0)]).unwrap();
+        let e = t.insert(vec![Value::str("AAPL"), Value::Float(151.0)]).unwrap_err();
+        assert!(matches!(e, StorageError::DuplicateKey(_)));
+        assert_eq!(t.len(), 1, "failed insert must not leave a row");
+    }
+
+    #[test]
+    fn schema_violation_rejected() {
+        let mut t = stocks();
+        let e = t.insert(vec![Value::Int(1), Value::Float(1.0)]).unwrap_err();
+        assert!(matches!(e, StorageError::Schema(_)));
+    }
+
+    #[test]
+    fn update_by_key() {
+        let mut t = stocks();
+        t.insert(vec![Value::str("AAPL"), Value::Float(150.0)]).unwrap();
+        let updated = t
+            .update_by_key(&Value::str("AAPL"), |row| row[1] = Value::Float(155.0))
+            .unwrap();
+        assert!(updated);
+        assert_eq!(t.get_by_key(&Value::str("AAPL")).unwrap()[1], Value::Float(155.0));
+        assert!(!t.update_by_key(&Value::str("GOOG"), |_| {}).unwrap());
+    }
+
+    #[test]
+    fn update_may_not_change_key() {
+        let mut t = stocks();
+        t.insert(vec![Value::str("AAPL"), Value::Float(150.0)]).unwrap();
+        let e = t
+            .update_by_key(&Value::str("AAPL"), |row| row[0] = Value::str("MSFT"))
+            .unwrap_err();
+        assert!(matches!(e, StorageError::DuplicateKey(_)));
+        assert_eq!(t.get_by_key(&Value::str("AAPL")).unwrap()[1], Value::Float(150.0));
+    }
+
+    #[test]
+    fn catalog_operations() {
+        let mut db = Database::new();
+        db.create(stocks()).unwrap();
+        assert!(db.create(stocks()).is_err(), "duplicate table");
+        assert!(db.table("stocks").is_ok());
+        assert!(db.table("nope").is_err());
+        db.table_mut("stocks")
+            .unwrap()
+            .insert(vec![Value::str("AAPL"), Value::Float(1.0)])
+            .unwrap();
+        assert_eq!(db.table("stocks").unwrap().len(), 1);
+        assert_eq!(db.table_names(), vec!["stocks"]);
+    }
+}

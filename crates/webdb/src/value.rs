@@ -1,0 +1,270 @@
+//! Scalar values for the in-memory web database.
+//!
+//! The substrate only needs what dynamic-page queries need: integers,
+//! floats, strings, booleans and NULL, with SQL-ish three-valued-free
+//! comparison semantics (NULL compares less than everything and equal to
+//! itself — a deliberate simplification over SQL, documented here so query
+//! tests are unambiguous).
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A scalar value.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// Absent value; sorts before everything, equals only itself.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float (NaN is normalized to Null on construction helpers).
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+/// The type of a [`Value`], used by schemas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ValueType {
+    /// [`Value::Int`].
+    Int,
+    /// [`Value::Float`].
+    Float,
+    /// [`Value::Str`].
+    Str,
+    /// [`Value::Bool`].
+    Bool,
+}
+
+impl Value {
+    /// Construct a string value.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Construct a float value, normalizing NaN to Null so that ordering is
+    /// total.
+    pub fn float(f: f64) -> Value {
+        if f.is_nan() {
+            Value::Null
+        } else {
+            Value::Float(f)
+        }
+    }
+
+    /// The value's type, or `None` for Null (which inhabits every type).
+    pub fn value_type(&self) -> Option<ValueType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(ValueType::Int),
+            Value::Float(_) => Some(ValueType::Float),
+            Value::Str(_) => Some(ValueType::Str),
+            Value::Bool(_) => Some(ValueType::Bool),
+        }
+    }
+
+    /// True iff Null.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view (Int and Float both coerce), `None` otherwise.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer view, `None` otherwise (floats do not silently truncate).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    /// Total order: Null < Bool < numbers (Int/Float compared numerically)
+    /// < Str. Cross-type comparisons are well-defined (needed for sort
+    /// stability) even though schemas make them rare.
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Null => 0,
+                Bool(_) => 1,
+                Int(_) | Float(_) => 2,
+                Str(_) => 3,
+            }
+        }
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Int(a), Float(b)) => cmp_f64(*a as f64, *b),
+            (Float(a), Int(b)) => cmp_f64(*a, *b as f64),
+            (Float(a), Float(b)) => cmp_f64(*a, *b),
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+}
+
+fn cmp_f64(a: f64, b: f64) -> Ordering {
+    // NaN is excluded by construction (Value::float normalizes it).
+    a.partial_cmp(&b).unwrap_or(Ordering::Equal)
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            // Ints and equal-valued floats must hash alike (they compare
+            // equal): hash the f64 bits of the numeric value when integral,
+            // else the float bits.
+            Value::Int(i) => {
+                2u8.hash(state);
+                (*i as f64).to_bits().hash(state);
+            }
+            Value::Float(f) => {
+                2u8.hash(state);
+                f.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                3u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    fn h(v: &Value) -> u64 {
+        let mut s = DefaultHasher::new();
+        v.hash(&mut s);
+        s.finish()
+    }
+
+    #[test]
+    fn type_tags() {
+        assert_eq!(Value::Int(1).value_type(), Some(ValueType::Int));
+        assert_eq!(Value::Null.value_type(), None);
+        assert!(Value::Null.is_null());
+    }
+
+    #[test]
+    fn numeric_cross_type_equality() {
+        assert_eq!(Value::Int(3), Value::Float(3.0));
+        assert_ne!(Value::Int(3), Value::Float(3.5));
+        assert!(Value::Int(3) < Value::Float(3.5));
+        assert!(Value::Float(2.5) < Value::Int(3));
+    }
+
+    #[test]
+    fn equal_values_hash_equal() {
+        assert_eq!(h(&Value::Int(3)), h(&Value::Float(3.0)));
+        assert_eq!(h(&Value::str("a")), h(&Value::str("a")));
+    }
+
+    #[test]
+    fn total_order_ranks() {
+        let mut vals = vec![
+            Value::str("z"),
+            Value::Int(5),
+            Value::Null,
+            Value::Bool(true),
+            Value::Float(1.5),
+            Value::Bool(false),
+        ];
+        vals.sort();
+        assert_eq!(
+            vals,
+            vec![
+                Value::Null,
+                Value::Bool(false),
+                Value::Bool(true),
+                Value::Float(1.5),
+                Value::Int(5),
+                Value::str("z"),
+            ]
+        );
+    }
+
+    #[test]
+    fn nan_is_normalized() {
+        assert!(Value::float(f64::NAN).is_null());
+        assert_eq!(Value::float(2.0), Value::Float(2.0));
+    }
+
+    #[test]
+    fn views() {
+        assert_eq!(Value::Int(4).as_f64(), Some(4.0));
+        assert_eq!(Value::Float(4.5).as_f64(), Some(4.5));
+        assert_eq!(Value::Float(4.5).as_i64(), None);
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::str("x").as_str(), Some("x"));
+        assert_eq!(Value::str("x").as_f64(), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::str("hi").to_string(), "hi");
+    }
+}

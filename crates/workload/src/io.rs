@@ -1,0 +1,247 @@
+//! Workload (trace) serialization.
+//!
+//! A plain-text, line-oriented format so that exact transaction batches can
+//! be archived, diffed, shared, and replayed — e.g. to reproduce a single
+//! interesting run outside the seeded generator, or to feed externally
+//! captured traces to the scheduler. One transaction per line:
+//!
+//! ```text
+//! # asets-workload v1
+//! # arrival_ticks deadline_ticks length_ticks weight deps
+//! 0 9000000 3000000 1 -
+//! 500000 12000000 2000000 4 0
+//! 700000 20000000 1000000 2 0,1
+//! ```
+//!
+//! Ticks are the fixed-point microticks of [`asets_core::time`]; `deps` is
+//! `-` or a comma-separated id list. Round-trips are exact (no floats).
+
+use asets_core::time::{SimDuration, SimTime};
+use asets_core::txn::{TxnId, TxnSpec, Weight};
+use std::fmt;
+use std::io::{BufRead, Write};
+use std::path::Path;
+
+/// The format header written (and required) on the first line.
+pub const HEADER: &str = "# asets-workload v1";
+
+/// Errors reading a workload file.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem, with 1-based line number.
+    Format {
+        /// Line where the problem is.
+        line: usize,
+        /// Description.
+        message: String,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::Format { line, message } => {
+                write!(f, "trace format error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// Write a batch to any writer.
+pub fn write_batch(specs: &[TxnSpec], mut w: impl Write) -> std::io::Result<()> {
+    writeln!(w, "{HEADER}")?;
+    writeln!(w, "# arrival_ticks deadline_ticks length_ticks weight deps")?;
+    for s in specs {
+        let deps = if s.deps.is_empty() {
+            "-".to_string()
+        } else {
+            s.deps.iter().map(|d| d.0.to_string()).collect::<Vec<_>>().join(",")
+        };
+        writeln!(
+            w,
+            "{} {} {} {} {}",
+            s.arrival.ticks(),
+            s.deadline.ticks(),
+            s.length.ticks(),
+            s.weight.get(),
+            deps
+        )?;
+    }
+    Ok(())
+}
+
+/// Read a batch from any buffered reader.
+pub fn read_batch(r: impl BufRead) -> Result<Vec<TxnSpec>, TraceError> {
+    let mut specs = Vec::new();
+    let mut saw_header = false;
+    for (idx, line) in r.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('#') {
+            if line_no == 1 {
+                if line != HEADER {
+                    return Err(TraceError::Format {
+                        line: line_no,
+                        message: format!("expected header `{HEADER}`, got `{line}`"),
+                    });
+                }
+                saw_header = true;
+            }
+            continue;
+        }
+        if !saw_header {
+            return Err(TraceError::Format {
+                line: line_no,
+                message: format!("missing `{HEADER}` header"),
+            });
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != 5 {
+            return Err(TraceError::Format {
+                line: line_no,
+                message: format!("expected 5 fields, got {}", fields.len()),
+            });
+        }
+        let num = |s: &str, what: &str| -> Result<u64, TraceError> {
+            s.parse().map_err(|e| TraceError::Format {
+                line: line_no,
+                message: format!("bad {what} `{s}`: {e}"),
+            })
+        };
+        let arrival = SimTime::from_ticks(num(fields[0], "arrival")?);
+        let deadline = SimTime::from_ticks(num(fields[1], "deadline")?);
+        let length = SimDuration::from_ticks(num(fields[2], "length")?);
+        let weight = Weight(num(fields[3], "weight")? as u32);
+        let deps = if fields[4] == "-" {
+            Vec::new()
+        } else {
+            fields[4]
+                .split(',')
+                .map(|d| num(d, "dependency id").map(|v| TxnId(v as u32)))
+                .collect::<Result<Vec<_>, _>>()?
+        };
+        if length.is_zero() {
+            return Err(TraceError::Format {
+                line: line_no,
+                message: "zero-length transaction".into(),
+            });
+        }
+        specs.push(TxnSpec { arrival, deadline, length, weight, deps });
+    }
+    Ok(specs)
+}
+
+/// Write a batch to a file.
+pub fn save(specs: &[TxnSpec], path: &Path) -> Result<(), TraceError> {
+    let f = std::fs::File::create(path)?;
+    write_batch(specs, std::io::BufWriter::new(f))?;
+    Ok(())
+}
+
+/// Read a batch from a file.
+pub fn load(path: &Path) -> Result<Vec<TxnSpec>, TraceError> {
+    let f = std::fs::File::open(path)?;
+    read_batch(std::io::BufReader::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, TableISpec};
+
+    fn sample() -> Vec<TxnSpec> {
+        generate(
+            &TableISpec { n_txns: 50, ..TableISpec::general_case(0.7) },
+            9,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let specs = sample();
+        let mut buf = Vec::new();
+        write_batch(&specs, &mut buf).unwrap();
+        let back = read_batch(buf.as_slice()).unwrap();
+        assert_eq!(specs, back);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let specs = sample();
+        let path = std::env::temp_dir().join("asets_trace_test.txt");
+        save(&specs, &path).unwrap();
+        assert_eq!(load(&path).unwrap(), specs);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn header_is_required() {
+        let e = read_batch("0 1 1 1 -\n".as_bytes()).unwrap_err();
+        assert!(matches!(e, TraceError::Format { line: 1, .. }));
+        let e = read_batch("# wrong header\n0 1 1 1 -\n".as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("expected header"));
+    }
+
+    #[test]
+    fn field_count_checked() {
+        let body = format!("{HEADER}\n1 2 3 4\n");
+        let e = read_batch(body.as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("expected 5 fields"));
+    }
+
+    #[test]
+    fn bad_numbers_report_line() {
+        let body = format!("{HEADER}\n1 2 x 4 -\n");
+        let e = read_batch(body.as_bytes()).unwrap_err();
+        assert!(matches!(e, TraceError::Format { line: 2, .. }), "{e}");
+    }
+
+    #[test]
+    fn zero_length_rejected() {
+        let body = format!("{HEADER}\n1 2 0 4 -\n");
+        assert!(read_batch(body.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn dependency_lists_parse() {
+        let body = format!("{HEADER}\n0 9 3 1 -\n1 9 3 1 0\n2 9 3 1 0,1\n");
+        let specs = read_batch(body.as_bytes()).unwrap();
+        assert!(specs[0].deps.is_empty());
+        assert_eq!(specs[1].deps, vec![TxnId(0)]);
+        assert_eq!(specs[2].deps, vec![TxnId(0), TxnId(1)]);
+    }
+
+    #[test]
+    fn blank_lines_and_comments_skipped() {
+        let body = format!("{HEADER}\n\n# a comment\n0 9 3 2 -\n");
+        let specs = read_batch(body.as_bytes()).unwrap();
+        assert_eq!(specs.len(), 1);
+        assert_eq!(specs[0].weight, Weight(2));
+    }
+
+    #[test]
+    fn loaded_batch_is_simulatable() {
+        let specs = sample();
+        let mut buf = Vec::new();
+        write_batch(&specs, &mut buf).unwrap();
+        let back = read_batch(buf.as_slice()).unwrap();
+        // The loaded batch must still form a valid DAG.
+        asets_core::dag::DepDag::build(&back).unwrap();
+    }
+}

@@ -1,0 +1,138 @@
+//! Poisson arrival process.
+//!
+//! Table I: "arrival times of transactions were assigned according to a
+//! Poisson process. The arrival rate of the Poisson distribution is set
+//! equal to `SystemUtilization ÷ AvgTransactionLength`". A Poisson process
+//! with rate λ has i.i.d. exponential inter-arrival gaps with mean `1/λ`,
+//! sampled by inverse transform: `-ln(1-u)/λ`.
+
+use crate::rng::Rng64;
+use asets_core::time::{SimDuration, SimTime};
+
+/// Exponential sampler with rate λ (mean `1/λ`).
+#[derive(Debug, Clone, Copy)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Build a sampler with the given rate.
+    ///
+    /// # Panics
+    /// If `rate` is not strictly positive and finite.
+    pub fn new(rate: f64) -> Exponential {
+        assert!(rate.is_finite() && rate > 0.0, "rate must be positive, got {rate}");
+        Exponential { rate }
+    }
+
+    /// The rate λ.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Draw one gap (in fractional time units).
+    pub fn sample(&self, rng: &mut Rng64) -> f64 {
+        // 1 - u ∈ (0, 1]: never takes ln(0).
+        -(1.0 - rng.next_f64()).ln() / self.rate
+    }
+}
+
+/// A Poisson arrival-time generator: successive calls yield the ordered
+/// event times of a rate-λ Poisson process starting at `origin`.
+#[derive(Debug, Clone)]
+pub struct PoissonProcess {
+    exp: Exponential,
+    cursor: SimTime,
+}
+
+impl PoissonProcess {
+    /// Start a process with rate λ at `origin`.
+    pub fn new(rate: f64, origin: SimTime) -> PoissonProcess {
+        PoissonProcess { exp: Exponential::new(rate), cursor: origin }
+    }
+
+    /// The next event time (strictly monotone non-decreasing; equal times
+    /// only if a gap rounds to zero ticks, which at rate ≤ 1 is negligible).
+    pub fn next_arrival(&mut self, rng: &mut Rng64) -> SimTime {
+        let gap = SimDuration::from_units(self.exp.sample(rng));
+        self.cursor += gap;
+        self.cursor
+    }
+
+    /// Generate the first `n` arrival times.
+    pub fn take(&mut self, n: usize, rng: &mut Rng64) -> Vec<SimTime> {
+        (0..n).map(|_| self.next_arrival(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_mean_is_one_over_rate() {
+        let exp = Exponential::new(0.05); // mean 20
+        let mut rng = Rng64::new(11);
+        let n = 200_000;
+        let mean = (0..n).map(|_| exp.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 20.0).abs() < 0.3, "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_is_nonnegative() {
+        let exp = Exponential::new(2.0);
+        let mut rng = Rng64::new(12);
+        for _ in 0..10_000 {
+            assert!(exp.sample(&mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn exponential_memoryless_tail() {
+        // P(X > t) = e^{-λt}; check t = 1/λ gives ≈ e^{-1}.
+        let exp = Exponential::new(0.5);
+        let mut rng = Rng64::new(13);
+        let n = 100_000;
+        let over = (0..n).filter(|_| exp.sample(&mut rng) > 2.0).count();
+        let p = over as f64 / n as f64;
+        assert!((p - (-1.0f64).exp()).abs() < 0.01, "tail {p}");
+    }
+
+    #[test]
+    fn process_is_monotone() {
+        let mut p = PoissonProcess::new(0.1, SimTime::ZERO);
+        let mut rng = Rng64::new(14);
+        let times = p.take(1000, &mut rng);
+        for w in times.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn process_density_matches_rate() {
+        // 10_000 events at rate 0.064 should span ≈ 10_000/0.064 units.
+        let rate = 0.064;
+        let mut p = PoissonProcess::new(rate, SimTime::ZERO);
+        let mut rng = Rng64::new(15);
+        let times = p.take(10_000, &mut rng);
+        let horizon = times.last().unwrap().as_units();
+        let expected = 10_000.0 / rate;
+        assert!(
+            (horizon - expected).abs() / expected < 0.05,
+            "horizon {horizon} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn process_respects_origin() {
+        let mut p = PoissonProcess::new(1.0, SimTime::from_units_int(100));
+        let mut rng = Rng64::new(16);
+        assert!(p.next_arrival(&mut rng) >= SimTime::from_units_int(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_panics() {
+        Exponential::new(0.0);
+    }
+}

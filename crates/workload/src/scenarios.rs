@@ -1,0 +1,261 @@
+//! Named workload scenarios used by the examples and experiment harness.
+//!
+//! Beyond the Table I sweeps, the examples need a few *story-shaped*
+//! workloads: a bursty overload spike (to show ASETS\* switching regimes
+//! mid-run), a batch of personalized-page workflows shaped like the §II-B
+//! stock example, and a starvation workload for the balance-aware demo.
+
+use crate::gen::generate;
+use crate::rng::Rng64;
+use crate::spec::{SpecError, TableISpec, WorkflowParams};
+use asets_core::time::{SimDuration, SimTime};
+use asets_core::txn::{TxnId, TxnSpec, Weight};
+
+/// A Table-I batch at `utilization` — the standard experiment input.
+pub fn table_i(utilization: f64, seed: u64) -> Result<Vec<TxnSpec>, SpecError> {
+    generate(&TableISpec::transaction_level(utilization), seed)
+}
+
+/// A workload with a deliberate **burst**: background Poisson traffic at
+/// `base_util`, plus `burst_size` transactions dumped simultaneously at
+/// mid-horizon with tight deadlines. Demonstrates the EDF domino effect and
+/// ASETS\*'s mid-run adaptation (motivating Fig. 8–10 narrative).
+pub fn bursty(base_util: f64, burst_size: usize, seed: u64) -> Result<Vec<TxnSpec>, SpecError> {
+    let spec = TableISpec { n_txns: 400, ..TableISpec::transaction_level(base_util) };
+    let mut specs = generate(&spec, seed)?;
+    let mid = specs[specs.len() / 2].arrival;
+    let mut rng = Rng64::new(seed ^ 0xB00B_5EED);
+    for _ in 0..burst_size {
+        let len = SimDuration::from_units_int(rng.range_u64(1, 20));
+        // Tight deadlines: k in [0, 0.5].
+        let k = rng.range_f64(0.0, 0.5);
+        specs.push(TxnSpec {
+            arrival: mid,
+            deadline: mid + len + len.scale(k),
+            length: len,
+            weight: Weight::ONE,
+            deps: Vec::new(),
+        });
+    }
+    // Keep ids in arrival order (the generator's convention).
+    specs.sort_by_key(|s| s.arrival);
+    Ok(specs)
+}
+
+/// `n_pages` copies of the §II-B personalized stock page, one user logging
+/// in after another every `gap` time units. Each page is the four-fragment
+/// workflow of the paper:
+///
+/// * T_prices (all stock prices) — leaf;
+/// * T_portfolio (join with user portfolio) — depends on T_prices;
+/// * T_value (portfolio value aggregate) — depends on T_portfolio;
+/// * T_alerts (user alert predicates) — depends on T_portfolio, with the
+///   *earliest* deadline and the highest weight (the paper's
+///   precedence/deadline conflict).
+pub fn stock_pages(n_pages: usize, gap: SimDuration) -> Vec<TxnSpec> {
+    let mut specs = Vec::with_capacity(n_pages * 4);
+    for p in 0..n_pages {
+        let login = SimTime::ZERO + gap * p as u64;
+        let base = (p * 4) as u32;
+        let mk = |dl_units: u64, len_units: u64, w: u32, deps: Vec<TxnId>| TxnSpec {
+            arrival: login,
+            deadline: login + SimDuration::from_units_int(dl_units),
+            length: SimDuration::from_units_int(len_units),
+            weight: Weight(w),
+            deps,
+        };
+        specs.push(mk(40, 8, 2, vec![])); // T_prices
+        specs.push(mk(35, 6, 3, vec![TxnId(base)])); // T_portfolio
+        specs.push(mk(50, 4, 4, vec![TxnId(base + 1)])); // T_value
+        specs.push(mk(22, 2, 9, vec![TxnId(base + 1)])); // T_alerts: urgent + heavy
+    }
+    specs
+}
+
+/// A starvation-prone workload for the balance-aware demo: a steady stream
+/// of short cheap transactions that SRPT/HDF always prefer, plus a few
+/// long, heavy, deadline-urgent transactions that starve without aging.
+pub fn starvation(n_short: usize, n_long: usize, seed: u64) -> Vec<TxnSpec> {
+    let mut rng = Rng64::new(seed);
+    let mut specs = Vec::with_capacity(n_short + n_long);
+    let mut t = SimTime::ZERO;
+    for _ in 0..n_short {
+        t += SimDuration::from_units(rng.range_f64(0.5, 1.5));
+        let len = SimDuration::from_units_int(1);
+        specs.push(TxnSpec {
+            arrival: t,
+            deadline: t + len + len.scale(1.0),
+            length: len,
+            weight: Weight(1),
+            deps: Vec::new(),
+        });
+    }
+    let horizon = t;
+    for i in 0..n_long {
+        let arr = SimTime::ZERO + horizon.since_origin() * i as u64 / (n_long.max(1) as u64 * 2);
+        let len = SimDuration::from_units_int(40);
+        specs.push(TxnSpec {
+            arrival: arr,
+            deadline: arr + len + len.scale(0.25),
+            length: len,
+            weight: Weight(10),
+            deps: Vec::new(),
+        });
+    }
+    specs.sort_by_key(|s| s.arrival);
+    specs
+}
+
+/// Transform a workflow batch to **page-at-once submission**: every
+/// transaction's arrival is pulled back to the earliest arrival among its
+/// transitive predecessors (the §II-B model where "all transactions are
+/// submitted to the database as the user logs onto the system"), and its
+/// deadline shifts by the same amount so the `(1 + k)·l` window is
+/// preserved.
+///
+/// Used by the submission-model ablation: with per-transaction Poisson
+/// arrivals (Table I as written) dependents often have not arrived when
+/// their predecessors run, muting the representative boost; page-at-once
+/// makes the whole workflow visible immediately but creates structurally
+/// unreachable deadlines for deep members.
+pub fn submit_pages_together(specs: &mut [TxnSpec]) {
+    for i in 0..specs.len() {
+        let mut earliest = specs[i].arrival;
+        let mut stack: Vec<TxnId> = specs[i].deps.clone();
+        while let Some(d) = stack.pop() {
+            earliest = earliest.min(specs[d.index()].arrival);
+            stack.extend_from_slice(&specs[d.index()].deps);
+        }
+        if earliest < specs[i].arrival {
+            let shift = specs[i].arrival - earliest;
+            specs[i].arrival = earliest;
+            specs[i].deadline = specs[i].deadline - shift;
+        }
+    }
+}
+
+/// The full §IV-A workflow sweep grid the paper mentions ("varied the
+/// maximum workflow length from three to ten, and ... number of workflows
+/// from one to ten").
+pub fn workflow_grid() -> Vec<WorkflowParams> {
+    let mut grid = Vec::new();
+    for max_len in 3..=10 {
+        for max_workflows in 1..=10 {
+            grid.push(WorkflowParams { max_len, max_workflows });
+        }
+    }
+    grid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asets_core::dag::DepDag;
+
+    #[test]
+    fn table_i_shape() {
+        let specs = table_i(0.5, 1).unwrap();
+        assert_eq!(specs.len(), 1000);
+    }
+
+    #[test]
+    fn bursty_has_a_simultaneous_spike() {
+        let specs = bursty(0.3, 50, 2).unwrap();
+        assert_eq!(specs.len(), 450);
+        // Some instant carries at least 50 arrivals.
+        let mut best = 0;
+        let mut run = 1;
+        for w in specs.windows(2) {
+            if w[0].arrival == w[1].arrival {
+                run += 1;
+                best = best.max(run);
+            } else {
+                run = 1;
+            }
+        }
+        assert!(best >= 50, "burst of {best}");
+    }
+
+    #[test]
+    fn stock_pages_realize_the_paper_conflict() {
+        let specs = stock_pages(3, SimDuration::from_units_int(10));
+        assert_eq!(specs.len(), 12);
+        DepDag::build(&specs).unwrap();
+        for p in 0..3usize {
+            let base = p * 4;
+            let alerts = &specs[base + 3];
+            let prices = &specs[base];
+            // Alerts depend (transitively) on prices yet deadline is earlier.
+            assert!(alerts.deadline < prices.deadline);
+            assert!(alerts.weight > prices.weight);
+            assert_eq!(alerts.deps, vec![TxnId(base as u32 + 1)]);
+        }
+    }
+
+    #[test]
+    fn starvation_mixes_short_and_long() {
+        let specs = starvation(100, 3, 3);
+        assert_eq!(specs.len(), 103);
+        let long = specs.iter().filter(|s| s.length.as_units() > 10.0).count();
+        assert_eq!(long, 3);
+        for w in specs.windows(2) {
+            assert!(w[0].arrival <= w[1].arrival, "sorted by arrival");
+        }
+    }
+
+    #[test]
+    fn submit_together_aligns_chains() {
+        let mut specs = vec![
+            TxnSpec::independent(
+                SimTime::from_units_int(10),
+                SimTime::from_units_int(30),
+                SimDuration::from_units_int(5),
+                Weight::ONE,
+            ),
+            TxnSpec {
+                deps: vec![TxnId(0)],
+                ..TxnSpec::independent(
+                    SimTime::from_units_int(25),
+                    SimTime::from_units_int(60),
+                    SimDuration::from_units_int(5),
+                    Weight::ONE,
+                )
+            },
+        ];
+        submit_pages_together(&mut specs);
+        assert_eq!(specs[1].arrival, SimTime::from_units_int(10), "pulled to leaf arrival");
+        assert_eq!(specs[1].deadline, SimTime::from_units_int(45), "window preserved");
+        assert_eq!(specs[0].arrival, SimTime::from_units_int(10), "leaf unchanged");
+    }
+
+    #[test]
+    fn submit_together_handles_diamonds() {
+        let mk = |a: u64, deps: Vec<TxnId>| TxnSpec {
+            deps,
+            ..TxnSpec::independent(
+                SimTime::from_units_int(a),
+                SimTime::from_units_int(a + 10),
+                SimDuration::from_units_int(2),
+                Weight::ONE,
+            )
+        };
+        let mut specs = vec![
+            mk(5, vec![]),
+            mk(8, vec![TxnId(0)]),
+            mk(3, vec![]),
+            mk(20, vec![TxnId(1), TxnId(2)]),
+        ];
+        submit_pages_together(&mut specs);
+        // T3's earliest transitive predecessor arrival is T2's (3).
+        assert_eq!(specs[3].arrival, SimTime::from_units_int(3));
+        assert_eq!(specs[1].arrival, SimTime::from_units_int(5));
+    }
+
+    #[test]
+    fn workflow_grid_is_the_paper_sweep() {
+        let grid = workflow_grid();
+        assert_eq!(grid.len(), 80);
+        assert!(grid.contains(&WorkflowParams { max_len: 5, max_workflows: 1 }));
+        assert!(grid.contains(&WorkflowParams { max_len: 10, max_workflows: 10 }));
+    }
+}

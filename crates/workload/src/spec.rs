@@ -1,0 +1,186 @@
+//! The experiment workload specification — Table I of the paper, as a
+//! validated config struct.
+//!
+//! | Parameter | Meaning | Paper value |
+//! |---|---|---|
+//! | `n_txns` | batch size | 1000 |
+//! | `length_max` | Zipf support `[1, max]` in time units | 50 |
+//! | `alpha` | Zipf skew | 0.5 |
+//! | `k_max` | slack-factor upper bound (`k ~ U[0, k_max]`) | 3.0 |
+//! | `utilization` | target system utilization | 0.1 … 1.0 |
+//! | `weight_range` | uniform integer weights | `[1, 10]` |
+//! | `workflows` | optional §IV-A workflow parameters | len ≤ 3…10, count ≤ 1…10 |
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Workflow-generation parameters (§IV-A "Workflows").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkflowParams {
+    /// Upper bound on workflow (chain) length; actual lengths are drawn
+    /// uniformly from `[1, max_len]`.
+    pub max_len: u32,
+    /// Upper bound on how many workflows a transaction may belong to;
+    /// actual multiplicities are drawn uniformly from `[1, max_workflows]`.
+    pub max_workflows: u32,
+}
+
+impl WorkflowParams {
+    /// The Fig. 14 setting: "maximum number of workflows was set to one...
+    /// maximum workflow length was set to five".
+    pub fn fig14() -> WorkflowParams {
+        WorkflowParams { max_len: 5, max_workflows: 1 }
+    }
+}
+
+/// A complete Table I workload specification.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TableISpec {
+    /// Number of transactions (paper: 1000).
+    pub n_txns: usize,
+    /// Zipf support upper bound for lengths, in whole time units (paper: 50).
+    pub length_max: u64,
+    /// Zipf skew α (paper default: 0.5).
+    pub alpha: f64,
+    /// Slack-factor upper bound `k_max` (paper default: 3.0).
+    pub k_max: f64,
+    /// Target system utilization in `(0, ...]` (paper sweeps 0.1–1.0).
+    pub utilization: f64,
+    /// Inclusive uniform weight range (paper: `[1, 10]`; use `(1, 1)` for
+    /// the unweighted experiments).
+    pub weight_range: (u32, u32),
+    /// Workflow generation, if any (transaction-level experiments use `None`).
+    pub workflows: Option<WorkflowParams>,
+}
+
+impl TableISpec {
+    /// The paper's transaction-level default at the given utilization:
+    /// 1000 Zipf(0.5) lengths over [1, 50], `k_max = 3`, unit weights,
+    /// no workflows.
+    pub fn transaction_level(utilization: f64) -> TableISpec {
+        TableISpec {
+            n_txns: 1000,
+            length_max: 50,
+            alpha: 0.5,
+            k_max: 3.0,
+            utilization,
+            weight_range: (1, 1),
+            workflows: None,
+        }
+    }
+
+    /// The Fig. 14 workflow-level setting (equal weights, chains ≤ 5,
+    /// multiplicity 1).
+    pub fn workflow_level(utilization: f64) -> TableISpec {
+        TableISpec {
+            weight_range: (1, 1),
+            workflows: Some(WorkflowParams::fig14()),
+            ..Self::transaction_level(utilization)
+        }
+    }
+
+    /// The general case (Fig. 15–17): workflows *and* weights `[1, 10]`.
+    pub fn general_case(utilization: f64) -> TableISpec {
+        TableISpec {
+            weight_range: (1, 10),
+            workflows: Some(WorkflowParams::fig14()),
+            ..Self::transaction_level(utilization)
+        }
+    }
+
+    /// Validate parameter sanity; returns a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.n_txns == 0 {
+            return Err(SpecError("n_txns must be positive".into()));
+        }
+        if self.length_max == 0 {
+            return Err(SpecError("length_max must be positive".into()));
+        }
+        if !(self.alpha.is_finite() && self.alpha >= 0.0) {
+            return Err(SpecError(format!("alpha must be finite and >= 0, got {}", self.alpha)));
+        }
+        if !(self.k_max.is_finite() && self.k_max >= 0.0) {
+            return Err(SpecError(format!("k_max must be finite and >= 0, got {}", self.k_max)));
+        }
+        if !(self.utilization.is_finite() && self.utilization > 0.0) {
+            return Err(SpecError(format!(
+                "utilization must be positive, got {}",
+                self.utilization
+            )));
+        }
+        if self.weight_range.0 == 0 || self.weight_range.0 > self.weight_range.1 {
+            return Err(SpecError(format!(
+                "weight range [{}, {}] must be non-empty with positive weights",
+                self.weight_range.0, self.weight_range.1
+            )));
+        }
+        if let Some(wf) = &self.workflows {
+            if wf.max_len == 0 || wf.max_workflows == 0 {
+                return Err(SpecError("workflow bounds must be positive".into()));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A human-readable specification problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError(pub String);
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid workload spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_i() {
+        let s = TableISpec::transaction_level(0.5);
+        assert_eq!(s.n_txns, 1000);
+        assert_eq!(s.length_max, 50);
+        assert_eq!(s.alpha, 0.5);
+        assert_eq!(s.k_max, 3.0);
+        assert_eq!(s.utilization, 0.5);
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn general_case_has_weights_and_workflows() {
+        let s = TableISpec::general_case(0.8);
+        assert_eq!(s.weight_range, (1, 10));
+        assert_eq!(s.workflows, Some(WorkflowParams { max_len: 5, max_workflows: 1 }));
+    }
+
+    #[test]
+    fn validation_catches_each_field() {
+        let ok = TableISpec::transaction_level(0.5);
+        assert!(TableISpec { n_txns: 0, ..ok }.validate().is_err());
+        assert!(TableISpec { length_max: 0, ..ok }.validate().is_err());
+        assert!(TableISpec { alpha: -1.0, ..ok }.validate().is_err());
+        assert!(TableISpec { k_max: f64::NAN, ..ok }.validate().is_err());
+        assert!(TableISpec { utilization: 0.0, ..ok }.validate().is_err());
+        assert!(TableISpec { weight_range: (0, 5), ..ok }.validate().is_err());
+        assert!(TableISpec { weight_range: (5, 2), ..ok }.validate().is_err());
+        assert!(TableISpec {
+            workflows: Some(WorkflowParams { max_len: 0, max_workflows: 1 }),
+            ..ok
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn spec_error_displays() {
+        let e = TableISpec { n_txns: 0, ..TableISpec::transaction_level(0.5) }
+            .validate()
+            .unwrap_err();
+        assert!(e.to_string().contains("n_txns"));
+    }
+}

@@ -1,0 +1,274 @@
+//! Workflow (dependency-chain) generation — §IV-A "Workflows".
+//!
+//! The paper: *"We generated workflows using two parameters: the maximum
+//! workflow length and the maximum number of workflows [a transaction might
+//! belong to at one time]. The actual workflow length, and number of
+//! workflows are uniformly drawn between one and the corresponding upper
+//! bound."*
+//!
+//! Generative model (documented as DESIGN.md's reading of the above):
+//!
+//! * every transaction `i` draws a membership target
+//!   `m_i ~ U[1, max_workflows]`;
+//! * chains are built in repeated passes over the batch in id order: each
+//!   chain draws a length `L ~ U[1, max_len]` and strings together the next
+//!   `L` transactions whose membership count is still below target, adding
+//!   a dependency edge from each member to the next;
+//! * because every edge goes from a smaller id to a larger id, the result
+//!   is acyclic **by construction**, and (ids being in arrival order) a
+//!   predecessor is always submitted no later than its dependent.
+//!
+//! With `max_workflows = 1` this is an exact partition of the batch into
+//! disjoint chains of uniform length `U[1, max_len]` — the Fig. 14 setting.
+//! With larger bounds, later passes thread extra chains through transactions
+//! that want more memberships, producing shared members exactly like the
+//! shared fragments of Figure 1.
+
+use crate::rng::Rng64;
+use crate::spec::WorkflowParams;
+use asets_core::txn::{TxnId, TxnSpec};
+
+/// Add workflow dependency edges to an independent batch, in place.
+///
+/// # Panics
+/// If any spec already has dependencies (workflow generation owns the
+/// dependency structure) or the parameter bounds are zero.
+pub fn add_workflows(specs: &mut [TxnSpec], params: &WorkflowParams, rng: &mut Rng64) {
+    assert!(params.max_len >= 1 && params.max_workflows >= 1, "bounds must be positive");
+    assert!(
+        specs.iter().all(|s| s.deps.is_empty()),
+        "add_workflows expects an independent batch"
+    );
+    let n = specs.len();
+    if n == 0 {
+        return;
+    }
+
+    // Membership targets.
+    let targets: Vec<u32> =
+        (0..n).map(|_| rng.range_u64(1, params.max_workflows as u64) as u32).collect();
+    let mut counts = vec![0u32; n];
+
+    loop {
+        // Indices still wanting membership, in id (= arrival) order.
+        let open: Vec<usize> = (0..n).filter(|&i| counts[i] < targets[i]).collect();
+        if open.is_empty() {
+            break;
+        }
+        let mut cursor = 0usize;
+        while cursor < open.len() {
+            let len = rng.range_u64(1, params.max_len as u64) as usize;
+            let chain = &open[cursor..(cursor + len).min(open.len())];
+            for w in chain.windows(2) {
+                let (pred, succ) = (w[0], w[1]);
+                let pred_id = TxnId(pred as u32);
+                if !specs[succ].deps.contains(&pred_id) {
+                    specs[succ].deps.push(pred_id);
+                }
+            }
+            for &i in chain {
+                counts[i] += 1;
+            }
+            cursor += chain.len();
+        }
+    }
+}
+
+/// Summary statistics of a generated dependency structure, for audits and
+/// the Table I report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkflowStats {
+    /// Transactions with at least one predecessor.
+    pub dependent_txns: usize,
+    /// Total dependency edges.
+    pub edges: usize,
+    /// Longest predecessor chain (workflow depth).
+    pub max_depth: usize,
+    /// Number of DAG roots (== number of workflows).
+    pub workflows: usize,
+}
+
+/// Compute [`WorkflowStats`] for a batch.
+pub fn workflow_stats(specs: &[TxnSpec]) -> WorkflowStats {
+    let n = specs.len();
+    let edges = specs.iter().map(|s| s.deps.len()).sum();
+    let dependent_txns = specs.iter().filter(|s| !s.deps.is_empty()).count();
+    // Depth by DP over ids (edges always point to smaller ids).
+    let mut depth = vec![1usize; n];
+    for i in 0..n {
+        for d in &specs[i].deps {
+            depth[i] = depth[i].max(depth[d.index()] + 1);
+        }
+    }
+    let max_depth = depth.iter().copied().max().unwrap_or(0);
+    // Roots: transactions that appear in no dependency list.
+    let mut is_pred = vec![false; n];
+    for s in specs {
+        for d in &s.deps {
+            is_pred[d.index()] = true;
+        }
+    }
+    let workflows = (0..n).filter(|&i| !is_pred[i]).count();
+    WorkflowStats { dependent_txns, edges, max_depth, workflows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asets_core::dag::DepDag;
+    use asets_core::time::{SimDuration, SimTime};
+    use asets_core::txn::Weight;
+    use asets_core::workflow::WorkflowSet;
+    use asets_core::table::TxnTable;
+
+    fn batch(n: usize) -> Vec<TxnSpec> {
+        (0..n)
+            .map(|i| {
+                TxnSpec::independent(
+                    SimTime::from_units_int(i as u64),
+                    SimTime::from_units_int(i as u64 + 20),
+                    SimDuration::from_units_int(5),
+                    Weight::ONE,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn multiplicity_one_partitions_into_chains() {
+        let mut specs = batch(200);
+        let params = WorkflowParams { max_len: 5, max_workflows: 1 };
+        add_workflows(&mut specs, &params, &mut Rng64::new(1));
+        // Every transaction has at most one predecessor and at most one
+        // successor: disjoint chains.
+        let mut succ_count = vec![0usize; specs.len()];
+        for s in &specs {
+            assert!(s.deps.len() <= 1);
+            for d in &s.deps {
+                succ_count[d.index()] += 1;
+            }
+        }
+        assert!(succ_count.iter().all(|&c| c <= 1));
+        let stats = workflow_stats(&specs);
+        assert!(stats.max_depth <= 5, "chains bounded by max_len");
+        assert!(stats.edges > 0);
+    }
+
+    #[test]
+    fn chain_depth_never_exceeds_max_len_at_multiplicity_one() {
+        for seed in 0..5 {
+            let mut specs = batch(100);
+            add_workflows(
+                &mut specs,
+                &WorkflowParams { max_len: 3, max_workflows: 1 },
+                &mut Rng64::new(seed),
+            );
+            assert!(workflow_stats(&specs).max_depth <= 3);
+        }
+    }
+
+    #[test]
+    fn result_is_always_acyclic() {
+        for seed in 0..10 {
+            let mut specs = batch(150);
+            add_workflows(
+                &mut specs,
+                &WorkflowParams { max_len: 10, max_workflows: 10 },
+                &mut Rng64::new(seed),
+            );
+            DepDag::build(&specs).expect("workflow generator must emit DAGs");
+        }
+    }
+
+    #[test]
+    fn predecessors_arrive_no_later_than_dependents() {
+        let mut specs = batch(100);
+        add_workflows(
+            &mut specs,
+            &WorkflowParams { max_len: 6, max_workflows: 3 },
+            &mut Rng64::new(2),
+        );
+        for (i, s) in specs.iter().enumerate() {
+            for d in &s.deps {
+                assert!(specs[d.index()].arrival <= specs[i].arrival);
+            }
+        }
+    }
+
+    #[test]
+    fn higher_multiplicity_yields_shared_members() {
+        let mut specs = batch(300);
+        add_workflows(
+            &mut specs,
+            &WorkflowParams { max_len: 5, max_workflows: 4 },
+            &mut Rng64::new(3),
+        );
+        let table = TxnTable::new(specs).unwrap();
+        let wfs = WorkflowSet::build(&table);
+        let shared = table.ids().filter(|&t| wfs.workflows_of(t).len() > 1).count();
+        assert!(shared > 0, "multiplicity 4 must produce shared members");
+    }
+
+    #[test]
+    fn multiplicity_one_members_belong_to_exactly_one_workflow() {
+        let mut specs = batch(120);
+        add_workflows(
+            &mut specs,
+            &WorkflowParams { max_len: 5, max_workflows: 1 },
+            &mut Rng64::new(4),
+        );
+        let table = TxnTable::new(specs).unwrap();
+        let wfs = WorkflowSet::build(&table);
+        for t in table.ids() {
+            assert_eq!(wfs.workflows_of(t).len(), 1, "{t}");
+        }
+    }
+
+    #[test]
+    fn max_len_one_means_no_edges() {
+        let mut specs = batch(50);
+        add_workflows(
+            &mut specs,
+            &WorkflowParams { max_len: 1, max_workflows: 1 },
+            &mut Rng64::new(5),
+        );
+        assert_eq!(workflow_stats(&specs).edges, 0);
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let mut specs: Vec<TxnSpec> = Vec::new();
+        add_workflows(
+            &mut specs,
+            &WorkflowParams { max_len: 5, max_workflows: 2 },
+            &mut Rng64::new(6),
+        );
+        assert!(specs.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "independent batch")]
+    fn rejects_pre_dependent_batches() {
+        let mut specs = batch(3);
+        specs[1].deps.push(TxnId(0));
+        add_workflows(
+            &mut specs,
+            &WorkflowParams { max_len: 2, max_workflows: 1 },
+            &mut Rng64::new(7),
+        );
+    }
+
+    #[test]
+    fn stats_on_hand_built_diamond() {
+        let mut specs = batch(4);
+        specs[1].deps.push(TxnId(0));
+        specs[2].deps.push(TxnId(0));
+        specs[3].deps.push(TxnId(1));
+        specs[3].deps.push(TxnId(2));
+        let st = workflow_stats(&specs);
+        assert_eq!(st.edges, 4);
+        assert_eq!(st.dependent_txns, 3);
+        assert_eq!(st.max_depth, 3);
+        assert_eq!(st.workflows, 1);
+    }
+}

@@ -1,0 +1,191 @@
+//! Zipf-distributed transaction lengths.
+//!
+//! Table I: "transaction length `l_i` is generated according to a Zipf
+//! distribution over the range [1–50] time units with the default Zipf
+//! parameter for skewness (α) set to 0.5 and it is skewed toward short
+//! transactions": `P(k) ∝ 1/k^α` for `k ∈ [1, n]`.
+//!
+//! The sampler precomputes the CDF once and draws by binary search —
+//! O(log n) per sample, exact for any α ≥ 0 (α = 0 degenerates to the
+//! uniform distribution, used in the generator property tests).
+
+use crate::rng::Rng64;
+
+/// A Zipf(α) sampler over the integer range `[1, n]`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative probabilities; `cdf[k-1] = P(X <= k)`.
+    cdf: Vec<f64>,
+    alpha: f64,
+}
+
+impl Zipf {
+    /// Build the sampler for support `[1, n]` with skew `alpha`.
+    ///
+    /// # Panics
+    /// If `n == 0` or `alpha` is negative or non-finite.
+    pub fn new(n: u64, alpha: f64) -> Zipf {
+        assert!(n >= 1, "Zipf support must be non-empty");
+        assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be finite and >= 0");
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += (k as f64).powf(-alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating-point shortfall at the top.
+        *cdf.last_mut().expect("non-empty") = 1.0;
+        Zipf { cdf, alpha }
+    }
+
+    /// The support size `n`.
+    pub fn support(&self) -> u64 {
+        self.cdf.len() as u64
+    }
+
+    /// The skew parameter α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Probability mass of value `k` (1-based).
+    ///
+    /// # Panics
+    /// If `k` is outside `[1, n]`.
+    pub fn pmf(&self, k: u64) -> f64 {
+        assert!((1..=self.support()).contains(&k), "k={k} outside support");
+        let i = (k - 1) as usize;
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+
+    /// The exact mean `E[X] = Σ k·P(k)`.
+    pub fn mean(&self) -> f64 {
+        (1..=self.support()).map(|k| k as f64 * self.pmf(k)).sum()
+    }
+
+    /// Draw one value in `[1, n]`.
+    pub fn sample(&self, rng: &mut Rng64) -> u64 {
+        let u = rng.next_f64();
+        // First index with cdf >= u.
+        let i = self.cdf.partition_point(|&c| c < u);
+        debug_assert!(i < self.cdf.len());
+        (i + 1) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(50, 0.5);
+        let total: f64 = (1..=50).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pmf_ratio_matches_power_law() {
+        let z = Zipf::new(50, 0.5);
+        // P(1)/P(4) = 4^0.5 = 2.
+        assert!((z.pmf(1) / z.pmf(4) - 2.0).abs() < 1e-9);
+        // P(1)/P(9) = 3.
+        assert!((z.pmf(1) / z.pmf(9) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alpha_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for k in 1..=10 {
+            assert!((z.pmf(k) - 0.1).abs() < 1e-12);
+        }
+        assert!((z.mean() - 5.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skew_toward_short_values() {
+        let z = Zipf::new(50, 0.5);
+        assert!(z.pmf(1) > z.pmf(2));
+        assert!(z.pmf(2) > z.pmf(10));
+        assert!(z.mean() < 25.5, "mean {} must sit below the uniform midpoint", z.mean());
+    }
+
+    #[test]
+    fn higher_alpha_means_shorter_mean() {
+        let m0 = Zipf::new(50, 0.0).mean();
+        let m5 = Zipf::new(50, 0.5).mean();
+        let m1 = Zipf::new(50, 1.0).mean();
+        let m2 = Zipf::new(50, 2.0).mean();
+        assert!(m0 > m5 && m5 > m1 && m1 > m2);
+    }
+
+    #[test]
+    fn samples_stay_in_support() {
+        let z = Zipf::new(50, 0.5);
+        let mut rng = Rng64::new(1);
+        for _ in 0..10_000 {
+            let x = z.sample(&mut rng);
+            assert!((1..=50).contains(&x));
+        }
+    }
+
+    #[test]
+    fn empirical_mean_matches_exact_mean() {
+        let z = Zipf::new(50, 0.5);
+        let mut rng = Rng64::new(2);
+        let n = 200_000;
+        let mean = (0..n).map(|_| z.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+        let exact = z.mean();
+        assert!(
+            (mean - exact).abs() / exact < 0.01,
+            "empirical {mean} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn empirical_pmf_matches_for_head_values() {
+        let z = Zipf::new(50, 0.5);
+        let mut rng = Rng64::new(3);
+        let n = 200_000u32;
+        let mut counts = [0u32; 51];
+        for _ in 0..n {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        for k in 1..=5u64 {
+            let emp = counts[k as usize] as f64 / n as f64;
+            let exact = z.pmf(k);
+            assert!(
+                (emp - exact).abs() / exact < 0.05,
+                "k={k}: empirical {emp} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn singleton_support() {
+        let z = Zipf::new(1, 0.5);
+        let mut rng = Rng64::new(4);
+        assert_eq!(z.sample(&mut rng), 1);
+        assert_eq!(z.mean(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "support must be non-empty")]
+    fn zero_support_panics() {
+        Zipf::new(0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be finite")]
+    fn negative_alpha_panics() {
+        Zipf::new(10, -1.0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Balance-aware ASETS\* (§III-D): buying worst-case latency with a little
+//! average-case latency.
+//!
+//! The workload is starvation-shaped: a stream of 1-unit transactions that
+//! density-based policies always prefer, plus a few 40-unit, weight-10,
+//! deadline-urgent transactions that plain ASETS\* keeps postponing under
+//! load. The aging scheme (force-run the highest `w/d` transaction every
+//! `1/rate` time units) caps how long they can starve.
+//!
+//! ```text
+//! cargo run --release --example balance_aware
+//! ```
+
+use asets_core::policy::{ActivationMode, ImpactRule, PolicyKind};
+use asets_sim::simulate;
+use asets_workload::scenarios::starvation;
+
+fn main() {
+    let specs = starvation(600, 5, 11);
+    println!(
+        "{} short filler transactions + 5 long/heavy/urgent ones\n",
+        specs.len() - 5
+    );
+
+    let base = simulate(specs.clone(), PolicyKind::asets_star()).expect("valid workload");
+    println!(
+        "plain ASETS*:    max weighted tardiness {:>9.1}, avg weighted tardiness {:>7.3}",
+        base.summary.max_weighted_tardiness, base.summary.avg_weighted_tardiness
+    );
+
+    println!(
+        "\n{:>8} {:>16} {:>10} {:>16} {:>9}",
+        "rate", "max w.tardiness", "vs base", "avg w.tardiness", "vs base"
+    );
+    for rate in [0.002, 0.005, 0.01, 0.02] {
+        let kind = PolicyKind::BalanceAware {
+            impact: ImpactRule::Paper,
+            activation: ActivationMode::time_rate(rate),
+        };
+        let r = simulate(specs.clone(), kind).expect("valid workload");
+        let dmax = (r.summary.max_weighted_tardiness - base.summary.max_weighted_tardiness)
+            / base.summary.max_weighted_tardiness
+            * 100.0;
+        let davg = (r.summary.avg_weighted_tardiness - base.summary.avg_weighted_tardiness)
+            / base.summary.avg_weighted_tardiness
+            * 100.0;
+        println!(
+            "{rate:>8.3} {:>16.1} {dmax:>+9.1}% {:>16.3} {davg:>+8.1}%",
+            r.summary.max_weighted_tardiness, r.summary.avg_weighted_tardiness
+        );
+    }
+
+    println!("\nThe five heavy transactions' tardiness, plain vs rate=0.01:");
+    let bal = simulate(
+        specs.clone(),
+        PolicyKind::BalanceAware {
+            impact: ImpactRule::Paper,
+            activation: ActivationMode::time_rate(0.01),
+        },
+    )
+    .expect("valid workload");
+    for (a, b) in base.outcomes.iter().zip(&bal.outcomes) {
+        if a.weight.get() == 10 {
+            println!(
+                "  {}: {:>8.1}  ->  {:>8.1} units",
+                a.id,
+                a.tardiness().as_units(),
+                b.tardiness().as_units()
+            );
+        }
+    }
+    println!("\n(count-based activation behaves the same; see `repro fig16 fig17`)");
+}

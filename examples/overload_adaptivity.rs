@@ -1,0 +1,96 @@
+//! ASETS\* adapting to a load spike (the §III-A motivation).
+//!
+//! A steady Poisson background is interrupted by a burst of tight-deadline
+//! transactions dumped at mid-horizon. EDF dominoes through the burst;
+//! SRPT wastes the quiet periods; ASETS\* tracks whichever regime the
+//! moment calls for — visible both in the aggregate numbers and in how its
+//! two lists fill up over time.
+//!
+//! ```text
+//! cargo run --release --example overload_adaptivity
+//! ```
+
+use asets_core::prelude::*;
+use asets_sim::simulate;
+use asets_workload::scenarios::bursty;
+
+fn main() {
+    let specs = bursty(0.35, 80, 7).expect("valid scenario");
+    let burst_at = {
+        // The burst is the largest simultaneous-arrival clump.
+        let mut best = (SimTime::ZERO, 0usize);
+        let mut i = 0;
+        while i < specs.len() {
+            let j = specs[i..].iter().take_while(|s| s.arrival == specs[i].arrival).count();
+            if j > best.1 {
+                best = (specs[i].arrival, j);
+            }
+            i += j;
+        }
+        best
+    };
+    println!(
+        "{} transactions; burst of {} tight-deadline arrivals at t={:.0}\n",
+        specs.len(),
+        burst_at.1,
+        burst_at.0.as_units()
+    );
+
+    println!(
+        "{:<8} {:>14} {:>14} {:>12} {:>14}",
+        "policy", "avg tardiness", "p99 tardiness", "miss ratio", "max response"
+    );
+    let mut rows = Vec::new();
+    for kind in [PolicyKind::Edf, PolicyKind::Srpt, PolicyKind::asets_star()] {
+        let r = simulate(specs.clone(), kind).expect("valid workload");
+        println!(
+            "{:<8} {:>14.3} {:>14.2} {:>12.2} {:>14.1}",
+            kind.label(),
+            r.summary.avg_tardiness,
+            r.summary.p99_tardiness,
+            r.summary.miss_ratio,
+            r.summary.max_response_time
+        );
+        rows.push((kind.label(), r.summary.avg_tardiness));
+    }
+
+    let edf = rows.iter().find(|(l, _)| l == "EDF").unwrap().1;
+    let srpt = rows.iter().find(|(l, _)| l == "SRPT").unwrap().1;
+    let asets = rows.iter().find(|(l, _)| l == "ASETS*").unwrap().1;
+    println!(
+        "\nASETS* vs EDF: {:+.1}%   ASETS* vs SRPT: {:+.1}%",
+        (asets - edf) / edf * 100.0,
+        (asets - srpt) / srpt * 100.0
+    );
+
+    // Show the regime switch directly: replay the burst through a
+    // transaction-level ASETS policy and sample its list sizes.
+    println!("\nASETS two-list occupancy around the burst (EDF-List vs SRPT-List):");
+    let mut table = TxnTable::new(specs.clone()).expect("acyclic");
+    let mut policy = Asets::new();
+    let mut arrivals: Vec<(SimTime, TxnId)> =
+        specs.iter().enumerate().map(|(i, s)| (s.arrival, TxnId(i as u32))).collect();
+    arrivals.sort_unstable();
+    // Drive arrivals only (no service) just to illustrate classification.
+    let sample_points: Vec<SimTime> = (0..8)
+        .map(|k| burst_at.0 + SimDuration::from_units_int(k * 8))
+        .collect();
+    let mut ai = 0;
+    for &t in &sample_points {
+        while ai < arrivals.len() && arrivals[ai].0 <= t {
+            let (at, id) = arrivals[ai];
+            if table.arrive(id, at.max(SimTime::ZERO)) {
+                policy.on_ready(id, &table, at);
+            }
+            ai += 1;
+        }
+        let _ = policy.select(&table, t); // triggers EDF→SRPT migration
+        println!(
+            "  t={:>6.0}  EDF-List {:>4}   SRPT-List {:>4}",
+            t.as_units(),
+            policy.edf_len(),
+            policy.srpt_len()
+        );
+    }
+    println!("\n(waiting work drains from the EDF-List into the SRPT-List as deadlines die)");
+}

@@ -1,0 +1,75 @@
+//! Quickstart: schedule a handful of web transactions under several
+//! policies and compare tardiness.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use asets_core::prelude::*;
+use asets_sim::compare_policies;
+
+fn main() {
+    // Six transactions: a mix of urgent-short, urgent-long and relaxed
+    // work, arriving close together — the kind of contention a web database
+    // sees when several page requests land at once.
+    //
+    //        arrival  deadline  length  weight
+    let rows = [
+        (0u64, 8u64, 5u64, 1u32),  // T0: long, tight
+        (0, 4, 2, 3),              // T1: short, urgent, weighty
+        (1, 30, 9, 1),             // T2: long, relaxed
+        (2, 6, 1, 5),              // T3: tiny, urgent, heavy
+        (3, 20, 4, 2),             // T4: medium
+        (3, 9, 3, 1),              // T5: medium, tightish
+    ];
+    let specs: Vec<TxnSpec> = rows
+        .iter()
+        .map(|&(a, d, l, w)| {
+            TxnSpec::independent(
+                SimTime::from_units_int(a),
+                SimTime::from_units_int(d),
+                SimDuration::from_units_int(l),
+                Weight(w),
+            )
+        })
+        .collect();
+
+    let kinds = [
+        PolicyKind::Fcfs,
+        PolicyKind::Edf,
+        PolicyKind::Srpt,
+        PolicyKind::LeastSlack,
+        PolicyKind::Hdf,
+        PolicyKind::asets_star(),
+    ];
+
+    println!("{} transactions, single backend server\n", specs.len());
+    println!(
+        "{:<8} {:>14} {:>18} {:>12} {:>12}",
+        "policy", "avg tardiness", "avg w. tardiness", "miss ratio", "preemptions"
+    );
+    for (kind, result) in compare_policies(&specs, &kinds).expect("valid workload") {
+        let s = &result.summary;
+        println!(
+            "{:<8} {:>14.3} {:>18.3} {:>12.2} {:>12}",
+            kind.label(),
+            s.avg_tardiness,
+            s.avg_weighted_tardiness,
+            s.miss_ratio,
+            result.stats.preemptions
+        );
+    }
+
+    println!("\nPer-transaction outcome under ASETS*:");
+    let result = asets_sim::simulate(specs, PolicyKind::asets_star()).expect("valid workload");
+    for o in &result.outcomes {
+        println!(
+            "  {}: finished {:>5.1}  deadline {:>5.1}  tardiness {:>4.1}  ({})",
+            o.id,
+            o.finish.as_units(),
+            o.deadline.as_units(),
+            o.tardiness().as_units(),
+            if o.met_deadline() { "met" } else { "MISSED" }
+        );
+    }
+}

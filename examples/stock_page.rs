@@ -1,0 +1,84 @@
+//! The paper's §II-B application, end to end: a personalized stock page
+//! whose four fragments (prices → portfolio → {value, alerts}) are
+//! compiled into a transaction workflow, scheduled against the backend
+//! database, and rendered.
+//!
+//! The interesting tension: **alerts** is the most *dependent* fragment
+//! (needs the portfolio join, which needs the price list) yet has the
+//! *earliest* SLA and the *highest* weight — exactly the
+//! precedence/deadline conflict ASETS\*'s representative transactions are
+//! built to exploit.
+//!
+//! ```text
+//! cargo run --release --example stock_page
+//! ```
+
+use asets_core::policy::PolicyKind;
+use asets_core::time::SimDuration;
+use asets_sim::simulate;
+use asets_webdb::app::stock::{stock_database, stock_page_template, stock_requests, StockDbParams};
+use asets_webdb::compile::compile_requests;
+use asets_webdb::page::render;
+use asets_webdb::query::cost::CostModel;
+
+fn main() {
+    let params = StockDbParams::default();
+    let db = stock_database(&params, 42).expect("static schemas");
+    println!(
+        "backend database: {} stocks, {} portfolio rows, {} alert rules",
+        db.table("stocks").unwrap().len(),
+        db.table("portfolios").unwrap().len(),
+        db.table("alerts").unwrap().len()
+    );
+
+    // 30 users log in 4 time units apart — a busy morning.
+    let requests = stock_requests(30, SimDuration::from_units_int(4));
+    let cost = CostModel::default();
+    let (specs, binding) = compile_requests(&requests, &db, &cost).expect("valid plans");
+    println!(
+        "compiled {} page requests into {} web transactions",
+        requests.len(),
+        specs.len()
+    );
+    let lens: Vec<f64> = specs.iter().map(|s| s.length.as_units()).collect();
+    println!(
+        "fragment transaction lengths (cost-model profiled): min {:.2}, max {:.2} units\n",
+        lens.iter().cloned().fold(f64::INFINITY, f64::min),
+        lens.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+    );
+
+    println!(
+        "{:<8} {:>16} {:>14} {:>18} {:>14}",
+        "policy", "avg w.tardiness", "missed frags", "worst page (u)", "alerts missed"
+    );
+    for kind in [PolicyKind::Fcfs, PolicyKind::Edf, PolicyKind::Hdf, PolicyKind::asets_star()] {
+        let result = simulate(specs.clone(), kind).expect("acyclic");
+        let pages = binding.page_outcomes(&result.outcomes);
+        let missed: usize = pages.iter().map(|p| p.missed_fragments).sum();
+        let worst = pages
+            .iter()
+            .map(|p| p.total_weighted_tardiness)
+            .fold(f64::NEG_INFINITY, f64::max);
+        // Alerts are fragment index 3 of every page.
+        let alerts_missed = result
+            .outcomes
+            .iter()
+            .filter(|o| binding.of_txn[o.id.index()].1 == 3 && !o.met_deadline())
+            .count();
+        println!(
+            "{:<8} {:>16.3} {:>14} {:>18.2} {:>14}",
+            kind.label(),
+            result.summary.avg_weighted_tardiness,
+            missed,
+            worst,
+            alerts_missed
+        );
+    }
+
+    // Finally, materialize one user's page for real.
+    let page = render(&stock_page_template(7), &db).expect("valid plans");
+    println!("\nrendered page `{}`:", page.name);
+    for f in &page.fragments {
+        println!("  fragment {:<10} {:>4} rows, {} bytes of HTML", f.name, f.row_count, f.html.len());
+    }
+}

@@ -1,0 +1,113 @@
+//! Smoke tests for the reproduction harness: every figure runs at quick
+//! resolution, and the paper's headline qualitative claims hold on
+//! modest-size workloads.
+
+use asets_experiments::config::{ExpConfig, FigureId};
+use asets_experiments::figures::{self, run_figure};
+
+fn smoke_cfg() -> ExpConfig {
+    ExpConfig { seeds: vec![101, 202], n_txns: 250, utilizations: vec![0.3, 0.6, 0.9] }
+}
+
+#[test]
+fn every_figure_produces_reports() {
+    let cfg = ExpConfig::quick();
+    for id in FigureId::ALL {
+        let reports = run_figure(id, &cfg);
+        assert!(!reports.is_empty(), "{}", id.name());
+        for r in &reports {
+            assert!(!r.rows.is_empty(), "{}: empty report", r.title);
+            assert!(!r.columns.is_empty(), "{}", r.title);
+            // Text and CSV render without panicking and contain the title.
+            assert!(r.to_text().contains("==="));
+            assert!(r.to_csv().contains(&r.axis));
+        }
+    }
+}
+
+#[test]
+fn fig8_asets_dominates_baselines() {
+    let r = figures::fig08_09::run_low(&smoke_cfg());
+    let edf = r.series("EDF").unwrap();
+    let srpt = r.series("SRPT").unwrap();
+    let fcfs = r.series("FCFS").unwrap();
+    let asets = r.series("ASETS*").unwrap();
+    for i in 0..asets.len() {
+        assert!(asets[i] <= edf[i].min(srpt[i]) * 1.05 + 1e-9, "point {i}");
+        assert!(asets[i] <= fcfs[i], "FCFS should never win (point {i})");
+    }
+}
+
+#[test]
+fn fig9_crossover_dynamics() {
+    let cfg = ExpConfig {
+        seeds: vec![101, 202, 303],
+        n_txns: 500,
+        utilizations: vec![0.2, 1.0],
+    };
+    let low = figures::fig08_09::run_low(&cfg);
+    let high = figures::fig08_09::run_high(&cfg);
+    // EDF wins the low point, SRPT wins the saturated point.
+    assert!(low.series("EDF").unwrap()[0] < low.series("SRPT").unwrap()[0]);
+    assert!(high.series("SRPT").unwrap()[0] < high.series("EDF").unwrap()[0]);
+}
+
+#[test]
+fn fig14_asets_star_beats_ready_under_load() {
+    let cfg = ExpConfig { seeds: vec![101, 202, 303], n_txns: 500, utilizations: vec![1.0] };
+    let r = figures::fig14::run(&cfg);
+    let ready = r.series("Ready").unwrap()[0];
+    let asets = r.series("ASETS*").unwrap()[0];
+    assert!(asets < ready, "ASETS* {asets} vs Ready {ready}");
+}
+
+#[test]
+fn fig15_weighted_envelope() {
+    let cfg = ExpConfig { seeds: vec![101, 202], n_txns: 400, utilizations: vec![0.4, 1.0] };
+    let r = figures::fig15::run(&cfg);
+    let edf = r.series("EDF").unwrap();
+    let hdf = r.series("HDF").unwrap();
+    let asets = r.series("ASETS*").unwrap();
+    for i in 0..asets.len() {
+        assert!(asets[i] <= edf[i].min(hdf[i]) * 1.08 + 1e-9, "point {i}");
+    }
+}
+
+#[test]
+fn fig16_17_tradeoff_direction() {
+    let cfg = ExpConfig { seeds: vec![101, 202], n_txns: 400, utilizations: vec![] };
+    let mx = figures::fig16_17::run_max(&cfg);
+    let av = figures::fig16_17::run_avg(&cfg);
+    let base_max = mx.series("ASETS*").unwrap()[0];
+    let bal_max = mx.series("ASETS*-balance").unwrap();
+    assert!(
+        *bal_max.last().unwrap() < base_max,
+        "max weighted tardiness must improve at the highest rate"
+    );
+    let base_avg = av.series("ASETS*").unwrap()[0];
+    let bal_avg = av.series("ASETS*-balance").unwrap();
+    assert!(
+        *bal_avg.last().unwrap() >= base_avg * 0.98,
+        "average case pays (or at worst ties)"
+    );
+}
+
+#[test]
+fn table1_realizes_declared_distributions() {
+    let cfg = ExpConfig { seeds: vec![101, 202], n_txns: 1000, utilizations: vec![0.7] };
+    let r = figures::table1::run(&cfg);
+    let (_, row) = &r.rows[0];
+    assert!((row[2] - 0.7).abs() < 0.07, "realized utilization {} vs 0.7", row[2]);
+    assert!((row[5] - 5.5).abs() < 0.4, "mean weight {}", row[5]);
+}
+
+#[test]
+fn csv_round_trip_has_all_series() {
+    let cfg = ExpConfig::quick();
+    let r = figures::fig15::run(&cfg);
+    let csv = r.to_csv();
+    let header = csv.lines().find(|l| !l.starts_with('#')).unwrap();
+    assert_eq!(header, "util,EDF,HDF,ASETS*");
+    let data_lines = csv.lines().filter(|l| !l.starts_with('#')).count();
+    assert_eq!(data_lines, 1 + cfg.utilizations.len());
+}

@@ -1,0 +1,169 @@
+//! Cross-policy simulation invariants, property-tested over random
+//! workloads.
+
+use asets_core::prelude::*;
+use asets_sim::{simulate, simulate_with};
+use proptest::prelude::*;
+
+fn workloads(max_n: usize) -> impl Strategy<Value = Vec<TxnSpec>> {
+    proptest::collection::vec(
+        (0u64..80, 1u64..15, 0u64..30, 1u32..10),
+        1..max_n,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .map(|(arr, len, slack, w)| {
+                let arrival = SimTime::from_units_int(arr);
+                let length = SimDuration::from_units_int(len);
+                TxnSpec::independent(
+                    arrival,
+                    arrival + length + SimDuration::from_units_int(slack),
+                    length,
+                    Weight(w),
+                )
+            })
+            .collect()
+    })
+}
+
+const ALL_POLICIES: [PolicyKind; 8] = [
+    PolicyKind::Fcfs,
+    PolicyKind::Edf,
+    PolicyKind::Srpt,
+    PolicyKind::LeastSlack,
+    PolicyKind::Hdf,
+    PolicyKind::Asets,
+    PolicyKind::Ready,
+    PolicyKind::AsetsStar { impact: ImpactRule::Paper },
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Work conservation: every policy is non-idling, so every policy
+    /// finishes the batch at the same makespan and serves the same total
+    /// busy time.
+    #[test]
+    fn same_makespan_across_policies(specs in workloads(30)) {
+        let reference = simulate(specs.clone(), PolicyKind::Fcfs).unwrap();
+        let total_work: SimDuration = specs.iter().map(|s| s.length).sum();
+        prop_assert_eq!(reference.stats.busy, total_work);
+        for kind in ALL_POLICIES {
+            let r = simulate(specs.clone(), kind).unwrap();
+            prop_assert_eq!(r.stats.makespan, reference.stats.makespan, "{}", kind.label());
+            prop_assert_eq!(r.stats.busy, total_work, "{}", kind.label());
+            prop_assert_eq!(r.stats.completed as usize, specs.len(), "{}", kind.label());
+        }
+    }
+
+    /// Every outcome is sane: finish >= arrival + length, tardiness matches
+    /// Definition 3, response time >= length.
+    #[test]
+    fn outcome_sanity(specs in workloads(30)) {
+        for kind in [PolicyKind::Edf, PolicyKind::asets_star()] {
+            let r = simulate(specs.clone(), kind).unwrap();
+            prop_assert_eq!(r.outcomes.len(), specs.len());
+            for o in &r.outcomes {
+                prop_assert!(o.finish >= o.arrival + o.length);
+                prop_assert!(o.response_time() >= o.length);
+                let expect = o.finish.saturating_since(o.deadline);
+                prop_assert_eq!(o.tardiness(), expect);
+            }
+        }
+    }
+
+    /// Determinism: the same workload under the same policy yields
+    /// identical results, run after run.
+    #[test]
+    fn simulation_is_deterministic(specs in workloads(25)) {
+        for kind in [PolicyKind::asets_star(), PolicyKind::LeastSlack] {
+            let a = simulate(specs.clone(), kind).unwrap();
+            let b = simulate(specs.clone(), kind).unwrap();
+            let fa: Vec<SimTime> = a.outcomes.iter().map(|o| o.finish).collect();
+            let fb: Vec<SimTime> = b.outcomes.iter().map(|o| o.finish).collect();
+            prop_assert_eq!(fa, fb);
+            prop_assert_eq!(a.stats, b.stats);
+        }
+    }
+
+    /// HDF reduces to SRPT when every weight is equal (§III-C): identical
+    /// finish times.
+    #[test]
+    fn hdf_is_srpt_at_equal_weights(specs in workloads(25)) {
+        let unit: Vec<TxnSpec> = specs
+            .into_iter()
+            .map(|s| TxnSpec { weight: Weight(7), ..s })
+            .collect();
+        let hdf = simulate(unit.clone(), PolicyKind::Hdf).unwrap();
+        let srpt = simulate(unit, PolicyKind::Srpt).unwrap();
+        for (h, s) in hdf.outcomes.iter().zip(&srpt.outcomes) {
+            prop_assert_eq!(h.finish, s.finish);
+        }
+    }
+
+    /// On an independent, *equally weighted* batch, workflow-level ASETS*
+    /// reduces exactly to transaction-level ASETS (§III-C: every workflow
+    /// is a singleton, HDF order collapses to SRPT order, and the weight
+    /// factors cancel in the impact comparison).
+    #[test]
+    fn asets_star_reduces_to_asets_without_dependencies(specs in workloads(25)) {
+        let specs: Vec<TxnSpec> =
+            specs.into_iter().map(|s| TxnSpec { weight: Weight::ONE, ..s }).collect();
+        let star = simulate(specs.clone(), PolicyKind::asets_star()).unwrap();
+        let asets = simulate_with(specs, Asets::new()).unwrap();
+        for (a, b) in star.outcomes.iter().zip(&asets.outcomes) {
+            prop_assert_eq!(a.finish, b.finish);
+        }
+    }
+
+    /// `Ready` and transaction-level ASETS are the same policy on
+    /// independent batches.
+    #[test]
+    fn ready_equals_asets_without_dependencies(specs in workloads(25)) {
+        let ready = simulate(specs.clone(), PolicyKind::Ready).unwrap();
+        let asets = simulate(specs, PolicyKind::Asets).unwrap();
+        for (a, b) in ready.outcomes.iter().zip(&asets.outcomes) {
+            prop_assert_eq!(a.finish, b.finish);
+        }
+    }
+
+    /// Balance-aware wrapping never loses transactions and keeps all the
+    /// structural invariants (it only reorders work).
+    #[test]
+    fn balance_aware_completes_everything(specs in workloads(25)) {
+        let kind = PolicyKind::BalanceAware {
+            impact: ImpactRule::Paper,
+            activation: ActivationMode::time_rate(0.05),
+        };
+        let r = simulate(specs.clone(), kind).unwrap();
+        prop_assert_eq!(r.outcomes.len(), specs.len());
+        let reference = simulate(specs.clone(), PolicyKind::Fcfs).unwrap();
+        prop_assert_eq!(r.stats.makespan, reference.stats.makespan);
+    }
+
+    /// SRPT is optimal for total response time among the implemented
+    /// policies (Schroeder & Harchol-Balter): no other policy beats it.
+    #[test]
+    fn srpt_minimizes_mean_response_time(specs in workloads(25)) {
+        let srpt = simulate(specs.clone(), PolicyKind::Srpt).unwrap();
+        for kind in [PolicyKind::Fcfs, PolicyKind::Edf, PolicyKind::LeastSlack] {
+            let r = simulate(specs.clone(), kind).unwrap();
+            prop_assert!(
+                srpt.summary.avg_response_time <= r.summary.avg_response_time + 1e-9,
+                "SRPT {} vs {} {}",
+                srpt.summary.avg_response_time,
+                kind.label(),
+                r.summary.avg_response_time
+            );
+        }
+    }
+
+    /// Metrics cross-check: the summary recomputed from outcomes matches
+    /// the one the engine produced.
+    #[test]
+    fn summary_matches_outcomes(specs in workloads(25)) {
+        let r = simulate(specs, PolicyKind::asets_star()).unwrap();
+        let recomputed = MetricsSummary::from_outcomes(&r.outcomes);
+        prop_assert_eq!(r.summary, recomputed);
+    }
+}

@@ -1,0 +1,95 @@
+//! Analytical validation of the simulator against queueing theory.
+//!
+//! The Table I workload is literally an M/G/1 queue: Poisson arrivals at
+//! rate λ = U/E[S], i.i.d. service times S (Zipf lengths). Classical
+//! results then pin what a *correct* simulator must measure:
+//!
+//! * **FCFS** mean response time obeys Pollaczek–Khinchine:
+//!   `E[T] = E[S] + λ·E[S²] / (2(1−ρ))` with `ρ = λ·E[S]`;
+//! * the server's long-run **busy fraction** equals ρ;
+//! * **SRPT** improves mean response time over FCFS (optimality).
+//!
+//! These catch a whole class of engine bugs (service accounting, event
+//! ordering, preemption arithmetic) that policy unit tests cannot see.
+
+use asets_core::policy::PolicyKind;
+use asets_sim::simulate;
+use asets_workload::{generate, TableISpec};
+
+/// Empirical moments of the generated batch (the generator's λ uses the
+/// empirical mean — DESIGN.md D10 — so the analytical prediction must too).
+fn batch_moments(specs: &[asets_core::txn::TxnSpec]) -> (f64, f64) {
+    let n = specs.len() as f64;
+    let m1 = specs.iter().map(|s| s.length.as_units()).sum::<f64>() / n;
+    let m2 = specs.iter().map(|s| s.length.as_units().powi(2)).sum::<f64>() / n;
+    (m1, m2)
+}
+
+#[test]
+fn fcfs_matches_pollaczek_khinchine() {
+    // Moderate load keeps relative confidence intervals tight at this n.
+    for util in [0.3, 0.6] {
+        let spec = TableISpec { n_txns: 30_000, ..TableISpec::transaction_level(util) };
+        let mut measured = 0.0;
+        let mut predicted = 0.0;
+        for seed in [101u64, 202, 303] {
+            let specs = generate(&spec, seed).unwrap();
+            let (m1, m2) = batch_moments(&specs);
+            let lambda = util / m1;
+            let rho = lambda * m1; // == util by construction
+            predicted += m1 + lambda * m2 / (2.0 * (1.0 - rho));
+            let r = simulate(specs, PolicyKind::Fcfs).unwrap();
+            measured += r.summary.avg_response_time;
+        }
+        measured /= 3.0;
+        predicted /= 3.0;
+        let rel = (measured - predicted).abs() / predicted;
+        assert!(
+            rel < 0.08,
+            "U={util}: measured E[T]={measured:.2}, P-K predicts {predicted:.2} (rel {rel:.3})"
+        );
+    }
+}
+
+#[test]
+fn busy_fraction_matches_offered_load() {
+    let util = 0.5;
+    let spec = TableISpec { n_txns: 20_000, ..TableISpec::transaction_level(util) };
+    let specs = generate(&spec, 404).unwrap();
+    let r = simulate(specs, PolicyKind::Fcfs).unwrap();
+    // Over the horizon up to the last *arrival*, the busy fraction tracks ρ
+    // (the tail after the last arrival only drains).
+    let busy = r.stats.busy.as_units();
+    let horizon = r.stats.makespan.as_units();
+    let rho_measured = busy / horizon;
+    assert!(
+        (rho_measured - util).abs() < 0.05,
+        "busy fraction {rho_measured:.3} vs offered load {util}"
+    );
+}
+
+#[test]
+fn srpt_beats_fcfs_on_mean_response_time() {
+    let spec = TableISpec { n_txns: 10_000, ..TableISpec::transaction_level(0.7) };
+    let specs = generate(&spec, 505).unwrap();
+    let fcfs = simulate(specs.clone(), PolicyKind::Fcfs).unwrap();
+    let srpt = simulate(specs, PolicyKind::Srpt).unwrap();
+    assert!(
+        srpt.summary.avg_response_time < fcfs.summary.avg_response_time * 0.8,
+        "SRPT {:.2} vs FCFS {:.2}: SRPT should win decisively under skewed service",
+        srpt.summary.avg_response_time,
+        fcfs.summary.avg_response_time
+    );
+}
+
+#[test]
+fn response_time_grows_superlinearly_with_load() {
+    // 1/(1−ρ) growth: the U=0.9 queue must be far worse than 3× the U=0.3 one.
+    let mut means = Vec::new();
+    for util in [0.3, 0.9] {
+        let spec = TableISpec { n_txns: 10_000, ..TableISpec::transaction_level(util) };
+        let specs = generate(&spec, 606).unwrap();
+        means.push(simulate(specs, PolicyKind::Fcfs).unwrap().summary.avg_response_time);
+    }
+    assert!(means[1] > means[0] * 3.0, "U=0.9 {:.1} vs U=0.3 {:.1}", means[1], means[0]);
+}

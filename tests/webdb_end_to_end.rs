@@ -1,0 +1,115 @@
+//! End-to-end integration across the whole stack: the §II-B stock
+//! application compiled onto the scheduler and simulated, with page-level
+//! assertions.
+
+use asets_core::policy::PolicyKind;
+use asets_core::time::SimDuration;
+use asets_sim::simulate;
+use asets_webdb::app::stock::{stock_database, stock_page_template, stock_requests, StockDbParams};
+use asets_webdb::compile::compile_requests;
+use asets_webdb::page::render;
+use asets_webdb::query::cost::CostModel;
+
+fn small_params() -> StockDbParams {
+    StockDbParams { n_stocks: 120, n_users: 20, holdings_per_user: 8, alerts_per_user: 4 }
+}
+
+#[test]
+fn compiled_pages_honor_the_fragment_dag_under_every_policy() {
+    let db = stock_database(&small_params(), 1).unwrap();
+    let requests = stock_requests(12, SimDuration::from_units_int(5));
+    let (specs, binding) = compile_requests(&requests, &db, &CostModel::default()).unwrap();
+    for kind in [
+        PolicyKind::Fcfs,
+        PolicyKind::Edf,
+        PolicyKind::Hdf,
+        PolicyKind::Ready,
+        PolicyKind::asets_star(),
+    ] {
+        let result = simulate(specs.clone(), kind).unwrap();
+        // Dependencies: prices (0) < portfolio (1) < value (2) and alerts (3).
+        for page in 0..requests.len() {
+            let base = binding.first_txn[page].index();
+            let f = |i: usize| result.outcomes[base + i].finish;
+            assert!(f(0) <= f(1), "{}: portfolio before prices", kind.label());
+            assert!(f(1) <= f(2), "{}: value before portfolio", kind.label());
+            assert!(f(1) <= f(3), "{}: alerts before portfolio", kind.label());
+        }
+    }
+}
+
+#[test]
+fn asets_star_protects_the_heavy_urgent_alert_fragments() {
+    let db = stock_database(&small_params(), 2).unwrap();
+    // Dense logins -> real contention.
+    let requests = stock_requests(20, SimDuration::from_units_int(2));
+    let (specs, binding) = compile_requests(&requests, &db, &CostModel::default()).unwrap();
+
+    let weighted_alert_tardiness = |kind: PolicyKind| -> f64 {
+        let result = simulate(specs.clone(), kind).unwrap();
+        result
+            .outcomes
+            .iter()
+            .filter(|o| binding.of_txn[o.id.index()].1 == 3)
+            .map(|o| o.tardiness().as_units() * o.weight.get() as f64)
+            .sum()
+    };
+    let fcfs = weighted_alert_tardiness(PolicyKind::Fcfs);
+    let asets = weighted_alert_tardiness(PolicyKind::asets_star());
+    assert!(
+        asets <= fcfs,
+        "ASETS* alert weighted tardiness {asets} vs FCFS {fcfs}"
+    );
+}
+
+#[test]
+fn scheduled_and_unscheduled_content_agree() {
+    // The scheduler decides *when* fragments run, never *what* they
+    // compute: rendering a page directly must match the fragment queries
+    // the compiler profiled (same plans, same database).
+    let db = stock_database(&small_params(), 3).unwrap();
+    let template = stock_page_template(4);
+    let page = render(&template, &db).unwrap();
+    assert_eq!(page.fragments.len(), 4);
+    assert_eq!(page.fragments[0].row_count, 120);
+    assert_eq!(page.fragments[1].row_count, 8);
+    assert_eq!(page.fragments[2].row_count, 1);
+    // Compile the same template and check the cost model saw the same
+    // cardinalities (output rows enter the cost).
+    let cost = CostModel::default();
+    let profiled = cost.profile(&template.fragments()[1].plan, &db).unwrap();
+    assert_eq!(profiled.stats.rows_output, 8);
+}
+
+#[test]
+fn page_outcomes_cover_every_request() {
+    let db = stock_database(&small_params(), 4).unwrap();
+    let requests = stock_requests(9, SimDuration::from_units_int(10));
+    let (specs, binding) = compile_requests(&requests, &db, &CostModel::default()).unwrap();
+    let result = simulate(specs, PolicyKind::asets_star()).unwrap();
+    let pages = binding.page_outcomes(&result.outcomes);
+    assert_eq!(pages.len(), 9);
+    for (i, p) in pages.iter().enumerate() {
+        assert_eq!(p.page, i);
+        // A page finishes no earlier than its submission plus its total work
+        // lower bound (the longest fragment).
+        assert!(p.finish >= requests[i].submit);
+        assert!(p.missed_fragments <= 4);
+    }
+}
+
+#[test]
+fn deterministic_across_full_stack() {
+    let run = || {
+        let db = stock_database(&small_params(), 9).unwrap();
+        let requests = stock_requests(10, SimDuration::from_units_int(3));
+        let (specs, _) = compile_requests(&requests, &db, &CostModel::default()).unwrap();
+        simulate(specs, PolicyKind::asets_star())
+            .unwrap()
+            .outcomes
+            .iter()
+            .map(|o| o.finish)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}
