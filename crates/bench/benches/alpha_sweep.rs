@@ -12,12 +12,21 @@ use std::hint::black_box;
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("alpha_sweep");
     for alpha in [0.0, 0.5, 1.0, 1.5] {
-        let specs = bench_workload(&TableISpec { alpha, ..TableISpec::transaction_level(0.7) });
+        let specs = bench_workload(&TableISpec {
+            alpha,
+            ..TableISpec::transaction_level(0.7)
+        });
         g.bench_with_input(
             BenchmarkId::from_parameter(format!("alpha{alpha}")),
             &specs,
             |b, specs| {
-                b.iter(|| black_box(run_cell(specs, PolicyKind::asets_star()).summary.avg_tardiness));
+                b.iter(|| {
+                    black_box(
+                        run_cell(specs, PolicyKind::asets_star())
+                            .summary
+                            .avg_tardiness,
+                    )
+                });
             },
         );
     }

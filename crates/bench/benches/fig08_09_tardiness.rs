@@ -20,9 +20,13 @@ fn bench(c: &mut Criterion) {
         let mut g = c.benchmark_group(fig);
         let specs = bench_workload(&TableISpec::transaction_level(util));
         for kind in policies {
-            g.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
-                b.iter(|| black_box(run_cell(&specs, kind).summary.avg_tardiness));
-            });
+            g.bench_with_input(
+                BenchmarkId::from_parameter(kind.label()),
+                &kind,
+                |b, &kind| {
+                    b.iter(|| black_box(run_cell(&specs, kind).summary.avg_tardiness));
+                },
+            );
         }
         g.finish();
     }

@@ -11,7 +11,10 @@ use std::hint::black_box;
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig10_13_kmax_sweep");
     for k_max in [1.0, 2.0, 3.0, 4.0] {
-        let specs = bench_workload(&TableISpec { k_max, ..TableISpec::transaction_level(0.6) });
+        let specs = bench_workload(&TableISpec {
+            k_max,
+            ..TableISpec::transaction_level(0.6)
+        });
         for kind in [PolicyKind::Edf, PolicyKind::Srpt, PolicyKind::asets_star()] {
             let id = BenchmarkId::new(kind.label(), format!("kmax{k_max}"));
             g.bench_with_input(id, &kind, |b, &kind| {

@@ -13,9 +13,13 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig14_workflow_level");
     let specs = bench_workload(&TableISpec::workflow_level(0.9));
     for kind in [PolicyKind::Ready, PolicyKind::asets_star()] {
-        g.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
-            b.iter(|| black_box(run_cell(&specs, kind).summary.avg_tardiness));
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| black_box(run_cell(&specs, kind).summary.avg_tardiness));
+            },
+        );
     }
     g.finish();
 }

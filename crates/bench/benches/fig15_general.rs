@@ -14,8 +14,18 @@ fn bench(c: &mut Criterion) {
     let policies = [
         (PolicyKind::Edf, "EDF"),
         (PolicyKind::Hdf, "HDF"),
-        (PolicyKind::AsetsStar { impact: ImpactRule::Paper }, "ASETS*-paper"),
-        (PolicyKind::AsetsStar { impact: ImpactRule::Symmetric }, "ASETS*-symmetric"),
+        (
+            PolicyKind::AsetsStar {
+                impact: ImpactRule::Paper,
+            },
+            "ASETS*-paper",
+        ),
+        (
+            PolicyKind::AsetsStar {
+                impact: ImpactRule::Symmetric,
+            },
+            "ASETS*-symmetric",
+        ),
     ];
     for (kind, label) in policies {
         g.bench_with_input(BenchmarkId::from_parameter(label), &kind, |b, &kind| {

@@ -14,7 +14,11 @@ fn bench(c: &mut Criterion) {
 
     g.bench_function("baseline_ASETS*", |b| {
         b.iter(|| {
-            black_box(run_cell(&specs, PolicyKind::asets_star()).summary.max_weighted_tardiness)
+            black_box(
+                run_cell(&specs, PolicyKind::asets_star())
+                    .summary
+                    .max_weighted_tardiness,
+            )
         });
     });
     for rate in [0.002, 0.006, 0.01] {

@@ -1,20 +1,26 @@
 //! The §III-A complexity claim: ASETS\* "scales in a similar manner as EDF
 //! and SRPT" with `O(log N)` list maintenance.
 //!
-//! Three benches:
+//! Four benches:
 //! 1. keyed-queue primitive ops at several sizes (the `log N` factor);
 //! 2. whole-run cost of the *indexed* ASETS\* vs the O(n)-rescan oracle at
 //!    growing batch sizes — the ablation that justifies the index;
 //! 3. whole-run cost of EDF vs SRPT vs ASETS\* at the same size (the
-//!    "similar manner" claim).
+//!    "similar manner" claim);
+//! 4. deep-workflow scaling: chain workflows of 10/100/1000 members, where
+//!    the incremental `WorkflowIndex` (O(log |W|) per event) separates from
+//!    the pre-index rescan implementation (O(|W|) per event), plus a
+//!    100k-transaction batch at the indexed cost only.
 
-use asets_core::policy::reference::NaiveAsetsStar;
+use asets_core::policy::reference::{NaiveAsetsStar, RescanAsetsStar};
 use asets_core::policy::{AsetsStar, PolicyKind};
 use asets_core::queue::KeyedQueue;
 use asets_core::table::TxnTable;
+use asets_core::time::{SimDuration, SimTime};
+use asets_core::txn::{TxnId, TxnSpec, Weight};
 use asets_sim::simulate_with;
 use asets_workload::{generate, TableISpec};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn queue_ops(c: &mut Criterion) {
@@ -41,13 +47,21 @@ fn indexed_vs_naive(c: &mut Criterion) {
     let mut g = c.benchmark_group("asets_star_indexed_vs_naive");
     g.sample_size(10);
     for n in [100usize, 400, 1_600] {
-        let spec = TableISpec { n_txns: n, ..TableISpec::general_case(0.9) };
+        let spec = TableISpec {
+            n_txns: n,
+            ..TableISpec::general_case(0.9)
+        };
         let specs = generate(&spec, 101).expect("valid spec");
         g.bench_with_input(BenchmarkId::new("indexed", n), &specs, |b, specs| {
             b.iter(|| {
                 let table = TxnTable::new(specs.clone()).unwrap();
                 let policy = AsetsStar::with_defaults(&table);
-                black_box(simulate_with(specs.clone(), policy).unwrap().summary.avg_tardiness)
+                black_box(
+                    simulate_with(specs.clone(), policy)
+                        .unwrap()
+                        .summary
+                        .avg_tardiness,
+                )
             });
         });
         // The naive oracle rescans every workflow at every decision; skip
@@ -58,7 +72,10 @@ fn indexed_vs_naive(c: &mut Criterion) {
                     let table = TxnTable::new(specs.clone()).unwrap();
                     let policy = NaiveAsetsStar::with_defaults(&table);
                     black_box(
-                        simulate_with(specs.clone(), policy).unwrap().summary.avg_tardiness,
+                        simulate_with(specs.clone(), policy)
+                            .unwrap()
+                            .summary
+                            .avg_tardiness,
                     )
                 });
             });
@@ -70,19 +87,156 @@ fn indexed_vs_naive(c: &mut Criterion) {
 fn scales_like_edf_srpt(c: &mut Criterion) {
     let mut g = c.benchmark_group("scales_like_edf_srpt");
     g.sample_size(10);
-    let spec = TableISpec { n_txns: 2_000, ..TableISpec::transaction_level(0.9) };
+    let spec = TableISpec {
+        n_txns: 2_000,
+        ..TableISpec::transaction_level(0.9)
+    };
     let specs = generate(&spec, 101).expect("valid spec");
-    for kind in [PolicyKind::Edf, PolicyKind::Srpt, PolicyKind::Asets, PolicyKind::asets_star()] {
-        g.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
-            b.iter(|| {
-                black_box(
-                    asets_sim::simulate(specs.clone(), kind).unwrap().summary.avg_tardiness,
-                )
-            });
-        });
+    for kind in [
+        PolicyKind::Edf,
+        PolicyKind::Srpt,
+        PolicyKind::Asets,
+        PolicyKind::asets_star(),
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    black_box(
+                        asets_sim::simulate(specs.clone(), kind)
+                            .unwrap()
+                            .summary
+                            .avg_tardiness,
+                    )
+                });
+            },
+        );
     }
     g.finish();
 }
 
-criterion_group!(benches, queue_ops, indexed_vs_naive, scales_like_edf_srpt);
+/// SplitMix64 finalizer — deterministic pseudo-randomization by index, so
+/// the workload is reproducible without a RNG dependency.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// `n` transactions arranged as dependency chains of `chain_len` members:
+/// each chain is one workflow whose member count *is* `chain_len`, so the
+/// per-event rescan cost grows linearly with it while the indexed cost only
+/// gains a log factor. Chains are *interleaved* across the id space (member
+/// `m` of chain `c` is transaction `m·C + c`), the way concurrent sessions'
+/// transactions actually arrive in a web database — so a member rescan
+/// strides through the whole table instead of walking a contiguous (and
+/// cache-resident) block. Arrivals are staggered per chain and slacks vary
+/// so workflows keep crossing between the EDF and HDF lists (migrations,
+/// requeues and releases all fire).
+fn chain_workload(n: usize, chain_len: usize) -> Vec<TxnSpec> {
+    let n_chains = n / chain_len;
+    (0..n)
+        .map(|i| {
+            let chain = i % n_chains;
+            let pos = i / n_chains;
+            let h = mix(i as u64);
+            let arrival = SimTime::from_units_int((chain % 64) as u64);
+            let length = SimDuration::from_units_int(1 + h % 8);
+            let slack = SimDuration::from_units_int((h >> 8) % 60);
+            TxnSpec {
+                arrival,
+                deadline: arrival + length + slack,
+                length,
+                weight: Weight(1 + (h >> 16) as u32 % 9),
+                deps: if pos == 0 {
+                    vec![]
+                } else {
+                    vec![TxnId((i - n_chains) as u32)]
+                },
+            }
+        })
+        .collect()
+}
+
+/// Time full simulation runs of `specs` under a policy, with the workload
+/// clones prepared outside the timed region (`TxnTable::new` and
+/// `simulate_with` both consume a `Vec`).
+fn bench_runs<S, F>(
+    g: &mut criterion::BenchmarkGroup<'_>,
+    id: BenchmarkId,
+    specs: &[TxnSpec],
+    make: F,
+) where
+    S: asets_core::policy::Scheduler,
+    F: Fn(&TxnTable) -> S + Copy,
+{
+    g.bench_with_input(id, &specs, |b, specs| {
+        b.iter_batched(
+            || (specs.to_vec(), specs.to_vec()),
+            |(for_table, for_sim)| {
+                let table = TxnTable::new(for_table).unwrap();
+                let policy = make(&table);
+                black_box(
+                    simulate_with(for_sim, policy)
+                        .unwrap()
+                        .summary
+                        .avg_tardiness,
+                )
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn deep_workflow_scale(c: &mut Criterion) {
+    let mut g = c.benchmark_group("deep_workflow_scale");
+    g.sample_size(10);
+    let n = 10_000;
+    for chain_len in [10usize, 100, 1_000] {
+        let specs = chain_workload(n, chain_len);
+        // Transaction-level EDF on the same workload: the engine floor —
+        // what a run costs with (near-)zero per-event policy work. The
+        // scheduler-overhead share of the two ASETS* variants is their
+        // distance from this line.
+        bench_runs(
+            &mut g,
+            BenchmarkId::new("edf_floor", chain_len),
+            &specs,
+            |_| asets_core::policy::Edf::new(),
+        );
+        bench_runs(
+            &mut g,
+            BenchmarkId::new("indexed", chain_len),
+            &specs,
+            AsetsStar::with_defaults,
+        );
+        bench_runs(
+            &mut g,
+            BenchmarkId::new("rescan", chain_len),
+            &specs,
+            RescanAsetsStar::with_defaults,
+        );
+    }
+    // Batch-size headroom: 100k transactions in 100-member workflows at the
+    // indexed cost only (the rescan twin would dominate the bench's
+    // wall-clock budget; its scaling is established above).
+    let specs = chain_workload(100_000, 100);
+    bench_runs(
+        &mut g,
+        BenchmarkId::new("indexed_100k", 100),
+        &specs,
+        AsetsStar::with_defaults,
+    );
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    queue_ops,
+    indexed_vs_naive,
+    scales_like_edf_srpt,
+    deep_workflow_scale
+);
 criterion_main!(benches);

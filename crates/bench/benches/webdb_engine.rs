@@ -1,16 +1,20 @@
 //! Substrate bench: the web-database query engine and the page-compile
 //! path that produces transaction lengths — the cost model's own cost.
 
+use asets_core::time::SimDuration;
 use asets_webdb::app::stock::{stock_database, stock_requests, StockDbParams};
 use asets_webdb::compile::compile_requests;
 use asets_webdb::query::cost::CostModel;
 use asets_webdb::sql::query;
-use asets_core::time::SimDuration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    let params = StockDbParams { n_stocks: 1000, n_users: 50, ..Default::default() };
+    let params = StockDbParams {
+        n_stocks: 1000,
+        n_users: 50,
+        ..Default::default()
+    };
     let db = stock_database(&params, 7).expect("static schemas");
 
     let mut g = c.benchmark_group("webdb_engine");
@@ -59,9 +63,7 @@ fn bench(c: &mut Criterion) {
     g.bench_function("compile_50_stock_pages", |b| {
         let requests = stock_requests(50, SimDuration::from_units_int(4));
         let cost = CostModel::default();
-        b.iter(|| {
-            black_box(compile_requests(&requests, &db, &cost).unwrap().0.len())
-        });
+        b.iter(|| black_box(compile_requests(&requests, &db, &cost).unwrap().0.len()));
     });
 
     g.finish();

@@ -20,7 +20,10 @@ pub const BENCH_SEED: u64 = 101;
 
 /// Generate one bench-sized Table I batch.
 pub fn bench_workload(spec: &TableISpec) -> Vec<TxnSpec> {
-    let spec = TableISpec { n_txns: BENCH_N, ..*spec };
+    let spec = TableISpec {
+        n_txns: BENCH_N,
+        ..*spec
+    };
     generate(&spec, BENCH_SEED).expect("valid bench spec")
 }
 

@@ -124,10 +124,22 @@ impl DepDag {
             return Err(DagError::Cycle(witness));
         }
 
-        let roots = (0..n as u32).map(TxnId).filter(|t| succs[t.index()].is_empty()).collect();
-        let leaves = (0..n as u32).map(TxnId).filter(|t| preds[t.index()].is_empty()).collect();
+        let roots = (0..n as u32)
+            .map(TxnId)
+            .filter(|t| succs[t.index()].is_empty())
+            .collect();
+        let leaves = (0..n as u32)
+            .map(TxnId)
+            .filter(|t| preds[t.index()].is_empty())
+            .collect();
 
-        Ok(DepDag { preds, succs, roots, leaves, topo })
+        Ok(DepDag {
+            preds,
+            succs,
+            roots,
+            leaves,
+            topo,
+        })
     }
 
     /// Number of transactions in the batch.
@@ -249,13 +261,13 @@ mod tests {
     /// `<T0, T1, T2, T3>` (chain) and `<T0, T4, T5, T6>` (chain).
     fn figure1_like() -> Vec<TxnSpec> {
         vec![
-            spec(vec![]),           // T0 leaf
-            spec(vec![TxnId(0)]),   // T1
-            spec(vec![TxnId(1)]),   // T2
-            spec(vec![TxnId(2)]),   // T3 root of workflow A
-            spec(vec![TxnId(0)]),   // T4
-            spec(vec![TxnId(4)]),   // T5
-            spec(vec![TxnId(5)]),   // T6 root of workflow B
+            spec(vec![]),         // T0 leaf
+            spec(vec![TxnId(0)]), // T1
+            spec(vec![TxnId(1)]), // T2
+            spec(vec![TxnId(2)]), // T3 root of workflow A
+            spec(vec![TxnId(0)]), // T4
+            spec(vec![TxnId(4)]), // T5
+            spec(vec![TxnId(5)]), // T6 root of workflow B
         ]
     }
 
@@ -297,7 +309,10 @@ mod tests {
         assert!(dag.precedes(TxnId(0), TxnId(6)));
         assert!(!dag.precedes(TxnId(3), TxnId(0)));
         assert!(!dag.precedes(TxnId(1), TxnId(1)));
-        assert!(!dag.precedes(TxnId(1), TxnId(6)), "branches are incomparable");
+        assert!(
+            !dag.precedes(TxnId(1), TxnId(6)),
+            "branches are incomparable"
+        );
     }
 
     #[test]
@@ -335,13 +350,19 @@ mod tests {
     #[test]
     fn detects_cycle() {
         let specs = vec![spec(vec![TxnId(1)]), spec(vec![TxnId(0)])];
-        assert_eq!(DepDag::build(&specs).unwrap_err(), DagError::Cycle(TxnId(0)));
+        assert_eq!(
+            DepDag::build(&specs).unwrap_err(),
+            DagError::Cycle(TxnId(0))
+        );
     }
 
     #[test]
     fn detects_self_dependency() {
         let specs = vec![spec(vec![TxnId(0)])];
-        assert_eq!(DepDag::build(&specs).unwrap_err(), DagError::SelfDependency(TxnId(0)));
+        assert_eq!(
+            DepDag::build(&specs).unwrap_err(),
+            DagError::SelfDependency(TxnId(0))
+        );
     }
 
     #[test]
@@ -349,7 +370,10 @@ mod tests {
         let specs = vec![spec(vec![TxnId(9)])];
         assert_eq!(
             DepDag::build(&specs).unwrap_err(),
-            DagError::UnknownTxn { txn: TxnId(0), dep: TxnId(9) }
+            DagError::UnknownTxn {
+                txn: TxnId(0),
+                dep: TxnId(9)
+            }
         );
     }
 
@@ -358,7 +382,10 @@ mod tests {
         let specs = vec![spec(vec![]), spec(vec![TxnId(0), TxnId(0)])];
         assert_eq!(
             DepDag::build(&specs).unwrap_err(),
-            DagError::DuplicateDependency { txn: TxnId(1), dep: TxnId(0) }
+            DagError::DuplicateDependency {
+                txn: TxnId(1),
+                dep: TxnId(0)
+            }
         );
     }
 
@@ -382,7 +409,10 @@ mod tests {
     fn error_display_is_informative() {
         let e = DagError::Cycle(TxnId(2));
         assert!(e.to_string().contains("T2"));
-        let e = DagError::UnknownTxn { txn: TxnId(1), dep: TxnId(5) };
+        let e = DagError::UnknownTxn {
+            txn: TxnId(1),
+            dep: TxnId(5),
+        };
         assert!(e.to_string().contains("T5"));
     }
 }

@@ -70,8 +70,8 @@ pub mod prelude {
     pub use crate::dag::{DagError, DepDag};
     pub use crate::metrics::{MetricsAccumulator, MetricsSummary};
     pub use crate::policy::{
-        ActivationMode, Asets, AsetsStar, AsetsStarConfig, BalanceAware, Edf, Fcfs, Hdf,
-        Hvf, ImpactRule, LeastSlack, LoadSwitch, Mix, PolicyKind, Ready, Scheduler, Srpt,
+        ActivationMode, Asets, AsetsStar, AsetsStarConfig, BalanceAware, Edf, Fcfs, Hdf, Hvf,
+        ImpactRule, LeastSlack, LoadSwitch, Mix, PolicyKind, Ready, Scheduler, Srpt,
     };
     pub use crate::table::TxnTable;
     pub use crate::time::{SimDuration, SimTime, Slack, TICKS_PER_UNIT};

@@ -286,8 +286,7 @@ mod tests {
     #[test]
     fn p99_nearest_rank() {
         // 100 outcomes with tardiness 1..=100: p99 (nearest rank) = 99.
-        let outs: Vec<TxnOutcome> =
-            (1..=100).map(|i| outcome(i, 0, 0, i as u64, 1)).collect();
+        let outs: Vec<TxnOutcome> = (1..=100).map(|i| outcome(i, 0, 0, i as u64, 1)).collect();
         let m = MetricsSummary::from_outcomes(&outs);
         assert_eq!(m.p99_tardiness, 99.0);
     }
@@ -302,8 +301,14 @@ mod tests {
 
     #[test]
     fn mean_of_runs_matches_paper_protocol() {
-        let a = MetricsSummary { avg_tardiness: 2.0, ..MetricsSummary::empty() };
-        let b = MetricsSummary { avg_tardiness: 4.0, ..MetricsSummary::empty() };
+        let a = MetricsSummary {
+            avg_tardiness: 2.0,
+            ..MetricsSummary::empty()
+        };
+        let b = MetricsSummary {
+            avg_tardiness: 4.0,
+            ..MetricsSummary::empty()
+        };
         let m = MetricsSummary::mean_of_runs(&[a, b]);
         assert!((m.avg_tardiness - 3.0).abs() < 1e-12);
     }
@@ -333,13 +338,17 @@ mod tests {
 
     #[test]
     fn accumulator_empty_summary() {
-        assert_eq!(MetricsAccumulator::new().summarize(), MetricsSummary::empty());
+        assert_eq!(
+            MetricsAccumulator::new().summarize(),
+            MetricsSummary::empty()
+        );
     }
 
     #[test]
     fn unweighted_equals_weighted_when_all_weights_one() {
-        let outs: Vec<TxnOutcome> =
-            (0..20).map(|i| outcome(i, 0, 5, 5 + (i as u64 % 7), 1)).collect();
+        let outs: Vec<TxnOutcome> = (0..20)
+            .map(|i| outcome(i, 0, 5, 5 + (i as u64 % 7), 1))
+            .collect();
         let m = MetricsSummary::from_outcomes(&outs);
         assert!((m.avg_tardiness - m.avg_weighted_tardiness).abs() < 1e-12);
         assert_eq!(m.max_tardiness, m.max_weighted_tardiness);

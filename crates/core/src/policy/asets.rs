@@ -81,7 +81,10 @@ impl Asets {
         };
         for (_, id) in self.latest_start.drain_up_to(bound) {
             let removed = self.edf.remove(id);
-            debug_assert!(removed.is_some(), "latest-start index out of sync with EDF-List");
+            debug_assert!(
+                removed.is_some(),
+                "latest-start index out of sync with EDF-List"
+            );
             self.srpt.insert(id, table.remaining(TxnId(id)).ticks());
         }
     }
@@ -186,7 +189,12 @@ mod tests {
     fn example2_srpt_wins() {
         let (tbl, mut p) = ready_all(
             vec![
-                TxnSpec::independent(at(0), SimTime::from_units(3.0 - 1e-6), units(3), Weight::ONE),
+                TxnSpec::independent(
+                    at(0),
+                    SimTime::from_units(3.0 - 1e-6),
+                    units(3),
+                    Weight::ONE,
+                ),
                 TxnSpec::independent(at(0), at(7), units(5), Weight::ONE),
             ],
             at(0),
@@ -203,7 +211,12 @@ mod tests {
     fn example3_edf_wins() {
         let (tbl, mut p) = ready_all(
             vec![
-                TxnSpec::independent(at(0), SimTime::from_units(3.0 - 1e-6), units(3), Weight::ONE),
+                TxnSpec::independent(
+                    at(0),
+                    SimTime::from_units(3.0 - 1e-6),
+                    units(3),
+                    Weight::ONE,
+                ),
                 TxnSpec::independent(at(0), at(2), units(2), Weight::ONE),
             ],
             at(0),

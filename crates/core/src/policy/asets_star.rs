@@ -23,11 +23,11 @@
 //! selection), D9 (representative visibility).
 
 use super::{head_rule_for_side, Ratio, Scheduler};
-use crate::queue::KeyedQueue;
+use crate::queue::MinTree;
 use crate::table::TxnTable;
 use crate::time::SimTime;
 use crate::txn::TxnId;
-use crate::workflow::{HeadRule, Representative, WfId, WorkflowSet};
+use crate::workflow::{HeadRule, Representative, WfId, WorkflowIndex, WorkflowSet};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 
@@ -81,17 +81,29 @@ enum Side {
 }
 
 /// Workflow-level ASETS\* scheduler.
+///
+/// Per-event work is `O(k · log)` where `k` is the number of workflows
+/// containing the touched transaction: the [`WorkflowIndex`] maintains each
+/// workflow's representative aggregates and ready frontier incrementally, so
+/// neither `refresh` nor `select` ever rescans a member list. The rescanning
+/// twin lives in [`super::reference::RescanAsetsStar`] (the pre-index
+/// implementation, kept for the scheduler-overhead ablation) and the fully
+/// naive oracle in [`super::reference::NaiveAsetsStar`].
 #[derive(Debug)]
 pub struct AsetsStar {
     wfs: WorkflowSet,
+    /// Incremental per-workflow aggregates and ready frontiers.
+    index: WorkflowIndex,
     cfg: AsetsStarConfig,
-    /// EDF-List: workflow id keyed by representative deadline.
-    edf: KeyedQueue<u64>,
+    /// EDF-List: workflow id keyed by representative deadline. Workflow ids
+    /// are dense, so the lists are tournament trees, not B-trees — list
+    /// maintenance is flat-array work.
+    edf: MinTree<u64>,
     /// HDF-List: workflow id keyed by representative density (max first).
-    hdf: KeyedQueue<Reverse<Ratio>>,
+    hdf: MinTree<Reverse<Ratio>>,
     /// Migration index over EDF-List workflows: latest feasible start of the
     /// representative, `d_rep − r_rep`.
-    latest_start: KeyedQueue<u64>,
+    latest_start: MinTree<u64>,
     /// Current list of each workflow.
     side: Vec<Side>,
 }
@@ -101,12 +113,14 @@ impl AsetsStar {
     pub fn new(table: &TxnTable, cfg: AsetsStarConfig) -> Self {
         let wfs = WorkflowSet::build(table);
         let n = wfs.len();
+        let index = WorkflowIndex::new(&wfs, &[cfg.edf_head, cfg.hdf_head]);
         AsetsStar {
+            index,
             wfs,
             cfg,
-            edf: KeyedQueue::with_capacity(n),
-            hdf: KeyedQueue::with_capacity(n),
-            latest_start: KeyedQueue::with_capacity(n),
+            edf: MinTree::new(n),
+            hdf: MinTree::new(n),
+            latest_start: MinTree::new(n),
             side: vec![Side::Out; n],
         }
     }
@@ -135,41 +149,57 @@ impl AsetsStar {
         match self.side[w.index()] {
             Side::Out => {}
             Side::Edf => {
-                self.edf.remove(w.0);
-                self.latest_start.remove(w.0);
+                self.edf.set(w.0, None);
+                self.latest_start.set(w.0, None);
             }
             Side::Hdf => {
-                self.hdf.remove(w.0);
+                self.hdf.set(w.0, None);
             }
         }
         self.side[w.index()] = Side::Out;
     }
 
     /// Recompute workflow `w`'s representative, classification and keys.
-    /// Idempotent; safe to call on any event touching any member.
-    fn refresh(&mut self, w: WfId, table: &TxnTable, now: SimTime) {
-        let schedulable = self.wfs.head(w, table, HeadRule::FirstById).is_some();
-        let rep = if schedulable { self.wfs.representative(w, table) } else { None };
+    /// Idempotent; safe to call on any event touching any member. The
+    /// representative and the schedulability test are O(1) peeks into the
+    /// incremental index — no member rescan — and a workflow staying on the
+    /// same side is re-keyed in place, which is free when the keys are
+    /// unchanged (the common case: most events don't move a workflow's
+    /// aggregate minima).
+    fn refresh(&mut self, w: WfId, now: SimTime) {
+        let rep = if self.index.is_schedulable(w) {
+            self.index.representative(w)
+        } else {
+            None
+        };
         let Some(rep) = rep else {
             self.remove_from_lists(w);
             return;
         };
-        self.remove_from_lists(w);
         if rep.can_meet_deadline(now) {
-            self.edf.insert(w.0, rep.deadline.ticks());
-            self.latest_start
-                .insert(w.0, rep.deadline.ticks().saturating_sub(rep.remaining.ticks()));
+            let dl = rep.deadline.ticks();
+            let ls = dl.saturating_sub(rep.remaining.ticks());
+            if self.side[w.index()] == Side::Hdf {
+                self.hdf.set(w.0, None);
+            }
+            self.edf.set(w.0, Some(dl));
+            self.latest_start.set(w.0, Some(ls));
             self.side[w.index()] = Side::Edf;
         } else {
-            self.hdf.insert(w.0, Reverse(hdf_key(&rep)));
+            let key = Reverse(hdf_key(&rep));
+            if self.side[w.index()] == Side::Edf {
+                self.edf.set(w.0, None);
+                self.latest_start.set(w.0, None);
+            }
+            self.hdf.set(w.0, Some(key));
             self.side[w.index()] = Side::Hdf;
         }
     }
 
-    fn refresh_workflows_of(&mut self, t: TxnId, table: &TxnTable, now: SimTime) {
-        let wf_ids: Vec<WfId> = self.wfs.workflows_of(t).to_vec();
-        for w in wf_ids {
-            self.refresh(w, table, now);
+    fn refresh_workflows_of(&mut self, t: TxnId, now: SimTime) {
+        for i in 0..self.wfs.workflows_of(t).len() {
+            let w = self.wfs.workflows_of(t)[i];
+            self.refresh(w, now);
         }
     }
 
@@ -178,26 +208,29 @@ impl AsetsStar {
     /// representative is static, so the latest-start key is exact; the
     /// running head's workflows were refreshed by `on_requeue` just before
     /// any `select`.
-    fn migrate(&mut self, table: &TxnTable, now: SimTime) {
+    fn migrate(&mut self, now: SimTime) {
         let Some(bound) = now.ticks().checked_sub(1) else {
             return;
         };
         for (_, id) in self.latest_start.drain_up_to(bound) {
             let w = WfId(id);
-            let removed = self.edf.remove(id);
-            debug_assert!(removed.is_some(), "latest-start index out of sync with EDF-List");
+            debug_assert!(
+                self.edf.contains(id),
+                "latest-start index out of sync with EDF-List"
+            );
+            self.edf.set(id, None);
             let rep = self
-                .wfs
-                .representative(w, table)
+                .index
+                .representative(w)
                 .expect("EDF-List workflow lost its representative without an event");
-            self.hdf.insert(id, Reverse(hdf_key(&rep)));
+            self.hdf.set(id, Some(Reverse(hdf_key(&rep))));
             self.side[w.index()] = Side::Hdf;
         }
     }
 
-    fn head_of(&self, w: WfId, table: &TxnTable, rule: HeadRule) -> TxnId {
-        self.wfs
-            .head(w, table, rule)
+    fn head_of(&self, w: WfId, rule: HeadRule) -> TxnId {
+        self.index
+            .head(w, &self.wfs, rule)
             .expect("listed workflow must have a ready head")
     }
 
@@ -207,13 +240,13 @@ impl AsetsStar {
         let hdf_top = self.hdf.peek_id().map(WfId);
         match (edf_top, hdf_top) {
             (None, None) => None,
-            (Some(a), None) => Some(self.head_of(a, table, self.cfg.edf_head)),
-            (None, Some(b)) => Some(self.head_of(b, table, self.cfg.hdf_head)),
+            (Some(a), None) => Some(self.head_of(a, self.cfg.edf_head)),
+            (None, Some(b)) => Some(self.head_of(b, self.cfg.hdf_head)),
             (Some(a), Some(b)) => {
-                let head_a = self.head_of(a, table, self.cfg.edf_head);
-                let head_b = self.head_of(b, table, self.cfg.hdf_head);
-                let rep_a = self.wfs.representative(a, table).expect("EDF top has a rep");
-                let rep_b = self.wfs.representative(b, table).expect("HDF top has a rep");
+                let head_a = self.head_of(a, self.cfg.edf_head);
+                let head_b = self.head_of(b, self.cfg.hdf_head);
+                let rep_a = self.index.representative(a).expect("EDF top has a rep");
+                let rep_b = self.index.representative(b).expect("HDF top has a rep");
                 if edf_wins(self.cfg.impact, table, now, head_a, &rep_a, head_b, &rep_b) {
                     Some(head_a)
                 } else {
@@ -225,7 +258,7 @@ impl AsetsStar {
 }
 
 /// Representative density key `w_rep / r_rep`.
-fn hdf_key(rep: &Representative) -> Ratio {
+pub(crate) fn hdf_key(rep: &Representative) -> Ratio {
     Ratio::new(rep.weight.get() as u64, rep.remaining.ticks())
 }
 
@@ -263,26 +296,30 @@ impl Scheduler for AsetsStar {
     }
 
     fn on_ready(&mut self, t: TxnId, table: &TxnTable, now: SimTime) {
-        self.refresh_workflows_of(t, table, now);
+        self.index.on_ready(t, &self.wfs, table);
+        self.refresh_workflows_of(t, now);
     }
 
     fn on_blocked_arrival(&mut self, t: TxnId, table: &TxnTable, now: SimTime) {
         // A blocked arrival cannot run, but it becomes *visible*: its
         // deadline/weight may sharpen the representative of its workflows —
         // the whole point of scheduling at the workflow level.
-        self.refresh_workflows_of(t, table, now);
+        self.index.on_visible(t, &self.wfs, table);
+        self.refresh_workflows_of(t, now);
     }
 
     fn on_requeue(&mut self, t: TxnId, table: &TxnTable, now: SimTime) {
-        self.refresh_workflows_of(t, table, now);
+        self.index.on_requeue(t, &self.wfs, table);
+        self.refresh_workflows_of(t, now);
     }
 
-    fn on_complete(&mut self, t: TxnId, table: &TxnTable, now: SimTime) {
-        self.refresh_workflows_of(t, table, now);
+    fn on_complete(&mut self, t: TxnId, _table: &TxnTable, now: SimTime) {
+        self.index.on_complete(t, &self.wfs);
+        self.refresh_workflows_of(t, now);
     }
 
     fn select(&mut self, table: &TxnTable, now: SimTime) -> Option<TxnId> {
-        self.migrate(table, now);
+        self.migrate(now);
         self.decide(table, now)
     }
 }
@@ -300,7 +337,13 @@ mod tests {
         SimDuration::from_units_int(u)
     }
     fn spec(arr: u64, dl: u64, len: u64, w: u32, deps: Vec<TxnId>) -> TxnSpec {
-        TxnSpec { arrival: at(arr), deadline: at(dl), length: units(len), weight: Weight(w), deps }
+        TxnSpec {
+            arrival: at(arr),
+            deadline: at(dl),
+            length: units(len),
+            weight: Weight(w),
+            deps,
+        }
     }
 
     fn arrive_all(tbl: &mut TxnTable, p: &mut AsetsStar, now: SimTime) {
@@ -371,11 +414,8 @@ mod tests {
     fn weights_scale_the_impacts() {
         // Same shape as above, but the EDF workflow carries weight 10:
         // impact(A)=6*1=6, impact(B)=(3-0)*10=30 → now K_A runs.
-        let mut tbl = TxnTable::new(vec![
-            spec(0, 6, 6, 10, vec![]),
-            spec(0, 1, 3, 1, vec![]),
-        ])
-        .unwrap();
+        let mut tbl =
+            TxnTable::new(vec![spec(0, 6, 6, 10, vec![]), spec(0, 1, 3, 1, vec![])]).unwrap();
         let mut p = AsetsStar::with_defaults(&tbl);
         arrive_all(&mut tbl, &mut p, at(0));
         assert_eq!(p.select(&tbl, at(0)), Some(TxnId(0)));
@@ -475,7 +515,10 @@ mod tests {
         let mut tbl_s = TxnTable::new(specs).unwrap();
         let mut sym = AsetsStar::new(
             &tbl_s,
-            AsetsStarConfig { impact: ImpactRule::Symmetric, ..AsetsStarConfig::default() },
+            AsetsStarConfig {
+                impact: ImpactRule::Symmetric,
+                ..AsetsStarConfig::default()
+            },
         );
         arrive_all(&mut tbl_s, &mut sym, at(0));
         assert_eq!(sym.select(&tbl_s, at(0)), Some(TxnId(1)));

@@ -48,8 +48,13 @@ impl ActivationMode {
     /// # Panics
     /// If `rate` is not strictly positive and finite.
     pub fn time_rate(rate: f64) -> ActivationMode {
-        assert!(rate.is_finite() && rate > 0.0, "activation rate must be positive");
-        ActivationMode::TimeBased { period: SimDuration::from_units(1.0 / rate) }
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "activation rate must be positive"
+        );
+        ActivationMode::TimeBased {
+            period: SimDuration::from_units(1.0 / rate),
+        }
     }
 
     /// Count-based mode from an activation rate (`rate` forced runs per
@@ -62,7 +67,9 @@ impl ActivationMode {
             rate.is_finite() && rate > 0.0 && rate <= 1.0,
             "count-based activation rate must be in (0, 1]"
         );
-        ActivationMode::CountBased { period: (1.0 / rate).round().max(1.0) as u64 }
+        ActivationMode::CountBased {
+            period: (1.0 / rate).round().max(1.0) as u64,
+        }
     }
 }
 
@@ -133,7 +140,10 @@ impl<S: Scheduler> BalanceAware<S> {
     }
 
     fn age_key(table: &TxnTable, t: TxnId) -> Reverse<Ratio> {
-        Reverse(Ratio::new(table.weight(t).get() as u64, table.deadline(t).ticks()))
+        Reverse(Ratio::new(
+            table.weight(t).get() as u64,
+            table.deadline(t).ticks(),
+        ))
     }
 
     /// Is an activation due at this scheduling point? (Does not consume it.)
@@ -254,10 +264,18 @@ mod tests {
     fn rates_map_to_periods() {
         assert_eq!(
             ActivationMode::time_rate(0.002),
-            ActivationMode::TimeBased { period: SimDuration::from_units_int(500) }
+            ActivationMode::TimeBased {
+                period: SimDuration::from_units_int(500)
+            }
         );
-        assert_eq!(ActivationMode::count_rate(0.02), ActivationMode::CountBased { period: 50 });
-        assert_eq!(ActivationMode::count_rate(1.0), ActivationMode::CountBased { period: 1 });
+        assert_eq!(
+            ActivationMode::count_rate(0.02),
+            ActivationMode::CountBased { period: 50 }
+        );
+        assert_eq!(
+            ActivationMode::count_rate(1.0),
+            ActivationMode::CountBased { period: 1 }
+        );
     }
 
     #[test]
@@ -296,7 +314,11 @@ mod tests {
         tbl.complete(TxnId(0), at(150), units(50));
         p.on_complete(TxnId(0), &tbl, at(150));
         assert_eq!(p.pinned(), None);
-        assert_eq!(p.select(&tbl, at(150)), Some(TxnId(1)), "back to inner policy");
+        assert_eq!(
+            p.select(&tbl, at(150)),
+            Some(TxnId(1)),
+            "back to inner policy"
+        );
     }
 
     #[test]
@@ -325,7 +347,10 @@ mod tests {
         let tbl = table(); // nothing arrived
         assert_eq!(p.select(&tbl, at(100)), None);
         assert_eq!(p.forced_runs(), 0);
-        assert!(p.next_wakeup(at(100)).unwrap() > at(100), "period advanced, no spin");
+        assert!(
+            p.next_wakeup(at(100)).unwrap() > at(100),
+            "period advanced, no spin"
+        );
     }
 
     #[test]

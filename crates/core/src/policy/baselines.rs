@@ -186,7 +186,10 @@ impl Hdf {
     }
 
     fn key(table: &TxnTable, t: TxnId) -> Reverse<Ratio> {
-        Reverse(Ratio::new(table.weight(t).get() as u64, table.remaining(t).ticks()))
+        Reverse(Ratio::new(
+            table.weight(t).get() as u64,
+            table.remaining(t).ticks(),
+        ))
     }
 }
 
@@ -349,7 +352,11 @@ mod tests {
         tbl.start_running(TxnId(1));
         tbl.complete(TxnId(1), at(10), units(8));
         p.on_complete(TxnId(1), &tbl, at(10));
-        assert_eq!(p.select(&tbl, at(10)), Some(TxnId(2)), "next deadline after T1");
+        assert_eq!(
+            p.select(&tbl, at(10)),
+            Some(TxnId(2)),
+            "next deadline after T1"
+        );
     }
 
     #[test]
@@ -375,7 +382,11 @@ mod tests {
             tbl.arrive(TxnId(t), at(0));
             p.on_ready(TxnId(t), &tbl, at(0));
         }
-        assert_eq!(p.select(&tbl, at(0)), Some(TxnId(0)), "most negative slack first");
+        assert_eq!(
+            p.select(&tbl, at(0)),
+            Some(TxnId(0)),
+            "most negative slack first"
+        );
     }
 
     #[test]

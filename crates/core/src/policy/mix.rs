@@ -36,7 +36,10 @@ pub struct Mix {
 impl Mix {
     /// Build MIX with value factor `gamma`.
     pub fn new(gamma: SimDuration) -> Mix {
-        Mix { gamma, queue: KeyedQueue::new() }
+        Mix {
+            gamma,
+            queue: KeyedQueue::new(),
+        }
     }
 
     /// The configured value factor.
@@ -96,7 +99,8 @@ impl Scheduler for Hvf {
     }
 
     fn on_ready(&mut self, t: TxnId, table: &TxnTable, _now: SimTime) {
-        self.queue.insert(t.0, std::cmp::Reverse(table.weight(t).get()));
+        self.queue
+            .insert(t.0, std::cmp::Reverse(table.weight(t).get()));
     }
 
     fn on_requeue(&mut self, _t: TxnId, _table: &TxnTable, _now: SimTime) {

@@ -242,12 +242,18 @@ impl PolicyKind {
             PolicyKind::Ready => Box::new(Ready::new()),
             PolicyKind::AsetsStar { impact } => Box::new(AsetsStar::new(
                 table,
-                AsetsStarConfig { impact, ..AsetsStarConfig::default() },
+                AsetsStarConfig {
+                    impact,
+                    ..AsetsStarConfig::default()
+                },
             )),
             PolicyKind::BalanceAware { impact, activation } => {
                 let inner = AsetsStar::new(
                     table,
-                    AsetsStarConfig { impact, ..AsetsStarConfig::default() },
+                    AsetsStarConfig {
+                        impact,
+                        ..AsetsStarConfig::default()
+                    },
                 );
                 Box::new(BalanceAware::new(inner, activation))
             }
@@ -277,7 +283,9 @@ impl PolicyKind {
     /// The standard ASETS\* configuration used throughout the paper's
     /// evaluation (Fig. 7 impact rule, default head rules).
     pub fn asets_star() -> PolicyKind {
-        PolicyKind::AsetsStar { impact: ImpactRule::Paper }
+        PolicyKind::AsetsStar {
+            impact: ImpactRule::Paper,
+        }
     }
 }
 
@@ -305,7 +313,10 @@ mod tests {
     #[test]
     fn ratio_zero_denominator_is_infinite() {
         assert!(Ratio::new(1, 0) > Ratio::new(u64::MAX, 1));
-        assert!(Ratio::new(2, 0) > Ratio::new(1, 0), "among infinities, larger numerator wins");
+        assert!(
+            Ratio::new(2, 0) > Ratio::new(1, 0),
+            "among infinities, larger numerator wins"
+        );
         assert!(Ratio::new(1, 0) == Ratio::new(1, 0));
     }
 
@@ -359,7 +370,9 @@ mod tests {
             PolicyKind::Asets,
             PolicyKind::Ready,
             PolicyKind::asets_star(),
-            PolicyKind::AsetsStar { impact: ImpactRule::Symmetric },
+            PolicyKind::AsetsStar {
+                impact: ImpactRule::Symmetric,
+            },
             PolicyKind::BalanceAware {
                 impact: ImpactRule::Paper,
                 activation: ActivationMode::count_rate(0.1),

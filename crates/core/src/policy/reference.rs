@@ -12,12 +12,14 @@
 //! oracle are the ground truth to read.
 
 use super::asets::decide_eq1;
-use super::asets_star::edf_wins;
-use super::{AsetsStarConfig, Scheduler};
+use super::asets_star::{edf_wins, hdf_key};
+use super::{AsetsStarConfig, Ratio, Scheduler};
+use crate::queue::KeyedQueue;
 use crate::table::TxnTable;
 use crate::time::SimTime;
 use crate::txn::{TxnId, TxnPhase};
-use crate::workflow::{WfId, WorkflowSet};
+use crate::workflow::{HeadRule, WfId, WorkflowSet};
+use std::cmp::Reverse;
 
 /// Scan-based argmin over ready transactions with a comparable key.
 fn scan_min_by_key<K: Ord>(table: &TxnTable, key: impl Fn(TxnId) -> K) -> Option<TxnId> {
@@ -126,7 +128,10 @@ pub struct NaiveAsetsStar {
 impl NaiveAsetsStar {
     /// Build the oracle for a batch with the given configuration.
     pub fn new(table: &TxnTable, cfg: AsetsStarConfig) -> Self {
-        NaiveAsetsStar { wfs: WorkflowSet::build(table), cfg }
+        NaiveAsetsStar {
+            wfs: WorkflowSet::build(table),
+            cfg,
+        }
     }
 
     /// Paper-default configuration.
@@ -149,7 +154,11 @@ impl Scheduler for NaiveAsetsStar {
         let mut edf_top: Option<WfId> = None; // min (d_rep, id)
         let mut hdf_top: Option<WfId> = None; // max density, tie smaller id
         for w in self.wfs.ids() {
-            if self.wfs.head(w, table, crate::workflow::HeadRule::FirstById).is_none() {
+            if self
+                .wfs
+                .head(w, table, crate::workflow::HeadRule::FirstById)
+                .is_none()
+            {
                 continue;
             }
             let Some(rep) = self.wfs.representative(w, table) else {
@@ -194,16 +203,192 @@ impl Scheduler for NaiveAsetsStar {
     }
 }
 
+/// Which list (if any) a workflow currently occupies (mirror of the private
+/// enum in `asets_star`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RescanSide {
+    Out,
+    Edf,
+    Hdf,
+}
+
+/// The pre-index ASETS\* implementation: keyed EDF/HDF/latest-start lists
+/// over *workflows* (like [`super::AsetsStar`]) but every `refresh` rescans
+/// the touched workflow's member list for its head and representative —
+/// `O(|W|)` per event instead of `O(log |W|)`.
+///
+/// Kept verbatim from before the [`crate::workflow::WorkflowIndex`] landed,
+/// as (a) the baseline the scheduler-overhead bench compares against, and
+/// (b) a third voice in the cross-policy oracle tests: it shares the list
+/// and migration bookkeeping with `AsetsStar` but none of the incremental
+/// aggregate maintenance, while [`NaiveAsetsStar`] shares neither.
+#[derive(Debug)]
+pub struct RescanAsetsStar {
+    wfs: WorkflowSet,
+    cfg: AsetsStarConfig,
+    edf: KeyedQueue<u64>,
+    hdf: KeyedQueue<Reverse<Ratio>>,
+    latest_start: KeyedQueue<u64>,
+    side: Vec<RescanSide>,
+}
+
+impl RescanAsetsStar {
+    /// Build the policy for a transaction batch (extracting its workflows).
+    pub fn new(table: &TxnTable, cfg: AsetsStarConfig) -> Self {
+        let wfs = WorkflowSet::build(table);
+        let n = wfs.len();
+        RescanAsetsStar {
+            wfs,
+            cfg,
+            edf: KeyedQueue::with_capacity(n),
+            hdf: KeyedQueue::with_capacity(n),
+            latest_start: KeyedQueue::with_capacity(n),
+            side: vec![RescanSide::Out; n],
+        }
+    }
+
+    /// Paper-default configuration.
+    pub fn with_defaults(table: &TxnTable) -> Self {
+        Self::new(table, AsetsStarConfig::default())
+    }
+
+    fn remove_from_lists(&mut self, w: WfId) {
+        match self.side[w.index()] {
+            RescanSide::Out => {}
+            RescanSide::Edf => {
+                self.edf.remove(w.0);
+                self.latest_start.remove(w.0);
+            }
+            RescanSide::Hdf => {
+                self.hdf.remove(w.0);
+            }
+        }
+        self.side[w.index()] = RescanSide::Out;
+    }
+
+    /// Recompute `w`'s representative, classification and keys by rescanning
+    /// its member list.
+    fn refresh(&mut self, w: WfId, table: &TxnTable, now: SimTime) {
+        let schedulable = self.wfs.head(w, table, HeadRule::FirstById).is_some();
+        let rep = if schedulable {
+            self.wfs.representative(w, table)
+        } else {
+            None
+        };
+        let Some(rep) = rep else {
+            self.remove_from_lists(w);
+            return;
+        };
+        self.remove_from_lists(w);
+        if rep.can_meet_deadline(now) {
+            self.edf.insert(w.0, rep.deadline.ticks());
+            self.latest_start.insert(
+                w.0,
+                rep.deadline.ticks().saturating_sub(rep.remaining.ticks()),
+            );
+            self.side[w.index()] = RescanSide::Edf;
+        } else {
+            self.hdf.insert(w.0, Reverse(hdf_key(&rep)));
+            self.side[w.index()] = RescanSide::Hdf;
+        }
+    }
+
+    fn refresh_workflows_of(&mut self, t: TxnId, table: &TxnTable, now: SimTime) {
+        for i in 0..self.wfs.workflows_of(t).len() {
+            let w = self.wfs.workflows_of(t)[i];
+            self.refresh(w, table, now);
+        }
+    }
+
+    fn migrate(&mut self, table: &TxnTable, now: SimTime) {
+        let Some(bound) = now.ticks().checked_sub(1) else {
+            return;
+        };
+        for (_, id) in self.latest_start.drain_up_to(bound) {
+            let w = WfId(id);
+            let removed = self.edf.remove(id);
+            debug_assert!(
+                removed.is_some(),
+                "latest-start index out of sync with EDF-List"
+            );
+            let rep = self
+                .wfs
+                .representative(w, table)
+                .expect("EDF-List workflow lost its representative without an event");
+            self.hdf.insert(id, Reverse(hdf_key(&rep)));
+            self.side[w.index()] = RescanSide::Hdf;
+        }
+    }
+
+    fn head_of(&self, w: WfId, table: &TxnTable, rule: HeadRule) -> TxnId {
+        self.wfs
+            .head(w, table, rule)
+            .expect("listed workflow must have a ready head")
+    }
+}
+
+impl Scheduler for RescanAsetsStar {
+    fn name(&self) -> &str {
+        "rescan-ASETS*"
+    }
+
+    fn on_ready(&mut self, t: TxnId, table: &TxnTable, now: SimTime) {
+        self.refresh_workflows_of(t, table, now);
+    }
+
+    fn on_blocked_arrival(&mut self, t: TxnId, table: &TxnTable, now: SimTime) {
+        self.refresh_workflows_of(t, table, now);
+    }
+
+    fn on_requeue(&mut self, t: TxnId, table: &TxnTable, now: SimTime) {
+        self.refresh_workflows_of(t, table, now);
+    }
+
+    fn on_complete(&mut self, t: TxnId, table: &TxnTable, now: SimTime) {
+        self.refresh_workflows_of(t, table, now);
+    }
+
+    fn select(&mut self, table: &TxnTable, now: SimTime) -> Option<TxnId> {
+        self.migrate(table, now);
+        let edf_top = self.edf.peek_id().map(WfId);
+        let hdf_top = self.hdf.peek_id().map(WfId);
+        match (edf_top, hdf_top) {
+            (None, None) => None,
+            (Some(a), None) => Some(self.head_of(a, table, self.cfg.edf_head)),
+            (None, Some(b)) => Some(self.head_of(b, table, self.cfg.hdf_head)),
+            (Some(a), Some(b)) => {
+                let head_a = self.head_of(a, table, self.cfg.edf_head);
+                let head_b = self.head_of(b, table, self.cfg.hdf_head);
+                let rep_a = self
+                    .wfs
+                    .representative(a, table)
+                    .expect("EDF top has a rep");
+                let rep_b = self
+                    .wfs
+                    .representative(b, table)
+                    .expect("HDF top has a rep");
+                if edf_wins(self.cfg.impact, table, now, head_a, &rep_a, head_b, &rep_b) {
+                    Some(head_a)
+                } else {
+                    Some(head_b)
+                }
+            }
+        }
+    }
+}
+
 /// Check that no transaction is Ready/Running without all predecessors
 /// completed — a structural invariant used by integration tests.
 pub fn check_precedence_invariant(table: &TxnTable) -> Result<(), String> {
     for t in table.ids() {
         let st = table.state(t);
-        if matches!(st.phase, TxnPhase::Ready | TxnPhase::Running | TxnPhase::Completed) {
+        if matches!(
+            st.phase,
+            TxnPhase::Ready | TxnPhase::Running | TxnPhase::Completed
+        ) {
             for &p in table.dag().preds(t) {
                 let pred_done = table.state(p).is_completed();
-                let self_started =
-                    st.phase == TxnPhase::Running || st.phase == TxnPhase::Completed;
+                let self_started = st.phase == TxnPhase::Running || st.phase == TxnPhase::Completed;
                 if self_started && !pred_done {
                     return Err(format!("{t} ran before its predecessor {p} completed"));
                 }
@@ -255,7 +440,12 @@ mod tests {
     #[test]
     fn naive_asets_matches_example_2() {
         let mut tbl = TxnTable::new(vec![
-            TxnSpec::independent(at(0), SimTime::from_units(3.0 - 1e-6), units(3), Weight::ONE),
+            TxnSpec::independent(
+                at(0),
+                SimTime::from_units(3.0 - 1e-6),
+                units(3),
+                Weight::ONE,
+            ),
             TxnSpec::independent(at(0), at(7), units(5), Weight::ONE),
         ])
         .unwrap();

@@ -50,7 +50,10 @@ impl LoadSwitch {
     /// # Panics
     /// If the threshold is not positive and finite or the window is zero.
     pub fn new(threshold: f64, window: SimDuration) -> LoadSwitch {
-        assert!(threshold.is_finite() && threshold > 0.0, "threshold must be positive");
+        assert!(
+            threshold.is_finite() && threshold > 0.0,
+            "threshold must be positive"
+        );
         assert!(!window.is_zero(), "window must be positive");
         LoadSwitch {
             threshold,

@@ -29,12 +29,18 @@ pub struct KeyedQueue<K: Ord + Copy> {
 impl<K: Ord + Copy> KeyedQueue<K> {
     /// An empty queue.
     pub fn new() -> Self {
-        KeyedQueue { set: BTreeSet::new(), key_of: Vec::new() }
+        KeyedQueue {
+            set: BTreeSet::new(),
+            key_of: Vec::new(),
+        }
     }
 
     /// An empty queue with the back-index pre-sized for ids `0..capacity`.
     pub fn with_capacity(capacity: usize) -> Self {
-        KeyedQueue { set: BTreeSet::new(), key_of: vec![None; capacity] }
+        KeyedQueue {
+            set: BTreeSet::new(),
+            key_of: vec![None; capacity],
+        }
     }
 
     /// Number of entries.
@@ -82,14 +88,28 @@ impl<K: Ord + Copy> KeyedQueue<K> {
         Some(key)
     }
 
-    /// Change the key of `id` (must be present).
+    /// Change the key of `id` (must be present). Returns early when the key
+    /// is unchanged — re-keys at zero-service pauses are common (the engine
+    /// requeues the running transaction at every scheduling point, whether
+    /// or not it accrued service), and skipping them avoids 2× BTree churn.
     ///
     /// # Panics
     /// If `id` is not present.
     pub fn rekey(&mut self, id: u32, new_key: K) {
-        let old = self.remove(id).unwrap_or_else(|| panic!("rekey of absent id {id}"));
-        let _ = old;
-        self.insert(id, new_key);
+        let slot = self
+            .key_of
+            .get_mut(id as usize)
+            .and_then(|s| s.as_mut())
+            .unwrap_or_else(|| panic!("rekey of absent id {id}"));
+        let old = *slot;
+        if old == new_key {
+            return;
+        }
+        *slot = new_key;
+        let removed = self.set.remove(&(old, id));
+        debug_assert!(removed, "back-index said present but set entry missing");
+        let fresh = self.set.insert((new_key, id));
+        debug_assert!(fresh);
     }
 
     /// The (key, id) pair with the smallest key, without removing it.
@@ -148,6 +168,133 @@ impl<K: Ord + Copy> KeyedQueue<K> {
     }
 }
 
+/// A fixed-capacity tournament tree over a dense id space `0..n`: answers
+/// min-by-key over the present ids in O(1) (the root) with O(log n) updates —
+/// all on two flat vectors, no allocation after construction. Smallest key
+/// wins; ties break toward the smaller id, exactly like [`KeyedQueue`], so
+/// the two are drop-in interchangeable for deterministic scheduler lists.
+///
+/// Prefer this over [`KeyedQueue`] when the id space is dense and known up
+/// front (workflow ids, member positions): updates are `log₂ n` adjacent
+/// reads on contiguous memory instead of B-tree node churn, which is what
+/// makes per-event index maintenance profitable even for small `n`. Keep
+/// [`KeyedQueue`] when ids are sparse or the population is unbounded.
+#[derive(Debug, Clone)]
+pub struct MinTree<K: Ord + Copy> {
+    /// Leaf keys by id; `None` = absent.
+    keys: Vec<Option<K>>,
+    /// `tree[i]` = winning id of the subtree rooted at `i` (`u32::MAX` when
+    /// the subtree is empty). Leaves live at `tree[n + id]`; the root
+    /// `tree[1]` covers every id.
+    tree: Vec<u32>,
+    n: usize,
+    len: usize,
+}
+
+const ABSENT: u32 = u32::MAX;
+
+impl<K: Ord + Copy> MinTree<K> {
+    /// An empty tree over ids `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        let n = capacity.max(1);
+        MinTree {
+            keys: vec![None; n],
+            tree: vec![ABSENT; 2 * n],
+            n,
+            len: 0,
+        }
+    }
+
+    /// Number of present ids.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff no ids are present.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True iff `id` is present.
+    #[inline]
+    pub fn contains(&self, id: u32) -> bool {
+        self.keys[id as usize].is_some()
+    }
+
+    /// The key currently associated with `id`, if present.
+    #[inline]
+    pub fn key_of(&self, id: u32) -> Option<K> {
+        self.keys[id as usize]
+    }
+
+    /// Set (insert or re-key, with `Some`) or clear (with `None`) the key at
+    /// `id` and rebuild the winner path. Free when the key is unchanged —
+    /// re-keys at zero-service pauses are common and cost one comparison.
+    pub fn set(&mut self, id: u32, key: Option<K>) {
+        let p = id as usize;
+        if self.keys[p] == key {
+            return;
+        }
+        self.len = self.len + usize::from(key.is_some()) - usize::from(self.keys[p].is_some());
+        self.keys[p] = key;
+        let mut i = self.n + p;
+        self.tree[i] = if key.is_some() { id } else { ABSENT };
+        while i > 1 {
+            i >>= 1;
+            self.tree[i] = self.pick(self.tree[2 * i], self.tree[2 * i + 1]);
+        }
+    }
+
+    fn pick(&self, a: u32, b: u32) -> u32 {
+        if a == ABSENT {
+            return b;
+        }
+        if b == ABSENT {
+            return a;
+        }
+        let ka = self.keys[a as usize].expect("winner present");
+        let kb = self.keys[b as usize].expect("winner present");
+        if (kb, b) < (ka, a) {
+            b
+        } else {
+            a
+        }
+    }
+
+    /// The (key, id) pair with the smallest key, without removing it.
+    #[inline]
+    pub fn peek(&self) -> Option<(K, u32)> {
+        let p = self.tree[1];
+        if p == ABSENT {
+            None
+        } else {
+            Some((self.keys[p as usize].expect("winner present"), p))
+        }
+    }
+
+    /// The id with the smallest key, without removing it.
+    #[inline]
+    pub fn peek_id(&self) -> Option<u32> {
+        self.peek().map(|(_, id)| id)
+    }
+
+    /// Drain every entry whose key is `<= bound`, in key order — the same
+    /// migration primitive as [`KeyedQueue::drain_up_to`].
+    pub fn drain_up_to(&mut self, bound: K) -> Vec<(K, u32)> {
+        let mut out = Vec::new();
+        while let Some((k, id)) = self.peek() {
+            if k > bound {
+                break;
+            }
+            self.set(id, None);
+            out.push((k, id));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -195,6 +342,19 @@ mod tests {
         q.rekey(1, 5);
         assert_eq!(q.peek(), Some((5, 1)));
         assert_eq!(q.key_of(1), Some(5));
+    }
+
+    #[test]
+    fn rekey_same_key_is_noop() {
+        let mut q = KeyedQueue::new();
+        q.insert(0, 10u64);
+        q.insert(1, 20u64);
+        q.rekey(1, 20);
+        assert_eq!(q.key_of(1), Some(20));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek(), Some((10, 0)));
+        assert_eq!(q.pop(), Some((10, 0)));
+        assert_eq!(q.pop(), Some((20, 1)), "entry survives an unchanged rekey");
     }
 
     #[test]
@@ -269,6 +429,67 @@ mod tests {
         q.insert(1, (10u64, 3u64));
         assert_eq!(q.peek_id(), Some(1));
     }
+
+    #[test]
+    fn min_tree_orders_and_tie_breaks_like_keyed_queue() {
+        let mut t = MinTree::new(4);
+        t.set(3, Some(10u64));
+        t.set(1, Some(10u64));
+        t.set(2, Some(5u64));
+        assert_eq!(t.peek(), Some((5, 2)));
+        t.set(2, None);
+        assert_eq!(
+            t.peek(),
+            Some((10, 1)),
+            "equal keys break toward smaller id"
+        );
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.key_of(3), Some(10));
+        assert!(!t.contains(0));
+    }
+
+    #[test]
+    fn min_tree_rekey_and_clear_via_set() {
+        let mut t = MinTree::new(3);
+        t.set(0, Some(10u64));
+        t.set(1, Some(20u64));
+        t.set(1, Some(5)); // re-key moves the winner
+        assert_eq!(t.peek(), Some((5, 1)));
+        t.set(1, Some(5)); // unchanged key is a no-op
+        assert_eq!(t.len(), 2);
+        t.set(1, None);
+        t.set(1, None); // clearing an absent id is a no-op
+        assert_eq!(t.peek(), Some((10, 0)));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn min_tree_single_and_empty_capacity() {
+        let mut t: MinTree<u64> = MinTree::new(0); // clamped to capacity 1
+        assert_eq!(t.peek(), None);
+        let mut one = MinTree::new(1);
+        one.set(0, Some(7u64));
+        assert_eq!(one.peek(), Some((7, 0)));
+        assert_eq!(one.drain_up_to(7), vec![(7, 0)]);
+        assert!(one.is_empty());
+        t.set(0, Some(1));
+        assert_eq!(t.peek_id(), Some(0));
+    }
+
+    #[test]
+    fn min_tree_drain_up_to_takes_exactly_the_prefix() {
+        let mut t = MinTree::new(4);
+        for (id, k) in [(0u32, 1u64), (1, 3), (2, 5), (3, 7)] {
+            t.set(id, Some(k));
+        }
+        assert_eq!(
+            t.drain_up_to(5),
+            vec![(1, 0), (3, 1), (5, 2)],
+            "bound is inclusive"
+        );
+        assert_eq!(t.len(), 1);
+        assert!(t.contains(3));
+    }
 }
 
 #[cfg(test)]
@@ -296,6 +517,44 @@ mod proptests {
             Just(Op::Pop),
             any::<u64>().prop_map(Op::DrainUpTo),
         ]
+    }
+
+    proptest! {
+        /// MinTree agrees with KeyedQueue (itself model-checked below) under
+        /// arbitrary set/clear/drain sequences on a shared dense id space —
+        /// including the peek tie-break, which the schedulers rely on for
+        /// determinism.
+        #[test]
+        fn min_tree_matches_keyed_queue(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+            let mut t: MinTree<u64> = MinTree::new(16);
+            let mut q: KeyedQueue<u64> = KeyedQueue::with_capacity(16);
+            for op in ops {
+                match op {
+                    Op::Insert(id, k) | Op::Rekey(id, k) => {
+                        t.set(id, Some(k));
+                        if q.contains(id) {
+                            q.rekey(id, k);
+                        } else {
+                            q.insert(id, k);
+                        }
+                    }
+                    Op::Remove(id) => {
+                        t.set(id, None);
+                        q.remove(id);
+                    }
+                    Op::Pop => {
+                        if let Some((_, id)) = q.pop() {
+                            t.set(id, None);
+                        }
+                    }
+                    Op::DrainUpTo(bound) => {
+                        prop_assert_eq!(t.drain_up_to(bound), q.drain_up_to(bound));
+                    }
+                }
+                prop_assert_eq!(t.len(), q.len());
+                prop_assert_eq!(t.peek(), q.peek());
+            }
+        }
     }
 
     fn model_min(model: &BTreeMap<u32, u64>) -> Option<(u64, u32)> {

@@ -26,7 +26,12 @@ impl TxnTable {
     pub fn new(specs: Vec<TxnSpec>) -> Result<TxnTable, DagError> {
         let dag = DepDag::build(&specs)?;
         let states = specs.iter().map(TxnState::new).collect();
-        Ok(TxnTable { specs, states, dag, completed: 0 })
+        Ok(TxnTable {
+            specs,
+            states,
+            dag,
+            completed: 0,
+        })
     }
 
     /// Number of transactions in the batch.
@@ -167,7 +172,11 @@ impl TxnTable {
     /// If `t` is not running or `served` exceeds its remaining time.
     pub fn accrue_service(&mut self, t: TxnId, served: SimDuration) -> SimDuration {
         let st = &mut self.states[t.index()];
-        assert_eq!(st.phase, TxnPhase::Running, "{t} must be Running to accrue service");
+        assert_eq!(
+            st.phase,
+            TxnPhase::Running,
+            "{t} must be Running to accrue service"
+        );
         assert!(
             served <= st.remaining,
             "{t} served {served} with only {} remaining",
@@ -185,7 +194,10 @@ impl TxnTable {
     /// only when the server actually switches.
     pub fn pause(&mut self, t: TxnId, served: SimDuration) {
         let rem = self.accrue_service(t, served);
-        assert!(!rem.is_zero(), "{t} paused with zero remaining — should complete instead");
+        assert!(
+            !rem.is_zero(),
+            "{t} paused with zero remaining — should complete instead"
+        );
         self.states[t.index()].phase = TxnPhase::Ready;
     }
 
@@ -224,7 +236,10 @@ impl TxnTable {
         let mut released = Vec::new();
         for s in succs {
             let st = &mut self.states[s.index()];
-            assert!(st.blocked_on > 0, "{s} released more times than it has predecessors");
+            assert!(
+                st.blocked_on > 0,
+                "{s} released more times than it has predecessors"
+            );
             st.blocked_on -= 1;
             if st.blocked_on == 0 && st.phase == TxnPhase::Blocked {
                 st.phase = TxnPhase::Ready;
@@ -254,7 +269,10 @@ impl TxnTable {
 
     /// Outcomes of all completed transactions, in id order.
     pub fn outcomes(&self) -> Vec<TxnOutcome> {
-        self.ids().filter(|&t| self.state(t).is_completed()).map(|t| self.outcome(t)).collect()
+        self.ids()
+            .filter(|&t| self.state(t).is_completed())
+            .map(|t| self.outcome(t))
+            .collect()
     }
 
     /// Ready transaction ids (including the running one), in id order.
@@ -282,8 +300,14 @@ mod tests {
         // T0 -> T1 -> T2
         let specs = vec![
             ind(0, 10, 2),
-            TxnSpec { deps: vec![TxnId(0)], ..ind(0, 12, 3) },
-            TxnSpec { deps: vec![TxnId(1)], ..ind(0, 20, 4) },
+            TxnSpec {
+                deps: vec![TxnId(0)],
+                ..ind(0, 12, 3)
+            },
+            TxnSpec {
+                deps: vec![TxnId(1)],
+                ..ind(0, 20, 4)
+            },
         ];
         TxnTable::new(specs).unwrap()
     }
@@ -291,8 +315,14 @@ mod tests {
     #[test]
     fn arrival_readiness_depends_on_preds() {
         let mut tbl = chain3();
-        assert!(tbl.arrive(TxnId(0), at(0)), "independent txn ready at arrival");
-        assert!(!tbl.arrive(TxnId(1), at(0)), "dependent txn blocked at arrival");
+        assert!(
+            tbl.arrive(TxnId(0), at(0)),
+            "independent txn ready at arrival"
+        );
+        assert!(
+            !tbl.arrive(TxnId(1), at(0)),
+            "dependent txn blocked at arrival"
+        );
         assert_eq!(tbl.state(TxnId(1)).phase, TxnPhase::Blocked);
     }
 
@@ -401,7 +431,10 @@ mod tests {
         let specs = vec![
             ind(0, 10, 1),
             ind(0, 10, 1),
-            TxnSpec { deps: vec![TxnId(0), TxnId(1)], ..ind(0, 20, 1) },
+            TxnSpec {
+                deps: vec![TxnId(0), TxnId(1)],
+                ..ind(0, 20, 1)
+            },
         ];
         let mut tbl = TxnTable::new(specs).unwrap();
         tbl.arrive(TxnId(0), at(0));

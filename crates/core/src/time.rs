@@ -409,12 +409,20 @@ mod tests {
     fn slack_signs() {
         let now = SimTime::from_units_int(10);
         // Deadline 20, remaining 5 -> slack +5.
-        let s = Slack::compute(now, SimDuration::from_units_int(5), SimTime::from_units_int(20));
+        let s = Slack::compute(
+            now,
+            SimDuration::from_units_int(5),
+            SimTime::from_units_int(20),
+        );
         assert!(s.is_feasible());
         assert_eq!(s.as_units(), 5.0);
         assert_eq!(s.clamp_non_negative(), SimDuration::from_units_int(5));
         // Deadline 12, remaining 5 -> slack -3.
-        let s = Slack::compute(now, SimDuration::from_units_int(5), SimTime::from_units_int(12));
+        let s = Slack::compute(
+            now,
+            SimDuration::from_units_int(5),
+            SimTime::from_units_int(12),
+        );
         assert!(!s.is_feasible());
         assert_eq!(s.as_units(), -3.0);
         assert_eq!(s.clamp_non_negative(), SimDuration::ZERO);
@@ -423,10 +431,21 @@ mod tests {
     #[test]
     fn slack_total_order_matches_urgency() {
         let now = SimTime::from_units_int(0);
-        let tight = Slack::compute(now, SimDuration::from_units_int(9), SimTime::from_units_int(10));
-        let loose = Slack::compute(now, SimDuration::from_units_int(1), SimTime::from_units_int(10));
-        let missed =
-            Slack::compute(now, SimDuration::from_units_int(20), SimTime::from_units_int(10));
+        let tight = Slack::compute(
+            now,
+            SimDuration::from_units_int(9),
+            SimTime::from_units_int(10),
+        );
+        let loose = Slack::compute(
+            now,
+            SimDuration::from_units_int(1),
+            SimTime::from_units_int(10),
+        );
+        let missed = Slack::compute(
+            now,
+            SimDuration::from_units_int(20),
+            SimTime::from_units_int(10),
+        );
         assert!(missed < tight && tight < loose);
     }
 
@@ -453,7 +472,10 @@ mod tests {
 
     #[test]
     fn saturating_add_near_sentinel() {
-        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_units_int(1)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_units_int(1)),
+            SimTime::MAX
+        );
     }
 
     #[test]

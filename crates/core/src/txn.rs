@@ -14,9 +14,7 @@ use std::fmt;
 /// Identifier of a transaction within a [`crate::table::TxnTable`].
 ///
 /// Dense indices (0..n) so tables can be plain vectors.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct TxnId(pub u32);
 
 impl TxnId {
@@ -36,9 +34,7 @@ impl fmt::Display for TxnId {
 /// Transaction weight / utility (paper: drawn uniformly from `[1, 10]`).
 ///
 /// Integral so that weighted-tardiness accumulators stay exact.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Weight(pub u32);
 
 impl Weight {
@@ -89,7 +85,13 @@ impl TxnSpec {
         length: SimDuration,
         weight: Weight,
     ) -> Self {
-        TxnSpec { arrival, deadline, length, weight, deps: Vec::new() }
+        TxnSpec {
+            arrival,
+            deadline,
+            length,
+            weight,
+            deps: Vec::new(),
+        }
     }
 
     /// True iff the transaction has no precedence constraints.
@@ -272,13 +274,13 @@ mod tests {
         assert!(on_time.met_deadline());
         assert_eq!(on_time.weighted_tardiness_ticks(), 0);
 
-        let late = TxnOutcome { finish: at(13), ..on_time };
+        let late = TxnOutcome {
+            finish: at(13),
+            ..on_time
+        };
         assert_eq!(late.tardiness(), units(3));
         assert!(!late.met_deadline());
-        assert_eq!(
-            late.weighted_tardiness_ticks(),
-            units(3).weighted(4)
-        );
+        assert_eq!(late.weighted_tardiness_ticks(), units(3).weighted(4));
     }
 
     #[test]

@@ -24,9 +24,11 @@
 //!   event is still in the future is unknown to an online scheduler, so it
 //!   cannot contribute its deadline or weight yet.
 
+use crate::policy::Ratio;
 use crate::table::TxnTable;
 use crate::time::{SimDuration, SimTime, Slack};
 use crate::txn::{TxnId, TxnPhase, Weight};
+use std::cmp::Reverse;
 use std::fmt;
 
 /// Identifier of a workflow within a [`WorkflowSet`] (dense index).
@@ -116,7 +118,11 @@ impl WorkflowSet {
             }
             members.push(m);
         }
-        WorkflowSet { members, roots, of_txn }
+        WorkflowSet {
+            members,
+            roots,
+            of_txn,
+        }
     }
 
     /// Number of workflows.
@@ -189,7 +195,11 @@ impl WorkflowSet {
 
     /// All ready members of `w` (candidates for head), in id order.
     pub fn heads(&self, w: WfId, table: &TxnTable) -> Vec<TxnId> {
-        self.members(w).iter().copied().filter(|&t| table.state(t).is_ready()).collect()
+        self.members(w)
+            .iter()
+            .copied()
+            .filter(|&t| table.state(t).is_ready())
+            .collect()
     }
 
     /// The head of `w` under `rule`, or `None` if no member is ready.
@@ -225,7 +235,334 @@ impl WorkflowSet {
 
     /// True iff every member of `w` has completed.
     pub fn is_finished(&self, w: WfId, table: &TxnTable) -> bool {
-        self.members(w).iter().all(|&t| table.state(t).is_completed())
+        self.members(w)
+            .iter()
+            .all(|&t| table.state(t).is_completed())
+    }
+}
+
+/// A subtree summary that can absorb a sibling's summary. Implementors are
+/// the node types of [`SegTree`].
+trait Merge: Copy + PartialEq {
+    fn merge(a: Self, b: Self) -> Self;
+}
+
+/// A values-only segment tree over member positions: each node summarizes
+/// its subtree via [`Merge`], so a member phase change is a single O(log n)
+/// walk on one flat vector (no allocation after construction) and every
+/// whole-workflow query is an O(1) root read. Fusing all of a workflow's
+/// aggregates into one node type is what keeps per-event index maintenance
+/// to one walk instead of one per aggregate.
+#[derive(Debug, Clone)]
+struct SegTree<T: Merge> {
+    /// `nodes[i]` = merged summary of the subtree rooted at `i` (`None` when
+    /// no present member below). Leaves live at `nodes[n + pos]`.
+    nodes: Vec<Option<T>>,
+    n: usize,
+}
+
+impl<T: Merge> SegTree<T> {
+    fn new(len: usize) -> Self {
+        let n = len.max(1);
+        SegTree {
+            nodes: vec![None; 2 * n],
+            n,
+        }
+    }
+
+    /// Set (or clear, with `None`) the leaf at `pos` and re-merge the path
+    /// to the root. Free when the leaf is unchanged (zero-service requeues).
+    fn set(&mut self, pos: u32, v: Option<T>) {
+        let mut i = self.n + pos as usize;
+        if self.nodes[i] == v {
+            return;
+        }
+        self.nodes[i] = v;
+        while i > 1 {
+            i >>= 1;
+            self.nodes[i] = match (self.nodes[2 * i], self.nodes[2 * i + 1]) {
+                (Some(a), Some(b)) => Some(T::merge(a, b)),
+                (a, b) => a.or(b),
+            };
+        }
+    }
+
+    #[inline]
+    fn leaf(&self, pos: u32) -> Option<T> {
+        self.nodes[self.n + pos as usize]
+    }
+
+    /// The merged summary over every present member.
+    #[inline]
+    fn root(&self) -> Option<T> {
+        self.nodes[1]
+    }
+}
+
+/// The per-member leaf of a workflow's aggregate tree: one visible member's
+/// contribution to the representative. The root of the tree *is* the
+/// representative — Definition 9 never asks *which* member holds each
+/// extreme, only the component-wise values, so no winner positions are
+/// tracked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Agg {
+    /// Deadline (ticks).
+    dl: u64,
+    /// Remaining processing time (ticks).
+    rem: u64,
+    /// Weight.
+    w: u32,
+}
+
+impl Merge for Agg {
+    /// Component-wise representative merge (Definition 9): min deadline, min
+    /// remaining, max weight.
+    fn merge(a: Agg, b: Agg) -> Agg {
+        Agg {
+            dl: a.dl.min(b.dl),
+            rem: a.rem.min(b.rem),
+            w: a.w.max(b.w),
+        }
+    }
+}
+
+/// The per-member leaf of a workflow's ready-frontier tree: the head winner
+/// under *every* [`HeadRule`] at once, so one walk keeps all rules' heads
+/// current. Winner ties break toward the smaller position, which is the
+/// smaller id for id-sorted member lists — the naive scans' tie-break.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FrontNode {
+    /// `EarliestDeadline` winner: min (deadline ticks, position).
+    dl: u64,
+    dl_pos: u32,
+    /// `HighestDensity` winner: max `w/r` (exact rational, zero remaining =
+    /// +∞ — the same order as [`denser`]), min position on value ties.
+    dens: Ratio,
+    dens_pos: u32,
+    /// `FirstById` winner: min ready position.
+    first: u32,
+}
+
+impl FrontNode {
+    fn leaf(pos: u32, table: &TxnTable, t: TxnId) -> FrontNode {
+        FrontNode {
+            dl: table.deadline(t).ticks(),
+            dl_pos: pos,
+            dens: Ratio::new(table.weight(t).get() as u64, table.remaining(t).ticks()),
+            dens_pos: pos,
+            first: pos,
+        }
+    }
+}
+
+impl Merge for FrontNode {
+    fn merge(a: FrontNode, b: FrontNode) -> FrontNode {
+        let (dl, dl_pos) = if (b.dl, b.dl_pos) < (a.dl, a.dl_pos) {
+            (b.dl, b.dl_pos)
+        } else {
+            (a.dl, a.dl_pos)
+        };
+        let (dens, dens_pos) = if (Reverse(b.dens), b.dens_pos) < (Reverse(a.dens), a.dens_pos) {
+            (b.dens, b.dens_pos)
+        } else {
+            (a.dens, a.dens_pos)
+        };
+        FrontNode {
+            dl,
+            dl_pos,
+            dens,
+            dens_pos,
+            first: a.first.min(b.first),
+        }
+    }
+}
+
+/// Incremental per-workflow aggregates: the `O(log |W|)` replacement for the
+/// member rescans in [`WorkflowSet::representative`] and
+/// [`WorkflowSet::head`].
+///
+/// For every workflow it maintains two segment trees over the member list:
+///
+/// * an **aggregate tree** over *visible* members (arrived, not completed —
+///   D9) whose root is the representative (deadline and weight leaves are
+///   static; only the paused-running member's remaining time is ever
+///   rewritten), and
+/// * a **frontier tree** over *ready* members whose root carries the head
+///   winner under every [`HeadRule`] (D2) at once, so `head()` is an O(1)
+///   root read and frontier emptiness doubles as the schedulability test.
+///
+/// Trees are keyed by the member's *position* within the workflow's
+/// id-sorted member list, which keeps the per-workflow storage dense (total
+/// memory is O(Σ members), not O(workflows × transactions)) and makes
+/// frontier tie-breaks coincide with the naive scans' id tie-breaks.
+///
+/// The owner drives it from the policy hooks ([`WorkflowIndex::on_visible`],
+/// [`WorkflowIndex::on_ready`], [`WorkflowIndex::on_requeue`],
+/// [`WorkflowIndex::on_complete`]); a transaction shared by several
+/// workflows updates each of them. Between hooks the index is exactly as
+/// stale as the [`TxnTable`] itself (the engine pauses the running
+/// transaction and requeues it before any query), so at every query point
+/// it agrees with the naive rescans — asserted by the model-based property
+/// test below and the cross-policy oracle tests.
+#[derive(Debug, Clone)]
+pub struct WorkflowIndex {
+    /// `pos_of[t]` is parallel to `WorkflowSet::workflows_of(t)`: the
+    /// position of `t` in each containing workflow's member list.
+    pos_of: Vec<Vec<u32>>,
+    /// Representative aggregates over visible members, one tree per workflow.
+    aggs: Vec<SegTree<Agg>>,
+    /// Head rules the owner declared at construction (deduplicated). The
+    /// fused [`FrontNode`] answers every rule; the list only enforces the
+    /// contract that queries name a declared rule.
+    rules: Vec<HeadRule>,
+    /// Ready frontier of each workflow, all head rules fused per node.
+    fronts: Vec<SegTree<FrontNode>>,
+}
+
+impl WorkflowIndex {
+    /// Build an (empty) index over `wfs` maintaining frontiers for `rules`.
+    /// Duplicate rules are collapsed; at least one rule is required, since
+    /// frontier emptiness doubles as the schedulability test.
+    pub fn new(wfs: &WorkflowSet, rules: &[HeadRule]) -> Self {
+        assert!(
+            !rules.is_empty(),
+            "WorkflowIndex needs at least one head rule"
+        );
+        let mut dedup: Vec<HeadRule> = Vec::with_capacity(rules.len());
+        for &r in rules {
+            if !dedup.contains(&r) {
+                dedup.push(r);
+            }
+        }
+        let mut pos_of: Vec<Vec<u32>> = vec![Vec::new(); wfs.of_txn.len()];
+        for w in wfs.ids() {
+            for (pos, &t) in wfs.members(w).iter().enumerate() {
+                // workflows_of(t) lists workflows in ascending id order (the
+                // build order), and so does this loop: the vectors align.
+                pos_of[t.index()].push(pos as u32);
+            }
+        }
+        WorkflowIndex {
+            pos_of,
+            aggs: wfs.members.iter().map(|m| SegTree::new(m.len())).collect(),
+            fronts: wfs.members.iter().map(|m| SegTree::new(m.len())).collect(),
+            rules: dedup,
+        }
+    }
+
+    /// An index maintaining every head rule (tests and ablations).
+    pub fn with_all_rules(wfs: &WorkflowSet) -> Self {
+        Self::new(
+            wfs,
+            &[
+                HeadRule::EarliestDeadline,
+                HeadRule::HighestDensity,
+                HeadRule::FirstById,
+            ],
+        )
+    }
+
+    fn assert_maintained(&self, rule: HeadRule) {
+        assert!(
+            self.rules.contains(&rule),
+            "head rule {rule:?} not maintained by this index"
+        );
+    }
+
+    /// `t` became visible while still blocked (blocked arrival): it joins
+    /// the aggregate queues of its workflows but no frontier.
+    pub fn on_visible(&mut self, t: TxnId, wfs: &WorkflowSet, table: &TxnTable) {
+        for i in 0..wfs.workflows_of(t).len() {
+            let wi = wfs.workflows_of(t)[i].index();
+            let pos = self.pos_of[t.index()][i];
+            self.insert_aggregates(wi, pos, t, table);
+        }
+    }
+
+    /// `t` became ready — either a fresh ready arrival (not yet visible) or
+    /// a release of a previously blocked member. Joins the aggregates if
+    /// absent, and every frontier.
+    pub fn on_ready(&mut self, t: TxnId, wfs: &WorkflowSet, table: &TxnTable) {
+        for i in 0..wfs.workflows_of(t).len() {
+            let wi = wfs.workflows_of(t)[i].index();
+            let pos = self.pos_of[t.index()][i];
+            if self.aggs[wi].leaf(pos).is_none() {
+                self.insert_aggregates(wi, pos, t, table);
+            }
+            self.fronts[wi].set(pos, Some(FrontNode::leaf(pos, table, t)));
+        }
+    }
+
+    /// The running `t` was paused at a scheduling point: its remaining time
+    /// shrank (or stayed, at zero-service pauses — then the rewrites below
+    /// hit the unchanged-leaf fast paths and cost one comparison each). Only
+    /// the remaining aggregate component and the frontier's density winner
+    /// are remaining-dependent; deadline and weight leaves are static.
+    pub fn on_requeue(&mut self, t: TxnId, wfs: &WorkflowSet, table: &TxnTable) {
+        let rem = table.remaining(t).ticks();
+        for i in 0..wfs.workflows_of(t).len() {
+            let wi = wfs.workflows_of(t)[i].index();
+            let pos = self.pos_of[t.index()][i];
+            let mut agg = self.aggs[wi].leaf(pos).expect("requeued member is visible");
+            agg.rem = rem;
+            self.aggs[wi].set(pos, Some(agg));
+            self.fronts[wi].set(pos, Some(FrontNode::leaf(pos, table, t)));
+        }
+    }
+
+    /// `t` completed: leaves both trees of every containing workflow.
+    pub fn on_complete(&mut self, t: TxnId, wfs: &WorkflowSet) {
+        for i in 0..wfs.workflows_of(t).len() {
+            let wi = wfs.workflows_of(t)[i].index();
+            let pos = self.pos_of[t.index()][i];
+            self.aggs[wi].set(pos, None);
+            self.fronts[wi].set(pos, None);
+        }
+    }
+
+    fn insert_aggregates(&mut self, wi: usize, pos: u32, t: TxnId, table: &TxnTable) {
+        let agg = Agg {
+            dl: table.deadline(t).ticks(),
+            rem: table.remaining(t).ticks(),
+            w: table.weight(t).get(),
+        };
+        self.aggs[wi].set(pos, Some(agg));
+    }
+
+    /// True iff `w` has a ready member (Definition 8 head exists) — an O(1)
+    /// root check, replacing the `head(w, .., FirstById)` scan.
+    #[inline]
+    pub fn is_schedulable(&self, w: WfId) -> bool {
+        self.fronts[w.index()].root().is_some()
+    }
+
+    /// The head of `w` under `rule` — an O(1) root read. Equals
+    /// [`WorkflowSet::head`] at every hook/select point.
+    ///
+    /// # Panics
+    /// If `rule` was not named at construction.
+    pub fn head(&self, w: WfId, wfs: &WorkflowSet, rule: HeadRule) -> Option<TxnId> {
+        self.assert_maintained(rule);
+        let node = self.fronts[w.index()].root()?;
+        let pos = match rule {
+            HeadRule::EarliestDeadline => node.dl_pos,
+            HeadRule::HighestDensity => node.dens_pos,
+            HeadRule::FirstById => node.first,
+        };
+        Some(wfs.members(w)[pos as usize])
+    }
+
+    /// The representative of `w` — one O(1) root read, no table access: the
+    /// aggregate tree's root *is* (min deadline, min remaining, max weight)
+    /// over the visible members. Equals [`WorkflowSet::representative`] at
+    /// every hook/select point.
+    pub fn representative(&self, w: WfId) -> Option<Representative> {
+        let agg = self.aggs[w.index()].root()?;
+        Some(Representative {
+            deadline: SimTime::from_ticks(agg.dl),
+            remaining: SimDuration::from_ticks(agg.rem),
+            weight: Weight(agg.w),
+        })
     }
 }
 
@@ -233,8 +570,14 @@ impl WorkflowSet {
 /// `u128` — no float rounding, and a zero remaining time (a transaction at
 /// its completion instant) is treated as infinitely dense.
 pub fn denser(table: &TxnTable, a: TxnId, b: TxnId) -> bool {
-    let (wa, ra) = (table.weight(a).get() as u128, table.remaining(a).ticks() as u128);
-    let (wb, rb) = (table.weight(b).get() as u128, table.remaining(b).ticks() as u128);
+    let (wa, ra) = (
+        table.weight(a).get() as u128,
+        table.remaining(a).ticks() as u128,
+    );
+    let (wb, rb) = (
+        table.weight(b).get() as u128,
+        table.remaining(b).ticks() as u128,
+    );
     match (ra == 0, rb == 0) {
         (true, false) => true,
         (false, true) => false,
@@ -256,7 +599,13 @@ mod tests {
     }
 
     fn spec(arr: u64, dl: u64, len: u64, w: u32, deps: Vec<TxnId>) -> TxnSpec {
-        TxnSpec { arrival: at(arr), deadline: at(dl), length: units(len), weight: Weight(w), deps }
+        TxnSpec {
+            arrival: at(arr),
+            deadline: at(dl),
+            length: units(len),
+            weight: Weight(w),
+            deps,
+        }
     }
 
     /// The §II-B stock page: T0 (all prices) -> T1 (portfolio join) ->
@@ -363,15 +712,24 @@ mod tests {
         }
         // Only T0 (the leaf) is ready.
         assert_eq!(wfs.heads(WfId(1), &tbl), vec![TxnId(0)]);
-        assert_eq!(wfs.head(WfId(1), &tbl, HeadRule::EarliestDeadline), Some(TxnId(0)));
+        assert_eq!(
+            wfs.head(WfId(1), &tbl, HeadRule::EarliestDeadline),
+            Some(TxnId(0))
+        );
         // Complete T0 and T1: now T2 and T3 are ready, and K0/K1 have
         // distinct heads.
         tbl.start_running(TxnId(0));
         tbl.complete(TxnId(0), at(4), units(4));
         tbl.start_running(TxnId(1));
         tbl.complete(TxnId(1), at(7), units(3));
-        assert_eq!(wfs.head(WfId(0), &tbl, HeadRule::EarliestDeadline), Some(TxnId(2)));
-        assert_eq!(wfs.head(WfId(1), &tbl, HeadRule::EarliestDeadline), Some(TxnId(3)));
+        assert_eq!(
+            wfs.head(WfId(0), &tbl, HeadRule::EarliestDeadline),
+            Some(TxnId(2))
+        );
+        assert_eq!(
+            wfs.head(WfId(1), &tbl, HeadRule::EarliestDeadline),
+            Some(TxnId(3))
+        );
     }
 
     #[test]
@@ -390,7 +748,10 @@ mod tests {
             tbl.arrive(TxnId(t), at(0));
         }
         let w = WfId(0);
-        assert_eq!(wfs.head(w, &tbl, HeadRule::EarliestDeadline), Some(TxnId(0)));
+        assert_eq!(
+            wfs.head(w, &tbl, HeadRule::EarliestDeadline),
+            Some(TxnId(0))
+        );
         assert_eq!(wfs.head(w, &tbl, HeadRule::HighestDensity), Some(TxnId(1)));
         assert_eq!(wfs.head(w, &tbl, HeadRule::FirstById), Some(TxnId(0)));
     }
@@ -427,20 +788,237 @@ mod tests {
         }
         assert!(denser(&tbl, TxnId(1), TxnId(0)));
         assert!(!denser(&tbl, TxnId(0), TxnId(1)));
-        assert!(!denser(&tbl, TxnId(0), TxnId(2)), "equal density is not strictly denser");
+        assert!(
+            !denser(&tbl, TxnId(0), TxnId(2)),
+            "equal density is not strictly denser"
+        );
     }
 
     #[test]
     fn independent_batch_yields_singleton_workflows() {
-        let tbl = TxnTable::new(vec![
-            spec(0, 10, 1, 1, vec![]),
-            spec(0, 10, 1, 1, vec![]),
-        ])
-        .unwrap();
+        let tbl =
+            TxnTable::new(vec![spec(0, 10, 1, 1, vec![]), spec(0, 10, 1, 1, vec![])]).unwrap();
         let wfs = WorkflowSet::build(&tbl);
         assert_eq!(wfs.len(), 2);
         for w in wfs.ids() {
             assert_eq!(wfs.members(w).len(), 1);
+        }
+    }
+
+    #[test]
+    fn index_agrees_on_stock_page_lifecycle() {
+        // Scripted walk through the §II-B example, checking the index
+        // against the naive scans at every step (the property test below
+        // does the same over random DAGs and schedules).
+        let mut tbl = stock_table();
+        let wfs = WorkflowSet::build(&tbl);
+        let mut idx = WorkflowIndex::with_all_rules(&wfs);
+        let check = |idx: &WorkflowIndex, tbl: &TxnTable| {
+            for w in wfs.ids() {
+                assert_eq!(
+                    idx.is_schedulable(w),
+                    wfs.head(w, tbl, HeadRule::FirstById).is_some()
+                );
+                for rule in [
+                    HeadRule::EarliestDeadline,
+                    HeadRule::HighestDensity,
+                    HeadRule::FirstById,
+                ] {
+                    assert_eq!(idx.head(w, &wfs, rule), wfs.head(w, tbl, rule));
+                }
+                assert_eq!(idx.representative(w), wfs.representative(w, tbl));
+            }
+        };
+        check(&idx, &tbl);
+        for t in 0..4 {
+            let t = TxnId(t);
+            if tbl.arrive(t, at(0)) {
+                idx.on_ready(t, &wfs, &tbl);
+            } else {
+                idx.on_visible(t, &wfs, &tbl);
+            }
+            check(&idx, &tbl);
+        }
+        // Run T0 in two slices, then complete it (releases T1).
+        tbl.start_running(TxnId(0));
+        tbl.pause(TxnId(0), units(3));
+        idx.on_requeue(TxnId(0), &wfs, &tbl);
+        check(&idx, &tbl);
+        tbl.start_running(TxnId(0));
+        let released = tbl.complete(TxnId(0), at(4), units(1));
+        idx.on_complete(TxnId(0), &wfs);
+        for r in released {
+            idx.on_ready(r, &wfs, &tbl);
+        }
+        check(&idx, &tbl);
+        // Finish T1: releases both roots T2 and T3.
+        tbl.start_running(TxnId(1));
+        let released = tbl.complete(TxnId(1), at(7), units(3));
+        idx.on_complete(TxnId(1), &wfs);
+        for r in released {
+            idx.on_ready(r, &wfs, &tbl);
+        }
+        check(&idx, &tbl);
+        assert_eq!(idx.head(WfId(0), &wfs, HeadRule::FirstById), Some(TxnId(2)));
+        assert_eq!(idx.head(WfId(1), &wfs, HeadRule::FirstById), Some(TxnId(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "not maintained")]
+    fn head_with_unmaintained_rule_panics() {
+        let tbl = stock_table();
+        let wfs = WorkflowSet::build(&tbl);
+        let idx = WorkflowIndex::new(&wfs, &[HeadRule::EarliestDeadline]);
+        let _ = idx.head(WfId(0), &wfs, HeadRule::HighestDensity);
+    }
+
+    #[test]
+    fn duplicate_rules_collapse() {
+        let tbl = stock_table();
+        let wfs = WorkflowSet::build(&tbl);
+        let idx = WorkflowIndex::new(
+            &wfs,
+            &[HeadRule::EarliestDeadline, HeadRule::EarliestDeadline],
+        );
+        // Both name the same frontier; peeking through either works.
+        assert!(!idx.is_schedulable(WfId(0)));
+        assert_eq!(idx.head(WfId(0), &wfs, HeadRule::EarliestDeadline), None);
+    }
+}
+
+/// Model-based property test: drive a random-but-legal transaction
+/// lifecycle (the engine protocol — arrivals in any order, run slices that
+/// pause or complete, dependents released on completion) over random DAGs
+/// with shared members, mirroring every event into a [`WorkflowIndex`], and
+/// assert after *every* mutation that the index agrees with the naive
+/// [`WorkflowSet::representative`] / [`WorkflowSet::head`] rescans for
+/// every workflow and every head rule.
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::txn::TxnSpec;
+    use proptest::prelude::*;
+
+    fn units(u: u64) -> SimDuration {
+        SimDuration::from_units_int(u)
+    }
+    fn at(u: u64) -> SimTime {
+        SimTime::from_units_int(u)
+    }
+
+    /// Random acyclic weighted batch: every arrival at t=0 so the script
+    /// below may arrive them in any order; deps point at earlier ids only.
+    /// Multiple dependents of one transaction create shared members (and
+    /// thus multi-workflow updates through the index).
+    fn batch_strategy(max_n: usize) -> impl Strategy<Value = Vec<TxnSpec>> {
+        prop::collection::vec(
+            (
+                1u64..12, // length
+                0u64..50, // slack beyond length
+                1u32..10, // weight
+                prop::collection::vec(any::<prop::sample::Index>(), 0..3),
+            ),
+            1..max_n,
+        )
+        .prop_map(|rows| {
+            rows.into_iter()
+                .enumerate()
+                .map(|(i, (len, slack, w, deps))| {
+                    let mut dep_ids: Vec<TxnId> = if i == 0 {
+                        Vec::new()
+                    } else {
+                        deps.into_iter()
+                            .map(|idx| TxnId(idx.index(i) as u32))
+                            .collect()
+                    };
+                    dep_ids.sort_unstable();
+                    dep_ids.dedup();
+                    TxnSpec {
+                        arrival: at(0),
+                        deadline: at(len + slack),
+                        length: units(len),
+                        weight: Weight(w),
+                        deps: dep_ids,
+                    }
+                })
+                .collect::<Vec<_>>()
+        })
+    }
+
+    fn check_agreement(idx: &WorkflowIndex, wfs: &WorkflowSet, tbl: &TxnTable) {
+        for w in wfs.ids() {
+            assert_eq!(
+                idx.is_schedulable(w),
+                wfs.head(w, tbl, HeadRule::FirstById).is_some(),
+                "schedulability of {w} diverged"
+            );
+            for rule in [
+                HeadRule::EarliestDeadline,
+                HeadRule::HighestDensity,
+                HeadRule::FirstById,
+            ] {
+                assert_eq!(
+                    idx.head(w, wfs, rule),
+                    wfs.head(w, tbl, rule),
+                    "head of {w} under {rule:?} diverged"
+                );
+            }
+            assert_eq!(
+                idx.representative(w),
+                wfs.representative(w, tbl),
+                "representative of {w} diverged"
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+        #[test]
+        fn index_matches_naive_rescans(
+            specs in batch_strategy(14),
+            script in prop::collection::vec((any::<prop::sample::Index>(), any::<prop::sample::Index>(), 0u8..4), 0..80),
+        ) {
+            let tbl = TxnTable::new(specs).expect("acyclic by construction");
+            let mut tbl = tbl;
+            let wfs = WorkflowSet::build(&tbl);
+            let mut idx = WorkflowIndex::with_all_rules(&wfs);
+            let mut pending: Vec<TxnId> = tbl.ids().collect();
+            let mut now = 0u64;
+            check_agreement(&idx, &wfs, &tbl);
+            for (pick, amount, action) in script {
+                now += 1;
+                let ready = tbl.ready_ids();
+                // Interleave arrivals and run slices; fall back to the
+                // other move when the chosen one is unavailable.
+                let arrive = !pending.is_empty() && (action == 0 || ready.is_empty());
+                if arrive {
+                    let t = pending.swap_remove(pick.index(pending.len()));
+                    if tbl.arrive(t, at(now)) {
+                        idx.on_ready(t, &wfs, &tbl);
+                    } else {
+                        idx.on_visible(t, &wfs, &tbl);
+                    }
+                } else if let Some(&r) = ready.get(pick.index(ready.len().max(1))) {
+                    let rem = tbl.remaining(r);
+                    tbl.start_running(r);
+                    if action == 1 && rem.ticks() > 1 {
+                        // Pause after a partial slice (possibly zero —
+                        // the rekey fast path).
+                        let served = amount.index(rem.ticks() as usize) as u64;
+                        tbl.pause(r, SimDuration::from_ticks(served));
+                        idx.on_requeue(r, &wfs, &tbl);
+                    } else {
+                        let released = tbl.complete(r, at(now), rem);
+                        idx.on_complete(r, &wfs);
+                        for d in released {
+                            idx.on_ready(d, &wfs, &tbl);
+                        }
+                    }
+                } else {
+                    continue;
+                }
+                check_agreement(&idx, &wfs, &tbl);
+            }
         }
     }
 }

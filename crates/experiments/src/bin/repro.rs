@@ -114,7 +114,10 @@ fn gantt(args: &[String]) -> ExitCode {
         }
     };
     if specs.len() > 60 {
-        eprintln!("batch has {} transactions; gantt is readable up to ~60", specs.len());
+        eprintln!(
+            "batch has {} transactions; gantt is readable up to ~60",
+            specs.len()
+        );
         return ExitCode::FAILURE;
     }
     match asets_sim::simulate_traced(specs, kind) {
@@ -207,7 +210,11 @@ fn main() -> ExitCode {
         return usage();
     }
 
-    let cfg = if quick { ExpConfig::quick() } else { ExpConfig::paper() };
+    let cfg = if quick {
+        ExpConfig::quick()
+    } else {
+        ExpConfig::paper()
+    };
     println!(
         "protocol: {} txns, {} seeds, {} utilization points{}",
         cfg.n_txns,

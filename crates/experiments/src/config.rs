@@ -41,7 +41,8 @@ impl ExpConfig {
 
     /// Restrict the sweep to utilizations within `[lo, hi]` (inclusive).
     pub fn with_util_range(mut self, lo: f64, hi: f64) -> ExpConfig {
-        self.utilizations.retain(|&u| u >= lo - 1e-9 && u <= hi + 1e-9);
+        self.utilizations
+            .retain(|&u| u >= lo - 1e-9 && u <= hi + 1e-9);
         self
     }
 }

@@ -39,8 +39,10 @@ pub fn run_all(cfg: &ExpConfig) -> Vec<Report> {
 pub fn load_switch(cfg: &ExpConfig) -> Report {
     let thresholds = [0.5, 0.7, 0.9];
     let window = 100.0;
-    let mut columns: Vec<String> =
-        thresholds.iter().map(|t| format!("Switch(l={t})")).collect();
+    let mut columns: Vec<String> = thresholds
+        .iter()
+        .map(|t| format!("Switch(l={t})"))
+        .collect();
     columns.push("ASETS*".into());
     let mut report = Report::new(
         "Ablation §III-A — load-threshold switching vs ASETS* (avg tardiness)",
@@ -56,7 +58,10 @@ pub fn load_switch(cfg: &ExpConfig) -> Report {
         .utilizations
         .iter()
         .flat_map(|&u| {
-            let spec = TableISpec { n_txns: cfg.n_txns, ..TableISpec::transaction_level(u) };
+            let spec = TableISpec {
+                n_txns: cfg.n_txns,
+                ..TableISpec::transaction_level(u)
+            };
             pols.iter().map(move |&p| (spec, p))
         })
         .collect();
@@ -87,14 +92,19 @@ pub fn mix_parameter(cfg: &ExpConfig) -> Report {
         "util",
         columns,
     );
-    let mut pols: Vec<PolicyKind> =
-        gammas.iter().map(|&gamma| PolicyKind::Mix { gamma }).collect();
+    let mut pols: Vec<PolicyKind> = gammas
+        .iter()
+        .map(|&gamma| PolicyKind::Mix { gamma })
+        .collect();
     pols.push(PolicyKind::asets_star());
     let points: Vec<(TableISpec, PolicyKind)> = cfg
         .utilizations
         .iter()
         .flat_map(|&u| {
-            let spec = TableISpec { n_txns: cfg.n_txns, ..TableISpec::general_case(u) };
+            let spec = TableISpec {
+                n_txns: cfg.n_txns,
+                ..TableISpec::general_case(u)
+            };
             pols.iter().map(move |&p| (spec, p))
         })
         .collect();
@@ -117,14 +127,21 @@ pub fn impact_rule(cfg: &ExpConfig) -> Report {
         vec!["Paper".into(), "Symmetric".into()],
     );
     let pols = [
-        PolicyKind::AsetsStar { impact: ImpactRule::Paper },
-        PolicyKind::AsetsStar { impact: ImpactRule::Symmetric },
+        PolicyKind::AsetsStar {
+            impact: ImpactRule::Paper,
+        },
+        PolicyKind::AsetsStar {
+            impact: ImpactRule::Symmetric,
+        },
     ];
     let points: Vec<(TableISpec, PolicyKind)> = cfg
         .utilizations
         .iter()
         .flat_map(|&u| {
-            let spec = TableISpec { n_txns: cfg.n_txns, ..TableISpec::general_case(u) };
+            let spec = TableISpec {
+                n_txns: cfg.n_txns,
+                ..TableISpec::general_case(u)
+            };
             pols.iter().map(move |&p| (spec, p))
         })
         .collect();
@@ -169,7 +186,10 @@ pub fn head_rule(cfg: &ExpConfig) -> Report {
         vec!["per-side".into(), "first-by-id".into()],
     );
     for &u in &cfg.utilizations {
-        let spec = TableISpec { n_txns: cfg.n_txns, ..TableISpec::general_case(u) };
+        let spec = TableISpec {
+            n_txns: cfg.n_txns,
+            ..TableISpec::general_case(u)
+        };
         let per_side = run_custom_averaged(&spec, &cfg.seeds, AsetsStarConfig::default(), None);
         let naive = run_custom_averaged(
             &spec,
@@ -183,7 +203,10 @@ pub fn head_rule(cfg: &ExpConfig) -> Report {
         );
         report.push_row(
             u,
-            vec![per_side.avg_weighted_tardiness, naive.avg_weighted_tardiness],
+            vec![
+                per_side.avg_weighted_tardiness,
+                naive.avg_weighted_tardiness,
+            ],
         );
     }
     report.note("with chain workflows (single ready member) the rules coincide; they diverge on tree/shared workflows");
@@ -208,7 +231,10 @@ pub fn workflow_grid(cfg: &ExpConfig) -> Report {
         for &mw in &max_wfs {
             let spec = TableISpec {
                 n_txns: cfg.n_txns,
-                workflows: Some(WorkflowParams { max_len: ml, max_workflows: mw }),
+                workflows: Some(WorkflowParams {
+                    max_len: ml,
+                    max_workflows: mw,
+                }),
                 ..TableISpec::workflow_level(util)
             };
             for &p in &pols {
@@ -232,7 +258,9 @@ pub fn workflow_grid(cfg: &ExpConfig) -> Report {
         report.push_row(ml as f64, row);
     }
     let avg = all_gains.iter().sum::<f64>() / all_gains.len() as f64;
-    report.note(format!("grid-average improvement {avg:.1}% (paper reports 44% average)"));
+    report.note(format!(
+        "grid-average improvement {avg:.1}% (paper reports 44% average)"
+    ));
     report
 }
 
@@ -249,7 +277,10 @@ pub fn submission_model(cfg: &ExpConfig) -> Report {
         ],
     );
     for &u in &cfg.utilizations {
-        let spec = TableISpec { n_txns: cfg.n_txns, ..TableISpec::workflow_level(u) };
+        let spec = TableISpec {
+            n_txns: cfg.n_txns,
+            ..TableISpec::workflow_level(u)
+        };
         let mut row = Vec::new();
         for transform in [None, Some(submit_pages_together as fn(&mut [TxnSpec]))] {
             for kind in [PolicyKind::Ready, PolicyKind::asets_star()] {
@@ -277,7 +308,11 @@ mod tests {
     use super::*;
 
     fn cfg() -> ExpConfig {
-        ExpConfig { seeds: vec![101], n_txns: 150, utilizations: vec![0.6] }
+        ExpConfig {
+            seeds: vec![101],
+            n_txns: 150,
+            utilizations: vec![0.6],
+        }
     }
 
     #[test]
@@ -296,7 +331,11 @@ mod tests {
 
     #[test]
     fn grid_covers_corners() {
-        let small = ExpConfig { seeds: vec![101], n_txns: 120, utilizations: vec![] };
+        let small = ExpConfig {
+            seeds: vec![101],
+            n_txns: 120,
+            utilizations: vec![],
+        };
         let r = workflow_grid(&small);
         assert_eq!(r.rows.len(), 3);
         assert_eq!(r.columns.len(), 3);
@@ -318,7 +357,11 @@ mod tests {
 
     #[test]
     fn load_switch_never_beats_asets_star_at_high_load() {
-        let cfg = ExpConfig { seeds: vec![101, 202], n_txns: 400, utilizations: vec![1.0] };
+        let cfg = ExpConfig {
+            seeds: vec![101, 202],
+            n_txns: 400,
+            utilizations: vec![1.0],
+        };
         let r = load_switch(&cfg);
         let (_, row) = &r.rows[0];
         let asets = *row.last().unwrap();

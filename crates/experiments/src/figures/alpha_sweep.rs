@@ -66,8 +66,11 @@ pub fn per_alpha(cfg: &ExpConfig, alpha: f64) -> Report {
         .utilizations
         .iter()
         .flat_map(|&u| {
-            let spec =
-                TableISpec { n_txns: cfg.n_txns, alpha, ..TableISpec::transaction_level(u) };
+            let spec = TableISpec {
+                n_txns: cfg.n_txns,
+                alpha,
+                ..TableISpec::transaction_level(u)
+            };
             pols.iter().map(move |&p| (spec, p))
         })
         .collect();
@@ -88,7 +91,11 @@ mod tests {
 
     #[test]
     fn sweep_produces_one_row_per_alpha() {
-        let cfg = ExpConfig { seeds: vec![101], n_txns: 120, utilizations: vec![0.4, 0.8] };
+        let cfg = ExpConfig {
+            seeds: vec![101],
+            n_txns: 120,
+            utilizations: vec![0.4, 0.8],
+        };
         let r = run(&cfg);
         assert_eq!(r.rows.len(), ALPHAS.len());
     }

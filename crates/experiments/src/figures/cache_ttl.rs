@@ -42,7 +42,11 @@ pub fn run(cfg: &ExpConfig) -> Report {
     let gap = SimDuration::from_units_int(3);
     for &ttl in &TTLS {
         let cells = par_map(&cfg.seeds, |&seed| {
-            let params = StockDbParams { n_stocks: 400, n_users: n_pages, ..Default::default() };
+            let params = StockDbParams {
+                n_stocks: 400,
+                n_users: n_pages,
+                ..Default::default()
+            };
             let db = stock_database(&params, seed).expect("static schemas");
             let requests = stock_requests(n_pages, gap);
             let cost = CostModel::default();
@@ -59,7 +63,9 @@ pub fn run(cfg: &ExpConfig) -> Report {
                 (specs, cache.hit_ratio())
             };
             let work: f64 = specs.iter().map(|s| s.length.as_units()).sum();
-            let summary = simulate(specs, PolicyKind::asets_star()).expect("acyclic").summary;
+            let summary = simulate(specs, PolicyKind::asets_star())
+                .expect("acyclic")
+                .summary;
             (hit_ratio, work, summary)
         });
         let k = cells.len() as f64;
@@ -69,7 +75,12 @@ pub fn run(cfg: &ExpConfig) -> Report {
         let m = MetricsSummary::mean_of_runs(&summaries);
         report.push_row(
             ttl as f64,
-            vec![hit, work, m.avg_weighted_tardiness, m.max_weighted_tardiness],
+            vec![
+                hit,
+                work,
+                m.avg_weighted_tardiness,
+                m.max_weighted_tardiness,
+            ],
         );
     }
     report.note("longer TTL => higher hit ratio => less backend work => lower tardiness (QoD cost: staleness)");
@@ -82,20 +93,34 @@ mod tests {
 
     #[test]
     fn caching_monotonically_sheds_work() {
-        let cfg = ExpConfig { seeds: vec![101], n_txns: 120, utilizations: vec![] };
+        let cfg = ExpConfig {
+            seeds: vec![101],
+            n_txns: 120,
+            utilizations: vec![],
+        };
         let r = run(&cfg);
         let work = r.series("backend_work").unwrap();
-        assert!(work[0] > *work.last().unwrap(), "TTL 100 must shed work vs no cache");
+        assert!(
+            work[0] > *work.last().unwrap(),
+            "TTL 100 must shed work vs no cache"
+        );
         let hits = r.series("hit_ratio%").unwrap();
         assert_eq!(hits[0], 0.0);
         for w in hits.windows(2) {
-            assert!(w[1] >= w[0] - 1e-9, "hit ratio non-decreasing in TTL: {hits:?}");
+            assert!(
+                w[1] >= w[0] - 1e-9,
+                "hit ratio non-decreasing in TTL: {hits:?}"
+            );
         }
     }
 
     #[test]
     fn tardiness_improves_with_cache() {
-        let cfg = ExpConfig { seeds: vec![101, 202], n_txns: 160, utilizations: vec![] };
+        let cfg = ExpConfig {
+            seeds: vec![101, 202],
+            n_txns: 160,
+            utilizations: vec![],
+        };
         let r = run(&cfg);
         let wt = r.series("avg w.tardiness").unwrap();
         assert!(

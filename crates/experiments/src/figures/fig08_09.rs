@@ -38,7 +38,10 @@ fn run_range(cfg: &ExpConfig, lo: f64, hi: f64, title: &str) -> Report {
         .utilizations
         .iter()
         .flat_map(|&u| {
-            let spec = TableISpec { n_txns: cfg.n_txns, ..TableISpec::transaction_level(u) };
+            let spec = TableISpec {
+                n_txns: cfg.n_txns,
+                ..TableISpec::transaction_level(u)
+            };
             pols.iter().map(move |&(p, _)| (spec, p))
         })
         .collect();
@@ -55,19 +58,31 @@ fn run_range(cfg: &ExpConfig, lo: f64, hi: f64, title: &str) -> Report {
 
 /// Fig. 8: low utilization (0.1–0.5).
 pub fn run_low(cfg: &ExpConfig) -> Report {
-    run_range(cfg, 0.0, 0.55, "Fig. 8 — Avg tardiness, low utilization (alpha=0.5, k_max=3)")
+    run_range(
+        cfg,
+        0.0,
+        0.55,
+        "Fig. 8 — Avg tardiness, low utilization (alpha=0.5, k_max=3)",
+    )
 }
 
 /// Fig. 9: high utilization (0.6–1.0).
 pub fn run_high(cfg: &ExpConfig) -> Report {
-    run_range(cfg, 0.55, 1.01, "Fig. 9 — Avg tardiness, high utilization (alpha=0.5, k_max=3)")
+    run_range(
+        cfg,
+        0.55,
+        1.01,
+        "Fig. 9 — Avg tardiness, high utilization (alpha=0.5, k_max=3)",
+    )
 }
 
 /// Append the paper's qualitative claims as measured notes.
 fn annotate_shape(report: &mut Report) {
-    let (Some(edf), Some(srpt), Some(asets)) =
-        (report.series("EDF"), report.series("SRPT"), report.series("ASETS*"))
-    else {
+    let (Some(edf), Some(srpt), Some(asets)) = (
+        report.series("EDF"),
+        report.series("SRPT"),
+        report.series("ASETS*"),
+    ) else {
         return;
     };
     let dominated = edf
@@ -86,7 +101,9 @@ fn annotate_shape(report: &mut Report) {
         .zip(&asets)
         .map(|((e, s), a)| improvement_pct(e.min(*s), *a))
         .fold(f64::NEG_INFINITY, f64::max);
-    report.note(format!("max improvement over best baseline: {best_gain:.1}%"));
+    report.note(format!(
+        "max improvement over best baseline: {best_gain:.1}%"
+    ));
 }
 
 #[cfg(test)]
@@ -127,7 +144,11 @@ mod tests {
 
     #[test]
     fn notes_are_emitted() {
-        let cfg = ExpConfig { seeds: vec![101], n_txns: 100, utilizations: vec![0.4] };
+        let cfg = ExpConfig {
+            seeds: vec![101],
+            n_txns: 100,
+            utilizations: vec![0.4],
+        };
         let r = run_low(&cfg);
         assert!(r.notes.iter().any(|n| n.contains("min(EDF, SRPT)")));
     }

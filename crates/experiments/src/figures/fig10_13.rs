@@ -37,8 +37,11 @@ pub fn run(cfg: &ExpConfig, k_max: f64) -> Report {
         .utilizations
         .iter()
         .flat_map(|&u| {
-            let spec =
-                TableISpec { n_txns: cfg.n_txns, k_max, ..TableISpec::transaction_level(u) };
+            let spec = TableISpec {
+                n_txns: cfg.n_txns,
+                k_max,
+                ..TableISpec::transaction_level(u)
+            };
             pols.iter().map(move |&p| (spec, p))
         })
         .collect();
@@ -110,7 +113,11 @@ mod tests {
 
     #[test]
     fn title_names_the_right_figure() {
-        let cfg = ExpConfig { seeds: vec![101], n_txns: 60, utilizations: vec![0.5] };
+        let cfg = ExpConfig {
+            seeds: vec![101],
+            n_txns: 60,
+            utilizations: vec![0.5],
+        };
         assert!(run(&cfg, 1.0).title.contains("Fig. 11"));
         assert!(run(&cfg, 2.0).title.contains("Fig. 12"));
         assert!(run(&cfg, 4.0).title.contains("Fig. 13"));

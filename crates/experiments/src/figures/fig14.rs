@@ -29,7 +29,10 @@ pub fn run(cfg: &ExpConfig) -> Report {
         .utilizations
         .iter()
         .flat_map(|&u| {
-            let spec = TableISpec { n_txns: cfg.n_txns, ..TableISpec::workflow_level(u) };
+            let spec = TableISpec {
+                n_txns: cfg.n_txns,
+                ..TableISpec::workflow_level(u)
+            };
             pols.iter().map(move |&p| (spec, p))
         })
         .collect();
@@ -76,7 +79,11 @@ mod tests {
 
     #[test]
     fn improvement_column_is_consistent() {
-        let cfg = ExpConfig { seeds: vec![101], n_txns: 150, utilizations: vec![0.8] };
+        let cfg = ExpConfig {
+            seeds: vec![101],
+            n_txns: 150,
+            utilizations: vec![0.8],
+        };
         let r = run(&cfg);
         let (_, row) = &r.rows[0];
         let expect = improvement_pct(row[0], row[1]);

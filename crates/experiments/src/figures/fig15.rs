@@ -23,7 +23,10 @@ pub fn run(cfg: &ExpConfig) -> Report {
         .utilizations
         .iter()
         .flat_map(|&u| {
-            let spec = TableISpec { n_txns: cfg.n_txns, ..TableISpec::general_case(u) };
+            let spec = TableISpec {
+                n_txns: cfg.n_txns,
+                ..TableISpec::general_case(u)
+            };
             pols.iter().map(move |&p| (spec, p))
         })
         .collect();
@@ -75,7 +78,11 @@ mod tests {
 
     #[test]
     fn hdf_beats_edf_under_overload() {
-        let cfg = ExpConfig { seeds: vec![101, 202], n_txns: 400, utilizations: vec![1.0] };
+        let cfg = ExpConfig {
+            seeds: vec![101, 202],
+            n_txns: 400,
+            utilizations: vec![1.0],
+        };
         let r = run(&cfg);
         let edf = r.series("EDF").unwrap()[0];
         let hdf = r.series("HDF").unwrap()[0];

@@ -33,10 +33,16 @@ struct BalanceSweep {
 }
 
 fn sweep(cfg: &ExpConfig, count_based: bool) -> BalanceSweep {
-    let spec = TableISpec { n_txns: cfg.n_txns, ..TableISpec::general_case(BALANCE_UTIL) };
+    let spec = TableISpec {
+        n_txns: cfg.n_txns,
+        ..TableISpec::general_case(BALANCE_UTIL)
+    };
     let base = run_averaged(&spec, PolicyKind::asets_star(), &cfg.seeds).expect("valid spec");
-    let rates: Vec<f64> =
-        if count_based { COUNT_RATES.to_vec() } else { TIME_RATES.to_vec() };
+    let rates: Vec<f64> = if count_based {
+        COUNT_RATES.to_vec()
+    } else {
+        TIME_RATES.to_vec()
+    };
     let mut max_wt = Vec::new();
     let mut avg_wt = Vec::new();
     for &rate in &rates {
@@ -45,7 +51,10 @@ fn sweep(cfg: &ExpConfig, count_based: bool) -> BalanceSweep {
         } else {
             ActivationMode::time_rate(rate)
         };
-        let kind = PolicyKind::BalanceAware { impact: ImpactRule::Paper, activation };
+        let kind = PolicyKind::BalanceAware {
+            impact: ImpactRule::Paper,
+            activation,
+        };
         let s = run_averaged(&spec, kind, &cfg.seeds).expect("valid spec");
         max_wt.push(s.max_weighted_tardiness);
         avg_wt.push(s.avg_weighted_tardiness);
@@ -76,7 +85,11 @@ pub fn run_count_based(cfg: &ExpConfig) -> (Report, Report) {
 
 fn run_metric(cfg: &ExpConfig, count_based: bool, worst_case: bool) -> Report {
     let s = sweep(cfg, count_based);
-    let mode = if count_based { "count-based" } else { "time-based" };
+    let mode = if count_based {
+        "count-based"
+    } else {
+        "time-based"
+    };
     let (fig, metric, base, series) = if worst_case {
         ("Fig. 16", "max weighted tardiness", s.base_max, &s.max_wt)
     } else {
@@ -112,7 +125,11 @@ mod tests {
     use super::*;
 
     fn cfg() -> ExpConfig {
-        ExpConfig { seeds: vec![101, 202], n_txns: 400, utilizations: vec![] }
+        ExpConfig {
+            seeds: vec![101, 202],
+            n_txns: 400,
+            utilizations: vec![],
+        }
     }
 
     #[test]
@@ -134,8 +151,14 @@ mod tests {
         let bal = r.series("ASETS*-balance").unwrap();
         let base = r.series("ASETS*").unwrap()[0];
         for (i, v) in bal.iter().enumerate() {
-            assert!(*v >= base * 0.97, "rate idx {i}: balance better on average?");
-            assert!(*v <= base * 1.35, "rate idx {i}: degradation {v} vs {base} too large");
+            assert!(
+                *v >= base * 0.97,
+                "rate idx {i}: balance better on average?"
+            );
+            assert!(
+                *v <= base * 1.35,
+                "rate idx {i}: degradation {v} vs {base} too large"
+            );
         }
     }
 

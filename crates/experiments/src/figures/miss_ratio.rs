@@ -37,14 +37,18 @@ pub fn run(cfg: &ExpConfig) -> Report {
         .utilizations
         .iter()
         .flat_map(|&u| {
-            let spec = TableISpec { n_txns: cfg.n_txns, ..TableISpec::general_case(u) };
+            let spec = TableISpec {
+                n_txns: cfg.n_txns,
+                ..TableISpec::general_case(u)
+            };
             pols.iter().map(move |&(p, _)| (spec, p))
         })
         .collect();
     let results = run_grid(&points, &cfg.seeds).expect("valid spec");
     for (i, &u) in cfg.utilizations.iter().enumerate() {
-        let row: Vec<f64> =
-            (0..pols.len()).map(|j| results[i * pols.len() + j].miss_ratio).collect();
+        let row: Vec<f64> = (0..pols.len())
+            .map(|j| results[i * pols.len() + j].miss_ratio)
+            .collect();
         report.push_row(u, row);
     }
     report.note(
@@ -60,7 +64,11 @@ mod tests {
 
     #[test]
     fn miss_ratios_are_probabilities_and_ordered_sanely() {
-        let cfg = ExpConfig { seeds: vec![101, 202], n_txns: 300, utilizations: vec![0.3, 0.9] };
+        let cfg = ExpConfig {
+            seeds: vec![101, 202],
+            n_txns: 300,
+            utilizations: vec![0.3, 0.9],
+        };
         let r = run(&cfg);
         for (_, row) in &r.rows {
             for v in row {
@@ -75,7 +83,11 @@ mod tests {
 
     #[test]
     fn miss_ratio_grows_with_load() {
-        let cfg = ExpConfig { seeds: vec![101], n_txns: 300, utilizations: vec![0.2, 1.0] };
+        let cfg = ExpConfig {
+            seeds: vec![101],
+            n_txns: 300,
+            utilizations: vec![0.2, 1.0],
+        };
         let r = run(&cfg);
         let asets = r.series("ASETS*").unwrap();
         assert!(asets[1] > asets[0]);

@@ -28,7 +28,10 @@ pub fn run(cfg: &ExpConfig) -> Report {
     );
     let zipf_mean = Zipf::new(50, 0.5).mean();
     for &u in &cfg.utilizations {
-        let spec = TableISpec { n_txns: cfg.n_txns, ..TableISpec::general_case(u) };
+        let spec = TableISpec {
+            n_txns: cfg.n_txns,
+            ..TableISpec::general_case(u)
+        };
         // Average realized stats over the seeds, like every other figure.
         let mut mean_len = 0.0;
         let mut realized_util = 0.0;
@@ -89,6 +92,9 @@ mod tests {
         assert!((realized_util - 0.5).abs() < 0.05);
         assert!((mean_k - half_kmax).abs() < 0.1);
         assert!((mean_w - 5.5).abs() < 0.3);
-        assert!(dep > 30.0, "chains of <=5 leave well over a third dependent, got {dep}%");
+        assert!(
+            dep > 30.0,
+            "chains of <=5 leave well over a third dependent, got {dep}%"
+        );
     }
 }

@@ -29,11 +29,7 @@ pub struct Report {
 
 impl Report {
     /// Create an empty report.
-    pub fn new(
-        title: impl Into<String>,
-        axis: impl Into<String>,
-        columns: Vec<String>,
-    ) -> Report {
+    pub fn new(title: impl Into<String>, axis: impl Into<String>, columns: Vec<String>) -> Report {
         Report {
             title: title.into(),
             axis: axis.into(),
@@ -95,8 +91,9 @@ impl Report {
     pub fn to_markdown(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "**{}**\n", self.title);
-        let header: Vec<String> =
-            std::iter::once(self.axis.clone()).chain(self.columns.iter().cloned()).collect();
+        let header: Vec<String> = std::iter::once(self.axis.clone())
+            .chain(self.columns.iter().cloned())
+            .collect();
         let _ = writeln!(out, "| {} |", header.join(" | "));
         let _ = writeln!(out, "|{}|", vec!["---"; header.len()].join("|"));
         for (x, vals) in &self.rows {
@@ -123,8 +120,9 @@ impl Report {
         for n in &self.notes {
             let _ = writeln!(out, "# note: {n}");
         }
-        let header: Vec<String> =
-            std::iter::once(self.axis.clone()).chain(self.columns.iter().cloned()).collect();
+        let header: Vec<String> = std::iter::once(self.axis.clone())
+            .chain(self.columns.iter().cloned())
+            .collect();
         let _ = writeln!(out, "{}", header.join(","));
         for (x, vals) in &self.rows {
             let mut cells = vec![format!("{x}")];

@@ -2,21 +2,24 @@
 //!
 //! Every figure is a grid of independent simulation cells (utilization ×
 //! policy × seed). Cells are pure functions of their parameters, so the
-//! sweep fans them out over scoped threads (crossbeam) and reassembles
-//! results in input order — determinism is preserved because ordering, not
-//! scheduling, decides where each result lands.
+//! sweep fans them out over scoped threads (`std::thread::scope`) and
+//! reassembles results in input order — determinism is preserved because
+//! ordering, not scheduling, decides where each result lands.
 
 use asets_core::metrics::MetricsSummary;
 use asets_core::policy::PolicyKind;
 use asets_sim::{simulate, SimResult};
 use asets_workload::{generate, SpecError, TableISpec};
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 /// Parallel map preserving input order.
 ///
 /// Spawns up to `available_parallelism` workers pulling indices from a
-/// shared counter; falls back to sequential for tiny inputs.
+/// shared counter; falls back to sequential for tiny inputs. Workers never
+/// contend on the result collection: each finished cell is sent tagged with
+/// its index over a channel and the receiver places it in its slot, so the
+/// hot path is one atomic fetch-add per cell and a channel send.
 pub fn par_map<P, R, F>(points: &[P], f: F) -> Vec<R>
 where
     P: Sync,
@@ -24,27 +27,40 @@ where
     F: Fn(&P) -> R + Sync,
 {
     let n = points.len();
-    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n.max(1));
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n.max(1));
     if workers <= 1 || n <= 1 {
         return points.iter().map(&f).collect();
     }
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
-    crossbeam::scope(|scope| {
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
                 let r = f(&points[i]);
-                results.lock()[i] = Some(r);
+                if tx.send((i, r)).is_err() {
+                    break;
+                }
             });
         }
-    })
-    .expect("sweep worker panicked");
+        drop(tx);
+        // Collect on the scope's owning thread while workers run; the scope
+        // still joins every worker (and propagates panics) on exit.
+        for (i, r) in rx {
+            results[i] = Some(r);
+        }
+    });
     results
-        .into_inner()
         .into_iter()
         .map(|r| r.expect("every cell filled"))
         .collect()
@@ -74,8 +90,14 @@ pub fn run_averaged(
     policy: PolicyKind,
     seeds: &[u64],
 ) -> Result<MetricsSummary, SpecError> {
-    let cells: Vec<Cell> =
-        seeds.iter().map(|&seed| Cell { spec: *spec, policy, seed }).collect();
+    let cells: Vec<Cell> = seeds
+        .iter()
+        .map(|&seed| Cell {
+            spec: *spec,
+            policy,
+            seed,
+        })
+        .collect();
     let runs = par_map(&cells, run_cell);
     let mut summaries = Vec::with_capacity(runs.len());
     for r in runs {
@@ -92,9 +114,7 @@ pub fn run_grid(
 ) -> Result<Vec<MetricsSummary>, SpecError> {
     let cells: Vec<Cell> = points
         .iter()
-        .flat_map(|&(spec, policy)| {
-            seeds.iter().map(move |&seed| Cell { spec, policy, seed })
-        })
+        .flat_map(|&(spec, policy)| seeds.iter().map(move |&seed| Cell { spec, policy, seed }))
         .collect();
     let runs = par_map(&cells, run_cell);
     let mut out = Vec::with_capacity(points.len());
@@ -131,7 +151,10 @@ mod tests {
     #[test]
     fn run_cell_produces_full_batch() {
         let cell = Cell {
-            spec: TableISpec { n_txns: 50, ..TableISpec::transaction_level(0.5) },
+            spec: TableISpec {
+                n_txns: 50,
+                ..TableISpec::transaction_level(0.5)
+            },
             policy: PolicyKind::Edf,
             seed: 1,
         };
@@ -141,13 +164,22 @@ mod tests {
 
     #[test]
     fn averaged_equals_manual_mean() {
-        let spec = TableISpec { n_txns: 50, ..TableISpec::transaction_level(0.8) };
+        let spec = TableISpec {
+            n_txns: 50,
+            ..TableISpec::transaction_level(0.8)
+        };
         let seeds = [1, 2, 3];
         let avg = run_averaged(&spec, PolicyKind::Srpt, &seeds).unwrap();
         let manual: Vec<_> = seeds
             .iter()
             .map(|&s| {
-                run_cell(&Cell { spec, policy: PolicyKind::Srpt, seed: s }).unwrap().summary
+                run_cell(&Cell {
+                    spec,
+                    policy: PolicyKind::Srpt,
+                    seed: s,
+                })
+                .unwrap()
+                .summary
             })
             .collect();
         let manual = asets_core::metrics::MetricsSummary::mean_of_runs(&manual);
@@ -156,8 +188,14 @@ mod tests {
 
     #[test]
     fn grid_matches_pointwise_runs() {
-        let spec_a = TableISpec { n_txns: 40, ..TableISpec::transaction_level(0.5) };
-        let spec_b = TableISpec { n_txns: 40, ..TableISpec::transaction_level(0.9) };
+        let spec_a = TableISpec {
+            n_txns: 40,
+            ..TableISpec::transaction_level(0.5)
+        };
+        let spec_b = TableISpec {
+            n_txns: 40,
+            ..TableISpec::transaction_level(0.9)
+        };
         let points = vec![(spec_a, PolicyKind::Edf), (spec_b, PolicyKind::Srpt)];
         let seeds = [5, 6];
         let grid = run_grid(&points, &seeds).unwrap();
@@ -170,7 +208,10 @@ mod tests {
 
     #[test]
     fn invalid_spec_surfaces_as_error() {
-        let spec = TableISpec { utilization: 0.0, ..TableISpec::transaction_level(0.5) };
+        let spec = TableISpec {
+            utilization: 0.0,
+            ..TableISpec::transaction_level(0.5)
+        };
         assert!(run_averaged(&spec, PolicyKind::Edf, &[1]).is_err());
     }
 }

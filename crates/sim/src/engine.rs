@@ -23,13 +23,13 @@
 use crate::events::{next_event, ArrivalSchedule};
 use crate::stats::{BacklogSample, BacklogSeries, RunStats};
 use crate::trace::{Trace, TraceEvent};
-use asets_core::time::SimDuration;
-use asets_core::txn::TxnPhase;
 use asets_core::dag::DagError;
 use asets_core::metrics::MetricsSummary;
 use asets_core::policy::Scheduler;
 use asets_core::table::TxnTable;
+use asets_core::time::SimDuration;
 use asets_core::time::SimTime;
+use asets_core::txn::TxnPhase;
 use asets_core::txn::{TxnId, TxnOutcome, TxnSpec};
 
 /// The currently executing transaction.
@@ -184,7 +184,11 @@ impl<S: Scheduler> Engine<S> {
         // 2. Deliver arrivals due now.
         for id in self.arrivals.pop_due(t) {
             let ready = self.table.arrive(id, t);
-            self.record(TraceEvent::Arrived { at: t, txn: id, ready });
+            self.record(TraceEvent::Arrived {
+                at: t,
+                txn: id,
+                ready,
+            });
             if ready {
                 self.policy.on_ready(id, &self.table, t);
             } else {
@@ -208,13 +212,20 @@ impl<S: Scheduler> Engine<S> {
                     if let Some(p) = prev_alive {
                         self.table.record_preemption(p);
                         self.stats.preemptions += 1;
-                        self.record(TraceEvent::Preempted { at: t, txn: p, by: choice });
+                        self.record(TraceEvent::Preempted {
+                            at: t,
+                            txn: p,
+                            by: choice,
+                        });
                     }
                     self.record(TraceEvent::Dispatched { at: t, txn: choice });
                 }
                 self.table.start_running(choice);
                 self.stats.dispatches += 1;
-                self.running = Some(Running { txn: choice, since: t });
+                self.running = Some(Running {
+                    txn: choice,
+                    since: t,
+                });
             }
             None => {
                 assert!(
@@ -256,7 +267,12 @@ impl<S: Scheduler> Engine<S> {
                 _ => {}
             }
         }
-        series.samples.push(BacklogSample { at: t, ready, blocked, infeasible });
+        series.samples.push(BacklogSample {
+            at: t,
+            ready,
+            blocked,
+            infeasible,
+        });
     }
 
     fn record(&mut self, e: TraceEvent) {
@@ -285,7 +301,10 @@ mod tests {
 
     #[test]
     fn single_txn_runs_immediately() {
-        let r = Engine::new(vec![ind(0, 10, 4)], Fcfs::new()).unwrap().with_trace().run();
+        let r = Engine::new(vec![ind(0, 10, 4)], Fcfs::new())
+            .unwrap()
+            .with_trace()
+            .run();
         assert_eq!(r.outcomes.len(), 1);
         assert_eq!(r.outcomes[0].finish, at(4));
         assert_eq!(r.summary.avg_tardiness, 0.0);
@@ -318,7 +337,11 @@ mod tests {
         let trace = r.trace.unwrap();
         assert_eq!(trace.completion_order(), vec![TxnId(1), TxnId(0)]);
         assert_eq!(r.outcomes[1].finish, at(3));
-        assert_eq!(r.outcomes[0].finish, at(11), "work-conserving: 10 + 1 total");
+        assert_eq!(
+            r.outcomes[0].finish,
+            at(11),
+            "work-conserving: 10 + 1 total"
+        );
     }
 
     #[test]
@@ -360,7 +383,9 @@ mod tests {
 
     #[test]
     fn idle_gaps_are_accounted() {
-        let r = Engine::new(vec![ind(0, 10, 2), ind(7, 20, 3)], Fcfs::new()).unwrap().run();
+        let r = Engine::new(vec![ind(0, 10, 2), ind(7, 20, 3)], Fcfs::new())
+            .unwrap()
+            .run();
         assert_eq!(r.stats.busy, units(5));
         assert_eq!(r.stats.idle, units(5), "gap from 2 to 7");
         assert_eq!(r.stats.makespan, at(10));
@@ -370,8 +395,14 @@ mod tests {
     fn dependencies_execute_in_order_with_fcfs() {
         // T1 depends on T0 but arrives first; FCFS must not run it early.
         let specs = vec![
-            TxnSpec { deps: vec![], ..ind(5, 30, 2) },
-            TxnSpec { deps: vec![TxnId(0)], ..ind(0, 10, 2) },
+            TxnSpec {
+                deps: vec![],
+                ..ind(5, 30, 2)
+            },
+            TxnSpec {
+                deps: vec![TxnId(0)],
+                ..ind(0, 10, 2)
+            },
         ];
         let r = Engine::new(specs, Fcfs::new()).unwrap().with_trace().run();
         let trace = r.trace.unwrap();
@@ -385,8 +416,14 @@ mod tests {
         // T0 -> T1 -> T2, all at t=0: must run back-to-back.
         let specs = vec![
             ind(0, 100, 2),
-            TxnSpec { deps: vec![TxnId(0)], ..ind(0, 100, 3) },
-            TxnSpec { deps: vec![TxnId(1)], ..ind(0, 100, 4) },
+            TxnSpec {
+                deps: vec![TxnId(0)],
+                ..ind(0, 100, 3)
+            },
+            TxnSpec {
+                deps: vec![TxnId(1)],
+                ..ind(0, 100, 4)
+            },
         ];
         let r = Engine::new(specs, Edf::new()).unwrap().run();
         assert_eq!(r.stats.makespan, at(9));
@@ -398,9 +435,21 @@ mod tests {
         // Same batch, all-busy horizon: every policy finishes at the same
         // makespan (the server never idles while work is pending).
         let specs = vec![ind(0, 5, 4), ind(1, 9, 3), ind(2, 4, 2), ind(3, 30, 5)];
-        let m_fcfs = Engine::new(specs.clone(), Fcfs::new()).unwrap().run().stats.makespan;
-        let m_edf = Engine::new(specs.clone(), Edf::new()).unwrap().run().stats.makespan;
-        let m_srpt = Engine::new(specs, Srpt::new()).unwrap().run().stats.makespan;
+        let m_fcfs = Engine::new(specs.clone(), Fcfs::new())
+            .unwrap()
+            .run()
+            .stats
+            .makespan;
+        let m_edf = Engine::new(specs.clone(), Edf::new())
+            .unwrap()
+            .run()
+            .stats
+            .makespan;
+        let m_srpt = Engine::new(specs, Srpt::new())
+            .unwrap()
+            .run()
+            .stats
+            .makespan;
         assert_eq!(m_fcfs, at(14));
         assert_eq!(m_edf, at(14));
         assert_eq!(m_srpt, at(14));
@@ -452,7 +501,10 @@ mod tests {
         let first = &series.samples[0];
         assert_eq!(first.at, at(0));
         assert_eq!(first.ready, 10);
-        assert!(first.infeasible >= 9, "deadline 1, lengths 5: nearly all hopeless");
+        assert!(
+            first.infeasible >= 9,
+            "deadline 1, lengths 5: nearly all hopeless"
+        );
         assert_eq!(series.peak_ready(), 10);
         // Samples honor the interval: strictly increasing times.
         for w in series.samples.windows(2) {
@@ -464,7 +516,10 @@ mod tests {
     fn backlog_sampling_counts_blocked() {
         let specs = vec![
             ind(0, 100, 5),
-            TxnSpec { deps: vec![TxnId(0)], ..ind(0, 100, 5) },
+            TxnSpec {
+                deps: vec![TxnId(0)],
+                ..ind(0, 100, 5)
+            },
         ];
         let r = Engine::new(specs, Fcfs::new())
             .unwrap()

@@ -54,14 +54,22 @@ mod tests {
         SimTime::from_units_int(u)
     }
     fn ind(arr: u64, dl: u64, len: u64) -> TxnSpec {
-        TxnSpec::independent(at(arr), at(dl), SimDuration::from_units_int(len), Weight::ONE)
+        TxnSpec::independent(
+            at(arr),
+            at(dl),
+            SimDuration::from_units_int(len),
+            Weight::ONE,
+        )
     }
 
     #[test]
     fn simulate_runs_every_policy_kind() {
         let specs = vec![
             ind(0, 5, 4),
-            TxnSpec { deps: vec![TxnId(0)], ..ind(1, 9, 3) },
+            TxnSpec {
+                deps: vec![TxnId(0)],
+                ..ind(1, 9, 3)
+            },
             ind(2, 4, 2),
         ];
         use asets_core::policy::{ActivationMode, ImpactRule};
@@ -74,7 +82,9 @@ mod tests {
             PolicyKind::Asets,
             PolicyKind::Ready,
             PolicyKind::asets_star(),
-            PolicyKind::AsetsStar { impact: ImpactRule::Symmetric },
+            PolicyKind::AsetsStar {
+                impact: ImpactRule::Symmetric,
+            },
             PolicyKind::BalanceAware {
                 impact: ImpactRule::Paper,
                 activation: ActivationMode::time_rate(0.01),
@@ -100,8 +110,14 @@ mod tests {
     #[test]
     fn cycle_is_reported_not_panicked() {
         let specs = vec![
-            TxnSpec { deps: vec![TxnId(1)], ..ind(0, 5, 1) },
-            TxnSpec { deps: vec![TxnId(0)], ..ind(0, 5, 1) },
+            TxnSpec {
+                deps: vec![TxnId(1)],
+                ..ind(0, 5, 1)
+            },
+            TxnSpec {
+                deps: vec![TxnId(0)],
+                ..ind(0, 5, 1)
+            },
         ];
         assert!(simulate(specs, PolicyKind::Edf).is_err());
     }

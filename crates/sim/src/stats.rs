@@ -104,7 +104,12 @@ mod tests {
     fn backlog_series_peaks() {
         let series = BacklogSeries {
             samples: vec![
-                BacklogSample { at: SimTime::ZERO, ready: 2, blocked: 1, infeasible: 0 },
+                BacklogSample {
+                    at: SimTime::ZERO,
+                    ready: 2,
+                    blocked: 1,
+                    infeasible: 0,
+                },
                 BacklogSample {
                     at: SimTime::from_units_int(5),
                     ready: 7,

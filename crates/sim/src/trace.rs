@@ -65,7 +65,12 @@ impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
             TraceEvent::Arrived { at, txn, ready } => {
-                write!(f, "[{:>10.3}] {txn} arrived ({})", at.as_units(), if ready { "ready" } else { "blocked" })
+                write!(
+                    f,
+                    "[{:>10.3}] {txn} arrived ({})",
+                    at.as_units(),
+                    if ready { "ready" } else { "blocked" }
+                )
             }
             TraceEvent::Dispatched { at, txn } => {
                 write!(f, "[{:>10.3}] {txn} dispatched", at.as_units())
@@ -73,12 +78,20 @@ impl fmt::Display for TraceEvent {
             TraceEvent::Preempted { at, txn, by } => {
                 write!(f, "[{:>10.3}] {txn} preempted by {by}", at.as_units())
             }
-            TraceEvent::Completed { at, txn, met_deadline } => {
+            TraceEvent::Completed {
+                at,
+                txn,
+                met_deadline,
+            } => {
                 write!(
                     f,
                     "[{:>10.3}] {txn} completed ({})",
                     at.as_units(),
-                    if met_deadline { "met deadline" } else { "TARDY" }
+                    if met_deadline {
+                        "met deadline"
+                    } else {
+                        "TARDY"
+                    }
                 )
             }
         }
@@ -140,12 +153,13 @@ impl Trace {
         // Reconstruct busy intervals per transaction from the event stream.
         let mut rows: BTreeMap<TxnId, Vec<char>> = BTreeMap::new();
         let mut running: Option<(TxnId, SimTime)> = None;
-        let paint = |rows: &mut BTreeMap<TxnId, Vec<char>>, txn: TxnId, from: SimTime, to: SimTime| {
-            let row = rows.entry(txn).or_insert_with(|| vec![' '; width]);
-            for c in row.iter_mut().take(col(to) + 1).skip(col(from)) {
-                *c = '#';
-            }
-        };
+        let paint =
+            |rows: &mut BTreeMap<TxnId, Vec<char>>, txn: TxnId, from: SimTime, to: SimTime| {
+                let row = rows.entry(txn).or_insert_with(|| vec![' '; width]);
+                for c in row.iter_mut().take(col(to) + 1).skip(col(from)) {
+                    *c = '#';
+                }
+            };
         for e in &self.events {
             match *e {
                 TraceEvent::Arrived { txn, .. } => {
@@ -197,13 +211,38 @@ mod tests {
     fn accessors_filter_by_kind() {
         let trace = Trace {
             events: vec![
-                TraceEvent::Arrived { at: at(0), txn: TxnId(0), ready: true },
-                TraceEvent::Dispatched { at: at(0), txn: TxnId(0) },
-                TraceEvent::Preempted { at: at(1), txn: TxnId(0), by: TxnId(1) },
-                TraceEvent::Dispatched { at: at(1), txn: TxnId(1) },
-                TraceEvent::Completed { at: at(2), txn: TxnId(1), met_deadline: true },
-                TraceEvent::Dispatched { at: at(2), txn: TxnId(0) },
-                TraceEvent::Completed { at: at(3), txn: TxnId(0), met_deadline: false },
+                TraceEvent::Arrived {
+                    at: at(0),
+                    txn: TxnId(0),
+                    ready: true,
+                },
+                TraceEvent::Dispatched {
+                    at: at(0),
+                    txn: TxnId(0),
+                },
+                TraceEvent::Preempted {
+                    at: at(1),
+                    txn: TxnId(0),
+                    by: TxnId(1),
+                },
+                TraceEvent::Dispatched {
+                    at: at(1),
+                    txn: TxnId(1),
+                },
+                TraceEvent::Completed {
+                    at: at(2),
+                    txn: TxnId(1),
+                    met_deadline: true,
+                },
+                TraceEvent::Dispatched {
+                    at: at(2),
+                    txn: TxnId(0),
+                },
+                TraceEvent::Completed {
+                    at: at(3),
+                    txn: TxnId(0),
+                    met_deadline: false,
+                },
             ],
         };
         assert_eq!(trace.completion_order(), vec![TxnId(1), TxnId(0)]);
@@ -218,14 +257,43 @@ mod tests {
     fn gantt_renders_busy_intervals() {
         let trace = Trace {
             events: vec![
-                TraceEvent::Arrived { at: at(0), txn: TxnId(0), ready: true },
-                TraceEvent::Dispatched { at: at(0), txn: TxnId(0) },
-                TraceEvent::Arrived { at: at(5), txn: TxnId(1), ready: true },
-                TraceEvent::Preempted { at: at(5), txn: TxnId(0), by: TxnId(1) },
-                TraceEvent::Dispatched { at: at(5), txn: TxnId(1) },
-                TraceEvent::Completed { at: at(7), txn: TxnId(1), met_deadline: true },
-                TraceEvent::Dispatched { at: at(7), txn: TxnId(0) },
-                TraceEvent::Completed { at: at(10), txn: TxnId(0), met_deadline: false },
+                TraceEvent::Arrived {
+                    at: at(0),
+                    txn: TxnId(0),
+                    ready: true,
+                },
+                TraceEvent::Dispatched {
+                    at: at(0),
+                    txn: TxnId(0),
+                },
+                TraceEvent::Arrived {
+                    at: at(5),
+                    txn: TxnId(1),
+                    ready: true,
+                },
+                TraceEvent::Preempted {
+                    at: at(5),
+                    txn: TxnId(0),
+                    by: TxnId(1),
+                },
+                TraceEvent::Dispatched {
+                    at: at(5),
+                    txn: TxnId(1),
+                },
+                TraceEvent::Completed {
+                    at: at(7),
+                    txn: TxnId(1),
+                    met_deadline: true,
+                },
+                TraceEvent::Dispatched {
+                    at: at(7),
+                    txn: TxnId(0),
+                },
+                TraceEvent::Completed {
+                    at: at(10),
+                    txn: TxnId(0),
+                    met_deadline: false,
+                },
             ],
         };
         let g = trace.render_gantt(40);
@@ -244,7 +312,11 @@ mod tests {
 
     #[test]
     fn display_is_readable() {
-        let e = TraceEvent::Completed { at: at(5), txn: TxnId(3), met_deadline: false };
+        let e = TraceEvent::Completed {
+            at: at(5),
+            txn: TxnId(3),
+            met_deadline: false,
+        };
         let s = e.to_string();
         assert!(s.contains("T3") && s.contains("TARDY"), "{s}");
         assert_eq!(e.at(), at(5));

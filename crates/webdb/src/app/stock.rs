@@ -38,7 +38,12 @@ pub struct StockDbParams {
 
 impl Default for StockDbParams {
     fn default() -> Self {
-        StockDbParams { n_stocks: 500, n_users: 50, holdings_per_user: 12, alerts_per_user: 4 }
+        StockDbParams {
+            n_stocks: 500,
+            n_users: 50,
+            holdings_per_user: 12,
+            alerts_per_user: 4,
+        }
     }
 }
 
@@ -134,11 +139,9 @@ pub fn stock_page_template(user_id: i64) -> PageTemplate {
     // G2: the user's portfolio joined with current prices.
     let portfolio = Fragment::new(
         "portfolio",
-        Plan::scan("portfolios").filter(uid.clone()).join(
-            Plan::scan("stocks"),
-            "symbol",
-            "symbol",
-        ),
+        Plan::scan("portfolios")
+            .filter(uid.clone())
+            .join(Plan::scan("stocks"), "symbol", "symbol"),
         SimDuration::from_units_int(30),
         Weight(4),
     )
@@ -189,9 +192,10 @@ pub fn stock_page_template(user_id: i64) -> PageTemplate {
     )
     .after(vec![FragmentId(1)]);
 
-    PageTemplate::new(format!("stock-page-user-{user_id}"), vec![
-        prices, portfolio, value, alerts,
-    ])
+    PageTemplate::new(
+        format!("stock-page-user-{user_id}"),
+        vec![prices, portfolio, value, alerts],
+    )
     .expect("static template is valid")
 }
 
@@ -213,14 +217,22 @@ mod tests {
     use crate::query::cost::CostModel;
 
     fn small() -> StockDbParams {
-        StockDbParams { n_stocks: 60, n_users: 5, holdings_per_user: 6, alerts_per_user: 3 }
+        StockDbParams {
+            n_stocks: 60,
+            n_users: 5,
+            holdings_per_user: 6,
+            alerts_per_user: 3,
+        }
     }
 
     #[test]
     fn database_populates_deterministically() {
         let a = stock_database(&small(), 7).unwrap();
         let b = stock_database(&small(), 7).unwrap();
-        assert_eq!(a.table("stocks").unwrap().rows(), b.table("stocks").unwrap().rows());
+        assert_eq!(
+            a.table("stocks").unwrap().rows(),
+            b.table("stocks").unwrap().rows()
+        );
         assert_eq!(a.table("stocks").unwrap().len(), 60);
         assert_eq!(a.table("portfolios").unwrap().len(), 30);
         assert_eq!(a.table("alerts").unwrap().len(), 15);
@@ -248,8 +260,14 @@ mod tests {
         let page = render(&stock_page_template(2), &db).unwrap();
         assert_eq!(page.fragments.len(), 4);
         assert_eq!(page.fragments[0].row_count, 60, "prices lists every stock");
-        assert_eq!(page.fragments[1].row_count, 6, "portfolio has the user's holdings");
-        assert_eq!(page.fragments[2].row_count, 1, "value is a single aggregate");
+        assert_eq!(
+            page.fragments[1].row_count, 6,
+            "portfolio has the user's holdings"
+        );
+        assert_eq!(
+            page.fragments[2].row_count, 1,
+            "value is a single aggregate"
+        );
         assert!(page.fragments[2].html.contains("portfolio_value"));
     }
 
@@ -283,8 +301,7 @@ mod tests {
     fn compiled_stock_workload_runs_under_asets_star() {
         let db = stock_database(&small(), 9).unwrap();
         let requests = stock_requests(5, SimDuration::from_units_int(6));
-        let (specs, binding) =
-            compile_requests(&requests, &db, &CostModel::default()).unwrap();
+        let (specs, binding) = compile_requests(&requests, &db, &CostModel::default()).unwrap();
         assert_eq!(specs.len(), 20);
         // Lengths in a sane range for the paper's model.
         for s in &specs {

@@ -93,7 +93,13 @@ pub fn plan_tables(plan: &Plan) -> Vec<String> {
 impl FragmentCache {
     /// An empty cache.
     pub fn new(config: CacheConfig) -> FragmentCache {
-        FragmentCache { config, entries: HashMap::new(), hits: 0, misses: 0, stale_hits: 0 }
+        FragmentCache {
+            config,
+            entries: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            stale_hits: 0,
+        }
     }
 
     /// The configuration.
@@ -132,13 +138,23 @@ impl FragmentCache {
                 if entry.table_versions != current_versions {
                     self.stale_hits += 1;
                 }
-                CacheOutcome::Hit { fresh_until: entry.expiry }
+                CacheOutcome::Hit {
+                    fresh_until: entry.expiry,
+                }
             }
             _ => {
                 self.misses += 1;
                 let expiry = now + self.config.ttl;
-                self.entries.insert(key, Entry { expiry, table_versions: current_versions });
-                CacheOutcome::Miss { fresh_until: expiry }
+                self.entries.insert(
+                    key,
+                    Entry {
+                        expiry,
+                        table_versions: current_versions,
+                    },
+                );
+                CacheOutcome::Miss {
+                    fresh_until: expiry,
+                }
             }
         }
     }
@@ -301,7 +317,8 @@ mod tests {
         ])
         .unwrap();
         let mut t = Table::with_primary_key("stocks", schema, "symbol").unwrap();
-        t.insert(vec![Value::str("AAPL"), Value::Float(100.0)]).unwrap();
+        t.insert(vec![Value::str("AAPL"), Value::Float(100.0)])
+            .unwrap();
         db.create(t).unwrap();
 
         let plan = Plan::scan("stocks");
@@ -326,9 +343,9 @@ mod tests {
 
     #[test]
     fn plan_tables_extracts_base_tables() {
-        let p = Plan::scan("a").join(Plan::scan("b"), "x", "x").filter(
-            Expr::col("x").eq(Expr::lit(Value::Int(1))),
-        );
+        let p = Plan::scan("a")
+            .join(Plan::scan("b"), "x", "x")
+            .filter(Expr::col("x").eq(Expr::lit(Value::Int(1))));
         assert_eq!(plan_tables(&p), vec!["a".to_string(), "b".to_string()]);
         let p2 = Plan::scan("a").join(Plan::scan("a"), "x", "x");
         assert_eq!(plan_tables(&p2), vec!["a".to_string()], "deduplicated");

@@ -69,8 +69,7 @@ impl PageBinding {
             let p = &mut pages[page];
             p.finish = p.finish.max(o.finish);
             p.total_tardiness += o.tardiness().as_units();
-            p.total_weighted_tardiness +=
-                o.tardiness().as_units() * o.weight.get() as f64;
+            p.total_weighted_tardiness += o.tardiness().as_units() * o.weight.get() as f64;
             if !o.met_deadline() {
                 p.missed_fragments += 1;
             }
@@ -137,11 +136,7 @@ fn compile_inner(
             } else {
                 cost.profile(&plan, db)?.as_duration()
             };
-            let deps = frag
-                .depends_on
-                .iter()
-                .map(|d| TxnId(base + d.0))
-                .collect();
+            let deps = frag.depends_on.iter().map(|d| TxnId(base + d.0)).collect();
             specs.push(TxnSpec {
                 arrival: req.submit,
                 deadline: req.submit + frag.sla,
@@ -152,7 +147,14 @@ fn compile_inner(
             of_txn.push((p, f));
         }
     }
-    Ok((specs, PageBinding { of_txn, first_txn, fragment_count }))
+    Ok((
+        specs,
+        PageBinding {
+            of_txn,
+            first_txn,
+            fragment_count,
+        },
+    ))
 }
 
 #[cfg(test)]
@@ -182,9 +184,19 @@ mod tests {
         PageTemplate::new(
             "page",
             vec![
-                Fragment::new("a", Plan::scan("t"), SimDuration::from_units_int(10), Weight(1)),
-                Fragment::new("b", Plan::scan("t"), SimDuration::from_units_int(5), Weight(9))
-                    .after(vec![FragmentId(0)]),
+                Fragment::new(
+                    "a",
+                    Plan::scan("t"),
+                    SimDuration::from_units_int(10),
+                    Weight(1),
+                ),
+                Fragment::new(
+                    "b",
+                    Plan::scan("t"),
+                    SimDuration::from_units_int(5),
+                    Weight(9),
+                )
+                .after(vec![FragmentId(0)]),
             ],
         )
         .unwrap()
@@ -192,8 +204,14 @@ mod tests {
 
     fn requests() -> Vec<PageRequest> {
         vec![
-            PageRequest { template: template(), submit: SimTime::from_units_int(0) },
-            PageRequest { template: template(), submit: SimTime::from_units_int(7) },
+            PageRequest {
+                template: template(),
+                submit: SimTime::from_units_int(0),
+            },
+            PageRequest {
+                template: template(),
+                submit: SimTime::from_units_int(7),
+            },
         ]
     }
 
@@ -209,7 +227,11 @@ mod tests {
     fn deadlines_are_submit_plus_sla() {
         let (specs, _) = compile_requests(&requests(), &db(), &CostModel::default()).unwrap();
         assert_eq!(specs[0].deadline, SimTime::from_units_int(10));
-        assert_eq!(specs[3].deadline, SimTime::from_units_int(12), "submit 7 + sla 5");
+        assert_eq!(
+            specs[3].deadline,
+            SimTime::from_units_int(12),
+            "submit 7 + sla 5"
+        );
         assert_eq!(specs[2].arrival, SimTime::from_units_int(7));
     }
 
@@ -280,7 +302,10 @@ mod tests {
         });
         let (specs, _) = compile_requests_cached(&requests(), &db, &cost, &mut cache).unwrap();
         let full = cost.profile(&Plan::scan("t"), &db).unwrap().as_duration();
-        assert_eq!(specs[2].length, full, "stale by submit time 7: full cost again");
+        assert_eq!(
+            specs[2].length, full,
+            "stale by submit time 7: full cost again"
+        );
     }
 
     #[test]

@@ -168,7 +168,9 @@ impl CompiledExpr {
         match self.eval(row)? {
             Value::Bool(b) => Ok(b),
             Value::Null => Ok(false),
-            other => Err(EvalError(format!("predicate evaluated to non-boolean `{other}`"))),
+            other => Err(EvalError(format!(
+                "predicate evaluated to non-boolean `{other}`"
+            ))),
         }
     }
 }
@@ -253,7 +255,12 @@ mod tests {
     }
 
     fn row() -> Row {
-        vec![Value::str("AAPL"), Value::Float(150.0), Value::Int(4), Value::Null]
+        vec![
+            Value::str("AAPL"),
+            Value::Float(150.0),
+            Value::Int(4),
+            Value::Null,
+        ]
     }
 
     fn eval(e: Expr) -> Value {
@@ -298,7 +305,11 @@ mod tests {
     #[test]
     fn division_by_zero_is_null() {
         assert_eq!(
-            eval(Expr::bin(BinOp::Div, Expr::col("price"), Expr::lit(Value::Int(0)))),
+            eval(Expr::bin(
+                BinOp::Div,
+                Expr::col("price"),
+                Expr::lit(Value::Int(0))
+            )),
             Value::Null
         );
     }
@@ -322,7 +333,10 @@ mod tests {
 
     #[test]
     fn abs_and_is_null() {
-        assert_eq!(eval(Expr::Abs(Box::new(Expr::lit(Value::Int(-5))))), Value::Int(5));
+        assert_eq!(
+            eval(Expr::Abs(Box::new(Expr::lit(Value::Int(-5))))),
+            Value::Int(5)
+        );
         assert_eq!(
             eval(Expr::IsNull(Box::new(Expr::col("note")))),
             Value::Bool(true)

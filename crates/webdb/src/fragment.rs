@@ -51,7 +51,13 @@ pub struct Fragment {
 impl Fragment {
     /// Builder-style constructor for an independent fragment.
     pub fn new(name: impl Into<String>, plan: Plan, sla: SimDuration, weight: Weight) -> Fragment {
-        Fragment { name: name.into(), plan, sla, weight, depends_on: Vec::new() }
+        Fragment {
+            name: name.into(),
+            plan,
+            sla,
+            weight,
+            depends_on: Vec::new(),
+        }
     }
 
     /// Author a fragment directly in SQL.
@@ -61,7 +67,12 @@ impl Fragment {
         sla: SimDuration,
         weight: Weight,
     ) -> Result<Fragment, crate::sql::ParseError> {
-        Ok(Fragment::new(name, crate::sql::parse_query(sql)?, sla, weight))
+        Ok(Fragment::new(
+            name,
+            crate::sql::parse_query(sql)?,
+            sla,
+            weight,
+        ))
     }
 
     /// Add intra-page dependencies.

@@ -59,8 +59,10 @@ impl PageTemplate {
             }
         }
         // Kahn cycle check.
-        let mut indeg: Vec<u32> =
-            fragments.iter().map(|f| f.depends_on.len() as u32).collect();
+        let mut indeg: Vec<u32> = fragments
+            .iter()
+            .map(|f| f.depends_on.len() as u32)
+            .collect();
         let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
         let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
         for (i, f) in fragments.iter().enumerate() {
@@ -81,7 +83,10 @@ impl PageTemplate {
         if seen != n {
             return Err(TemplateError::Cycle);
         }
-        Ok(PageTemplate { name: name.into(), fragments })
+        Ok(PageTemplate {
+            name: name.into(),
+            fragments,
+        })
     }
 
     /// Template name.
@@ -97,8 +102,11 @@ impl PageTemplate {
     /// Fragment ids in a dependency-respecting order.
     pub fn topo_order(&self) -> Vec<FragmentId> {
         let n = self.fragments.len();
-        let mut indeg: Vec<u32> =
-            self.fragments.iter().map(|f| f.depends_on.len() as u32).collect();
+        let mut indeg: Vec<u32> = self
+            .fragments
+            .iter()
+            .map(|f| f.depends_on.len() as u32)
+            .collect();
         let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
         for (i, f) in self.fragments.iter().enumerate() {
             for d in &f.depends_on {
@@ -185,12 +193,18 @@ pub fn render(template: &PageTemplate, db: &Database) -> Result<RenderedPage, Qu
             html.push_str("</tr>");
         }
         html.push_str("</table></div>");
-        rendered[id.index()] =
-            Some(RenderedFragment { name: frag.name.clone(), row_count: result.rows.len(), html });
+        rendered[id.index()] = Some(RenderedFragment {
+            name: frag.name.clone(),
+            row_count: result.rows.len(),
+            html,
+        });
     }
     Ok(RenderedPage {
         name: template.name().to_string(),
-        fragments: rendered.into_iter().map(|f| f.expect("topo covered all")).collect(),
+        fragments: rendered
+            .into_iter()
+            .map(|f| f.expect("topo covered all"))
+            .collect(),
     })
 }
 
@@ -205,8 +219,13 @@ mod tests {
     use asets_core::txn::Weight;
 
     fn frag(name: &str, deps: Vec<FragmentId>) -> Fragment {
-        Fragment::new(name, Plan::scan("t"), SimDuration::from_units_int(10), Weight::ONE)
-            .after(deps)
+        Fragment::new(
+            name,
+            Plan::scan("t"),
+            SimDuration::from_units_int(10),
+            Weight::ONE,
+        )
+        .after(deps)
     }
 
     fn db() -> Database {
@@ -221,7 +240,10 @@ mod tests {
 
     #[test]
     fn template_validation() {
-        assert_eq!(PageTemplate::new("p", vec![]).unwrap_err(), TemplateError::Empty);
+        assert_eq!(
+            PageTemplate::new("p", vec![]).unwrap_err(),
+            TemplateError::Empty
+        );
         assert_eq!(
             PageTemplate::new("p", vec![frag("a", vec![FragmentId(5)])]).unwrap_err(),
             TemplateError::BadDependency(FragmentId(5))
@@ -229,7 +251,10 @@ mod tests {
         assert_eq!(
             PageTemplate::new(
                 "p",
-                vec![frag("a", vec![FragmentId(1)]), frag("b", vec![FragmentId(0)])]
+                vec![
+                    frag("a", vec![FragmentId(1)]),
+                    frag("b", vec![FragmentId(0)])
+                ]
             )
             .unwrap_err(),
             TemplateError::Cycle

@@ -91,7 +91,10 @@ impl CostModel {
     /// Profile a plan by executing it against the current data.
     pub fn profile(&self, plan: &Plan, db: &Database) -> Result<PlanCost, QueryError> {
         let result = execute(plan, db)?;
-        Ok(PlanCost { units: self.units_for(&result.stats), stats: result.stats })
+        Ok(PlanCost {
+            units: self.units_for(&result.stats),
+            stats: result.stats,
+        })
     }
 }
 
@@ -112,7 +115,8 @@ mod tests {
         .unwrap();
         let mut t = Table::new("stocks", schema);
         for i in 0..n {
-            t.insert(vec![Value::Int(i as i64), Value::Float(i as f64)]).unwrap();
+            t.insert(vec![Value::Int(i as i64), Value::Float(i as f64)])
+                .unwrap();
         }
         db.create(t).unwrap();
         db
@@ -139,7 +143,9 @@ mod tests {
             .unwrap();
         // The filter adds predicate work even though it outputs nothing.
         assert!(filtered.units > scan.units - scan.stats.rows_output as f64 * m.output_row);
-        let sorted = m.profile(&Plan::scan("stocks").sort("price", false), &d).unwrap();
+        let sorted = m
+            .profile(&Plan::scan("stocks").sort("price", false), &d)
+            .unwrap();
         assert!(sorted.units > scan.units);
     }
 
@@ -177,7 +183,10 @@ mod tests {
 
     #[test]
     fn duration_conversion_floors_at_one_tick() {
-        let c = PlanCost { units: 0.0, stats: ExecStats::default() };
+        let c = PlanCost {
+            units: 0.0,
+            stats: ExecStats::default(),
+        };
         assert_eq!(c.as_duration(), SimDuration::from_ticks(1));
     }
 }

@@ -50,10 +50,18 @@ pub fn execute(plan: &Plan, db: &Database) -> Result<ResultSet, QueryError> {
     let mut stats = ExecStats::default();
     let (schema, rows) = run(plan, db, &mut stats)?;
     stats.rows_output = rows.len() as u64;
-    Ok(ResultSet { schema, rows, stats })
+    Ok(ResultSet {
+        schema,
+        rows,
+        stats,
+    })
 }
 
-fn run(plan: &Plan, db: &Database, stats: &mut ExecStats) -> Result<(Schema, Vec<Row>), QueryError> {
+fn run(
+    plan: &Plan,
+    db: &Database,
+    stats: &mut ExecStats,
+) -> Result<(Schema, Vec<Row>), QueryError> {
     match plan {
         Plan::Scan { table } => {
             let t = db.table(table)?;
@@ -68,7 +76,10 @@ fn run(plan: &Plan, db: &Database, stats: &mut ExecStats) -> Result<(Schema, Vec
                 )));
             }
             stats.index_lookups += 1;
-            let rows = t.get_by_key(key).map(|r| vec![r.clone()]).unwrap_or_default();
+            let rows = t
+                .get_by_key(key)
+                .map(|r| vec![r.clone()])
+                .unwrap_or_default();
             Ok((t.schema().clone(), rows))
         }
         Plan::Filter { input, predicate } => {
@@ -101,7 +112,12 @@ fn run(plan: &Plan, db: &Database, stats: &mut ExecStats) -> Result<(Schema, Vec
             }
             Ok((out_schema, out))
         }
-        Plan::Join { left, right, left_col, right_col } => {
+        Plan::Join {
+            left,
+            right,
+            left_col,
+            right_col,
+        } => {
             let (ls, lrows) = run(left, db, stats)?;
             let (rs, rrows) = run(right, db, stats)?;
             let li = ls.index_of(left_col)?;
@@ -132,10 +148,17 @@ fn run(plan: &Plan, db: &Database, stats: &mut ExecStats) -> Result<(Schema, Vec
             }
             Ok((out_schema, out))
         }
-        Plan::Aggregate { input, group_by, aggs } => {
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
             let (schema, rows) = run(input, db, stats)?;
             let out_schema = plan.output_schema(db)?;
-            let group_idx = group_by.as_deref().map(|g| schema.index_of(g)).transpose()?;
+            let group_idx = group_by
+                .as_deref()
+                .map(|g| schema.index_of(g))
+                .transpose()?;
             let agg_idx: Vec<Option<usize>> = aggs
                 .iter()
                 .map(|a| a.input.as_deref().map(|c| schema.index_of(c)).transpose())
@@ -237,9 +260,9 @@ impl AggAcc {
                 if v.is_null() {
                     return Ok(());
                 }
-                let f = v.as_f64().ok_or_else(|| {
-                    QueryError::Plan(format!("aggregating non-numeric `{v}`"))
-                })?;
+                let f = v
+                    .as_f64()
+                    .ok_or_else(|| QueryError::Plan(format!("aggregating non-numeric `{v}`")))?;
                 if let Some(i) = v.as_i64() {
                     self.int_sum = self.int_sum.wrapping_add(i);
                 } else {
@@ -253,7 +276,11 @@ impl AggAcc {
                 if v.is_null() {
                     return Ok(());
                 }
-                let slot = if self.func == AggFunc::Min { &mut self.min } else { &mut self.max };
+                let slot = if self.func == AggFunc::Min {
+                    &mut self.min
+                } else {
+                    &mut self.max
+                };
                 let better = match slot.as_ref() {
                     None => true,
                     Some(cur) => {
@@ -320,7 +347,8 @@ mod tests {
             ("XOM", 100.0, "energy"),
             ("CVX", 160.0, "energy"),
         ] {
-            t.insert(vec![Value::str(s), Value::Float(p), Value::str(sec)]).unwrap();
+            t.insert(vec![Value::str(s), Value::Float(p), Value::str(sec)])
+                .unwrap();
         }
         db.create(t).unwrap();
 
@@ -358,7 +386,10 @@ mod tests {
         use crate::expr::BinOp;
         let p = Plan::scan("holdings").project(vec![
             ("symbol", Expr::col("symbol")),
-            ("double_qty", Expr::bin(BinOp::Mul, Expr::col("qty"), Expr::lit(Value::Int(2)))),
+            (
+                "double_qty",
+                Expr::bin(BinOp::Mul, Expr::col("qty"), Expr::lit(Value::Int(2))),
+            ),
         ]);
         let r = execute(&p, &db()).unwrap();
         assert_eq!(r.rows[0], vec![Value::str("AAPL"), Value::Int(20)]);
@@ -374,7 +405,11 @@ mod tests {
         assert_eq!(r.stats.rows_probed, 2, "holdings side probed");
         // Joined row: symbol, qty, r.symbol, price, sector.
         assert_eq!(r.schema.len(), 5);
-        let aapl = r.rows.iter().find(|row| row[0] == Value::str("AAPL")).unwrap();
+        let aapl = r
+            .rows
+            .iter()
+            .find(|row| row[0] == Value::str("AAPL"))
+            .unwrap();
         assert_eq!(aapl[3], Value::Float(150.0));
     }
 
@@ -383,9 +418,21 @@ mod tests {
         let p = Plan::scan("stocks").aggregate(
             None,
             vec![
-                AggSpec { output: "n".into(), func: AggFunc::Count, input: None },
-                AggSpec { output: "avg_p".into(), func: AggFunc::Avg, input: Some("price".into()) },
-                AggSpec { output: "max_p".into(), func: AggFunc::Max, input: Some("price".into()) },
+                AggSpec {
+                    output: "n".into(),
+                    func: AggFunc::Count,
+                    input: None,
+                },
+                AggSpec {
+                    output: "avg_p".into(),
+                    func: AggFunc::Avg,
+                    input: Some("price".into()),
+                },
+                AggSpec {
+                    output: "max_p".into(),
+                    func: AggFunc::Max,
+                    input: Some("price".into()),
+                },
             ],
         );
         let r = execute(&p, &db()).unwrap();
@@ -402,8 +449,16 @@ mod tests {
             .aggregate(
                 None,
                 vec![
-                    AggSpec { output: "n".into(), func: AggFunc::Count, input: None },
-                    AggSpec { output: "s".into(), func: AggFunc::Sum, input: Some("price".into()) },
+                    AggSpec {
+                        output: "n".into(),
+                        func: AggFunc::Count,
+                        input: None,
+                    },
+                    AggSpec {
+                        output: "s".into(),
+                        func: AggFunc::Sum,
+                        input: Some("price".into()),
+                    },
                 ],
             );
         let r = execute(&p, &db()).unwrap();
@@ -414,7 +469,11 @@ mod tests {
     fn grouped_aggregate() {
         let p = Plan::scan("stocks").aggregate(
             Some("sector"),
-            vec![AggSpec { output: "n".into(), func: AggFunc::Count, input: None }],
+            vec![AggSpec {
+                output: "n".into(),
+                func: AggFunc::Count,
+                input: None,
+            }],
         );
         let r = execute(&p, &db()).unwrap();
         assert_eq!(r.rows.len(), 2);
@@ -427,7 +486,11 @@ mod tests {
     fn sum_of_ints_stays_int() {
         let p = Plan::scan("holdings").aggregate(
             None,
-            vec![AggSpec { output: "total".into(), func: AggFunc::Sum, input: Some("qty".into()) }],
+            vec![AggSpec {
+                output: "total".into(),
+                func: AggFunc::Sum,
+                input: Some("qty".into()),
+            }],
         );
         let r = execute(&p, &db()).unwrap();
         assert_eq!(r.rows[0][0], Value::Int(15));

@@ -7,6 +7,6 @@ pub mod optimize;
 pub mod plan;
 
 pub use cost::{CostModel, PlanCost};
-pub use optimize::optimize;
 pub use exec::{execute, ExecStats, ResultSet};
+pub use optimize::optimize;
 pub use plan::{AggFunc, Plan, QueryError};

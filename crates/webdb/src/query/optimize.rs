@@ -30,31 +30,52 @@ fn rewrite(plan: Plan, db: &Database) -> Plan {
     // Rewrite children first.
     let plan = match plan {
         Plan::Scan { .. } | Plan::IndexLookup { .. } => plan,
-        Plan::Filter { input, predicate } => {
-            Plan::Filter { input: Box::new(rewrite(*input, db)), predicate }
-        }
-        Plan::Project { input, columns } => {
-            Plan::Project { input: Box::new(rewrite(*input, db)), columns }
-        }
-        Plan::Join { left, right, left_col, right_col } => Plan::Join {
+        Plan::Filter { input, predicate } => Plan::Filter {
+            input: Box::new(rewrite(*input, db)),
+            predicate,
+        },
+        Plan::Project { input, columns } => Plan::Project {
+            input: Box::new(rewrite(*input, db)),
+            columns,
+        },
+        Plan::Join {
+            left,
+            right,
+            left_col,
+            right_col,
+        } => Plan::Join {
             left: Box::new(rewrite(*left, db)),
             right: Box::new(rewrite(*right, db)),
             left_col,
             right_col,
         },
-        Plan::Aggregate { input, group_by, aggs } => {
-            Plan::Aggregate { input: Box::new(rewrite(*input, db)), group_by, aggs }
-        }
-        Plan::Sort { input, by, desc } => {
-            Plan::Sort { input: Box::new(rewrite(*input, db)), by, desc }
-        }
-        Plan::Limit { input, n } => Plan::Limit { input: Box::new(rewrite(*input, db)), n },
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => Plan::Aggregate {
+            input: Box::new(rewrite(*input, db)),
+            group_by,
+            aggs,
+        },
+        Plan::Sort { input, by, desc } => Plan::Sort {
+            input: Box::new(rewrite(*input, db)),
+            by,
+            desc,
+        },
+        Plan::Limit { input, n } => Plan::Limit {
+            input: Box::new(rewrite(*input, db)),
+            n,
+        },
     };
     // Then rewrite this node.
     match plan {
         // Filter fusion.
         Plan::Filter { input, predicate } => match *input {
-            Plan::Filter { input: inner, predicate: first } => rewrite(
+            Plan::Filter {
+                input: inner,
+                predicate: first,
+            } => rewrite(
                 Plan::Filter {
                     input: inner,
                     predicate: Expr::bin(BinOp::And, first, predicate),
@@ -65,10 +86,16 @@ fn rewrite(plan: Plan, db: &Database) -> Plan {
                 if let Some(key) = pk_equality(&predicate, &table, db) {
                     Plan::IndexLookup { table, key }
                 } else {
-                    Plan::Filter { input: Box::new(Plan::Scan { table }), predicate }
+                    Plan::Filter {
+                        input: Box::new(Plan::Scan { table }),
+                        predicate,
+                    }
                 }
             }
-            other => Plan::Filter { input: Box::new(other), predicate },
+            other => Plan::Filter {
+                input: Box::new(other),
+                predicate,
+            },
         },
         other => other,
     }
@@ -82,9 +109,7 @@ fn pk_equality(predicate: &Expr, table: &str, db: &Database) -> Option<Value> {
         return None;
     };
     match (l.as_ref(), r.as_ref()) {
-        (Expr::Col(c), Expr::Lit(v)) | (Expr::Lit(v), Expr::Col(c)) if c == pk => {
-            Some(v.clone())
-        }
+        (Expr::Col(c), Expr::Lit(v)) | (Expr::Lit(v), Expr::Col(c)) if c == pk => Some(v.clone()),
         _ => None,
     }
 }
@@ -110,7 +135,8 @@ mod tests {
         }
         // Filler rows so a full scan visibly out-costs an index probe.
         for i in 0..200 {
-            t.insert(vec![Value::str(format!("F{i:03}")), Value::Float(i as f64)]).unwrap();
+            t.insert(vec![Value::str(format!("F{i:03}")), Value::Float(i as f64)])
+                .unwrap();
         }
         db.create(t).unwrap();
         let nk = Schema::new(vec![Column::required("x", ValueType::Int)]).unwrap();
@@ -125,7 +151,10 @@ mod tests {
         let opt = optimize(&plan, &db()).unwrap();
         assert_eq!(
             opt,
-            Plan::IndexLookup { table: "stocks".into(), key: Value::str("AAPL") }
+            Plan::IndexLookup {
+                table: "stocks".into(),
+                key: Value::str("AAPL")
+            }
         );
     }
 
@@ -145,7 +174,10 @@ mod tests {
         assert!(matches!(opt, Plan::Filter { .. }));
         let plan = Plan::scan("nokey").filter(Expr::col("x").eq(Expr::lit(Value::Int(1))));
         let opt = optimize(&plan, &db()).unwrap();
-        assert!(matches!(opt, Plan::Filter { .. }), "no primary key, no rewrite");
+        assert!(
+            matches!(opt, Plan::Filter { .. }),
+            "no primary key, no rewrite"
+        );
     }
 
     #[test]
@@ -154,7 +186,9 @@ mod tests {
             .filter(Expr::col("price").gt(Expr::lit(Value::Float(120.0))))
             .filter(Expr::col("price").gt(Expr::lit(Value::Float(200.0))));
         let opt = optimize(&plan, &db()).unwrap();
-        let Plan::Filter { input, predicate } = &opt else { panic!("{opt:?}") };
+        let Plan::Filter { input, predicate } = &opt else {
+            panic!("{opt:?}")
+        };
         assert!(matches!(**input, Plan::Scan { .. }));
         assert!(matches!(predicate, Expr::Bin(BinOp::And, _, _)));
     }
@@ -166,8 +200,12 @@ mod tests {
             .join(Plan::scan("stocks"), "symbol", "symbol")
             .sort("price", true);
         let opt = optimize(&plan, &db()).unwrap();
-        let Plan::Sort { input, .. } = &opt else { panic!() };
-        let Plan::Join { left, .. } = &**input else { panic!() };
+        let Plan::Sort { input, .. } = &opt else {
+            panic!()
+        };
+        let Plan::Join { left, .. } = &**input else {
+            panic!()
+        };
         assert!(matches!(**left, Plan::IndexLookup { .. }));
     }
 
@@ -179,8 +217,7 @@ mod tests {
             Plan::scan("stocks")
                 .filter(Expr::col("price").gt(Expr::lit(Value::Float(90.0))))
                 .filter(Expr::col("price").gt(Expr::lit(Value::Float(120.0)))),
-            Plan::scan("stocks")
-                .filter(Expr::col("symbol").eq(Expr::lit(Value::str("nope")))),
+            Plan::scan("stocks").filter(Expr::col("symbol").eq(Expr::lit(Value::str("nope")))),
         ];
         for plan in plans {
             let original = execute(&plan, &d).unwrap();

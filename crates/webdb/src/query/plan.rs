@@ -152,19 +152,27 @@ impl From<EvalError> for QueryError {
 impl Plan {
     /// Scan builder.
     pub fn scan(table: impl Into<String>) -> Plan {
-        Plan::Scan { table: table.into() }
+        Plan::Scan {
+            table: table.into(),
+        }
     }
 
     /// Filter builder.
     pub fn filter(self, predicate: Expr) -> Plan {
-        Plan::Filter { input: Box::new(self), predicate }
+        Plan::Filter {
+            input: Box::new(self),
+            predicate,
+        }
     }
 
     /// Projection builder.
     pub fn project(self, columns: Vec<(&str, Expr)>) -> Plan {
         Plan::Project {
             input: Box::new(self),
-            columns: columns.into_iter().map(|(n, e)| (n.to_string(), e)).collect(),
+            columns: columns
+                .into_iter()
+                .map(|(n, e)| (n.to_string(), e))
+                .collect(),
         }
     }
 
@@ -189,12 +197,19 @@ impl Plan {
 
     /// Sort builder.
     pub fn sort(self, by: &str, desc: bool) -> Plan {
-        Plan::Sort { input: Box::new(self), by: by.to_string(), desc }
+        Plan::Sort {
+            input: Box::new(self),
+            by: by.to_string(),
+            desc,
+        }
     }
 
     /// Limit builder.
     pub fn limit(self, n: usize) -> Plan {
-        Plan::Limit { input: Box::new(self), n }
+        Plan::Limit {
+            input: Box::new(self),
+            n,
+        }
     }
 
     /// Infer the output schema against a catalog.
@@ -237,14 +252,23 @@ impl Plan {
                 }
                 Ok(Schema::new(out)?)
             }
-            Plan::Join { left, right, left_col, right_col } => {
+            Plan::Join {
+                left,
+                right,
+                left_col,
+                right_col,
+            } => {
                 let ls = left.output_schema(db)?;
                 let rs = right.output_schema(db)?;
                 ls.index_of(left_col)?;
                 rs.index_of(right_col)?;
                 Ok(ls.join(&rs, "r")?)
             }
-            Plan::Aggregate { input, group_by, aggs } => {
+            Plan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
                 let schema = input.output_schema(db)?;
                 if aggs.is_empty() {
                     return Err(QueryError::Plan("aggregate with no functions".into()));
@@ -260,9 +284,7 @@ impl Plan {
                         (AggFunc::Avg, _) => ValueType::Float,
                         (_, Some(c)) => schema.column(c)?.ty,
                         (f, None) => {
-                            return Err(QueryError::Plan(format!(
-                                "{f:?} requires an input column"
-                            )))
+                            return Err(QueryError::Plan(format!("{f:?} requires an input column")))
                         }
                     };
                     out.push(Column::nullable(a.output.clone(), ty));
@@ -311,7 +333,8 @@ mod tests {
         ])
         .unwrap();
         let mut t = Table::new("stocks", stocks);
-        t.insert(vec![Value::str("AAPL"), Value::Float(150.0)]).unwrap();
+        t.insert(vec![Value::str("AAPL"), Value::Float(150.0)])
+            .unwrap();
         db.create(t).unwrap();
         let holdings = Schema::new(vec![
             Column::required("symbol", ValueType::Str),
@@ -341,9 +364,21 @@ mod tests {
         let p = Plan::scan("stocks").aggregate(
             None,
             vec![
-                AggSpec { output: "n".into(), func: AggFunc::Count, input: None },
-                AggSpec { output: "total".into(), func: AggFunc::Sum, input: Some("price".into()) },
-                AggSpec { output: "mean".into(), func: AggFunc::Avg, input: Some("price".into()) },
+                AggSpec {
+                    output: "n".into(),
+                    func: AggFunc::Count,
+                    input: None,
+                },
+                AggSpec {
+                    output: "total".into(),
+                    func: AggFunc::Sum,
+                    input: Some("price".into()),
+                },
+                AggSpec {
+                    output: "mean".into(),
+                    func: AggFunc::Avg,
+                    input: Some("price".into()),
+                },
             ],
         );
         let s = p.output_schema(&db()).unwrap();
@@ -359,7 +394,10 @@ mod tests {
             .filter(Expr::col("nope").eq(Expr::lit(Value::Int(1))))
             .output_schema(&db())
             .is_err());
-        assert!(Plan::scan("stocks").sort("nope", false).output_schema(&db()).is_err());
+        assert!(Plan::scan("stocks")
+            .sort("nope", false)
+            .output_schema(&db())
+            .is_err());
     }
 
     #[test]
@@ -369,14 +407,20 @@ mod tests {
             Err(QueryError::Plan(_))
         ));
         assert!(matches!(
-            Plan::scan("stocks").aggregate(None, vec![]).output_schema(&db()),
+            Plan::scan("stocks")
+                .aggregate(None, vec![])
+                .output_schema(&db()),
             Err(QueryError::Plan(_))
         ));
         assert!(matches!(
             Plan::scan("stocks")
                 .aggregate(
                     None,
-                    vec![AggSpec { output: "x".into(), func: AggFunc::Sum, input: None }]
+                    vec![AggSpec {
+                        output: "x".into(),
+                        func: AggFunc::Sum,
+                        input: None
+                    }]
                 )
                 .output_schema(&db()),
             Err(QueryError::Plan(_))

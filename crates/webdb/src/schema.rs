@@ -18,12 +18,20 @@ pub struct Column {
 impl Column {
     /// A non-nullable column.
     pub fn required(name: impl Into<String>, ty: ValueType) -> Column {
-        Column { name: name.into(), ty, nullable: false }
+        Column {
+            name: name.into(),
+            ty,
+            nullable: false,
+        }
     }
 
     /// A nullable column.
     pub fn nullable(name: impl Into<String>, ty: ValueType) -> Column {
-        Column { name: name.into(), ty, nullable: true }
+        Column {
+            name: name.into(),
+            ty,
+            nullable: true,
+        }
     }
 }
 
@@ -71,7 +79,11 @@ impl fmt::Display for SchemaError {
             SchemaError::Arity { expected, got } => {
                 write!(f, "row has {got} values, schema has {expected} columns")
             }
-            SchemaError::TypeMismatch { column, expected, got } => {
+            SchemaError::TypeMismatch {
+                column,
+                expected,
+                got,
+            } => {
                 write!(f, "column `{column}` expects {expected:?}, got `{got}`")
             }
             SchemaError::NullViolation(c) => write!(f, "NULL in non-nullable column `{c}`"),
@@ -123,7 +135,10 @@ impl Schema {
     /// Validate a row against this schema.
     pub fn check_row(&self, row: &Row) -> Result<(), SchemaError> {
         if row.len() != self.columns.len() {
-            return Err(SchemaError::Arity { expected: self.columns.len(), got: row.len() });
+            return Err(SchemaError::Arity {
+                expected: self.columns.len(),
+                got: row.len(),
+            });
         }
         for (c, v) in self.columns.iter().zip(row) {
             match v.value_type() {
@@ -155,7 +170,11 @@ impl Schema {
             } else {
                 c.name.clone()
             };
-            cols.push(Column { name, ty: c.ty, nullable: c.nullable });
+            cols.push(Column {
+                name,
+                ty: c.ty,
+                nullable: c.nullable,
+            });
         }
         Schema::new(cols)
     }
@@ -195,14 +214,26 @@ mod tests {
     #[test]
     fn valid_row_passes() {
         let s = schema();
-        s.check_row(&vec![Value::Int(1), Value::str("AAPL"), Value::Float(150.0)]).unwrap();
-        s.check_row(&vec![Value::Int(1), Value::str("AAPL"), Value::Null]).unwrap();
+        s.check_row(&vec![
+            Value::Int(1),
+            Value::str("AAPL"),
+            Value::Float(150.0),
+        ])
+        .unwrap();
+        s.check_row(&vec![Value::Int(1), Value::str("AAPL"), Value::Null])
+            .unwrap();
     }
 
     #[test]
     fn arity_checked() {
         let e = schema().check_row(&vec![Value::Int(1)]).unwrap_err();
-        assert_eq!(e, SchemaError::Arity { expected: 3, got: 1 });
+        assert_eq!(
+            e,
+            SchemaError::Arity {
+                expected: 3,
+                got: 1
+            }
+        );
     }
 
     #[test]
@@ -236,6 +267,8 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(SchemaError::UnknownColumn("q".into()).to_string().contains("`q`"));
+        assert!(SchemaError::UnknownColumn("q".into())
+            .to_string()
+            .contains("`q`"));
     }
 }

@@ -142,7 +142,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                     tokens.push(Token::Ne);
                     i += 2;
                 } else {
-                    return Err(LexError { pos: i, message: "`!` must be `!=`".into() });
+                    return Err(LexError {
+                        pos: i,
+                        message: "`!` must be `!=`".into(),
+                    });
                 }
             }
             '<' => match bytes.get(i + 1) {
@@ -239,7 +242,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                 tokens.push(Token::Ident(input[start..i].to_string()));
             }
             other => {
-                return Err(LexError { pos: i, message: format!("unexpected character `{other}`") })
+                return Err(LexError {
+                    pos: i,
+                    message: format!("unexpected character `{other}`"),
+                })
             }
         }
     }

@@ -92,7 +92,8 @@ mod tests {
             ("MSFT", 300.0, "tech"),
             ("XOM", 100.0, "energy"),
         ] {
-            t.insert(vec![Value::str(s), Value::Float(p), Value::str(sec)]).unwrap();
+            t.insert(vec![Value::str(s), Value::Float(p), Value::str(sec)])
+                .unwrap();
         }
         db.create(t).unwrap();
         let holdings = Schema::new(vec![
@@ -129,7 +130,11 @@ mod tests {
         )
         .unwrap();
         assert_eq!(r.rows.len(), 2);
-        let aapl = r.rows.iter().find(|row| row[0] == Value::str("AAPL")).unwrap();
+        let aapl = r
+            .rows
+            .iter()
+            .find(|row| row[0] == Value::str("AAPL"))
+            .unwrap();
         assert_eq!(aapl[1], Value::Float(1500.0));
     }
 
@@ -141,7 +146,11 @@ mod tests {
         )
         .unwrap();
         assert_eq!(r.schema.column("n").unwrap().ty, ValueType::Int);
-        let tech = r.rows.iter().find(|row| row[0] == Value::str("tech")).unwrap();
+        let tech = r
+            .rows
+            .iter()
+            .find(|row| row[0] == Value::str("tech"))
+            .unwrap();
         assert_eq!(tech[1], Value::Int(2));
         assert_eq!(tech[2], Value::Float(300.0));
     }

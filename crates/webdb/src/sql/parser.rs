@@ -50,8 +50,10 @@ impl std::error::Error for ParseError {}
 
 /// Parse a SQL `SELECT` statement into a logical [`Plan`].
 pub fn parse_query(sql: &str) -> Result<Plan, ParseError> {
-    let tokens =
-        lex(sql).map_err(|e| ParseError { at: usize::MAX, message: e.to_string() })?;
+    let tokens = lex(sql).map_err(|e| ParseError {
+        at: usize::MAX,
+        message: e.to_string(),
+    })?;
     let mut p = Parser { tokens, pos: 0 };
     let plan = p.query()?;
     if p.pos != p.tokens.len() {
@@ -68,13 +70,23 @@ struct Parser {
 /// A parsed select item.
 enum SelectItem {
     Wildcard,
-    Expr { expr: Expr, alias: Option<String> },
-    Agg { func: AggFunc, input: Option<String>, alias: Option<String> },
+    Expr {
+        expr: Expr,
+        alias: Option<String>,
+    },
+    Agg {
+        func: AggFunc,
+        input: Option<String>,
+        alias: Option<String>,
+    },
 }
 
 impl Parser {
     fn err(&self, message: String) -> ParseError {
-        ParseError { at: self.pos, message }
+        ParseError {
+            at: self.pos,
+            message,
+        }
     }
 
     fn peek(&self) -> Option<&Token> {
@@ -305,7 +317,10 @@ impl Parser {
                     SelectItem::Agg { .. } => unreachable!("has_agg is false"),
                 }
             }
-            return Ok(Plan::Project { input: Box::new(plan), columns });
+            return Ok(Plan::Project {
+                input: Box::new(plan),
+                columns,
+            });
         }
 
         // Aggregate query: every item must be an aggregate or the group-by
@@ -315,7 +330,11 @@ impl Parser {
             match item {
                 SelectItem::Agg { func, input, alias } => {
                     let output = alias.unwrap_or_else(|| agg_name(func, input.as_deref()));
-                    aggs.push(AggSpec { output, func, input });
+                    aggs.push(AggSpec {
+                        output,
+                        func,
+                        input,
+                    });
                 }
                 SelectItem::Expr { expr, alias: _ } => match (&expr, &group_by) {
                     (Expr::Col(c), Some(g)) if c == g => {
@@ -325,8 +344,8 @@ impl Parser {
                     _ => {
                         return Err(ParseError {
                             at: self.pos,
-                            message:
-                                "non-aggregate select items must be the GROUP BY column".into(),
+                            message: "non-aggregate select items must be the GROUP BY column"
+                                .into(),
                         })
                     }
                 },
@@ -380,7 +399,11 @@ impl Parser {
             let negated = self.eat_kw("NOT");
             self.expect_kw("NULL")?;
             let test = Expr::IsNull(Box::new(lhs));
-            return Ok(if negated { Expr::Not(Box::new(test)) } else { test });
+            return Ok(if negated {
+                Expr::Not(Box::new(test))
+            } else {
+                test
+            });
         }
         let op = match self.peek() {
             Some(Token::Eq) => Some(BinOp::Eq),
@@ -505,7 +528,9 @@ fn select_output_names(items: &[SelectItem], group_by: Option<&str>) -> Option<V
             }
             SelectItem::Agg { func, input, alias } => {
                 names.push(
-                    alias.clone().unwrap_or_else(|| agg_name(*func, input.as_deref())),
+                    alias
+                        .clone()
+                        .unwrap_or_else(|| agg_name(*func, input.as_deref())),
                 );
             }
         }
@@ -540,13 +565,18 @@ mod tests {
 
     #[test]
     fn select_star() {
-        assert_eq!(parse_query("SELECT * FROM stocks").unwrap(), Plan::scan("stocks"));
+        assert_eq!(
+            parse_query("SELECT * FROM stocks").unwrap(),
+            Plan::scan("stocks")
+        );
     }
 
     #[test]
     fn projection_with_aliases() {
         let p = parse_query("SELECT symbol, price * qty AS position FROM stocks").unwrap();
-        let Plan::Project { columns, .. } = p else { panic!("expected projection") };
+        let Plan::Project { columns, .. } = p else {
+            panic!("expected projection")
+        };
         assert_eq!(columns[0].0, "symbol");
         assert_eq!(columns[1].0, "position");
         assert_eq!(
@@ -559,8 +589,12 @@ mod tests {
     fn where_clause_precedence() {
         // AND binds tighter than OR.
         let p = parse_query("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3").unwrap();
-        let Plan::Filter { predicate, .. } = p else { panic!("expected filter") };
-        let Expr::Bin(BinOp::Or, _, rhs) = predicate else { panic!("OR at top") };
+        let Plan::Filter { predicate, .. } = p else {
+            panic!("expected filter")
+        };
+        let Expr::Bin(BinOp::Or, _, rhs) = predicate else {
+            panic!("OR at top")
+        };
         assert!(matches!(*rhs, Expr::Bin(BinOp::And, _, _)));
     }
 
@@ -568,47 +602,69 @@ mod tests {
     fn arithmetic_precedence() {
         // a + b * c parses as a + (b * c).
         let p = parse_query("SELECT a + b * c FROM t").unwrap();
-        let Plan::Project { columns, .. } = p else { panic!() };
-        let Expr::Bin(BinOp::Add, _, rhs) = &columns[0].1 else { panic!("Add at top") };
+        let Plan::Project { columns, .. } = p else {
+            panic!()
+        };
+        let Expr::Bin(BinOp::Add, _, rhs) = &columns[0].1 else {
+            panic!("Add at top")
+        };
         assert!(matches!(**rhs, Expr::Bin(BinOp::Mul, _, _)));
     }
 
     #[test]
     fn join_on() {
-        let p = parse_query(
-            "SELECT * FROM holdings JOIN stocks ON symbol = symbol WHERE qty > 0",
-        )
-        .unwrap();
-        let Plan::Filter { input, .. } = p else { panic!() };
+        let p = parse_query("SELECT * FROM holdings JOIN stocks ON symbol = symbol WHERE qty > 0")
+            .unwrap();
+        let Plan::Filter { input, .. } = p else {
+            panic!()
+        };
         assert!(matches!(*input, Plan::Join { .. }));
     }
 
     #[test]
     fn qualified_columns() {
         let p = parse_query("SELECT r.symbol FROM a JOIN b ON x = r.x").unwrap();
-        let Plan::Project { columns, input } = p else { panic!() };
+        let Plan::Project { columns, input } = p else {
+            panic!()
+        };
         assert_eq!(columns[0].1, Expr::col("r.symbol"));
-        let Plan::Join { right_col, .. } = *input else { panic!() };
+        let Plan::Join { right_col, .. } = *input else {
+            panic!()
+        };
         assert_eq!(right_col, "r.x");
     }
 
     #[test]
     fn aggregates_global() {
         let p = parse_query("SELECT COUNT(*), SUM(price) AS total FROM stocks").unwrap();
-        let Plan::Aggregate { group_by, aggs, .. } = p else { panic!() };
+        let Plan::Aggregate { group_by, aggs, .. } = p else {
+            panic!()
+        };
         assert_eq!(group_by, None);
-        assert_eq!(aggs[0], AggSpec { output: "count".into(), func: AggFunc::Count, input: None });
+        assert_eq!(
+            aggs[0],
+            AggSpec {
+                output: "count".into(),
+                func: AggFunc::Count,
+                input: None
+            }
+        );
         assert_eq!(
             aggs[1],
-            AggSpec { output: "total".into(), func: AggFunc::Sum, input: Some("price".into()) }
+            AggSpec {
+                output: "total".into(),
+                func: AggFunc::Sum,
+                input: Some("price".into())
+            }
         );
     }
 
     #[test]
     fn aggregates_grouped() {
-        let p =
-            parse_query("SELECT sector, AVG(price) FROM stocks GROUP BY sector").unwrap();
-        let Plan::Aggregate { group_by, aggs, .. } = p else { panic!() };
+        let p = parse_query("SELECT sector, AVG(price) FROM stocks GROUP BY sector").unwrap();
+        let Plan::Aggregate { group_by, aggs, .. } = p else {
+            panic!()
+        };
         assert_eq!(group_by, Some("sector".into()));
         assert_eq!(aggs.len(), 1);
         assert_eq!(aggs[0].output, "avg_price");
@@ -617,16 +673,23 @@ mod tests {
     #[test]
     fn order_and_limit() {
         let p = parse_query("SELECT * FROM t ORDER BY price DESC LIMIT 10").unwrap();
-        let Plan::Limit { input, n } = p else { panic!() };
+        let Plan::Limit { input, n } = p else {
+            panic!()
+        };
         assert_eq!(n, 10);
-        let Plan::Sort { by, desc, .. } = *input else { panic!() };
+        let Plan::Sort { by, desc, .. } = *input else {
+            panic!()
+        };
         assert_eq!(by, "price");
         assert!(desc);
     }
 
     #[test]
     fn order_asc_is_default_and_explicit() {
-        for q in ["SELECT * FROM t ORDER BY x", "SELECT * FROM t ORDER BY x ASC"] {
+        for q in [
+            "SELECT * FROM t ORDER BY x",
+            "SELECT * FROM t ORDER BY x ASC",
+        ] {
             let p = parse_query(q).unwrap();
             let Plan::Sort { desc, .. } = p else { panic!() };
             assert!(!desc);
@@ -636,17 +699,23 @@ mod tests {
     #[test]
     fn is_null_and_not() {
         let p = parse_query("SELECT * FROM t WHERE note IS NULL").unwrap();
-        let Plan::Filter { predicate, .. } = p else { panic!() };
+        let Plan::Filter { predicate, .. } = p else {
+            panic!()
+        };
         assert!(matches!(predicate, Expr::IsNull(_)));
         let p = parse_query("SELECT * FROM t WHERE NOT note IS NOT NULL").unwrap();
-        let Plan::Filter { predicate, .. } = p else { panic!() };
+        let Plan::Filter { predicate, .. } = p else {
+            panic!()
+        };
         assert!(matches!(predicate, Expr::Not(_)));
     }
 
     #[test]
     fn abs_and_negation() {
         let p = parse_query("SELECT ABS(price - base) / base AS move FROM t").unwrap();
-        let Plan::Project { columns, .. } = p else { panic!() };
+        let Plan::Project { columns, .. } = p else {
+            panic!()
+        };
         assert!(matches!(columns[0].1, Expr::Bin(BinOp::Div, _, _)));
         let p = parse_query("SELECT * FROM t WHERE x > -5").unwrap();
         let Plan::Filter { .. } = p else { panic!() };
@@ -673,7 +742,13 @@ mod tests {
     #[test]
     fn group_column_in_select_is_allowed_once() {
         let p = parse_query("SELECT sector, COUNT(*) AS n FROM s GROUP BY sector").unwrap();
-        let Plan::Aggregate { aggs, .. } = p else { panic!() };
-        assert_eq!(aggs.len(), 1, "group column is implicit in Aggregate output");
+        let Plan::Aggregate { aggs, .. } = p else {
+            panic!()
+        };
+        assert_eq!(
+            aggs.len(),
+            1,
+            "group column is implicit in Aggregate output"
+        );
     }
 }

@@ -58,7 +58,13 @@ pub struct Table {
 impl Table {
     /// Create an empty table.
     pub fn new(name: impl Into<String>, schema: Schema) -> Table {
-        Table { name: name.into(), schema, rows: Vec::new(), pk: None, version: 0 }
+        Table {
+            name: name.into(),
+            schema,
+            rows: Vec::new(),
+            pk: None,
+            version: 0,
+        }
     }
 
     /// Create an empty table with a unique primary key on `key_column`.
@@ -124,7 +130,9 @@ impl Table {
 
     /// The primary-key column name, if the table has one.
     pub fn primary_key(&self) -> Option<&str> {
-        self.pk.as_ref().map(|(i, _)| self.schema.columns()[*i].name.as_str())
+        self.pk
+            .as_ref()
+            .map(|(i, _)| self.schema.columns()[*i].name.as_str())
     }
 
     /// Point lookup by primary key; `None` if no key or no match.
@@ -185,12 +193,16 @@ impl Database {
 
     /// Borrow a table.
     pub fn table(&self, name: &str) -> Result<&Table, StorageError> {
-        self.tables.get(name).ok_or_else(|| StorageError::NoSuchTable(name.to_string()))
+        self.tables
+            .get(name)
+            .ok_or_else(|| StorageError::NoSuchTable(name.to_string()))
     }
 
     /// Mutably borrow a table.
     pub fn table_mut(&mut self, name: &str) -> Result<&mut Table, StorageError> {
-        self.tables.get_mut(name).ok_or_else(|| StorageError::NoSuchTable(name.to_string()))
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| StorageError::NoSuchTable(name.to_string()))
     }
 
     /// Table names, sorted (deterministic iteration for reports).
@@ -219,8 +231,10 @@ mod tests {
     #[test]
     fn insert_and_scan() {
         let mut t = stocks();
-        t.insert(vec![Value::str("AAPL"), Value::Float(150.0)]).unwrap();
-        t.insert(vec![Value::str("MSFT"), Value::Float(300.0)]).unwrap();
+        t.insert(vec![Value::str("AAPL"), Value::Float(150.0)])
+            .unwrap();
+        t.insert(vec![Value::str("MSFT"), Value::Float(300.0)])
+            .unwrap();
         assert_eq!(t.len(), 2);
         assert_eq!(t.rows()[1][0], Value::str("MSFT"));
     }
@@ -228,16 +242,23 @@ mod tests {
     #[test]
     fn key_lookup() {
         let mut t = stocks();
-        t.insert(vec![Value::str("AAPL"), Value::Float(150.0)]).unwrap();
-        assert_eq!(t.get_by_key(&Value::str("AAPL")).unwrap()[1], Value::Float(150.0));
+        t.insert(vec![Value::str("AAPL"), Value::Float(150.0)])
+            .unwrap();
+        assert_eq!(
+            t.get_by_key(&Value::str("AAPL")).unwrap()[1],
+            Value::Float(150.0)
+        );
         assert!(t.get_by_key(&Value::str("GOOG")).is_none());
     }
 
     #[test]
     fn duplicate_key_rejected() {
         let mut t = stocks();
-        t.insert(vec![Value::str("AAPL"), Value::Float(150.0)]).unwrap();
-        let e = t.insert(vec![Value::str("AAPL"), Value::Float(151.0)]).unwrap_err();
+        t.insert(vec![Value::str("AAPL"), Value::Float(150.0)])
+            .unwrap();
+        let e = t
+            .insert(vec![Value::str("AAPL"), Value::Float(151.0)])
+            .unwrap_err();
         assert!(matches!(e, StorageError::DuplicateKey(_)));
         assert_eq!(t.len(), 1, "failed insert must not leave a row");
     }
@@ -245,31 +266,41 @@ mod tests {
     #[test]
     fn schema_violation_rejected() {
         let mut t = stocks();
-        let e = t.insert(vec![Value::Int(1), Value::Float(1.0)]).unwrap_err();
+        let e = t
+            .insert(vec![Value::Int(1), Value::Float(1.0)])
+            .unwrap_err();
         assert!(matches!(e, StorageError::Schema(_)));
     }
 
     #[test]
     fn update_by_key() {
         let mut t = stocks();
-        t.insert(vec![Value::str("AAPL"), Value::Float(150.0)]).unwrap();
+        t.insert(vec![Value::str("AAPL"), Value::Float(150.0)])
+            .unwrap();
         let updated = t
             .update_by_key(&Value::str("AAPL"), |row| row[1] = Value::Float(155.0))
             .unwrap();
         assert!(updated);
-        assert_eq!(t.get_by_key(&Value::str("AAPL")).unwrap()[1], Value::Float(155.0));
+        assert_eq!(
+            t.get_by_key(&Value::str("AAPL")).unwrap()[1],
+            Value::Float(155.0)
+        );
         assert!(!t.update_by_key(&Value::str("GOOG"), |_| {}).unwrap());
     }
 
     #[test]
     fn update_may_not_change_key() {
         let mut t = stocks();
-        t.insert(vec![Value::str("AAPL"), Value::Float(150.0)]).unwrap();
+        t.insert(vec![Value::str("AAPL"), Value::Float(150.0)])
+            .unwrap();
         let e = t
             .update_by_key(&Value::str("AAPL"), |row| row[0] = Value::str("MSFT"))
             .unwrap_err();
         assert!(matches!(e, StorageError::DuplicateKey(_)));
-        assert_eq!(t.get_by_key(&Value::str("AAPL")).unwrap()[1], Value::Float(150.0));
+        assert_eq!(
+            t.get_by_key(&Value::str("AAPL")).unwrap()[1],
+            Value::Float(150.0)
+        );
     }
 
     #[test]

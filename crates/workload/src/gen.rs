@@ -42,7 +42,9 @@ pub fn generate(spec: &TableISpec, seed: u64) -> Result<Vec<TxnSpec>, SpecError>
     // 1. Lengths.
     let zipf = Zipf::new(spec.length_max, spec.alpha);
     let mut rng_len = base.fork(stream::LENGTHS);
-    let lengths: Vec<u64> = (0..spec.n_txns).map(|_| zipf.sample(&mut rng_len)).collect();
+    let lengths: Vec<u64> = (0..spec.n_txns)
+        .map(|_| zipf.sample(&mut rng_len))
+        .collect();
 
     // 2. Arrivals at rate λ = U / mean(l) (D10: empirical mean).
     let mean_len = lengths.iter().sum::<u64>() as f64 / lengths.len() as f64;
@@ -128,7 +130,10 @@ mod tests {
         for s in generate(&spec, 3).unwrap() {
             // d = a + (1+k) l with k in [0, 3]: slack in [0, 3l].
             let slack = s.initial_slack();
-            assert!(slack.is_feasible(), "k >= 0 means non-negative initial slack");
+            assert!(
+                slack.is_feasible(),
+                "k >= 0 means non-negative initial slack"
+            );
             let max_slack = s.length.as_units() * spec.k_max;
             assert!(slack.as_units() <= max_slack + 1e-6);
         }
@@ -136,7 +141,10 @@ mod tests {
 
     #[test]
     fn k_max_zero_means_zero_initial_slack() {
-        let spec = TableISpec { k_max: 0.0, ..default_spec(0.5) };
+        let spec = TableISpec {
+            k_max: 0.0,
+            ..default_spec(0.5)
+        };
         for s in generate(&spec, 4).unwrap() {
             assert_eq!(s.initial_slack().as_units(), 0.0);
         }
@@ -144,7 +152,10 @@ mod tests {
 
     #[test]
     fn weights_span_the_requested_range() {
-        let spec = TableISpec { weight_range: (1, 10), ..default_spec(0.5) };
+        let spec = TableISpec {
+            weight_range: (1, 10),
+            ..default_spec(0.5)
+        };
         let specs = generate(&spec, 5).unwrap();
         let mut seen = [false; 11];
         for s in &specs {
@@ -152,7 +163,10 @@ mod tests {
             assert!((1..=10).contains(&w));
             seen[w as usize] = true;
         }
-        assert!(seen[1..=10].iter().all(|&b| b), "1000 draws hit all ten weights");
+        assert!(
+            seen[1..=10].iter().all(|&b| b),
+            "1000 draws hit all ten weights"
+        );
     }
 
     #[test]
@@ -188,13 +202,19 @@ mod tests {
         let spec = TableISpec::general_case(0.5);
         let specs = generate(&spec, 8).unwrap();
         let dag = DepDag::build(&specs).expect("generated workload must be acyclic");
-        assert!(specs.iter().any(|s| !s.deps.is_empty()), "some dependencies exist");
+        assert!(
+            specs.iter().any(|s| !s.deps.is_empty()),
+            "some dependencies exist"
+        );
         assert!(!dag.roots().is_empty());
     }
 
     #[test]
     fn invalid_spec_is_rejected() {
-        let spec = TableISpec { utilization: -1.0, ..default_spec(0.5) };
+        let spec = TableISpec {
+            utilization: -1.0,
+            ..default_spec(0.5)
+        };
         assert!(generate(&spec, 0).is_err());
     }
 
@@ -204,7 +224,10 @@ mod tests {
         // and lengths identical.
         let a = generate(&default_spec(0.5), 9).unwrap();
         let b = generate(
-            &TableISpec { weight_range: (1, 10), ..default_spec(0.5) },
+            &TableISpec {
+                weight_range: (1, 10),
+                ..default_spec(0.5)
+            },
             9,
         )
         .unwrap();

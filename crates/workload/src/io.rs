@@ -66,7 +66,11 @@ pub fn write_batch(specs: &[TxnSpec], mut w: impl Write) -> std::io::Result<()> 
         let deps = if s.deps.is_empty() {
             "-".to_string()
         } else {
-            s.deps.iter().map(|d| d.0.to_string()).collect::<Vec<_>>().join(",")
+            s.deps
+                .iter()
+                .map(|d| d.0.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
         };
         writeln!(
             w,
@@ -141,7 +145,13 @@ pub fn read_batch(r: impl BufRead) -> Result<Vec<TxnSpec>, TraceError> {
                 message: "zero-length transaction".into(),
             });
         }
-        specs.push(TxnSpec { arrival, deadline, length, weight, deps });
+        specs.push(TxnSpec {
+            arrival,
+            deadline,
+            length,
+            weight,
+            deps,
+        });
     }
     Ok(specs)
 }
@@ -166,7 +176,10 @@ mod tests {
 
     fn sample() -> Vec<TxnSpec> {
         generate(
-            &TableISpec { n_txns: 50, ..TableISpec::general_case(0.7) },
+            &TableISpec {
+                n_txns: 50,
+                ..TableISpec::general_case(0.7)
+            },
             9,
         )
         .unwrap()

@@ -21,7 +21,10 @@ impl Exponential {
     /// # Panics
     /// If `rate` is not strictly positive and finite.
     pub fn new(rate: f64) -> Exponential {
-        assert!(rate.is_finite() && rate > 0.0, "rate must be positive, got {rate}");
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "rate must be positive, got {rate}"
+        );
         Exponential { rate }
     }
 
@@ -48,7 +51,10 @@ pub struct PoissonProcess {
 impl PoissonProcess {
     /// Start a process with rate λ at `origin`.
     pub fn new(rate: f64, origin: SimTime) -> PoissonProcess {
-        PoissonProcess { exp: Exponential::new(rate), cursor: origin }
+        PoissonProcess {
+            exp: Exponential::new(rate),
+            cursor: origin,
+        }
     }
 
     /// The next event time (strictly monotone non-decreasing; equal times

@@ -109,7 +109,10 @@ impl Rng64 {
     /// # Panics
     /// If `lo > hi` or either bound is non-finite.
     pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "bad range [{lo}, {hi})");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "bad range [{lo}, {hi})"
+        );
         lo + (hi - lo) * self.next_f64()
     }
 
@@ -229,6 +232,10 @@ mod tests {
         let mut sorted = xs.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
-        assert_ne!(xs, (0..50).collect::<Vec<u32>>(), "astronomically unlikely identity");
+        assert_ne!(
+            xs,
+            (0..50).collect::<Vec<u32>>(),
+            "astronomically unlikely identity"
+        );
     }
 }

@@ -21,7 +21,10 @@ pub fn table_i(utilization: f64, seed: u64) -> Result<Vec<TxnSpec>, SpecError> {
 /// mid-horizon with tight deadlines. Demonstrates the EDF domino effect and
 /// ASETS\*'s mid-run adaptation (motivating Fig. 8–10 narrative).
 pub fn bursty(base_util: f64, burst_size: usize, seed: u64) -> Result<Vec<TxnSpec>, SpecError> {
-    let spec = TableISpec { n_txns: 400, ..TableISpec::transaction_level(base_util) };
+    let spec = TableISpec {
+        n_txns: 400,
+        ..TableISpec::transaction_level(base_util)
+    };
     let mut specs = generate(&spec, seed)?;
     let mid = specs[specs.len() / 2].arrival;
     let mut rng = Rng64::new(seed ^ 0xB00B_5EED);
@@ -141,7 +144,10 @@ pub fn workflow_grid() -> Vec<WorkflowParams> {
     let mut grid = Vec::new();
     for max_len in 3..=10 {
         for max_workflows in 1..=10 {
-            grid.push(WorkflowParams { max_len, max_workflows });
+            grid.push(WorkflowParams {
+                max_len,
+                max_workflows,
+            });
         }
     }
     grid
@@ -223,9 +229,21 @@ mod tests {
             },
         ];
         submit_pages_together(&mut specs);
-        assert_eq!(specs[1].arrival, SimTime::from_units_int(10), "pulled to leaf arrival");
-        assert_eq!(specs[1].deadline, SimTime::from_units_int(45), "window preserved");
-        assert_eq!(specs[0].arrival, SimTime::from_units_int(10), "leaf unchanged");
+        assert_eq!(
+            specs[1].arrival,
+            SimTime::from_units_int(10),
+            "pulled to leaf arrival"
+        );
+        assert_eq!(
+            specs[1].deadline,
+            SimTime::from_units_int(45),
+            "window preserved"
+        );
+        assert_eq!(
+            specs[0].arrival,
+            SimTime::from_units_int(10),
+            "leaf unchanged"
+        );
     }
 
     #[test]
@@ -255,7 +273,13 @@ mod tests {
     fn workflow_grid_is_the_paper_sweep() {
         let grid = workflow_grid();
         assert_eq!(grid.len(), 80);
-        assert!(grid.contains(&WorkflowParams { max_len: 5, max_workflows: 1 }));
-        assert!(grid.contains(&WorkflowParams { max_len: 10, max_workflows: 10 }));
+        assert!(grid.contains(&WorkflowParams {
+            max_len: 5,
+            max_workflows: 1
+        }));
+        assert!(grid.contains(&WorkflowParams {
+            max_len: 10,
+            max_workflows: 10
+        }));
     }
 }

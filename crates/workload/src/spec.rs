@@ -29,7 +29,10 @@ impl WorkflowParams {
     /// The Fig. 14 setting: "maximum number of workflows was set to one...
     /// maximum workflow length was set to five".
     pub fn fig14() -> WorkflowParams {
-        WorkflowParams { max_len: 5, max_workflows: 1 }
+        WorkflowParams {
+            max_len: 5,
+            max_workflows: 1,
+        }
     }
 }
 
@@ -98,10 +101,16 @@ impl TableISpec {
             return Err(SpecError("length_max must be positive".into()));
         }
         if !(self.alpha.is_finite() && self.alpha >= 0.0) {
-            return Err(SpecError(format!("alpha must be finite and >= 0, got {}", self.alpha)));
+            return Err(SpecError(format!(
+                "alpha must be finite and >= 0, got {}",
+                self.alpha
+            )));
         }
         if !(self.k_max.is_finite() && self.k_max >= 0.0) {
-            return Err(SpecError(format!("k_max must be finite and >= 0, got {}", self.k_max)));
+            return Err(SpecError(format!(
+                "k_max must be finite and >= 0, got {}",
+                self.k_max
+            )));
         }
         if !(self.utilization.is_finite() && self.utilization > 0.0) {
             return Err(SpecError(format!(
@@ -155,21 +164,55 @@ mod tests {
     fn general_case_has_weights_and_workflows() {
         let s = TableISpec::general_case(0.8);
         assert_eq!(s.weight_range, (1, 10));
-        assert_eq!(s.workflows, Some(WorkflowParams { max_len: 5, max_workflows: 1 }));
+        assert_eq!(
+            s.workflows,
+            Some(WorkflowParams {
+                max_len: 5,
+                max_workflows: 1
+            })
+        );
     }
 
     #[test]
     fn validation_catches_each_field() {
         let ok = TableISpec::transaction_level(0.5);
         assert!(TableISpec { n_txns: 0, ..ok }.validate().is_err());
-        assert!(TableISpec { length_max: 0, ..ok }.validate().is_err());
-        assert!(TableISpec { alpha: -1.0, ..ok }.validate().is_err());
-        assert!(TableISpec { k_max: f64::NAN, ..ok }.validate().is_err());
-        assert!(TableISpec { utilization: 0.0, ..ok }.validate().is_err());
-        assert!(TableISpec { weight_range: (0, 5), ..ok }.validate().is_err());
-        assert!(TableISpec { weight_range: (5, 2), ..ok }.validate().is_err());
         assert!(TableISpec {
-            workflows: Some(WorkflowParams { max_len: 0, max_workflows: 1 }),
+            length_max: 0,
+            ..ok
+        }
+        .validate()
+        .is_err());
+        assert!(TableISpec { alpha: -1.0, ..ok }.validate().is_err());
+        assert!(TableISpec {
+            k_max: f64::NAN,
+            ..ok
+        }
+        .validate()
+        .is_err());
+        assert!(TableISpec {
+            utilization: 0.0,
+            ..ok
+        }
+        .validate()
+        .is_err());
+        assert!(TableISpec {
+            weight_range: (0, 5),
+            ..ok
+        }
+        .validate()
+        .is_err());
+        assert!(TableISpec {
+            weight_range: (5, 2),
+            ..ok
+        }
+        .validate()
+        .is_err());
+        assert!(TableISpec {
+            workflows: Some(WorkflowParams {
+                max_len: 0,
+                max_workflows: 1
+            }),
             ..ok
         }
         .validate()
@@ -178,9 +221,12 @@ mod tests {
 
     #[test]
     fn spec_error_displays() {
-        let e = TableISpec { n_txns: 0, ..TableISpec::transaction_level(0.5) }
-            .validate()
-            .unwrap_err();
+        let e = TableISpec {
+            n_txns: 0,
+            ..TableISpec::transaction_level(0.5)
+        }
+        .validate()
+        .unwrap_err();
         assert!(e.to_string().contains("n_txns"));
     }
 }

@@ -34,7 +34,10 @@ use asets_core::txn::{TxnId, TxnSpec};
 /// If any spec already has dependencies (workflow generation owns the
 /// dependency structure) or the parameter bounds are zero.
 pub fn add_workflows(specs: &mut [TxnSpec], params: &WorkflowParams, rng: &mut Rng64) {
-    assert!(params.max_len >= 1 && params.max_workflows >= 1, "bounds must be positive");
+    assert!(
+        params.max_len >= 1 && params.max_workflows >= 1,
+        "bounds must be positive"
+    );
     assert!(
         specs.iter().all(|s| s.deps.is_empty()),
         "add_workflows expects an independent batch"
@@ -45,8 +48,9 @@ pub fn add_workflows(specs: &mut [TxnSpec], params: &WorkflowParams, rng: &mut R
     }
 
     // Membership targets.
-    let targets: Vec<u32> =
-        (0..n).map(|_| rng.range_u64(1, params.max_workflows as u64) as u32).collect();
+    let targets: Vec<u32> = (0..n)
+        .map(|_| rng.range_u64(1, params.max_workflows as u64) as u32)
+        .collect();
     let mut counts = vec![0u32; n];
 
     loop {
@@ -109,17 +113,22 @@ pub fn workflow_stats(specs: &[TxnSpec]) -> WorkflowStats {
         }
     }
     let workflows = (0..n).filter(|&i| !is_pred[i]).count();
-    WorkflowStats { dependent_txns, edges, max_depth, workflows }
+    WorkflowStats {
+        dependent_txns,
+        edges,
+        max_depth,
+        workflows,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use asets_core::dag::DepDag;
+    use asets_core::table::TxnTable;
     use asets_core::time::{SimDuration, SimTime};
     use asets_core::txn::Weight;
     use asets_core::workflow::WorkflowSet;
-    use asets_core::table::TxnTable;
 
     fn batch(n: usize) -> Vec<TxnSpec> {
         (0..n)
@@ -137,7 +146,10 @@ mod tests {
     #[test]
     fn multiplicity_one_partitions_into_chains() {
         let mut specs = batch(200);
-        let params = WorkflowParams { max_len: 5, max_workflows: 1 };
+        let params = WorkflowParams {
+            max_len: 5,
+            max_workflows: 1,
+        };
         add_workflows(&mut specs, &params, &mut Rng64::new(1));
         // Every transaction has at most one predecessor and at most one
         // successor: disjoint chains.
@@ -160,7 +172,10 @@ mod tests {
             let mut specs = batch(100);
             add_workflows(
                 &mut specs,
-                &WorkflowParams { max_len: 3, max_workflows: 1 },
+                &WorkflowParams {
+                    max_len: 3,
+                    max_workflows: 1,
+                },
                 &mut Rng64::new(seed),
             );
             assert!(workflow_stats(&specs).max_depth <= 3);
@@ -173,7 +188,10 @@ mod tests {
             let mut specs = batch(150);
             add_workflows(
                 &mut specs,
-                &WorkflowParams { max_len: 10, max_workflows: 10 },
+                &WorkflowParams {
+                    max_len: 10,
+                    max_workflows: 10,
+                },
                 &mut Rng64::new(seed),
             );
             DepDag::build(&specs).expect("workflow generator must emit DAGs");
@@ -185,7 +203,10 @@ mod tests {
         let mut specs = batch(100);
         add_workflows(
             &mut specs,
-            &WorkflowParams { max_len: 6, max_workflows: 3 },
+            &WorkflowParams {
+                max_len: 6,
+                max_workflows: 3,
+            },
             &mut Rng64::new(2),
         );
         for (i, s) in specs.iter().enumerate() {
@@ -200,12 +221,18 @@ mod tests {
         let mut specs = batch(300);
         add_workflows(
             &mut specs,
-            &WorkflowParams { max_len: 5, max_workflows: 4 },
+            &WorkflowParams {
+                max_len: 5,
+                max_workflows: 4,
+            },
             &mut Rng64::new(3),
         );
         let table = TxnTable::new(specs).unwrap();
         let wfs = WorkflowSet::build(&table);
-        let shared = table.ids().filter(|&t| wfs.workflows_of(t).len() > 1).count();
+        let shared = table
+            .ids()
+            .filter(|&t| wfs.workflows_of(t).len() > 1)
+            .count();
         assert!(shared > 0, "multiplicity 4 must produce shared members");
     }
 
@@ -214,7 +241,10 @@ mod tests {
         let mut specs = batch(120);
         add_workflows(
             &mut specs,
-            &WorkflowParams { max_len: 5, max_workflows: 1 },
+            &WorkflowParams {
+                max_len: 5,
+                max_workflows: 1,
+            },
             &mut Rng64::new(4),
         );
         let table = TxnTable::new(specs).unwrap();
@@ -229,7 +259,10 @@ mod tests {
         let mut specs = batch(50);
         add_workflows(
             &mut specs,
-            &WorkflowParams { max_len: 1, max_workflows: 1 },
+            &WorkflowParams {
+                max_len: 1,
+                max_workflows: 1,
+            },
             &mut Rng64::new(5),
         );
         assert_eq!(workflow_stats(&specs).edges, 0);
@@ -240,7 +273,10 @@ mod tests {
         let mut specs: Vec<TxnSpec> = Vec::new();
         add_workflows(
             &mut specs,
-            &WorkflowParams { max_len: 5, max_workflows: 2 },
+            &WorkflowParams {
+                max_len: 5,
+                max_workflows: 2,
+            },
             &mut Rng64::new(6),
         );
         assert!(specs.is_empty());
@@ -253,7 +289,10 @@ mod tests {
         specs[1].deps.push(TxnId(0));
         add_workflows(
             &mut specs,
-            &WorkflowParams { max_len: 2, max_workflows: 1 },
+            &WorkflowParams {
+                max_len: 2,
+                max_workflows: 1,
+            },
             &mut Rng64::new(7),
         );
     }

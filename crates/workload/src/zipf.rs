@@ -26,7 +26,10 @@ impl Zipf {
     /// If `n == 0` or `alpha` is negative or non-finite.
     pub fn new(n: u64, alpha: f64) -> Zipf {
         assert!(n >= 1, "Zipf support must be non-empty");
-        assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be finite and >= 0");
+        assert!(
+            alpha.is_finite() && alpha >= 0.0,
+            "alpha must be finite and >= 0"
+        );
         let mut cdf = Vec::with_capacity(n as usize);
         let mut acc = 0.0f64;
         for k in 1..=n {
@@ -115,7 +118,11 @@ mod tests {
         let z = Zipf::new(50, 0.5);
         assert!(z.pmf(1) > z.pmf(2));
         assert!(z.pmf(2) > z.pmf(10));
-        assert!(z.mean() < 25.5, "mean {} must sit below the uniform midpoint", z.mean());
+        assert!(
+            z.mean() < 25.5,
+            "mean {} must sit below the uniform midpoint",
+            z.mean()
+        );
     }
 
     #[test]

@@ -14,6 +14,7 @@
 
 use asets_core::policy::PolicyKind;
 use asets_core::time::SimDuration;
+use asets_core::time::SimTime;
 use asets_core::txn::Weight;
 use asets_sim::simulate;
 use asets_webdb::app::stock::{stock_database, StockDbParams};
@@ -24,7 +25,6 @@ use asets_webdb::fragment::Fragment;
 use asets_webdb::page::{PageRequest, PageTemplate};
 use asets_webdb::query::cost::CostModel;
 use asets_webdb::value::Value;
-use asets_core::time::SimTime;
 
 fn dashboard_template(user_id: i64) -> PageTemplate {
     let units = SimDuration::from_units_int;
@@ -53,12 +53,19 @@ fn dashboard_template(user_id: i64) -> PageTemplate {
         units(15),
         Weight(6),
     );
-    PageTemplate::new(format!("dashboard-user-{user_id}"), vec![overview, sectors, holdings])
-        .expect("static template")
+    PageTemplate::new(
+        format!("dashboard-user-{user_id}"),
+        vec![overview, sectors, holdings],
+    )
+    .expect("static template")
 }
 
 fn main() {
-    let params = StockDbParams { n_stocks: 800, n_users: 60, ..Default::default() };
+    let params = StockDbParams {
+        n_stocks: 800,
+        n_users: 60,
+        ..Default::default()
+    };
     let db = stock_database(&params, 21).expect("static schemas");
     let gap = SimDuration::from_units_int(2); // dense logins: real contention
     let requests: Vec<PageRequest> = (0..60)

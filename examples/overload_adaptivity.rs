@@ -21,7 +21,10 @@ fn main() {
         let mut best = (SimTime::ZERO, 0usize);
         let mut i = 0;
         while i < specs.len() {
-            let j = specs[i..].iter().take_while(|s| s.arrival == specs[i].arrival).count();
+            let j = specs[i..]
+                .iter()
+                .take_while(|s| s.arrival == specs[i].arrival)
+                .count();
             if j > best.1 {
                 best = (specs[i].arrival, j);
             }
@@ -68,8 +71,11 @@ fn main() {
     println!("\nASETS two-list occupancy around the burst (EDF-List vs SRPT-List):");
     let mut table = TxnTable::new(specs.clone()).expect("acyclic");
     let mut policy = Asets::new();
-    let mut arrivals: Vec<(SimTime, TxnId)> =
-        specs.iter().enumerate().map(|(i, s)| (s.arrival, TxnId(i as u32))).collect();
+    let mut arrivals: Vec<(SimTime, TxnId)> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.arrival, TxnId(i as u32)))
+        .collect();
     arrivals.sort_unstable();
     // Drive arrivals only (no service) just to illustrate classification.
     let sample_points: Vec<SimTime> = (0..8)

@@ -15,12 +15,12 @@ fn main() {
     //
     //        arrival  deadline  length  weight
     let rows = [
-        (0u64, 8u64, 5u64, 1u32),  // T0: long, tight
-        (0, 4, 2, 3),              // T1: short, urgent, weighty
-        (1, 30, 9, 1),             // T2: long, relaxed
-        (2, 6, 1, 5),              // T3: tiny, urgent, heavy
-        (3, 20, 4, 2),             // T4: medium
-        (3, 9, 3, 1),              // T5: medium, tightish
+        (0u64, 8u64, 5u64, 1u32), // T0: long, tight
+        (0, 4, 2, 3),             // T1: short, urgent, weighty
+        (1, 30, 9, 1),            // T2: long, relaxed
+        (2, 6, 1, 5),             // T3: tiny, urgent, heavy
+        (3, 20, 4, 2),            // T4: medium
+        (3, 9, 3, 1),             // T5: medium, tightish
     ];
     let specs: Vec<TxnSpec> = rows
         .iter()

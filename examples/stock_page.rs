@@ -51,7 +51,12 @@ fn main() {
         "{:<8} {:>16} {:>14} {:>18} {:>14}",
         "policy", "avg w.tardiness", "missed frags", "worst page (u)", "alerts missed"
     );
-    for kind in [PolicyKind::Fcfs, PolicyKind::Edf, PolicyKind::Hdf, PolicyKind::asets_star()] {
+    for kind in [
+        PolicyKind::Fcfs,
+        PolicyKind::Edf,
+        PolicyKind::Hdf,
+        PolicyKind::asets_star(),
+    ] {
         let result = simulate(specs.clone(), kind).expect("acyclic");
         let pages = binding.page_outcomes(&result.outcomes);
         let missed: usize = pages.iter().map(|p| p.missed_fragments).sum();
@@ -79,6 +84,11 @@ fn main() {
     let page = render(&stock_page_template(7), &db).expect("valid plans");
     println!("\nrendered page `{}`:", page.name);
     for f in &page.fragments {
-        println!("  fragment {:<10} {:>4} rows, {} bytes of HTML", f.name, f.row_count, f.html.len());
+        println!(
+            "  fragment {:<10} {:>4} rows, {} bytes of HTML",
+            f.name,
+            f.row_count,
+            f.html.len()
+        );
     }
 }

@@ -18,7 +18,11 @@ use asets_workload::{generate, TableISpec};
 const TIERS: [(&str, u32); 3] = [("bronze", 1), ("silver", 4), ("gold", 9)];
 
 fn tier_of(w: Weight) -> &'static str {
-    TIERS.iter().find(|&&(_, tw)| tw == w.get()).map(|&(n, _)| n).unwrap_or("?")
+    TIERS
+        .iter()
+        .find(|&&(_, tw)| tw == w.get())
+        .map(|&(n, _)| n)
+        .unwrap_or("?")
 }
 
 fn main() {

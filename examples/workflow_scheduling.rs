@@ -41,9 +41,9 @@ fn part1_hand_built() {
     // deadline. ASETS*'s representative drags K0's effective deadline to
     // T1's d=10, so T0 runs first and T1 still makes it.
     let specs = vec![
-        mk(0, 100, 4, 1, vec![]),       // T0
+        mk(0, 100, 4, 1, vec![]),        // T0
         mk(0, 10, 2, 8, vec![TxnId(0)]), // T1: urgent, heavy, blocked
-        mk(0, 18, 6, 1, vec![]),        // T2
+        mk(0, 18, 6, 1, vec![]),         // T2
     ];
 
     println!("=== Part 1: the representative boost, on three transactions ===\n");
@@ -62,14 +62,23 @@ fn part1_hand_built() {
 
 fn part2_fig14_style() {
     println!("=== Part 2: Fig. 14 workload (chains <= 5, equal weights) ===\n");
-    println!("{:>6} {:>12} {:>12} {:>8}", "util", "Ready", "ASETS*", "gain");
+    println!(
+        "{:>6} {:>12} {:>12} {:>8}",
+        "util", "Ready", "ASETS*", "gain"
+    );
     for u in [0.5, 0.7, 0.9, 1.0] {
         let mut ready = 0.0;
         let mut asets = 0.0;
         for seed in asets_workload::PAPER_SEEDS {
             let specs = generate(&TableISpec::workflow_level(u), seed).expect("valid spec");
-            ready += simulate(specs.clone(), PolicyKind::Ready).unwrap().summary.avg_tardiness;
-            asets += simulate(specs, PolicyKind::asets_star()).unwrap().summary.avg_tardiness;
+            ready += simulate(specs.clone(), PolicyKind::Ready)
+                .unwrap()
+                .summary
+                .avg_tardiness;
+            asets += simulate(specs, PolicyKind::asets_star())
+                .unwrap()
+                .summary
+                .avg_tardiness;
         }
         ready /= 5.0;
         asets /= 5.0;

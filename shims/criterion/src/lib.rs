@@ -1,0 +1,387 @@
+//! Offline shim for `criterion`.
+//!
+//! The build container cannot reach a registry, so the workspace vendors a
+//! small benchmark harness exposing the criterion API shape the bench crate
+//! uses: `Criterion::default().sample_size(..)`, `benchmark_group`,
+//! `bench_with_input`/`bench_function`, `Bencher::iter`/`iter_batched`,
+//! `BenchmarkId`, `BatchSize`, and both forms of `criterion_group!` plus
+//! `criterion_main!`.
+//!
+//! Two extensions the repo relies on:
+//! - `BENCH_QUICK=1` shrinks warmup/samples for CI smoke runs;
+//! - every bench binary writes a machine-readable JSON summary (mean/min ns
+//!   per benchmark) to `BENCH_SUMMARY` if set, else `BENCH_<crate>.json` in
+//!   the working directory — the perf-trajectory artifact consumed by CI.
+//!
+//! No statistics beyond mean/min-of-samples: this harness exists to compare
+//! implementations within one run (indexed vs rescan policies), where
+//! same-process relative numbers are what matter.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One finished benchmark measurement.
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    pub group: String,
+    pub id: String,
+    pub mean_ns: f64,
+    pub min_ns: f64,
+    pub iters_per_sample: u64,
+    pub samples: usize,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Timing {
+    /// Wall-clock budget per sample.
+    sample_target: Duration,
+    samples: usize,
+}
+
+fn quick_mode() -> bool {
+    std::env::var("BENCH_QUICK")
+        .map(|v| v != "0" && !v.is_empty())
+        .unwrap_or(false)
+}
+
+pub struct Criterion {
+    sample_size: usize,
+    results: Vec<BenchRecord>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Criterion-compatible knob. The shim caps effective samples low enough
+    /// to keep full `cargo bench` runs bounded; relative comparisons within
+    /// a group are unaffected.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let timing = self.timing();
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            timing,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let timing = self.timing();
+        let record = run_bench(String::new(), id.into().id, timing, f);
+        self.results.push(record);
+        self
+    }
+
+    fn timing(&self) -> Timing {
+        if quick_mode() {
+            Timing {
+                sample_target: Duration::from_millis(2),
+                samples: 3,
+            }
+        } else {
+            Timing {
+                sample_target: Duration::from_millis(25),
+                samples: self.sample_size.clamp(3, 12),
+            }
+        }
+    }
+
+    pub fn take_results(&mut self) -> Vec<BenchRecord> {
+        std::mem::take(&mut self.results)
+    }
+}
+
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    timing: Timing,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        if !quick_mode() {
+            self.timing.samples = n.clamp(3, 12);
+        }
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let record = run_bench(self.name.clone(), id.id, self.timing, |b| f(b, input));
+        self.criterion.results.push(record);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let record = run_bench(self.name.clone(), id.into().id, self.timing, f);
+        self.criterion.results.push(record);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_bench<F>(group: String, id: String, timing: Timing, mut f: F) -> BenchRecord
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        timing,
+        measured: None,
+    };
+    f(&mut bencher);
+    let (mean_ns, min_ns, iters) = bencher
+        .measured
+        .unwrap_or_else(|| panic!("bench {group}/{id} never called Bencher::iter"));
+    let label = if group.is_empty() {
+        id.clone()
+    } else {
+        format!("{group}/{id}")
+    };
+    println!(
+        "{label:<56} mean {:>12}  min {:>12}  ({} samples x {iters} iters)",
+        fmt_ns(mean_ns),
+        fmt_ns(min_ns),
+        timing.samples,
+    );
+    BenchRecord {
+        group,
+        id,
+        mean_ns,
+        min_ns,
+        iters_per_sample: iters,
+        samples: timing.samples,
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+pub struct Bencher {
+    timing: Timing,
+    /// (mean ns/iter, min ns/iter, iters per sample)
+    measured: Option<(f64, f64, u64)>,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Calibrate: grow the batch until one batch is long enough to trust
+        // the clock, then derive iters-per-sample from the target budget.
+        let mut iters: u64 = 1;
+        let per_iter_ns = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let dt = start.elapsed();
+            if dt >= Duration::from_micros(200) || iters >= 1 << 28 {
+                break (dt.as_nanos() as f64 / iters as f64).max(0.1);
+            }
+            iters *= 4;
+        };
+        let target = self.timing.sample_target.as_nanos() as f64;
+        let iters_per_sample = ((target / per_iter_ns) as u64).clamp(1, 1 << 28);
+
+        let mut total_ns = 0.0;
+        let mut min_ns = f64::INFINITY;
+        for _ in 0..self.timing.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            let per = start.elapsed().as_nanos() as f64 / iters_per_sample as f64;
+            total_ns += per;
+            min_ns = min_ns.min(per);
+        }
+        self.measured = Some((
+            total_ns / self.timing.samples as f64,
+            min_ns,
+            iters_per_sample,
+        ));
+    }
+
+    /// Setup runs outside the timed region; `_size` is accepted for API
+    /// compatibility but each input is generated per-iteration.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut iters: u64 = 1;
+        let per_iter_ns = loop {
+            let mut timed = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                timed += start.elapsed();
+            }
+            if timed >= Duration::from_micros(200) || iters >= 1 << 20 {
+                break (timed.as_nanos() as f64 / iters as f64).max(0.1);
+            }
+            iters *= 4;
+        };
+        let target = self.timing.sample_target.as_nanos() as f64;
+        let iters_per_sample = ((target / per_iter_ns) as u64).clamp(1, 1 << 20);
+
+        let mut total_ns = 0.0;
+        let mut min_ns = f64::INFINITY;
+        for _ in 0..self.timing.samples {
+            let mut timed = Duration::ZERO;
+            for _ in 0..iters_per_sample {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                timed += start.elapsed();
+            }
+            let per = timed.as_nanos() as f64 / iters_per_sample as f64;
+            total_ns += per;
+            min_ns = min_ns.min(per);
+        }
+        self.measured = Some((
+            total_ns / self.timing.samples as f64,
+            min_ns,
+            iters_per_sample,
+        ));
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Called by `criterion_main!` after all groups ran: print nothing further,
+/// write the JSON summary artifact.
+pub fn write_summary(bench_crate: &str, records: &[BenchRecord]) {
+    let path =
+        std::env::var("BENCH_SUMMARY").unwrap_or_else(|_| format!("BENCH_{bench_crate}.json"));
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"bench\": \"{}\",\n", escape(bench_crate)));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"group\": \"{}\", \"id\": \"{}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"iters_per_sample\": {}, \"samples\": {}}}{}\n",
+            escape(&r.group),
+            escape(&r.id),
+            r.mean_ns,
+            r.min_ns,
+            r.iters_per_sample,
+            r.samples,
+            if i + 1 < records.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("criterion shim: could not write {path}: {e}");
+    } else {
+        println!("bench summary written to {path}");
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() -> Vec<$crate::BenchRecord> {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+            criterion.take_results()
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut records: Vec<$crate::BenchRecord> = Vec::new();
+            $( records.extend($group()); )+
+            $crate::write_summary(env!("CARGO_CRATE_NAME"), &records);
+        }
+    };
+}

@@ -1,0 +1,559 @@
+//! Offline shim for `proptest`.
+//!
+//! The build container cannot reach a registry, so the workspace vendors a
+//! minimal, dependency-free property-testing runner that covers exactly the
+//! API surface the repo's tests use: `proptest!` with an optional
+//! `proptest_config`, `Strategy` + `prop_map`/`boxed`, integer/float ranges,
+//! tuples, `Just`, `prop_oneof!`, `collection::vec`, `any::<T>()`,
+//! `sample::Index`, and character-class/`.*` string strategies.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! - **No shrinking.** On failure the runner reprints the generated inputs
+//!   (regenerated from the case's RNG snapshot) and rethrows the panic.
+//! - **Deterministic by default.** Case seeds derive from the test's module
+//!   path + name, so failures reproduce exactly. `PROPTEST_CASES` still
+//!   overrides the case count for quick or soak runs.
+//! - `prop_assert!`/`prop_assert_eq!` forward to `assert!`/`assert_eq!`
+//!   (panic-based, not `Result`-based).
+
+pub mod test_runner {
+    /// Splitmix-style seeded xorshift64*; cloneable so a failing case can be
+    /// replayed to reprint its inputs.
+    #[derive(Clone, Debug)]
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        pub fn for_case(seed: u64, case: u32) -> Self {
+            let mut s = seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(case) + 1);
+            // Splitmix finalizer: decorrelates consecutive case indices.
+            s = (s ^ (s >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            s = (s ^ (s >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            s ^= s >> 31;
+            Self(if s == 0 { 0x9E37_79B9 } else { s })
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        /// Uniform-ish draw in `[0, n)`. Modulo bias is irrelevant at the
+        /// ranges tests use (all far below 2^32).
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0, "empty range");
+            self.next_u64() % n
+        }
+
+        /// Uniform in `[0, 1)` with 53 bits of precision.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// FNV-1a over the test's full path: stable per-test seed.
+    pub fn fnv1a(s: &str) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for b in s.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    /// `PROPTEST_CASES` overrides the per-test config (quick CI / soak runs).
+    pub fn resolved_cases(cfg: &ProptestConfig) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => v.parse().unwrap_or(cfg.cases),
+            Err(_) => cfg.cases,
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Value generator. Unlike real proptest there is no value tree — a
+    /// strategy draws a concrete value directly from the RNG.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Constant strategy; also re-exported from the prelude.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Self { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.arms.len() as u64) as usize;
+            self.arms[i].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),+ $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u64;
+                    (lo as i128 + rng.below(span.saturating_add(1)) as i128) as $t
+                }
+            }
+        )+};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.next_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident.$idx:tt),+))+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+    tuple_strategy! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+
+    /// `&'static str` as a regex-ish string strategy. Supports the subset
+    /// the tests use: `.`, literal chars, `[a-z08]`-style classes (with
+    /// ranges), and the quantifiers `*`, `+`, `?`, `{n}`, `{m,n}`.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_from_pattern(self, rng)
+        }
+    }
+
+    enum CharGen {
+        Any,
+        Lit(char),
+        Class(Vec<(char, char)>),
+    }
+
+    impl CharGen {
+        fn draw(&self, rng: &mut TestRng) -> char {
+            match self {
+                CharGen::Lit(c) => *c,
+                CharGen::Any => match rng.below(10) {
+                    // Mostly printable ASCII, some whitespace, some
+                    // arbitrary unicode scalars to probe lexer totality.
+                    0..=6 => (0x20 + rng.below(0x5F) as u32) as u8 as char,
+                    7 => *['\n', '\t', '\r'].get(rng.below(3) as usize).unwrap(),
+                    _ => loop {
+                        if let Some(c) = char::from_u32(rng.below(0x11_0000) as u32) {
+                            break c;
+                        }
+                    },
+                },
+                CharGen::Class(ranges) => {
+                    let total: u64 = ranges
+                        .iter()
+                        .map(|(a, b)| u64::from(*b) - u64::from(*a) + 1)
+                        .sum();
+                    let mut k = rng.below(total);
+                    for (a, b) in ranges {
+                        let n = u64::from(*b) - u64::from(*a) + 1;
+                        if k < n {
+                            return char::from_u32(*a as u32 + k as u32).unwrap();
+                        }
+                        k -= n;
+                    }
+                    unreachable!()
+                }
+            }
+        }
+    }
+
+    fn generate_from_pattern(pat: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pat.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let gen = match chars[i] {
+                '.' => {
+                    i += 1;
+                    CharGen::Any
+                }
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .map(|p| i + p)
+                        .unwrap_or_else(|| panic!("unclosed class in pattern {pat:?}"));
+                    let mut ranges = Vec::new();
+                    let mut j = i + 1;
+                    while j < close {
+                        if j + 2 < close && chars[j + 1] == '-' {
+                            ranges.push((chars[j], chars[j + 2]));
+                            j += 3;
+                        } else {
+                            ranges.push((chars[j], chars[j]));
+                            j += 1;
+                        }
+                    }
+                    i = close + 1;
+                    CharGen::Class(ranges)
+                }
+                '\\' => {
+                    i += 2;
+                    CharGen::Lit(chars[i - 1])
+                }
+                c => {
+                    i += 1;
+                    CharGen::Lit(c)
+                }
+            };
+            // Quantifier, if any.
+            let (min, max) = match chars.get(i) {
+                Some('*') => {
+                    i += 1;
+                    (0, 32)
+                }
+                Some('+') => {
+                    i += 1;
+                    (1, 32)
+                }
+                Some('?') => {
+                    i += 1;
+                    (0, 1)
+                }
+                Some('{') => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .map(|p| i + p)
+                        .unwrap_or_else(|| panic!("unclosed quantifier in pattern {pat:?}"));
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((m, n)) => (
+                            m.trim().parse().expect("quantifier min"),
+                            n.trim().parse().expect("quantifier max"),
+                        ),
+                        None => {
+                            let n: usize = body.trim().parse().expect("quantifier count");
+                            (n, n)
+                        }
+                    }
+                }
+                _ => (1, 1),
+            };
+            let n = min + rng.below((max - min + 1) as u64) as usize;
+            for _ in 0..n {
+                out.push(gen.draw(rng));
+            }
+        }
+        out
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    pub trait Arbitrary {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),+ $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )+};
+    }
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    pub struct Any<T>(PhantomData<T>);
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        /// Exclusive, matching `Range<usize>`; a bare `usize` means exact.
+        max: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            Self {
+                min: r.start,
+                max: r.end,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { min: n, max: n + 1 }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        let size = size.into();
+        assert!(size.min < size.max, "empty vec size range");
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min) as u64;
+            let n = self.size.min + rng.below(span) as usize;
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use crate::arbitrary::Arbitrary;
+    use crate::test_runner::TestRng;
+
+    /// An index into a collection whose length is only known at use time.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct Index(usize);
+
+    impl Index {
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            self.0 % len
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64() as usize)
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Mirror of real proptest's `prelude::prop` facade module.
+    pub mod prop {
+        pub use crate::{collection, sample};
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// The test-harness macro. Each inner `fn name(arg in strategy, ...) { .. }`
+/// expands to a `#[test]`-compatible fn running `cases` deterministic draws.
+/// A failing case reprints its inputs (regenerated from the RNG snapshot)
+/// before rethrowing the panic — there is no shrinking.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )* ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let __cases = $crate::test_runner::resolved_cases(&__config);
+            let __seed = $crate::test_runner::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+            $(let $arg = $strat;)+
+            for __case in 0..__cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(__seed, __case);
+                let __snapshot = __rng.clone();
+                let __outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&$arg, &mut __rng);)+
+                    $body
+                }));
+                if let Err(__panic) = __outcome {
+                    let mut __rng = __snapshot;
+                    eprintln!(
+                        "proptest shim: {} failed at case {}/{}; inputs:",
+                        stringify!($name), __case, __cases
+                    );
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&$arg, &mut __rng);
+                        eprintln!("    {} = {:?}", stringify!($arg), $arg);
+                    )+
+                    ::std::panic::resume_unwind(__panic);
+                }
+            }
+        }
+    )*};
+}

@@ -1,0 +1,10 @@
+//! Offline shim for the `serde` facade.
+//!
+//! The workspace derives `Serialize`/`Deserialize` as forward-compatible
+//! markers on config and metrics types but never serializes anything (there
+//! is no `serde_json` in the tree). The container cannot reach a registry,
+//! so this path dependency satisfies `use serde::{Deserialize, Serialize}`
+//! with derives that expand to nothing. Swapping back to real serde is a
+//! one-line change in the workspace manifest.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,18 @@
+//! No-op `Serialize`/`Deserialize` derives.
+//!
+//! The build container has no network access to crates.io, so the workspace
+//! vendors the tiny slice of serde it actually uses. The repo derives these
+//! traits as forward-compatible markers on config/metrics types but never
+//! instantiates a serializer, so the derives can expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

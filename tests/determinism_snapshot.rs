@@ -21,7 +21,14 @@ fn table_i_batch_is_pinned_for_seed_101() {
     let head: Vec<(u64, u64, u64, u32)> = specs
         .iter()
         .take(3)
-        .map(|s| (s.arrival.ticks(), s.deadline.ticks(), s.length.ticks(), s.weight.get()))
+        .map(|s| {
+            (
+                s.arrival.ticks(),
+                s.deadline.ticks(),
+                s.length.ticks(),
+                s.weight.get(),
+            )
+        })
         .collect();
     assert_eq!(
         head,
@@ -53,7 +60,10 @@ fn simulation_results_are_pinned_within_a_build() {
         let specs = generate(&TableISpec::general_case(0.8), 303).unwrap();
         let r = simulate(specs, kind).unwrap();
         (
-            r.outcomes.iter().map(|o| o.finish.ticks()).collect::<Vec<_>>(),
+            r.outcomes
+                .iter()
+                .map(|o| o.finish.ticks())
+                .collect::<Vec<_>>(),
             r.stats.clone(),
         )
     };

@@ -6,7 +6,11 @@ use asets_experiments::config::{ExpConfig, FigureId};
 use asets_experiments::figures::{self, run_figure};
 
 fn smoke_cfg() -> ExpConfig {
-    ExpConfig { seeds: vec![101, 202], n_txns: 250, utilizations: vec![0.3, 0.6, 0.9] }
+    ExpConfig {
+        seeds: vec![101, 202],
+        n_txns: 250,
+        utilizations: vec![0.3, 0.6, 0.9],
+    }
 }
 
 #[test]
@@ -54,7 +58,11 @@ fn fig9_crossover_dynamics() {
 
 #[test]
 fn fig14_asets_star_beats_ready_under_load() {
-    let cfg = ExpConfig { seeds: vec![101, 202, 303], n_txns: 500, utilizations: vec![1.0] };
+    let cfg = ExpConfig {
+        seeds: vec![101, 202, 303],
+        n_txns: 500,
+        utilizations: vec![1.0],
+    };
     let r = figures::fig14::run(&cfg);
     let ready = r.series("Ready").unwrap()[0];
     let asets = r.series("ASETS*").unwrap()[0];
@@ -63,7 +71,11 @@ fn fig14_asets_star_beats_ready_under_load() {
 
 #[test]
 fn fig15_weighted_envelope() {
-    let cfg = ExpConfig { seeds: vec![101, 202], n_txns: 400, utilizations: vec![0.4, 1.0] };
+    let cfg = ExpConfig {
+        seeds: vec![101, 202],
+        n_txns: 400,
+        utilizations: vec![0.4, 1.0],
+    };
     let r = figures::fig15::run(&cfg);
     let edf = r.series("EDF").unwrap();
     let hdf = r.series("HDF").unwrap();
@@ -75,7 +87,11 @@ fn fig15_weighted_envelope() {
 
 #[test]
 fn fig16_17_tradeoff_direction() {
-    let cfg = ExpConfig { seeds: vec![101, 202], n_txns: 400, utilizations: vec![] };
+    let cfg = ExpConfig {
+        seeds: vec![101, 202],
+        n_txns: 400,
+        utilizations: vec![],
+    };
     let mx = figures::fig16_17::run_max(&cfg);
     let av = figures::fig16_17::run_avg(&cfg);
     let base_max = mx.series("ASETS*").unwrap()[0];
@@ -94,10 +110,18 @@ fn fig16_17_tradeoff_direction() {
 
 #[test]
 fn table1_realizes_declared_distributions() {
-    let cfg = ExpConfig { seeds: vec![101, 202], n_txns: 1000, utilizations: vec![0.7] };
+    let cfg = ExpConfig {
+        seeds: vec![101, 202],
+        n_txns: 1000,
+        utilizations: vec![0.7],
+    };
     let r = figures::table1::run(&cfg);
     let (_, row) = &r.rows[0];
-    assert!((row[2] - 0.7).abs() < 0.07, "realized utilization {} vs 0.7", row[2]);
+    assert!(
+        (row[2] - 0.7).abs() < 0.07,
+        "realized utilization {} vs 0.7",
+        row[2]
+    );
     assert!((row[5] - 5.5).abs() < 0.4, "mean weight {}", row[5]);
 }
 

@@ -6,11 +6,7 @@ use asets_sim::{simulate, simulate_with};
 use proptest::prelude::*;
 
 fn workloads(max_n: usize) -> impl Strategy<Value = Vec<TxnSpec>> {
-    proptest::collection::vec(
-        (0u64..80, 1u64..15, 0u64..30, 1u32..10),
-        1..max_n,
-    )
-    .prop_map(|rows| {
+    proptest::collection::vec((0u64..80, 1u64..15, 0u64..30, 1u32..10), 1..max_n).prop_map(|rows| {
         rows.into_iter()
             .map(|(arr, len, slack, w)| {
                 let arrival = SimTime::from_units_int(arr);
@@ -34,7 +30,9 @@ const ALL_POLICIES: [PolicyKind; 8] = [
     PolicyKind::Hdf,
     PolicyKind::Asets,
     PolicyKind::Ready,
-    PolicyKind::AsetsStar { impact: ImpactRule::Paper },
+    PolicyKind::AsetsStar {
+        impact: ImpactRule::Paper,
+    },
 ];
 
 proptest! {

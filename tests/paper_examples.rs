@@ -65,7 +65,11 @@ fn example2_fig4_srpt_top_runs_first() {
     let specs = vec![ind(0, 3.0 - 1e-6, 3), ind(0, 7.0, 5)];
     let r = simulate_traced(specs, PolicyKind::asets_star()).unwrap();
     let trace = r.trace.unwrap();
-    assert_eq!(trace.dispatch_sequence()[0], TxnId(0), "tardy short txn first");
+    assert_eq!(
+        trace.dispatch_sequence()[0],
+        TxnId(0),
+        "tardy short txn first"
+    );
     assert_eq!(trace.completion_order(), vec![TxnId(0), TxnId(1)]);
 }
 
@@ -80,7 +84,10 @@ fn example3_fig5_edf_top_runs_first() {
     let trace = r.trace.unwrap();
     assert_eq!(trace.dispatch_sequence()[0], TxnId(1));
     let edf_outcome = &r.outcomes[1];
-    assert!(edf_outcome.met_deadline(), "the whole point of running it first");
+    assert!(
+        edf_outcome.met_deadline(),
+        "the whole point of running it first"
+    );
 }
 
 /// Example 4 / Fig. 6: workflow-level impact comparison. Two 2-txn chains;
@@ -118,9 +125,7 @@ fn example4_fig6_workflow_impacts() {
 /// finish times on an all-missed batch.
 #[test]
 fn all_missed_reduces_to_srpt() {
-    let specs: Vec<TxnSpec> = (0..12)
-        .map(|i| ind(0, 0.5, 3 + (i * 7) % 11))
-        .collect();
+    let specs: Vec<TxnSpec> = (0..12).map(|i| ind(0, 0.5, 3 + (i * 7) % 11)).collect();
     let asets = simulate_with(specs.clone(), Asets::new()).unwrap();
     let srpt = simulate_with(specs, Srpt::new()).unwrap();
     for (a, s) in asets.outcomes.iter().zip(&srpt.outcomes) {

@@ -9,8 +9,8 @@
 //! in a run changes some dispatch and fails the test.
 
 use asets_core::policy::reference::{
-    check_precedence_invariant, NaiveAsets, NaiveAsetsStar, NaiveEdf, NaiveFcfs, NaiveHdf,
-    NaiveLs, NaiveSrpt,
+    check_precedence_invariant, NaiveAsets, NaiveAsetsStar, NaiveEdf, NaiveFcfs, NaiveHdf, NaiveLs,
+    NaiveSrpt, RescanAsetsStar,
 };
 use asets_core::prelude::*;
 use asets_core::table::TxnTable;
@@ -22,10 +22,10 @@ use proptest::prelude::*;
 fn workload_strategy(max_n: usize) -> impl Strategy<Value = Vec<TxnSpec>> {
     proptest::collection::vec(
         (
-            0u64..60,   // arrival
-            1u64..20,   // length
-            0u64..40,   // extra slack beyond length
-            1u32..10,   // weight
+            0u64..60, // arrival
+            1u64..20, // length
+            0u64..40, // extra slack beyond length
+            1u32..10, // weight
             proptest::collection::vec(any::<prop::sample::Index>(), 0..3),
         ),
         1..max_n,
@@ -40,11 +40,19 @@ fn workload_strategy(max_n: usize) -> impl Strategy<Value = Vec<TxnSpec>> {
                 let mut dep_ids: Vec<TxnId> = if i == 0 {
                     Vec::new()
                 } else {
-                    deps.into_iter().map(|idx| TxnId(idx.index(i) as u32)).collect()
+                    deps.into_iter()
+                        .map(|idx| TxnId(idx.index(i) as u32))
+                        .collect()
                 };
                 dep_ids.sort_unstable();
                 dep_ids.dedup();
-                TxnSpec { arrival, deadline, length, weight: Weight(w), deps: dep_ids }
+                TxnSpec {
+                    arrival,
+                    deadline,
+                    length,
+                    weight: Weight(w),
+                    deps: dep_ids,
+                }
             })
             .collect::<Vec<_>>()
     })
@@ -106,6 +114,19 @@ proptest! {
         // checker runs against live tables, so here assert the dependency
         // order directly from finish times.
         let _ = check_precedence_invariant; // structural checker used in unit tests
+    }
+
+    /// Three-way agreement: the incremental-index ASETS* must also match
+    /// the pre-index rescan implementation, which shares the keyed-list and
+    /// migration bookkeeping but recomputes representatives and heads by
+    /// member scans. Together with `asets_star_matches_oracle` this
+    /// triangulates the `WorkflowIndex`: indexed == rescan == naive.
+    #[test]
+    fn rescan_asets_star_matches_indexed(specs in workload_strategy(24)) {
+        let table = TxnTable::new(specs.clone()).expect("acyclic");
+        let a = finishes(specs.clone(), AsetsStar::with_defaults(&table));
+        let b = finishes(specs, RescanAsetsStar::with_defaults(&table));
+        prop_assert_eq!(a, b);
     }
 
     /// Symmetric-impact ASETS* also matches ITS oracle (the rule is

@@ -21,7 +21,11 @@ use asets_workload::{generate, TableISpec};
 fn batch_moments(specs: &[asets_core::txn::TxnSpec]) -> (f64, f64) {
     let n = specs.len() as f64;
     let m1 = specs.iter().map(|s| s.length.as_units()).sum::<f64>() / n;
-    let m2 = specs.iter().map(|s| s.length.as_units().powi(2)).sum::<f64>() / n;
+    let m2 = specs
+        .iter()
+        .map(|s| s.length.as_units().powi(2))
+        .sum::<f64>()
+        / n;
     (m1, m2)
 }
 
@@ -29,7 +33,10 @@ fn batch_moments(specs: &[asets_core::txn::TxnSpec]) -> (f64, f64) {
 fn fcfs_matches_pollaczek_khinchine() {
     // Moderate load keeps relative confidence intervals tight at this n.
     for util in [0.3, 0.6] {
-        let spec = TableISpec { n_txns: 30_000, ..TableISpec::transaction_level(util) };
+        let spec = TableISpec {
+            n_txns: 30_000,
+            ..TableISpec::transaction_level(util)
+        };
         let mut measured = 0.0;
         let mut predicted = 0.0;
         for seed in [101u64, 202, 303] {
@@ -54,7 +61,10 @@ fn fcfs_matches_pollaczek_khinchine() {
 #[test]
 fn busy_fraction_matches_offered_load() {
     let util = 0.5;
-    let spec = TableISpec { n_txns: 20_000, ..TableISpec::transaction_level(util) };
+    let spec = TableISpec {
+        n_txns: 20_000,
+        ..TableISpec::transaction_level(util)
+    };
     let specs = generate(&spec, 404).unwrap();
     let r = simulate(specs, PolicyKind::Fcfs).unwrap();
     // Over the horizon up to the last *arrival*, the busy fraction tracks ρ
@@ -70,7 +80,10 @@ fn busy_fraction_matches_offered_load() {
 
 #[test]
 fn srpt_beats_fcfs_on_mean_response_time() {
-    let spec = TableISpec { n_txns: 10_000, ..TableISpec::transaction_level(0.7) };
+    let spec = TableISpec {
+        n_txns: 10_000,
+        ..TableISpec::transaction_level(0.7)
+    };
     let specs = generate(&spec, 505).unwrap();
     let fcfs = simulate(specs.clone(), PolicyKind::Fcfs).unwrap();
     let srpt = simulate(specs, PolicyKind::Srpt).unwrap();
@@ -87,9 +100,22 @@ fn response_time_grows_superlinearly_with_load() {
     // 1/(1−ρ) growth: the U=0.9 queue must be far worse than 3× the U=0.3 one.
     let mut means = Vec::new();
     for util in [0.3, 0.9] {
-        let spec = TableISpec { n_txns: 10_000, ..TableISpec::transaction_level(util) };
+        let spec = TableISpec {
+            n_txns: 10_000,
+            ..TableISpec::transaction_level(util)
+        };
         let specs = generate(&spec, 606).unwrap();
-        means.push(simulate(specs, PolicyKind::Fcfs).unwrap().summary.avg_response_time);
+        means.push(
+            simulate(specs, PolicyKind::Fcfs)
+                .unwrap()
+                .summary
+                .avg_response_time,
+        );
     }
-    assert!(means[1] > means[0] * 3.0, "U=0.9 {:.1} vs U=0.3 {:.1}", means[1], means[0]);
+    assert!(
+        means[1] > means[0] * 3.0,
+        "U=0.9 {:.1} vs U=0.3 {:.1}",
+        means[1],
+        means[0]
+    );
 }

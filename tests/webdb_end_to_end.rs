@@ -11,7 +11,12 @@ use asets_webdb::page::render;
 use asets_webdb::query::cost::CostModel;
 
 fn small_params() -> StockDbParams {
-    StockDbParams { n_stocks: 120, n_users: 20, holdings_per_user: 8, alerts_per_user: 4 }
+    StockDbParams {
+        n_stocks: 120,
+        n_users: 20,
+        holdings_per_user: 8,
+        alerts_per_user: 4,
+    }
 }
 
 #[test]

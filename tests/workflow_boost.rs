@@ -50,7 +50,10 @@ fn representative_boost_saves_the_urgent_dependent() {
 #[test]
 fn boost_wins_at_saturation() {
     let specs = generate(
-        &TableISpec { n_txns: 600, ..TableISpec::workflow_level(1.0) },
+        &TableISpec {
+            n_txns: 600,
+            ..TableISpec::workflow_level(1.0)
+        },
         202,
     )
     .unwrap();
@@ -69,7 +72,10 @@ fn boost_wins_at_saturation() {
 #[test]
 fn archived_batches_replay_identically() {
     let specs = generate(
-        &TableISpec { n_txns: 300, ..TableISpec::general_case(0.8) },
+        &TableISpec {
+            n_txns: 300,
+            ..TableISpec::general_case(0.8)
+        },
         404,
     )
     .unwrap();
@@ -91,11 +97,11 @@ fn archived_batches_replay_identically() {
 #[test]
 fn figure1_shared_leaf_page() {
     let specs = vec![
-        mk(0, 50, 2, 1, vec![]),          // T0: shared leaf
-        mk(0, 40, 3, 1, vec![TxnId(0)]),  // branch A mid
-        mk(0, 60, 2, 1, vec![TxnId(1)]),  // branch A root
-        mk(0, 20, 1, 5, vec![TxnId(0)]),  // branch B mid (urgent+heavy)
-        mk(0, 70, 4, 1, vec![TxnId(3)]),  // branch B root
+        mk(0, 50, 2, 1, vec![]),         // T0: shared leaf
+        mk(0, 40, 3, 1, vec![TxnId(0)]), // branch A mid
+        mk(0, 60, 2, 1, vec![TxnId(1)]), // branch A root
+        mk(0, 20, 1, 5, vec![TxnId(0)]), // branch B mid (urgent+heavy)
+        mk(0, 70, 4, 1, vec![TxnId(3)]), // branch B root
     ];
     let r = simulate_traced(specs, PolicyKind::asets_star()).unwrap();
     let f = |i: u32| r.outcomes[i as usize].finish;
@@ -104,6 +110,10 @@ fn figure1_shared_leaf_page() {
     // The urgent branch-B mid runs immediately after the shared leaf.
     let order = r.trace.unwrap().completion_order();
     assert_eq!(order[0], TxnId(0));
-    assert_eq!(order[1], TxnId(3), "urgency propagates through the shared leaf");
+    assert_eq!(
+        order[1],
+        TxnId(3),
+        "urgency propagates through the shared leaf"
+    );
     assert_eq!(r.summary.miss_ratio, 0.0);
 }
