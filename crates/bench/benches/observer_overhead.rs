@@ -1,0 +1,81 @@
+//! The observability tax, measured.
+//!
+//! Three variants of the exact `deep_workflow_scale/indexed/100` workload
+//! (10k transactions in 100-member interleaved chains under indexed
+//! ASETS\*):
+//!
+//! 1. `disabled` — no observer attached. This is PR 1's hot path and MUST
+//!    stay there: `ObserverSlot` is a single `Option` branch per decision
+//!    and the engine takes zero clock reads. `obs_gate` compares this mean
+//!    against `deep_workflow_scale/indexed/100` from a same-machine
+//!    `BENCH_scheduler.json` and fails the build on a >5% regression.
+//! 2. `noop` — a `NoopObserver` attached through the real `Rc<RefCell<..>>`
+//!    plumbing. The delta over `disabled` is the cost of building decision
+//!    records plus two `Instant` reads per scheduling point — the floor any
+//!    real observer pays.
+//! 3. `flight_recorder` — a full `FlightRecorder` (ring writes, counters,
+//!    histograms). The delta over `noop` is the recording cost itself.
+
+use asets_bench::chain_workload;
+use asets_core::obs::{share, NoopObserver, SharedObserver};
+use asets_core::policy::AsetsStar;
+use asets_core::table::TxnTable;
+use asets_core::txn::TxnSpec;
+use asets_obs::FlightRecorder;
+use asets_sim::Engine;
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use std::cell::RefCell;
+use std::hint::black_box;
+use std::rc::Rc;
+
+/// Ring size for the `flight_recorder` variant: large enough that the
+/// 10k-transaction run never evicts, so the bench times steady-state pushes
+/// rather than eviction churn.
+const RING: usize = 1 << 20;
+
+/// Time full runs of `specs` under indexed ASETS\* with an observer made by
+/// `make_obs` (or none), clones prepared outside the timed region.
+fn bench_observed<F>(
+    g: &mut criterion::BenchmarkGroup<'_>,
+    id: BenchmarkId,
+    specs: &[TxnSpec],
+    make_obs: F,
+) where
+    F: Fn() -> Option<SharedObserver> + Copy,
+{
+    g.bench_with_input(id, &specs, |b, specs| {
+        b.iter_batched(
+            || (specs.to_vec(), specs.to_vec(), make_obs()),
+            |(for_table, for_sim, obs)| {
+                let table = TxnTable::new(for_table).unwrap();
+                let policy = AsetsStar::with_defaults(&table);
+                let mut engine = Engine::new(for_sim, policy).unwrap();
+                if let Some(obs) = obs {
+                    engine = engine.with_observer(obs);
+                }
+                black_box(engine.run().summary.avg_tardiness)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn observer_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("observer_overhead");
+    g.sample_size(10);
+    let specs = chain_workload(10_000, 100);
+    bench_observed(&mut g, BenchmarkId::new("disabled", 100), &specs, || None);
+    bench_observed(&mut g, BenchmarkId::new("noop", 100), &specs, || {
+        Some(share(&Rc::new(RefCell::new(NoopObserver))))
+    });
+    bench_observed(
+        &mut g,
+        BenchmarkId::new("flight_recorder", 100),
+        &specs,
+        || Some(share(&FlightRecorder::shared(RING))),
+    );
+    g.finish();
+}
+
+criterion_group!(benches, observer_overhead);
+criterion_main!(benches);

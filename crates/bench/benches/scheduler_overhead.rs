@@ -12,12 +12,12 @@
 //!    the pre-index rescan implementation (O(|W|) per event), plus a
 //!    100k-transaction batch at the indexed cost only.
 
+use asets_bench::chain_workload;
 use asets_core::policy::reference::{NaiveAsetsStar, RescanAsetsStar};
 use asets_core::policy::{AsetsStar, PolicyKind};
 use asets_core::queue::KeyedQueue;
 use asets_core::table::TxnTable;
-use asets_core::time::{SimDuration, SimTime};
-use asets_core::txn::{TxnId, TxnSpec, Weight};
+use asets_core::txn::TxnSpec;
 use asets_sim::simulate_with;
 use asets_workload::{generate, TableISpec};
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
@@ -114,50 +114,6 @@ fn scales_like_edf_srpt(c: &mut Criterion) {
         );
     }
     g.finish();
-}
-
-/// SplitMix64 finalizer — deterministic pseudo-randomization by index, so
-/// the workload is reproducible without a RNG dependency.
-fn mix(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E3779B97F4A7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-    z ^ (z >> 31)
-}
-
-/// `n` transactions arranged as dependency chains of `chain_len` members:
-/// each chain is one workflow whose member count *is* `chain_len`, so the
-/// per-event rescan cost grows linearly with it while the indexed cost only
-/// gains a log factor. Chains are *interleaved* across the id space (member
-/// `m` of chain `c` is transaction `m·C + c`), the way concurrent sessions'
-/// transactions actually arrive in a web database — so a member rescan
-/// strides through the whole table instead of walking a contiguous (and
-/// cache-resident) block. Arrivals are staggered per chain and slacks vary
-/// so workflows keep crossing between the EDF and HDF lists (migrations,
-/// requeues and releases all fire).
-fn chain_workload(n: usize, chain_len: usize) -> Vec<TxnSpec> {
-    let n_chains = n / chain_len;
-    (0..n)
-        .map(|i| {
-            let chain = i % n_chains;
-            let pos = i / n_chains;
-            let h = mix(i as u64);
-            let arrival = SimTime::from_units_int((chain % 64) as u64);
-            let length = SimDuration::from_units_int(1 + h % 8);
-            let slack = SimDuration::from_units_int((h >> 8) % 60);
-            TxnSpec {
-                arrival,
-                deadline: arrival + length + slack,
-                length,
-                weight: Weight(1 + (h >> 16) as u32 % 9),
-                deps: if pos == 0 {
-                    vec![]
-                } else {
-                    vec![TxnId((i - n_chains) as u32)]
-                },
-            }
-        })
-        .collect()
 }
 
 /// Time full simulation runs of `specs` under a policy, with the workload

@@ -1,0 +1,101 @@
+//! `obs_gate` — fail the build if the observer-disabled scheduler path
+//! regresses against the uninstrumented baseline.
+//!
+//! ```text
+//! obs_gate [BENCH_obs.json] [BENCH_scheduler.json] [threshold-%]
+//! ```
+//!
+//! Reads the criterion-shim summaries for `observer_overhead` (obs file)
+//! and `scheduler_overhead` (baseline file), then compares
+//! `observer_overhead/disabled/100` against
+//! `deep_workflow_scale/indexed/100` — the *same* workload under the same
+//! indexed ASETS\* policy, the only difference being that the former is
+//! built from code carrying the `ObserverSlot` hooks. If the disabled path
+//! is more than `threshold` (default 5) percent slower, exits non-zero.
+//!
+//! Both files must come from the same machine and the same bench mode
+//! (CI regenerates both in `BENCH_QUICK=1`); comparing a quick-mode run
+//! against a checked-in full-mode file measures the mode, not the code.
+//! The noop/flight-recorder ratios are printed for the artifact but not
+//! gated — attached-observer cost is a feature, not a regression.
+
+use asets_obs::json::parse_flat;
+use std::process::ExitCode;
+
+/// Pull `mean_ns` for `group`/`id` out of a bench summary file: a JSON
+/// document whose `results` array holds one flat object per line (the
+/// shape the criterion shim writes).
+fn mean_ns(path: &str, group: &str, id: &str) -> Result<f64, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if !line.starts_with("{\"group\"") {
+            continue;
+        }
+        let obj = parse_flat(line).map_err(|e| format!("{path}: bad result line: {e}"))?;
+        if obj.str("group") == Some(group) && obj.str("id") == Some(id) {
+            return obj
+                .float("mean_ns")
+                .ok_or_else(|| format!("{path}: {group}/{id} has no mean_ns"));
+        }
+    }
+    Err(format!("{path}: no result for {group}/{id}"))
+}
+
+fn run(obs_path: &str, sched_path: &str, threshold_pct: f64) -> Result<(), String> {
+    let baseline = mean_ns(sched_path, "deep_workflow_scale", "indexed/100")?;
+    let disabled = mean_ns(obs_path, "observer_overhead", "disabled/100")?;
+    let ratio = disabled / baseline;
+    println!(
+        "baseline  deep_workflow_scale/indexed/100   {:>14.1} ns",
+        baseline
+    );
+    println!(
+        "disabled  observer_overhead/disabled/100    {:>14.1} ns   ({:+.2}% vs baseline)",
+        disabled,
+        (ratio - 1.0) * 100.0
+    );
+    // Informational: what attaching an observer actually costs.
+    for id in ["noop/100", "flight_recorder/100"] {
+        if let Ok(v) = mean_ns(obs_path, "observer_overhead", id) {
+            println!(
+                "attached  observer_overhead/{id:<18} {:>14.1} ns   ({:+.2}% vs disabled)",
+                v,
+                (v / disabled - 1.0) * 100.0
+            );
+        }
+    }
+    if ratio > 1.0 + threshold_pct / 100.0 {
+        return Err(format!(
+            "observer-disabled path is {:.2}% slower than the uninstrumented baseline \
+             (threshold {threshold_pct}%)",
+            (ratio - 1.0) * 100.0
+        ));
+    }
+    println!("gate ok: disabled path within {threshold_pct}% of baseline");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let obs_path = args.first().map(String::as_str).unwrap_or("BENCH_obs.json");
+    let sched_path = args
+        .get(1)
+        .map(String::as_str)
+        .unwrap_or("BENCH_scheduler.json");
+    let threshold = match args.get(2).map(|s| s.parse::<f64>()) {
+        None => 5.0,
+        Some(Ok(v)) if v > 0.0 => v,
+        Some(_) => {
+            eprintln!("usage: obs_gate [obs.json] [scheduler.json] [threshold-%]");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(obs_path, sched_path, threshold) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("obs_gate: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

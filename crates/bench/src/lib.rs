@@ -9,7 +9,8 @@
 //! the minutes range.
 
 use asets_core::policy::PolicyKind;
-use asets_core::txn::TxnSpec;
+use asets_core::time::{SimDuration, SimTime};
+use asets_core::txn::{TxnId, TxnSpec, Weight};
 use asets_sim::{simulate, SimResult};
 use asets_workload::{generate, TableISpec};
 
@@ -32,6 +33,54 @@ pub fn run_cell(specs: &[TxnSpec], policy: PolicyKind) -> SimResult {
     simulate(specs.to_vec(), policy).expect("bench workload is acyclic")
 }
 
+/// SplitMix64 finalizer — deterministic pseudo-randomization by index, so
+/// bench workloads are reproducible without a RNG dependency.
+pub fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// `n` transactions arranged as dependency chains of `chain_len` members:
+/// each chain is one workflow whose member count *is* `chain_len`, so the
+/// per-event rescan cost grows linearly with it while the indexed cost only
+/// gains a log factor. Chains are *interleaved* across the id space (member
+/// `m` of chain `c` is transaction `m·C + c`), the way concurrent sessions'
+/// transactions actually arrive in a web database — so a member rescan
+/// strides through the whole table instead of walking a contiguous (and
+/// cache-resident) block. Arrivals are staggered per chain and slacks vary
+/// so workflows keep crossing between the EDF and HDF lists (migrations,
+/// requeues and releases all fire).
+///
+/// Shared by `scheduler_overhead` (the scaling claim) and
+/// `observer_overhead` (the no-op-observer gate) so both benches time the
+/// exact same workload.
+pub fn chain_workload(n: usize, chain_len: usize) -> Vec<TxnSpec> {
+    let n_chains = n / chain_len;
+    (0..n)
+        .map(|i| {
+            let chain = i % n_chains;
+            let pos = i / n_chains;
+            let h = mix(i as u64);
+            let arrival = SimTime::from_units_int((chain % 64) as u64);
+            let length = SimDuration::from_units_int(1 + h % 8);
+            let slack = SimDuration::from_units_int((h >> 8) % 60);
+            TxnSpec {
+                arrival,
+                deadline: arrival + length + slack,
+                length,
+                weight: Weight(1 + (h >> 16) as u32 % 9),
+                deps: if pos == 0 {
+                    vec![]
+                } else {
+                    vec![TxnId((i - n_chains) as u32)]
+                },
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -41,5 +90,21 @@ mod tests {
         let specs = bench_workload(&TableISpec::transaction_level(0.5));
         let r = run_cell(&specs, PolicyKind::asets_star());
         assert_eq!(r.outcomes.len(), BENCH_N);
+    }
+
+    #[test]
+    fn chain_workload_links_interleaved_chains() {
+        let specs = chain_workload(1_000, 100);
+        assert_eq!(specs.len(), 1_000);
+        let n_chains = 10;
+        // Chain heads have no deps; every later member depends on the
+        // transaction one stride back (same chain, previous position).
+        for (i, s) in specs.iter().enumerate() {
+            if i < n_chains {
+                assert!(s.deps.is_empty(), "T{i} should be a chain head");
+            } else {
+                assert_eq!(s.deps, vec![TxnId((i - n_chains) as u32)]);
+            }
+        }
     }
 }

@@ -58,6 +58,7 @@
 
 pub mod dag;
 pub mod metrics;
+pub mod obs;
 pub mod policy;
 pub mod queue;
 pub mod table;
@@ -69,6 +70,10 @@ pub mod workflow;
 pub mod prelude {
     pub use crate::dag::{DagError, DepDag};
     pub use crate::metrics::{MetricsAccumulator, MetricsSummary};
+    pub use crate::obs::{
+        Candidate, DecisionRecord, DecisionRule, MigrationEvent, MigrationSubject, NoopObserver,
+        Observer, ObserverSlot, SharedObserver, Winner,
+    };
     pub use crate::policy::{
         ActivationMode, Asets, AsetsStar, AsetsStarConfig, BalanceAware, Edf, Fcfs, Hdf, Hvf,
         ImpactRule, LeastSlack, LoadSwitch, Mix, PolicyKind, Ready, Scheduler, Srpt,

@@ -31,6 +31,9 @@
 //! stale key.
 
 use super::Scheduler;
+use crate::obs::{
+    Candidate, DecisionRecord, DecisionRule, MigrationEvent, MigrationSubject, ObserverSlot, Winner,
+};
 use crate::queue::KeyedQueue;
 use crate::table::TxnTable;
 use crate::time::SimTime;
@@ -45,6 +48,8 @@ pub struct Asets {
     srpt: KeyedQueue<u64>,
     /// Latest-start index over the EDF-List members, for migration.
     latest_start: KeyedQueue<u64>,
+    /// Decision-provenance sink (detached by default).
+    obs: ObserverSlot,
 }
 
 impl Asets {
@@ -86,6 +91,14 @@ impl Asets {
                 "latest-start index out of sync with EDF-List"
             );
             self.srpt.insert(id, table.remaining(TxnId(id)).ticks());
+            if self.obs.is_attached() {
+                let ev = MigrationEvent {
+                    at: now,
+                    subject: MigrationSubject::Txn(TxnId(id)),
+                    to_hdf: true,
+                };
+                self.obs.emit(|o| o.migration(&ev));
+            }
         }
     }
 
@@ -94,7 +107,61 @@ impl Asets {
     fn decide(&self, table: &TxnTable, now: SimTime) -> Option<TxnId> {
         let edf_top = self.edf.peek_id().map(TxnId);
         let srpt_top = self.srpt.peek_id().map(TxnId);
-        decide_eq1(table, now, edf_top, srpt_top)
+        let chosen = decide_eq1(table, now, edf_top, srpt_top);
+        if self.obs.is_attached() {
+            if let Some(chosen) = chosen {
+                let rec = self.provenance(table, now, edf_top, srpt_top, chosen);
+                self.obs.emit(|o| o.decision(&rec));
+            }
+        }
+        chosen
+    }
+
+    /// Reconstruct the Eq. 1 provenance of `decide`'s outcome (observer
+    /// path only — never runs detached).
+    fn provenance(
+        &self,
+        table: &TxnTable,
+        now: SimTime,
+        edf_top: Option<TxnId>,
+        srpt_top: Option<TxnId>,
+        chosen: TxnId,
+    ) -> DecisionRecord {
+        let cand = |t: TxnId| Candidate {
+            txn: t,
+            workflow: None,
+            r: table.remaining(t),
+            slack: table.slack(t, now),
+            weight: table.weight(t).get(),
+            deadline: table.deadline(t),
+        };
+        let (winner, impact_edf, impact_hdf) = match (edf_top, srpt_top) {
+            (Some(e), Some(s)) => {
+                let r_edf = table.remaining(e).ticks() as i128;
+                let r_srpt = table.remaining(s).ticks() as i128;
+                let s_edf = table.slack(e, now).ticks();
+                let winner = if chosen == e {
+                    Winner::Edf
+                } else {
+                    Winner::Hdf
+                };
+                (winner, r_edf, r_srpt - s_edf)
+            }
+            (Some(_), None) => (Winner::OnlyEdf, 0, 0),
+            _ => (Winner::OnlyHdf, 0, 0),
+        };
+        DecisionRecord {
+            at: now,
+            rule: DecisionRule::Eq1,
+            edf: edf_top.map(cand),
+            hdf: srpt_top.map(cand),
+            impact_edf,
+            impact_hdf,
+            winner,
+            chosen,
+            edf_len: self.edf.len() as u32,
+            hdf_len: self.srpt.len() as u32,
+        }
     }
 }
 
@@ -156,6 +223,10 @@ impl Scheduler for Asets {
     fn select(&mut self, table: &TxnTable, now: SimTime) -> Option<TxnId> {
         self.migrate(table, now);
         self.decide(table, now)
+    }
+
+    fn attach_observer(&mut self, obs: crate::obs::SharedObserver) {
+        self.obs.attach(obs);
     }
 }
 
@@ -350,5 +421,98 @@ mod tests {
         );
         assert_eq!(p.srpt_len(), 1);
         assert_eq!(p.select(&tbl, at(0)), Some(TxnId(0)));
+    }
+
+    /// An attached observer sees an Eq. 1 record whose impacts reproduce the
+    /// actual decision, and a migration event when a transaction's deadline
+    /// becomes unreachable.
+    #[test]
+    fn observer_sees_eq1_provenance_and_migration() {
+        use crate::obs::{share, DecisionRule, Observer, Winner};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        #[derive(Default)]
+        struct Cap {
+            decisions: Vec<crate::obs::DecisionRecord>,
+            migrations: Vec<crate::obs::MigrationEvent>,
+        }
+        impl Observer for Cap {
+            fn decision(&mut self, rec: &crate::obs::DecisionRecord) {
+                self.decisions.push(*rec);
+            }
+            fn migration(&mut self, ev: &crate::obs::MigrationEvent) {
+                self.migrations.push(*ev);
+            }
+        }
+
+        // Example 2's shape: T0 already missed (SRPT list), T1 feasible.
+        let (tbl, mut p) = ready_all(
+            vec![
+                TxnSpec::independent(
+                    at(0),
+                    SimTime::from_units(3.0 - 1e-6),
+                    units(3),
+                    Weight::ONE,
+                ),
+                TxnSpec::independent(at(0), at(7), units(5), Weight::ONE),
+            ],
+            at(0),
+        );
+        let cap = Rc::new(RefCell::new(Cap::default()));
+        p.attach_observer(share(&cap));
+
+        assert_eq!(p.select(&tbl, at(0)), Some(TxnId(0)));
+        {
+            let c = cap.borrow();
+            let rec = c.decisions.last().expect("decision recorded");
+            assert_eq!(rec.rule, DecisionRule::Eq1);
+            assert_eq!(rec.winner, Winner::Hdf, "SRPT side won Example 2");
+            assert_eq!(rec.chosen, TxnId(0));
+            // impact_edf = r_EDF = 5; impact_hdf = r_SRPT - s_EDF = 3 - 2 = 1.
+            assert_eq!(rec.impact_edf, units(5).ticks() as i128);
+            assert_eq!(rec.impact_hdf, units(1).ticks() as i128);
+            assert!(rec.margin() < 0, "HDF win ⇒ negative margin");
+            assert_eq!(rec.edf_len, 1);
+            assert_eq!(rec.hdf_len, 1);
+        }
+
+        // At t=3, T1 (r=5, d=7) can no longer finish in time: EDF→HDF.
+        assert_eq!(p.select(&tbl, at(3)), Some(TxnId(0)));
+        let c = cap.borrow();
+        assert_eq!(c.migrations.len(), 1);
+        assert!(c.migrations[0].to_hdf);
+        assert_eq!(
+            c.migrations[0].subject,
+            crate::obs::MigrationSubject::Txn(TxnId(1))
+        );
+    }
+
+    /// With a single ready transaction the record is one-sided.
+    #[test]
+    fn observer_one_sided_record() {
+        use crate::obs::{share, Observer, Winner};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        #[derive(Default)]
+        struct Last(Option<crate::obs::DecisionRecord>);
+        impl Observer for Last {
+            fn decision(&mut self, rec: &crate::obs::DecisionRecord) {
+                self.0 = Some(*rec);
+            }
+        }
+
+        let (tbl, mut p) = ready_all(
+            vec![TxnSpec::independent(at(0), at(9), units(2), Weight::ONE)],
+            at(0),
+        );
+        let cap = Rc::new(RefCell::new(Last::default()));
+        p.attach_observer(share(&cap));
+        assert_eq!(p.select(&tbl, at(0)), Some(TxnId(0)));
+        let rec = cap.borrow().0.expect("record");
+        assert_eq!(rec.winner, Winner::OnlyEdf);
+        assert!(rec.hdf.is_none());
+        assert!(!rec.is_comparison());
     }
 }

@@ -23,6 +23,9 @@
 //! selection), D9 (representative visibility).
 
 use super::{head_rule_for_side, Ratio, Scheduler};
+use crate::obs::{
+    Candidate, DecisionRecord, DecisionRule, MigrationEvent, MigrationSubject, ObserverSlot, Winner,
+};
 use crate::queue::MinTree;
 use crate::table::TxnTable;
 use crate::time::SimTime;
@@ -106,6 +109,9 @@ pub struct AsetsStar {
     latest_start: MinTree<u64>,
     /// Current list of each workflow.
     side: Vec<Side>,
+    /// Decision-provenance sink (detached by default; the hot path then
+    /// pays a single branch per decision).
+    obs: ObserverSlot,
 }
 
 impl AsetsStar {
@@ -122,6 +128,7 @@ impl AsetsStar {
             hdf: MinTree::new(n),
             latest_start: MinTree::new(n),
             side: vec![Side::Out; n],
+            obs: ObserverSlot::empty(),
         }
     }
 
@@ -167,6 +174,7 @@ impl AsetsStar {
     /// unchanged (the common case: most events don't move a workflow's
     /// aggregate minima).
     fn refresh(&mut self, w: WfId, now: SimTime) {
+        let prev_side = self.side[w.index()];
         let rep = if self.index.is_schedulable(w) {
             self.index.representative(w)
         } else {
@@ -193,6 +201,21 @@ impl AsetsStar {
             }
             self.hdf.set(w.0, Some(key));
             self.side[w.index()] = Side::Hdf;
+        }
+        if self.obs.is_attached() {
+            let to_hdf = match (prev_side, self.side[w.index()]) {
+                (Side::Edf, Side::Hdf) => Some(true),
+                (Side::Hdf, Side::Edf) => Some(false),
+                _ => None,
+            };
+            if let Some(to_hdf) = to_hdf {
+                let ev = MigrationEvent {
+                    at: now,
+                    subject: MigrationSubject::Workflow(w),
+                    to_hdf,
+                };
+                self.obs.emit(|o| o.migration(&ev));
+            }
         }
     }
 
@@ -225,6 +248,14 @@ impl AsetsStar {
                 .expect("EDF-List workflow lost its representative without an event");
             self.hdf.set(id, Some(Reverse(hdf_key(&rep))));
             self.side[w.index()] = Side::Hdf;
+            if self.obs.is_attached() {
+                let ev = MigrationEvent {
+                    at: now,
+                    subject: MigrationSubject::Workflow(w),
+                    to_hdf: true,
+                };
+                self.obs.emit(|o| o.migration(&ev));
+            }
         }
     }
 
@@ -234,24 +265,101 @@ impl AsetsStar {
             .expect("listed workflow must have a ready head")
     }
 
+    /// The provenance [`Candidate`] for workflow `w`'s head under its
+    /// representative `rep` (observer path only).
+    fn wf_candidate(
+        &self,
+        w: WfId,
+        head: TxnId,
+        rep: &Representative,
+        table: &TxnTable,
+        now: SimTime,
+    ) -> Candidate {
+        Candidate {
+            txn: head,
+            workflow: Some(w),
+            r: table.remaining(head),
+            slack: rep.slack(now),
+            weight: rep.weight.get(),
+            deadline: rep.deadline,
+        }
+    }
+
+    /// The Fig. 7 decision rule as a provenance token.
+    fn decision_rule(&self) -> DecisionRule {
+        match self.cfg.impact {
+            ImpactRule::Paper => DecisionRule::Fig7Paper,
+            ImpactRule::Symmetric => DecisionRule::Fig7Symmetric,
+        }
+    }
+
+    /// Emit a one-sided decision record (only one list populated).
+    fn observe_unopposed(&self, table: &TxnTable, now: SimTime, w: WfId, head: TxnId, edf: bool) {
+        if !self.obs.is_attached() {
+            return;
+        }
+        let rep = self.index.representative(w).expect("listed wf has a rep");
+        let cand = self.wf_candidate(w, head, &rep, table, now);
+        let rec = DecisionRecord {
+            at: now,
+            rule: self.decision_rule(),
+            edf: if edf { Some(cand) } else { None },
+            hdf: if edf { None } else { Some(cand) },
+            impact_edf: 0,
+            impact_hdf: 0,
+            winner: if edf {
+                Winner::OnlyEdf
+            } else {
+                Winner::OnlyHdf
+            },
+            chosen: head,
+            edf_len: self.edf.len() as u32,
+            hdf_len: self.hdf.len() as u32,
+        };
+        self.obs.emit(|o| o.decision(&rec));
+    }
+
     /// The Fig. 7 decision between the two list tops.
     fn decide(&self, table: &TxnTable, now: SimTime) -> Option<TxnId> {
         let edf_top = self.edf.peek_id().map(WfId);
         let hdf_top = self.hdf.peek_id().map(WfId);
         match (edf_top, hdf_top) {
             (None, None) => None,
-            (Some(a), None) => Some(self.head_of(a, self.cfg.edf_head)),
-            (None, Some(b)) => Some(self.head_of(b, self.cfg.hdf_head)),
+            (Some(a), None) => {
+                let head = self.head_of(a, self.cfg.edf_head);
+                self.observe_unopposed(table, now, a, head, true);
+                Some(head)
+            }
+            (None, Some(b)) => {
+                let head = self.head_of(b, self.cfg.hdf_head);
+                self.observe_unopposed(table, now, b, head, false);
+                Some(head)
+            }
             (Some(a), Some(b)) => {
                 let head_a = self.head_of(a, self.cfg.edf_head);
                 let head_b = self.head_of(b, self.cfg.hdf_head);
                 let rep_a = self.index.representative(a).expect("EDF top has a rep");
                 let rep_b = self.index.representative(b).expect("HDF top has a rep");
-                if edf_wins(self.cfg.impact, table, now, head_a, &rep_a, head_b, &rep_b) {
-                    Some(head_a)
-                } else {
-                    Some(head_b)
+                let (impact_a, impact_b) =
+                    impact_values(self.cfg.impact, table, now, head_a, &rep_a, head_b, &rep_b);
+                let edf_first = impact_a < impact_b;
+                let chosen = if edf_first { head_a } else { head_b };
+                if self.obs.is_attached() {
+                    let rec = DecisionRecord {
+                        at: now,
+                        rule: self.decision_rule(),
+                        edf: Some(self.wf_candidate(a, head_a, &rep_a, table, now)),
+                        hdf: Some(self.wf_candidate(b, head_b, &rep_b, table, now)),
+                        impact_edf: impact_a,
+                        impact_hdf: impact_b,
+                        winner: if edf_first { Winner::Edf } else { Winner::Hdf },
+                        chosen,
+                        edf_len: self.edf.len() as u32,
+                        hdf_len: self.hdf.len() as u32,
+                    };
+                    self.obs.emit(|o| o.decision(&rec));
                 }
+                Some(chosen)
             }
         }
     }
@@ -260,6 +368,35 @@ impl AsetsStar {
 /// Representative density key `w_rep / r_rep`.
 pub(crate) fn hdf_key(rep: &Representative) -> Ratio {
     Ratio::new(rep.weight.get() as u64, rep.remaining.ticks())
+}
+
+/// Both sides of the negative-impact inequality, in tick·weight units:
+/// `(impact of running A first, impact of running B first)`. Exposed to the
+/// decision-provenance records so the dump always carries the exact values
+/// that were compared.
+pub(crate) fn impact_values(
+    rule: ImpactRule,
+    table: &TxnTable,
+    now: SimTime,
+    head_a: TxnId,
+    rep_a: &Representative,
+    head_b: TxnId,
+    rep_b: &Representative,
+) -> (i128, i128) {
+    let r_head_a = table.remaining(head_a).ticks() as i128;
+    let r_head_b = table.remaining(head_b).ticks() as i128;
+    let w_a = rep_a.weight.get() as i128;
+    let w_b = rep_b.weight.get() as i128;
+    let s_rep_a = rep_a.slack(now).ticks();
+    let impact_a_first = match rule {
+        ImpactRule::Paper => r_head_a * w_b,
+        ImpactRule::Symmetric => {
+            let s_rep_b = rep_b.slack(now).ticks();
+            (r_head_a - s_rep_b) * w_b
+        }
+    };
+    let impact_b_first = (r_head_b - s_rep_a) * w_a;
+    (impact_a_first, impact_b_first)
 }
 
 /// The negative-impact comparison (shared with the O(n) reference oracle):
@@ -274,19 +411,8 @@ pub(crate) fn edf_wins(
     head_b: TxnId,
     rep_b: &Representative,
 ) -> bool {
-    let r_head_a = table.remaining(head_a).ticks() as i128;
-    let r_head_b = table.remaining(head_b).ticks() as i128;
-    let w_a = rep_a.weight.get() as i128;
-    let w_b = rep_b.weight.get() as i128;
-    let s_rep_a = rep_a.slack(now).ticks();
-    let impact_a_first = match rule {
-        ImpactRule::Paper => r_head_a * w_b,
-        ImpactRule::Symmetric => {
-            let s_rep_b = rep_b.slack(now).ticks();
-            (r_head_a - s_rep_b) * w_b
-        }
-    };
-    let impact_b_first = (r_head_b - s_rep_a) * w_a;
+    let (impact_a_first, impact_b_first) =
+        impact_values(rule, table, now, head_a, rep_a, head_b, rep_b);
     impact_a_first < impact_b_first
 }
 
@@ -321,6 +447,10 @@ impl Scheduler for AsetsStar {
     fn select(&mut self, table: &TxnTable, now: SimTime) -> Option<TxnId> {
         self.migrate(now);
         self.decide(table, now)
+    }
+
+    fn attach_observer(&mut self, obs: crate::obs::SharedObserver) {
+        self.obs.attach(obs);
     }
 }
 
@@ -551,5 +681,82 @@ mod tests {
         p.on_ready(TxnId(2), &tbl, at(1));
         // Both workflows now schedulable; K(T2) has the earlier rep deadline.
         assert_eq!(p.select(&tbl, at(1)), Some(TxnId(2)));
+    }
+
+    /// The Fig. 7 record reproduces the impact arithmetic that drove the
+    /// `hdf_head_wins_when_edf_head_is_long` decision, and names both
+    /// workflow candidates.
+    #[test]
+    fn observer_sees_fig7_provenance() {
+        use crate::obs::{share, DecisionRule, Observer, Winner};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        #[derive(Default)]
+        struct Cap(Vec<crate::obs::DecisionRecord>);
+        impl Observer for Cap {
+            fn decision(&mut self, rec: &crate::obs::DecisionRecord) {
+                self.0.push(*rec);
+            }
+        }
+
+        // K_A head r=6 (rep slack 0), K_B head r=3 (missed):
+        // impact(A)=6 > impact(B)=3-0=3 → run K_B's head.
+        let mut tbl =
+            TxnTable::new(vec![spec(0, 6, 6, 1, vec![]), spec(0, 1, 3, 1, vec![])]).unwrap();
+        let mut p = AsetsStar::with_defaults(&tbl);
+        let cap = Rc::new(RefCell::new(Cap::default()));
+        p.attach_observer(share(&cap));
+        arrive_all(&mut tbl, &mut p, at(0));
+        assert_eq!(p.select(&tbl, at(0)), Some(TxnId(1)));
+
+        let c = cap.borrow();
+        let rec = c.0.last().expect("decision recorded");
+        assert_eq!(rec.rule, DecisionRule::Fig7Paper);
+        assert_eq!(rec.winner, Winner::Hdf);
+        assert_eq!(rec.chosen, TxnId(1));
+        let edf = rec.edf.expect("EDF candidate");
+        let hdf = rec.hdf.expect("HDF candidate");
+        assert_eq!(edf.txn, TxnId(0));
+        assert_eq!(edf.workflow, Some(WfId(0)));
+        assert_eq!(hdf.txn, TxnId(1));
+        assert_eq!(hdf.workflow, Some(WfId(1)));
+        // Paper rule: impact(A) = r_head,A * w_B = 6; impact(B) =
+        // (r_head,B - s_rep,A) * w_A = 3.
+        assert_eq!(rec.impact_edf, units(6).ticks() as i128);
+        assert_eq!(rec.impact_hdf, units(3).ticks() as i128);
+        assert!(rec.margin() < 0);
+    }
+
+    /// Workflow migration events fire when a rep's deadline becomes
+    /// unreachable (EDF→HDF) and when it becomes feasible again.
+    #[test]
+    fn observer_sees_workflow_migration() {
+        use crate::obs::{share, MigrationSubject, Observer};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        #[derive(Default)]
+        struct Cap(Vec<crate::obs::MigrationEvent>);
+        impl Observer for Cap {
+            fn migration(&mut self, ev: &crate::obs::MigrationEvent) {
+                self.0.push(*ev);
+            }
+        }
+
+        // Singleton workflow, d=5, r=3: feasible until t>2.
+        let mut tbl = TxnTable::new(vec![spec(0, 5, 3, 1, vec![])]).unwrap();
+        let mut p = AsetsStar::with_defaults(&tbl);
+        let cap = Rc::new(RefCell::new(Cap::default()));
+        p.attach_observer(share(&cap));
+        arrive_all(&mut tbl, &mut p, at(0));
+        assert_eq!(p.edf_len(), 1);
+        // At t=4 the rep can no longer meet its deadline (4+3 > 5).
+        assert_eq!(p.select(&tbl, at(4)), Some(TxnId(0)));
+        assert_eq!(p.edf_len(), 0, "migrated to HDF-List");
+        let c = cap.borrow();
+        assert_eq!(c.0.len(), 1);
+        assert!(c.0[0].to_hdf);
+        assert_eq!(c.0[0].subject, MigrationSubject::Workflow(WfId(0)));
     }
 }

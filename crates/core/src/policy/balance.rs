@@ -225,6 +225,10 @@ impl<S: Scheduler> Scheduler for BalanceAware<S> {
             ActivationMode::CountBased { .. } => None,
         }
     }
+
+    fn attach_observer(&mut self, obs: crate::obs::SharedObserver) {
+        self.inner.attach_observer(obs);
+    }
 }
 
 #[cfg(test)]

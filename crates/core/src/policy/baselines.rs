@@ -9,11 +9,41 @@
 //! baselines (DESIGN.md D6).
 
 use super::{Ratio, Scheduler};
+use crate::obs::{Candidate, DecisionRecord, DecisionRule, ObserverSlot, Winner};
 use crate::queue::KeyedQueue;
 use crate::table::TxnTable;
 use crate::time::SimTime;
 use crate::txn::TxnId;
 use std::cmp::Reverse;
+
+/// Emit a single-candidate provenance record for a plain priority policy:
+/// there is no Eq. 1 comparison, just "this transaction had top priority in
+/// a queue of `qlen`". The candidate rides in the `edf` arm of the record.
+fn emit_single(obs: &ObserverSlot, table: &TxnTable, now: SimTime, chosen: TxnId, qlen: usize) {
+    if !obs.is_attached() {
+        return;
+    }
+    let rec = DecisionRecord {
+        at: now,
+        rule: DecisionRule::Priority,
+        edf: Some(Candidate {
+            txn: chosen,
+            workflow: None,
+            r: table.remaining(chosen),
+            slack: table.slack(chosen, now),
+            weight: table.weight(chosen).get(),
+            deadline: table.deadline(chosen),
+        }),
+        hdf: None,
+        impact_edf: 0,
+        impact_hdf: 0,
+        winner: Winner::Single,
+        chosen,
+        edf_len: qlen as u32,
+        hdf_len: 0,
+    };
+    obs.emit(|o| o.decision(&rec));
+}
 
 /// First-Come-First-Served: priority = arrival time. Never preempts in
 /// practice (the running transaction always has the earliest arrival among
@@ -21,6 +51,7 @@ use std::cmp::Reverse;
 #[derive(Debug, Default)]
 pub struct Fcfs {
     queue: KeyedQueue<u64>,
+    obs: ObserverSlot,
 }
 
 impl Fcfs {
@@ -50,8 +81,16 @@ impl Scheduler for Fcfs {
         self.queue.remove(t.0);
     }
 
-    fn select(&mut self, _table: &TxnTable, _now: SimTime) -> Option<TxnId> {
-        self.queue.peek_id().map(TxnId)
+    fn select(&mut self, table: &TxnTable, now: SimTime) -> Option<TxnId> {
+        let chosen = self.queue.peek_id().map(TxnId);
+        if let Some(c) = chosen {
+            emit_single(&self.obs, table, now, c, self.queue.len());
+        }
+        chosen
+    }
+
+    fn attach_observer(&mut self, obs: crate::obs::SharedObserver) {
+        self.obs.attach(obs);
     }
 }
 
@@ -61,6 +100,7 @@ impl Scheduler for Fcfs {
 #[derive(Debug, Default)]
 pub struct Edf {
     queue: KeyedQueue<u64>,
+    obs: ObserverSlot,
 }
 
 impl Edf {
@@ -87,8 +127,16 @@ impl Scheduler for Edf {
         self.queue.remove(t.0);
     }
 
-    fn select(&mut self, _table: &TxnTable, _now: SimTime) -> Option<TxnId> {
-        self.queue.peek_id().map(TxnId)
+    fn select(&mut self, table: &TxnTable, now: SimTime) -> Option<TxnId> {
+        let chosen = self.queue.peek_id().map(TxnId);
+        if let Some(c) = chosen {
+            emit_single(&self.obs, table, now, c, self.queue.len());
+        }
+        chosen
+    }
+
+    fn attach_observer(&mut self, obs: crate::obs::SharedObserver) {
+        self.obs.attach(obs);
     }
 }
 
@@ -98,6 +146,7 @@ impl Scheduler for Edf {
 #[derive(Debug, Default)]
 pub struct Srpt {
     queue: KeyedQueue<u64>,
+    obs: ObserverSlot,
 }
 
 impl Srpt {
@@ -124,8 +173,16 @@ impl Scheduler for Srpt {
         self.queue.remove(t.0);
     }
 
-    fn select(&mut self, _table: &TxnTable, _now: SimTime) -> Option<TxnId> {
-        self.queue.peek_id().map(TxnId)
+    fn select(&mut self, table: &TxnTable, now: SimTime) -> Option<TxnId> {
+        let chosen = self.queue.peek_id().map(TxnId);
+        if let Some(c) = chosen {
+            emit_single(&self.obs, table, now, c, self.queue.len());
+        }
+        chosen
+    }
+
+    fn attach_observer(&mut self, obs: crate::obs::SharedObserver) {
+        self.obs.attach(obs);
     }
 }
 
@@ -136,6 +193,7 @@ impl Scheduler for Srpt {
 #[derive(Debug, Default)]
 pub struct LeastSlack {
     queue: KeyedQueue<i128>,
+    obs: ObserverSlot,
 }
 
 impl LeastSlack {
@@ -166,8 +224,16 @@ impl Scheduler for LeastSlack {
         self.queue.remove(t.0);
     }
 
-    fn select(&mut self, _table: &TxnTable, _now: SimTime) -> Option<TxnId> {
-        self.queue.peek_id().map(TxnId)
+    fn select(&mut self, table: &TxnTable, now: SimTime) -> Option<TxnId> {
+        let chosen = self.queue.peek_id().map(TxnId);
+        if let Some(c) = chosen {
+            emit_single(&self.obs, table, now, c, self.queue.len());
+        }
+        chosen
+    }
+
+    fn attach_observer(&mut self, obs: crate::obs::SharedObserver) {
+        self.obs.attach(obs);
     }
 }
 
@@ -177,6 +243,7 @@ impl Scheduler for LeastSlack {
 #[derive(Debug, Default)]
 pub struct Hdf {
     queue: KeyedQueue<Reverse<Ratio>>,
+    obs: ObserverSlot,
 }
 
 impl Hdf {
@@ -210,8 +277,16 @@ impl Scheduler for Hdf {
         self.queue.remove(t.0);
     }
 
-    fn select(&mut self, _table: &TxnTable, _now: SimTime) -> Option<TxnId> {
-        self.queue.peek_id().map(TxnId)
+    fn select(&mut self, table: &TxnTable, now: SimTime) -> Option<TxnId> {
+        let chosen = self.queue.peek_id().map(TxnId);
+        if let Some(c) = chosen {
+            emit_single(&self.obs, table, now, c, self.queue.len());
+        }
+        chosen
+    }
+
+    fn attach_observer(&mut self, obs: crate::obs::SharedObserver) {
+        self.obs.attach(obs);
     }
 }
 
@@ -252,6 +327,10 @@ impl Scheduler for Ready {
 
     fn select(&mut self, table: &TxnTable, now: SimTime) -> Option<TxnId> {
         self.inner.select(table, now)
+    }
+
+    fn attach_observer(&mut self, obs: crate::obs::SharedObserver) {
+        self.inner.attach_observer(obs);
     }
 }
 

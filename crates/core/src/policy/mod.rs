@@ -92,6 +92,13 @@ pub trait Scheduler {
     fn next_wakeup(&self, _now: SimTime) -> Option<SimTime> {
         None
     }
+
+    /// Attach a decision-provenance observer (see [`crate::obs`]). The
+    /// default ignores it: policies opt in, and an un-instrumented policy
+    /// simply produces no decision records. Instrumented policies must keep
+    /// the *detached* path free — guard every record construction behind
+    /// the `Option` test.
+    fn attach_observer(&mut self, _obs: crate::obs::SharedObserver) {}
 }
 
 impl Scheduler for Box<dyn Scheduler> {
@@ -115,6 +122,9 @@ impl Scheduler for Box<dyn Scheduler> {
     }
     fn next_wakeup(&self, now: SimTime) -> Option<SimTime> {
         (**self).next_wakeup(now)
+    }
+    fn attach_observer(&mut self, obs: crate::obs::SharedObserver) {
+        (**self).attach_observer(obs);
     }
 }
 

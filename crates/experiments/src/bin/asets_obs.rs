@@ -1,0 +1,214 @@
+//! `asets-obs` — interrogate a scheduler flight-recorder dump.
+//!
+//! ```text
+//! asets-obs why <flight.jsonl> <T5> [<time-units>]   # why did T5 run (at t)?
+//! asets-obs migrations <flight.jsonl> <K3|T5>        # EDF<->HDF history
+//! asets-obs top <flight.jsonl> [k]                   # k widest-margin decisions
+//! asets-obs check <flight.jsonl>                     # re-derive every winner
+//! asets-obs summary <flight.jsonl>                   # event/decision counts
+//! ```
+//!
+//! Dumps come from `repro <figure> --obs-out <dir>`, `repro replay ...
+//! --obs-out <dir>`, or any run wired through `asets_obs::FlightRecorder`.
+//! Transactions are named `T<n>` and workflows `K<n>`, exactly as every
+//! other tool in this repo prints them.
+
+use asets_core::obs::MigrationSubject;
+use asets_core::time::SimTime;
+use asets_core::txn::TxnId;
+use asets_core::workflow::WfId;
+use asets_obs::{Dump, RecordedEvent};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: asets-obs <why|migrations|top|check|summary> <flight.jsonl> [args]\n\
+         \x20 why <dump> <T5> [time-units]   decisions that chose T5 (at a given instant)\n\
+         \x20 migrations <dump> <K3|T5>      list-migration history of a workflow/transaction\n\
+         \x20 top <dump> [k]                 k widest-margin comparisons (default 10)\n\
+         \x20 check <dump>                   re-derive every recorded winner from its r/s/w\n\
+         \x20 summary <dump>                 event counts and decision breakdown"
+    );
+    ExitCode::FAILURE
+}
+
+/// Parse `T5` into a transaction id.
+fn parse_txn(s: &str) -> Option<TxnId> {
+    s.strip_prefix('T')?.parse().ok().map(TxnId)
+}
+
+/// Parse `K3` (workflow) or `T5` (transaction) into a migration subject.
+fn parse_subject(s: &str) -> Option<MigrationSubject> {
+    if let Some(w) = s.strip_prefix('K') {
+        return w.parse().ok().map(|w| MigrationSubject::Workflow(WfId(w)));
+    }
+    parse_txn(s).map(MigrationSubject::Txn)
+}
+
+fn why(dump: &Dump, args: &[String]) -> Result<(), String> {
+    let txn = args
+        .first()
+        .and_then(|s| parse_txn(s))
+        .ok_or("why needs a transaction like T5")?;
+    let at = match args.get(1) {
+        Some(s) => Some(SimTime::from_units(
+            s.parse::<f64>()
+                .map_err(|e| format!("bad time {s:?}: {e}"))?,
+        )),
+        None => None,
+    };
+    let hits = dump.why(txn, at);
+    if hits.is_empty() {
+        let when = at.map_or(String::new(), |t| format!(" at {:.3}", t.as_units()));
+        return Err(format!("no recorded decision chose {txn}{when}"));
+    }
+    for (seq, rec) in &hits {
+        println!("#{seq} {rec}");
+    }
+    println!("{} decision(s) chose {txn}", hits.len());
+    Ok(())
+}
+
+fn migrations(dump: &Dump, args: &[String]) -> Result<(), String> {
+    let subject = args
+        .first()
+        .and_then(|s| parse_subject(s))
+        .ok_or("migrations needs a subject like K3 or T5")?;
+    let history = dump.migrations_of(subject);
+    if history.is_empty() {
+        println!("no migrations recorded for {}", args[0]);
+        return Ok(());
+    }
+    for ev in &history {
+        println!("{ev}");
+    }
+    println!("{} migration(s)", history.len());
+    Ok(())
+}
+
+fn top(dump: &Dump, args: &[String]) -> Result<(), String> {
+    let k = match args.first() {
+        Some(s) => s
+            .parse::<usize>()
+            .map_err(|e| format!("bad k {s:?}: {e}"))?,
+        None => 10,
+    };
+    let top = dump.top_by_margin(k);
+    if top.is_empty() {
+        println!("no two-sided comparisons in this dump");
+        return Ok(());
+    }
+    for (seq, rec) in &top {
+        println!("#{seq} {rec}");
+    }
+    Ok(())
+}
+
+fn check(dump: &Dump) -> Result<(), String> {
+    let comparisons = dump.decisions().filter(|(_, r)| r.is_comparison()).count();
+    let failures = dump.check();
+    let mismatches = dump.dispatch_decision_mismatches();
+    for f in &failures {
+        println!("FAIL #{}: {}", f.seq, f.reason);
+    }
+    for (seq, at, txn) in &mismatches {
+        println!(
+            "FAIL #{seq}: dispatch of {txn} at {:.3} has no matching decision",
+            at.as_units()
+        );
+    }
+    if failures.is_empty() && mismatches.is_empty() {
+        println!(
+            "ok: {} decisions ({comparisons} comparisons) re-derive, every dispatch matches",
+            dump.decisions().count()
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "{} decision failure(s), {} dispatch mismatch(es)",
+            failures.len(),
+            mismatches.len()
+        ))
+    }
+}
+
+fn summary(dump: &Dump) {
+    let mut decisions = 0usize;
+    let mut comparisons = 0usize;
+    let mut migrations = 0usize;
+    let mut dispatches = 0usize;
+    let mut preemptions = 0usize;
+    let mut edf_wins = 0usize;
+    let mut hdf_wins = 0usize;
+    for (_, ev) in &dump.events {
+        match ev {
+            RecordedEvent::Decision(r) => {
+                decisions += 1;
+                if r.is_comparison() {
+                    comparisons += 1;
+                    match r.winner {
+                        asets_core::obs::Winner::Edf => edf_wins += 1,
+                        asets_core::obs::Winner::Hdf => hdf_wins += 1,
+                        _ => {}
+                    }
+                }
+            }
+            RecordedEvent::Migration(_) => migrations += 1,
+            RecordedEvent::Dispatch { preempted, .. } => {
+                dispatches += 1;
+                if preempted.is_some() {
+                    preemptions += 1;
+                }
+            }
+        }
+    }
+    println!("{} events", dump.events.len());
+    println!("  decisions:  {decisions} ({comparisons} two-sided: {edf_wins} EDF, {hdf_wins} HDF)");
+    println!("  migrations: {migrations}");
+    println!("  dispatches: {dispatches} ({preemptions} preempting)");
+    if let Some((seq, ev)) = dump.events.first() {
+        println!(
+            "  span: seq {seq}..{} / t {:.3}..{:.3}",
+            dump.events.last().map(|(s, _)| *s).unwrap_or(*seq),
+            ev.at().as_units(),
+            dump.events
+                .last()
+                .map(|(_, e)| e.at().as_units())
+                .unwrap_or(0.0)
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(cmd), Some(path)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    let dump = match Dump::load(Path::new(path)) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let rest = &args[2..];
+    let outcome = match cmd.as_str() {
+        "why" => why(&dump, rest),
+        "migrations" => migrations(&dump, rest),
+        "top" => top(&dump, rest),
+        "check" => check(&dump),
+        "summary" => {
+            summary(&dump);
+            Ok(())
+        }
+        _ => return usage(),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,16 +1,19 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro <figure>... [--quick] [--csv <dir>] [--md <file>]
+//! repro <figure>... [--quick] [--csv <dir>] [--md <file>] [--obs-out <dir>]
 //! repro all [--quick] [--csv <dir>] [--md <file>]
 //! repro list
-//! repro dump <util> <seed> <file>      # archive one Table I batch
-//! repro replay <file> <policy>         # simulate an archived batch
+//! repro dump <util> <seed> <file>                  # archive one Table I batch
+//! repro replay <file> <policy> [--obs-out <dir>]   # simulate an archived batch
 //! ```
 //!
 //! `--md` appends every report as a markdown table to the given file —
 //! how EXPERIMENTS.md's measured sections are produced. `dump`/`replay`
-//! use the exact text trace format of `asets_workload::io`.
+//! use the exact text trace format of `asets_workload::io`. `--obs-out`
+//! attaches a flight recorder (to the replay, or to one representative
+//! general-case run after the figures) and writes `flight.jsonl` +
+//! `metrics.prom` + `metrics.jsonl` for the `asets-obs` CLI.
 //!
 //! Figures: table1, fig8, fig9, fig10, fig11, fig12, fig13, alpha, fig14,
 //! fig15, fig16, fig17, ablations.
@@ -51,10 +54,14 @@ fn dump(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// `repro replay <file> <policy>` — simulate an archived batch.
-fn replay(args: &[String]) -> ExitCode {
+/// `repro replay <file> <policy> [--obs-out <dir>]` — simulate an archived
+/// batch, optionally with a flight recorder attached.
+fn replay(args: &[String], obs_out: Option<&PathBuf>) -> ExitCode {
     let (Some(path), Some(policy)) = (args.first(), args.get(1)) else {
-        eprintln!("usage: repro replay <file> <fcfs|edf|srpt|ls|hdf|asets|ready|asets-star>");
+        eprintln!(
+            "usage: repro replay <file> <fcfs|edf|srpt|ls|hdf|asets|ready|asets-star> \
+             [--obs-out <dir>]"
+        );
         return ExitCode::FAILURE;
     };
     let kind = match parse_policy(policy) {
@@ -71,7 +78,29 @@ fn replay(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match asets_sim::simulate(specs, kind) {
+    let observed = match obs_out {
+        Some(dir) => {
+            match asets_experiments::obs_support::run_observed(specs, kind, usize::MAX / 2) {
+                Ok((r, recorder)) => {
+                    match asets_experiments::obs_support::write_artifacts(dir, &recorder) {
+                        Ok(a) => println!(
+                            "flight recorder: {} events -> {}",
+                            recorder.total_recorded(),
+                            a.flight.display()
+                        ),
+                        Err(e) => {
+                            eprintln!("failed to write observation artifacts: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                    Ok(r)
+                }
+                Err(e) => Err(e),
+            }
+        }
+        None => asets_sim::simulate(specs, kind),
+    };
+    match observed {
         Ok(r) => {
             println!(
                 "{}: {} txns, avg tardiness {:.4}, avg weighted tardiness {:.4}, \
@@ -163,13 +192,22 @@ fn usage() -> ExitCode {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         return usage();
     }
+    // `--obs-out <dir>` is shared by the figure path and `replay`.
+    let mut obs_out: Option<PathBuf> = None;
+    if let Some(i) = args.iter().position(|a| a == "--obs-out") {
+        if i + 1 >= args.len() {
+            return usage();
+        }
+        obs_out = Some(PathBuf::from(&args[i + 1]));
+        args.drain(i..=i + 1);
+    }
     match args[0].as_str() {
         "dump" => return dump(&args[1..]),
-        "replay" => return replay(&args[1..]),
+        "replay" => return replay(&args[1..], obs_out.as_ref()),
         "gantt" => return gantt(&args[1..]),
         _ => {}
     }
@@ -249,6 +287,15 @@ fn main() -> ExitCode {
         if let Err(e) = std::fs::write(&f, md) {
             eprintln!("failed to write {}: {e}", f.display());
             return ExitCode::FAILURE;
+        }
+    }
+    if let Some(dir) = obs_out {
+        match asets_experiments::obs_support::representative_run(&cfg, &dir) {
+            Ok(line) => println!("{line}"),
+            Err(e) => {
+                eprintln!("observed run failed: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     }
     ExitCode::SUCCESS

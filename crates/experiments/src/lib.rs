@@ -22,6 +22,7 @@
 
 pub mod config;
 pub mod figures;
+pub mod obs_support;
 pub mod report;
 pub mod sweep;
 

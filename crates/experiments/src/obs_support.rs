@@ -1,0 +1,166 @@
+//! Observed runs: attach a flight recorder to a simulation and write its
+//! artifacts (`flight.jsonl`, `metrics.prom`, `metrics.jsonl`) to a
+//! directory.
+//!
+//! The figure runners stay uninstrumented — observation costs wall-clock
+//! and the sweeps average hundreds of cells — so `--obs-out` instruments
+//! **one representative run** per invocation instead: the general-case
+//! workload at the highest configured utilization under ASETS\*, first
+//! configured seed. That is the run whose decisions the paper's figures
+//! hinge on, and the dump is what the `asets-obs` CLI answers questions
+//! about.
+
+use crate::config::ExpConfig;
+use asets_core::obs::share;
+use asets_core::policy::PolicyKind;
+use asets_core::table::TxnTable;
+use asets_core::time::SimDuration;
+use asets_core::txn::TxnSpec;
+use asets_obs::FlightRecorder;
+use asets_sim::{Engine, SimResult};
+use std::cell::RefCell;
+use std::path::{Path, PathBuf};
+use std::rc::Rc;
+
+/// Paths written by [`write_artifacts`].
+#[derive(Debug, Clone)]
+pub struct ObsArtifacts {
+    /// The event dump (`flight.jsonl`).
+    pub flight: PathBuf,
+    /// Prometheus text metrics (`metrics.prom`).
+    pub metrics_prom: PathBuf,
+    /// JSON-lines metrics (`metrics.jsonl`).
+    pub metrics_jsonl: PathBuf,
+}
+
+/// Run `specs` under `kind` with a flight recorder (ring size `capacity`)
+/// attached to both engine and policy, trace recording on, and backlog
+/// sampled once per simulated unit into the recorder's queue-depth
+/// histogram.
+pub fn run_observed(
+    specs: Vec<TxnSpec>,
+    kind: PolicyKind,
+    capacity: usize,
+) -> Result<(SimResult, FlightRecorder), asets_core::dag::DagError> {
+    let table = TxnTable::new(specs.clone())?;
+    let policy = kind.build(&table);
+    let rec = FlightRecorder::shared(capacity);
+    let result = Engine::new(specs, policy)?
+        .with_trace()
+        .with_backlog_sampling(SimDuration::from_units_int(1))
+        .with_observer(share(&rec))
+        .run();
+    let mut recorder = Rc::try_unwrap(rec)
+        .expect("engine dropped its observer handle")
+        .into_inner();
+    if let Some(series) = &result.backlog {
+        recorder.ingest_backlog(series);
+    }
+    Ok((result, recorder))
+}
+
+/// Write the recorder's dump and both metric expositions into `dir`
+/// (created if missing).
+pub fn write_artifacts(dir: &Path, recorder: &FlightRecorder) -> std::io::Result<ObsArtifacts> {
+    std::fs::create_dir_all(dir)?;
+    let artifacts = ObsArtifacts {
+        flight: dir.join("flight.jsonl"),
+        metrics_prom: dir.join("metrics.prom"),
+        metrics_jsonl: dir.join("metrics.jsonl"),
+    };
+    recorder.dump_to(&artifacts.flight)?;
+    recorder.metrics_prometheus_to(&artifacts.metrics_prom)?;
+    recorder.metrics_jsonl_to(&artifacts.metrics_jsonl)?;
+    Ok(artifacts)
+}
+
+/// The `--obs-out` representative run: general-case Table I workload at the
+/// highest configured utilization, ASETS\* (paper rule), first configured
+/// seed. Returns a one-line summary for the console.
+pub fn representative_run(cfg: &ExpConfig, dir: &Path) -> Result<String, String> {
+    let util = cfg
+        .utilizations
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
+    if !util.is_finite() {
+        return Err("no utilization points configured".into());
+    }
+    let seed = *cfg.seeds.first().ok_or("no seeds configured")?;
+    let spec = asets_workload::TableISpec {
+        n_txns: cfg.n_txns,
+        ..asets_workload::TableISpec::general_case(util)
+    };
+    let specs = asets_workload::generate(&spec, seed).map_err(|e| e.to_string())?;
+    let (_result, recorder) = run_observed(specs, PolicyKind::asets_star(), usize::MAX / 2)
+        .map_err(|e| format!("generated workload invalid: {e}"))?;
+    let artifacts = write_artifacts(dir, &recorder).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "observed {} at U={util:.1} seed {seed}: {} events ({} decisions, {} migrations) -> {}",
+        PolicyKind::asets_star().label(),
+        recorder.total_recorded(),
+        recorder.metrics().counter("decisions_total"),
+        recorder.metrics().counter("migrations_to_hdf_total")
+            + recorder.metrics().counter("migrations_to_edf_total"),
+        artifacts.flight.display()
+    ))
+}
+
+/// Shareable recorder + observed engine for callers that drive the engine
+/// themselves (the `replay --obs-out` path).
+pub fn attach_new_recorder<S: asets_core::policy::Scheduler>(
+    engine: Engine<S>,
+    capacity: usize,
+) -> (Engine<S>, Rc<RefCell<FlightRecorder>>) {
+    let rec = FlightRecorder::shared(capacity);
+    let engine = engine.with_observer(share(&rec));
+    (engine, rec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asets_obs::Dump;
+
+    #[test]
+    fn observed_run_dump_checks_clean() {
+        let spec = asets_workload::TableISpec {
+            n_txns: 60,
+            ..asets_workload::TableISpec::general_case(0.9)
+        };
+        let specs = asets_workload::generate(&spec, 7).unwrap();
+        let (result, recorder) = run_observed(specs, PolicyKind::asets_star(), 1 << 20).unwrap();
+        assert_eq!(result.stats.completed, 60);
+        assert!(recorder.metrics().counter("decisions_total") > 0);
+        assert!(
+            recorder
+                .metrics()
+                .histogram("queue_depth_ready")
+                .unwrap()
+                .count()
+                > 0,
+            "backlog folded into queue-depth histogram"
+        );
+        let dump = Dump::parse(&recorder.dump()).unwrap();
+        assert!(dump.check().is_empty(), "{:?}", dump.check());
+        assert!(dump.dispatch_decision_mismatches().is_empty());
+    }
+
+    #[test]
+    fn artifacts_land_in_directory() {
+        let dir = std::env::temp_dir().join("asets-obs-artifacts-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = ExpConfig {
+            seeds: vec![3],
+            n_txns: 40,
+            utilizations: vec![0.5, 0.9],
+        };
+        let line = representative_run(&cfg, &dir).unwrap();
+        assert!(line.contains("U=0.9"), "{line}");
+        for f in ["flight.jsonl", "metrics.prom", "metrics.jsonl"] {
+            assert!(dir.join(f).exists(), "{f} missing");
+        }
+        let dump = Dump::load(&dir.join("flight.jsonl")).unwrap();
+        assert!(dump.check().is_empty());
+    }
+}

@@ -1,0 +1,381 @@
+//! Minimal flat JSON: one object per line, scalar values only.
+//!
+//! The workspace's `serde` is an offline no-op shim (see `shims/serde`), so
+//! every dump format in this repo is hand-rolled. The flight recorder only
+//! ever needs *flat* objects — string/integer/float/bool values, no nesting,
+//! no arrays — which keeps both the writer and the parser small enough to
+//! verify by eye. The same convention is used by the criterion shim's bench
+//! summaries, so one mental model covers every artifact the repo writes.
+
+use std::fmt::Write as _;
+
+/// A scalar JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// A string.
+    Str(String),
+    /// An integer (i128 covers every tick/seq value in the codebase).
+    Int(i128),
+    /// A float (only used by metric summaries).
+    Float(f64),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl JsonValue {
+    /// The value as an integer, if it is one.
+    pub fn as_int(&self) -> Option<i128> {
+        match self {
+            JsonValue::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a float; integers promote losslessly enough for
+    /// metric/bench readers (the only callers).
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            JsonValue::Float(v) => Some(*v),
+            JsonValue::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+}
+
+/// Builder for one single-line JSON object.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    buf: String,
+}
+
+impl JsonObject {
+    /// Start an empty object.
+    pub fn new() -> JsonObject {
+        JsonObject::default()
+    }
+
+    fn sep(&mut self) {
+        if self.buf.is_empty() {
+            self.buf.push('{');
+        } else {
+            self.buf.push(',');
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        self.sep();
+        self.buf.push('"');
+        escape_into(&mut self.buf, k);
+        self.buf.push_str("\":");
+    }
+
+    /// Add a string field.
+    pub fn str(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        self.buf.push('"');
+        escape_into(&mut self.buf, v);
+        self.buf.push('"');
+        self
+    }
+
+    /// Add an integer field.
+    pub fn int(mut self, k: &str, v: i128) -> Self {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// Add a float field.
+    pub fn float(mut self, k: &str, v: f64) -> Self {
+        self.key(k);
+        // JSON has no NaN/Inf; metric sums are finite by construction, but
+        // guard anyway so a dump is never unparseable.
+        if v.is_finite() {
+            let _ = write!(self.buf, "{v}");
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Add a boolean field.
+    pub fn bool(mut self, k: &str, v: bool) -> Self {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Finish: returns `{...}` without a trailing newline.
+    pub fn finish(mut self) -> String {
+        if self.buf.is_empty() {
+            self.buf.push('{');
+        }
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+fn escape_into(buf: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(buf, "\\u{:04x}", c as u32);
+            }
+            c => buf.push(c),
+        }
+    }
+}
+
+/// One parsed flat object, with typed field accessors.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FlatObj {
+    fields: Vec<(String, JsonValue)>,
+}
+
+impl FlatObj {
+    /// Raw field lookup.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Integer field.
+    pub fn int(&self, key: &str) -> Option<i128> {
+        self.get(key).and_then(JsonValue::as_int)
+    }
+
+    /// String field.
+    pub fn str(&self, key: &str) -> Option<&str> {
+        self.get(key).and_then(JsonValue::as_str)
+    }
+
+    /// Boolean field.
+    pub fn bool(&self, key: &str) -> Option<bool> {
+        self.get(key).and_then(JsonValue::as_bool)
+    }
+
+    /// Float field (integers promote).
+    pub fn float(&self, key: &str) -> Option<f64> {
+        self.get(key).and_then(JsonValue::as_float)
+    }
+
+    /// All fields in insertion order.
+    pub fn fields(&self) -> &[(String, JsonValue)] {
+        &self.fields
+    }
+}
+
+/// Parse one flat single-line JSON object (the only shape this crate emits).
+/// Nested objects/arrays are rejected — by design, not by omission.
+pub fn parse_flat(line: &str) -> Result<FlatObj, String> {
+    let mut p = Parser {
+        chars: line.trim().char_indices().peekable(),
+        src: line,
+    };
+    p.expect('{')?;
+    let mut fields = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some('}') {
+        p.next_char();
+        return Ok(FlatObj { fields });
+    }
+    loop {
+        p.skip_ws();
+        let key = p.string()?;
+        p.skip_ws();
+        p.expect(':')?;
+        p.skip_ws();
+        let value = p.value()?;
+        fields.push((key, value));
+        p.skip_ws();
+        match p.next_char() {
+            Some(',') => continue,
+            Some('}') => break,
+            other => return Err(format!("expected ',' or '}}', got {other:?}")),
+        }
+    }
+    Ok(FlatObj { fields })
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    src: &'a str,
+}
+
+impl Parser<'_> {
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().map(|&(_, c)| c)
+    }
+
+    fn next_char(&mut self) -> Option<char> {
+        self.chars.next().map(|(_, c)| c)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.next_char();
+        }
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), String> {
+        self.skip_ws();
+        match self.next_char() {
+            Some(c) if c == want => Ok(()),
+            other => Err(format!(
+                "expected {want:?}, got {other:?} in {:?}",
+                self.src
+            )),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.next_char() {
+                Some('"') => return Ok(out),
+                Some('\\') => match self.next_char() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self
+                                .next_char()
+                                .and_then(|c| c.to_digit(16))
+                                .ok_or("bad \\u escape")?;
+                            code = code * 16 + d;
+                        }
+                        out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some(c) => out.push(c),
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some('"') => Ok(JsonValue::Str(self.string()?)),
+            Some('t') | Some('f') => {
+                let mut word = String::new();
+                while matches!(self.peek(), Some(c) if c.is_ascii_alphabetic()) {
+                    word.push(self.next_char().expect("peeked"));
+                }
+                match word.as_str() {
+                    "true" => Ok(JsonValue::Bool(true)),
+                    "false" => Ok(JsonValue::Bool(false)),
+                    w => Err(format!("unknown literal {w:?}")),
+                }
+            }
+            Some(c) if c == '-' || c.is_ascii_digit() => {
+                let mut num = String::new();
+                while matches!(
+                    self.peek(),
+                    Some(c) if c.is_ascii_digit() || "+-.eE".contains(c)
+                ) {
+                    num.push(self.next_char().expect("peeked"));
+                }
+                if num.contains(['.', 'e', 'E']) {
+                    num.parse::<f64>()
+                        .map(JsonValue::Float)
+                        .map_err(|e| format!("bad float {num:?}: {e}"))
+                } else {
+                    num.parse::<i128>()
+                        .map(JsonValue::Int)
+                        .map_err(|e| format!("bad int {num:?}: {e}"))
+                }
+            }
+            Some('{') | Some('[') => Err("nested values are not part of the dump format".into()),
+            other => Err(format!("unexpected {other:?} in {:?}", self.src)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_scalar_type() {
+        let line = JsonObject::new()
+            .str("kind", "decision")
+            .int("at", -42)
+            .int("seq", 7)
+            .float("mean", 1.5)
+            .bool("to_hdf", true)
+            .finish();
+        let obj = parse_flat(&line).unwrap();
+        assert_eq!(obj.str("kind"), Some("decision"));
+        assert_eq!(obj.int("at"), Some(-42));
+        assert_eq!(obj.int("seq"), Some(7));
+        assert_eq!(obj.get("mean"), Some(&JsonValue::Float(1.5)));
+        assert_eq!(obj.bool("to_hdf"), Some(true));
+        assert_eq!(obj.get("missing"), None);
+    }
+
+    #[test]
+    fn escapes_are_preserved() {
+        let line = JsonObject::new().str("s", "a\"b\\c\nd\te").finish();
+        let obj = parse_flat(&line).unwrap();
+        assert_eq!(obj.str("s"), Some("a\"b\\c\nd\te"));
+    }
+
+    #[test]
+    fn empty_object_parses() {
+        assert_eq!(parse_flat("{}").unwrap().fields().len(), 0);
+        assert_eq!(JsonObject::new().finish(), "{}");
+    }
+
+    #[test]
+    fn big_tick_values_survive() {
+        // i128 slack values and u64 tick counts must not lose precision.
+        let line = JsonObject::new()
+            .int("slack", -170141183460469231731687303715884105727i128 + 1)
+            .int("at", u64::MAX as i128)
+            .finish();
+        let obj = parse_flat(&line).unwrap();
+        assert_eq!(obj.int("at"), Some(u64::MAX as i128));
+        assert!(obj.int("slack").unwrap() < 0);
+    }
+
+    #[test]
+    fn malformed_lines_error_not_panic() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\":}",
+            "{\"a\":[1]}",
+            "{\"a\":{\"b\":1}}",
+            "nope",
+        ] {
+            assert!(parse_flat(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+}

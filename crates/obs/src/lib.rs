@@ -1,0 +1,70 @@
+//! # asets-obs
+//!
+//! Scheduler observability for the ASETS\* reproduction: the concrete
+//! observers behind the `asets_core::obs` hook layer, plus the analysis
+//! library the `asets-obs` CLI is built on.
+//!
+//! * [`FlightRecorder`] — a bounded ring of the last N scheduler events
+//!   (decision provenance, migrations, dispatches) with run-wide
+//!   [`MetricsRegistry`] counters/histograms; dumpable on demand
+//!   ([`FlightRecorder::dump_to`]) or on panic ([`PanicDump`]).
+//! * [`MetricsRegistry`] — counters and fixed-bucket [`Histogram`]s with
+//!   Prometheus-text and JSON-lines exporters.
+//! * [`Dump`] — parse a `flight.jsonl` back and query it: why a
+//!   transaction ran, a workflow's EDF↔HDF migration history, top-k
+//!   decisions by margin, and [`Dump::check`], which re-derives every
+//!   recorded winner from its own `r`/`s`/`w` values.
+//! * [`json`] — the flat single-line JSON read/write layer shared by the
+//!   dump and metric formats (the workspace's serde is a no-op shim).
+//!
+//! ## Wiring
+//!
+//! ```
+//! use asets_core::obs::share;
+//! use asets_core::policy::PolicyKind;
+//! use asets_core::time::{SimDuration, SimTime};
+//! use asets_core::txn::{TxnSpec, Weight};
+//! use asets_obs::{Dump, FlightRecorder};
+//!
+//! let specs = vec![
+//!     TxnSpec::independent(
+//!         SimTime::ZERO,
+//!         SimTime::from_units_int(3),
+//!         SimDuration::from_units_int(3),
+//!         Weight::ONE,
+//!     ),
+//!     TxnSpec::independent(
+//!         SimTime::ZERO,
+//!         SimTime::from_units_int(7),
+//!         SimDuration::from_units_int(5),
+//!         Weight::ONE,
+//!     ),
+//! ];
+//! let rec = FlightRecorder::shared(4096);
+//! let result =
+//!     asets_sim::simulate_observed(specs, PolicyKind::Asets, share(&rec)).unwrap();
+//! let dump = Dump::parse(&rec.borrow().dump()).unwrap();
+//! assert!(dump.check().is_empty(), "every decision re-derives");
+//! assert!(dump.decisions().count() > 0);
+//! assert_eq!(result.stats.completed, 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod analysis;
+pub mod json;
+pub mod metrics;
+pub mod recorder;
+
+pub use analysis::{derive_impacts, CheckFailure, Dump};
+pub use metrics::{Histogram, MetricsRegistry};
+pub use recorder::{
+    event_line, FlightRecorder, PanicDump, RecordedEvent, LATENCY_NS_BOUNDS, LIST_LEN_BOUNDS,
+};
+
+// Re-export the hook layer so downstream users need only one obs import.
+pub use asets_core::obs::{
+    share, Candidate, DecisionRecord, DecisionRule, MigrationEvent, MigrationSubject, NoopObserver,
+    Observer, ObserverSlot, SharedObserver, Winner,
+};

@@ -1,0 +1,297 @@
+//! Counters and fixed-bucket histograms with JSON-lines and
+//! Prometheus-text exporters.
+//!
+//! The registry is deliberately tiny: metrics are registered up front with
+//! `&'static str` names, observation is integer-only (`u64` — tick counts,
+//! nanoseconds, list lengths), and histogram buckets are fixed at
+//! registration. That covers everything the flight recorder measures without
+//! pulling in an external metrics stack, and it keeps observation at
+//! "binary-search + increment" cost so an attached recorder stays cheap.
+
+use crate::json::JsonObject;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A cumulative histogram over fixed bucket upper bounds (Prometheus
+/// semantics: `le` buckets plus an implicit `+Inf`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Inclusive upper bounds, strictly increasing. Values above the last
+    /// bound land in the implicit `+Inf` bucket.
+    bounds: Vec<u64>,
+    /// Per-bucket (non-cumulative) counts; `counts.len() == bounds.len()+1`.
+    counts: Vec<u64>,
+    sum: u128,
+    count: u64,
+}
+
+impl Histogram {
+    /// New histogram over `bounds` (must be non-empty and strictly
+    /// increasing).
+    pub fn new(bounds: &[u64]) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0,
+            count: 0,
+        }
+    }
+
+    /// Record one value.
+    pub fn observe(&mut self, v: u64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.counts[idx] += 1;
+        self.sum += v as u128;
+        self.count += 1;
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// `(upper_bound, cumulative_count)` pairs, ending with `(None, count)`
+    /// for the `+Inf` bucket.
+    pub fn cumulative(&self) -> Vec<(Option<u64>, u64)> {
+        let mut acc = 0;
+        let mut out = Vec::with_capacity(self.counts.len());
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            out.push((self.bounds.get(i).copied(), acc));
+        }
+        out
+    }
+
+    /// Smallest bucket upper bound with cumulative count ≥ q·count — a
+    /// bucket-resolution quantile, good enough for overhead triage (`None`
+    /// when empty or when the quantile lands in `+Inf`).
+    pub fn quantile_le(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q * self.count as f64).ceil() as u64;
+        let mut acc = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return self.bounds.get(i).copied();
+            }
+        }
+        None
+    }
+}
+
+/// A named collection of counters and histograms.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Increment counter `name` by 1 (registering it on first use).
+    pub fn inc(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Increment counter `name` by `n`.
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        *self.counters.entry(name).or_insert(0) += n;
+    }
+
+    /// Current value of counter `name` (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Register histogram `name` over `bounds`; a no-op if it already
+    /// exists (bounds are fixed by the first registration).
+    pub fn register_histogram(&mut self, name: &'static str, bounds: &[u64]) {
+        self.histograms
+            .entry(name)
+            .or_insert_with(|| Histogram::new(bounds));
+    }
+
+    /// Record `v` into histogram `name`.
+    ///
+    /// # Panics
+    /// If the histogram was never registered — observation sites are always
+    /// paired with an up-front registration, so this is a programming error.
+    pub fn observe(&mut self, name: &'static str, v: u64) {
+        self.histograms
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("histogram `{name}` not registered"))
+            .observe(v);
+    }
+
+    /// The histogram `name`, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Prometheus text exposition (text/plain; version 0.0.4). Counter
+    /// names get the conventional `_total` left to the caller — names are
+    /// emitted exactly as registered.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            for (bound, cum) in h.cumulative() {
+                match bound {
+                    Some(b) => {
+                        let _ = writeln!(out, "{name}_bucket{{le=\"{b}\"}} {cum}");
+                    }
+                    None => {
+                        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cum}");
+                    }
+                }
+            }
+            let _ = writeln!(out, "{name}_sum {}", h.sum());
+            let _ = writeln!(out, "{name}_count {}", h.count());
+        }
+        out
+    }
+
+    /// JSON-lines exposition: one flat object per counter, one per
+    /// histogram bucket, and a `histogram_summary` line with count/sum/mean
+    /// per histogram.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let line = JsonObject::new()
+                .str("metric", name)
+                .str("type", "counter")
+                .int("value", *v as i128)
+                .finish();
+            out.push_str(&line);
+            out.push('\n');
+        }
+        for (name, h) in &self.histograms {
+            for (bound, cum) in h.cumulative() {
+                let obj = JsonObject::new()
+                    .str("metric", name)
+                    .str("type", "histogram");
+                let obj = match bound {
+                    Some(b) => obj.str("le", &b.to_string()),
+                    None => obj.str("le", "+Inf"),
+                };
+                out.push_str(&obj.int("cumulative_count", cum as i128).finish());
+                out.push('\n');
+            }
+            let line = JsonObject::new()
+                .str("metric", name)
+                .str("type", "histogram_summary")
+                .int("count", h.count() as i128)
+                .int("sum", h.sum() as i128)
+                .float("mean", h.mean())
+                .finish();
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse_flat;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = Histogram::new(&[10, 100, 1000]);
+        for v in [5, 10, 11, 99, 5000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 5125);
+        // le=10 catches 5 and 10 (bounds are inclusive), le=100 adds 11/99,
+        // 5000 overflows to +Inf.
+        assert_eq!(
+            h.cumulative(),
+            vec![(Some(10), 2), (Some(100), 4), (Some(1000), 4), (None, 5)]
+        );
+        assert_eq!(h.quantile_le(0.5), Some(100));
+        assert_eq!(h.quantile_le(1.0), None, "max lands in +Inf");
+        assert_eq!(Histogram::new(&[1]).quantile_le(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bounds_rejected() {
+        Histogram::new(&[10, 10]);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = MetricsRegistry::new();
+        m.inc("sched_points_total");
+        m.add("sched_points_total", 4);
+        assert_eq!(m.counter("sched_points_total"), 5);
+        assert_eq!(m.counter("never_touched"), 0);
+    }
+
+    #[test]
+    fn prometheus_text_shape() {
+        let mut m = MetricsRegistry::new();
+        m.add("decisions_total", 3);
+        m.register_histogram("latency_ns", &[100, 1000]);
+        m.observe("latency_ns", 50);
+        m.observe("latency_ns", 500);
+        let text = m.to_prometheus();
+        assert!(text.contains("# TYPE decisions_total counter"), "{text}");
+        assert!(text.contains("decisions_total 3"), "{text}");
+        assert!(text.contains("latency_ns_bucket{le=\"100\"} 1"), "{text}");
+        assert!(text.contains("latency_ns_bucket{le=\"+Inf\"} 2"), "{text}");
+        assert!(text.contains("latency_ns_sum 550"), "{text}");
+        assert!(text.contains("latency_ns_count 2"), "{text}");
+    }
+
+    #[test]
+    fn jsonl_lines_all_parse_flat() {
+        let mut m = MetricsRegistry::new();
+        m.inc("preemptions_total");
+        m.register_histogram("edf_list_len", &[1, 4]);
+        m.observe("edf_list_len", 2);
+        let out = m.to_jsonl();
+        let mut summaries = 0;
+        for line in out.lines() {
+            let obj = parse_flat(line).expect(line);
+            assert!(obj.str("metric").is_some());
+            if obj.str("type") == Some("histogram_summary") {
+                summaries += 1;
+                assert_eq!(obj.int("count"), Some(1));
+                assert_eq!(obj.int("sum"), Some(2));
+            }
+        }
+        assert_eq!(summaries, 1);
+    }
+}

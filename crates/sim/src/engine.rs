@@ -25,12 +25,14 @@ use crate::stats::{BacklogSample, BacklogSeries, RunStats};
 use crate::trace::{Trace, TraceEvent};
 use asets_core::dag::DagError;
 use asets_core::metrics::MetricsSummary;
+use asets_core::obs::SharedObserver;
 use asets_core::policy::Scheduler;
 use asets_core::table::TxnTable;
 use asets_core::time::SimDuration;
 use asets_core::time::SimTime;
 use asets_core::txn::TxnPhase;
 use asets_core::txn::{TxnId, TxnOutcome, TxnSpec};
+use std::time::Instant;
 
 /// The currently executing transaction.
 #[derive(Debug, Clone, Copy)]
@@ -65,7 +67,8 @@ pub struct Engine<S> {
     running: Option<Running>,
     stats: RunStats,
     trace: Option<Trace>,
-    backlog: Option<(SimDuration, SimTime, BacklogSeries)>,
+    backlog: Option<(SimDuration, BacklogSeries)>,
+    obs: Option<SharedObserver>,
 }
 
 impl<S: Scheduler> Engine<S> {
@@ -83,6 +86,7 @@ impl<S: Scheduler> Engine<S> {
             stats: RunStats::default(),
             trace: None,
             backlog: None,
+            obs: None,
         })
     }
 
@@ -96,7 +100,18 @@ impl<S: Scheduler> Engine<S> {
     /// `interval` of simulated time.
     pub fn with_backlog_sampling(mut self, interval: SimDuration) -> Self {
         assert!(!interval.is_zero(), "sampling interval must be positive");
-        self.backlog = Some((interval, SimTime::ZERO, BacklogSeries::default()));
+        self.backlog = Some((interval, BacklogSeries::default()));
+        self
+    }
+
+    /// Attach an observer: the engine reports scheduling points (with
+    /// wall-clock decision latency) and dispatches, and hands the same
+    /// observer to the policy for decision/migration provenance. Costs one
+    /// `Instant::now` pair per scheduling point when attached; nothing when
+    /// not.
+    pub fn with_observer(mut self, obs: SharedObserver) -> Self {
+        self.policy.attach_observer(obs.clone());
+        self.obs = Some(obs);
         self
     }
 
@@ -141,7 +156,7 @@ impl<S: Scheduler> Engine<S> {
             outcomes,
             stats: self.stats,
             trace: self.trace,
-            backlog: self.backlog.map(|(_, _, series)| series),
+            backlog: self.backlog.map(|(_, series)| series),
         }
     }
 
@@ -199,9 +214,17 @@ impl<S: Scheduler> Engine<S> {
         // 3. Sample backlog if due.
         self.sample_backlog(t);
 
-        // 4. Select and dispatch.
+        // 4. Select and dispatch. Decision latency is only measured when an
+        // observer is attached, keeping the unobserved hot path free of
+        // clock reads.
         self.stats.scheduling_points += 1;
-        match self.policy.select(&self.table, t) {
+        let started = self.obs.as_ref().map(|_| Instant::now());
+        let choice = self.policy.select(&self.table, t);
+        if let (Some(obs), Some(started)) = (&self.obs, started) {
+            let latency_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            obs.borrow_mut().sched_point(t, latency_ns);
+        }
+        match choice {
             Some(choice) => {
                 assert!(
                     self.table.state(choice).is_ready(),
@@ -219,6 +242,9 @@ impl<S: Scheduler> Engine<S> {
                         });
                     }
                     self.record(TraceEvent::Dispatched { at: t, txn: choice });
+                    if let Some(obs) = &self.obs {
+                        obs.borrow_mut().dispatched(t, choice, prev_alive);
+                    }
                 }
                 self.table.start_running(choice);
                 self.stats.dispatches += 1;
@@ -243,15 +269,16 @@ impl<S: Scheduler> Engine<S> {
         }
     }
 
-    /// Take a backlog sample at `t` if the sampling interval elapsed.
+    /// Take a backlog sample at `t` if the sampling interval elapsed. The
+    /// throttle itself lives in [`BacklogSeries`]; the `due` pre-check just
+    /// skips the table scan when the sample would be rejected anyway.
     fn sample_backlog(&mut self, t: SimTime) {
-        let Some((interval, next_at, series)) = &mut self.backlog else {
+        let Some((interval, series)) = &mut self.backlog else {
             return;
         };
-        if t < *next_at {
+        if !series.due(*interval, t) {
             return;
         }
-        *next_at = t + *interval;
         let mut ready = 0u32;
         let mut blocked = 0u32;
         let mut infeasible = 0u32;
@@ -267,12 +294,16 @@ impl<S: Scheduler> Engine<S> {
                 _ => {}
             }
         }
-        series.samples.push(BacklogSample {
-            at: t,
-            ready,
-            blocked,
-            infeasible,
-        });
+        let accepted = series.record(
+            *interval,
+            BacklogSample {
+                at: t,
+                ready,
+                blocked,
+                infeasible,
+            },
+        );
+        debug_assert!(accepted, "due() held, record() must accept");
     }
 
     fn record(&mut self, e: TraceEvent) {
@@ -528,6 +559,54 @@ mod tests {
         let series = r.backlog.unwrap();
         assert_eq!(series.samples[0].blocked, 1);
         assert_eq!(series.samples[0].ready, 1);
+    }
+
+    #[test]
+    fn observer_hears_every_dispatch_and_scheduling_point() {
+        use asets_core::obs::{share, Observer};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        #[derive(Default)]
+        struct Cap {
+            sched_points: u64,
+            dispatches: Vec<(SimTime, TxnId, Option<TxnId>)>,
+        }
+        impl Observer for Cap {
+            fn sched_point(&mut self, _at: SimTime, _latency_ns: u64) {
+                self.sched_points += 1;
+            }
+            fn dispatched(&mut self, at: SimTime, txn: TxnId, preempted: Option<TxnId>) {
+                self.dispatches.push((at, txn, preempted));
+            }
+        }
+
+        // SRPT preempts the long transaction at t=2 for the short arrival.
+        let cap = Rc::new(RefCell::new(Cap::default()));
+        let r = Engine::new(vec![ind(0, 100, 10), ind(2, 100, 1)], Srpt::new())
+            .unwrap()
+            .with_trace()
+            .with_observer(share(&cap))
+            .run();
+        let c = cap.borrow();
+        assert_eq!(c.sched_points, r.stats.scheduling_points);
+        // Dispatch events mirror the trace's `Dispatched` entries exactly:
+        // T0 at 0, T1 at 2 (preempting T0), T0 again at 3.
+        let trace_dispatches: Vec<(SimTime, TxnId)> = r
+            .trace
+            .unwrap()
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Dispatched { at, txn } => Some((*at, *txn)),
+                _ => None,
+            })
+            .collect();
+        let obs_dispatches: Vec<(SimTime, TxnId)> =
+            c.dispatches.iter().map(|&(at, t, _)| (at, t)).collect();
+        assert_eq!(obs_dispatches, trace_dispatches);
+        assert_eq!(c.dispatches[1], (at(2), TxnId(1), Some(TxnId(0))));
+        assert_eq!(r.stats.preemptions, 1);
     }
 
     #[test]

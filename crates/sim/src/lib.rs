@@ -40,6 +40,6 @@ pub mod stats;
 pub mod trace;
 
 pub use engine::{Engine, SimResult};
-pub use runner::{compare_policies, simulate, simulate_traced, simulate_with};
-pub use stats::RunStats;
+pub use runner::{compare_policies, simulate, simulate_observed, simulate_traced, simulate_with};
+pub use stats::{BacklogSample, BacklogSeries, RunStats};
 pub use trace::{Trace, TraceEvent};

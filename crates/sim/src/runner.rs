@@ -33,6 +33,23 @@ pub fn simulate_with<S: Scheduler>(specs: Vec<TxnSpec>, policy: S) -> Result<Sim
     Ok(Engine::new(specs, policy)?.run())
 }
 
+/// Run `specs` under `kind` with `obs` attached to both the engine (trace
+/// events, scheduling-point latency) and the policy (decision/migration
+/// provenance). Trace recording is enabled too, so callers can cross-check
+/// dispatches against decision records.
+pub fn simulate_observed(
+    specs: Vec<TxnSpec>,
+    kind: PolicyKind,
+    obs: asets_core::obs::SharedObserver,
+) -> Result<SimResult, DagError> {
+    let table = TxnTable::new(specs.clone())?;
+    let policy = kind.build(&table);
+    Ok(Engine::new(specs, policy)?
+        .with_trace()
+        .with_observer(obs)
+        .run())
+}
+
 /// Run the same batch under each policy and return the results in order.
 pub fn compare_policies(
     specs: &[TxnSpec],

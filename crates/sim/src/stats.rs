@@ -32,6 +32,27 @@ pub struct BacklogSeries {
 }
 
 impl BacklogSeries {
+    /// Whether a sample taken at `at` would be accepted under the throttle:
+    /// the series admits at most one sample per `interval`, measured from
+    /// the previous *accepted* sample.
+    pub fn due(&self, interval: SimDuration, at: SimTime) -> bool {
+        match self.samples.last() {
+            None => true,
+            Some(last) => at >= last.at + interval,
+        }
+    }
+
+    /// Append `sample` iff the throttle allows it; returns whether the
+    /// sample was accepted. Callers that compute samples lazily can test
+    /// [`BacklogSeries::due`] first and skip the work entirely.
+    pub fn record(&mut self, interval: SimDuration, sample: BacklogSample) -> bool {
+        if !self.due(interval, sample.at) {
+            return false;
+        }
+        self.samples.push(sample);
+        true
+    }
+
     /// Largest ready backlog observed.
     pub fn peak_ready(&self) -> u32 {
         self.samples.iter().map(|s| s.ready).max().unwrap_or(0)
@@ -127,5 +148,36 @@ mod tests {
         assert_eq!(series.peak_ready(), 7);
         assert_eq!(series.peak_infeasible(), 4);
         assert_eq!(BacklogSeries::default().peak_ready(), 0);
+    }
+
+    #[test]
+    fn record_throttles_to_one_sample_per_interval() {
+        let interval = SimDuration::from_units_int(5);
+        let sample = |u: u64| BacklogSample {
+            at: SimTime::from_units_int(u),
+            ready: 1,
+            blocked: 0,
+            infeasible: 0,
+        };
+        let mut series = BacklogSeries::default();
+        // First sample always accepted.
+        assert!(series.due(interval, SimTime::ZERO));
+        assert!(series.record(interval, sample(0)));
+        // Within the interval: rejected, series unchanged.
+        assert!(!series.due(interval, SimTime::from_units_int(4)));
+        assert!(!series.record(interval, sample(4)));
+        assert_eq!(series.samples.len(), 1);
+        // Exactly at the boundary: accepted.
+        assert!(series.record(interval, sample(5)));
+        // The throttle measures from the last *accepted* sample (5), not
+        // from the rejected attempt at 4.
+        assert!(!series.record(interval, sample(9)));
+        assert!(series.record(interval, sample(10)));
+        let times: Vec<u64> = series.samples.iter().map(|s| s.at.ticks()).collect();
+        assert_eq!(
+            times,
+            vec![0, 5_000_000, 10_000_000],
+            "accepted samples honor the 5-unit spacing"
+        );
     }
 }
