@@ -1,0 +1,63 @@
+//! Scale-out of the sharded runtime on the deep-chain workload.
+//!
+//! Three measurements on the same 10 000-transaction, 1 000-member-chain
+//! batch as `deep_workflow_scale/indexed/1000`:
+//!
+//! 1. the plain single-server engine (the floor the K=1 sharded path must
+//!    stay within a few percent of — `shard_gate` enforces it);
+//! 2. the sharded runtime at K ∈ {1, 2, 4} shard threads.
+//!
+//! Wall-clock speedup from the shard threads depends on host cores (CI is
+//! effectively single-core), so these timings document the *overhead* of
+//! the sharded path; the ≥2x scale-out acceptance claim is gated on
+//! **simulated** throughput, which `shard_gate` recomputes in-process.
+
+use asets_bench::chain_workload;
+use asets_core::policy::PolicyKind;
+use asets_sim::{simulate, ShardedRuntime};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn shard_scale(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shard_scale");
+    g.sample_size(10);
+    let chain_len = 1_000usize;
+    let specs = chain_workload(10_000, chain_len);
+    g.bench_with_input(BenchmarkId::new("engine", chain_len), &specs, |b, specs| {
+        b.iter_batched(
+            || specs.to_vec(),
+            |specs| {
+                black_box(
+                    simulate(specs, PolicyKind::asets_star())
+                        .unwrap()
+                        .summary
+                        .avg_tardiness,
+                )
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    for k in [1usize, 2, 4] {
+        g.bench_with_input(
+            BenchmarkId::new(format!("sharded_k{k}"), chain_len),
+            &specs,
+            |b, specs| {
+                b.iter_batched(
+                    || specs.to_vec(),
+                    |specs| {
+                        let r = ShardedRuntime::new(specs, PolicyKind::asets_star())
+                            .shards(k)
+                            .run()
+                            .unwrap();
+                        black_box(r.merged.summary.avg_tardiness)
+                    },
+                    BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, shard_scale);
+criterion_main!(benches);

@@ -9,8 +9,7 @@
 //! the minutes range.
 
 use asets_core::policy::PolicyKind;
-use asets_core::time::{SimDuration, SimTime};
-use asets_core::txn::{TxnId, TxnSpec, Weight};
+use asets_core::txn::TxnSpec;
 use asets_sim::{simulate, SimResult};
 use asets_workload::{generate, TableISpec};
 
@@ -42,43 +41,15 @@ pub fn mix(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// `n` transactions arranged as dependency chains of `chain_len` members:
-/// each chain is one workflow whose member count *is* `chain_len`, so the
-/// per-event rescan cost grows linearly with it while the indexed cost only
-/// gains a log factor. Chains are *interleaved* across the id space (member
-/// `m` of chain `c` is transaction `m·C + c`), the way concurrent sessions'
-/// transactions actually arrive in a web database — so a member rescan
-/// strides through the whole table instead of walking a contiguous (and
-/// cache-resident) block. Arrivals are staggered per chain and slacks vary
-/// so workflows keep crossing between the EDF and HDF lists (migrations,
-/// requeues and releases all fire).
+/// Deep interleaved dependency chains — the scaling and scale-out workload.
 ///
-/// Shared by `scheduler_overhead` (the scaling claim) and
-/// `observer_overhead` (the no-op-observer gate) so both benches time the
-/// exact same workload.
+/// Shared by `scheduler_overhead` (the scaling claim), `observer_overhead`
+/// (the no-op-observer gate) and `shard_scale` (the sharded-runtime gate) so
+/// all three benches time the exact same workload. Now lives in the workload
+/// crate ([`asets_workload::deep_chains`]); this wrapper keeps the bench
+/// call sites and recorded baselines pointed at a byte-identical batch.
 pub fn chain_workload(n: usize, chain_len: usize) -> Vec<TxnSpec> {
-    let n_chains = n / chain_len;
-    (0..n)
-        .map(|i| {
-            let chain = i % n_chains;
-            let pos = i / n_chains;
-            let h = mix(i as u64);
-            let arrival = SimTime::from_units_int((chain % 64) as u64);
-            let length = SimDuration::from_units_int(1 + h % 8);
-            let slack = SimDuration::from_units_int((h >> 8) % 60);
-            TxnSpec {
-                arrival,
-                deadline: arrival + length + slack,
-                length,
-                weight: Weight(1 + (h >> 16) as u32 % 9),
-                deps: if pos == 0 {
-                    vec![]
-                } else {
-                    vec![TxnId((i - n_chains) as u32)]
-                },
-            }
-        })
-        .collect()
+    asets_workload::deep_chains(n, chain_len)
 }
 
 #[cfg(test)]
@@ -94,6 +65,7 @@ mod tests {
 
     #[test]
     fn chain_workload_links_interleaved_chains() {
+        use asets_core::txn::TxnId;
         let specs = chain_workload(1_000, 100);
         assert_eq!(specs.len(), 1_000);
         let n_chains = 10;
@@ -106,5 +78,15 @@ mod tests {
                 assert_eq!(s.deps, vec![TxnId((i - n_chains) as u32)]);
             }
         }
+    }
+
+    #[test]
+    fn chain_workload_is_the_workload_crate_deep_chains() {
+        // The recorded scheduler_overhead baselines assume this exact batch;
+        // the delegation to asets-workload must stay byte-identical.
+        assert_eq!(
+            chain_workload(500, 50),
+            asets_workload::deep_chains(500, 50)
+        );
     }
 }

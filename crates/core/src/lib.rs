@@ -61,6 +61,7 @@ pub mod metrics;
 pub mod obs;
 pub mod policy;
 pub mod queue;
+pub mod shard;
 pub mod table;
 pub mod time;
 pub mod txn;
@@ -78,6 +79,7 @@ pub mod prelude {
         ActivationMode, Asets, AsetsStar, AsetsStarConfig, BalanceAware, Edf, Fcfs, Hdf, Hvf,
         ImpactRule, LeastSlack, LoadSwitch, Mix, PolicyKind, Ready, Scheduler, Srpt,
     };
+    pub use crate::shard::{partition, routing_keys, ShardPlan, ShardSlice};
     pub use crate::table::TxnTable;
     pub use crate::time::{SimDuration, SimTime, Slack, TICKS_PER_UNIT};
     pub use crate::txn::{TxnId, TxnOutcome, TxnPhase, TxnSpec, TxnState, Weight};

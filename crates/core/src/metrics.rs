@@ -106,6 +106,50 @@ impl MetricsSummary {
         }
     }
 
+    /// Merge summaries of **disjoint** outcome sets — the cross-shard
+    /// aggregation of the sharded runtime, where each shard summarizes its
+    /// own transactions and the union is the whole batch.
+    ///
+    /// Count-weighted sums and maxima recombine exactly (up to `f64`
+    /// rounding), so Definitions 3–5 hold for the merged summary: the
+    /// average (weighted) tardiness, miss ratio, response times, maxima and
+    /// total tardiness all equal what [`MetricsSummary::from_outcomes`]
+    /// yields on the union. The one exception is `p99_tardiness`: a
+    /// percentile is not reconstructible from part summaries, so the merge
+    /// takes the largest part percentile (a conservative stand-in; callers
+    /// that need the exact percentile — the sharded runtime's headline
+    /// summary does — recompute from the merged outcomes).
+    ///
+    /// Empty input (or all-empty parts) yields [`MetricsSummary::empty`].
+    pub fn merge(parts: &[MetricsSummary]) -> MetricsSummary {
+        let n: usize = parts.iter().map(|p| p.count).sum();
+        if n == 0 {
+            return MetricsSummary::empty();
+        }
+        let nf = n as f64;
+        let mut acc = MetricsSummary::empty();
+        acc.count = n;
+        let mut misses = 0.0;
+        let mut sum_wt = 0.0;
+        let mut sum_rt = 0.0;
+        for p in parts {
+            let c = p.count as f64;
+            acc.total_tardiness += p.total_tardiness;
+            sum_wt += p.avg_weighted_tardiness * c;
+            sum_rt += p.avg_response_time * c;
+            misses += p.miss_ratio * c;
+            acc.max_tardiness = acc.max_tardiness.max(p.max_tardiness);
+            acc.max_weighted_tardiness = acc.max_weighted_tardiness.max(p.max_weighted_tardiness);
+            acc.max_response_time = acc.max_response_time.max(p.max_response_time);
+            acc.p99_tardiness = acc.p99_tardiness.max(p.p99_tardiness);
+        }
+        acc.avg_tardiness = acc.total_tardiness / nf;
+        acc.avg_weighted_tardiness = sum_wt / nf;
+        acc.avg_response_time = sum_rt / nf;
+        acc.miss_ratio = misses / nf;
+        acc
+    }
+
     /// Pointwise mean of several summaries — the paper reports "the averages
     /// of five runs for each experiment setting" (§IV-A).
     ///
@@ -297,6 +341,41 @@ mod tests {
         assert_eq!(percentile_nearest_rank(&[7], 0.5), 7);
         assert_eq!(percentile_nearest_rank(&[1, 2, 3, 4], 1.0), 4);
         assert_eq!(percentile_nearest_rank(&[1, 2, 3, 4], 0.25), 1);
+    }
+
+    #[test]
+    fn merge_of_disjoint_parts_matches_whole() {
+        // The Definitions 3–5 invariant: summarize two disjoint halves,
+        // merge, and compare against summarizing the union directly.
+        let all: Vec<TxnOutcome> = (0..37)
+            .map(|i| outcome(i, i as u64 % 5, 10, 8 + (i as u64 * 3) % 9, 1 + i % 4))
+            .collect();
+        let (a, b) = all.split_at(13);
+        let merged = MetricsSummary::merge(&[
+            MetricsSummary::from_outcomes(a),
+            MetricsSummary::from_outcomes(b),
+        ]);
+        let whole = MetricsSummary::from_outcomes(&all);
+        assert_eq!(merged.count, whole.count);
+        assert!((merged.avg_tardiness - whole.avg_tardiness).abs() < 1e-9);
+        assert!((merged.avg_weighted_tardiness - whole.avg_weighted_tardiness).abs() < 1e-9);
+        assert_eq!(merged.max_tardiness, whole.max_tardiness);
+        assert_eq!(merged.max_weighted_tardiness, whole.max_weighted_tardiness);
+        assert!((merged.miss_ratio - whole.miss_ratio).abs() < 1e-9);
+        assert!((merged.avg_response_time - whole.avg_response_time).abs() < 1e-9);
+        assert_eq!(merged.max_response_time, whole.max_response_time);
+        assert!((merged.total_tardiness - whole.total_tardiness).abs() < 1e-9);
+        // p99 is the documented conservative stand-in, not the exact value.
+        assert!(merged.p99_tardiness >= 0.0);
+    }
+
+    #[test]
+    fn merge_with_empty_parts() {
+        let outs = vec![outcome(0, 0, 10, 14, 2)];
+        let part = MetricsSummary::from_outcomes(&outs);
+        let merged = MetricsSummary::merge(&[MetricsSummary::empty(), part.clone()]);
+        assert_eq!(merged, part);
+        assert_eq!(MetricsSummary::merge(&[]), MetricsSummary::empty());
     }
 
     #[test]

@@ -89,6 +89,14 @@ impl Scheduler for Fcfs {
         chosen
     }
 
+    fn select_many(&mut self, table: &TxnTable, now: SimTime, slots: usize, out: &mut Vec<TxnId>) {
+        for id in self.queue.top_k(slots) {
+            let c = TxnId(id);
+            emit_single(&self.obs, table, now, c, self.queue.len());
+            out.push(c);
+        }
+    }
+
     fn attach_observer(&mut self, obs: crate::obs::SharedObserver) {
         self.obs.attach(obs);
     }
@@ -135,6 +143,14 @@ impl Scheduler for Edf {
         chosen
     }
 
+    fn select_many(&mut self, table: &TxnTable, now: SimTime, slots: usize, out: &mut Vec<TxnId>) {
+        for id in self.queue.top_k(slots) {
+            let c = TxnId(id);
+            emit_single(&self.obs, table, now, c, self.queue.len());
+            out.push(c);
+        }
+    }
+
     fn attach_observer(&mut self, obs: crate::obs::SharedObserver) {
         self.obs.attach(obs);
     }
@@ -179,6 +195,14 @@ impl Scheduler for Srpt {
             emit_single(&self.obs, table, now, c, self.queue.len());
         }
         chosen
+    }
+
+    fn select_many(&mut self, table: &TxnTable, now: SimTime, slots: usize, out: &mut Vec<TxnId>) {
+        for id in self.queue.top_k(slots) {
+            let c = TxnId(id);
+            emit_single(&self.obs, table, now, c, self.queue.len());
+            out.push(c);
+        }
     }
 
     fn attach_observer(&mut self, obs: crate::obs::SharedObserver) {
@@ -230,6 +254,14 @@ impl Scheduler for LeastSlack {
             emit_single(&self.obs, table, now, c, self.queue.len());
         }
         chosen
+    }
+
+    fn select_many(&mut self, table: &TxnTable, now: SimTime, slots: usize, out: &mut Vec<TxnId>) {
+        for id in self.queue.top_k(slots) {
+            let c = TxnId(id);
+            emit_single(&self.obs, table, now, c, self.queue.len());
+            out.push(c);
+        }
     }
 
     fn attach_observer(&mut self, obs: crate::obs::SharedObserver) {
@@ -285,6 +317,14 @@ impl Scheduler for Hdf {
         chosen
     }
 
+    fn select_many(&mut self, table: &TxnTable, now: SimTime, slots: usize, out: &mut Vec<TxnId>) {
+        for id in self.queue.top_k(slots) {
+            let c = TxnId(id);
+            emit_single(&self.obs, table, now, c, self.queue.len());
+            out.push(c);
+        }
+    }
+
     fn attach_observer(&mut self, obs: crate::obs::SharedObserver) {
         self.obs.attach(obs);
     }
@@ -327,6 +367,10 @@ impl Scheduler for Ready {
 
     fn select(&mut self, table: &TxnTable, now: SimTime) -> Option<TxnId> {
         self.inner.select(table, now)
+    }
+
+    fn select_many(&mut self, table: &TxnTable, now: SimTime, slots: usize, out: &mut Vec<TxnId>) {
+        self.inner.select_many(table, now, slots, out);
     }
 
     fn attach_observer(&mut self, obs: crate::obs::SharedObserver) {
@@ -466,6 +510,35 @@ mod tests {
             Some(TxnId(0)),
             "most negative slack first"
         );
+    }
+
+    #[test]
+    fn select_many_ranks_top_k_without_popping() {
+        let mut p = Edf::new();
+        let tbl = readied(&mut p);
+        let mut out = Vec::new();
+        p.select_many(&tbl, at(2), 2, &mut out);
+        assert_eq!(out, vec![TxnId(1), TxnId(2)], "deadlines 10 then 20");
+        // Selection peeks: asking again yields the same (longer) ranking.
+        let mut again = Vec::new();
+        p.select_many(&tbl, at(2), 5, &mut again);
+        assert_eq!(again, vec![TxnId(1), TxnId(2), TxnId(0)]);
+        // A single slot agrees with plain select.
+        let mut one = Vec::new();
+        p.select_many(&tbl, at(2), 1, &mut one);
+        assert_eq!(one, vec![p.select(&tbl, at(2)).unwrap()]);
+    }
+
+    #[test]
+    fn default_select_many_fills_one_slot() {
+        // Ready keeps the trait default via its inner ASETS policy: one
+        // choice no matter how many slots are free.
+        let mut p = Ready::new();
+        let tbl = readied(&mut p);
+        let mut out = Vec::new();
+        p.select_many(&tbl, at(2), 3, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0], p.select(&tbl, at(2)).unwrap());
     }
 
     #[test]

@@ -18,6 +18,11 @@
 //!    [`Scheduler::on_ready`].
 //! 4. `select` must return a transaction that is ready in the table, and
 //!    must be deterministic given the table state (ties broken by id).
+//! 5. With a multi-server pool the engine calls [`Scheduler::select_many`]
+//!    instead, asking for up to M choices per scheduling point. The default
+//!    implementation forwards to `select` (single fill), so every policy
+//!    keeps its exact single-server behavior; queue-backed baselines
+//!    override it to rank their top-M.
 //!
 //! The available policies:
 //!
@@ -87,6 +92,26 @@ pub trait Scheduler {
     /// point. `None` iff nothing is ready.
     fn select(&mut self, table: &TxnTable, now: SimTime) -> Option<TxnId>;
 
+    /// Fill up to `slots` free servers at one scheduling point, pushing the
+    /// chosen transactions into `out` in priority order (distinct, all ready
+    /// in the table). Like [`Scheduler::select`] this *peeks*: the policy's
+    /// structures must be unchanged afterwards.
+    ///
+    /// The default forwards to `select`, filling a single slot — with one
+    /// server (`slots == 1`, the paper's model) every policy behaves exactly
+    /// as before this method existed. Policies that can rank beyond their
+    /// top choice override it to saturate multi-server pools; the engine
+    /// keeps non-displaced running transactions on their servers when fewer
+    /// than `slots` choices come back, so a single-fill policy on an
+    /// M-server pool is still work-conserving once servers are occupied.
+    fn select_many(&mut self, table: &TxnTable, now: SimTime, slots: usize, out: &mut Vec<TxnId>) {
+        debug_assert!(slots >= 1, "select_many needs at least one slot");
+        let _ = slots;
+        if let Some(t) = self.select(table, now) {
+            out.push(t);
+        }
+    }
+
     /// The next instant at which this policy wants an extra scheduling point
     /// even if nothing arrives or completes (balance-aware activation timer).
     fn next_wakeup(&self, _now: SimTime) -> Option<SimTime> {
@@ -119,6 +144,9 @@ impl Scheduler for Box<dyn Scheduler> {
     }
     fn select(&mut self, table: &TxnTable, now: SimTime) -> Option<TxnId> {
         (**self).select(table, now)
+    }
+    fn select_many(&mut self, table: &TxnTable, now: SimTime, slots: usize, out: &mut Vec<TxnId>) {
+        (**self).select_many(table, now, slots, out);
     }
     fn next_wakeup(&self, now: SimTime) -> Option<SimTime> {
         (**self).next_wakeup(now)

@@ -131,6 +131,15 @@ impl<K: Ord + Copy> KeyedQueue<K> {
         Some(entry)
     }
 
+    /// The ids of the `k` smallest-key entries, in key order (ties toward
+    /// the smaller id), without disturbing the queue. Returns fewer than `k`
+    /// ids when the queue is shorter. This is the multi-server `select_many`
+    /// primitive: the engine wants the policy's top-M ranking, and the queue
+    /// must look untouched afterwards (selection *peeks*).
+    pub fn top_k(&self, k: usize) -> Vec<u32> {
+        self.set.iter().take(k).map(|&(_, id)| id).collect()
+    }
+
     /// Drain every entry whose key is `<= bound`, in key order. This is the
     /// ASETS\* migration primitive: with keys = latest start times, draining
     /// up to `now` yields exactly the transactions that just became
@@ -390,6 +399,18 @@ mod tests {
         q.insert(0, 10u64);
         assert!(q.drain_up_to(5).is_empty());
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn top_k_peeks_prefix_in_key_order() {
+        let mut q = KeyedQueue::new();
+        for (id, k) in [(5u32, 50u64), (1, 10), (3, 30), (2, 10)] {
+            q.insert(id, k);
+        }
+        assert_eq!(q.top_k(3), vec![1, 2, 3], "ties break toward smaller id");
+        assert_eq!(q.top_k(10), vec![1, 2, 3, 5], "short queues return all");
+        assert_eq!(q.top_k(0), Vec::<u32>::new());
+        assert_eq!(q.len(), 4, "top_k must not disturb the queue");
     }
 
     #[test]

@@ -1,0 +1,285 @@
+//! Workflow-preserving shard partitioning.
+//!
+//! The sharded runtime (in `asets-sim`) runs K independent single- or
+//! multi-server engines, one per shard, each with its own policy instance
+//! and [`crate::table::TxnTable`]. For that to be semantically sound a shard
+//! must own *whole workflows*: every dependency edge must stay inside one
+//! shard, otherwise a transaction could wait on a predecessor another shard
+//! owns and the per-shard engines would deadlock or diverge from the paper's
+//! single-queue semantics.
+//!
+//! The unit of placement is therefore the *weakly connected component* of
+//! the dependency graph — the transitive closure of "shares a workflow
+//! with" (paper §II-A workflows can share members, e.g. Fig. 1's shared
+//! leaf, so a component can span several workflow roots). Each component is
+//! identified by its **routing key**: the smallest transaction id in the
+//! component, which is stable under re-ordering of the dependency lists and
+//! cheap to compute with a union-find pass.
+//!
+//! Assignment is deterministic: components are placed largest-first
+//! (ties toward the smaller routing key) onto the currently least-loaded
+//! shard (ties toward the smaller shard index) — classic LPT balancing,
+//! reproducible for a given batch. With `k == 1` the plan is the identity:
+//! one slice containing every transaction with unchanged ids, which is what
+//! the K=1 bit-for-bit determinism oracle relies on.
+
+use crate::txn::{TxnId, TxnSpec};
+
+/// One shard's share of a batch: a self-contained spec slice with
+/// dependencies remapped to the slice-local dense id space.
+#[derive(Debug, Clone)]
+pub struct ShardSlice {
+    /// The shard's transactions, re-indexed so `specs[i]` is local
+    /// `TxnId(i)`; dependency lists are rewritten to local ids.
+    pub specs: Vec<TxnSpec>,
+    /// Local id → global id. Ascending: local order preserves global order.
+    pub to_global: Vec<TxnId>,
+}
+
+impl ShardSlice {
+    /// Number of transactions in the slice.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// True iff the slice holds no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+}
+
+/// A deterministic assignment of a batch onto `k` shards.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    /// One slice per shard. Slices can be empty when there are fewer
+    /// components than shards.
+    pub slices: Vec<ShardSlice>,
+    /// Global id → shard index.
+    pub shard_of: Vec<u32>,
+}
+
+/// The routing key of every transaction: the smallest transaction id in its
+/// weakly connected dependency component. Transactions with equal keys must
+/// land on the same shard; independent transactions are their own key.
+///
+/// Dependency entries that are out of range or self-referential are ignored
+/// here — [`crate::dag::DepDag::build`] is the validator and reports them
+/// properly; this pass only needs to be total.
+pub fn routing_keys(specs: &[TxnSpec]) -> Vec<u32> {
+    let n = specs.len();
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            // Path halving: point at the grandparent while walking up.
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+
+    for (i, spec) in specs.iter().enumerate() {
+        for &d in &spec.deps {
+            if d.index() >= n || d.index() == i {
+                continue;
+            }
+            let a = find(&mut parent, i as u32);
+            let b = find(&mut parent, d.0);
+            if a != b {
+                // The smaller id stays root, so the final root of every
+                // component is its minimum member — the routing key.
+                let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                parent[hi as usize] = lo;
+            }
+        }
+    }
+    (0..n as u32).map(|i| find(&mut parent, i)).collect()
+}
+
+/// Partition `specs` onto `k` shards, keeping every dependency component
+/// whole. See the module docs for the placement rule.
+///
+/// # Panics
+/// If `k == 0`.
+pub fn partition(specs: &[TxnSpec], k: usize) -> ShardPlan {
+    assert!(k >= 1, "shard count must be at least 1");
+    let n = specs.len();
+    let keys = routing_keys(specs);
+
+    // Components in routing-key order, members ascending (ids are scanned
+    // in order and appended).
+    let mut members_of: std::collections::BTreeMap<u32, Vec<u32>> =
+        std::collections::BTreeMap::new();
+    for (i, &key) in keys.iter().enumerate() {
+        members_of.entry(key).or_default().push(i as u32);
+    }
+
+    // LPT placement: largest component first (ties toward the smaller
+    // routing key), onto the least-loaded shard (ties toward the smaller
+    // shard index).
+    let mut order: Vec<(&u32, &Vec<u32>)> = members_of.iter().collect();
+    order.sort_by_key(|(key, members)| (std::cmp::Reverse(members.len()), **key));
+    let mut shard_members: Vec<Vec<u32>> = vec![Vec::new(); k];
+    let mut load = vec![0usize; k];
+    for (_, members) in order {
+        let target = (0..k).min_by_key(|&s| (load[s], s)).expect("k >= 1");
+        load[target] += members.len();
+        shard_members[target].extend_from_slice(members);
+    }
+
+    // Materialize slices: members ascending so local order preserves global
+    // order (and k == 1 is the identity mapping).
+    let mut shard_of = vec![0u32; n];
+    let mut to_local = vec![0u32; n];
+    let mut slices = Vec::with_capacity(k);
+    for (s, mut members) in shard_members.into_iter().enumerate() {
+        members.sort_unstable();
+        for (local, &g) in members.iter().enumerate() {
+            shard_of[g as usize] = s as u32;
+            to_local[g as usize] = local as u32;
+        }
+        let mut slice_specs = Vec::with_capacity(members.len());
+        for &g in &members {
+            let mut spec = specs[g as usize].clone();
+            for d in &mut spec.deps {
+                if d.index() < n {
+                    *d = TxnId(to_local[d.index()]);
+                }
+                // Out-of-range deps are preserved as-is: they are invalid in
+                // any id space and DepDag::build will reject the slice just
+                // as it rejects the original batch.
+            }
+            slice_specs.push(spec);
+        }
+        slices.push(ShardSlice {
+            specs: slice_specs,
+            to_global: members.into_iter().map(TxnId).collect(),
+        });
+    }
+    ShardPlan { slices, shard_of }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{SimDuration, SimTime};
+    use crate::txn::Weight;
+
+    fn ind(arr: u64) -> TxnSpec {
+        TxnSpec::independent(
+            SimTime::from_units_int(arr),
+            SimTime::from_units_int(arr + 10),
+            SimDuration::from_units_int(1),
+            Weight::ONE,
+        )
+    }
+
+    fn dep(arr: u64, deps: &[u32]) -> TxnSpec {
+        TxnSpec {
+            deps: deps.iter().map(|&d| TxnId(d)).collect(),
+            ..ind(arr)
+        }
+    }
+
+    #[test]
+    fn routing_keys_follow_components() {
+        // Two chains 0->2->4 and 1->3, plus the loner 5.
+        let specs = vec![
+            ind(0),
+            ind(0),
+            dep(0, &[0]),
+            dep(0, &[1]),
+            dep(0, &[2]),
+            ind(0),
+        ];
+        assert_eq!(routing_keys(&specs), vec![0, 1, 0, 1, 0, 5]);
+    }
+
+    #[test]
+    fn shared_leaf_merges_workflows_into_one_component() {
+        // Fig. 1 shape: two roots sharing leaf T0 — one component, key 0.
+        let specs = vec![ind(0), dep(0, &[0]), dep(0, &[0])];
+        assert_eq!(routing_keys(&specs), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn k1_partition_is_identity() {
+        let specs = vec![ind(0), dep(1, &[0]), ind(2), dep(3, &[2, 1])];
+        let plan = partition(&specs, 1);
+        assert_eq!(plan.slices.len(), 1);
+        assert_eq!(plan.slices[0].specs, specs);
+        assert_eq!(
+            plan.slices[0].to_global,
+            (0..4).map(TxnId).collect::<Vec<_>>()
+        );
+        assert!(plan.shard_of.iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn dependencies_never_cross_shards() {
+        // 8 chains of 3, partitioned 3 ways.
+        let mut specs = Vec::new();
+        for c in 0..8u32 {
+            let base = specs.len() as u32;
+            specs.push(ind(c as u64));
+            specs.push(dep(c as u64, &[base]));
+            specs.push(dep(c as u64, &[base + 1]));
+        }
+        let plan = partition(&specs, 3);
+        for (i, spec) in specs.iter().enumerate() {
+            for d in &spec.deps {
+                assert_eq!(
+                    plan.shard_of[i],
+                    plan.shard_of[d.index()],
+                    "dep edge {i}->{d} crosses shards"
+                );
+            }
+        }
+        // Slices are internally consistent: remapped deps resolve to the
+        // same global transactions.
+        for slice in &plan.slices {
+            for (local, spec) in slice.specs.iter().enumerate() {
+                let global = slice.to_global[local];
+                for (ld, gd) in spec.deps.iter().zip(&specs[global.index()].deps) {
+                    assert_eq!(slice.to_global[ld.index()], *gd);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lpt_balances_uneven_components() {
+        // Components of sizes 4, 2, 1, 1 over 2 shards: LPT gives 4 vs 2+1+1.
+        let specs = vec![
+            ind(0),
+            dep(0, &[0]),
+            dep(0, &[1]),
+            dep(0, &[2]), // size 4, key 0
+            ind(0),
+            dep(0, &[4]), // size 2, key 4
+            ind(0),       // key 6
+            ind(0),       // key 7
+        ];
+        let plan = partition(&specs, 2);
+        let mut sizes: Vec<usize> = plan.slices.iter().map(|s| s.len()).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![4, 4]);
+    }
+
+    #[test]
+    fn more_shards_than_components_leaves_empty_slices() {
+        let specs = vec![ind(0), dep(0, &[0])];
+        let plan = partition(&specs, 4);
+        assert_eq!(plan.slices.len(), 4);
+        assert_eq!(plan.slices.iter().filter(|s| !s.is_empty()).count(), 1);
+        assert_eq!(plan.slices.iter().map(ShardSlice::len).sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn empty_batch_partitions_trivially() {
+        let plan = partition(&[], 3);
+        assert_eq!(plan.slices.len(), 3);
+        assert!(plan.slices.iter().all(ShardSlice::is_empty));
+        assert!(plan.shard_of.is_empty());
+    }
+}

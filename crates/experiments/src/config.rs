@@ -17,6 +17,14 @@ pub struct ExpConfig {
     pub n_txns: usize,
     /// Utilization sweep points for the U-axis figures.
     pub utilizations: Vec<f64>,
+    /// Logical servers per engine (M). 1 is the paper's single-server model
+    /// and the default everywhere; the scale-out figure threads it through
+    /// the sharded runtime.
+    pub servers: usize,
+    /// Shard threads (K) for runs routed through the sharded runtime. 1 is
+    /// the plain engine path. Per-figure sweeps (the scale-out figure)
+    /// override this point-by-point.
+    pub shards: usize,
 }
 
 impl ExpConfig {
@@ -26,6 +34,8 @@ impl ExpConfig {
             seeds: PAPER_SEEDS.to_vec(),
             n_txns: 1000,
             utilizations: (1..=10).map(|i| i as f64 / 10.0).collect(),
+            servers: 1,
+            shards: 1,
         }
     }
 
@@ -36,6 +46,8 @@ impl ExpConfig {
             seeds: vec![101, 202],
             n_txns: 200,
             utilizations: vec![0.3, 0.6, 0.9],
+            servers: 1,
+            shards: 1,
         }
     }
 
@@ -43,6 +55,18 @@ impl ExpConfig {
     pub fn with_util_range(mut self, lo: f64, hi: f64) -> ExpConfig {
         self.utilizations
             .retain(|&u| u >= lo - 1e-9 && u <= hi + 1e-9);
+        self
+    }
+
+    /// Set the logical server count (M) per engine.
+    pub fn with_servers(mut self, m: usize) -> ExpConfig {
+        self.servers = m;
+        self
+    }
+
+    /// Set the shard count (K) for sharded-runtime runs.
+    pub fn with_shards(mut self, k: usize) -> ExpConfig {
+        self.shards = k;
         self
     }
 }
@@ -86,11 +110,13 @@ pub enum FigureId {
     CacheTtl,
     /// Extension: deadline-miss ratio across policies (the §V metric).
     MissRatio,
+    /// Extension: sharded-runtime scale-out sweep (K ∈ {1, 2, 4, 8}).
+    ScaleOut,
 }
 
 impl FigureId {
     /// All figures, in paper order.
-    pub const ALL: [FigureId; 15] = [
+    pub const ALL: [FigureId; 16] = [
         FigureId::Table1,
         FigureId::Fig8,
         FigureId::Fig9,
@@ -106,6 +132,7 @@ impl FigureId {
         FigureId::Ablations,
         FigureId::CacheTtl,
         FigureId::MissRatio,
+        FigureId::ScaleOut,
     ];
 
     /// CLI name (`repro <name>`).
@@ -126,6 +153,7 @@ impl FigureId {
             FigureId::Ablations => "ablations",
             FigureId::CacheTtl => "cache",
             FigureId::MissRatio => "missratio",
+            FigureId::ScaleOut => "scaleout",
         }
     }
 
@@ -147,6 +175,14 @@ mod tests {
         assert_eq!(c.utilizations.len(), 10);
         assert_eq!(c.utilizations[0], 0.1);
         assert_eq!(c.utilizations[9], 1.0);
+        // The paper's model is single-server, unsharded.
+        assert_eq!((c.servers, c.shards), (1, 1));
+    }
+
+    #[test]
+    fn runtime_knobs_chain() {
+        let c = ExpConfig::quick().with_servers(2).with_shards(4);
+        assert_eq!((c.servers, c.shards), (2, 4));
     }
 
     #[test]

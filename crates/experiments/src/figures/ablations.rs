@@ -312,6 +312,7 @@ mod tests {
             seeds: vec![101],
             n_txns: 150,
             utilizations: vec![0.6],
+            ..ExpConfig::quick()
         }
     }
 
@@ -335,6 +336,7 @@ mod tests {
             seeds: vec![101],
             n_txns: 120,
             utilizations: vec![],
+            ..ExpConfig::quick()
         };
         let r = workflow_grid(&small);
         assert_eq!(r.rows.len(), 3);
@@ -361,6 +363,7 @@ mod tests {
             seeds: vec![101, 202],
             n_txns: 400,
             utilizations: vec![1.0],
+            ..ExpConfig::quick()
         };
         let r = load_switch(&cfg);
         let (_, row) = &r.rows[0];

@@ -95,6 +95,7 @@ mod tests {
             seeds: vec![101],
             n_txns: 120,
             utilizations: vec![0.4, 0.8],
+            ..ExpConfig::quick()
         };
         let r = run(&cfg);
         assert_eq!(r.rows.len(), ALPHAS.len());
@@ -106,6 +107,7 @@ mod tests {
             seeds: vec![101, 202],
             n_txns: 250,
             utilizations: vec![0.3, 0.7, 1.0],
+            ..ExpConfig::quick()
         };
         for alpha in [0.0, 1.5] {
             let inner = per_alpha(&cfg, alpha);

@@ -97,6 +97,7 @@ mod tests {
             seeds: vec![101],
             n_txns: 120,
             utilizations: vec![],
+            ..ExpConfig::quick()
         };
         let r = run(&cfg);
         let work = r.series("backend_work").unwrap();
@@ -120,6 +121,7 @@ mod tests {
             seeds: vec![101, 202],
             n_txns: 160,
             utilizations: vec![],
+            ..ExpConfig::quick()
         };
         let r = run(&cfg);
         let wt = r.series("avg w.tardiness").unwrap();

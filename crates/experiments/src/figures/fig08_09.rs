@@ -116,6 +116,7 @@ mod tests {
             seeds: vec![101],
             n_txns: 150,
             utilizations: vec![0.2, 0.5, 0.8],
+            ..ExpConfig::quick()
         };
         let low = run_low(&cfg);
         let high = run_high(&cfg);
@@ -148,6 +149,7 @@ mod tests {
             seeds: vec![101],
             n_txns: 100,
             utilizations: vec![0.4],
+            ..ExpConfig::quick()
         };
         let r = run_low(&cfg);
         assert!(r.notes.iter().any(|n| n.contains("min(EDF, SRPT)")));

@@ -83,6 +83,7 @@ mod tests {
             seeds: vec![101, 202],
             n_txns: 250,
             utilizations: vec![0.2, 0.5, 0.8, 1.0],
+            ..ExpConfig::quick()
         }
     }
 
@@ -117,6 +118,7 @@ mod tests {
             seeds: vec![101],
             n_txns: 60,
             utilizations: vec![0.5],
+            ..ExpConfig::quick()
         };
         assert!(run(&cfg, 1.0).title.contains("Fig. 11"));
         assert!(run(&cfg, 2.0).title.contains("Fig. 12"));

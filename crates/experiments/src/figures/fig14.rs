@@ -63,6 +63,7 @@ mod tests {
             seeds: vec![101, 202, 303],
             n_txns: 400,
             utilizations: vec![0.9, 1.0],
+            ..ExpConfig::quick()
         };
         let r = run(&cfg);
         let ready = r.series("Ready").unwrap();
@@ -83,6 +84,7 @@ mod tests {
             seeds: vec![101],
             n_txns: 150,
             utilizations: vec![0.8],
+            ..ExpConfig::quick()
         };
         let r = run(&cfg);
         let (_, row) = &r.rows[0];

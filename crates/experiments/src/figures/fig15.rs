@@ -60,6 +60,7 @@ mod tests {
             seeds: vec![101, 202],
             n_txns: 300,
             utilizations: vec![0.3, 0.7, 1.0],
+            ..ExpConfig::quick()
         };
         let r = run(&cfg);
         let edf = r.series("EDF").unwrap();
@@ -82,6 +83,7 @@ mod tests {
             seeds: vec![101, 202],
             n_txns: 400,
             utilizations: vec![1.0],
+            ..ExpConfig::quick()
         };
         let r = run(&cfg);
         let edf = r.series("EDF").unwrap()[0];

@@ -129,6 +129,7 @@ mod tests {
             seeds: vec![101, 202],
             n_txns: 400,
             utilizations: vec![],
+            ..ExpConfig::quick()
         }
     }
 

@@ -68,6 +68,7 @@ mod tests {
             seeds: vec![101, 202],
             n_txns: 300,
             utilizations: vec![0.3, 0.9],
+            ..ExpConfig::quick()
         };
         let r = run(&cfg);
         for (_, row) in &r.rows {
@@ -87,6 +88,7 @@ mod tests {
             seeds: vec![101],
             n_txns: 300,
             utilizations: vec![0.2, 1.0],
+            ..ExpConfig::quick()
         };
         let r = run(&cfg);
         let asets = r.series("ASETS*").unwrap();

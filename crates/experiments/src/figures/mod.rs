@@ -15,6 +15,7 @@ pub mod fig14;
 pub mod fig15;
 pub mod fig16_17;
 pub mod miss_ratio;
+pub mod scale_out;
 pub mod table1;
 
 use crate::config::{ExpConfig, FigureId};
@@ -44,6 +45,7 @@ pub fn run_figure(id: FigureId, cfg: &ExpConfig) -> Vec<Report> {
         FigureId::Ablations => ablations::run_all(cfg),
         FigureId::CacheTtl => vec![cache_ttl::run(cfg)],
         FigureId::MissRatio => vec![miss_ratio::run(cfg)],
+        FigureId::ScaleOut => vec![scale_out::run(cfg)],
     }
 }
 

@@ -1,0 +1,93 @@
+//! Extension experiment: scale-out of the sharded ASETS\* runtime.
+//!
+//! The paper's model is a single scheduler over one server; this extension
+//! measures what partitioning whole workflows across K independent shard
+//! threads buys. The workload is the deep-chain batch shared with the
+//! overhead benches ([`asets_workload::deep_chains`]): many independent
+//! dependency chains, so the routing layer has real components to spread
+//! and K shards behave as K parallel single-server systems.
+//!
+//! The reported throughput is **simulated** throughput — completed
+//! transactions per simulated time unit of the merged run (`n /
+//! makespan`). That is the honest scale metric in this repo: wall-clock
+//! speedup depends on host cores (CI runs single-core), while simulated
+//! makespan shrinks because each shard serves only its own chains.
+//! Speedup is normalized to the K=1 row, which is bit-identical to the
+//! plain engine (the determinism oracle pins that).
+
+use crate::config::ExpConfig;
+use crate::report::Report;
+use asets_core::policy::PolicyKind;
+use asets_sim::ShardedRuntime;
+use asets_workload::{deep_chains, shard_loads};
+
+/// The shard counts the sweep visits.
+pub const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Chain length for the scale-out workload: `n / CHAIN_LEN` independent
+/// chains, enough components for every K in [`SHARD_COUNTS`] to balance.
+pub const CHAIN_LEN: usize = 25;
+
+/// Run the scale-out sweep: K ∈ {1, 2, 4, 8} shards over the deep-chain
+/// batch, reporting simulated throughput (txns per simulated unit),
+/// speedup vs K=1, and the merged makespan.
+pub fn run(cfg: &ExpConfig) -> Report {
+    let specs = deep_chains(cfg.n_txns, CHAIN_LEN.min(cfg.n_txns));
+    let mut report = Report::new(
+        "Extension — scale-out: sharded ASETS* runtime, deep-chain workload",
+        "shards",
+        vec![
+            "sim_throughput".to_string(),
+            "speedup".to_string(),
+            "makespan".to_string(),
+        ],
+    );
+    let mut base_throughput = None;
+    for &k in &SHARD_COUNTS {
+        let r = ShardedRuntime::new(specs.clone(), PolicyKind::asets_star())
+            .shards(k)
+            .servers(cfg.servers)
+            .run()
+            .expect("deep chains are acyclic");
+        let makespan = r.merged.stats.makespan.as_units();
+        let throughput = cfg.n_txns as f64 / makespan;
+        let base = *base_throughput.get_or_insert(throughput);
+        report.push_row(k as f64, vec![throughput, throughput / base, makespan]);
+    }
+    let loads = shard_loads(&specs, *SHARD_COUNTS.last().expect("non-empty"));
+    report.note(format!(
+        "simulated throughput (K shards run concurrently, merged makespan is the max); \
+         K=1 is bit-identical to the plain engine; member loads at K=8: {loads:?}",
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_is_monotone_and_reaches_2x_at_4_shards() {
+        let cfg = ExpConfig::quick();
+        let r = run(&cfg);
+        let speedup = r.series("speedup").unwrap();
+        assert_eq!(r.rows.len(), SHARD_COUNTS.len());
+        assert!((speedup[0] - 1.0).abs() < 1e-12, "K=1 is the baseline");
+        for w in speedup.windows(2) {
+            assert!(w[1] >= w[0] - 1e-9, "speedup dropped: {speedup:?}");
+        }
+        // The acceptance gate the shard_gate binary enforces at full size.
+        assert!(speedup[2] >= 2.0, "K=4 speedup {} < 2x", speedup[2]);
+    }
+
+    #[test]
+    fn throughput_row_is_consistent() {
+        let cfg = ExpConfig::quick();
+        let r = run(&cfg);
+        let thr = r.series("sim_throughput").unwrap();
+        let mk = r.series("makespan").unwrap();
+        for (t, m) in thr.iter().zip(&mk) {
+            assert!((t * m - cfg.n_txns as f64).abs() < 1e-6);
+        }
+    }
+}

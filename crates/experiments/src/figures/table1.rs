@@ -83,6 +83,7 @@ mod tests {
             seeds: vec![101, 202, 303],
             n_txns: 1000,
             utilizations: vec![0.5],
+            ..ExpConfig::quick()
         };
         let r = run(&cfg);
         let (_, row) = &r.rows[0];

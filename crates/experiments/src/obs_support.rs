@@ -154,6 +154,7 @@ mod tests {
             seeds: vec![3],
             n_txns: 40,
             utilizations: vec![0.5, 0.9],
+            ..ExpConfig::quick()
         };
         let line = representative_run(&cfg, &dir).unwrap();
         assert!(line.contains("U=0.9"), "{line}");

@@ -60,7 +60,8 @@ pub mod recorder;
 pub use analysis::{derive_impacts, CheckFailure, Dump};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use recorder::{
-    event_line, FlightRecorder, PanicDump, RecordedEvent, LATENCY_NS_BOUNDS, LIST_LEN_BOUNDS,
+    dump_sharded, event_line, event_line_labeled, FlightRecorder, PanicDump, RecordedEvent,
+    LATENCY_NS_BOUNDS, LIST_LEN_BOUNDS,
 };
 
 // Re-export the hook layer so downstream users need only one obs import.

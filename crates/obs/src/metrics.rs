@@ -157,25 +157,39 @@ impl MetricsRegistry {
     /// names get the conventional `_total` left to the caller — names are
     /// emitted exactly as registered.
     pub fn to_prometheus(&self) -> String {
+        self.to_prometheus_labeled(None)
+    }
+
+    /// [`MetricsRegistry::to_prometheus`] with an optional constant label
+    /// attached to every series — e.g. `("shard", "3".into())` for the
+    /// per-shard recorders of a sharded run, so concatenated exports from
+    /// all shards remain one well-formed scrape.
+    pub fn to_prometheus_labeled(&self, label: Option<(&str, String)>) -> String {
+        // `lone` renders a bare series' label set, `extra` extends an
+        // existing `{...}` set (leading comma included).
+        let (lone, extra) = match &label {
+            Some((k, v)) => (format!("{{{k}=\"{v}\"}}"), format!(",{k}=\"{v}\"")),
+            None => (String::new(), String::new()),
+        };
         let mut out = String::new();
         for (name, v) in &self.counters {
             let _ = writeln!(out, "# TYPE {name} counter");
-            let _ = writeln!(out, "{name} {v}");
+            let _ = writeln!(out, "{name}{lone} {v}");
         }
         for (name, h) in &self.histograms {
             let _ = writeln!(out, "# TYPE {name} histogram");
             for (bound, cum) in h.cumulative() {
                 match bound {
                     Some(b) => {
-                        let _ = writeln!(out, "{name}_bucket{{le=\"{b}\"}} {cum}");
+                        let _ = writeln!(out, "{name}_bucket{{le=\"{b}\"{extra}}} {cum}");
                     }
                     None => {
-                        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cum}");
+                        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"{extra}}} {cum}");
                     }
                 }
             }
-            let _ = writeln!(out, "{name}_sum {}", h.sum());
-            let _ = writeln!(out, "{name}_count {}", h.count());
+            let _ = writeln!(out, "{name}_sum{lone} {}", h.sum());
+            let _ = writeln!(out, "{name}_count{lone} {}", h.count());
         }
         out
     }
@@ -184,13 +198,25 @@ impl MetricsRegistry {
     /// histogram bucket, and a `histogram_summary` line with count/sum/mean
     /// per histogram.
     pub fn to_jsonl(&self) -> String {
+        self.to_jsonl_labeled(None)
+    }
+
+    /// [`MetricsRegistry::to_jsonl`] with an optional constant label added
+    /// as an extra string field on every line (the per-shard export).
+    pub fn to_jsonl_labeled(&self, label: Option<(&str, String)>) -> String {
+        let tag = |obj: JsonObject| -> JsonObject {
+            match &label {
+                Some((k, v)) => obj.str(k, v),
+                None => obj,
+            }
+        };
         let mut out = String::new();
         for (name, v) in &self.counters {
-            let line = JsonObject::new()
+            let line = tag(JsonObject::new()
                 .str("metric", name)
                 .str("type", "counter")
-                .int("value", *v as i128)
-                .finish();
+                .int("value", *v as i128))
+            .finish();
             out.push_str(&line);
             out.push('\n');
         }
@@ -203,16 +229,16 @@ impl MetricsRegistry {
                     Some(b) => obj.str("le", &b.to_string()),
                     None => obj.str("le", "+Inf"),
                 };
-                out.push_str(&obj.int("cumulative_count", cum as i128).finish());
+                out.push_str(&tag(obj.int("cumulative_count", cum as i128)).finish());
                 out.push('\n');
             }
-            let line = JsonObject::new()
+            let line = tag(JsonObject::new()
                 .str("metric", name)
                 .str("type", "histogram_summary")
                 .int("count", h.count() as i128)
                 .int("sum", h.sum() as i128)
-                .float("mean", h.mean())
-                .finish();
+                .float("mean", h.mean()))
+            .finish();
             out.push_str(&line);
             out.push('\n');
         }
@@ -273,6 +299,42 @@ mod tests {
         assert!(text.contains("latency_ns_bucket{le=\"+Inf\"} 2"), "{text}");
         assert!(text.contains("latency_ns_sum 550"), "{text}");
         assert!(text.contains("latency_ns_count 2"), "{text}");
+    }
+
+    #[test]
+    fn labeled_prometheus_attaches_label_to_every_series() {
+        let mut m = MetricsRegistry::new();
+        m.add("decisions_total", 3);
+        m.register_histogram("latency_ns", &[100]);
+        m.observe("latency_ns", 50);
+        let text = m.to_prometheus_labeled(Some(("shard", "2".into())));
+        assert!(text.contains("decisions_total{shard=\"2\"} 3"), "{text}");
+        assert!(
+            text.contains("latency_ns_bucket{le=\"100\",shard=\"2\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("latency_ns_bucket{le=\"+Inf\",shard=\"2\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("latency_ns_sum{shard=\"2\"} 50"), "{text}");
+        assert!(text.contains("latency_ns_count{shard=\"2\"} 1"), "{text}");
+        // Unlabeled output is byte-identical to the plain exporter.
+        assert_eq!(m.to_prometheus_labeled(None), m.to_prometheus());
+    }
+
+    #[test]
+    fn labeled_jsonl_adds_field_to_every_line() {
+        let mut m = MetricsRegistry::new();
+        m.inc("preemptions_total");
+        m.register_histogram("edf_list_len", &[1]);
+        m.observe("edf_list_len", 1);
+        let out = m.to_jsonl_labeled(Some(("shard", "5".into())));
+        for line in out.lines() {
+            let obj = parse_flat(line).expect(line);
+            assert_eq!(obj.str("shard"), Some("5"), "{line}");
+        }
+        assert_eq!(m.to_jsonl_labeled(None), m.to_jsonl());
     }
 
     #[test]

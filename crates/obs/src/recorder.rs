@@ -67,6 +67,7 @@ pub struct FlightRecorder {
     next_seq: u64,
     ring: VecDeque<(u64, RecordedEvent)>,
     metrics: MetricsRegistry,
+    shard: Option<u32>,
 }
 
 impl Default for FlightRecorder {
@@ -93,7 +94,22 @@ impl FlightRecorder {
             next_seq: 0,
             ring: VecDeque::with_capacity(capacity.min(1024)),
             metrics,
+            shard: None,
         }
+    }
+
+    /// Stamp every dumped event line and metric export with a shard label.
+    /// Used by the sharded runtime, which gives each shard its own recorder
+    /// (`ShardedRuntime::run_observed`) so streams from different shards
+    /// stay distinguishable after concatenation.
+    pub fn with_shard(mut self, shard: u32) -> FlightRecorder {
+        self.shard = Some(shard);
+        self
+    }
+
+    /// The shard label, if this recorder belongs to a sharded run.
+    pub fn shard(&self) -> Option<u32> {
+        self.shard
     }
 
     /// Convenience: a shareable recorder ready for `Engine::with_observer`
@@ -146,11 +162,12 @@ impl FlightRecorder {
 
     /// Serialize the ring as JSON lines (see `analysis::Dump` for the
     /// reader). One flat object per event; candidates are inlined with
-    /// `edf_`/`hdf_` prefixes.
+    /// `edf_`/`hdf_` prefixes. Recorders stamped via
+    /// [`FlightRecorder::with_shard`] add a `shard` field to every line.
     pub fn dump(&self) -> String {
         let mut out = String::new();
         for (seq, ev) in self.events() {
-            out.push_str(&event_line(seq, ev));
+            out.push_str(&event_line_labeled(seq, ev, self.shard));
             out.push('\n');
         }
         out
@@ -161,15 +178,27 @@ impl FlightRecorder {
         std::fs::write(path, self.dump())
     }
 
-    /// Write the metrics in Prometheus text format to `path`.
+    /// Write the metrics in Prometheus text format to `path`. A shard label
+    /// set via [`FlightRecorder::with_shard`] is attached to every series.
     pub fn metrics_prometheus_to(&self, path: &Path) -> io::Result<()> {
-        std::fs::write(path, self.metrics.to_prometheus())
+        std::fs::write(path, self.metrics.to_prometheus_labeled(self.label()))
     }
 
-    /// Write the metrics as JSON lines to `path`.
+    /// Write the metrics as JSON lines to `path`, shard-labeled when set.
     pub fn metrics_jsonl_to(&self, path: &Path) -> io::Result<()> {
-        std::fs::write(path, self.metrics.to_jsonl())
+        std::fs::write(path, self.metrics.to_jsonl_labeled(self.label()))
     }
+
+    fn label(&self) -> Option<(&'static str, String)> {
+        self.shard.map(|s| ("shard", s.to_string()))
+    }
+}
+
+/// Concatenate several shard recorders' dumps into one stream — each line
+/// already carries its recorder's `shard` field, so the result is a single
+/// self-describing file (`asets-obs` filters on `shard` to split it back).
+pub fn dump_sharded(recorders: &[FlightRecorder]) -> String {
+    recorders.iter().map(|r| r.dump()).collect()
 }
 
 impl Observer for FlightRecorder {
@@ -208,6 +237,20 @@ impl Observer for FlightRecorder {
 
 /// Serialize one ring event as a flat JSON line (no trailing newline).
 pub fn event_line(seq: u64, ev: &RecordedEvent) -> String {
+    event_line_labeled(seq, ev, None)
+}
+
+/// [`event_line`] with an optional shard label appended as a `shard` field.
+pub fn event_line_labeled(seq: u64, ev: &RecordedEvent, shard: Option<u32>) -> String {
+    let line = event_line_inner(seq, ev);
+    match shard {
+        // Lines are flat `{...}` objects; splice the label before the brace.
+        Some(s) => format!("{},\"shard\":{s}}}", &line[..line.len() - 1]),
+        None => line,
+    }
+}
+
+fn event_line_inner(seq: u64, ev: &RecordedEvent) -> String {
     match ev {
         RecordedEvent::Decision(r) => {
             let mut obj = JsonObject::new()
@@ -411,6 +454,40 @@ mod tests {
         let p = crate::json::parse_flat(lines[1]).unwrap();
         assert_eq!(p.str("kind"), Some("dispatch"));
         assert_eq!(p.int("preempted"), Some(2));
+    }
+
+    #[test]
+    fn shard_label_stamps_every_dump_line() {
+        let mut a = FlightRecorder::new(8).with_shard(0);
+        let mut b = FlightRecorder::new(8).with_shard(1);
+        a.decision(&decision(1, 4));
+        b.dispatched(SimTime::from_units_int(2), TxnId(9), None);
+        assert_eq!(a.shard(), Some(0));
+        let merged = dump_sharded(&[a, b]);
+        let lines: Vec<&str> = merged.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let d = crate::json::parse_flat(lines[0]).unwrap();
+        assert_eq!(d.int("shard"), Some(0));
+        assert_eq!(d.str("kind"), Some("decision"));
+        let p = crate::json::parse_flat(lines[1]).unwrap();
+        assert_eq!(p.int("shard"), Some(1));
+        assert_eq!(p.int("txn"), Some(9));
+        // Unlabeled recorders emit no shard field at all.
+        let mut plain = FlightRecorder::new(8);
+        plain.decision(&decision(1, 4));
+        let line = plain.dump();
+        let obj = crate::json::parse_flat(line.trim()).unwrap();
+        assert_eq!(obj.int("shard"), None);
+    }
+
+    #[test]
+    fn labeled_dumps_still_analyze() {
+        // The Dump reader must tolerate the extra shard field.
+        let mut rec = FlightRecorder::new(8).with_shard(3);
+        rec.decision(&decision(1, 4));
+        let dump = crate::analysis::Dump::parse(&rec.dump()).unwrap();
+        assert_eq!(dump.decisions().count(), 1);
+        assert!(dump.check().is_empty());
     }
 
     #[test]

@@ -1,26 +1,53 @@
-//! The discrete-event simulation engine.
+//! The discrete-event simulation engine, layered as an event pump plus a
+//! server pool.
 //!
-//! Model (paper §II-A, §IV-A): a single backend database server executes one
+//! Model (paper §II-A, §IV-A): a backend database server executes one
 //! transaction at a time; service equals the transaction's processing time.
-//! Scheduling is **event-preemptive**: the running transaction can lose the
+//! Scheduling is **event-preemptive**: a running transaction can lose its
 //! server only at a scheduling point — a transaction arrival, a transaction
 //! completion, or a policy wake-up (the balance-aware activation timer).
-//! Between events the server runs undisturbed, which is exactly the
-//! invocation model the paper claims for ASETS\*.
+//! Between events servers run undisturbed, which is exactly the invocation
+//! model the paper claims for ASETS\*.
+//!
+//! The runtime is layered:
+//!
+//! * [`pump::EventPump`] owns simulated time and the arrival schedule: it
+//!   folds the next completion/arrival/wake-up into the next scheduling
+//!   point and delivers arrivals in per-instant batches;
+//! * [`pool::ServerPool`] owns M logical server slots (M = 1 by default,
+//!   reproducing the paper's single-server model bit for bit);
+//! * [`Engine`] orchestrates: it settles every server at a scheduling
+//!   point, feeds lifecycle events to the policy, asks
+//!   [`Scheduler::select_many`] for up to M choices, and dispatches.
 //!
 //! At every scheduling point the engine:
 //!
-//! 1. settles the running transaction — completes it if its remaining time
-//!    elapsed, otherwise *pauses* it (crediting service) and lets the policy
-//!    re-key it;
+//! 1. settles each server in index order — completing its transaction if
+//!    the remaining time elapsed, otherwise *pausing* it (crediting
+//!    service) and letting the policy re-key it;
 //! 2. delivers all arrivals due at this instant;
-//! 3. asks the policy to `select`, dispatching its choice and recording a
-//!    preemption iff the server switched away from a paused transaction.
+//! 3. asks the policy to fill the servers. Choices resume on their previous
+//!    server when they have one (no trace events), otherwise they take the
+//!    lowest-indexed free server — preferring genuinely empty servers over
+//!    displacing a paused transaction. A paused transaction is *preempted*
+//!    iff a different transaction took its server; paused transactions the
+//!    policy did not re-choose and nobody displaced simply keep running
+//!    (work conservation when a single-fill policy meets an M-server pool).
+//!
+//! With M = 1 this reduces exactly to the paper's semantics: the single
+//! choice either resumes the paused transaction or preempts it, and a
+//! `select` returning `None` while something is paused is a policy bug.
 //!
 //! The engine is fully deterministic: simultaneous events are processed in
-//! a fixed order and all policy tie-breaks are by transaction id.
+//! a fixed order (servers by index, arrivals by id, choices in policy
+//! order) and all policy tie-breaks are by transaction id.
 
-use crate::events::{next_event, ArrivalSchedule};
+pub mod pool;
+pub mod pump;
+
+pub use pool::{Running, ServerPool};
+pub use pump::EventPump;
+
 use crate::stats::{BacklogSample, BacklogSeries, RunStats};
 use crate::trace::{Trace, TraceEvent};
 use asets_core::dag::DagError;
@@ -33,13 +60,6 @@ use asets_core::time::SimTime;
 use asets_core::txn::TxnPhase;
 use asets_core::txn::{TxnId, TxnOutcome, TxnSpec};
 use std::time::Instant;
-
-/// The currently executing transaction.
-#[derive(Debug, Clone, Copy)]
-struct Running {
-    txn: TxnId,
-    since: SimTime,
-}
 
 /// The outcome of a completed simulation run.
 #[derive(Debug, Clone)]
@@ -56,38 +76,53 @@ pub struct SimResult {
     pub backlog: Option<BacklogSeries>,
 }
 
-/// A single-server discrete-event simulation of one transaction batch under
-/// one policy.
+/// A discrete-event simulation of one transaction batch under one policy,
+/// on an M-server pool (M = 1 by default: the paper's model).
 pub struct Engine<S> {
     table: TxnTable,
     policy: S,
-    arrivals: ArrivalSchedule,
-    now: SimTime,
-    last_event: SimTime,
-    running: Option<Running>,
+    pump: EventPump,
+    pool: ServerPool,
     stats: RunStats,
     trace: Option<Trace>,
     backlog: Option<(SimDuration, BacklogSeries)>,
     obs: Option<SharedObserver>,
+    // Reused per-point scratch (no allocations on the hot path).
+    choices: Vec<TxnId>,
+    paused: Vec<(usize, TxnId)>,
+    paused_on: Vec<Option<TxnId>>,
+    taken: Vec<bool>,
 }
 
 impl<S: Scheduler> Engine<S> {
-    /// Build an engine over a validated batch.
+    /// Build a single-server engine over a validated batch.
     pub fn new(specs: Vec<TxnSpec>, policy: S) -> Result<Self, DagError> {
-        let arrivals = ArrivalSchedule::new(&specs);
+        let pump = EventPump::new(&specs);
         let table = TxnTable::new(specs)?;
         Ok(Engine {
             table,
             policy,
-            arrivals,
-            now: SimTime::ZERO,
-            last_event: SimTime::ZERO,
-            running: None,
+            pump,
+            pool: ServerPool::new(1),
             stats: RunStats::default(),
             trace: None,
             backlog: None,
             obs: None,
+            choices: Vec::new(),
+            paused: Vec::new(),
+            paused_on: Vec::new(),
+            taken: Vec::new(),
         })
+    }
+
+    /// Use a pool of `servers` logical servers instead of the default
+    /// single server. Call before [`Engine::run`].
+    ///
+    /// # Panics
+    /// If `servers == 0`.
+    pub fn with_servers(mut self, servers: usize) -> Self {
+        self.pool = ServerPool::new(servers);
+        self
     }
 
     /// Enable trace recording (off by default; traces are large).
@@ -125,31 +160,35 @@ impl<S: Scheduler> Engine<S> {
         &self.policy
     }
 
+    /// Number of servers in the pool.
+    pub fn servers(&self) -> usize {
+        self.pool.len()
+    }
+
     /// Run to completion of every transaction and report.
     ///
     /// # Panics
-    /// If the policy stalls (returns `None` while transactions are ready) or
-    /// selects a non-ready transaction — both are policy bugs, not workload
-    /// conditions, so they fail loudly.
+    /// If the policy stalls (returns no choice while transactions are
+    /// ready) or selects a non-ready transaction — both are policy bugs,
+    /// not workload conditions, so they fail loudly.
     pub fn run(mut self) -> SimResult {
         while !self.table.all_completed() {
-            let completion = self.running.map(|r| r.since + self.table.remaining(r.txn));
-            let arrival = self.arrivals.peek_time();
-            let wakeup = self.policy.next_wakeup(self.now).filter(|&w| w > self.now);
-            let Some((t, _kind)) = next_event(completion, arrival, wakeup) else {
+            let completion = self.pool.earliest_completion(&self.table);
+            let now = self.pump.now();
+            let wakeup = self.policy.next_wakeup(now).filter(|&w| w > now);
+            let Some((t, _kind)) = self.pump.next_point(completion, wakeup) else {
                 panic!(
                     "simulation stalled at {} with {}/{} completed: policy `{}` \
                      left ready transactions unscheduled",
-                    self.now,
+                    self.pump.now(),
                     self.table.completed_count(),
                     self.table.len(),
                     self.policy.name()
                 );
             };
-            debug_assert!(t >= self.now, "time went backwards");
             self.step_to(t);
         }
-        debug_assert!(self.arrivals.exhausted());
+        debug_assert!(self.pump.exhausted());
         let outcomes = self.table.outcomes();
         SimResult {
             summary: MetricsSummary::from_outcomes(&outcomes),
@@ -162,42 +201,44 @@ impl<S: Scheduler> Engine<S> {
 
     /// Process the scheduling point at instant `t`.
     fn step_to(&mut self, t: SimTime) {
-        self.now = t;
+        let gap = self.pump.advance(t);
 
-        // 1. Settle the server.
-        let prev_alive = match self.running.take() {
-            Some(r) => {
-                let served = t - r.since;
-                self.stats.busy += served;
-                if served == self.table.remaining(r.txn) {
-                    let released = self.table.complete(r.txn, t, served);
-                    self.stats.completed += 1;
-                    self.stats.makespan = t;
-                    self.record(TraceEvent::Completed {
-                        at: t,
-                        txn: r.txn,
-                        met_deadline: t <= self.table.deadline(r.txn),
-                    });
-                    self.policy.on_complete(r.txn, &self.table, t);
-                    for d in released {
-                        self.policy.on_ready(d, &self.table, t);
+        // 1. Settle every server, in index order. Completions fire their
+        // policy events immediately; survivors are paused (service credited)
+        // and remembered with their server for affinity resume.
+        self.paused.clear();
+        for s in 0..self.pool.len() {
+            match self.pool.take(s) {
+                Some(r) => {
+                    let served = t - r.since;
+                    self.stats.busy += served;
+                    if served == self.table.remaining(r.txn) {
+                        let released = self.table.complete(r.txn, t, served);
+                        self.stats.completed += 1;
+                        self.stats.makespan = t;
+                        self.record(TraceEvent::Completed {
+                            at: t,
+                            txn: r.txn,
+                            met_deadline: t <= self.table.deadline(r.txn),
+                        });
+                        self.policy.on_complete(r.txn, &self.table, t);
+                        for d in released {
+                            self.policy.on_ready(d, &self.table, t);
+                        }
+                    } else {
+                        self.table.pause(r.txn, served);
+                        self.policy.on_requeue(r.txn, &self.table, t);
+                        self.paused.push((s, r.txn));
                     }
-                    None
-                } else {
-                    self.table.pause(r.txn, served);
-                    self.policy.on_requeue(r.txn, &self.table, t);
-                    Some(r.txn)
+                }
+                None => {
+                    self.stats.idle += gap;
                 }
             }
-            None => {
-                self.stats.idle += t - self.last_event;
-                None
-            }
-        };
-        self.last_event = t;
+        }
 
         // 2. Deliver arrivals due now.
-        for id in self.arrivals.pop_due(t) {
+        for id in self.pump.take_due() {
             let ready = self.table.arrive(id, t);
             self.record(TraceEvent::Arrived {
                 at: t,
@@ -218,54 +259,116 @@ impl<S: Scheduler> Engine<S> {
         // observer is attached, keeping the unobserved hot path free of
         // clock reads.
         self.stats.scheduling_points += 1;
+        let slots = self.pool.len();
         let started = self.obs.as_ref().map(|_| Instant::now());
-        let choice = self.policy.select(&self.table, t);
+        self.choices.clear();
+        self.policy
+            .select_many(&self.table, t, slots, &mut self.choices);
         if let (Some(obs), Some(started)) = (&self.obs, started) {
             let latency_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
             obs.borrow_mut().sched_point(t, latency_ns);
         }
-        match choice {
-            Some(choice) => {
-                assert!(
-                    self.table.state(choice).is_ready(),
-                    "policy `{}` selected non-ready {choice}",
-                    self.policy.name()
-                );
-                if prev_alive != Some(choice) {
-                    if let Some(p) = prev_alive {
-                        self.table.record_preemption(p);
-                        self.stats.preemptions += 1;
-                        self.record(TraceEvent::Preempted {
-                            at: t,
-                            txn: p,
-                            by: choice,
-                        });
-                    }
-                    self.record(TraceEvent::Dispatched { at: t, txn: choice });
-                    if let Some(obs) = &self.obs {
-                        obs.borrow_mut().dispatched(t, choice, prev_alive);
-                    }
+
+        if self.choices.is_empty() {
+            assert!(
+                self.paused.is_empty(),
+                "policy `{}` returned None while {} is paused with work left",
+                self.policy.name(),
+                self.paused.first().map(|&(_, p)| p).unwrap_or(TxnId(0))
+            );
+            debug_assert!(
+                self.table.ready_ids().is_empty(),
+                "policy `{}` returned None with ready transactions pending",
+                self.policy.name()
+            );
+            return;
+        }
+        assert!(
+            self.choices.len() <= slots,
+            "policy `{}` returned {} choices for {} servers",
+            self.policy.name(),
+            self.choices.len(),
+            slots
+        );
+        for (i, &c) in self.choices.iter().enumerate() {
+            assert!(
+                self.table.state(c).is_ready(),
+                "policy `{}` selected non-ready {c}",
+                self.policy.name()
+            );
+            debug_assert!(
+                !self.choices[..i].contains(&c),
+                "policy `{}` selected {c} twice",
+                self.policy.name()
+            );
+        }
+
+        // Map each server to its paused former occupant and reserve the
+        // servers that re-chosen transactions resume on (affinity).
+        self.paused_on.clear();
+        self.paused_on.resize(slots, None);
+        for &(s, p) in &self.paused {
+            self.paused_on[s] = Some(p);
+        }
+        self.taken.clear();
+        self.taken.resize(slots, false);
+        for &c in &self.choices {
+            if let Some(&(s, _)) = self.paused.iter().find(|&&(_, p)| p == c) {
+                self.taken[s] = true;
+            }
+        }
+
+        // Dispatch choices in policy order. New dispatches prefer genuinely
+        // empty servers (ascending index) before displacing a paused
+        // transaction; displacement is a preemption.
+        let choices = std::mem::take(&mut self.choices);
+        for &c in &choices {
+            let resume_on = self.paused.iter().find(|&&(_, p)| p == c).map(|&(s, _)| s);
+            let s = match resume_on {
+                Some(s) => s,
+                None => {
+                    let s = (0..slots)
+                        .find(|&s| !self.taken[s] && self.paused_on[s].is_none())
+                        .or_else(|| (0..slots).find(|&s| !self.taken[s]))
+                        .expect("at most `slots` choices, so a server is free");
+                    self.taken[s] = true;
+                    s
                 }
-                self.table.start_running(choice);
-                self.stats.dispatches += 1;
-                self.running = Some(Running {
-                    txn: choice,
-                    since: t,
-                });
+            };
+            if resume_on.is_none() {
+                let prev = self.paused_on[s];
+                if let Some(p) = prev {
+                    self.table.record_preemption(p);
+                    self.stats.preemptions += 1;
+                    self.record(TraceEvent::Preempted {
+                        at: t,
+                        txn: p,
+                        by: c,
+                    });
+                }
+                self.record(TraceEvent::Dispatched { at: t, txn: c });
+                if let Some(obs) = &self.obs {
+                    obs.borrow_mut().dispatched(t, c, prev);
+                }
             }
-            None => {
-                assert!(
-                    prev_alive.is_none(),
-                    "policy `{}` returned None while {} is paused with work left",
-                    self.policy.name(),
-                    prev_alive.expect("checked Some")
-                );
-                debug_assert!(
-                    self.table.ready_ids().is_empty(),
-                    "policy `{}` returned None with ready transactions pending",
-                    self.policy.name()
-                );
+            self.table.start_running(c);
+            self.stats.dispatches += 1;
+            self.pool.place(s, Running { txn: c, since: t });
+        }
+        self.choices = choices;
+
+        // Work conservation: paused transactions the policy did not re-pick
+        // and nobody displaced keep their servers. With M = 1 this is
+        // unreachable (a non-empty choice set either resumed or displaced
+        // the single paused transaction).
+        for i in 0..self.paused.len() {
+            let (s, p) = self.paused[i];
+            if self.choices.contains(&p) || self.pool.occupant(s).is_some() {
+                continue;
             }
+            self.table.start_running(p);
+            self.stats.dispatches += 1;
+            self.pool.place(s, Running { txn: p, since: t });
         }
     }
 
@@ -316,19 +419,9 @@ impl<S: Scheduler> Engine<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testutil::{at, dep, ind, units};
     use asets_core::policy::{Edf, Fcfs, Srpt};
-    use asets_core::time::SimDuration;
-    use asets_core::txn::Weight;
-
-    fn at(u: u64) -> SimTime {
-        SimTime::from_units_int(u)
-    }
-    fn units(u: u64) -> SimDuration {
-        SimDuration::from_units_int(u)
-    }
-    fn ind(arr: u64, dl: u64, len: u64) -> TxnSpec {
-        TxnSpec::independent(at(arr), at(dl), units(len), Weight::ONE)
-    }
+    use asets_core::txn::{TxnSpec, Weight};
 
     #[test]
     fn single_txn_runs_immediately() {
@@ -425,16 +518,7 @@ mod tests {
     #[test]
     fn dependencies_execute_in_order_with_fcfs() {
         // T1 depends on T0 but arrives first; FCFS must not run it early.
-        let specs = vec![
-            TxnSpec {
-                deps: vec![],
-                ..ind(5, 30, 2)
-            },
-            TxnSpec {
-                deps: vec![TxnId(0)],
-                ..ind(0, 10, 2)
-            },
-        ];
+        let specs = vec![ind(5, 30, 2), dep(0, 10, 2, &[0])];
         let r = Engine::new(specs, Fcfs::new()).unwrap().with_trace().run();
         let trace = r.trace.unwrap();
         assert_eq!(trace.completion_order(), vec![TxnId(0), TxnId(1)]);
@@ -445,17 +529,7 @@ mod tests {
     #[test]
     fn chain_release_is_immediate() {
         // T0 -> T1 -> T2, all at t=0: must run back-to-back.
-        let specs = vec![
-            ind(0, 100, 2),
-            TxnSpec {
-                deps: vec![TxnId(0)],
-                ..ind(0, 100, 3)
-            },
-            TxnSpec {
-                deps: vec![TxnId(1)],
-                ..ind(0, 100, 4)
-            },
-        ];
+        let specs = vec![ind(0, 100, 2), dep(0, 100, 3, &[0]), dep(0, 100, 4, &[1])];
         let r = Engine::new(specs, Edf::new()).unwrap().run();
         assert_eq!(r.stats.makespan, at(9));
         assert_eq!(r.stats.idle, SimDuration::ZERO);
@@ -545,13 +619,7 @@ mod tests {
 
     #[test]
     fn backlog_sampling_counts_blocked() {
-        let specs = vec![
-            ind(0, 100, 5),
-            TxnSpec {
-                deps: vec![TxnId(0)],
-                ..ind(0, 100, 5)
-            },
-        ];
+        let specs = vec![ind(0, 100, 5), dep(0, 100, 5, &[0])];
         let r = Engine::new(specs, Fcfs::new())
             .unwrap()
             .with_backlog_sampling(units(1))
@@ -620,5 +688,92 @@ mod tests {
         );
         let r = Engine::new(vec![spec], Fcfs::new()).unwrap().run();
         assert_eq!(r.outcomes[0].finish, SimTime::from_units(1.75));
+    }
+
+    // ---- Multi-server (M > 1) pool semantics ----
+
+    #[test]
+    fn two_servers_run_independent_txns_in_parallel() {
+        // EDF overrides select_many, so both servers fill at t=0.
+        let r = Engine::new(vec![ind(0, 10, 5), ind(0, 10, 5)], Edf::new())
+            .unwrap()
+            .with_servers(2)
+            .with_trace()
+            .run();
+        assert_eq!(r.stats.makespan, at(5), "parallel, not serial");
+        assert_eq!(r.stats.busy, units(10), "aggregate server time");
+        assert_eq!(r.stats.preemptions, 0);
+        let trace = r.trace.unwrap();
+        assert_eq!(trace.dispatch_sequence(), vec![TxnId(0), TxnId(1)]);
+    }
+
+    #[test]
+    fn new_dispatch_prefers_empty_server_over_displacement() {
+        // T0 (long) runs on server 0; T1 arrives at t=2 with an earlier
+        // deadline. Server 1 is empty, so T1 must go there — no preemption.
+        let r = Engine::new(vec![ind(0, 100, 10), ind(2, 5, 1)], Edf::new())
+            .unwrap()
+            .with_servers(2)
+            .with_trace()
+            .run();
+        assert_eq!(r.stats.preemptions, 0);
+        assert_eq!(r.outcomes[0].finish, at(10));
+        assert_eq!(r.outcomes[1].finish, at(3));
+    }
+
+    #[test]
+    fn displacement_on_full_pool_is_a_preemption() {
+        // Both servers busy with long work; two short urgent txns arrive.
+        // EDF's top-2 are the newcomers: both incumbents are preempted.
+        let specs = vec![ind(0, 100, 10), ind(0, 101, 10), ind(2, 5, 1), ind(2, 6, 1)];
+        let r = Engine::new(specs, Edf::new())
+            .unwrap()
+            .with_servers(2)
+            .with_trace()
+            .run();
+        assert_eq!(r.stats.preemptions, 2);
+        assert_eq!(r.outcomes[2].finish, at(3));
+        assert_eq!(r.outcomes[3].finish, at(3));
+        // Work conservation: 22 units of work, 2 servers, no idle window.
+        assert_eq!(r.stats.makespan, at(11));
+    }
+
+    #[test]
+    fn single_fill_policy_keeps_incumbents_running() {
+        // Ready keeps the trait's single-fill select_many default. With
+        // M=2, T0 runs alone until the urgent T1 arrives at t=2; the policy
+        // names only T1, which takes the *empty* server, and the engine
+        // silently resumes the unchosen incumbent T0 on its own server —
+        // parallel overlap with zero preemptions, no thrash.
+        use asets_core::policy::Ready;
+        let specs = vec![ind(0, 100, 10), ind(2, 5, 1)];
+        let r = Engine::new(specs, Ready::new())
+            .unwrap()
+            .with_servers(2)
+            .run();
+        assert_eq!(r.stats.completed, 2);
+        assert_eq!(r.stats.preemptions, 0);
+        assert_eq!(r.outcomes[1].finish, at(3), "urgent txn ran in parallel");
+        assert_eq!(r.outcomes[0].finish, at(10), "incumbent never lost time");
+        // Dispatches: T0 at 0, T1 at 2, T0's silent resume at 2, and T0's
+        // re-selection when T1's completion at 3 fires a scheduling point.
+        assert_eq!(r.stats.dispatches, 4);
+    }
+
+    #[test]
+    fn m1_and_m2_agree_on_totals() {
+        // Same batch under EDF at M=1 and M=2: same completion count, the
+        // pool only changes *when* things run.
+        let specs: Vec<TxnSpec> = (0..12).map(|i| ind(i % 4, 10 + i, 1 + i % 3)).collect();
+        let m1 = Engine::new(specs.clone(), Edf::new()).unwrap().run();
+        let m2 = Engine::new(specs, Edf::new())
+            .unwrap()
+            .with_servers(2)
+            .run();
+        assert_eq!(m1.stats.completed, 12);
+        assert_eq!(m2.stats.completed, 12);
+        assert_eq!(m1.stats.busy, m2.stats.busy, "total service is invariant");
+        assert!(m2.stats.makespan <= m1.stats.makespan);
+        assert!(m2.summary.total_tardiness <= m1.summary.total_tardiness);
     }
 }

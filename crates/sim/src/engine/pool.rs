@@ -1,0 +1,156 @@
+//! The server pool: M logical servers, each executing at most one
+//! transaction.
+//!
+//! The paper models a single backend server (§II-A); the pool generalizes
+//! that to M identical servers — the natural multi-machine extension of
+//! precedence-constrained scheduling (Garg et al.) — while `M = 1`
+//! reproduces the paper's model exactly. The pool is pure bookkeeping: it
+//! knows which transaction occupies which server and since when; all policy
+//! decisions, service accounting and table mutations stay in the engine.
+
+use asets_core::table::TxnTable;
+use asets_core::time::SimTime;
+use asets_core::txn::TxnId;
+
+/// One occupied server slot: which transaction and since when.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Running {
+    /// The executing transaction.
+    pub txn: TxnId,
+    /// When it (re-)gained the server.
+    pub since: SimTime,
+}
+
+/// A pool of M logical servers.
+#[derive(Debug)]
+pub struct ServerPool {
+    slots: Vec<Option<Running>>,
+}
+
+impl ServerPool {
+    /// A pool of `servers` empty slots.
+    ///
+    /// # Panics
+    /// If `servers == 0`.
+    pub fn new(servers: usize) -> ServerPool {
+        assert!(servers >= 1, "a pool needs at least one server");
+        ServerPool {
+            slots: vec![None; servers],
+        }
+    }
+
+    /// Number of servers (occupied or not).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True iff the pool has no servers — never, by construction.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Number of occupied servers.
+    pub fn busy_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// The occupant of server `s`, if any.
+    #[inline]
+    pub fn occupant(&self, s: usize) -> Option<Running> {
+        self.slots[s]
+    }
+
+    /// Vacate server `s`, returning its occupant.
+    #[inline]
+    pub fn take(&mut self, s: usize) -> Option<Running> {
+        self.slots[s].take()
+    }
+
+    /// Place `running` on server `s`.
+    ///
+    /// # Panics
+    /// If the server is occupied — the engine settles every server before
+    /// dispatching, so a double placement is an engine bug.
+    pub fn place(&mut self, s: usize, running: Running) {
+        assert!(
+            self.slots[s].is_none(),
+            "server {s} already runs {}",
+            self.slots[s].expect("checked Some").txn
+        );
+        self.slots[s] = Some(running);
+    }
+
+    /// The earliest instant at which any occupied server finishes its
+    /// transaction (given each occupant's remaining time in `table`), or
+    /// `None` when the pool is fully idle.
+    pub fn earliest_completion(&self, table: &TxnTable) -> Option<SimTime> {
+        self.slots
+            .iter()
+            .flatten()
+            .map(|r| r.since + table.remaining(r.txn))
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{at, ind};
+    use asets_core::table::TxnTable;
+
+    #[test]
+    fn place_take_roundtrip() {
+        let mut pool = ServerPool::new(2);
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.busy_count(), 0);
+        let r = Running {
+            txn: TxnId(3),
+            since: at(1),
+        };
+        pool.place(1, r);
+        assert_eq!(pool.occupant(1), Some(r));
+        assert_eq!(pool.busy_count(), 1);
+        assert_eq!(pool.take(1), Some(r));
+        assert_eq!(pool.take(1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "already runs")]
+    fn double_placement_panics() {
+        let mut pool = ServerPool::new(1);
+        let r = Running {
+            txn: TxnId(0),
+            since: at(0),
+        };
+        pool.place(0, r);
+        pool.place(0, r);
+    }
+
+    #[test]
+    fn earliest_completion_is_min_over_busy_servers() {
+        let mut table = TxnTable::new(vec![ind(0, 10, 5), ind(0, 10, 2)]).unwrap();
+        table.arrive(TxnId(0), at(0));
+        table.arrive(TxnId(1), at(0));
+        table.start_running(TxnId(0));
+        table.start_running(TxnId(1));
+        let mut pool = ServerPool::new(3);
+        assert_eq!(pool.earliest_completion(&table), None);
+        pool.place(
+            0,
+            Running {
+                txn: TxnId(0),
+                since: at(0),
+            },
+        );
+        pool.place(
+            2,
+            Running {
+                txn: TxnId(1),
+                since: at(1),
+            },
+        );
+        assert_eq!(pool.earliest_completion(&table), Some(at(3)), "1 + 2");
+    }
+}

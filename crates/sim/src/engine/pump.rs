@@ -1,0 +1,97 @@
+//! The event pump: simulated-time bookkeeping and batched arrival delivery.
+//!
+//! The pump owns the arrival schedule and the clock (`now` plus the instant
+//! of the previous scheduling point). It decides *when* the next scheduling
+//! point is — folding the pool's earliest completion, the next arrival and
+//! the policy wake-up through [`next_event`] — and hands the engine every
+//! arrival due at that instant in one batch. It knows nothing about servers
+//! or policies, which is what lets the dispatch layer grow to M servers
+//! without touching time semantics.
+
+use crate::events::{next_event, ArrivalSchedule, EventKind};
+use asets_core::time::{SimDuration, SimTime};
+use asets_core::txn::{TxnId, TxnSpec};
+
+/// Clock and arrival-source for one engine.
+#[derive(Debug)]
+pub struct EventPump {
+    arrivals: ArrivalSchedule,
+    now: SimTime,
+    last_event: SimTime,
+}
+
+impl EventPump {
+    /// A pump over the batch's arrival schedule, starting at time zero.
+    pub fn new(specs: &[TxnSpec]) -> EventPump {
+        EventPump {
+            arrivals: ArrivalSchedule::new(specs),
+            now: SimTime::ZERO,
+            last_event: SimTime::ZERO,
+        }
+    }
+
+    /// The current simulated instant.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The next scheduling point given the dispatch layer's earliest
+    /// completion and the policy's wake-up request, or `None` when no event
+    /// is pending anywhere (which the engine treats as a stall if work
+    /// remains). Tie order per [`next_event`]: completion, arrival, wakeup.
+    pub fn next_point(
+        &self,
+        completion: Option<SimTime>,
+        wakeup: Option<SimTime>,
+    ) -> Option<(SimTime, EventKind)> {
+        next_event(completion, self.arrivals.peek_time(), wakeup)
+    }
+
+    /// Advance the clock to `t` (the scheduling point being processed) and
+    /// return the gap since the previous point — the duration an empty
+    /// server sat idle.
+    pub fn advance(&mut self, t: SimTime) -> SimDuration {
+        debug_assert!(t >= self.now, "time went backwards");
+        self.now = t;
+        let gap = t - self.last_event;
+        self.last_event = t;
+        gap
+    }
+
+    /// Deliver every arrival due at the current instant, in id order.
+    pub fn take_due(&mut self) -> Vec<TxnId> {
+        self.arrivals.pop_due(self.now)
+    }
+
+    /// True iff every arrival has been delivered.
+    pub fn exhausted(&self) -> bool {
+        self.arrivals.exhausted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{at, ind, units};
+
+    #[test]
+    fn advance_tracks_gap_between_points() {
+        let mut pump = EventPump::new(&[ind(0, 10, 1), ind(7, 20, 1)]);
+        assert_eq!(pump.advance(at(0)), units(0));
+        assert_eq!(pump.take_due(), vec![TxnId(0)]);
+        assert_eq!(pump.advance(at(7)), units(7), "gap since previous point");
+        assert_eq!(pump.take_due(), vec![TxnId(1)]);
+        assert!(pump.exhausted());
+    }
+
+    #[test]
+    fn next_point_folds_all_three_sources() {
+        let pump = EventPump::new(&[ind(5, 10, 1)]);
+        // Completion beats the later arrival; arrival beats the later wakeup.
+        let (t, kind) = pump.next_point(Some(at(3)), Some(at(9))).unwrap();
+        assert_eq!((t, kind), (at(3), EventKind::Completion));
+        let (t, kind) = pump.next_point(None, Some(at(9))).unwrap();
+        assert_eq!((t, kind), (at(5), EventKind::Arrival));
+    }
+}

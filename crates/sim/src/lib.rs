@@ -3,9 +3,13 @@
 //! Deterministic discrete-event simulator for the ASETS\* reproduction —
 //! the Rust equivalent of the paper's C++ "RTDBMS simulator" (§IV-A).
 //!
-//! One backend database server; scheduling points at transaction arrivals,
-//! completions and policy wake-ups; event-preemptive execution; exact
-//! fixed-point time. Policies plug in through
+//! The runtime is layered: an event pump (time advance, batched arrival
+//! delivery), a server pool of M logical servers (M = 1 by default —
+//! the paper's single-server model, reproduced bit for bit), and a
+//! sharded runtime that partitions whole workflows across K shard
+//! threads by workflow root. Scheduling points fire at transaction
+//! arrivals, completions and policy wake-ups; execution is
+//! event-preemptive; time is exact fixed-point. Policies plug in through
 //! [`asets_core::policy::Scheduler`].
 //!
 //! ```
@@ -36,10 +40,13 @@
 pub mod engine;
 pub mod events;
 pub mod runner;
+pub mod sharded;
 pub mod stats;
+pub mod testutil;
 pub mod trace;
 
-pub use engine::{Engine, SimResult};
+pub use engine::{Engine, ServerPool, SimResult};
 pub use runner::{compare_policies, simulate, simulate_observed, simulate_traced, simulate_with};
+pub use sharded::{ShardRun, ShardedResult, ShardedRuntime};
 pub use stats::{BacklogSample, BacklogSeries, RunStats};
 pub use trace::{Trace, TraceEvent};

@@ -53,6 +53,34 @@ impl BacklogSeries {
         true
     }
 
+    /// Merge per-shard series into one time-ordered series. Samples are
+    /// interleaved by instant with ties broken by part index (a stable
+    /// k-way merge), so merging a single series is the identity and peaks
+    /// over the merged series equal the max of the per-part peaks.
+    ///
+    /// Note the semantics: each shard samples *its own* backlog, so the
+    /// merged series reports per-shard queue depths on a shared timeline,
+    /// not the instantaneous global backlog (shards sample at their own
+    /// scheduling points, which generally differ).
+    pub fn merge(parts: &[BacklogSeries]) -> BacklogSeries {
+        let mut cursors: Vec<std::slice::Iter<'_, BacklogSample>> =
+            parts.iter().map(|p| p.samples.iter()).collect();
+        let mut heads: Vec<Option<&BacklogSample>> = cursors.iter_mut().map(|c| c.next()).collect();
+        let total: usize = parts.iter().map(|p| p.samples.len()).sum();
+        let mut merged = Vec::with_capacity(total);
+        while let Some(i) = heads
+            .iter()
+            .enumerate()
+            .filter_map(|(i, h)| h.map(|s| (s.at, i)))
+            .min()
+            .map(|(_, i)| i)
+        {
+            merged.push(*heads[i].expect("selected head present"));
+            heads[i] = cursors[i].next();
+        }
+        BacklogSeries { samples: merged }
+    }
+
     /// Largest ready backlog observed.
     pub fn peak_ready(&self) -> u32 {
         self.samples.iter().map(|s| s.ready).max().unwrap_or(0)
@@ -98,6 +126,29 @@ impl RunStats {
         } else {
             self.busy.as_units() / horizon.as_units()
         }
+    }
+
+    /// Merge per-shard (or per-server-pool) run statistics: counters and
+    /// busy/idle durations add, the makespan is the latest completion across
+    /// parts. Merging a single part is the identity, so the K=1 sharded
+    /// runtime reports exactly its engine's stats.
+    ///
+    /// `busy`/`idle` become *aggregate server-time* across all shards'
+    /// servers — the work-conservation invariant generalizes to
+    /// `busy + idle = Σ_shards (servers · local makespan horizon)`, not to
+    /// the merged makespan.
+    pub fn merge(parts: &[RunStats]) -> RunStats {
+        let mut acc = RunStats::default();
+        for p in parts {
+            acc.scheduling_points += p.scheduling_points;
+            acc.preemptions += p.preemptions;
+            acc.dispatches += p.dispatches;
+            acc.busy += p.busy;
+            acc.idle += p.idle;
+            acc.makespan = acc.makespan.max(p.makespan);
+            acc.completed += p.completed;
+        }
+        acc
     }
 }
 
@@ -148,6 +199,71 @@ mod tests {
         assert_eq!(series.peak_ready(), 7);
         assert_eq!(series.peak_infeasible(), 4);
         assert_eq!(BacklogSeries::default().peak_ready(), 0);
+    }
+
+    #[test]
+    fn run_stats_merge_sums_counters_and_maxes_makespan() {
+        let a = RunStats {
+            scheduling_points: 10,
+            preemptions: 2,
+            dispatches: 12,
+            busy: SimDuration::from_units_int(30),
+            idle: SimDuration::from_units_int(5),
+            makespan: SimTime::from_units_int(35),
+            completed: 8,
+        };
+        let b = RunStats {
+            scheduling_points: 4,
+            preemptions: 1,
+            dispatches: 5,
+            busy: SimDuration::from_units_int(9),
+            idle: SimDuration::from_units_int(1),
+            makespan: SimTime::from_units_int(50),
+            completed: 3,
+        };
+        let m = RunStats::merge(&[a.clone(), b]);
+        assert_eq!(m.scheduling_points, 14);
+        assert_eq!(m.preemptions, 3);
+        assert_eq!(m.dispatches, 17);
+        assert_eq!(m.busy, SimDuration::from_units_int(39));
+        assert_eq!(m.idle, SimDuration::from_units_int(6));
+        assert_eq!(m.makespan, SimTime::from_units_int(50));
+        assert_eq!(m.completed, 11);
+        // Identity: merging one part changes nothing.
+        assert_eq!(RunStats::merge(std::slice::from_ref(&a)), a);
+        assert_eq!(RunStats::merge(&[]), RunStats::default());
+    }
+
+    #[test]
+    fn backlog_merge_interleaves_by_time_stably() {
+        let s = |u: u64, ready: u32| BacklogSample {
+            at: SimTime::from_units_int(u),
+            ready,
+            blocked: 0,
+            infeasible: 0,
+        };
+        let a = BacklogSeries {
+            samples: vec![s(0, 1), s(5, 3)],
+        };
+        let b = BacklogSeries {
+            samples: vec![s(0, 2), s(3, 4), s(9, 1)],
+        };
+        let m = BacklogSeries::merge(&[a.clone(), b]);
+        let got: Vec<(u64, u32)> = m.samples.iter().map(|x| (x.at.ticks(), x.ready)).collect();
+        assert_eq!(
+            got,
+            vec![
+                (0, 1), // tie at t=0 resolves to part 0 first
+                (0, 2),
+                (3_000_000, 4),
+                (5_000_000, 3),
+                (9_000_000, 1)
+            ]
+        );
+        assert_eq!(m.peak_ready(), 4, "peak equals max of part peaks");
+        // Identity on a single part.
+        assert_eq!(BacklogSeries::merge(std::slice::from_ref(&a)), a);
+        assert_eq!(BacklogSeries::merge(&[]), BacklogSeries::default());
     }
 
     #[test]

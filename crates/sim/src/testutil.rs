@@ -1,0 +1,56 @@
+//! Shared spec-building helpers for the simulator's own tests.
+//!
+//! Every test file used to re-declare the same three unwrap-heavy closures
+//! (`at`, `units`, `ind`); they live here once, `pub` so the root
+//! integration tests and the runtime tests can reuse them. These are *test
+//! scaffolding*, not workload generation — the realistic generators live in
+//! `asets-workload`.
+
+use asets_core::time::{SimDuration, SimTime};
+use asets_core::txn::{TxnId, TxnSpec, Weight};
+
+/// `SimTime` at `u` whole units.
+pub fn at(u: u64) -> SimTime {
+    SimTime::from_units_int(u)
+}
+
+/// `SimDuration` of `u` whole units.
+pub fn units(u: u64) -> SimDuration {
+    SimDuration::from_units_int(u)
+}
+
+/// An independent unit-weight transaction: arrival `arr`, deadline `dl`,
+/// length `len`, all in whole units.
+pub fn ind(arr: u64, dl: u64, len: u64) -> TxnSpec {
+    TxnSpec::independent(at(arr), at(dl), units(len), Weight::ONE)
+}
+
+/// Like [`ind`] but with an explicit weight.
+pub fn weighted(arr: u64, dl: u64, len: u64, w: u32) -> TxnSpec {
+    TxnSpec::independent(at(arr), at(dl), units(len), Weight(w))
+}
+
+/// Like [`ind`] but depending on the given predecessor ids.
+pub fn dep(arr: u64, dl: u64, len: u64, deps: &[u32]) -> TxnSpec {
+    TxnSpec {
+        deps: deps.iter().copied().map(TxnId).collect(),
+        ..ind(arr, dl, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_round_trip() {
+        let s = ind(1, 9, 3);
+        assert_eq!(s.arrival, at(1));
+        assert_eq!(s.deadline, at(9));
+        assert_eq!(s.length, units(3));
+        assert_eq!(s.weight, Weight::ONE);
+        assert!(s.deps.is_empty());
+        assert_eq!(weighted(0, 5, 2, 7).weight, Weight(7));
+        assert_eq!(dep(0, 5, 2, &[3, 1]).deps, vec![TxnId(3), TxnId(1)]);
+    }
+}

@@ -137,6 +137,67 @@ pub fn submit_pages_together(specs: &mut [TxnSpec]) {
     }
 }
 
+/// `n` transactions arranged as dependency chains of `chain_len` members:
+/// each chain is one workflow whose member count *is* `chain_len`, so the
+/// per-event rescan cost grows linearly with it while the indexed cost only
+/// gains a log factor. Chains are *interleaved* across the id space (member
+/// `m` of chain `c` is transaction `m·C + c`), the way concurrent sessions'
+/// transactions actually arrive in a web database — so a member rescan
+/// strides through the whole table instead of walking a contiguous (and
+/// cache-resident) block. Arrivals are staggered per chain and slacks vary
+/// so workflows keep crossing between the EDF and HDF lists (migrations,
+/// requeues and releases all fire).
+///
+/// This is also the scale-out workload: `n / chain_len` independent chains
+/// are exactly `n / chain_len` routing components for the sharded runtime,
+/// so K shards receive near-equal loads (see [`shard_loads`]). Generation is
+/// RNG-free (a SplitMix64 finalizer keyed by index) and byte-stable across
+/// versions — the overhead benches gate regressions against recorded
+/// baselines on this exact batch.
+pub fn deep_chains(n: usize, chain_len: usize) -> Vec<TxnSpec> {
+    // SplitMix64 finalizer — deterministic pseudo-randomization by index.
+    fn mix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9E3779B97F4A7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+    let n_chains = n / chain_len;
+    (0..n)
+        .map(|i| {
+            let chain = i % n_chains;
+            let pos = i / n_chains;
+            let h = mix(i as u64);
+            let arrival = SimTime::from_units_int((chain % 64) as u64);
+            let length = SimDuration::from_units_int(1 + h % 8);
+            let slack = SimDuration::from_units_int((h >> 8) % 60);
+            TxnSpec {
+                arrival,
+                deadline: arrival + length + slack,
+                length,
+                weight: Weight(1 + (h >> 16) as u32 % 9),
+                deps: if pos == 0 {
+                    vec![]
+                } else {
+                    vec![TxnId((i - n_chains) as u32)]
+                },
+            }
+        })
+        .collect()
+}
+
+/// Transactions per shard under the sharded runtime's placement
+/// (`asets_core::shard::partition`) — the workload-side view of how a batch
+/// would spread over `k` shards. Generators use this to check a scale-out
+/// workload actually balances before burning simulation time on it.
+pub fn shard_loads(specs: &[TxnSpec], k: usize) -> Vec<usize> {
+    asets_core::shard::partition(specs, k)
+        .slices
+        .iter()
+        .map(|s| s.len())
+        .collect()
+}
+
 /// The full §IV-A workflow sweep grid the paper mentions ("varied the
 /// maximum workflow length from three to ten, and ... number of workflows
 /// from one to ten").
@@ -267,6 +328,37 @@ mod tests {
         // T3's earliest transitive predecessor arrival is T2's (3).
         assert_eq!(specs[3].arrival, SimTime::from_units_int(3));
         assert_eq!(specs[1].arrival, SimTime::from_units_int(5));
+    }
+
+    #[test]
+    fn deep_chains_links_interleaved_chains() {
+        let specs = deep_chains(1_000, 100);
+        assert_eq!(specs.len(), 1_000);
+        let n_chains = 10;
+        // Chain heads have no deps; every later member depends on the
+        // transaction one stride back (same chain, previous position).
+        for (i, s) in specs.iter().enumerate() {
+            if i < n_chains {
+                assert!(s.deps.is_empty(), "T{i} should be a chain head");
+            } else {
+                assert_eq!(s.deps, vec![TxnId((i - n_chains) as u32)]);
+            }
+        }
+        DepDag::build(&specs).unwrap();
+    }
+
+    #[test]
+    fn deep_chains_balance_across_shards() {
+        // 10 chains over 4 shards: LPT gives 3/3/2/2 chains, i.e. 300/300/
+        // 200/200 transactions — within one chain of perfectly even.
+        let specs = deep_chains(1_000, 100);
+        let loads = shard_loads(&specs, 4);
+        assert_eq!(loads.iter().sum::<usize>(), 1_000);
+        assert_eq!(loads.len(), 4);
+        let (min, max) = (*loads.iter().min().unwrap(), *loads.iter().max().unwrap());
+        assert!(max - min <= 100, "loads {loads:?} differ by over one chain");
+        // K=1 is the identity placement.
+        assert_eq!(shard_loads(&specs, 1), vec![1_000]);
     }
 
     #[test]

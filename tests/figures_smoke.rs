@@ -10,6 +10,7 @@ fn smoke_cfg() -> ExpConfig {
         seeds: vec![101, 202],
         n_txns: 250,
         utilizations: vec![0.3, 0.6, 0.9],
+        ..ExpConfig::quick()
     }
 }
 
@@ -48,6 +49,7 @@ fn fig9_crossover_dynamics() {
         seeds: vec![101, 202, 303],
         n_txns: 500,
         utilizations: vec![0.2, 1.0],
+        ..ExpConfig::quick()
     };
     let low = figures::fig08_09::run_low(&cfg);
     let high = figures::fig08_09::run_high(&cfg);
@@ -62,6 +64,7 @@ fn fig14_asets_star_beats_ready_under_load() {
         seeds: vec![101, 202, 303],
         n_txns: 500,
         utilizations: vec![1.0],
+        ..ExpConfig::quick()
     };
     let r = figures::fig14::run(&cfg);
     let ready = r.series("Ready").unwrap()[0];
@@ -75,6 +78,7 @@ fn fig15_weighted_envelope() {
         seeds: vec![101, 202],
         n_txns: 400,
         utilizations: vec![0.4, 1.0],
+        ..ExpConfig::quick()
     };
     let r = figures::fig15::run(&cfg);
     let edf = r.series("EDF").unwrap();
@@ -91,6 +95,7 @@ fn fig16_17_tradeoff_direction() {
         seeds: vec![101, 202],
         n_txns: 400,
         utilizations: vec![],
+        ..ExpConfig::quick()
     };
     let mx = figures::fig16_17::run_max(&cfg);
     let av = figures::fig16_17::run_avg(&cfg);
@@ -114,6 +119,7 @@ fn table1_realizes_declared_distributions() {
         seeds: vec![101, 202],
         n_txns: 1000,
         utilizations: vec![0.7],
+        ..ExpConfig::quick()
     };
     let r = figures::table1::run(&cfg);
     let (_, row) = &r.rows[0];

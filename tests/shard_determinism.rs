@@ -1,0 +1,201 @@
+//! Determinism oracle for the sharded runtime.
+//!
+//! The scale-out path is only trustworthy because it is anchored to an
+//! exact baseline: `ShardedRuntime` at K=1 shards, M=1 servers must be
+//! **bit-identical** to the plain single-server `Engine` — same outcomes
+//! (exact finish ticks), same run statistics, same trace — for every
+//! policy, on arbitrary dependent weighted workloads. Beyond K=1, sharded
+//! runs must still satisfy the paper's aggregate definitions exactly:
+//! the merged `MetricsSummary` equals a recompute over the concatenated
+//! outcomes (Definitions 3–5), and per-shard stats add up to the merged
+//! stats.
+
+use asets_core::prelude::*;
+use asets_sim::{simulate_traced, ShardedRuntime};
+use proptest::prelude::*;
+
+/// A random dependent, weighted workload (same shape as the policy-oracle
+/// strategy). Dependencies only point to earlier ids, so the batch is
+/// acyclic by construction.
+fn workload_strategy(max_n: usize) -> impl Strategy<Value = Vec<TxnSpec>> {
+    proptest::collection::vec(
+        (
+            0u64..60, // arrival
+            1u64..20, // length
+            0u64..40, // extra slack beyond length
+            1u32..10, // weight
+            proptest::collection::vec(any::<prop::sample::Index>(), 0..3),
+        ),
+        1..max_n,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .enumerate()
+            .map(|(i, (arr, len, slack, w, deps))| {
+                let arrival = SimTime::from_units_int(arr);
+                let length = SimDuration::from_units_int(len);
+                let deadline = arrival + length + SimDuration::from_units_int(slack);
+                let mut dep_ids: Vec<TxnId> = if i == 0 {
+                    Vec::new()
+                } else {
+                    deps.into_iter()
+                        .map(|idx| TxnId(idx.index(i) as u32))
+                        .collect()
+                };
+                dep_ids.sort_unstable();
+                dep_ids.dedup();
+                TxnSpec {
+                    arrival,
+                    deadline,
+                    length,
+                    weight: Weight(w),
+                    deps: dep_ids,
+                }
+            })
+            .collect::<Vec<_>>()
+    })
+}
+
+/// Every policy kind the factory can build, including both impact rules
+/// and both balance-aware activation modes.
+fn all_kinds() -> Vec<PolicyKind> {
+    vec![
+        PolicyKind::Fcfs,
+        PolicyKind::Edf,
+        PolicyKind::Srpt,
+        PolicyKind::LeastSlack,
+        PolicyKind::Hdf,
+        PolicyKind::Asets,
+        PolicyKind::Mix { gamma: 2.0 },
+        PolicyKind::Hvf,
+        PolicyKind::LoadSwitch {
+            threshold: 0.75,
+            window: 10.0,
+        },
+        PolicyKind::Ready,
+        PolicyKind::asets_star(),
+        PolicyKind::AsetsStar {
+            impact: ImpactRule::Symmetric,
+        },
+        PolicyKind::BalanceAware {
+            impact: ImpactRule::Paper,
+            activation: ActivationMode::time_rate(0.01),
+        },
+        PolicyKind::BalanceAware {
+            impact: ImpactRule::Paper,
+            activation: ActivationMode::count_rate(0.1),
+        },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// K=1, M=1 is the seed engine, bit for bit, under every policy.
+    #[test]
+    fn k1_m1_is_bit_identical_to_engine(specs in workload_strategy(24)) {
+        for kind in all_kinds() {
+            let plain = simulate_traced(specs.clone(), kind).expect("acyclic");
+            let sharded = ShardedRuntime::new(specs.clone(), kind)
+                .shards(1)
+                .servers(1)
+                .with_trace()
+                .run()
+                .expect("acyclic");
+            prop_assert_eq!(&sharded.merged.outcomes, &plain.outcomes, "{}", kind.label());
+            prop_assert_eq!(&sharded.merged.stats, &plain.stats, "{}", kind.label());
+            prop_assert_eq!(&sharded.merged.trace, &plain.trace, "{}", kind.label());
+        }
+    }
+
+    /// Sharded runs complete every transaction exactly once, keep whole
+    /// workflows on one shard, and their merged summary satisfies the
+    /// paper's definitions exactly (recompute over concatenated outcomes).
+    #[test]
+    fn sharded_runs_are_complete_and_exact(
+        specs in workload_strategy(32),
+        k in 2usize..5,
+    ) {
+        let n = specs.len();
+        let kind = PolicyKind::asets_star();
+        let r = ShardedRuntime::new(specs.clone(), kind)
+            .shards(k)
+            .with_trace()
+            .run()
+            .expect("acyclic");
+
+        // Completeness: every id exactly once, ascending.
+        let ids: Vec<u32> = r.merged.outcomes.iter().map(|o| o.id.0).collect();
+        prop_assert_eq!(ids, (0..n as u32).collect::<Vec<_>>());
+        prop_assert_eq!(r.merged.stats.completed, n as u64);
+
+        // Workflows never split: each dependency stays on its txn's shard.
+        for (i, spec) in specs.iter().enumerate() {
+            for d in &spec.deps {
+                prop_assert_eq!(r.shard_of[d.index()], r.shard_of[i]);
+            }
+        }
+
+        // Definitions 3–5: merged headline equals the whole-batch recompute.
+        let recomputed = MetricsSummary::from_outcomes(&r.merged.outcomes);
+        prop_assert_eq!(&r.merged.summary, &recomputed);
+
+        // Count-weighted merge of per-shard summaries agrees with the
+        // headline on every field it can reconstruct exactly.
+        let parts: Vec<MetricsSummary> =
+            r.shards.iter().map(|s| s.result.summary.clone()).collect();
+        let merged = MetricsSummary::merge(&parts);
+        prop_assert_eq!(merged.count, recomputed.count);
+        prop_assert!((merged.total_tardiness - recomputed.total_tardiness).abs() < 1e-6);
+        prop_assert!((merged.avg_weighted_tardiness - recomputed.avg_weighted_tardiness).abs() < 1e-6);
+        prop_assert!((merged.miss_ratio - recomputed.miss_ratio).abs() < 1e-9);
+        prop_assert!((merged.max_tardiness - recomputed.max_tardiness).abs() < 1e-9);
+
+        // Per-shard mechanics add up.
+        let stats_parts: Vec<_> = r.shards.iter().map(|s| s.result.stats.clone()).collect();
+        prop_assert_eq!(&asets_sim::RunStats::merge(&stats_parts), &r.merged.stats);
+
+        // The merged trace is globally time-ordered.
+        let trace = r.merged.trace.as_ref().expect("tracing enabled");
+        for w in trace.events.windows(2) {
+            prop_assert!(w[0].at() <= w[1].at());
+        }
+
+        // Per-transaction finish times are shard-local decisions: each
+        // shard alone is a valid single-server simulation, so dependents
+        // still never finish before predecessors globally.
+        for (i, spec) in specs.iter().enumerate() {
+            for d in &spec.deps {
+                prop_assert!(r.merged.outcomes[d.index()].finish <= r.merged.outcomes[i].finish);
+            }
+        }
+    }
+
+    /// More shards can only help ASETS* tardiness on independent-heavy
+    /// workloads is *not* guaranteed in general — but determinism is:
+    /// running the same configuration twice is bit-identical.
+    #[test]
+    fn sharded_runs_are_reproducible(
+        specs in workload_strategy(24),
+        k in 1usize..5,
+        m in 1usize..3,
+    ) {
+        let kind = PolicyKind::asets_star();
+        let a = ShardedRuntime::new(specs.clone(), kind)
+            .shards(k)
+            .servers(m)
+            .with_trace()
+            .run()
+            .expect("acyclic");
+        let b = ShardedRuntime::new(specs, kind)
+            .shards(k)
+            .servers(m)
+            .with_trace()
+            .run()
+            .expect("acyclic");
+        prop_assert_eq!(&a.merged.outcomes, &b.merged.outcomes);
+        prop_assert_eq!(&a.merged.stats, &b.merged.stats);
+        prop_assert_eq!(&a.merged.trace, &b.merged.trace);
+        prop_assert_eq!(&a.shard_of, &b.shard_of);
+    }
+}
