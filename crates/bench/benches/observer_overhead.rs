@@ -15,13 +15,16 @@
 //!    real observer pays.
 //! 3. `flight_recorder` — a full `FlightRecorder` (ring writes, counters,
 //!    histograms). The delta over `noop` is the recording cost itself.
+//! 4. `spans` — a full `SpanRecorder` (flight ring *plus* lifecycle span
+//!    events and phase profiling). The delta over `flight_recorder` is the
+//!    span-tracing cost; `obs_gate` prints it as its own artifact row.
 
 use asets_bench::chain_workload;
 use asets_core::obs::{share, NoopObserver, SharedObserver};
 use asets_core::policy::AsetsStar;
 use asets_core::table::TxnTable;
 use asets_core::txn::TxnSpec;
-use asets_obs::FlightRecorder;
+use asets_obs::{FlightRecorder, SpanRecorder};
 use asets_sim::Engine;
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use std::cell::RefCell;
@@ -74,6 +77,9 @@ fn observer_overhead(c: &mut Criterion) {
         &specs,
         || Some(share(&FlightRecorder::shared(RING))),
     );
+    bench_observed(&mut g, BenchmarkId::new("spans", 100), &specs, || {
+        Some(share(&Rc::new(RefCell::new(SpanRecorder::new(RING)))))
+    });
     g.finish();
 }
 

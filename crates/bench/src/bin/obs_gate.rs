@@ -16,8 +16,9 @@
 //! Both files must come from the same machine and the same bench mode
 //! (CI regenerates both in `BENCH_QUICK=1`); comparing a quick-mode run
 //! against a checked-in full-mode file measures the mode, not the code.
-//! The noop/flight-recorder ratios are printed for the artifact but not
-//! gated — attached-observer cost is a feature, not a regression.
+//! The noop/flight-recorder/spans ratios are printed as their own artifact
+//! rows but not gated — attached-observer cost is a feature, not a
+//! regression.
 
 use asets_obs::json::parse_flat;
 use std::process::ExitCode;
@@ -56,7 +57,7 @@ fn run(obs_path: &str, sched_path: &str, threshold_pct: f64) -> Result<(), Strin
         (ratio - 1.0) * 100.0
     );
     // Informational: what attaching an observer actually costs.
-    for id in ["noop/100", "flight_recorder/100"] {
+    for id in ["noop/100", "flight_recorder/100", "spans/100"] {
         if let Ok(v) = mean_ns(obs_path, "observer_overhead", id) {
             println!(
                 "attached  observer_overhead/{id:<18} {:>14.1} ns   ({:+.2}% vs disabled)",

@@ -274,6 +274,70 @@ impl fmt::Display for MigrationEvent {
     }
 }
 
+/// Everything known about a transaction at the instant it completed —
+/// handed to [`Observer::completed`] so lifecycle observers (span
+/// collectors, SLO monitors) never need table access of their own.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompletionInfo {
+    /// The completion instant (`finish` in the paper's Definition 3).
+    pub finish: SimTime,
+    /// The transaction's deadline.
+    pub deadline: SimTime,
+    /// `max(finish − deadline, 0)` — Definition 3 tardiness.
+    pub tardiness: SimDuration,
+    /// Time between becoming ready and finishing that was *not* service:
+    /// `(finish − ready_at) − length`, saturating at zero.
+    pub queue_wait: SimDuration,
+    /// Total service received (the spec's processing time).
+    pub service: SimDuration,
+    /// `finish <= deadline`.
+    pub met_deadline: bool,
+}
+
+/// One phase of the engine's per-scheduling-point work, for the
+/// self-profiling spans ([`Observer::engine_phase`]). Wall-clock is only
+/// measured when an observer is attached, so the disabled path stays free
+/// of clock reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnginePhase {
+    /// Settling servers and delivering arrivals — the policy's index
+    /// maintenance (`on_complete`/`on_ready`/`on_requeue`) happens here.
+    Maintain,
+    /// `select_many`: evaluating the Eq. 1 / Fig. 7 comparison.
+    Select,
+    /// Placing choices on servers (affinity resume, displacement, work
+    /// conservation).
+    Dispatch,
+}
+
+impl EnginePhase {
+    /// All phases, in per-point execution order.
+    pub const ALL: [EnginePhase; 3] = [
+        EnginePhase::Maintain,
+        EnginePhase::Select,
+        EnginePhase::Dispatch,
+    ];
+
+    /// Stable token used in span dumps.
+    pub fn token(self) -> &'static str {
+        match self {
+            EnginePhase::Maintain => "maintain",
+            EnginePhase::Select => "select",
+            EnginePhase::Dispatch => "dispatch",
+        }
+    }
+
+    /// Inverse of [`EnginePhase::token`].
+    pub fn parse(s: &str) -> Option<EnginePhase> {
+        Some(match s {
+            "maintain" => EnginePhase::Maintain,
+            "select" => EnginePhase::Select,
+            "dispatch" => EnginePhase::Dispatch,
+            _ => return None,
+        })
+    }
+}
+
 /// The observation sink. Every method has an empty default body, so an
 /// observer implements only what it cares about, and the *no-op* observer
 /// is literally free once inlined.
@@ -298,6 +362,34 @@ pub trait Observer {
     /// same transaction); `preempted` names the transaction that lost the
     /// server mid-work, if any.
     fn dispatched(&mut self, _at: SimTime, _txn: TxnId, _preempted: Option<TxnId>) {}
+
+    /// `txn` arrived; `ready` is false when it is blocked on predecessors.
+    fn arrived(&mut self, _at: SimTime, _txn: TxnId, _ready: bool) {}
+
+    /// A previously blocked `txn` had its last dependency complete.
+    fn became_ready(&mut self, _at: SimTime, _txn: TxnId) {}
+
+    /// Server `server` ran `txn` over the closed interval `[from, until)`;
+    /// `completed` is true when the transaction finished at `until`.
+    /// Emitted retroactively at the settle step of the scheduling point
+    /// that ends the interval, so intervals are always closed.
+    fn served(
+        &mut self,
+        _server: u32,
+        _txn: TxnId,
+        _from: SimTime,
+        _until: SimTime,
+        _completed: bool,
+    ) {
+    }
+
+    /// `txn` completed; `info` carries deadline/tardiness/queue-wait so the
+    /// observer needs no table access.
+    fn completed(&mut self, _at: SimTime, _txn: TxnId, _info: &CompletionInfo) {}
+
+    /// One engine phase of the current scheduling point took `wall_ns`
+    /// nanoseconds (only reported while an observer is attached).
+    fn engine_phase(&mut self, _at: SimTime, _phase: EnginePhase, _wall_ns: u64) {}
 }
 
 /// An observer that ignores everything — the disabled path.
@@ -437,6 +529,10 @@ mod tests {
         }
         assert_eq!(DecisionRule::parse("nope"), None);
         assert_eq!(Winner::parse("nope"), None);
+        for p in EnginePhase::ALL {
+            assert_eq!(EnginePhase::parse(p.token()), Some(p));
+        }
+        assert_eq!(EnginePhase::parse("nope"), None);
     }
 
     #[test]
@@ -459,6 +555,22 @@ mod tests {
         let mut o = NoopObserver;
         o.sched_point(SimTime::ZERO, 10);
         o.dispatched(SimTime::ZERO, TxnId(0), None);
+        o.arrived(SimTime::ZERO, TxnId(0), true);
+        o.became_ready(SimTime::ZERO, TxnId(1));
+        o.served(0, TxnId(0), SimTime::ZERO, SimTime::from_units_int(2), true);
+        o.completed(
+            SimTime::from_units_int(2),
+            TxnId(0),
+            &CompletionInfo {
+                finish: SimTime::from_units_int(2),
+                deadline: SimTime::from_units_int(3),
+                tardiness: SimDuration::ZERO,
+                queue_wait: SimDuration::ZERO,
+                service: SimDuration::from_units_int(2),
+                met_deadline: true,
+            },
+        );
+        o.engine_phase(SimTime::ZERO, EnginePhase::Select, 100);
         let shared = share(&Rc::new(RefCell::new(NoopObserver)));
         shared.borrow_mut().sched_point(SimTime::ZERO, 0);
     }

@@ -1,34 +1,44 @@
-//! `asets-obs` — interrogate a scheduler flight-recorder dump.
+//! `asets-obs` — interrogate a scheduler flight-recorder dump and its
+//! lifecycle span stream.
 //!
 //! ```text
 //! asets-obs why <flight.jsonl> <T5> [<time-units>]   # why did T5 run (at t)?
 //! asets-obs migrations <flight.jsonl> <K3|T5>        # EDF<->HDF history
 //! asets-obs top <flight.jsonl> [k]                   # k widest-margin decisions
-//! asets-obs check <flight.jsonl>                     # re-derive every winner
+//! asets-obs check <flight.jsonl> [<spans.jsonl>]     # re-derive every winner
 //! asets-obs summary <flight.jsonl>                   # event/decision counts
+//! asets-obs timeline <spans.jsonl> <T5>              # arrival->completion chain
+//! asets-obs slo <spans.jsonl> [window]               # tardiness/miss telemetry
 //! ```
 //!
-//! Dumps come from `repro <figure> --obs-out <dir>`, `repro replay ...
-//! --obs-out <dir>`, or any run wired through `asets_obs::FlightRecorder`.
-//! Transactions are named `T<n>` and workflows `K<n>`, exactly as every
-//! other tool in this repo prints them.
+//! Flight dumps come from `repro <figure> --obs-out <dir>`, `repro replay
+//! ... --obs-out <dir>`, or any run wired through
+//! `asets_obs::FlightRecorder`; span streams come from `repro spans <dir>`
+//! or any run wired through `asets_obs::SpanRecorder`. Transactions are
+//! named `T<n>` and workflows `K<n>`, exactly as every other tool in this
+//! repo prints them.
 
 use asets_core::obs::MigrationSubject;
 use asets_core::time::SimTime;
 use asets_core::txn::TxnId;
 use asets_core::workflow::WfId;
-use asets_obs::{Dump, RecordedEvent};
+use asets_obs::{Dump, RecordedEvent, Timeline};
 use std::path::Path;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: asets-obs <why|migrations|top|check|summary> <flight.jsonl> [args]\n\
+         \x20      asets-obs <timeline|slo> <spans.jsonl> [args]\n\
          \x20 why <dump> <T5> [time-units]   decisions that chose T5 (at a given instant)\n\
          \x20 migrations <dump> <K3|T5>      list-migration history of a workflow/transaction\n\
          \x20 top <dump> [k]                 k widest-margin comparisons (default 10)\n\
-         \x20 check <dump>                   re-derive every recorded winner from its r/s/w\n\
-         \x20 summary <dump>                 event counts and decision breakdown"
+         \x20 check <dump> [spans]           re-derive every recorded winner from its r/s/w;\n\
+         \x20                                with a span stream, also cross-check dispatched\n\
+         \x20                                heads against winning-workflow membership\n\
+         \x20 summary <dump>                 event counts and decision breakdown\n\
+         \x20 timeline <spans> <T5>          T5's arrival->ready->run->completion chain\n\
+         \x20 slo <spans> [window]           tardiness/queue-wait quantiles + miss ratios"
     );
     ExitCode::FAILURE
 }
@@ -105,10 +115,18 @@ fn top(dump: &Dump, args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn check(dump: &Dump) -> Result<(), String> {
+fn check(dump: &Dump, args: &[String]) -> Result<(), String> {
     let comparisons = dump.decisions().filter(|(_, r)| r.is_comparison()).count();
-    let failures = dump.check();
+    let timeline = match args.first() {
+        Some(path) => Some(Timeline::load(Path::new(path))?),
+        None => None,
+    };
+    let failures = match &timeline {
+        Some(tl) => dump.check_with_spans(tl),
+        None => dump.check(),
+    };
     let mismatches = dump.dispatch_decision_mismatches();
+    let span_fails = timeline.as_ref().map_or_else(Vec::new, |tl| tl.check(None));
     for f in &failures {
         println!("FAIL #{}: {}", f.seq, f.reason);
     }
@@ -118,19 +136,68 @@ fn check(dump: &Dump) -> Result<(), String> {
             at.as_units()
         );
     }
-    if failures.is_empty() && mismatches.is_empty() {
+    for f in &span_fails {
+        println!("FAIL span: {f}");
+    }
+    if failures.is_empty() && mismatches.is_empty() && span_fails.is_empty() {
+        let spans = match &timeline {
+            Some(tl) => format!(", {} span timeline(s) consistent", tl.txns().count()),
+            None => String::new(),
+        };
         println!(
-            "ok: {} decisions ({comparisons} comparisons) re-derive, every dispatch matches",
+            "ok: {} decisions ({comparisons} comparisons) re-derive, every dispatch matches{spans}",
             dump.decisions().count()
         );
         Ok(())
     } else {
         Err(format!(
-            "{} decision failure(s), {} dispatch mismatch(es)",
+            "{} decision failure(s), {} dispatch mismatch(es), {} span failure(s)",
             failures.len(),
-            mismatches.len()
+            mismatches.len(),
+            span_fails.len()
         ))
     }
+}
+
+fn timeline_cmd(tl: &Timeline, args: &[String]) -> Result<(), String> {
+    let txn = args
+        .first()
+        .and_then(|s| parse_txn(s))
+        .ok_or("timeline needs a transaction like T5")?;
+    let t = tl
+        .of(txn)
+        .ok_or_else(|| format!("no spans recorded for {txn}"))?;
+    print!("{}", t.render(txn, tl.workflow_of(txn)));
+    Ok(())
+}
+
+fn slo_cmd(tl: &Timeline, args: &[String]) -> Result<(), String> {
+    let window = match args.first() {
+        Some(s) => match s.parse::<usize>() {
+            Ok(w) if w > 0 => w,
+            _ => return Err(format!("bad window {s:?}: need a positive integer")),
+        },
+        None => asets_obs::DEFAULT_SLO_WINDOW,
+    };
+    let slo = asets_experiments::obs_support::slo_from_timeline(tl, window);
+    println!("full run ({} completions):", slo.completions());
+    print!("{}", slo.report());
+    // Windowed quantiles: replay only the trailing `window` completions
+    // into a fresh monitor, since the sketches themselves never forget.
+    let mut completions: Vec<_> = tl
+        .txns()
+        .filter_map(|(id, t)| t.completion.map(|c| (c.finish.ticks(), id.0, c)))
+        .collect();
+    completions.sort_by_key(|&(finish, id, _)| (finish, id));
+    if completions.len() > window {
+        let mut tail = asets_obs::SloMonitor::with_window(window);
+        for (_, _, info) in &completions[completions.len() - window..] {
+            tail.record(info);
+        }
+        println!("\nlast {window} completions:");
+        print!("{}", tail.report());
+    }
+    Ok(())
 }
 
 fn summary(dump: &Dump) {
@@ -185,22 +252,42 @@ fn main() -> ExitCode {
     let (Some(cmd), Some(path)) = (args.first(), args.get(1)) else {
         return usage();
     };
-    let dump = match Dump::load(Path::new(path)) {
-        Ok(d) => d,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
-    };
     let rest = &args[2..];
+    // timeline/slo read a span stream; everything else reads a flight dump.
     let outcome = match cmd.as_str() {
-        "why" => why(&dump, rest),
-        "migrations" => migrations(&dump, rest),
-        "top" => top(&dump, rest),
-        "check" => check(&dump),
-        "summary" => {
-            summary(&dump);
-            Ok(())
+        "timeline" | "slo" => {
+            let tl = match Timeline::load(Path::new(path)) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if cmd == "timeline" {
+                timeline_cmd(&tl, rest)
+            } else {
+                slo_cmd(&tl, rest)
+            }
+        }
+        "why" | "migrations" | "top" | "check" | "summary" => {
+            let dump = match Dump::load(Path::new(path)) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match cmd.as_str() {
+                "why" => why(&dump, rest),
+                "migrations" => migrations(&dump, rest),
+                "top" => top(&dump, rest),
+                "check" => check(&dump, rest),
+                "summary" => {
+                    summary(&dump);
+                    Ok(())
+                }
+                _ => unreachable!(),
+            }
         }
         _ => return usage(),
     };

@@ -6,6 +6,7 @@
 //! repro list
 //! repro dump <util> <seed> <file>                  # archive one Table I batch
 //! repro replay <file> <policy> [--obs-out <dir>]   # simulate an archived batch
+//! repro spans <dir> [txns] [shards] [servers]      # traced sharded run
 //! ```
 //!
 //! `--md` appends every report as a markdown table to the given file —
@@ -121,6 +122,43 @@ fn replay(args: &[String], obs_out: Option<&PathBuf>) -> ExitCode {
     }
 }
 
+/// `repro spans <dir> [txns] [shards] [servers]` — trace the deep-chain
+/// workload on a sharded runtime and write span/SLO artifacts for the
+/// `asets-obs timeline`/`slo` subcommands plus a Perfetto-loadable
+/// `trace.json`.
+fn spans(args: &[String]) -> ExitCode {
+    let Some(dir) = args.first() else {
+        eprintln!("usage: repro spans <dir> [txns] [shards] [servers]");
+        return ExitCode::FAILURE;
+    };
+    let mut nums = [2000usize, 4, 2];
+    for (slot, arg) in nums.iter_mut().zip(args.iter().skip(1)) {
+        match arg.parse::<usize>() {
+            Ok(n) if n > 0 => *slot = n,
+            _ => {
+                eprintln!("bad count `{arg}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let [txns, shards, servers] = nums;
+    match asets_experiments::obs_support::spans_run(
+        std::path::Path::new(dir),
+        txns,
+        shards,
+        servers,
+    ) {
+        Ok(line) => {
+            println!("{line}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// `repro gantt <file> <policy>` — render an archived batch's schedule as
 /// an ASCII Gantt chart (keep the batch small; one row per transaction).
 fn gantt(args: &[String]) -> ExitCode {
@@ -209,6 +247,7 @@ fn main() -> ExitCode {
         "dump" => return dump(&args[1..]),
         "replay" => return replay(&args[1..], obs_out.as_ref()),
         "gantt" => return gantt(&args[1..]),
+        "spans" => return spans(&args[1..]),
         _ => {}
     }
 

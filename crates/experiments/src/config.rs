@@ -112,11 +112,14 @@ pub enum FigureId {
     MissRatio,
     /// Extension: sharded-runtime scale-out sweep (K ∈ {1, 2, 4, 8}).
     ScaleOut,
+    /// Extension: scheduler self-profile (maintain/select/dispatch wall-clock
+    /// per scheduling point, K ∈ {1, 4, 8}).
+    Profile,
 }
 
 impl FigureId {
     /// All figures, in paper order.
-    pub const ALL: [FigureId; 16] = [
+    pub const ALL: [FigureId; 17] = [
         FigureId::Table1,
         FigureId::Fig8,
         FigureId::Fig9,
@@ -133,6 +136,7 @@ impl FigureId {
         FigureId::CacheTtl,
         FigureId::MissRatio,
         FigureId::ScaleOut,
+        FigureId::Profile,
     ];
 
     /// CLI name (`repro <name>`).
@@ -154,6 +158,7 @@ impl FigureId {
             FigureId::CacheTtl => "cache",
             FigureId::MissRatio => "missratio",
             FigureId::ScaleOut => "scaleout",
+            FigureId::Profile => "profile",
         }
     }
 

@@ -9,6 +9,7 @@
 pub mod ablations;
 pub mod alpha_sweep;
 pub mod cache_ttl;
+pub mod engine_profile;
 pub mod fig08_09;
 pub mod fig10_13;
 pub mod fig14;
@@ -46,6 +47,7 @@ pub fn run_figure(id: FigureId, cfg: &ExpConfig) -> Vec<Report> {
         FigureId::CacheTtl => vec![cache_ttl::run(cfg)],
         FigureId::MissRatio => vec![miss_ratio::run(cfg)],
         FigureId::ScaleOut => vec![scale_out::run(cfg)],
+        FigureId::Profile => vec![engine_profile::run(cfg)],
     }
 }
 

@@ -22,20 +22,25 @@ use std::path::Path;
 pub struct Dump {
     /// Events with their global sequence numbers.
     pub events: Vec<(u64, RecordedEvent)>,
+    /// Per-event shard labels, aligned with `events` (`None` for lines
+    /// without a `shard` field — unsharded runs).
+    pub shards: Vec<Option<u32>>,
 }
 
 impl Dump {
     /// Parse a dump from its JSONL text.
     pub fn parse(text: &str) -> Result<Dump, String> {
         let mut events = Vec::new();
+        let mut shards = Vec::new();
         for (i, line) in text.lines().enumerate() {
             if line.trim().is_empty() {
                 continue;
             }
             let obj = parse_flat(line).map_err(|e| format!("line {}: {e}", i + 1))?;
             events.push(parse_event(&obj).map_err(|e| format!("line {}: {e}", i + 1))?);
+            shards.push(obj.int("shard").map(|s| s as u32));
         }
-        Ok(Dump { events })
+        Ok(Dump { events, shards })
     }
 
     /// Read and parse a dump file.
@@ -102,6 +107,66 @@ impl Dump {
                 failures.push(CheckFailure { seq, reason });
             }
         }
+        failures
+    }
+
+    /// Cross-check Fig. 7 workflow-level decisions against the span
+    /// stream: the transaction a decision chose must be a member of the
+    /// winning candidate's workflow, per the membership snapshot the span
+    /// collector took from the live table. [`Dump::check`] re-derives the
+    /// *arithmetic* of each record; this verifies its *referents* — a
+    /// decision can be internally consistent yet dispatch a transaction
+    /// from the wrong workflow, which only the span stream can expose.
+    /// Workflow ids are shard-local, so each decision is resolved under
+    /// its own line's shard label.
+    pub fn check_against_timeline(&self, tl: &crate::timeline::Timeline) -> Vec<CheckFailure> {
+        let mut failures = Vec::new();
+        for (i, (seq, ev)) in self.events.iter().enumerate() {
+            let RecordedEvent::Decision(rec) = ev else {
+                continue;
+            };
+            let winning = match rec.winner {
+                Winner::Edf | Winner::OnlyEdf | Winner::Single => rec.edf.as_ref(),
+                Winner::Hdf | Winner::OnlyHdf => rec.hdf.as_ref(),
+            };
+            let Some(w) = winning.and_then(|c| c.workflow) else {
+                continue; // transaction-level decision: nothing to check
+            };
+            let shard = self.shards.get(i).copied().flatten();
+            let members = tl.workflow_members(shard, w);
+            if members.is_empty() {
+                failures.push(CheckFailure {
+                    seq: *seq,
+                    reason: format!(
+                        "decision chose {} for W{} but the span stream knows no such workflow",
+                        rec.chosen, w.0
+                    ),
+                });
+            } else if !members.contains(&rec.chosen) {
+                failures.push(CheckFailure {
+                    seq: *seq,
+                    reason: format!(
+                        "dispatched head {} does not belong to winning workflow W{} \
+                         (members: {})",
+                        rec.chosen,
+                        w.0,
+                        members
+                            .iter()
+                            .map(|t| t.to_string())
+                            .collect::<Vec<_>>()
+                            .join(","),
+                    ),
+                });
+            }
+        }
+        failures
+    }
+
+    /// [`Dump::check`] plus [`Dump::check_against_timeline`], in one list.
+    pub fn check_with_spans(&self, tl: &crate::timeline::Timeline) -> Vec<CheckFailure> {
+        let mut failures = self.check();
+        failures.extend(self.check_against_timeline(tl));
+        failures.sort_by_key(|f| f.seq);
         failures
     }
 
@@ -407,6 +472,58 @@ mod tests {
             derive_impacts(DecisionRule::Fig7Symmetric, &edf, &hdf),
             (8 * u, 30 * u)
         );
+    }
+
+    #[test]
+    fn timeline_cross_check_verifies_workflow_membership() {
+        use crate::span::SpanCollector;
+        use crate::timeline::Timeline;
+
+        // Span stream knows W0 = {T0, T2}, W1 = {T1}.
+        let mut c = SpanCollector::new();
+        c.wf_members.push((0, TxnId(0)));
+        c.wf_members.push((0, TxnId(2)));
+        c.wf_members.push((1, TxnId(1)));
+        let tl = Timeline::from_collectors(&[c]);
+
+        // A Fig. 7 decision won by W0's head T0: impacts 6 vs 30 → EDF.
+        let u = asets_core::time::TICKS_PER_UNIT as i128;
+        let rec = DecisionRecord {
+            at: SimTime::from_units_int(1),
+            rule: DecisionRule::Fig7Paper,
+            edf: Some(cand(0, Some(0), 6, 0, 10)),
+            hdf: Some(cand(1, Some(1), 3, -2, 1)),
+            impact_edf: 6 * u,
+            impact_hdf: 30 * u,
+            winner: Winner::Edf,
+            chosen: TxnId(0),
+            edf_len: 1,
+            hdf_len: 1,
+        };
+        let good = dump_of(vec![RecordedEvent::Decision(rec)]);
+        assert!(good.check_against_timeline(&tl).is_empty());
+        assert!(good.check_with_spans(&tl).is_empty());
+
+        // Same record but the chosen txn belongs to the *other* workflow.
+        let mut bad = rec;
+        bad.chosen = TxnId(1);
+        let d = dump_of(vec![RecordedEvent::Decision(bad)]);
+        let fails = d.check_against_timeline(&tl);
+        assert_eq!(fails.len(), 1);
+        assert!(fails[0].reason.contains("does not belong"), "{fails:?}");
+        assert!(fails[0].reason.contains("T1"), "names the txn: {fails:?}");
+
+        // A workflow the span stream never saw.
+        let mut ghost = rec;
+        ghost.edf.as_mut().unwrap().workflow = Some(WfId(9));
+        let d = dump_of(vec![RecordedEvent::Decision(ghost)]);
+        let fails = d.check_against_timeline(&tl);
+        assert_eq!(fails.len(), 1);
+        assert!(fails[0].reason.contains("no such workflow"), "{fails:?}");
+
+        // Transaction-level decisions (no workflow) are skipped.
+        let txn_level = dump_of(vec![RecordedEvent::Decision(eq1_record(3))]);
+        assert!(txn_level.check_against_timeline(&tl).is_empty());
     }
 
     #[test]

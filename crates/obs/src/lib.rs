@@ -16,6 +16,15 @@
 //!   recorded winner from its own `r`/`s`/`w` values.
 //! * [`json`] — the flat single-line JSON read/write layer shared by the
 //!   dump and metric formats (the workspace's serde is a no-op shim).
+//! * [`SpanCollector`] / [`SpanRecorder`] — lifecycle span tracing: every
+//!   transaction's `arrival → ready → dispatched → [preempted]* →
+//!   completed` chain with run intervals per server and decision-seq links
+//!   into the flight dump.
+//! * [`Timeline`] — parse/merge span streams, verify span-interval
+//!   invariants, render per-transaction timelines, export Chrome/Perfetto
+//!   trace JSON.
+//! * [`SloMonitor`] / [`QuantileSketch`] — streaming tardiness/queue-wait
+//!   percentiles and windowed deadline-miss ratio in fixed memory.
 //!
 //! ## Wiring
 //!
@@ -56,6 +65,9 @@ pub mod analysis;
 pub mod json;
 pub mod metrics;
 pub mod recorder;
+pub mod slo;
+pub mod span;
+pub mod timeline;
 
 pub use analysis::{derive_impacts, CheckFailure, Dump};
 pub use metrics::{Histogram, MetricsRegistry};
@@ -63,9 +75,12 @@ pub use recorder::{
     dump_sharded, event_line, event_line_labeled, FlightRecorder, PanicDump, RecordedEvent,
     LATENCY_NS_BOUNDS, LIST_LEN_BOUNDS,
 };
+pub use slo::{QuantileSketch, SloMonitor, DEFAULT_SLO_WINDOW};
+pub use span::{dump_spans, PhaseAgg, SpanCollector, SpanEvent, SpanRecorder};
+pub use timeline::{DispatchEdge, PhaseProfile, RunSegment, Timeline, TxnTimeline};
 
 // Re-export the hook layer so downstream users need only one obs import.
 pub use asets_core::obs::{
-    share, Candidate, DecisionRecord, DecisionRule, MigrationEvent, MigrationSubject, NoopObserver,
-    Observer, ObserverSlot, SharedObserver, Winner,
+    share, Candidate, CompletionInfo, DecisionRecord, DecisionRule, EnginePhase, MigrationEvent,
+    MigrationSubject, NoopObserver, Observer, ObserverSlot, SharedObserver, Winner,
 };

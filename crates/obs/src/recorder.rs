@@ -152,6 +152,36 @@ impl FlightRecorder {
         &self.metrics
     }
 
+    /// Rewrite shard-local transaction ids to global ids, so per-shard
+    /// recorders from `ShardedRuntime::run_observed` can be dumped into one
+    /// stream that speaks the global id space (workflow ids stay
+    /// shard-local; the shard label disambiguates them).
+    pub fn remap_txns(&mut self, to_global: &[TxnId]) {
+        let g = |t: TxnId| to_global[t.0 as usize];
+        for (_, ev) in &mut self.ring {
+            match ev {
+                RecordedEvent::Decision(r) => {
+                    r.chosen = g(r.chosen);
+                    if let Some(c) = &mut r.edf {
+                        c.txn = g(c.txn);
+                    }
+                    if let Some(c) = &mut r.hdf {
+                        c.txn = g(c.txn);
+                    }
+                }
+                RecordedEvent::Migration(m) => {
+                    if let MigrationSubject::Txn(t) = &mut m.subject {
+                        *t = g(*t);
+                    }
+                }
+                RecordedEvent::Dispatch { txn, preempted, .. } => {
+                    *txn = g(*txn);
+                    *preempted = preempted.map(g);
+                }
+            }
+        }
+    }
+
     /// Fold a run's backlog series into the `queue_depth_ready` histogram
     /// (the engine samples it; the recorder just aggregates).
     pub fn ingest_backlog(&mut self, series: &BacklogSeries) {

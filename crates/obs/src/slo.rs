@@ -1,0 +1,592 @@
+//! Live SLO telemetry: a fixed-memory quantile sketch and a streaming
+//! monitor over completion events.
+//!
+//! The paper evaluates policies by tardiness percentiles and deadline-miss
+//! rates (Definitions 3–5); at production scale those must be available
+//! *during* the run without retaining per-transaction state. The
+//! [`QuantileSketch`] here is a log-linear fixed-comb (HDR-histogram
+//! style): a few kilobytes of buckets, O(1) insert, and a documented
+//! worst-case relative error of [`QuantileSketch::RELATIVE_ERROR`] — 2⁻⁵ ≈
+//! 3.125%, with values below 64 ticks stored exactly. Reported quantiles
+//! are bucket upper bounds, so they never under-state a percentile.
+//!
+//! [`SloMonitor`] stacks three sketches (tardiness, queue wait, earliness)
+//! plus a fixed-size window of recent deadline verdicts, implements
+//! `Observer` so it can sit live on an engine, and exports through the
+//! same Prometheus-text / JSONL styles as the flight recorder's registry.
+
+use crate::json::JsonObject;
+use asets_core::obs::{CompletionInfo, Observer};
+use asets_core::time::SimTime;
+use asets_core::txn::TxnId;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// Sub-bucket resolution: 2⁵ = 32 linear sub-buckets per octave.
+const SUB_BITS: u32 = 5;
+const SUBS: usize = 1 << SUB_BITS; // 32
+/// Values below `2 * SUBS` (= 64) get one bucket each (exact).
+const LINEAR_MAX: u64 = (2 * SUBS) as u64;
+/// Octaves 6..=63 each contribute `SUBS` buckets after the linear range.
+const BUCKETS: usize = LINEAR_MAX as usize + (64 - 6) * SUBS; // 1920
+
+/// A fixed-memory log-linear quantile sketch over `u64` values (ticks).
+///
+/// Memory is a flat `[u64; 1920]` (~15 KiB) regardless of how many values
+/// stream through. Quantile queries return the containing bucket's upper
+/// bound: at most [`QuantileSketch::RELATIVE_ERROR`] above the true value,
+/// never below it, and exact for values `< 64`.
+#[derive(Debug, Clone)]
+pub struct QuantileSketch {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        QuantileSketch::new()
+    }
+}
+
+impl QuantileSketch {
+    /// Worst-case relative overestimate of any reported quantile: one
+    /// sub-bucket width over the octave base, `2⁻⁵`.
+    pub const RELATIVE_ERROR: f64 = 1.0 / SUBS as f64;
+
+    /// An empty sketch.
+    pub fn new() -> QuantileSketch {
+        QuantileSketch {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn index_of(v: u64) -> usize {
+        if v < LINEAR_MAX {
+            return v as usize;
+        }
+        let e = 63 - v.leading_zeros(); // v's octave, ≥ 6
+        let sub = ((v >> (e - SUB_BITS)) as usize) & (SUBS - 1);
+        LINEAR_MAX as usize + (e as usize - 6) * SUBS + sub
+    }
+
+    /// Inclusive upper bound of bucket `idx`.
+    fn upper_bound(idx: usize) -> u64 {
+        if idx < LINEAR_MAX as usize {
+            return idx as u64;
+        }
+        let i = idx - LINEAR_MAX as usize;
+        let e = (i / SUBS + 6) as u32;
+        let sub = (i % SUBS) as u128;
+        // The top octave's last bucket tops out at u64::MAX; widen so the
+        // shift cannot overflow.
+        let ub = ((SUBS as u128 + sub + 1) << (e - SUB_BITS)) - 1;
+        ub.min(u64::MAX as u128) as u64
+    }
+
+    /// Record one value.
+    pub fn observe(&mut self, v: u64) {
+        self.buckets[Self::index_of(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Total recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Mean recorded value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0 < q ≤ 1`): the upper bound of the bucket
+    /// holding the value of rank `⌈q·count⌉`, clamped to the observed max.
+    /// `None` when the sketch is empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut acc = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            acc += c;
+            if acc >= rank {
+                return Some(Self::upper_bound(idx).min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Fold another sketch in (bucket-wise; used to aggregate shards).
+    pub fn absorb(&mut self, other: &QuantileSketch) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Default miss-ratio window: the last 10 000 completions.
+pub const DEFAULT_SLO_WINDOW: usize = 10_000;
+
+/// Streaming SLO monitor: fixed-memory quantile sketches over tardiness /
+/// queue wait / earliness plus a windowed deadline-miss ratio. Attach it
+/// live (`impl Observer`) or replay completion records into
+/// [`SloMonitor::record`].
+#[derive(Debug, Clone)]
+pub struct SloMonitor {
+    tardiness: QuantileSketch,
+    queue_wait: QuantileSketch,
+    earliness: QuantileSketch,
+    completions: u64,
+    misses: u64,
+    window: VecDeque<bool>,
+    window_cap: usize,
+    window_misses: u64,
+}
+
+impl Default for SloMonitor {
+    fn default() -> Self {
+        SloMonitor::new()
+    }
+}
+
+impl SloMonitor {
+    /// A monitor with the default miss-ratio window.
+    pub fn new() -> SloMonitor {
+        SloMonitor::with_window(DEFAULT_SLO_WINDOW)
+    }
+
+    /// A monitor whose miss ratio tracks the last `window` completions.
+    ///
+    /// # Panics
+    /// If `window == 0`.
+    pub fn with_window(window: usize) -> SloMonitor {
+        assert!(window > 0, "SLO window must be non-empty");
+        SloMonitor {
+            tardiness: QuantileSketch::new(),
+            queue_wait: QuantileSketch::new(),
+            earliness: QuantileSketch::new(),
+            completions: 0,
+            misses: 0,
+            window: VecDeque::with_capacity(window.min(1 << 16)),
+            window_cap: window,
+            window_misses: 0,
+        }
+    }
+
+    /// Ingest one completion.
+    pub fn record(&mut self, info: &CompletionInfo) {
+        self.completions += 1;
+        self.tardiness.observe(info.tardiness.ticks());
+        self.queue_wait.observe(info.queue_wait.ticks());
+        self.earliness
+            .observe(info.deadline.saturating_since(info.finish).ticks());
+        let miss = !info.met_deadline;
+        if miss {
+            self.misses += 1;
+            self.window_misses += 1;
+        }
+        self.window.push_back(miss);
+        if self.window.len() > self.window_cap && self.window.pop_front() == Some(true) {
+            self.window_misses -= 1;
+        }
+    }
+
+    /// Completions seen so far.
+    pub fn completions(&self) -> u64 {
+        self.completions
+    }
+
+    /// Deadline misses seen so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Run-wide deadline-miss ratio (0 when nothing completed).
+    pub fn miss_ratio(&self) -> f64 {
+        if self.completions == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.completions as f64
+        }
+    }
+
+    /// Miss ratio over the last `window` completions.
+    pub fn window_miss_ratio(&self) -> f64 {
+        if self.window.is_empty() {
+            0.0
+        } else {
+            self.window_misses as f64 / self.window.len() as f64
+        }
+    }
+
+    /// The configured window size.
+    pub fn window_len(&self) -> usize {
+        self.window_cap
+    }
+
+    /// Tardiness sketch (ticks past the deadline; 0 for on-time).
+    pub fn tardiness(&self) -> &QuantileSketch {
+        &self.tardiness
+    }
+
+    /// Queue-wait sketch (ready-to-finish time minus service, in ticks).
+    pub fn queue_wait(&self) -> &QuantileSketch {
+        &self.queue_wait
+    }
+
+    /// Earliness sketch (ticks finished before the deadline; the
+    /// completion-time counterpart of slack).
+    pub fn earliness(&self) -> &QuantileSketch {
+        &self.earliness
+    }
+
+    /// Fold another monitor's sketches and counters in (the window is
+    /// order-sensitive and cannot merge; the result keeps `self`'s).
+    pub fn absorb_sketches(&mut self, other: &SloMonitor) {
+        self.tardiness.absorb(&other.tardiness);
+        self.queue_wait.absorb(&other.queue_wait);
+        self.earliness.absorb(&other.earliness);
+        self.completions += other.completions;
+        self.misses += other.misses;
+    }
+
+    fn summaries(&self) -> [(&'static str, &QuantileSketch); 3] {
+        [
+            ("slo_tardiness_ticks", &self.tardiness),
+            ("slo_queue_wait_ticks", &self.queue_wait),
+            ("slo_earliness_ticks", &self.earliness),
+        ]
+    }
+
+    const QUANTILES: [(&'static str, f64); 3] = [("0.5", 0.5), ("0.95", 0.95), ("0.99", 0.99)];
+
+    /// Prometheus text exposition, mirroring the flight recorder's
+    /// exporter: counters, gauges, and one summary per sketch. An optional
+    /// constant label (e.g. `("shard", "3")`) is attached to every series.
+    pub fn to_prometheus_labeled(&self, label: Option<(&str, String)>) -> String {
+        let (lone, extra) = match &label {
+            Some((k, v)) => (format!("{{{k}=\"{v}\"}}"), format!(",{k}=\"{v}\"")),
+            None => (String::new(), String::new()),
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "# TYPE slo_completions_total counter");
+        let _ = writeln!(out, "slo_completions_total{lone} {}", self.completions);
+        let _ = writeln!(out, "# TYPE slo_deadline_misses_total counter");
+        let _ = writeln!(out, "slo_deadline_misses_total{lone} {}", self.misses);
+        let _ = writeln!(out, "# TYPE slo_deadline_miss_ratio gauge");
+        let _ = writeln!(out, "slo_deadline_miss_ratio{lone} {}", self.miss_ratio());
+        let _ = writeln!(out, "# TYPE slo_window_miss_ratio gauge");
+        let _ = writeln!(
+            out,
+            "slo_window_miss_ratio{lone} {}",
+            self.window_miss_ratio()
+        );
+        for (name, sketch) in self.summaries() {
+            let _ = writeln!(out, "# TYPE {name} summary");
+            for (label, q) in Self::QUANTILES {
+                let v = sketch.quantile(q).unwrap_or(0);
+                let _ = writeln!(out, "{name}{{quantile=\"{label}\"{extra}}} {v}");
+            }
+            let _ = writeln!(out, "{name}_sum{lone} {}", sketch.sum());
+            let _ = writeln!(out, "{name}_count{lone} {}", sketch.count());
+        }
+        out
+    }
+
+    /// Prometheus text exposition without a constant label.
+    pub fn to_prometheus(&self) -> String {
+        self.to_prometheus_labeled(None)
+    }
+
+    /// JSON-lines exposition: one flat object per counter/gauge/quantile.
+    pub fn to_jsonl_labeled(&self, label: Option<(&str, String)>) -> String {
+        let tag = |obj: JsonObject| -> JsonObject {
+            match &label {
+                Some((k, v)) => obj.str(k, v),
+                None => obj,
+            }
+        };
+        let mut out = String::new();
+        let mut push = |obj: JsonObject| {
+            out.push_str(&obj.finish());
+            out.push('\n');
+        };
+        push(tag(JsonObject::new()
+            .str("metric", "slo_completions_total")
+            .str("type", "counter")
+            .int("value", self.completions as i128)));
+        push(tag(JsonObject::new()
+            .str("metric", "slo_deadline_misses_total")
+            .str("type", "counter")
+            .int("value", self.misses as i128)));
+        push(tag(JsonObject::new()
+            .str("metric", "slo_deadline_miss_ratio")
+            .str("type", "gauge")
+            .float("value", self.miss_ratio())));
+        push(tag(JsonObject::new()
+            .str("metric", "slo_window_miss_ratio")
+            .str("type", "gauge")
+            .float("value", self.window_miss_ratio())));
+        for (name, sketch) in self.summaries() {
+            for (label, q) in Self::QUANTILES {
+                push(tag(JsonObject::new()
+                    .str("metric", name)
+                    .str("type", "summary")
+                    .str("quantile", label)
+                    .int("value", sketch.quantile(q).unwrap_or(0) as i128)));
+            }
+            push(tag(JsonObject::new()
+                .str("metric", name)
+                .str("type", "summary_stats")
+                .int("count", sketch.count() as i128)
+                .int("sum", sketch.sum() as i128)
+                .float("mean", sketch.mean())));
+        }
+        out
+    }
+
+    /// JSON-lines exposition without a constant label.
+    pub fn to_jsonl(&self) -> String {
+        self.to_jsonl_labeled(None)
+    }
+
+    /// Human-readable report for `asets-obs slo`, times in sim units.
+    pub fn report(&self) -> String {
+        let units = |v: Option<u64>| match v {
+            Some(t) => format!("{:.3}", t as f64 / asets_core::time::TICKS_PER_UNIT as f64),
+            None => "-".into(),
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "completions {}   misses {}   miss-ratio {:.4}   window({}) miss-ratio {:.4}",
+            self.completions,
+            self.misses,
+            self.miss_ratio(),
+            self.window.len(),
+            self.window_miss_ratio(),
+        );
+        let _ = writeln!(
+            out,
+            "{:<16} {:>10} {:>10} {:>10} {:>10}",
+            "sketch", "p50", "p95", "p99", "max"
+        );
+        for (name, sketch) in [
+            ("tardiness", &self.tardiness),
+            ("queue_wait", &self.queue_wait),
+            ("earliness", &self.earliness),
+        ] {
+            let _ = writeln!(
+                out,
+                "{:<16} {:>10} {:>10} {:>10} {:>10}",
+                name,
+                units(sketch.quantile(0.5)),
+                units(sketch.quantile(0.95)),
+                units(sketch.quantile(0.99)),
+                units(Some(sketch.max())),
+            );
+        }
+        out
+    }
+}
+
+impl Observer for SloMonitor {
+    fn completed(&mut self, _at: SimTime, _txn: TxnId, info: &CompletionInfo) {
+        self.record(info);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asets_core::time::SimDuration;
+
+    fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut s = QuantileSketch::new();
+        for v in 0..64 {
+            s.observe(v);
+        }
+        assert_eq!(s.quantile(0.5), Some(31));
+        assert_eq!(s.quantile(1.0), Some(63));
+        assert_eq!(s.min(), 0);
+    }
+
+    #[test]
+    fn quantiles_stay_within_documented_error() {
+        // Deterministic pseudo-random values spanning many octaves.
+        let mut x: u64 = 0x9E3779B97F4A7C15;
+        let mut values = Vec::new();
+        let mut s = QuantileSketch::new();
+        for _ in 0..10_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let v = x % 1_000_000_007;
+            values.push(v);
+            s.observe(v);
+        }
+        values.sort_unstable();
+        for q in [0.5, 0.9, 0.95, 0.99] {
+            let exact = exact_quantile(&values, q);
+            let approx = s.quantile(q).unwrap();
+            assert!(
+                approx >= exact,
+                "sketch must never under-state: q={q} {approx} < {exact}"
+            );
+            let rel = (approx - exact) as f64 / exact as f64;
+            assert!(
+                rel <= QuantileSketch::RELATIVE_ERROR,
+                "q={q}: {approx} vs exact {exact} → rel err {rel}"
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_cover_every_octave() {
+        for v in [
+            0,
+            63,
+            64,
+            65,
+            1_000,
+            123_456_789,
+            u64::MAX / 2,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let idx = QuantileSketch::index_of(v);
+            assert!(idx < BUCKETS, "v={v} → idx {idx}");
+            let ub = QuantileSketch::upper_bound(idx);
+            assert!(ub >= v, "v={v} above its bucket's upper bound {ub}");
+            if v >= 64 {
+                // ub within one sub-bucket of v.
+                assert!((ub - v) as f64 / v as f64 <= QuantileSketch::RELATIVE_ERROR);
+            }
+        }
+    }
+
+    #[test]
+    fn absorb_equals_union() {
+        let mut a = QuantileSketch::new();
+        let mut b = QuantileSketch::new();
+        let mut both = QuantileSketch::new();
+        for v in 0..1000u64 {
+            let target = if v % 2 == 0 { &mut a } else { &mut b };
+            target.observe(v * 7);
+            both.observe(v * 7);
+        }
+        a.absorb(&b);
+        assert_eq!(a.count(), both.count());
+        assert_eq!(a.sum(), both.sum());
+        for q in [0.25, 0.5, 0.99] {
+            assert_eq!(a.quantile(q), both.quantile(q));
+        }
+    }
+
+    fn info(tardy: u64, met: bool) -> CompletionInfo {
+        CompletionInfo {
+            finish: SimTime::from_units_int(10),
+            deadline: SimTime::from_units_int(if met { 12 } else { 8 }),
+            tardiness: SimDuration::from_ticks(tardy),
+            queue_wait: SimDuration::from_units_int(1),
+            service: SimDuration::from_units_int(2),
+            met_deadline: met,
+        }
+    }
+
+    #[test]
+    fn windowed_miss_ratio_tracks_recent_completions() {
+        let mut m = SloMonitor::with_window(4);
+        for _ in 0..4 {
+            m.record(&info(100, false));
+        }
+        assert_eq!(m.window_miss_ratio(), 1.0);
+        for _ in 0..4 {
+            m.record(&info(0, true));
+        }
+        // The four misses slid out of the window, but not out of the run.
+        assert_eq!(m.window_miss_ratio(), 0.0);
+        assert_eq!(m.miss_ratio(), 0.5);
+        assert_eq!(m.completions(), 8);
+        assert_eq!(m.misses(), 4);
+    }
+
+    #[test]
+    fn exporters_cover_every_series() {
+        let mut m = SloMonitor::with_window(8);
+        m.record(&info(5_000_000, false));
+        m.record(&info(0, true));
+        let prom = m.to_prometheus_labeled(Some(("shard", "1".into())));
+        assert!(
+            prom.contains("slo_completions_total{shard=\"1\"} 2"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("slo_deadline_miss_ratio{shard=\"1\"} 0.5"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("slo_tardiness_ticks{quantile=\"0.95\",shard=\"1\"}"),
+            "{prom}"
+        );
+        for line in m.to_jsonl().lines() {
+            let obj = crate::json::parse_flat(line).expect(line);
+            assert!(obj.str("metric").unwrap().starts_with("slo_"));
+        }
+        let report = m.report();
+        assert!(report.contains("miss-ratio 0.5"), "{report}");
+        assert!(report.contains("tardiness"), "{report}");
+    }
+
+    #[test]
+    fn observer_hook_feeds_the_monitor() {
+        let mut m = SloMonitor::new();
+        m.completed(SimTime::from_units_int(10), TxnId(3), &info(7, false));
+        assert_eq!(m.completions(), 1);
+        assert_eq!(m.tardiness().max(), 7);
+    }
+}

@@ -52,7 +52,7 @@ use crate::stats::{BacklogSample, BacklogSeries, RunStats};
 use crate::trace::{Trace, TraceEvent};
 use asets_core::dag::DagError;
 use asets_core::metrics::MetricsSummary;
-use asets_core::obs::SharedObserver;
+use asets_core::obs::{CompletionInfo, EnginePhase, SharedObserver};
 use asets_core::policy::Scheduler;
 use asets_core::table::TxnTable;
 use asets_core::time::SimDuration;
@@ -202,6 +202,9 @@ impl<S: Scheduler> Engine<S> {
     /// Process the scheduling point at instant `t`.
     fn step_to(&mut self, t: SimTime) {
         let gap = self.pump.advance(t);
+        // Self-profiling clock: one Instant per phase boundary, and only
+        // when an observer is attached — the disabled path takes no reads.
+        let phase_started = self.obs.as_ref().map(|_| Instant::now());
 
         // 1. Settle every server, in index order. Completions fire their
         // policy events immediately; survivors are paused (service credited)
@@ -212,7 +215,28 @@ impl<S: Scheduler> Engine<S> {
                 Some(r) => {
                     let served = t - r.since;
                     self.stats.busy += served;
-                    if served == self.table.remaining(r.txn) {
+                    let finishing = served == self.table.remaining(r.txn);
+                    if let Some(obs) = &self.obs {
+                        obs.borrow_mut()
+                            .served(s as u32, r.txn, r.since, t, finishing);
+                    }
+                    if finishing {
+                        // Lifecycle observers get the completion context
+                        // captured *before* `complete` consumes the state.
+                        let info = self.obs.is_some().then(|| {
+                            let spec = self.table.spec(r.txn);
+                            let ready_at = self.table.state(r.txn).ready_at.unwrap_or(spec.arrival);
+                            CompletionInfo {
+                                finish: t,
+                                deadline: spec.deadline,
+                                tardiness: t.saturating_since(spec.deadline),
+                                queue_wait: t
+                                    .saturating_since(ready_at)
+                                    .saturating_sub(spec.length),
+                                service: spec.length,
+                                met_deadline: t <= spec.deadline,
+                            }
+                        });
                         let released = self.table.complete(r.txn, t, served);
                         self.stats.completed += 1;
                         self.stats.makespan = t;
@@ -221,8 +245,14 @@ impl<S: Scheduler> Engine<S> {
                             txn: r.txn,
                             met_deadline: t <= self.table.deadline(r.txn),
                         });
+                        if let (Some(obs), Some(info)) = (&self.obs, &info) {
+                            obs.borrow_mut().completed(t, r.txn, info);
+                        }
                         self.policy.on_complete(r.txn, &self.table, t);
                         for d in released {
+                            if let Some(obs) = &self.obs {
+                                obs.borrow_mut().became_ready(t, d);
+                            }
                             self.policy.on_ready(d, &self.table, t);
                         }
                     } else {
@@ -245,12 +275,18 @@ impl<S: Scheduler> Engine<S> {
                 txn: id,
                 ready,
             });
+            if let Some(obs) = &self.obs {
+                obs.borrow_mut().arrived(t, id, ready);
+            }
             if ready {
                 self.policy.on_ready(id, &self.table, t);
             } else {
                 self.policy.on_blocked_arrival(id, &self.table, t);
             }
         }
+
+        // Settle + arrivals is the policy's index-maintenance window.
+        let _ = self.emit_phase(t, EnginePhase::Maintain, phase_started);
 
         // 3. Sample backlog if due.
         self.sample_backlog(t);
@@ -266,8 +302,11 @@ impl<S: Scheduler> Engine<S> {
             .select_many(&self.table, t, slots, &mut self.choices);
         if let (Some(obs), Some(started)) = (&self.obs, started) {
             let latency_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
-            obs.borrow_mut().sched_point(t, latency_ns);
+            let mut o = obs.borrow_mut();
+            o.sched_point(t, latency_ns);
+            o.engine_phase(t, EnginePhase::Select, latency_ns);
         }
+        let dispatch_started = self.obs.as_ref().map(|_| Instant::now());
 
         if self.choices.is_empty() {
             assert!(
@@ -370,6 +409,25 @@ impl<S: Scheduler> Engine<S> {
             self.stats.dispatches += 1;
             self.pool.place(s, Running { txn: p, since: t });
         }
+
+        let _ = self.emit_phase(t, EnginePhase::Dispatch, dispatch_started);
+    }
+
+    /// Emit a scheduler self-profiling span covering the wall-clock time
+    /// since `started`, returning a fresh clock for the next phase. A `None`
+    /// clock means no observer is attached and nothing is measured.
+    fn emit_phase(
+        &self,
+        t: SimTime,
+        phase: EnginePhase,
+        started: Option<Instant>,
+    ) -> Option<Instant> {
+        let started = started?;
+        let wall_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        if let Some(obs) = &self.obs {
+            obs.borrow_mut().engine_phase(t, phase, wall_ns);
+        }
+        Some(Instant::now())
     }
 
     /// Take a backlog sample at `t` if the sampling interval elapsed. The

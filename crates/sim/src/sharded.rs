@@ -146,19 +146,22 @@ impl ShardedRuntime {
     /// Dependency errors (unknown ids, cycles) are detected on the *global*
     /// batch before any thread spawns, so the error carries global ids.
     pub fn run(self) -> Result<ShardedResult, DagError> {
-        self.run_inner(|_shard| NoopObserver, false)
+        self.run_inner(|_shard, _table| NoopObserver, false)
             .map(|(result, _obs)| result)
     }
 
     /// Like [`ShardedRuntime::run`], but attach a fresh observer to every
-    /// shard's engine and policy. `make(shard)` is called on the shard's own
-    /// thread (observers are deliberately not `Sync`; only the finished
-    /// observer crosses back). Returns the recovered observers in shard
-    /// order alongside the result.
+    /// shard's engine and policy. `make(shard, table)` is called on the
+    /// shard's own thread with the shard's *local* transaction table, so
+    /// observers can snapshot workflow structure before the run (observers
+    /// are deliberately not `Sync`; only the finished observer crosses
+    /// back). Returns the recovered observers in shard order alongside the
+    /// result. Note the table uses shard-local ids; remap with the
+    /// [`ShardRun::txns`] map when exporting global artifacts.
     pub fn run_observed<O, F>(self, make: F) -> Result<(ShardedResult, Vec<O>), DagError>
     where
         O: Observer + Send + 'static,
-        F: Fn(usize) -> O + Sync,
+        F: Fn(usize, &TxnTable) -> O + Sync,
     {
         self.run_inner(make, true)
     }
@@ -166,7 +169,7 @@ impl ShardedRuntime {
     fn run_inner<O, F>(self, make: F, attach: bool) -> Result<(ShardedResult, Vec<O>), DagError>
     where
         O: Observer + Send + 'static,
-        F: Fn(usize) -> O + Sync,
+        F: Fn(usize, &TxnTable) -> O + Sync,
     {
         // Validate the whole batch first: per-shard tables rebuild their
         // local DAGs, but those never fail after this (partitioning keeps
@@ -184,8 +187,15 @@ impl ShardedRuntime {
             // batch moves into `run_shard` unchanged — the same single spec
             // clone as `runner::simulate`, which keeps this path within
             // noise of the plain engine (the shard_gate bench enforces it).
-            let (result, obs) =
-                run_shard(self.specs, kind, servers, trace, backlog, make(0), attach);
+            let (result, obs) = run_shard(
+                self.specs,
+                kind,
+                servers,
+                trace,
+                backlog,
+                |table| make(0, table),
+                attach,
+            );
             return Ok((
                 ShardedResult {
                     merged: result.clone(),
@@ -217,7 +227,15 @@ impl ShardedRuntime {
                 .map(|(i, specs)| {
                     let make = &make;
                     scope.spawn(move || {
-                        run_shard(specs, kind, servers, trace, backlog, make(i), attach)
+                        run_shard(
+                            specs,
+                            kind,
+                            servers,
+                            trace,
+                            backlog,
+                            |table| make(i, table),
+                            attach,
+                        )
                     })
                 })
                 .collect();
@@ -257,17 +275,20 @@ impl Observer for NoopObserver {}
 
 /// Run one shard's specs to completion on the current thread. Mirrors
 /// `runner::simulate` construction exactly (table built from the slice,
-/// policy derived from that table) so the K=1 path is bit-identical.
+/// policy derived from that table) so the K=1 path is bit-identical. The
+/// observer is built *after* the table so it can inspect workflow
+/// structure up front.
 fn run_shard<O: Observer + 'static>(
     specs: Vec<TxnSpec>,
     kind: PolicyKind,
     servers: usize,
     trace: bool,
     backlog: Option<SimDuration>,
-    obs: O,
+    make: impl FnOnce(&TxnTable) -> O,
     attach: bool,
 ) -> (SimResult, O) {
     let table = TxnTable::new(specs.clone()).expect("validated on the global batch");
+    let obs = make(&table);
     let policy = kind.build(&table);
     let mut engine = Engine::new(specs, policy)
         .expect("validated on the global batch")
@@ -530,7 +551,7 @@ mod tests {
         specs.extend(chain(0, 3, 3));
         let (r, observers) = ShardedRuntime::new(specs, PolicyKind::asets_star())
             .shards(2)
-            .run_observed(|shard| Counter {
+            .run_observed(|shard, _table| Counter {
                 shard,
                 sched_points: 0,
             })

@@ -267,6 +267,49 @@ mod tests {
     }
 
     #[test]
+    fn backlog_merge_of_misaligned_throttles_is_sorted_and_lossless() {
+        // Two shards sampling under the same 1-unit throttle but with
+        // misaligned clocks: shard A records on unit boundaries t, shard B
+        // one tick later at t+ε. Every record() is accepted (ε keeps each
+        // shard's own spacing ≥ interval) and the merged stream must be
+        // strictly sorted — one sample per instant — with nothing dropped.
+        let interval = SimDuration::from_units_int(1);
+        let sample = |ticks: u64, ready: u32| BacklogSample {
+            at: SimTime::from_ticks(ticks),
+            ready,
+            blocked: ready / 2,
+            infeasible: ready / 3,
+        };
+        let unit = SimDuration::from_units_int(1).ticks();
+        let (mut a, mut b) = (BacklogSeries::default(), BacklogSeries::default());
+        for i in 0..10u64 {
+            assert!(a.record(interval, sample(i * unit, (i % 4) as u32 + 1)));
+            assert!(b.record(interval, sample(i * unit + 1, (i % 3) as u32 + 2)));
+        }
+        let m = BacklogSeries::merge(&[a.clone(), b.clone()]);
+        // Nothing dropped: merged length is the sum of the parts.
+        assert_eq!(m.samples.len(), a.samples.len() + b.samples.len());
+        // Sorted, and deduped per instant: ε-offsets never collide, so the
+        // order is strictly increasing.
+        for w in m.samples.windows(2) {
+            assert!(w[0].at < w[1].at, "duplicate or out-of-order instant");
+        }
+        // Per-shard totals survive the merge exactly.
+        let totals = |s: &BacklogSeries| {
+            s.samples.iter().fold((0u64, 0u64, 0u64), |acc, x| {
+                (
+                    acc.0 + u64::from(x.ready),
+                    acc.1 + u64::from(x.blocked),
+                    acc.2 + u64::from(x.infeasible),
+                )
+            })
+        };
+        let (ta, tb, tm) = (totals(&a), totals(&b), totals(&m));
+        assert_eq!(tm, (ta.0 + tb.0, ta.1 + tb.1, ta.2 + tb.2));
+        assert_eq!(m.peak_ready(), a.peak_ready().max(b.peak_ready()));
+    }
+
+    #[test]
     fn record_throttles_to_one_sample_per_interval() {
         let interval = SimDuration::from_units_int(5);
         let sample = |u: u64| BacklogSample {
