@@ -18,7 +18,7 @@ use asets_core::policy::{AsetsStar, PolicyKind};
 use asets_core::queue::KeyedQueue;
 use asets_core::table::TxnTable;
 use asets_core::txn::TxnSpec;
-use asets_sim::simulate_with;
+use asets_sim::{simulate_with, Engine};
 use asets_workload::{generate, TableISpec};
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -64,22 +64,21 @@ fn indexed_vs_naive(c: &mut Criterion) {
                 )
             });
         });
-        // The naive oracle rescans every workflow at every decision; skip
-        // the largest size to keep the bench bounded.
-        if n <= 400 {
-            g.bench_with_input(BenchmarkId::new("naive_oracle", n), &specs, |b, specs| {
-                b.iter(|| {
-                    let table = TxnTable::new(specs.clone()).unwrap();
-                    let policy = NaiveAsetsStar::with_defaults(&table);
-                    black_box(
-                        simulate_with(specs.clone(), policy)
-                            .unwrap()
-                            .summary
-                            .avg_tardiness,
-                    )
-                });
+        // The naive oracle rescans every workflow at every decision. All
+        // three sizes run, so the exported table has a complete oracle
+        // column to divide by.
+        g.bench_with_input(BenchmarkId::new("naive_oracle", n), &specs, |b, specs| {
+            b.iter(|| {
+                let table = TxnTable::new(specs.clone()).unwrap();
+                let policy = NaiveAsetsStar::with_defaults(&table);
+                black_box(
+                    simulate_with(specs.clone(), policy)
+                        .unwrap()
+                        .summary
+                        .avg_tardiness,
+                )
             });
-        }
+        });
     }
     g.finish();
 }
@@ -128,18 +127,33 @@ fn bench_runs<S, F>(
     S: asets_core::policy::Scheduler,
     F: Fn(&TxnTable) -> S + Copy,
 {
+    bench_runs_mode(g, id, specs, make, false)
+}
+
+/// [`bench_runs`] with the engine mode explicit: `batched` runs the same
+/// workload through [`Engine::with_batching`] (bit-identical results, one
+/// coalesced maintain pass per instant).
+fn bench_runs_mode<S, F>(
+    g: &mut criterion::BenchmarkGroup<'_>,
+    id: BenchmarkId,
+    specs: &[TxnSpec],
+    make: F,
+    batched: bool,
+) where
+    S: asets_core::policy::Scheduler,
+    F: Fn(&TxnTable) -> S + Copy,
+{
     g.bench_with_input(id, &specs, |b, specs| {
         b.iter_batched(
             || (specs.to_vec(), specs.to_vec()),
             |(for_table, for_sim)| {
                 let table = TxnTable::new(for_table).unwrap();
                 let policy = make(&table);
-                black_box(
-                    simulate_with(for_sim, policy)
-                        .unwrap()
-                        .summary
-                        .avg_tardiness,
-                )
+                let mut engine = Engine::new(for_sim, policy).unwrap();
+                if batched {
+                    engine = engine.with_batching();
+                }
+                black_box(engine.run().summary.avg_tardiness)
             },
             BatchSize::LargeInput,
         )
@@ -174,6 +188,16 @@ fn deep_workflow_scale(c: &mut Criterion) {
             &specs,
             RescanAsetsStar::with_defaults,
         );
+        // The same indexed policy through the epoch-batched engine: the
+        // coalesced maintain/select rounds and bulk rebuilds should only
+        // ever move this below the `indexed` row.
+        bench_runs_mode(
+            &mut g,
+            BenchmarkId::new("batched", chain_len),
+            &specs,
+            AsetsStar::with_defaults,
+            true,
+        );
     }
     // Batch-size headroom: 100k transactions in 100-member workflows at the
     // indexed cost only (the rescan twin would dominate the bench's
@@ -184,6 +208,13 @@ fn deep_workflow_scale(c: &mut Criterion) {
         BenchmarkId::new("indexed_100k", 100),
         &specs,
         AsetsStar::with_defaults,
+    );
+    bench_runs_mode(
+        &mut g,
+        BenchmarkId::new("indexed_100k_batched", 100),
+        &specs,
+        AsetsStar::with_defaults,
+        true,
     );
     g.finish();
 }

@@ -22,7 +22,7 @@
 //! actually executes. See DESIGN.md D1 (impact-rule variants), D2 (head
 //! selection), D9 (representative visibility).
 
-use super::{head_rule_for_side, Ratio, Scheduler};
+use super::{head_rule_for_side, LifecycleEvent, Ratio, Scheduler};
 use crate::obs::{
     Candidate, DecisionRecord, DecisionRule, MigrationEvent, MigrationSubject, ObserverSlot, Winner,
 };
@@ -30,7 +30,9 @@ use crate::queue::MinTree;
 use crate::table::TxnTable;
 use crate::time::SimTime;
 use crate::txn::TxnId;
-use crate::workflow::{HeadRule, Representative, WfId, WorkflowIndex, WorkflowSet};
+use crate::workflow::{
+    bulk_profitable, HeadRule, Representative, WfId, WorkflowIndex, WorkflowSet,
+};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 
@@ -83,6 +85,45 @@ enum Side {
     Hdf,
 }
 
+/// How long the memoized decision below stays replayable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CachedKind {
+    /// At most one list was populated (or none): the outcome reads nothing
+    /// time-dependent, so it holds at any later instant.
+    Unopposed,
+    /// Two-sided Paper-rule comparison won by the EDF side. Holds at any
+    /// later instant: `impact(A first) = r_head(A)·w(B)` is static while
+    /// the tops are untouched, and `impact(B first) = (r_head(B) −
+    /// s_rep(A))·w(A)` only grows as `now` advances (slack shrinks), so a
+    /// strict `<` stays strict.
+    EdfWinPaper,
+    /// Any other two-sided outcome — the HDF side winning, or a
+    /// Symmetric-rule comparison where both impacts move with `now` — is
+    /// only replayable at the exact decision instant.
+    AtInstant,
+}
+
+/// The memoized outcome of the last Fig. 7 evaluation.
+///
+/// A decision reads only the two list tops: their tree keys, their
+/// representatives, their heads, and the heads' remaining times. Every
+/// mutation of those flows through a refresh of the owning workflow (which
+/// drops the cache when it touches a cached top — see `note_refresh`) or
+/// through `migrate`, which moves list membership without changing any
+/// representative and is therefore caught by comparing the live tree tops
+/// against the snapshot here. On a snapshot match the replay window is
+/// per-[`CachedKind`]. Never consulted or written while an observer is
+/// attached: a replay would skip the decision record.
+#[derive(Debug, Clone, Copy)]
+struct CacheEntry {
+    /// `(key, id)` tops of the two lists when the decision was made.
+    edf_top: Option<(u64, u32)>,
+    hdf_top: Option<(Reverse<Ratio>, u32)>,
+    chosen: Option<TxnId>,
+    kind: CachedKind,
+    at: SimTime,
+}
+
 /// Workflow-level ASETS\* scheduler.
 ///
 /// Per-event work is `O(k · log)` where `k` is the number of workflows
@@ -112,6 +153,17 @@ pub struct AsetsStar {
     /// Decision-provenance sink (detached by default; the hot path then
     /// pays a single branch per decision).
     obs: ObserverSlot,
+    /// The last Fig. 7 outcome, replayed while provably still valid.
+    cache: Option<CacheEntry>,
+    /// Cache replays so far (ablation/telemetry).
+    cache_hits: u64,
+    /// Scratch for `migrate` and `on_batch` (retained capacity: the
+    /// steady-state loop allocates nothing).
+    drained: Vec<(u64, u32)>,
+    touched: Vec<WfId>,
+    edf_ups: Vec<(u32, Option<u64>)>,
+    ls_ups: Vec<(u32, Option<u64>)>,
+    hdf_ups: Vec<(u32, Option<Reverse<Ratio>>)>,
 }
 
 impl AsetsStar {
@@ -129,6 +181,13 @@ impl AsetsStar {
             latest_start: MinTree::new(n),
             side: vec![Side::Out; n],
             obs: ObserverSlot::empty(),
+            cache: None,
+            cache_hits: 0,
+            drained: Vec::new(),
+            touched: Vec::new(),
+            edf_ups: Vec::new(),
+            ls_ups: Vec::new(),
+            hdf_ups: Vec::new(),
         }
     }
 
@@ -174,6 +233,7 @@ impl AsetsStar {
     /// unchanged (the common case: most events don't move a workflow's
     /// aggregate minima).
     fn refresh(&mut self, w: WfId, now: SimTime) {
+        self.note_refresh(w);
         let prev_side = self.side[w.index()];
         let rep = if self.index.is_schedulable(w) {
             self.index.representative(w)
@@ -226,6 +286,93 @@ impl AsetsStar {
         }
     }
 
+    /// Workflow `w` is about to be re-keyed: if it is one of the cached
+    /// decision's list tops, its representative or head may change without
+    /// moving the tree top, so the cache must go. Tops that *move* are
+    /// caught by the snapshot comparison in `cached_choice` instead.
+    fn note_refresh(&mut self, w: WfId) {
+        if let Some(c) = &self.cache {
+            let is_top = |top: Option<u32>| top == Some(w.0);
+            if is_top(c.edf_top.map(|(_, id)| id)) || is_top(c.hdf_top.map(|(_, id)| id)) {
+                self.cache = None;
+            }
+        }
+    }
+
+    /// `refresh`, staged for the batched path: instead of walking each
+    /// tree's O(log W) update path immediately, push the new keys into the
+    /// per-tree scratch so `flush_list_updates` can pick, per tree, between
+    /// replaying the point updates and one O(W) bottom-up rebuild. Classifies
+    /// identically to `refresh`; each workflow appears at most once per
+    /// epoch (the `touched` list is deduplicated), so entry order within the
+    /// scratch is immaterial.
+    fn refresh_into(&mut self, w: WfId, now: SimTime) {
+        self.note_refresh(w);
+        let prev = self.side[w.index()];
+        let rep = if self.index.is_schedulable(w) {
+            self.index.representative(w)
+        } else {
+            None
+        };
+        let Some(rep) = rep else {
+            match prev {
+                Side::Out => {}
+                Side::Edf => {
+                    self.edf_ups.push((w.0, None));
+                    self.ls_ups.push((w.0, None));
+                }
+                Side::Hdf => self.hdf_ups.push((w.0, None)),
+            }
+            self.side[w.index()] = Side::Out;
+            return;
+        };
+        if rep.can_meet_deadline(now) {
+            let dl = rep.deadline.ticks();
+            if prev == Side::Hdf {
+                self.hdf_ups.push((w.0, None));
+            }
+            self.edf_ups.push((w.0, Some(dl)));
+            self.ls_ups
+                .push((w.0, Some(dl.saturating_sub(rep.remaining.ticks()))));
+            self.side[w.index()] = Side::Edf;
+        } else {
+            if prev == Side::Edf {
+                self.edf_ups.push((w.0, None));
+                self.ls_ups.push((w.0, None));
+            }
+            self.hdf_ups.push((w.0, Some(Reverse(hdf_key(&rep)))));
+            self.side[w.index()] = Side::Hdf;
+        }
+    }
+
+    /// Flush the re-keys staged by `refresh_into` into the three list trees.
+    fn flush_list_updates(&mut self) {
+        let cap = self.side.len();
+        flush_tree(&mut self.edf, &mut self.edf_ups, cap);
+        flush_tree(&mut self.latest_start, &mut self.ls_ups, cap);
+        flush_tree(&mut self.hdf, &mut self.hdf_ups, cap);
+    }
+
+    /// Fig. 7 replays skipped via the decision cache (ablation/telemetry).
+    pub fn decision_cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// The cached chosen transaction, if the cache is still provably valid
+    /// at `now` (see [`CacheEntry`]). `None` means "re-evaluate".
+    fn cached_choice(&self, now: SimTime) -> Option<Option<TxnId>> {
+        let c = self.cache.as_ref()?;
+        if self.edf.peek() != c.edf_top || self.hdf.peek() != c.hdf_top {
+            return None;
+        }
+        let valid = match c.kind {
+            CachedKind::Unopposed => true,
+            CachedKind::EdfWinPaper => now >= c.at,
+            CachedKind::AtInstant => now == c.at,
+        };
+        valid.then_some(c.chosen)
+    }
+
     /// Move EDF-List workflows whose representative can no longer meet its
     /// deadline into the HDF-List. Between events a waiting workflow's
     /// representative is static, so the latest-start key is exact; the
@@ -235,7 +382,13 @@ impl AsetsStar {
         let Some(bound) = now.ticks().checked_sub(1) else {
             return;
         };
-        for (_, id) in self.latest_start.drain_up_to(bound) {
+        // Drain into owned scratch (capacity retained across points) so the
+        // steady state allocates nothing. Index loop: the body re-keys the
+        // trees while the scratch is still borrowed-by-value per entry.
+        self.drained.clear();
+        self.latest_start.drain_up_to_into(bound, &mut self.drained);
+        for i in 0..self.drained.len() {
+            let (_, id) = self.drained[i];
             let w = WfId(id);
             debug_assert!(
                 self.edf.contains(id),
@@ -319,21 +472,22 @@ impl AsetsStar {
         self.obs.emit(|o| o.decision(&rec));
     }
 
-    /// The Fig. 7 decision between the two list tops.
-    fn decide(&self, table: &TxnTable, now: SimTime) -> Option<TxnId> {
+    /// The Fig. 7 decision between the two list tops, plus how long the
+    /// outcome stays replayable (for the decision cache).
+    fn decide(&self, table: &TxnTable, now: SimTime) -> (Option<TxnId>, CachedKind) {
         let edf_top = self.edf.peek_id().map(WfId);
         let hdf_top = self.hdf.peek_id().map(WfId);
         match (edf_top, hdf_top) {
-            (None, None) => None,
+            (None, None) => (None, CachedKind::Unopposed),
             (Some(a), None) => {
                 let head = self.head_of(a, self.cfg.edf_head);
                 self.observe_unopposed(table, now, a, head, true);
-                Some(head)
+                (Some(head), CachedKind::Unopposed)
             }
             (None, Some(b)) => {
                 let head = self.head_of(b, self.cfg.hdf_head);
                 self.observe_unopposed(table, now, b, head, false);
-                Some(head)
+                (Some(head), CachedKind::Unopposed)
             }
             (Some(a), Some(b)) => {
                 let head_a = self.head_of(a, self.cfg.edf_head);
@@ -359,9 +513,29 @@ impl AsetsStar {
                     };
                     self.obs.emit(|o| o.decision(&rec));
                 }
-                Some(chosen)
+                let kind = if edf_first && self.cfg.impact == ImpactRule::Paper {
+                    CachedKind::EdfWinPaper
+                } else {
+                    CachedKind::AtInstant
+                };
+                (Some(chosen), kind)
             }
         }
+    }
+}
+
+/// Apply staged `(id, key)` re-keys to one list tree: replay the point
+/// updates (O(k log W)) or, past the crossover, raw-write the leaves and
+/// rebuild bottom-up (O(W)). Both orders produce the same tree: each id
+/// appears at most once per flush.
+fn flush_tree<K: Ord + Copy>(tree: &mut MinTree<K>, ups: &mut Vec<(u32, Option<K>)>, cap: usize) {
+    if bulk_profitable(ups.len() as u32, cap) {
+        tree.bulk_build(ups.drain(..));
+    } else {
+        for &(id, key) in ups.iter() {
+            tree.set(id, key);
+        }
+        ups.clear();
     }
 }
 
@@ -444,13 +618,61 @@ impl Scheduler for AsetsStar {
         self.refresh_workflows_of(t, now);
     }
 
+    fn on_batch(&mut self, events: &[LifecycleEvent], table: &TxnTable, now: SimTime) {
+        if self.obs.is_attached() {
+            // Observers record per-hook migration provenance; coalescing
+            // would drop the intermediate records. Replay the exact
+            // per-event hook sequence instead.
+            for &ev in events {
+                match ev {
+                    LifecycleEvent::Complete(t) => self.on_complete(t, table, now),
+                    LifecycleEvent::Ready(t) => self.on_ready(t, table, now),
+                    LifecycleEvent::Requeue(t) => self.on_requeue(t, table, now),
+                    LifecycleEvent::BlockedArrival(t) => self.on_blocked_arrival(t, table, now),
+                }
+            }
+            return;
+        }
+        // One bulk index pass over the whole epoch, then one refresh per
+        // *touched workflow* — the per-event path refreshes once per
+        // (event × workflows-of-member), re-deriving the same final keys
+        // each time. Final state is identical: refresh reads only the index
+        // and `now`, both of which are settled once the batch is applied.
+        let mut touched = std::mem::take(&mut self.touched);
+        touched.clear();
+        self.index
+            .apply_batch(events, &self.wfs, table, &mut touched);
+        for &w in touched.iter() {
+            self.refresh_into(w, now);
+        }
+        self.touched = touched;
+        self.flush_list_updates();
+    }
+
     fn select(&mut self, table: &TxnTable, now: SimTime) -> Option<TxnId> {
         self.migrate(now);
-        self.decide(table, now)
+        if self.obs.is_attached() {
+            // Cache replays would skip the decision record.
+            return self.decide(table, now).0;
+        }
+        if let Some(chosen) = self.cached_choice(now) {
+            self.cache_hits += 1;
+            return chosen;
+        }
+        let (chosen, kind) = self.decide(table, now);
+        self.cache = Some(CacheEntry {
+            edf_top: self.edf.peek(),
+            hdf_top: self.hdf.peek(),
+            chosen,
+            kind,
+            at: now,
+        });
+        chosen
     }
 
     fn attach_observer(&mut self, obs: crate::obs::SharedObserver) {
         self.obs.attach(obs);
+        self.cache = None;
     }
 }
 

@@ -65,6 +65,35 @@ use crate::workflow::HeadRule;
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 
+/// One table mutation at a scheduling point, in engine order — the unit of
+/// [`Scheduler::on_batch`]. Each variant names the per-event hook it stands
+/// for; a batch replays them in the exact order the per-event engine would
+/// have fired them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifecycleEvent {
+    /// `t` completed ([`Scheduler::on_complete`]).
+    Complete(TxnId),
+    /// `t` became ready ([`Scheduler::on_ready`]).
+    Ready(TxnId),
+    /// The running `t` was paused ([`Scheduler::on_requeue`]).
+    Requeue(TxnId),
+    /// `t` arrived blocked ([`Scheduler::on_blocked_arrival`]).
+    BlockedArrival(TxnId),
+}
+
+impl LifecycleEvent {
+    /// The transaction the event is about.
+    #[inline]
+    pub fn txn(self) -> TxnId {
+        match self {
+            LifecycleEvent::Complete(t)
+            | LifecycleEvent::Ready(t)
+            | LifecycleEvent::Requeue(t)
+            | LifecycleEvent::BlockedArrival(t) => t,
+        }
+    }
+}
+
 /// The scheduling-policy interface driven by the simulator engine.
 pub trait Scheduler {
     /// Human-readable policy name (used in experiment reports).
@@ -112,6 +141,29 @@ pub trait Scheduler {
         }
     }
 
+    /// Deliver every lifecycle event of one scheduling point at once. The
+    /// engine's batched mode mutates the table for the whole same-instant
+    /// epoch first, then hands the events over in the exact order the
+    /// per-event mode would have fired the hooks.
+    ///
+    /// The default replays the per-event hooks in that order, which is
+    /// bit-identical for every policy in this crate: each hook reads only
+    /// the event transaction's *own* table fields (deadline and weight are
+    /// static; remaining time changes only through that transaction's own
+    /// pause, which is itself one of the events), so hook-time and
+    /// batch-time reads agree. Policies with cross-transaction maintenance
+    /// override this to coalesce work across the batch.
+    fn on_batch(&mut self, events: &[LifecycleEvent], table: &TxnTable, now: SimTime) {
+        for &ev in events {
+            match ev {
+                LifecycleEvent::Complete(t) => self.on_complete(t, table, now),
+                LifecycleEvent::Ready(t) => self.on_ready(t, table, now),
+                LifecycleEvent::Requeue(t) => self.on_requeue(t, table, now),
+                LifecycleEvent::BlockedArrival(t) => self.on_blocked_arrival(t, table, now),
+            }
+        }
+    }
+
     /// The next instant at which this policy wants an extra scheduling point
     /// even if nothing arrives or completes (balance-aware activation timer).
     fn next_wakeup(&self, _now: SimTime) -> Option<SimTime> {
@@ -147,6 +199,9 @@ impl Scheduler for Box<dyn Scheduler> {
     }
     fn select_many(&mut self, table: &TxnTable, now: SimTime, slots: usize, out: &mut Vec<TxnId>) {
         (**self).select_many(table, now, slots, out);
+    }
+    fn on_batch(&mut self, events: &[LifecycleEvent], table: &TxnTable, now: SimTime) {
+        (**self).on_batch(events, table, now);
     }
     fn next_wakeup(&self, now: SimTime) -> Option<SimTime> {
         (**self).next_wakeup(now)

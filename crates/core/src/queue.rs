@@ -103,6 +103,13 @@ impl<K: Ord + Copy> KeyedQueue<K> {
             .unwrap_or_else(|| panic!("rekey of absent id {id}"));
         let old = *slot;
         if old == new_key {
+            // The fast path must still be backed by a live set entry — a
+            // missing one means the back-index and set disagreed *before*
+            // this call, and the early return would mask the corruption.
+            debug_assert!(
+                self.set.contains(&(old, id)),
+                "no-op rekey of id {id}: back-index present but set entry missing"
+            );
             return;
         }
         *slot = new_key;
@@ -137,7 +144,23 @@ impl<K: Ord + Copy> KeyedQueue<K> {
     /// primitive: the engine wants the policy's top-M ranking, and the queue
     /// must look untouched afterwards (selection *peeks*).
     pub fn top_k(&self, k: usize) -> Vec<u32> {
-        self.set.iter().take(k).map(|&(_, id)| id).collect()
+        let mut out = Vec::with_capacity(k.min(self.set.len()));
+        self.top_k_into(k, &mut out);
+        out
+    }
+
+    /// [`KeyedQueue::top_k`] into a caller-owned buffer (appends; does not
+    /// clear) — the zero-alloc variant for the engine's steady-state loop.
+    pub fn top_k_into(&self, k: usize, out: &mut Vec<u32>) {
+        out.extend(self.set.iter().take(k).map(|&(_, id)| id));
+    }
+
+    /// Insert a batch of `(id, key)` entries — the bulk twin of
+    /// [`KeyedQueue::insert`], with the same per-entry double-insert panic.
+    pub fn extend(&mut self, entries: impl IntoIterator<Item = (u32, K)>) {
+        for (id, key) in entries {
+            self.insert(id, key);
+        }
     }
 
     /// Drain every entry whose key is `<= bound`, in key order. This is the
@@ -146,6 +169,13 @@ impl<K: Ord + Copy> KeyedQueue<K> {
     /// infeasible and must move from the EDF-List to the SRPT-List.
     pub fn drain_up_to(&mut self, bound: K) -> Vec<(K, u32)> {
         let mut out = Vec::new();
+        self.drain_up_to_into(bound, &mut out);
+        out
+    }
+
+    /// [`KeyedQueue::drain_up_to`] into a caller-owned buffer (appends; does
+    /// not clear) — the zero-alloc variant for the migration hot path.
+    pub fn drain_up_to_into(&mut self, bound: K, out: &mut Vec<(K, u32)>) {
         while let Some(&(k, id)) = self.set.first() {
             if k > bound {
                 break;
@@ -154,7 +184,6 @@ impl<K: Ord + Copy> KeyedQueue<K> {
             self.key_of[id as usize] = None;
             out.push((k, id));
         }
-        out
     }
 
     /// Iterate entries in key order (ascending).
@@ -244,6 +273,14 @@ impl<K: Ord + Copy> MinTree<K> {
     pub fn set(&mut self, id: u32, key: Option<K>) {
         let p = id as usize;
         if self.keys[p] == key {
+            // The skipped update must already be reflected at the leaf —
+            // a mismatch means a prior update corrupted the tree and the
+            // no-op would mask it.
+            debug_assert_eq!(
+                self.tree[self.n + p],
+                if key.is_some() { id } else { ABSENT },
+                "no-op set of id {id}: leaf disagrees with key table"
+            );
             return;
         }
         self.len = self.len + usize::from(key.is_some()) - usize::from(self.keys[p].is_some());
@@ -289,10 +326,34 @@ impl<K: Ord + Copy> MinTree<K> {
         self.peek().map(|(_, id)| id)
     }
 
+    /// Write a batch of leaves without per-entry winner-path walks, then
+    /// rebuild every internal node bottom-up in O(n) — the bulk twin of
+    /// repeated [`MinTree::set`] calls. With k updates, incremental
+    /// maintenance costs k·O(log n) while this costs O(n) flat, so the
+    /// rebuild wins once `k·log₂ n ≳ n` (the engine's batch crossover).
+    pub fn bulk_build(&mut self, entries: impl IntoIterator<Item = (u32, Option<K>)>) {
+        for (id, key) in entries {
+            let p = id as usize;
+            self.len = self.len + usize::from(key.is_some()) - usize::from(self.keys[p].is_some());
+            self.keys[p] = key;
+            self.tree[self.n + p] = if key.is_some() { id } else { ABSENT };
+        }
+        for i in (1..self.n).rev() {
+            self.tree[i] = self.pick(self.tree[2 * i], self.tree[2 * i + 1]);
+        }
+    }
+
     /// Drain every entry whose key is `<= bound`, in key order — the same
     /// migration primitive as [`KeyedQueue::drain_up_to`].
     pub fn drain_up_to(&mut self, bound: K) -> Vec<(K, u32)> {
         let mut out = Vec::new();
+        self.drain_up_to_into(bound, &mut out);
+        out
+    }
+
+    /// [`MinTree::drain_up_to`] into a caller-owned buffer (appends; does
+    /// not clear) — the zero-alloc variant for the migration hot path.
+    pub fn drain_up_to_into(&mut self, bound: K, out: &mut Vec<(K, u32)>) {
         while let Some((k, id)) = self.peek() {
             if k > bound {
                 break;
@@ -300,7 +361,6 @@ impl<K: Ord + Copy> MinTree<K> {
             self.set(id, None);
             out.push((k, id));
         }
-        out
     }
 }
 
@@ -498,6 +558,70 @@ mod tests {
     }
 
     #[test]
+    fn extend_is_bulk_insert() {
+        let mut q = KeyedQueue::new();
+        q.insert(0, 5u64);
+        q.extend([(2u32, 1u64), (1, 9)]);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some((1, 2)));
+        assert_eq!(q.pop(), Some((5, 0)));
+        assert_eq!(q.pop(), Some((9, 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "inserted twice")]
+    fn extend_panics_on_duplicate() {
+        let mut q = KeyedQueue::new();
+        q.insert(0, 1u64);
+        q.extend([(0u32, 2u64)]);
+    }
+
+    #[test]
+    fn into_variants_append_without_clearing() {
+        let mut q = KeyedQueue::new();
+        for (id, k) in [(0u32, 1u64), (1, 3), (2, 5)] {
+            q.insert(id, k);
+        }
+        let mut ids = vec![99u32];
+        q.top_k_into(2, &mut ids);
+        assert_eq!(ids, vec![99, 0, 1]);
+        let mut drained = vec![(0u64, 77u32)];
+        q.drain_up_to_into(3, &mut drained);
+        assert_eq!(drained, vec![(0, 77), (1, 0), (3, 1)]);
+        assert_eq!(q.len(), 1);
+        let mut t = MinTree::new(4);
+        for (id, k) in [(0u32, 1u64), (1, 3), (2, 5)] {
+            t.set(id, Some(k));
+        }
+        let mut td = vec![(0u64, 77u32)];
+        t.drain_up_to_into(3, &mut td);
+        assert_eq!(td, vec![(0, 77), (1, 0), (3, 1)]);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn min_tree_bulk_build_matches_incremental() {
+        // Non-power-of-two capacity exercises the segment-tree layout.
+        let mut bulk = MinTree::new(5);
+        let mut incr = MinTree::new(5);
+        let batch = [
+            (0u32, Some(9u64)),
+            (3, Some(2)),
+            (1, Some(9)),
+            (4, Some(7)),
+            (3, None), // later entries in a batch win
+            (2, Some(4)),
+        ];
+        bulk.bulk_build(batch);
+        for (id, k) in batch {
+            incr.set(id, k);
+        }
+        assert_eq!(bulk.len(), incr.len());
+        assert_eq!(bulk.peek(), Some((4, 2)));
+        assert_eq!(bulk.drain_up_to(u64::MAX), incr.drain_up_to(u64::MAX));
+    }
+
+    #[test]
     fn min_tree_drain_up_to_takes_exactly_the_prefix() {
         let mut t = MinTree::new(4);
         for (id, k) in [(0u32, 1u64), (1, 3), (2, 5), (3, 7)] {
@@ -575,6 +699,41 @@ mod proptests {
                 prop_assert_eq!(t.len(), q.len());
                 prop_assert_eq!(t.peek(), q.peek());
             }
+        }
+    }
+
+    proptest! {
+        /// `bulk_build` is observationally identical to replaying the same
+        /// batch through incremental `set` calls, at any capacity — the
+        /// engine's crossover switch between the two must be invisible.
+        #[test]
+        fn bulk_build_matches_incremental_sets(
+            cap in 1usize..24,
+            batches in proptest::collection::vec(
+                proptest::collection::vec((0u32..24, 0u8..4, any::<u64>()), 0..16),
+                1..8,
+            ),
+        ) {
+            let mut bulk: MinTree<u64> = MinTree::new(cap);
+            let mut incr: MinTree<u64> = MinTree::new(cap);
+            for batch in batches {
+                // flag 0 = removal; the shim has no `option::of` strategy.
+                let batch: Vec<(u32, Option<u64>)> = batch
+                    .into_iter()
+                    .filter(|&(id, _, _)| (id as usize) < cap)
+                    .map(|(id, flag, k)| (id, (flag != 0).then_some(k)))
+                    .collect();
+                bulk.bulk_build(batch.iter().copied());
+                for &(id, k) in &batch {
+                    incr.set(id, k);
+                }
+                prop_assert_eq!(bulk.len(), incr.len());
+                prop_assert_eq!(bulk.peek(), incr.peek());
+                for id in 0..cap as u32 {
+                    prop_assert_eq!(bulk.key_of(id), incr.key_of(id));
+                }
+            }
+            prop_assert_eq!(bulk.drain_up_to(u64::MAX), incr.drain_up_to(u64::MAX));
         }
     }
 

@@ -223,6 +223,21 @@ impl TxnTable {
     /// Dependents that have not yet arrived simply have their `blocked_on`
     /// count decremented; they will be ready upon arrival.
     pub fn complete(&mut self, t: TxnId, now: SimTime, final_slice: SimDuration) -> Vec<TxnId> {
+        let mut released = Vec::new();
+        self.complete_into(t, now, final_slice, &mut released);
+        released
+    }
+
+    /// [`TxnTable::complete`] with the released dependents appended to a
+    /// caller-owned buffer (not cleared) — the zero-alloc variant for the
+    /// engine's steady-state loop.
+    pub fn complete_into(
+        &mut self,
+        t: TxnId,
+        now: SimTime,
+        final_slice: SimDuration,
+        released: &mut Vec<TxnId>,
+    ) {
         let rem = self.accrue_service(t, final_slice);
         assert!(rem.is_zero(), "{t} completed with {rem} remaining");
         {
@@ -232,9 +247,10 @@ impl TxnTable {
         }
         self.completed += 1;
 
-        let succs: Vec<TxnId> = self.dag.succs(t).to_vec();
-        let mut released = Vec::new();
-        for s in succs {
+        // Index loop rather than iterating `succs(t)` directly: the state
+        // updates need `&mut self` while the successor list borrows the DAG.
+        for i in 0..self.dag.succs(t).len() {
+            let s = self.dag.succs(t)[i];
             let st = &mut self.states[s.index()];
             assert!(
                 st.blocked_on > 0,
@@ -247,7 +263,6 @@ impl TxnTable {
                 released.push(s);
             }
         }
-        released
     }
 
     /// The outcome of a completed transaction, for metrics.

@@ -24,7 +24,7 @@
 //!   event is still in the future is unknown to an online scheduler, so it
 //!   cannot contribute its deadline or weight yet.
 
-use crate::policy::Ratio;
+use crate::policy::{LifecycleEvent, Ratio};
 use crate::table::TxnTable;
 use crate::time::{SimDuration, SimTime, Slack};
 use crate::txn::{TxnId, TxnPhase, Weight};
@@ -287,6 +287,25 @@ impl<T: Merge> SegTree<T> {
         }
     }
 
+    /// Write a leaf *without* re-merging its path — must be followed by a
+    /// [`SegTree::rebuild`] before any query, which is why bulk callers go
+    /// through [`WorkflowIndex::apply_batch`] rather than calling this.
+    #[inline]
+    fn set_leaf(&mut self, pos: u32, v: Option<T>) {
+        self.nodes[self.n + pos as usize] = v;
+    }
+
+    /// Re-merge every internal node bottom-up in O(n) — the bulk twin of
+    /// k per-leaf `set` walks (k·O(log n)), profitable once `k·log₂ n ≳ n`.
+    fn rebuild(&mut self) {
+        for i in (1..self.n).rev() {
+            self.nodes[i] = match (self.nodes[2 * i], self.nodes[2 * i + 1]) {
+                (Some(a), Some(b)) => Some(T::merge(a, b)),
+                (a, b) => a.or(b),
+            };
+        }
+    }
+
     #[inline]
     fn leaf(&self, pos: u32) -> Option<T> {
         self.nodes[self.n + pos as usize]
@@ -417,6 +436,24 @@ pub struct WorkflowIndex {
     rules: Vec<HeadRule>,
     /// Ready frontier of each workflow, all head rules fused per node.
     fronts: Vec<SegTree<FrontNode>>,
+    /// Per-workflow maintenance mode for the `apply_batch` in flight
+    /// (`MODE_IDLE` between calls): scratch, so batches allocate nothing.
+    batch_agg_mode: Vec<u32>,
+    batch_front_mode: Vec<u32>,
+}
+
+/// `apply_batch` per-tree modes: untouched / incremental path walks / raw
+/// leaf writes followed by one full rebuild.
+const MODE_IDLE: u32 = 0;
+const MODE_BULK: u32 = u32::MAX;
+
+/// Is one O(len) rebuild cheaper than `touches` O(log len) path walks?
+/// Uses `floor(log2) + 1` as the walk length and a 2× margin for the
+/// rebuild's cold sweep over untouched leaves.
+#[inline]
+pub(crate) fn bulk_profitable(touches: u32, len: usize) -> bool {
+    let walk = usize::BITS - (len | 1).leading_zeros();
+    (touches as usize) * walk as usize >= 2 * len
 }
 
 impl WorkflowIndex {
@@ -447,6 +484,8 @@ impl WorkflowIndex {
             aggs: wfs.members.iter().map(|m| SegTree::new(m.len())).collect(),
             fronts: wfs.members.iter().map(|m| SegTree::new(m.len())).collect(),
             rules: dedup,
+            batch_agg_mode: vec![MODE_IDLE; wfs.len()],
+            batch_front_mode: vec![MODE_IDLE; wfs.len()],
         }
     }
 
@@ -517,6 +556,102 @@ impl WorkflowIndex {
             let pos = self.pos_of[t.index()][i];
             self.aggs[wi].set(pos, None);
             self.fronts[wi].set(pos, None);
+        }
+    }
+
+    /// Apply one scheduling point's whole event batch at once, appending
+    /// every touched workflow to `touched` (first-touch order; caller
+    /// clears). Equivalent to replaying the per-event hooks in `events`
+    /// order — the leaf state after the last event for a member depends only
+    /// on the final table state, which is what the batch reads — but each
+    /// tree picks between incremental path walks and raw leaf writes plus
+    /// one O(len) rebuild, whichever the touch count makes cheaper.
+    /// Allocation-free: the mode markers are index-owned scratch.
+    pub fn apply_batch(
+        &mut self,
+        events: &[LifecycleEvent],
+        wfs: &WorkflowSet,
+        table: &TxnTable,
+        touched: &mut Vec<WfId>,
+    ) {
+        let base = touched.len();
+        // Pass 1: count leaf writes per workflow per tree (a blocked arrival
+        // touches only the aggregate tree).
+        for &ev in events {
+            let t = ev.txn();
+            let front = !matches!(ev, LifecycleEvent::BlockedArrival(_));
+            for &w in wfs.workflows_of(t) {
+                let wi = w.index();
+                if self.batch_agg_mode[wi] == MODE_IDLE && self.batch_front_mode[wi] == MODE_IDLE {
+                    touched.push(w);
+                }
+                self.batch_agg_mode[wi] += 1;
+                if front {
+                    self.batch_front_mode[wi] += 1;
+                }
+            }
+        }
+        // Resolve the counts into modes via the rebuild crossover.
+        for &w in &touched[base..] {
+            let wi = w.index();
+            let len = wfs.members(w).len();
+            for mode in [&mut self.batch_agg_mode[wi], &mut self.batch_front_mode[wi]] {
+                if *mode != MODE_IDLE && bulk_profitable(*mode, len) {
+                    *mode = MODE_BULK;
+                }
+            }
+        }
+        // Pass 2: write leaves in event order (later events win, matching
+        // the hook replay).
+        for &ev in events {
+            let t = ev.txn();
+            for i in 0..wfs.workflows_of(t).len() {
+                let wi = wfs.workflows_of(t)[i].index();
+                let pos = self.pos_of[t.index()][i];
+                let (agg, front) = match ev {
+                    LifecycleEvent::Complete(_) => (None, Some(None)),
+                    LifecycleEvent::Ready(_) | LifecycleEvent::Requeue(_) => (
+                        Some(Agg {
+                            dl: table.deadline(t).ticks(),
+                            rem: table.remaining(t).ticks(),
+                            w: table.weight(t).get(),
+                        }),
+                        Some(Some(FrontNode::leaf(pos, table, t))),
+                    ),
+                    LifecycleEvent::BlockedArrival(_) => (
+                        Some(Agg {
+                            dl: table.deadline(t).ticks(),
+                            rem: table.remaining(t).ticks(),
+                            w: table.weight(t).get(),
+                        }),
+                        None,
+                    ),
+                };
+                if self.batch_agg_mode[wi] == MODE_BULK {
+                    self.aggs[wi].set_leaf(pos, agg);
+                } else {
+                    self.aggs[wi].set(pos, agg);
+                }
+                if let Some(front) = front {
+                    if self.batch_front_mode[wi] == MODE_BULK {
+                        self.fronts[wi].set_leaf(pos, front);
+                    } else {
+                        self.fronts[wi].set(pos, front);
+                    }
+                }
+            }
+        }
+        // Rebuild the bulk-mode trees and reset the scratch.
+        for &w in &touched[base..] {
+            let wi = w.index();
+            if self.batch_agg_mode[wi] == MODE_BULK {
+                self.aggs[wi].rebuild();
+            }
+            if self.batch_front_mode[wi] == MODE_BULK {
+                self.fronts[wi].rebuild();
+            }
+            self.batch_agg_mode[wi] = MODE_IDLE;
+            self.batch_front_mode[wi] = MODE_IDLE;
         }
     }
 
@@ -973,6 +1108,72 @@ mod proptests {
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(96))]
+        /// `apply_batch` over random epoch widths agrees with the naive
+        /// rescans (and hence with the per-event hooks, which the test
+        /// above pins) at every epoch boundary — covering both the
+        /// incremental and the bulk-rebuild sides of the crossover.
+        #[test]
+        fn apply_batch_matches_per_event_hooks(
+            specs in batch_strategy(14),
+            script in prop::collection::vec((any::<prop::sample::Index>(), any::<prop::sample::Index>(), 0u8..4), 0..80),
+            widths in prop::collection::vec(1usize..12, 1..40),
+        ) {
+            let mut tbl = TxnTable::new(specs).expect("acyclic by construction");
+            let wfs = WorkflowSet::build(&tbl);
+            let mut idx = WorkflowIndex::with_all_rules(&wfs);
+            let mut pending: Vec<TxnId> = tbl.ids().collect();
+            let mut now = 0u64;
+            let mut events: Vec<LifecycleEvent> = Vec::new();
+            let mut touched: Vec<WfId> = Vec::new();
+            let mut widths = widths.into_iter().cycle();
+            let mut width = widths.next().unwrap();
+            for (pick, amount, action) in script {
+                now += 1;
+                let ready = tbl.ready_ids();
+                let arrive = !pending.is_empty() && (action == 0 || ready.is_empty());
+                if arrive {
+                    let t = pending.swap_remove(pick.index(pending.len()));
+                    if tbl.arrive(t, at(now)) {
+                        events.push(LifecycleEvent::Ready(t));
+                    } else {
+                        events.push(LifecycleEvent::BlockedArrival(t));
+                    }
+                } else if let Some(&r) = ready.get(pick.index(ready.len().max(1))) {
+                    let rem = tbl.remaining(r);
+                    tbl.start_running(r);
+                    if action == 1 && rem.ticks() > 1 {
+                        let served = amount.index(rem.ticks() as usize) as u64;
+                        tbl.pause(r, SimDuration::from_ticks(served));
+                        events.push(LifecycleEvent::Requeue(r));
+                    } else {
+                        let released = tbl.complete(r, at(now), rem);
+                        events.push(LifecycleEvent::Complete(r));
+                        for d in released {
+                            events.push(LifecycleEvent::Ready(d));
+                        }
+                    }
+                } else {
+                    continue;
+                }
+                if events.len() >= width {
+                    touched.clear();
+                    idx.apply_batch(&events, &wfs, &tbl, &mut touched);
+                    // Every workflow of every event member was reported.
+                    for ev in &events {
+                        for w in wfs.workflows_of(ev.txn()) {
+                            prop_assert!(touched.contains(w));
+                        }
+                    }
+                    events.clear();
+                    check_agreement(&idx, &wfs, &tbl);
+                    width = widths.next().unwrap();
+                }
+            }
+            touched.clear();
+            idx.apply_batch(&events, &wfs, &tbl, &mut touched);
+            check_agreement(&idx, &wfs, &tbl);
+        }
+
         #[test]
         fn index_matches_naive_rescans(
             specs in batch_strategy(14),

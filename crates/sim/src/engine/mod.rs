@@ -48,12 +48,12 @@ pub mod pump;
 pub use pool::{Running, ServerPool};
 pub use pump::EventPump;
 
-use crate::stats::{BacklogSample, BacklogSeries, RunStats};
+use crate::stats::{BacklogSample, BacklogSeries, EpochStats, RunStats};
 use crate::trace::{Trace, TraceEvent};
 use asets_core::dag::DagError;
 use asets_core::metrics::MetricsSummary;
 use asets_core::obs::{CompletionInfo, EnginePhase, SharedObserver};
-use asets_core::policy::Scheduler;
+use asets_core::policy::{LifecycleEvent, Scheduler};
 use asets_core::table::TxnTable;
 use asets_core::time::SimDuration;
 use asets_core::time::SimTime;
@@ -74,6 +74,9 @@ pub struct SimResult {
     pub trace: Option<Trace>,
     /// Backlog time series, when sampling was requested.
     pub backlog: Option<BacklogSeries>,
+    /// Epoch coalescing telemetry (identical scheduling points in both
+    /// engine modes; see [`EpochStats`]).
+    pub epochs: EpochStats,
 }
 
 /// A discrete-event simulation of one transaction batch under one policy,
@@ -87,11 +90,16 @@ pub struct Engine<S> {
     trace: Option<Trace>,
     backlog: Option<(SimDuration, BacklogSeries)>,
     obs: Option<SharedObserver>,
+    batched: bool,
+    epoch: EpochStats,
     // Reused per-point scratch (no allocations on the hot path).
     choices: Vec<TxnId>,
     paused: Vec<(usize, TxnId)>,
     paused_on: Vec<Option<TxnId>>,
     taken: Vec<bool>,
+    events: Vec<LifecycleEvent>,
+    due: Vec<TxnId>,
+    released: Vec<TxnId>,
 }
 
 impl<S: Scheduler> Engine<S> {
@@ -108,10 +116,15 @@ impl<S: Scheduler> Engine<S> {
             trace: None,
             backlog: None,
             obs: None,
+            batched: false,
+            epoch: EpochStats::default(),
             choices: Vec::new(),
             paused: Vec::new(),
             paused_on: Vec::new(),
             taken: Vec::new(),
+            events: Vec::new(),
+            due: Vec::new(),
+            released: Vec::new(),
         })
     }
 
@@ -122,6 +135,22 @@ impl<S: Scheduler> Engine<S> {
     /// If `servers == 0`.
     pub fn with_servers(mut self, servers: usize) -> Self {
         self.pool = ServerPool::new(servers);
+        self
+    }
+
+    /// Process scheduling points as *epochs*: mutate the table for the
+    /// whole same-instant batch first, then deliver every lifecycle event
+    /// to the policy in one [`Scheduler::on_batch`] call, letting it
+    /// coalesce index maintenance across the batch. Outcomes, stats and
+    /// traces are bit-identical to the per-event mode — the same events are
+    /// delivered in the same order, only hook timing is deferred — which
+    /// `tests/batched_determinism.rs` pins across every policy kind.
+    ///
+    /// Ignored while an observer is attached: observers contract to hear
+    /// hooks interleaved with table mutations, so the engine falls back to
+    /// the per-event arm rather than change what provenance records say.
+    pub fn with_batching(mut self) -> Self {
+        self.batched = true;
         self
     }
 
@@ -172,22 +201,7 @@ impl<S: Scheduler> Engine<S> {
     /// ready) or selects a non-ready transaction — both are policy bugs,
     /// not workload conditions, so they fail loudly.
     pub fn run(mut self) -> SimResult {
-        while !self.table.all_completed() {
-            let completion = self.pool.earliest_completion(&self.table);
-            let now = self.pump.now();
-            let wakeup = self.policy.next_wakeup(now).filter(|&w| w > now);
-            let Some((t, _kind)) = self.pump.next_point(completion, wakeup) else {
-                panic!(
-                    "simulation stalled at {} with {}/{} completed: policy `{}` \
-                     left ready transactions unscheduled",
-                    self.pump.now(),
-                    self.table.completed_count(),
-                    self.table.len(),
-                    self.policy.name()
-                );
-            };
-            self.step_to(t);
-        }
+        while self.step() {}
         debug_assert!(self.pump.exhausted());
         let outcomes = self.table.outcomes();
         SimResult {
@@ -196,11 +210,45 @@ impl<S: Scheduler> Engine<S> {
             stats: self.stats,
             trace: self.trace,
             backlog: self.backlog.map(|(_, series)| series),
+            epochs: self.epoch,
         }
+    }
+
+    /// Process the next scheduling point; `false` once every transaction
+    /// has completed. [`Engine::run`] is `while self.step() {}` plus the
+    /// final report — stepping manually lets tests meter a warmed-up steady
+    /// state (the zero-allocation suite drives the engine this way).
+    ///
+    /// # Panics
+    /// As [`Engine::run`]: a stalled policy is a bug, not a workload
+    /// condition.
+    pub fn step(&mut self) -> bool {
+        if self.table.all_completed() {
+            return false;
+        }
+        let completion = self.pool.earliest_completion(&self.table);
+        let now = self.pump.now();
+        let wakeup = self.policy.next_wakeup(now).filter(|&w| w > now);
+        let Some((t, _kind)) = self.pump.next_point(completion, wakeup) else {
+            panic!(
+                "simulation stalled at {} with {}/{} completed: policy `{}` \
+                 left ready transactions unscheduled",
+                self.pump.now(),
+                self.table.completed_count(),
+                self.table.len(),
+                self.policy.name()
+            );
+        };
+        self.step_to(t);
+        true
     }
 
     /// Process the scheduling point at instant `t`.
     fn step_to(&mut self, t: SimTime) {
+        if self.batched && self.obs.is_none() {
+            self.step_to_batched(t);
+            return;
+        }
         let gap = self.pump.advance(t);
         // Self-profiling clock: one Instant per phase boundary, and only
         // when an observer is attached — the disabled path takes no reads.
@@ -209,6 +257,7 @@ impl<S: Scheduler> Engine<S> {
         // 1. Settle every server, in index order. Completions fire their
         // policy events immediately; survivors are paused (service credited)
         // and remembered with their server for affinity resume.
+        let mut width = 0u32;
         self.paused.clear();
         for s in 0..self.pool.len() {
             match self.pool.take(s) {
@@ -249,15 +298,18 @@ impl<S: Scheduler> Engine<S> {
                             obs.borrow_mut().completed(t, r.txn, info);
                         }
                         self.policy.on_complete(r.txn, &self.table, t);
+                        width += 1;
                         for d in released {
                             if let Some(obs) = &self.obs {
                                 obs.borrow_mut().became_ready(t, d);
                             }
                             self.policy.on_ready(d, &self.table, t);
+                            width += 1;
                         }
                     } else {
                         self.table.pause(r.txn, served);
                         self.policy.on_requeue(r.txn, &self.table, t);
+                        width += 1;
                         self.paused.push((s, r.txn));
                     }
                 }
@@ -267,8 +319,12 @@ impl<S: Scheduler> Engine<S> {
             }
         }
 
-        // 2. Deliver arrivals due now.
-        for id in self.pump.take_due() {
+        // 2. Deliver arrivals due now (through the reused scratch buffer —
+        // no per-point allocation).
+        self.due.clear();
+        self.pump.take_due_into(&mut self.due);
+        for i in 0..self.due.len() {
+            let id = self.due[i];
             let ready = self.table.arrive(id, t);
             self.record(TraceEvent::Arrived {
                 at: t,
@@ -283,17 +339,97 @@ impl<S: Scheduler> Engine<S> {
             } else {
                 self.policy.on_blocked_arrival(id, &self.table, t);
             }
+            width += 1;
         }
 
         // Settle + arrivals is the policy's index-maintenance window.
         let _ = self.emit_phase(t, EnginePhase::Maintain, phase_started);
+        self.epoch.note(width);
 
         // 3. Sample backlog if due.
         self.sample_backlog(t);
 
-        // 4. Select and dispatch. Decision latency is only measured when an
-        // observer is attached, keeping the unobserved hot path free of
-        // clock reads.
+        self.select_and_dispatch(t);
+    }
+
+    /// One epoch of the batched mode: identical table mutations, traces and
+    /// statistics as the per-event arm, but every policy hook of the
+    /// instant is deferred into one [`Scheduler::on_batch`] call *after*
+    /// the table has settled — the equivalence argument lives on that
+    /// method. Only runs unobserved (`step_to` falls back otherwise), so
+    /// the observer plumbing of the per-event arm has no counterpart here.
+    fn step_to_batched(&mut self, t: SimTime) {
+        let gap = self.pump.advance(t);
+
+        // 1. Settle every server; stash lifecycle events instead of firing
+        // hooks. `complete_into` reuses the released-dependents scratch.
+        self.paused.clear();
+        self.events.clear();
+        for s in 0..self.pool.len() {
+            match self.pool.take(s) {
+                Some(r) => {
+                    let served = t - r.since;
+                    self.stats.busy += served;
+                    let finishing = served == self.table.remaining(r.txn);
+                    if finishing {
+                        self.released.clear();
+                        self.table
+                            .complete_into(r.txn, t, served, &mut self.released);
+                        self.stats.completed += 1;
+                        self.stats.makespan = t;
+                        self.record(TraceEvent::Completed {
+                            at: t,
+                            txn: r.txn,
+                            met_deadline: t <= self.table.deadline(r.txn),
+                        });
+                        self.events.push(LifecycleEvent::Complete(r.txn));
+                        for i in 0..self.released.len() {
+                            self.events.push(LifecycleEvent::Ready(self.released[i]));
+                        }
+                    } else {
+                        self.table.pause(r.txn, served);
+                        self.events.push(LifecycleEvent::Requeue(r.txn));
+                        self.paused.push((s, r.txn));
+                    }
+                }
+                None => {
+                    self.stats.idle += gap;
+                }
+            }
+        }
+
+        // 2. Deliver arrivals due now.
+        self.due.clear();
+        self.pump.take_due_into(&mut self.due);
+        for i in 0..self.due.len() {
+            let id = self.due[i];
+            let ready = self.table.arrive(id, t);
+            self.record(TraceEvent::Arrived {
+                at: t,
+                txn: id,
+                ready,
+            });
+            self.events.push(if ready {
+                LifecycleEvent::Ready(id)
+            } else {
+                LifecycleEvent::BlockedArrival(id)
+            });
+        }
+
+        // 3. One maintain pass over the whole epoch, in the exact order the
+        // per-event arm would have fired the hooks.
+        self.policy.on_batch(&self.events, &self.table, t);
+        self.epoch.note(self.events.len() as u32);
+
+        self.sample_backlog(t);
+        self.select_and_dispatch(t);
+    }
+
+    /// Select and dispatch at instant `t` — phase 4 of a scheduling point,
+    /// shared verbatim by both engine arms. Decision latency is only
+    /// measured when an observer is attached, keeping the unobserved hot
+    /// path free of clock reads.
+    fn select_and_dispatch(&mut self, t: SimTime) {
         self.stats.scheduling_points += 1;
         let slots = self.pool.len();
         let started = self.obs.as_ref().map(|_| Instant::now());

@@ -64,6 +64,11 @@ impl EventPump {
         self.arrivals.pop_due(self.now)
     }
 
+    /// [`EventPump::take_due`] into a caller-owned buffer (appends).
+    pub fn take_due_into(&mut self, due: &mut Vec<TxnId>) {
+        self.arrivals.pop_due_into(self.now, due);
+    }
+
     /// True iff every arrival has been delivered.
     pub fn exhausted(&self) -> bool {
         self.arrivals.exhausted()

@@ -57,6 +57,13 @@ impl ArrivalSchedule {
     /// Deliver every arrival at or before `now`, in (time, id) order.
     pub fn pop_due(&mut self, now: SimTime) -> Vec<TxnId> {
         let mut due = Vec::new();
+        self.pop_due_into(now, &mut due);
+        due
+    }
+
+    /// [`ArrivalSchedule::pop_due`] into a caller-owned buffer (appends),
+    /// so the engine's steady state can reuse one allocation.
+    pub fn pop_due_into(&mut self, now: SimTime, due: &mut Vec<TxnId>) {
         while let Some(&(t, id)) = self.order.get(self.next) {
             if t > now {
                 break;
@@ -64,7 +71,6 @@ impl ArrivalSchedule {
             due.push(id);
             self.next += 1;
         }
-        due
     }
 
     /// Number of arrivals not yet delivered.

@@ -46,7 +46,9 @@ pub mod testutil;
 pub mod trace;
 
 pub use engine::{Engine, ServerPool, SimResult};
-pub use runner::{compare_policies, simulate, simulate_observed, simulate_traced, simulate_with};
+pub use runner::{
+    compare_policies, simulate, simulate_batched, simulate_observed, simulate_traced, simulate_with,
+};
 pub use sharded::{ShardRun, ShardedResult, ShardedRuntime};
-pub use stats::{BacklogSample, BacklogSeries, RunStats};
+pub use stats::{BacklogSample, BacklogSeries, EpochStats, RunStats};
 pub use trace::{Trace, TraceEvent};

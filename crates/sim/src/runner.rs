@@ -33,6 +33,14 @@ pub fn simulate_with<S: Scheduler>(specs: Vec<TxnSpec>, policy: S) -> Result<Sim
     Ok(Engine::new(specs, policy)?.run())
 }
 
+/// [`simulate`] in epoch-batched mode (see [`Engine::with_batching`]):
+/// bit-identical outcomes/stats, one coalesced maintain pass per instant.
+pub fn simulate_batched(specs: Vec<TxnSpec>, kind: PolicyKind) -> Result<SimResult, DagError> {
+    let table = TxnTable::new(specs.clone())?;
+    let policy = kind.build(&table);
+    Ok(Engine::new(specs, policy)?.with_batching().run())
+}
+
 /// Run `specs` under `kind` with `obs` attached to both the engine (trace
 /// events, scheduling-point latency) and the policy (decision/migration
 /// provenance). Trace recording is enabled too, so callers can cross-check

@@ -25,7 +25,7 @@
 
 use crate::engine::{Engine, SimResult};
 use crate::stats::BacklogSeries;
-use crate::stats::RunStats;
+use crate::stats::{EpochStats, RunStats};
 use crate::trace::{Trace, TraceEvent};
 use asets_core::dag::{DagError, DepDag};
 use asets_core::metrics::MetricsSummary;
@@ -93,6 +93,7 @@ pub struct ShardedRuntime {
     servers: usize,
     trace: bool,
     backlog: Option<SimDuration>,
+    batched: bool,
 }
 
 impl ShardedRuntime {
@@ -106,6 +107,7 @@ impl ShardedRuntime {
             servers: 1,
             trace: false,
             backlog: None,
+            batched: false,
         }
     }
 
@@ -126,6 +128,14 @@ impl ShardedRuntime {
     pub fn servers(mut self, m: usize) -> ShardedRuntime {
         assert!(m >= 1, "need at least one server per shard");
         self.servers = m;
+        self
+    }
+
+    /// Run every shard engine in epoch-batched mode (see
+    /// [`Engine::with_batching`]); bit-identical results, coalesced policy
+    /// maintenance. Ignored on observed runs, exactly as in the engine.
+    pub fn batched(mut self, on: bool) -> ShardedRuntime {
+        self.batched = on;
         self
     }
 
@@ -176,10 +186,15 @@ impl ShardedRuntime {
         // every dependency inside its shard).
         DepDag::build(&self.specs)?;
         let n = self.specs.len();
-        let servers = self.servers;
         let kind = self.kind;
         let trace = self.trace;
         let backlog = self.backlog;
+        let knobs = EngineKnobs {
+            servers: self.servers,
+            trace,
+            backlog,
+            batched: self.batched,
+        };
 
         if self.shards == 1 {
             // Inline fast path: the plan is the identity, so skip the
@@ -187,15 +202,7 @@ impl ShardedRuntime {
             // batch moves into `run_shard` unchanged — the same single spec
             // clone as `runner::simulate`, which keeps this path within
             // noise of the plain engine (the shard_gate bench enforces it).
-            let (result, obs) = run_shard(
-                self.specs,
-                kind,
-                servers,
-                trace,
-                backlog,
-                |table| make(0, table),
-                attach,
-            );
+            let (result, obs) = run_shard(self.specs, kind, knobs, |table| make(0, table), attach);
             return Ok((
                 ShardedResult {
                     merged: result.clone(),
@@ -227,15 +234,7 @@ impl ShardedRuntime {
                 .map(|(i, specs)| {
                     let make = &make;
                     scope.spawn(move || {
-                        run_shard(
-                            specs,
-                            kind,
-                            servers,
-                            trace,
-                            backlog,
-                            |table| make(i, table),
-                            attach,
-                        )
+                        run_shard(specs, kind, knobs, |table| make(i, table), attach)
                     })
                 })
                 .collect();
@@ -273,6 +272,15 @@ impl ShardedRuntime {
 struct NoopObserver;
 impl Observer for NoopObserver {}
 
+/// Engine-construction knobs forwarded unchanged to every shard engine.
+#[derive(Clone, Copy)]
+struct EngineKnobs {
+    servers: usize,
+    trace: bool,
+    backlog: Option<SimDuration>,
+    batched: bool,
+}
+
 /// Run one shard's specs to completion on the current thread. Mirrors
 /// `runner::simulate` construction exactly (table built from the slice,
 /// policy derived from that table) so the K=1 path is bit-identical. The
@@ -281,9 +289,7 @@ impl Observer for NoopObserver {}
 fn run_shard<O: Observer + 'static>(
     specs: Vec<TxnSpec>,
     kind: PolicyKind,
-    servers: usize,
-    trace: bool,
-    backlog: Option<SimDuration>,
+    knobs: EngineKnobs,
     make: impl FnOnce(&TxnTable) -> O,
     attach: bool,
 ) -> (SimResult, O) {
@@ -292,11 +298,14 @@ fn run_shard<O: Observer + 'static>(
     let policy = kind.build(&table);
     let mut engine = Engine::new(specs, policy)
         .expect("validated on the global batch")
-        .with_servers(servers);
-    if trace {
+        .with_servers(knobs.servers);
+    if knobs.batched {
+        engine = engine.with_batching();
+    }
+    if knobs.trace {
         engine = engine.with_trace();
     }
-    if let Some(interval) = backlog {
+    if let Some(interval) = knobs.backlog {
         engine = engine.with_backlog_sampling(interval);
     }
     if attach {
@@ -345,6 +354,8 @@ fn merge(shards: &[ShardRun], trace: bool, backlog: bool) -> SimResult {
     let summary = MetricsSummary::from_outcomes(&outcomes);
     let stats_parts: Vec<RunStats> = shards.iter().map(|s| s.result.stats.clone()).collect();
     let stats = RunStats::merge(&stats_parts);
+    let epoch_parts: Vec<EpochStats> = shards.iter().map(|s| s.result.epochs).collect();
+    let epochs = EpochStats::merge(&epoch_parts);
     let trace = trace.then(|| merge_traces(shards));
     let backlog = backlog.then(|| {
         let parts: Vec<BacklogSeries> = shards
@@ -359,6 +370,7 @@ fn merge(shards: &[ShardRun], trace: bool, backlog: bool) -> SimResult {
         stats,
         trace,
         backlog,
+        epochs,
     }
 }
 

@@ -152,6 +152,44 @@ impl RunStats {
     }
 }
 
+/// Epoch mechanics of a run — how much same-instant work each scheduling
+/// point coalesced. Kept *outside* [`RunStats`] deliberately: the batched
+/// and per-event engine arms must produce bit-identical `RunStats` (the
+/// determinism suites compare them), while epoch telemetry is allowed to
+/// describe the mode that actually ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct EpochStats {
+    /// Epochs processed — one per scheduling point in either engine mode.
+    pub epochs: u64,
+    /// Lifecycle events (completions, readies, requeues, blocked arrivals)
+    /// delivered across all epochs.
+    pub events: u64,
+    /// Largest number of lifecycle events coalesced into a single epoch.
+    pub max_epoch_width: u32,
+}
+
+impl EpochStats {
+    /// Fold one epoch of `width` events into the totals.
+    #[inline]
+    pub fn note(&mut self, width: u32) {
+        self.epochs += 1;
+        self.events += width as u64;
+        self.max_epoch_width = self.max_epoch_width.max(width);
+    }
+
+    /// Merge per-shard epoch stats: counters add, the width peak is the
+    /// max across parts (shards coalesce their own instants).
+    pub fn merge(parts: &[EpochStats]) -> EpochStats {
+        let mut acc = EpochStats::default();
+        for p in parts {
+            acc.epochs += p.epochs;
+            acc.events += p.events;
+            acc.max_epoch_width = acc.max_epoch_width.max(p.max_epoch_width);
+        }
+        acc
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

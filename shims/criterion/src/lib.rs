@@ -319,13 +319,52 @@ impl From<String> for BenchmarkId {
     }
 }
 
+/// Best-effort provenance for the summary artifact: which commit, when,
+/// and on which host the numbers were taken. Every field degrades to
+/// `"unknown"` rather than failing the export — a bench run on a detached
+/// checkout without git still writes a valid summary.
+fn provenance() -> (String, String, String) {
+    let git_sha = std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    let date_unix = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs().to_string())
+        .unwrap_or_else(|_| "unknown".to_string());
+    let host = std::env::var("HOSTNAME")
+        .ok()
+        .filter(|h| !h.is_empty())
+        .or_else(|| {
+            std::process::Command::new("uname")
+                .arg("-n")
+                .output()
+                .ok()
+                .filter(|o| o.status.success())
+                .and_then(|o| String::from_utf8(o.stdout).ok())
+                .map(|s| s.trim().to_string())
+                .filter(|h| !h.is_empty())
+        })
+        .unwrap_or_else(|| "unknown".to_string());
+    (git_sha, date_unix, host)
+}
+
 /// Called by `criterion_main!` after all groups ran: print nothing further,
 /// write the JSON summary artifact.
 pub fn write_summary(bench_crate: &str, records: &[BenchRecord]) {
     let path =
         std::env::var("BENCH_SUMMARY").unwrap_or_else(|_| format!("BENCH_{bench_crate}.json"));
+    let (git_sha, date_unix, host) = provenance();
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"bench\": \"{}\",\n", escape(bench_crate)));
+    out.push_str(&format!("  \"git_sha\": \"{}\",\n", escape(&git_sha)));
+    out.push_str(&format!("  \"date_unix\": \"{}\",\n", escape(&date_unix)));
+    out.push_str(&format!("  \"host\": \"{}\",\n", escape(&host)));
     out.push_str("  \"results\": [\n");
     for (i, r) in records.iter().enumerate() {
         out.push_str(&format!(

@@ -1,0 +1,249 @@
+//! Bit-identity oracle for the epoch-batched engine mode.
+//!
+//! `Engine::with_batching` defers every policy hook of a scheduling point
+//! into one `on_batch` call after the table has settled. That is an
+//! optimization of *when* maintenance runs, not of *what* is decided: for
+//! every policy kind, at every pool size and shard count, outcomes (exact
+//! finish ticks), run statistics, traces and epoch telemetry must equal
+//! the per-event engine bit for bit. These tests are the contract that
+//! lets the batched mode be the default in benchmarks without a separate
+//! truth baseline.
+
+use asets_core::prelude::*;
+use asets_sim::{Engine, ShardedRuntime, SimResult};
+use proptest::prelude::*;
+
+/// A random dependent, weighted workload (the shard-determinism strategy).
+fn workload_strategy(max_n: usize) -> impl Strategy<Value = Vec<TxnSpec>> {
+    proptest::collection::vec(
+        (
+            0u64..60, // arrival
+            1u64..20, // length
+            0u64..40, // extra slack beyond length
+            1u32..10, // weight
+            proptest::collection::vec(any::<prop::sample::Index>(), 0..3),
+        ),
+        1..max_n,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .enumerate()
+            .map(|(i, (arr, len, slack, w, deps))| {
+                let arrival = SimTime::from_units_int(arr);
+                let length = SimDuration::from_units_int(len);
+                let deadline = arrival + length + SimDuration::from_units_int(slack);
+                let mut dep_ids: Vec<TxnId> = if i == 0 {
+                    Vec::new()
+                } else {
+                    deps.into_iter()
+                        .map(|idx| TxnId(idx.index(i) as u32))
+                        .collect()
+                };
+                dep_ids.sort_unstable();
+                dep_ids.dedup();
+                TxnSpec {
+                    arrival,
+                    deadline,
+                    length,
+                    weight: Weight(w),
+                    deps: dep_ids,
+                }
+            })
+            .collect::<Vec<_>>()
+    })
+}
+
+/// Every policy kind the factory can build, including both impact rules
+/// and both balance-aware activation modes.
+fn all_kinds() -> Vec<PolicyKind> {
+    vec![
+        PolicyKind::Fcfs,
+        PolicyKind::Edf,
+        PolicyKind::Srpt,
+        PolicyKind::LeastSlack,
+        PolicyKind::Hdf,
+        PolicyKind::Asets,
+        PolicyKind::Mix { gamma: 2.0 },
+        PolicyKind::Hvf,
+        PolicyKind::LoadSwitch {
+            threshold: 0.75,
+            window: 10.0,
+        },
+        PolicyKind::Ready,
+        PolicyKind::asets_star(),
+        PolicyKind::AsetsStar {
+            impact: ImpactRule::Symmetric,
+        },
+        PolicyKind::BalanceAware {
+            impact: ImpactRule::Paper,
+            activation: ActivationMode::time_rate(0.01),
+        },
+        PolicyKind::BalanceAware {
+            impact: ImpactRule::Paper,
+            activation: ActivationMode::count_rate(0.1),
+        },
+    ]
+}
+
+/// Run `specs` under `kind` on an M-server pool with tracing, in either
+/// engine mode.
+fn run_engine(specs: &[TxnSpec], kind: PolicyKind, servers: usize, batched: bool) -> SimResult {
+    let table = TxnTable::new(specs.to_vec()).expect("acyclic");
+    let policy = kind.build(&table);
+    let mut engine = Engine::new(specs.to_vec(), policy)
+        .expect("acyclic")
+        .with_servers(servers)
+        .with_trace();
+    if batched {
+        engine = engine.with_batching();
+    }
+    engine.run()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The tentpole contract: batched == per-event, bit for bit, for every
+    /// policy kind, at M=1 (the paper's model) and M=4.
+    #[test]
+    fn batched_engine_is_bit_identical(specs in workload_strategy(24)) {
+        for kind in all_kinds() {
+            for servers in [1usize, 4] {
+                let per_event = run_engine(&specs, kind, servers, false);
+                let batched = run_engine(&specs, kind, servers, true);
+                let tag = format!("{} M={}", kind.label(), servers);
+                prop_assert_eq!(&batched.outcomes, &per_event.outcomes, "{}", &tag);
+                prop_assert_eq!(&batched.stats, &per_event.stats, "{}", &tag);
+                prop_assert_eq!(&batched.trace, &per_event.trace, "{}", &tag);
+                prop_assert_eq!(&batched.summary, &per_event.summary, "{}", &tag);
+                // Epoch telemetry is mode-independent too: same scheduling
+                // points, same lifecycle events, same per-instant widths.
+                prop_assert_eq!(&batched.epochs, &per_event.epochs, "{}", &tag);
+                prop_assert_eq!(
+                    batched.epochs.epochs, batched.stats.scheduling_points,
+                    "one epoch per scheduling point ({})", &tag
+                );
+            }
+        }
+    }
+
+    /// The sharded runtime's batched knob preserves bit-identity at K>1:
+    /// each shard engine coalesces its own instants.
+    #[test]
+    fn batched_sharded_is_bit_identical(
+        specs in workload_strategy(32),
+        k in 1usize..5,
+    ) {
+        for kind in [PolicyKind::asets_star(), PolicyKind::Edf] {
+            let base = ShardedRuntime::new(specs.clone(), kind)
+                .shards(k)
+                .with_trace()
+                .run()
+                .expect("acyclic");
+            let batched = ShardedRuntime::new(specs.clone(), kind)
+                .shards(k)
+                .batched(true)
+                .with_trace()
+                .run()
+                .expect("acyclic");
+            prop_assert_eq!(&batched.merged.outcomes, &base.merged.outcomes);
+            prop_assert_eq!(&batched.merged.stats, &base.merged.stats);
+            prop_assert_eq!(&batched.merged.trace, &base.merged.trace);
+            prop_assert_eq!(&batched.merged.epochs, &base.merged.epochs);
+            prop_assert_eq!(&batched.shard_of, &base.shard_of);
+        }
+    }
+}
+
+/// An observer forces the per-event arm (hooks interleaved with mutations
+/// is the observer contract), so a batched+observed engine must still
+/// match the per-event observed run exactly — the flag quietly yields.
+#[test]
+fn observer_disables_batching_without_divergence() {
+    use asets_core::obs::share;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[derive(Default)]
+    struct Count(u64);
+    impl Observer for Count {
+        fn sched_point(&mut self, _at: SimTime, _latency_ns: u64) {
+            self.0 += 1;
+        }
+    }
+
+    let specs: Vec<TxnSpec> = (0..40)
+        .map(|i| {
+            let arrival = SimTime::from_units_int(i % 7);
+            let length = SimDuration::from_units_int(1 + i % 4);
+            TxnSpec {
+                arrival,
+                deadline: arrival + length + SimDuration::from_units_int(i % 9),
+                length,
+                weight: Weight(1 + (i % 3) as u32),
+                deps: if i % 5 == 4 {
+                    vec![TxnId(i as u32 - 1)]
+                } else {
+                    vec![]
+                },
+            }
+        })
+        .collect();
+
+    let kind = PolicyKind::asets_star();
+    let run_observed = |batched: bool| {
+        let table = TxnTable::new(specs.clone()).expect("acyclic");
+        let policy = kind.build(&table);
+        let cap = Rc::new(RefCell::new(Count::default()));
+        let mut engine = Engine::new(specs.clone(), policy)
+            .expect("acyclic")
+            .with_trace()
+            .with_observer(share(&cap));
+        if batched {
+            engine = engine.with_batching();
+        }
+        let r = engine.run();
+        let points = cap.borrow().0;
+        (r, points)
+    };
+
+    let (base, base_points) = run_observed(false);
+    let (flagged, flagged_points) = run_observed(true);
+    assert_eq!(flagged.outcomes, base.outcomes);
+    assert_eq!(flagged.stats, base.stats);
+    assert_eq!(flagged.trace, base.trace);
+    assert_eq!(
+        flagged_points, base_points,
+        "observer hears every point in both configurations"
+    );
+}
+
+/// Epoch telemetry reports real coalescing: simultaneous arrivals land in
+/// one epoch, and the width peak sees them all.
+#[test]
+fn epoch_stats_report_coalesced_widths() {
+    let specs: Vec<TxnSpec> = (0..10)
+        .map(|_| {
+            TxnSpec::independent(
+                SimTime::ZERO,
+                SimTime::from_units_int(200),
+                SimDuration::from_units_int(2),
+                Weight::ONE,
+            )
+        })
+        .collect();
+    let table = TxnTable::new(specs.clone()).expect("acyclic");
+    let policy = PolicyKind::asets_star().build(&table);
+    let r = Engine::new(specs, policy)
+        .expect("acyclic")
+        .with_batching()
+        .run();
+    assert_eq!(r.epochs.epochs, r.stats.scheduling_points);
+    assert_eq!(
+        r.epochs.max_epoch_width, 10,
+        "all ten simultaneous arrivals coalesce into the first epoch"
+    );
+    // Every lifecycle event is counted: 10 arrivals + 10 completions, plus
+    // one requeue per pause (none here: FCFS-like drain, no preemptions).
+    assert_eq!(r.epochs.events, 20 + r.stats.preemptions);
+}
