@@ -14,7 +14,9 @@
 
 use asets_bench::chain_workload;
 use asets_core::policy::PolicyKind;
-use asets_sim::{simulate, ShardedRuntime};
+use asets_core::time::SimDuration;
+use asets_sim::{simulate, RebalanceConfig, ShardedRuntime};
+use asets_workload::skewed_shards;
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use std::hint::black_box;
 
@@ -59,5 +61,43 @@ fn shard_scale(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, shard_scale);
+/// Rebalancing overhead on the Zipf-skewed web batch: the coordinated
+/// K = 4 runtime with no rebalancing, with epoch migration, and with
+/// migration + stealing. Wall-clock cost of the rebalancer itself; the
+/// simulated-throughput *win* it buys is gated by `steal_gate`.
+fn shard_skew(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shard_skew");
+    g.sample_size(10);
+    let specs = skewed_shards(4_000, 32, 2.0, 11);
+    let modes: [(&str, RebalanceConfig); 3] = [
+        ("static", RebalanceConfig::default()),
+        (
+            "migrate",
+            RebalanceConfig::migrate_every(SimDuration::from_units_int(200)),
+        ),
+        (
+            "migrate_steal",
+            RebalanceConfig::migrate_every(SimDuration::from_units_int(200)).with_steal(4),
+        ),
+    ];
+    for (label, cfg) in modes {
+        g.bench_with_input(BenchmarkId::new(label, 4_000), &specs, |b, specs| {
+            b.iter_batched(
+                || specs.to_vec(),
+                |specs| {
+                    let r = ShardedRuntime::new(specs, PolicyKind::asets_star())
+                        .shards(4)
+                        .rebalance(cfg)
+                        .run()
+                        .unwrap();
+                    black_box(r.merged.summary.avg_tardiness)
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, shard_scale, shard_skew);
 criterion_main!(benches);

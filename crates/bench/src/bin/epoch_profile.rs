@@ -16,7 +16,7 @@
 use asets_bench::chain_workload;
 use asets_core::policy::PolicyKind;
 use asets_core::txn::TxnSpec;
-use asets_sim::{simulate, simulate_batched, SimResult};
+use asets_sim::{simulate_batched, simulate_per_event, SimResult};
 use std::time::Instant;
 
 const REPS: usize = 3;
@@ -28,7 +28,7 @@ fn best_of(specs: &[TxnSpec], batched: bool) -> (f64, SimResult) {
         let r = if batched {
             simulate_batched(specs.to_vec(), PolicyKind::asets_star())
         } else {
-            simulate(specs.to_vec(), PolicyKind::asets_star())
+            simulate_per_event(specs.to_vec(), PolicyKind::asets_star())
         }
         .expect("chain workload is acyclic");
         let dt = started.elapsed().as_secs_f64();

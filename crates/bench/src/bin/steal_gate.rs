@@ -1,0 +1,222 @@
+//! `steal_gate` — the rebalancing acceptance gate for skewed traffic.
+//!
+//! ```text
+//! steal_gate [summary.json]
+//! ```
+//!
+//! Runs the Zipf-skewed web batch ([`asets_workload::skewed_shards`]) and
+//! its uniform (α = 0) twin through the sharded runtime at K ∈ {1, 2, 4, 8}
+//! in three modes — static LPT placement, epoch migration, and migration +
+//! work stealing — entirely in-process, and gates on **simulated**
+//! throughput (`n / merged makespan`, the same metric `shard_gate` uses):
+//!
+//! 1. **Skewed win**: at K = 4, migration + stealing must reach at least
+//!    **1.5x** the static-placement throughput. The skewed batch pins one
+//!    shard with a huge-but-light hot-page star while heavy singletons
+//!    crowd the rest; a rebalancer that cannot fix that is not doing its
+//!    job.
+//! 2. **Uniform no-regression**: at K = 4 on the uniform twin — where
+//!    static LPT is already near-optimal — rebalancing must stay within
+//!    **5 percent** of static throughput (no churn tax).
+//!
+//! The full mode × K table is written as a provenance-stamped JSON summary
+//! (same flat-results shape as the criterion shim) for the CI artifact.
+
+use asets_core::policy::PolicyKind;
+use asets_core::time::SimDuration;
+use asets_sim::{RebalanceConfig, ShardedRuntime};
+use asets_workload::skewed_shards;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+/// Transactions per batch.
+const N: usize = 4_000;
+/// Pages in the Zipf popularity distribution.
+const PAGES: u64 = 32;
+/// Workload seed (any fixed value; the gate is deterministic given it).
+const SEED: u64 = 11;
+/// Shard counts visited by the table.
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Migration epoch: ~10 planner rounds inside the n/2-tick arrival window.
+const EPOCH_UNITS: u64 = 200;
+
+/// One measured cell of the mode × K table.
+struct Cell {
+    dist: &'static str,
+    mode: &'static str,
+    k: usize,
+    throughput: f64,
+    makespan: f64,
+    migrated: u64,
+    steals: u64,
+}
+
+fn mode_config(mode: &str) -> Option<RebalanceConfig> {
+    let epoch = SimDuration::from_units_int(EPOCH_UNITS);
+    match mode {
+        "static" => None,
+        "migrate" => Some(RebalanceConfig::migrate_every(epoch)),
+        "migrate_steal" => Some(RebalanceConfig::migrate_every(epoch).with_steal(4)),
+        _ => unreachable!("unknown mode {mode}"),
+    }
+}
+
+fn run_table() -> Result<Vec<Cell>, String> {
+    let mut cells = Vec::new();
+    for (dist, alpha) in [("skewed", 2.0), ("uniform", 0.0)] {
+        let specs = skewed_shards(N, PAGES, alpha, SEED);
+        println!("{dist} batch (n={N}, pages={PAGES}, alpha={alpha}):");
+        println!("  K   mode            txns/unit   makespan   migrated   stolen");
+        for &k in &SHARD_COUNTS {
+            for mode in ["static", "migrate", "migrate_steal"] {
+                let mut rt = ShardedRuntime::new(specs.clone(), PolicyKind::asets_star()).shards(k);
+                if let Some(cfg) = mode_config(mode) {
+                    rt = rt.rebalance(cfg);
+                }
+                let r = rt
+                    .run()
+                    .map_err(|e| format!("{dist} batch failed to simulate: {e}"))?;
+                let makespan = r.merged.stats.makespan.as_units();
+                let (migrated, steals) = r
+                    .rebalance
+                    .as_ref()
+                    .map(|s| (s.migrated_txns, s.steals))
+                    .unwrap_or((0, 0));
+                let cell = Cell {
+                    dist,
+                    mode,
+                    k,
+                    throughput: N as f64 / makespan,
+                    makespan,
+                    migrated,
+                    steals,
+                };
+                println!(
+                    "  {k}   {mode:<14}  {:>9.3}   {makespan:>8.1}   {migrated:>8}   {steals:>6}",
+                    cell.throughput
+                );
+                cells.push(cell);
+            }
+        }
+    }
+    Ok(cells)
+}
+
+fn throughput_of(cells: &[Cell], dist: &str, mode: &str, k: usize) -> f64 {
+    cells
+        .iter()
+        .find(|c| c.dist == dist && c.mode == mode && c.k == k)
+        .expect("cell visited by run_table")
+        .throughput
+}
+
+fn check_gates(cells: &[Cell]) -> Result<(), String> {
+    let skew_static = throughput_of(cells, "skewed", "static", 4);
+    let skew_stolen = throughput_of(cells, "skewed", "migrate_steal", 4);
+    let win = skew_stolen / skew_static;
+    if win < 1.5 {
+        return Err(format!(
+            "skewed K=4 migrate+steal is only {win:.2}x static throughput (gate: >= 1.5x)"
+        ));
+    }
+    println!("gate ok: skewed K=4 migrate+steal is {win:.2}x static (>= 1.5x)");
+
+    let uni_static = throughput_of(cells, "uniform", "static", 4);
+    let uni_stolen = throughput_of(cells, "uniform", "migrate_steal", 4);
+    let parity = uni_stolen / uni_static;
+    if (parity - 1.0).abs() > 0.05 {
+        return Err(format!(
+            "uniform K=4 migrate+steal throughput is {:.2}% off static (gate: within 5%)",
+            (parity - 1.0) * 100.0
+        ));
+    }
+    println!(
+        "gate ok: uniform K=4 migrate+steal within 5% of static ({:+.2}%)",
+        (parity - 1.0) * 100.0
+    );
+    Ok(())
+}
+
+/// Best-effort provenance, mirroring the criterion shim's stamp fields.
+fn provenance() -> (String, String, String) {
+    let git_sha = std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    let date_unix = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs().to_string())
+        .unwrap_or_else(|_| "unknown".to_string());
+    let host = std::env::var("HOSTNAME")
+        .ok()
+        .filter(|h| !h.is_empty())
+        .or_else(|| {
+            std::process::Command::new("uname")
+                .arg("-n")
+                .output()
+                .ok()
+                .filter(|o| o.status.success())
+                .and_then(|o| String::from_utf8(o.stdout).ok())
+                .map(|s| s.trim().to_string())
+                .filter(|h| !h.is_empty())
+        })
+        .unwrap_or_else(|| "unknown".to_string());
+    (git_sha, date_unix, host)
+}
+
+fn write_summary(path: &str, cells: &[Cell]) -> Result<(), String> {
+    let (git_sha, date_unix, host) = provenance();
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"steal_gate\",");
+    let _ = writeln!(out, "  \"git_sha\": \"{git_sha}\",");
+    let _ = writeln!(out, "  \"date_unix\": \"{date_unix}\",");
+    let _ = writeln!(out, "  \"host\": \"{host}\",");
+    let _ = writeln!(
+        out,
+        "  \"workload\": {{\"n\": {N}, \"pages\": {PAGES}, \"seed\": {SEED}, \"epoch\": {EPOCH_UNITS}}},"
+    );
+    out.push_str("  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"group\": \"steal_gate\", \"id\": \"{}/{}/k{}\", \"throughput\": {:.6}, \
+             \"makespan\": {:.1}, \"migrated_txns\": {}, \"steals\": {}}}{}",
+            c.dist,
+            c.mode,
+            c.k,
+            c.throughput,
+            c.makespan,
+            c.migrated,
+            c.steals,
+            if i + 1 < cells.len() { "," } else { "" },
+        );
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).map_err(|e| format!("could not write {path}: {e}"))?;
+    println!("gate summary written to {path}");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let path = args
+        .first()
+        .map(String::as_str)
+        .unwrap_or("BENCH_steal_gate.json");
+    let run = run_table().and_then(|cells| {
+        write_summary(path, &cells)?;
+        check_gates(&cells)
+    });
+    match run {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("steal_gate: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

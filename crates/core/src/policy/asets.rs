@@ -50,6 +50,10 @@ pub struct Asets {
     latest_start: KeyedQueue<u64>,
     /// Decision-provenance sink (detached by default).
     obs: ObserverSlot,
+    /// Scratch for multi-slot fills (`slots > 1` only; reused, no steady
+    /// state allocation).
+    mf_edf: Vec<u32>,
+    mf_srpt: Vec<u32>,
 }
 
 impl Asets {
@@ -223,6 +227,68 @@ impl Scheduler for Asets {
     fn select(&mut self, table: &TxnTable, now: SimTime) -> Option<TxnId> {
         self.migrate(table, now);
         self.decide(table, now)
+    }
+
+    /// Multi-slot fill: the first choice is exactly [`Asets::select`]
+    /// (migration, Eq. 1, provenance); the remaining slots replay Eq. 1
+    /// over the next list tops from one `top_k_into` pass per side, with
+    /// cursors advancing past chosen entries. With `slots == 1` this is
+    /// bit-identical to the trait default.
+    fn select_many(&mut self, table: &TxnTable, now: SimTime, slots: usize, out: &mut Vec<TxnId>) {
+        let Some(first) = self.select(table, now) else {
+            return;
+        };
+        out.push(first);
+        if slots == 1 {
+            return;
+        }
+        let mut e_tops = std::mem::take(&mut self.mf_edf);
+        let mut s_tops = std::mem::take(&mut self.mf_srpt);
+        e_tops.clear();
+        s_tops.clear();
+        self.edf.top_k_into(slots, &mut e_tops);
+        self.srpt.top_k_into(slots, &mut s_tops);
+        let (mut i, mut j) = (0, 0);
+        while out.len() < slots {
+            while i < e_tops.len() && e_tops[i] == first.0 {
+                i += 1;
+            }
+            while j < s_tops.len() && s_tops[j] == first.0 {
+                j += 1;
+            }
+            let e = e_tops.get(i).map(|&id| TxnId(id));
+            let s = s_tops.get(j).map(|&id| TxnId(id));
+            let Some(c) = decide_eq1(table, now, e, s) else {
+                break;
+            };
+            out.push(c);
+            if Some(c) == e {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        self.mf_edf = e_tops;
+        self.mf_srpt = s_tops;
+    }
+
+    /// Latest-start steal candidates straight off the migration index: the
+    /// EDF-List members closest to going infeasible are exactly the ones
+    /// that gain the most from starting sooner on an idle shard. Paused
+    /// (partially-served) members are skipped — only never-served work is
+    /// stealable. SRPT-List members are already tardy everywhere, so they
+    /// are not offered.
+    fn steal_candidates(&self, table: &TxnTable, _now: SimTime, k: usize, out: &mut Vec<TxnId>) {
+        out.extend(
+            self.latest_start
+                .iter()
+                .map(|(_, id)| TxnId(id))
+                .filter(|&t| {
+                    table.state(t).phase == crate::txn::TxnPhase::Ready
+                        && table.remaining(t) == table.spec(t).length
+                })
+                .take(k),
+        );
     }
 
     fn attach_observer(&mut self, obs: crate::obs::SharedObserver) {

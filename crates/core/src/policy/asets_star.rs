@@ -164,6 +164,9 @@ pub struct AsetsStar {
     edf_ups: Vec<(u32, Option<u64>)>,
     ls_ups: Vec<(u32, Option<u64>)>,
     hdf_ups: Vec<(u32, Option<Reverse<Ratio>>)>,
+    /// Scratch for `select_many` (retained capacity).
+    mf_edf: Vec<(u64, u32)>,
+    mf_hdf: Vec<(Reverse<Ratio>, u32)>,
 }
 
 impl AsetsStar {
@@ -188,6 +191,8 @@ impl AsetsStar {
             edf_ups: Vec::new(),
             ls_ups: Vec::new(),
             hdf_ups: Vec::new(),
+            mf_edf: Vec::new(),
+            mf_hdf: Vec::new(),
         }
     }
 
@@ -668,6 +673,93 @@ impl Scheduler for AsetsStar {
             at: now,
         });
         chosen
+    }
+
+    fn select_many(&mut self, table: &TxnTable, now: SimTime, slots: usize, out: &mut Vec<TxnId>) {
+        debug_assert!(slots >= 1, "select_many requires at least one slot");
+        let Some(first) = self.select(table, now) else {
+            return;
+        };
+        out.push(first);
+        if slots == 1 {
+            return;
+        }
+        // Extra slots replay the Fig. 7 comparison *down* the two lists:
+        // each tree exposes its `slots` smallest keys without popping, and a
+        // two-cursor merge decides each EDF-vs-HDF workflow pair with the
+        // same negative-impact test `select` applies to the tops. Heads
+        // already taken (the first pick, or a sub-transaction shared between
+        // workflows) are skipped so the engine's distinctness invariant
+        // holds. The trees are never mutated, so the decision cache written
+        // by `select` above stays valid.
+        let mut edf_tops = std::mem::take(&mut self.mf_edf);
+        let mut hdf_tops = std::mem::take(&mut self.mf_hdf);
+        edf_tops.clear();
+        hdf_tops.clear();
+        self.edf.top_k_into(slots, &mut edf_tops);
+        self.hdf.top_k_into(slots, &mut hdf_tops);
+        let (mut i, mut j) = (0usize, 0usize);
+        while out.len() < slots && (i < edf_tops.len() || j < hdf_tops.len()) {
+            let a = edf_tops.get(i).map(|&(_, w)| WfId(w));
+            let b = hdf_tops.get(j).map(|&(_, w)| WfId(w));
+            let (head, from_edf) = match (a, b) {
+                (Some(a), None) => (self.head_of(a, self.cfg.edf_head), true),
+                (None, Some(b)) => (self.head_of(b, self.cfg.hdf_head), false),
+                (Some(a), Some(b)) => {
+                    let head_a = self.head_of(a, self.cfg.edf_head);
+                    let head_b = self.head_of(b, self.cfg.hdf_head);
+                    let rep_a = self
+                        .index
+                        .representative(a)
+                        .expect("EDF candidate has a rep");
+                    let rep_b = self
+                        .index
+                        .representative(b)
+                        .expect("HDF candidate has a rep");
+                    if edf_wins(self.cfg.impact, table, now, head_a, &rep_a, head_b, &rep_b) {
+                        (head_a, true)
+                    } else {
+                        (head_b, false)
+                    }
+                }
+                (None, None) => unreachable!("loop condition guarantees a candidate"),
+            };
+            if from_edf {
+                i += 1;
+            } else {
+                j += 1;
+            }
+            if !out.contains(&head) {
+                out.push(head);
+            }
+        }
+        self.mf_edf = edf_tops;
+        self.mf_hdf = hdf_tops;
+    }
+
+    fn steal_candidates(&self, table: &TxnTable, _now: SimTime, k: usize, out: &mut Vec<TxnId>) {
+        // Victims expose candidates in latest-start order (most deferrable
+        // first) via the migration index — the same `d_rep − r_rep` key the
+        // epoch migration scan uses. Only never-served ready heads are
+        // eligible: a stolen transaction restarts from its full length on
+        // the thief's table.
+        let mut tops: Vec<(u64, u32)> = Vec::new();
+        self.latest_start
+            .top_k_into(self.latest_start.len(), &mut tops);
+        let mut picked = 0usize;
+        for (_, w) in tops {
+            if picked >= k {
+                break;
+            }
+            let head = self.head_of(WfId(w), self.cfg.edf_head);
+            if table.state(head).phase == crate::txn::TxnPhase::Ready
+                && table.remaining(head) == table.spec(head).length
+                && !out.contains(&head)
+            {
+                out.push(head);
+                picked += 1;
+            }
+        }
     }
 
     fn attach_observer(&mut self, obs: crate::obs::SharedObserver) {

@@ -90,7 +90,9 @@ impl Scheduler for Fcfs {
     }
 
     fn select_many(&mut self, table: &TxnTable, now: SimTime, slots: usize, out: &mut Vec<TxnId>) {
-        for id in self.queue.top_k(slots) {
+        // One ordered pass over the queue fills every slot without the
+        // `top_k` allocation (same entries `top_k_into` would surface).
+        for (_, id) in self.queue.iter().take(slots) {
             let c = TxnId(id);
             emit_single(&self.obs, table, now, c, self.queue.len());
             out.push(c);
@@ -144,7 +146,9 @@ impl Scheduler for Edf {
     }
 
     fn select_many(&mut self, table: &TxnTable, now: SimTime, slots: usize, out: &mut Vec<TxnId>) {
-        for id in self.queue.top_k(slots) {
+        // One ordered pass over the queue fills every slot without the
+        // `top_k` allocation (same entries `top_k_into` would surface).
+        for (_, id) in self.queue.iter().take(slots) {
             let c = TxnId(id);
             emit_single(&self.obs, table, now, c, self.queue.len());
             out.push(c);
@@ -198,7 +202,9 @@ impl Scheduler for Srpt {
     }
 
     fn select_many(&mut self, table: &TxnTable, now: SimTime, slots: usize, out: &mut Vec<TxnId>) {
-        for id in self.queue.top_k(slots) {
+        // One ordered pass over the queue fills every slot without the
+        // `top_k` allocation (same entries `top_k_into` would surface).
+        for (_, id) in self.queue.iter().take(slots) {
             let c = TxnId(id);
             emit_single(&self.obs, table, now, c, self.queue.len());
             out.push(c);
@@ -257,7 +263,9 @@ impl Scheduler for LeastSlack {
     }
 
     fn select_many(&mut self, table: &TxnTable, now: SimTime, slots: usize, out: &mut Vec<TxnId>) {
-        for id in self.queue.top_k(slots) {
+        // One ordered pass over the queue fills every slot without the
+        // `top_k` allocation (same entries `top_k_into` would surface).
+        for (_, id) in self.queue.iter().take(slots) {
             let c = TxnId(id);
             emit_single(&self.obs, table, now, c, self.queue.len());
             out.push(c);
@@ -318,7 +326,9 @@ impl Scheduler for Hdf {
     }
 
     fn select_many(&mut self, table: &TxnTable, now: SimTime, slots: usize, out: &mut Vec<TxnId>) {
-        for id in self.queue.top_k(slots) {
+        // One ordered pass over the queue fills every slot without the
+        // `top_k` allocation (same entries `top_k_into` would surface).
+        for (_, id) in self.queue.iter().take(slots) {
             let c = TxnId(id);
             emit_single(&self.obs, table, now, c, self.queue.len());
             out.push(c);
@@ -370,7 +380,21 @@ impl Scheduler for Ready {
     }
 
     fn select_many(&mut self, table: &TxnTable, now: SimTime, slots: usize, out: &mut Vec<TxnId>) {
-        self.inner.select_many(table, now, slots, out);
+        // Deliberately single-fill (not forwarded to the inner multi-fill):
+        // the strawman's Wait queue schedules one transaction per point,
+        // and the engine's work-conservation pins rely on that shape.
+        let _ = slots;
+        if let Some(t) = self.select(table, now) {
+            out.push(t);
+        }
+    }
+
+    fn steal_candidates(&self, table: &TxnTable, now: SimTime, k: usize, out: &mut Vec<TxnId>) {
+        self.inner.steal_candidates(table, now, k, out);
+    }
+
+    fn on_stolen(&mut self, t: TxnId, table: &TxnTable, now: SimTime) {
+        self.inner.on_stolen(t, table, now);
     }
 
     fn attach_observer(&mut self, obs: crate::obs::SharedObserver) {

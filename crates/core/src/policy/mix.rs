@@ -73,6 +73,17 @@ impl Scheduler for Mix {
     fn select(&mut self, _table: &TxnTable, _now: SimTime) -> Option<TxnId> {
         self.queue.peek_id().map(TxnId)
     }
+
+    fn select_many(
+        &mut self,
+        _table: &TxnTable,
+        _now: SimTime,
+        slots: usize,
+        out: &mut Vec<TxnId>,
+    ) {
+        // Static keys: one ordered pass fills every slot.
+        out.extend(self.queue.iter().take(slots).map(|(_, id)| TxnId(id)));
+    }
 }
 
 /// Highest-Value-First (Buttazzo et al., the other §V pole): priority is
@@ -113,6 +124,17 @@ impl Scheduler for Hvf {
 
     fn select(&mut self, _table: &TxnTable, _now: SimTime) -> Option<TxnId> {
         self.queue.peek_id().map(TxnId)
+    }
+
+    fn select_many(
+        &mut self,
+        _table: &TxnTable,
+        _now: SimTime,
+        slots: usize,
+        out: &mut Vec<TxnId>,
+    ) {
+        // Static keys: one ordered pass fills every slot.
+        out.extend(self.queue.iter().take(slots).map(|(_, id)| TxnId(id)));
     }
 }
 

@@ -127,6 +127,23 @@ impl Scheduler for LoadSwitch {
             self.edf.peek_id().map(TxnId)
         }
     }
+
+    fn select_many(&mut self, _table: &TxnTable, now: SimTime, slots: usize, out: &mut Vec<TxnId>) {
+        // One mode decision per scheduling point (the estimate is a
+        // function of `now` alone), then one ordered pass over the winning
+        // queue fills every slot.
+        if self.edf.is_empty() {
+            return;
+        }
+        let queue = if self.estimated_load(now) >= self.threshold {
+            self.srpt_decisions += 1;
+            &self.srpt
+        } else {
+            self.edf_decisions += 1;
+            &self.edf
+        };
+        out.extend(queue.iter().take(slots).map(|(_, id)| TxnId(id)));
+    }
 }
 
 #[cfg(test)]

@@ -343,6 +343,32 @@ impl<K: Ord + Copy> MinTree<K> {
         }
     }
 
+    /// Append the `k` smallest-key present ids, in key order (ties toward
+    /// the smaller id), without removing them — the tournament-tree twin of
+    /// [`KeyedQueue::top_k_into`]. The tree answers only the minimum in
+    /// O(1), so this scans the leaves and partially sorts: O(n + k log k).
+    /// It is a cold-path primitive (multi-slot fills, steal-candidate
+    /// exposure), not part of per-event index maintenance.
+    pub fn top_k_into(&self, k: usize, out: &mut Vec<(K, u32)>) {
+        if k == 0 || self.len == 0 {
+            return;
+        }
+        let start = out.len();
+        out.extend(
+            self.keys
+                .iter()
+                .enumerate()
+                .filter_map(|(id, key)| key.map(|key| (key, id as u32))),
+        );
+        let present = out.len() - start;
+        let keep = k.min(present);
+        if keep < present {
+            out[start..].select_nth_unstable(keep - 1);
+            out.truncate(start + keep);
+        }
+        out[start..].sort_unstable();
+    }
+
     /// Drain every entry whose key is `<= bound`, in key order — the same
     /// migration primitive as [`KeyedQueue::drain_up_to`].
     pub fn drain_up_to(&mut self, bound: K) -> Vec<(K, u32)> {

@@ -159,6 +159,76 @@ pub fn partition(specs: &[TxnSpec], k: usize) -> ShardPlan {
     ShardPlan { slices, shard_of }
 }
 
+/// A dependency component eligible for migration between shards, as seen by
+/// the online rebalancer: identified by its routing key, owned by one shard,
+/// carrying some amount of not-yet-served work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MovableComponent {
+    /// Routing key (smallest global transaction id in the component).
+    pub key: u32,
+    /// Shard that currently owns the component.
+    pub owner: u32,
+    /// Remaining work in the component, in ticks.
+    pub work: u64,
+}
+
+/// One planned whole-component migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ComponentMove {
+    /// Routing key of the component to move.
+    pub key: u32,
+    /// Source shard.
+    pub from: u32,
+    /// Destination shard.
+    pub to: u32,
+    /// Remaining work moved, in ticks.
+    pub work: u64,
+}
+
+/// Plan a deterministic backlog-driven rebalance: given each shard's backlog
+/// gauge (remaining work, in ticks) and the set of components that are safe
+/// to move (fully unarrived — the runtime decides eligibility), produce
+/// whole-component moves that monotonically shrink the spread.
+///
+/// Greedy rule, mirroring the static LPT pass: consider candidates
+/// largest-work first (ties toward the smaller routing key); send each to
+/// the currently least-loaded shard (ties toward the smaller index) iff
+/// `2·work ≤ load[owner] − load[target]`, so every applied move strictly
+/// reduces the owner/target gap and never overshoots — the plan cannot
+/// oscillate across epochs. Each component is considered exactly once.
+pub fn plan_rebalance(loads: &[u64], movable: &[MovableComponent]) -> Vec<ComponentMove> {
+    let k = loads.len();
+    if k < 2 {
+        return Vec::new();
+    }
+    let mut load = loads.to_vec();
+    let mut order: Vec<MovableComponent> = movable.to_vec();
+    order.sort_by_key(|m| (std::cmp::Reverse(m.work), m.key));
+    let mut moves = Vec::new();
+    for m in order {
+        debug_assert!((m.owner as usize) < k, "owner shard out of range");
+        if m.work == 0 {
+            continue;
+        }
+        let target = (0..k).min_by_key(|&s| (load[s], s)).expect("k >= 2") as u32;
+        if target == m.owner {
+            continue;
+        }
+        let gap = load[m.owner as usize] - load[target as usize];
+        if 2 * m.work <= gap {
+            load[m.owner as usize] -= m.work;
+            load[target as usize] += m.work;
+            moves.push(ComponentMove {
+                key: m.key,
+                from: m.owner,
+                to: target,
+                work: m.work,
+            });
+        }
+    }
+    moves
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -281,5 +351,63 @@ mod tests {
         assert_eq!(plan.slices.len(), 3);
         assert!(plan.slices.iter().all(ShardSlice::is_empty));
         assert!(plan.shard_of.is_empty());
+    }
+
+    fn mov(key: u32, owner: u32, work: u64) -> MovableComponent {
+        MovableComponent { key, owner, work }
+    }
+
+    #[test]
+    fn rebalance_moves_work_off_the_backlogged_shard() {
+        // Shard 0 drowning, shard 1 idle; two movable components on 0.
+        let moves = plan_rebalance(&[100, 0], &[mov(3, 0, 30), mov(7, 0, 10)]);
+        assert_eq!(
+            moves,
+            vec![
+                ComponentMove {
+                    key: 3,
+                    from: 0,
+                    to: 1,
+                    work: 30
+                },
+                ComponentMove {
+                    key: 7,
+                    from: 0,
+                    to: 1,
+                    work: 10
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn rebalance_never_overshoots() {
+        // Moving 30 across a gap of 40 would leave 10 vs 60 — worse spread
+        // direction reversal is forbidden by the 2·work ≤ gap rule.
+        assert!(plan_rebalance(&[40, 0], &[mov(0, 0, 30)]).is_empty());
+        // Gap of exactly 2·work is allowed: lands perfectly balanced.
+        assert_eq!(plan_rebalance(&[60, 0], &[mov(0, 0, 30)]).len(), 1);
+    }
+
+    #[test]
+    fn rebalance_is_a_no_op_when_balanced() {
+        assert!(plan_rebalance(&[50, 50, 50], &[mov(0, 0, 10), mov(1, 1, 10)]).is_empty());
+        assert!(plan_rebalance(&[100], &[mov(0, 0, 50)]).is_empty());
+        assert!(plan_rebalance(&[], &[]).is_empty());
+    }
+
+    #[test]
+    fn rebalance_largest_first_ties_toward_smaller_key_and_shard() {
+        // Equal-work candidates: key order decides who moves first; the two
+        // equally idle shards are filled smaller-index first.
+        let moves = plan_rebalance(&[80, 0, 0], &[mov(9, 0, 20), mov(4, 0, 20)]);
+        assert_eq!(moves.len(), 2);
+        assert_eq!((moves[0].key, moves[0].to), (4, 1));
+        assert_eq!((moves[1].key, moves[1].to), (9, 2));
+    }
+
+    #[test]
+    fn rebalance_skips_zero_work_components() {
+        assert!(plan_rebalance(&[10, 0], &[mov(0, 0, 0)]).is_empty());
     }
 }

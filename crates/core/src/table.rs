@@ -155,6 +155,25 @@ impl TxnTable {
         }
     }
 
+    /// Undo an arrival: return a ready, never-dispatched `t` to `Pending`.
+    ///
+    /// This is the victim-side half of a cross-shard steal. The thief's
+    /// table re-`arrive`s the same global id, so the transaction must not
+    /// have accrued any service here (stealing partially-served work would
+    /// silently discard the credited time) and must have no released
+    /// dependents (only whole singleton workflows are stealable).
+    ///
+    /// # Panics
+    /// If `t` is not `Ready` or has already been served.
+    pub fn retract(&mut self, t: TxnId) {
+        let full = self.specs[t.index()].length;
+        let st = &mut self.states[t.index()];
+        assert_eq!(st.phase, TxnPhase::Ready, "{t} must be Ready to retract");
+        assert_eq!(st.remaining, full, "{t} already served; cannot retract");
+        st.phase = TxnPhase::Pending;
+        st.ready_at = None;
+    }
+
     /// Mark `t` as the running transaction.
     ///
     /// # Panics

@@ -206,6 +206,7 @@ fn summary(dump: &Dump) {
     let mut migrations = 0usize;
     let mut dispatches = 0usize;
     let mut preemptions = 0usize;
+    let mut rebalances = 0usize;
     let mut edf_wins = 0usize;
     let mut hdf_wins = 0usize;
     for (_, ev) in &dump.events {
@@ -228,12 +229,16 @@ fn summary(dump: &Dump) {
                     preemptions += 1;
                 }
             }
+            RecordedEvent::Rebalance(_) => rebalances += 1,
         }
     }
     println!("{} events", dump.events.len());
     println!("  decisions:  {decisions} ({comparisons} two-sided: {edf_wins} EDF, {hdf_wins} HDF)");
     println!("  migrations: {migrations}");
     println!("  dispatches: {dispatches} ({preemptions} preempting)");
+    if rebalances > 0 {
+        println!("  rebalances: {rebalances}");
+    }
     if let Some((seq, ev)) = dump.events.first() {
         println!(
             "  span: seq {seq}..{} / t {:.3}..{:.3}",

@@ -15,6 +15,7 @@ use asets_core::obs::{
 use asets_core::time::{SimDuration, SimTime, Slack};
 use asets_core::txn::TxnId;
 use asets_core::workflow::WfId;
+use asets_sim::RebalanceEvent;
 use std::path::Path;
 
 /// A parsed flight-recorder dump: `(seq, event)` pairs in dump order.
@@ -62,6 +63,14 @@ impl Dump {
     pub fn migrations(&self) -> impl Iterator<Item = (u64, &MigrationEvent)> {
         self.events.iter().filter_map(|(s, e)| match e {
             RecordedEvent::Migration(m) => Some((*s, m)),
+            _ => None,
+        })
+    }
+
+    /// All cross-shard rebalancing actions (coordinated sharded runs).
+    pub fn rebalances(&self) -> impl Iterator<Item = (u64, &RebalanceEvent)> {
+        self.events.iter().filter_map(|(s, e)| match e {
+            RecordedEvent::Rebalance(r) => Some((*s, r)),
             _ => None,
         })
     }
@@ -320,6 +329,23 @@ fn parse_event(obj: &FlatObj) -> Result<(u64, RecordedEvent), String> {
             txn: TxnId(obj.int("txn").ok_or("missing txn")? as u32),
             preempted: obj.int("preempted").map(|p| TxnId(p as u32)),
         },
+        Some("rebalance") => RecordedEvent::Rebalance(match obj.str("action") {
+            Some("migration") => RebalanceEvent::Migration {
+                at,
+                key: obj.int("key").ok_or("missing key")? as u32,
+                from: obj.int("from").ok_or("missing from")? as u32,
+                to: obj.int("to").ok_or("missing to")? as u32,
+                txns: obj.int("txns").ok_or("missing txns")? as u32,
+                work_ticks: obj.int("work_ticks").ok_or("missing work_ticks")? as u64,
+            },
+            Some("steal") => RebalanceEvent::Steal {
+                at,
+                txn: TxnId(obj.int("txn").ok_or("missing txn")? as u32),
+                from: obj.int("from").ok_or("missing from")? as u32,
+                to: obj.int("to").ok_or("missing to")? as u32,
+            },
+            other => return Err(format!("unknown rebalance action {other:?}")),
+        }),
         other => return Err(format!("unknown event kind {other:?}")),
     };
     Ok((seq, ev))
@@ -405,6 +431,52 @@ mod tests {
                 .len(),
             1
         );
+    }
+
+    #[test]
+    fn rebalance_events_round_trip() {
+        let mut rec = FlightRecorder::new(16);
+        rec.ingest_rebalance(&asets_sim::RebalanceStats {
+            migration_rounds: 1,
+            migrated_components: 1,
+            migrated_txns: 2,
+            migrated_work: 9,
+            steals: 1,
+            events: vec![
+                RebalanceEvent::Migration {
+                    at: SimTime::from_units_int(5),
+                    key: 3,
+                    from: 0,
+                    to: 2,
+                    txns: 2,
+                    work_ticks: 9,
+                },
+                RebalanceEvent::Steal {
+                    at: SimTime::from_units_int(6),
+                    txn: TxnId(4),
+                    from: 0,
+                    to: 1,
+                },
+            ],
+        });
+        let dump = Dump::parse(&rec.dump()).unwrap();
+        let restored: Vec<RebalanceEvent> = dump.rebalances().map(|(_, e)| *e).collect();
+        assert_eq!(restored.len(), 2);
+        assert_eq!(
+            restored[0],
+            RebalanceEvent::Migration {
+                at: SimTime::from_units_int(5),
+                key: 3,
+                from: 0,
+                to: 2,
+                txns: 2,
+                work_ticks: 9,
+            }
+        );
+        assert!(matches!(
+            restored[1],
+            RebalanceEvent::Steal { txn: TxnId(4), .. }
+        ));
     }
 
     #[test]

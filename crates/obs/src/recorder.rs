@@ -15,7 +15,7 @@ use crate::metrics::MetricsRegistry;
 use asets_core::obs::{DecisionRecord, MigrationEvent, MigrationSubject, Observer};
 use asets_core::time::SimTime;
 use asets_core::txn::TxnId;
-use asets_sim::BacklogSeries;
+use asets_sim::{BacklogSeries, RebalanceEvent, RebalanceStats};
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::io;
@@ -47,6 +47,9 @@ pub enum RecordedEvent {
         /// The transaction that lost the server mid-work, if any.
         preempted: Option<TxnId>,
     },
+    /// A cross-shard rebalancing action from a coordinated sharded run —
+    /// ingested post-run via [`FlightRecorder::ingest_rebalance`].
+    Rebalance(RebalanceEvent),
 }
 
 impl RecordedEvent {
@@ -56,6 +59,9 @@ impl RecordedEvent {
             RecordedEvent::Decision(r) => r.at,
             RecordedEvent::Migration(m) => m.at,
             RecordedEvent::Dispatch { at, .. } => *at,
+            RecordedEvent::Rebalance(
+                RebalanceEvent::Migration { at, .. } | RebalanceEvent::Steal { at, .. },
+            ) => *at,
         }
     }
 }
@@ -178,6 +184,9 @@ impl FlightRecorder {
                     *txn = g(*txn);
                     *preempted = preempted.map(g);
                 }
+                // Rebalance events come from the coordinated runtime, which
+                // already speaks global ids — nothing to rewrite.
+                RecordedEvent::Rebalance(_) => {}
             }
         }
     }
@@ -187,6 +196,25 @@ impl FlightRecorder {
     pub fn ingest_backlog(&mut self, series: &BacklogSeries) {
         for s in &series.samples {
             self.metrics.observe("queue_depth_ready", s.ready as u64);
+        }
+    }
+
+    /// Fold a coordinated run's rebalancing telemetry into the recorder:
+    /// the run-wide totals become counters, the movement log becomes ring
+    /// events (interleaved with whatever the run recorded live, in
+    /// ingestion order — sequence numbers keep the provenance honest).
+    pub fn ingest_rebalance(&mut self, stats: &RebalanceStats) {
+        self.metrics
+            .add("rebalance_migration_rounds", stats.migration_rounds);
+        self.metrics
+            .add("rebalance_migrated_components", stats.migrated_components);
+        self.metrics
+            .add("rebalance_migrated_txns", stats.migrated_txns);
+        self.metrics
+            .add("rebalance_migrated_work_ticks", stats.migrated_work);
+        self.metrics.add("rebalance_steals", stats.steals);
+        for e in &stats.events {
+            self.push(RecordedEvent::Rebalance(*e));
         }
     }
 
@@ -330,6 +358,35 @@ fn event_line_inner(seq: u64, ev: &RecordedEvent) -> String {
                 None => obj.finish(),
             }
         }
+        RecordedEvent::Rebalance(e) => match *e {
+            RebalanceEvent::Migration {
+                at,
+                key,
+                from,
+                to,
+                txns,
+                work_ticks,
+            } => JsonObject::new()
+                .str("kind", "rebalance")
+                .str("action", "migration")
+                .int("seq", seq as i128)
+                .int("at", at.ticks() as i128)
+                .int("key", key as i128)
+                .int("from", from as i128)
+                .int("to", to as i128)
+                .int("txns", txns as i128)
+                .int("work_ticks", work_ticks as i128)
+                .finish(),
+            RebalanceEvent::Steal { at, txn, from, to } => JsonObject::new()
+                .str("kind", "rebalance")
+                .str("action", "steal")
+                .int("seq", seq as i128)
+                .int("at", at.ticks() as i128)
+                .int("txn", txn.0 as i128)
+                .int("from", from as i128)
+                .int("to", to as i128)
+                .finish(),
+        },
     }
 }
 
@@ -484,6 +541,48 @@ mod tests {
         let p = crate::json::parse_flat(lines[1]).unwrap();
         assert_eq!(p.str("kind"), Some("dispatch"));
         assert_eq!(p.int("preempted"), Some(2));
+    }
+
+    #[test]
+    fn rebalance_telemetry_ingests_as_counters_and_ring_events() {
+        use asets_sim::RebalanceStats;
+        let mut rec = FlightRecorder::new(8);
+        let stats = RebalanceStats {
+            migration_rounds: 1,
+            migrated_components: 1,
+            migrated_txns: 3,
+            migrated_work: 40,
+            steals: 1,
+            events: vec![
+                RebalanceEvent::Migration {
+                    at: SimTime::from_units_int(10),
+                    key: 2,
+                    from: 1,
+                    to: 0,
+                    txns: 3,
+                    work_ticks: 40,
+                },
+                RebalanceEvent::Steal {
+                    at: SimTime::from_units_int(12),
+                    txn: TxnId(7),
+                    from: 1,
+                    to: 0,
+                },
+            ],
+        };
+        rec.ingest_rebalance(&stats);
+        assert_eq!(rec.metrics().counter("rebalance_migrated_txns"), 3);
+        assert_eq!(rec.metrics().counter("rebalance_steals"), 1);
+        assert_eq!(rec.len(), 2);
+        let dump = rec.dump();
+        let lines: Vec<&str> = dump.lines().collect();
+        let m = crate::json::parse_flat(lines[0]).unwrap();
+        assert_eq!(m.str("kind"), Some("rebalance"));
+        assert_eq!(m.str("action"), Some("migration"));
+        assert_eq!(m.int("work_ticks"), Some(40));
+        let s = crate::json::parse_flat(lines[1]).unwrap();
+        assert_eq!(s.str("action"), Some("steal"));
+        assert_eq!(s.int("txn"), Some(7));
     }
 
     #[test]

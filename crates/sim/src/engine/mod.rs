@@ -203,15 +203,7 @@ impl<S: Scheduler> Engine<S> {
     pub fn run(mut self) -> SimResult {
         while self.step() {}
         debug_assert!(self.pump.exhausted());
-        let outcomes = self.table.outcomes();
-        SimResult {
-            summary: MetricsSummary::from_outcomes(&outcomes),
-            outcomes,
-            stats: self.stats,
-            trace: self.trace,
-            backlog: self.backlog.map(|(_, series)| series),
-            epochs: self.epoch,
-        }
+        self.finish()
     }
 
     /// Process the next scheduling point; `false` once every transaction
@@ -606,6 +598,106 @@ impl<S: Scheduler> Engine<S> {
     fn record(&mut self, e: TraceEvent) {
         if let Some(trace) = &mut self.trace {
             trace.events.push(e);
+        }
+    }
+
+    // ---- Coordinated multi-shard surface ----
+    //
+    // The coordinated sharded runtime (`crate::sharded`) drives K engines
+    // over one *global* spec batch: every engine holds the full table, but
+    // its pump delivers only the shard's owned arrivals, and an external
+    // coordinator steps whichever engine has the globally earliest
+    // scheduling point. These crate-internal hooks expose exactly what that
+    // loop needs — clock/point introspection, pump surgery for epoch
+    // migration, and the two halves of a work-steal handoff.
+
+    /// Restrict the pump to arrivals passing `keep` (shard ownership).
+    /// Must be called before the first step.
+    pub(crate) fn restrict_arrivals(&mut self, keep: impl FnMut(TxnId) -> bool) {
+        self.pump.retain_arrivals(keep);
+    }
+
+    /// The engine's next scheduling point, with the same completion >
+    /// arrival > wakeup fold as [`Engine::step`] but no stall panic: a
+    /// coordinated shard with nothing to do simply has no next point.
+    pub(crate) fn next_point_time(&self) -> Option<SimTime> {
+        let completion = self.pool.earliest_completion(&self.table);
+        let now = self.pump.now();
+        let wakeup = self.policy.next_wakeup(now).filter(|&w| w > now);
+        self.pump.next_point(completion, wakeup).map(|(t, _)| t)
+    }
+
+    /// Process the scheduling point at `t` (chosen by the coordinator).
+    pub(crate) fn step_at(&mut self, t: SimTime) {
+        self.step_to(t);
+    }
+
+    /// Completed transactions so far (on this shard's table).
+    pub(crate) fn completed(&self) -> usize {
+        self.table.completed_count()
+    }
+
+    /// Servers with no occupant right now.
+    pub(crate) fn idle_servers(&self) -> usize {
+        self.pool.len() - self.pool.busy_count()
+    }
+
+    /// Transactions ready but not running — the shard's waiting backlog
+    /// gauge (a steal thief must read zero here; victims are ranked by it).
+    pub(crate) fn waiting_ready(&self) -> usize {
+        self.table
+            .ids()
+            .filter(|&t| self.table.state(t).phase == TxnPhase::Ready)
+            .count()
+    }
+
+    /// Ask the policy for up to `k` steal candidates (latest-start order).
+    pub(crate) fn steal_candidates_into(&self, k: usize, out: &mut Vec<TxnId>) {
+        self.policy
+            .steal_candidates(&self.table, self.pump.now(), k, out);
+    }
+
+    /// Victim half of a steal: return `t` to Pending (it must be ready and
+    /// never served) and retire it from the policy's queues.
+    pub(crate) fn retract_stolen(&mut self, t: TxnId, now: SimTime) {
+        self.table.retract(t);
+        self.policy.on_stolen(t, &self.table, now);
+    }
+
+    /// Thief half of a steal: the stolen transaction arrives here at `now`.
+    /// No `Arrived` trace event is recorded — the victim already logged the
+    /// real arrival; the handoff shows up as this shard's `Dispatched`.
+    /// The caller must step this engine at `now` right after, so the
+    /// injected transaction reaches a dispatch decision even if the shard
+    /// had no pending event of its own.
+    pub(crate) fn inject_stolen(&mut self, t: TxnId, now: SimTime) {
+        let ready = self.table.arrive(t, now);
+        debug_assert!(ready, "stolen transactions are dependency-free");
+        self.policy.on_ready(t, &self.table, now);
+    }
+
+    /// Extract the pending arrivals of `ids` (sorted ascending) for
+    /// migration to another shard; appends `(time, id)` entries to `out`.
+    pub(crate) fn extract_arrivals(&mut self, ids: &[TxnId], out: &mut Vec<(SimTime, TxnId)>) {
+        self.pump.extract_arrivals(ids, out);
+    }
+
+    /// Admit arrival entries extracted from another shard.
+    pub(crate) fn admit_arrivals(&mut self, entries: &[(SimTime, TxnId)]) {
+        self.pump.admit_arrivals(entries);
+    }
+
+    /// Final report over whatever completed on this engine's table (the
+    /// whole batch in a solo run; the shard's owned share when coordinated).
+    pub(crate) fn finish(self) -> SimResult {
+        let outcomes = self.table.outcomes();
+        SimResult {
+            summary: MetricsSummary::from_outcomes(&outcomes),
+            outcomes,
+            stats: self.stats,
+            trace: self.trace,
+            backlog: self.backlog.map(|(_, series)| series),
+            epochs: self.epoch,
         }
     }
 }

@@ -73,6 +73,23 @@ impl EventPump {
     pub fn exhausted(&self) -> bool {
         self.arrivals.exhausted()
     }
+
+    /// Restrict the calendar to arrivals passing `keep` (coordinated
+    /// sharding: each shard's pump delivers only its owned transactions).
+    pub fn retain_arrivals(&mut self, keep: impl FnMut(TxnId) -> bool) {
+        self.arrivals.retain(keep);
+    }
+
+    /// Extract the pending arrivals of `ids` (sorted ascending) for
+    /// migration to another shard's pump; appends the entries to `out`.
+    pub fn extract_arrivals(&mut self, ids: &[TxnId], out: &mut Vec<(SimTime, TxnId)>) {
+        self.arrivals.extract_pending(ids, out);
+    }
+
+    /// Admit arrival entries extracted from another shard's pump.
+    pub fn admit_arrivals(&mut self, entries: &[(SimTime, TxnId)]) {
+        self.arrivals.admit(entries);
+    }
 }
 
 #[cfg(test)]

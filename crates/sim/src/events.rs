@@ -84,6 +84,62 @@ impl ArrivalSchedule {
     pub fn exhausted(&self) -> bool {
         self.next == self.order.len()
     }
+
+    /// Drop every not-yet-delivered arrival whose id fails `keep`. Used by
+    /// the coordinated sharded runtime to restrict a full-batch calendar to
+    /// the shard's owned transactions; already-delivered entries are
+    /// untouched.
+    pub fn retain(&mut self, mut keep: impl FnMut(TxnId) -> bool) {
+        let mut write = self.next;
+        for read in self.next..self.order.len() {
+            if keep(self.order[read].1) {
+                self.order.swap(write, read);
+                write += 1;
+            }
+        }
+        self.order.truncate(write);
+    }
+
+    /// Remove the pending arrivals of `ids` (sorted ascending, deduplicated)
+    /// and append the extracted `(time, id)` entries to `out`. Entries of
+    /// ids that are not pending are ignored. The remaining calendar stays
+    /// sorted — extraction compacts in place.
+    pub fn extract_pending(&mut self, ids: &[TxnId], out: &mut Vec<(SimTime, TxnId)>) {
+        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must be sorted");
+        let mut write = self.next;
+        for read in self.next..self.order.len() {
+            let (t, id) = self.order[read];
+            if ids.binary_search(&id).is_ok() {
+                out.push((t, id));
+            } else {
+                self.order[write] = (t, id);
+                write += 1;
+            }
+        }
+        self.order.truncate(write);
+    }
+
+    /// Admit entries previously extracted from another shard's calendar.
+    ///
+    /// # Panics
+    /// If any entry is not strictly in the future of the cursor (admitting
+    /// an already-due arrival would silently never deliver it).
+    pub fn admit(&mut self, entries: &[(SimTime, TxnId)]) {
+        if entries.is_empty() {
+            return;
+        }
+        if self.next > 0 {
+            let cursor = self.order[self.next - 1].0;
+            for &(t, _) in entries {
+                assert!(
+                    t >= cursor,
+                    "admitted arrival at {t} behind the delivered cursor {cursor}"
+                );
+            }
+        }
+        self.order.extend_from_slice(entries);
+        self.order[self.next..].sort_unstable();
+    }
 }
 
 /// Fold the three event sources into the next instant to advance to.

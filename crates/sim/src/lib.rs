@@ -47,8 +47,11 @@ pub mod trace;
 
 pub use engine::{Engine, ServerPool, SimResult};
 pub use runner::{
-    compare_policies, simulate, simulate_batched, simulate_observed, simulate_traced, simulate_with,
+    compare_policies, simulate, simulate_batched, simulate_observed, simulate_per_event,
+    simulate_traced, simulate_with,
 };
-pub use sharded::{ShardRun, ShardedResult, ShardedRuntime};
+pub use sharded::{
+    RebalanceConfig, RebalanceEvent, RebalanceStats, ShardRun, ShardedResult, ShardedRuntime,
+};
 pub use stats::{BacklogSample, BacklogSeries, EpochStats, RunStats};
 pub use trace::{Trace, TraceEvent};

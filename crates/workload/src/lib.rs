@@ -35,7 +35,7 @@ pub mod zipf;
 pub use gen::{generate, PAPER_SEEDS};
 pub use io::{load, read_batch, save, write_batch, TraceError};
 pub use rng::Rng64;
-pub use scenarios::{deep_chains, shard_loads};
+pub use scenarios::{deep_chains, shard_loads, skewed_shards};
 pub use spec::{SpecError, TableISpec, WorkflowParams};
 pub use wfgen::{add_workflows, workflow_stats, WorkflowStats};
 pub use zipf::Zipf;

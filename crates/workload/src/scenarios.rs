@@ -8,6 +8,7 @@
 use crate::gen::generate;
 use crate::rng::Rng64;
 use crate::spec::{SpecError, TableISpec, WorkflowParams};
+use crate::zipf::Zipf;
 use asets_core::time::{SimDuration, SimTime};
 use asets_core::txn::{TxnId, TxnSpec, Weight};
 
@@ -198,6 +199,86 @@ pub fn shard_loads(specs: &[TxnSpec], k: usize) -> Vec<usize> {
         .collect()
 }
 
+/// A Zipf-skewed web workload shaped to stress shard placement: `n`
+/// transactions are sessions against `pages` pages whose popularity follows
+/// `Zipf(pages, alpha)`.
+///
+/// *Hot* pages — pmf above `1.5 / pages`, i.e. noticeably more popular than
+/// uniform — are "cached": every session against one shares a single root
+/// transaction (the cache fill, length 1 at t = 0), so a hot page is one
+/// routing component that is **big by member count but light by work**.
+/// *Cold* pages render from scratch: each session is an independent
+/// **heavy singleton** (length 20–50). Arrivals spread over `[0, n/2)` so a
+/// run interleaves in-flight backlog with still-future components.
+///
+/// The point of the shape: the sharded runtime's LPT placement balances
+/// *member counts*, so at high `alpha` one shard swallows the hottest page's
+/// huge-but-light star while the heavy singletons crowd the rest — exactly
+/// the skew that epoch migration and work stealing exist to fix. At
+/// `alpha = 0` the pmf is exactly `1/pages`, **no** page clears the hot
+/// threshold, and the batch degenerates to uniform independent singletons
+/// on which static placement is already near-optimal (the no-regression
+/// side of the `steal_gate` check).
+///
+/// Deterministic for a given `(n, pages, alpha, seed)`.
+///
+/// # Panics
+/// If `pages == 0` or `alpha` is not finite and non-negative (per
+/// [`Zipf::new`]).
+pub fn skewed_shards(n: usize, pages: u64, alpha: f64, seed: u64) -> Vec<TxnSpec> {
+    let zipf = Zipf::new(pages, alpha);
+    let mut rng = Rng64::new(seed ^ 0x5CA1_ED5E_ED5E_ED00);
+    let hot: Vec<bool> = (1..=pages)
+        .map(|p| zipf.pmf(p) > 1.5 / pages as f64)
+        .collect();
+    let horizon = (n as u64 / 2).max(1);
+    let mut specs = Vec::with_capacity(n);
+    // Cache-fill roots first, so a star's routing key is its root id.
+    let mut root_of: Vec<Option<u32>> = vec![None; pages as usize];
+    for p in 0..pages as usize {
+        if hot[p] && specs.len() < n {
+            let length = SimDuration::from_units_int(1);
+            root_of[p] = Some(specs.len() as u32);
+            specs.push(TxnSpec {
+                arrival: SimTime::ZERO,
+                deadline: SimTime::ZERO + length + SimDuration::from_units_int(50),
+                length,
+                weight: Weight::ONE,
+                deps: vec![],
+            });
+        }
+    }
+    while specs.len() < n {
+        let page = (zipf.sample(&mut rng) - 1) as usize;
+        let arrival = SimTime::from_units_int(rng.range_u64(0, horizon - 1));
+        let weight = Weight(1 + rng.range_u64(0, 4) as u32);
+        specs.push(if let Some(root) = root_of[page] {
+            // Cached page: a light session hanging off the shared root.
+            let length = SimDuration::from_units_int(rng.range_u64(1, 2));
+            let slack = SimDuration::from_units_int(rng.range_u64(5, 40));
+            TxnSpec {
+                arrival,
+                deadline: arrival + length + slack,
+                length,
+                weight,
+                deps: vec![TxnId(root)],
+            }
+        } else {
+            // Cold page: render from scratch, alone.
+            let length = SimDuration::from_units_int(rng.range_u64(20, 50));
+            let slack = SimDuration::from_units_int(rng.range_u64(10, 80));
+            TxnSpec {
+                arrival,
+                deadline: arrival + length + slack,
+                length,
+                weight,
+                deps: vec![],
+            }
+        });
+    }
+    specs
+}
+
 /// The full §IV-A workflow sweep grid the paper mentions ("varied the
 /// maximum workflow length from three to ten, and ... number of workflows
 /// from one to ten").
@@ -359,6 +440,75 @@ mod tests {
         assert!(max - min <= 100, "loads {loads:?} differ by over one chain");
         // K=1 is the identity placement.
         assert_eq!(shard_loads(&specs, 1), vec![1_000]);
+    }
+
+    #[test]
+    fn skewed_shards_builds_hot_stars_and_cold_singletons() {
+        let specs = skewed_shards(2_000, 32, 2.0, 7);
+        assert_eq!(specs.len(), 2_000);
+        DepDag::build(&specs).unwrap();
+        // Roots are the zero-arrival length-1 prefix; at alpha = 2 the
+        // Zipf head holds most of the mass, so a handful of pages clear
+        // the hot threshold.
+        let n_roots = specs.iter().take_while(|s| s.deps.is_empty()).count();
+        assert!(
+            (1..=8).contains(&n_roots),
+            "unexpected root count {n_roots}"
+        );
+        let mut star_members = vec![0usize; n_roots];
+        let mut singletons = 0usize;
+        for s in specs.iter().skip(n_roots) {
+            match s.deps.as_slice() {
+                [] => {
+                    singletons += 1;
+                    assert!(s.length >= SimDuration::from_units_int(20));
+                }
+                [TxnId(r)] => {
+                    star_members[*r as usize] += 1;
+                    assert!(s.length <= SimDuration::from_units_int(2));
+                }
+                other => panic!("session with {} deps", other.len()),
+            }
+        }
+        // The hottest page's star dwarfs everything; heavy singletons
+        // still carry almost all the work.
+        assert!(
+            star_members[0] > 500,
+            "hot star too small: {star_members:?}"
+        );
+        assert!(singletons > 100, "too few cold singletons: {singletons}");
+        let star_count: usize = star_members.iter().sum();
+        assert!(star_count + singletons + n_roots == 2_000);
+        // Count-based LPT misplaces this badly: the max-count shard holds
+        // far more members than its share of the *work*.
+        let loads = shard_loads(&specs, 4);
+        let max = *loads.iter().max().unwrap();
+        assert!(max > 600, "expected a count-heavy shard, got {loads:?}");
+    }
+
+    #[test]
+    fn skewed_shards_uniform_alpha_degenerates_to_singletons() {
+        let specs = skewed_shards(1_000, 32, 0.0, 7);
+        assert_eq!(specs.len(), 1_000);
+        assert!(
+            specs.iter().all(|s| s.deps.is_empty()),
+            "no stars at alpha=0"
+        );
+        let loads = shard_loads(&specs, 4);
+        let (min, max) = (*loads.iter().min().unwrap(), *loads.iter().max().unwrap());
+        assert!(max - min <= 1, "uniform batch should balance: {loads:?}");
+    }
+
+    #[test]
+    fn skewed_shards_is_deterministic_per_seed() {
+        assert_eq!(
+            skewed_shards(500, 16, 1.5, 3),
+            skewed_shards(500, 16, 1.5, 3)
+        );
+        assert_ne!(
+            skewed_shards(500, 16, 1.5, 3),
+            skewed_shards(500, 16, 1.5, 4)
+        );
     }
 
     #[test]

@@ -131,6 +131,39 @@ fn fig7_dump_is_self_consistent_end_to_end() {
     assert_eq!(dispatches, traced);
 }
 
+/// A rebalanced sharded run's telemetry survives the full observability
+/// path: ingest into a flight recorder, counters match the run's stats,
+/// and the dumped movement log parses back identical.
+#[test]
+fn rebalance_telemetry_flows_into_the_flight_recorder() {
+    use asets_sim::{RebalanceConfig, ShardedRuntime};
+    let specs = asets_workload::skewed_shards(600, 16, 2.0, 5);
+    let r = ShardedRuntime::new(specs, PolicyKind::asets_star())
+        .shards(4)
+        .rebalance(RebalanceConfig::migrate_every(units(50)).with_steal(4))
+        .run()
+        .unwrap();
+    let stats = r.rebalance.as_ref().expect("coordinated run");
+    assert!(
+        stats.steals > 0 || stats.migrated_components > 0,
+        "skewed batch must trigger rebalancing"
+    );
+    let mut rec = asets_obs::FlightRecorder::new(1 << 16);
+    rec.ingest_rebalance(stats);
+    assert_eq!(
+        rec.metrics().counter("rebalance_steals"),
+        stats.steals,
+        "counter mirrors the run"
+    );
+    assert_eq!(
+        rec.metrics().counter("rebalance_migrated_txns"),
+        stats.migrated_txns
+    );
+    let dump = Dump::parse(&rec.dump()).expect("rebalance lines round-trip");
+    let restored: Vec<_> = dump.rebalances().map(|(_, e)| *e).collect();
+    assert_eq!(restored, stats.events);
+}
+
 fn units(u: u64) -> SimDuration {
     SimDuration::from_units_int(u)
 }

@@ -11,7 +11,7 @@
 //! stats.
 
 use asets_core::prelude::*;
-use asets_sim::{simulate_traced, ShardedRuntime};
+use asets_sim::{simulate_traced, RebalanceConfig, RebalanceEvent, ShardedRuntime};
 use proptest::prelude::*;
 
 /// A random dependent, weighted workload (same shape as the policy-oracle
@@ -168,6 +168,98 @@ proptest! {
             for d in &spec.deps {
                 prop_assert!(r.merged.outcomes[d.index()].finish <= r.merged.outcomes[i].finish);
             }
+        }
+    }
+
+    /// With one shard there is nobody to migrate to or steal from, so the
+    /// coordinated runtime with rebalancing fully enabled must *still* be
+    /// the seed engine bit for bit, under every policy — and must report
+    /// zero rebalancing actions.
+    #[test]
+    fn k1_with_rebalancing_is_bit_identical_to_engine(specs in workload_strategy(24)) {
+        let cfg = RebalanceConfig::migrate_every(SimDuration::from_units_int(7)).with_steal(2);
+        for kind in all_kinds() {
+            let plain = simulate_traced(specs.clone(), kind).expect("acyclic");
+            let sharded = ShardedRuntime::new(specs.clone(), kind)
+                .shards(1)
+                .servers(1)
+                .rebalance(cfg)
+                .with_trace()
+                .run()
+                .expect("acyclic");
+            prop_assert_eq!(&sharded.merged.outcomes, &plain.outcomes, "{}", kind.label());
+            prop_assert_eq!(&sharded.merged.stats, &plain.stats, "{}", kind.label());
+            prop_assert_eq!(&sharded.merged.trace, &plain.trace, "{}", kind.label());
+            let stats = sharded.rebalance.as_ref().expect("coordinated run");
+            prop_assert_eq!(stats.steals, 0, "{}", kind.label());
+            prop_assert_eq!(stats.migrated_components, 0, "{}", kind.label());
+        }
+    }
+
+    /// Merge exactness survives rebalancing: with migration and stealing
+    /// active at K>1, every transaction still completes exactly once, the
+    /// merged summary still equals the whole-batch recompute, and the
+    /// telemetry counters are conserved against the event log.
+    #[test]
+    fn rebalanced_runs_are_complete_and_exact(
+        specs in workload_strategy(32),
+        k in 2usize..5,
+        epoch in 3u64..20,
+    ) {
+        let n = specs.len();
+        let cfg = RebalanceConfig::migrate_every(SimDuration::from_units_int(epoch)).with_steal(3);
+        for kind in all_kinds() {
+            let r = ShardedRuntime::new(specs.clone(), kind)
+                .shards(k)
+                .rebalance(cfg)
+                .run()
+                .expect("acyclic");
+
+            // Completeness: every id exactly once, ascending.
+            let ids: Vec<u32> = r.merged.outcomes.iter().map(|o| o.id.0).collect();
+            prop_assert_eq!(ids, (0..n as u32).collect::<Vec<_>>(), "{}", kind.label());
+            prop_assert_eq!(r.merged.stats.completed, n as u64, "{}", kind.label());
+
+            // Definitions 3–5: merged headline equals the recompute.
+            let recomputed = MetricsSummary::from_outcomes(&r.merged.outcomes);
+            prop_assert_eq!(&r.merged.summary, &recomputed, "{}", kind.label());
+
+            // Dependents never finish before predecessors, wherever they ran.
+            for (i, spec) in specs.iter().enumerate() {
+                for d in &spec.deps {
+                    prop_assert!(
+                        r.merged.outcomes[d.index()].finish <= r.merged.outcomes[i].finish
+                    );
+                }
+            }
+
+            // Telemetry counters are exactly the event log, re-aggregated.
+            let stats = r.rebalance.as_ref().expect("coordinated run");
+            let mut migrations = 0u64;
+            let mut mig_txns = 0u64;
+            let mut mig_work = 0u64;
+            let mut steals = 0u64;
+            let mut rounds = std::collections::BTreeSet::new();
+            for e in &stats.events {
+                match *e {
+                    RebalanceEvent::Migration { at, from, to, txns, work_ticks, .. } => {
+                        migrations += 1;
+                        mig_txns += txns as u64;
+                        mig_work += work_ticks;
+                        rounds.insert(at);
+                        prop_assert!(from != to && (from as usize) < k && (to as usize) < k);
+                    }
+                    RebalanceEvent::Steal { from, to, .. } => {
+                        steals += 1;
+                        prop_assert!(from != to && (from as usize) < k && (to as usize) < k);
+                    }
+                }
+            }
+            prop_assert_eq!(stats.migrated_components, migrations, "{}", kind.label());
+            prop_assert_eq!(stats.migrated_txns, mig_txns, "{}", kind.label());
+            prop_assert_eq!(stats.migrated_work, mig_work, "{}", kind.label());
+            prop_assert_eq!(stats.steals, steals, "{}", kind.label());
+            prop_assert_eq!(stats.migration_rounds, rounds.len() as u64, "{}", kind.label());
         }
     }
 
