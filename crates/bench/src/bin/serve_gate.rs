@@ -1,0 +1,260 @@
+//! `serve_gate` — the online-serving acceptance gate.
+//!
+//! ```text
+//! serve_gate [summary.json] [--secs N]
+//! ```
+//!
+//! Runs two wall-clock soaks of the live front-end (`asets-serve` stack:
+//! ingest rings → admission control → `LivePump` engine → `SloMonitor`)
+//! and gates on what must hold at each operating point:
+//!
+//! 1. **Steady** (30 s at 15 pages/s on 2 servers by default): no
+//!    ingest-ring overflow, no shedding, periodic SLO reports actually
+//!    flowed (no monitor stall), lifetime miss ratio at or under the
+//!    pinned threshold, and clean counter conservation.
+//! 2. **Overload** (5 s at 20x the steady rate with a tight in-flight
+//!    bound): admission *must* shed, the in-flight bound must hold
+//!    (bounded queues, not collapse), and admitted work still completes.
+//!
+//! `--secs` (or `SERVE_GATE_SECS`) shrinks the steady soak for local
+//! runs; the summary JSON is provenance-stamped like `steal_gate`'s.
+
+use asets_experiments::serve::{
+    check_conservation, run_serve, ServeConfig, ServeMode, ServeReport,
+};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Duration;
+
+/// Steady offered load, pages per wall second.
+const STEADY_RATE: f64 = 15.0;
+/// Overload offered load, pages per wall second.
+const OVERLOAD_RATE: f64 = 300.0;
+/// Overload in-flight bound (transactions).
+const OVERLOAD_INFLIGHT: usize = 12;
+/// Pinned lifetime miss-ratio ceiling for the steady soak. Measured ~0.00
+/// at 15 pages/s on 2 servers; 0.05 leaves room for slow CI machines.
+const STEADY_MISS_CEILING: f64 = 0.05;
+/// Workload seed.
+const SEED: u64 = 11;
+
+struct Row {
+    name: &'static str,
+    secs: f64,
+    report: ServeReport,
+}
+
+fn steady_cfg(secs: f64) -> ServeConfig {
+    ServeConfig {
+        seed: SEED,
+        duration: Duration::from_secs_f64(secs),
+        mode: ServeMode::Open {
+            pages_per_sec: STEADY_RATE,
+        },
+        report_every: Duration::from_millis(500),
+        ..ServeConfig::default()
+    }
+}
+
+fn overload_cfg(secs: f64) -> ServeConfig {
+    ServeConfig {
+        max_inflight: OVERLOAD_INFLIGHT,
+        mode: ServeMode::Open {
+            pages_per_sec: OVERLOAD_RATE,
+        },
+        ..steady_cfg(secs)
+    }
+}
+
+fn run_rows(steady_secs: f64) -> Result<Vec<Row>, String> {
+    let overload_secs = steady_secs.clamp(1.0, 5.0);
+    let mut rows = Vec::new();
+    for (name, cfg, secs) in [
+        ("steady", steady_cfg(steady_secs), steady_secs),
+        ("overload", overload_cfg(overload_secs), overload_secs),
+    ] {
+        println!(
+            "{name}: {:?} for {secs:.0}s, max in-flight {}",
+            cfg.mode, cfg.max_inflight
+        );
+        let report = run_serve(&cfg)?;
+        println!("  {}", report.summary());
+        rows.push(Row { name, secs, report });
+    }
+    Ok(rows)
+}
+
+fn check_gates(rows: &[Row]) -> Result<(), String> {
+    let steady = &rows[0].report;
+    let overload = &rows[1].report;
+    for row in rows {
+        check_conservation(&row.report)
+            .map_err(|e| format!("{}: counter conservation: {e}", row.name))?;
+    }
+
+    if steady.live.dropped > 0 {
+        return Err(format!(
+            "steady: {} jobs dropped at the ingest ring (gate: 0)",
+            steady.live.dropped
+        ));
+    }
+    if steady.live.shed_overload + steady.live.shed_infeasible > 0 {
+        return Err(format!(
+            "steady: shed {}+{} at sane load (gate: 0)",
+            steady.live.shed_overload, steady.live.shed_infeasible
+        ));
+    }
+    // SLO-monitor stall check: at a 500 ms cadence a soak must emit at
+    // least half its nominal report count (heartbeats guarantee the loop
+    // never sleeps through the reporter).
+    let expected_reports = (rows[0].secs / 0.5) as u64;
+    if steady.reports_emitted < expected_reports / 2 {
+        return Err(format!(
+            "steady: only {} of ~{expected_reports} SLO reports emitted (monitor stall?)",
+            steady.reports_emitted
+        ));
+    }
+    if steady.completions == 0 {
+        return Err("steady: no completions".into());
+    }
+    if steady.miss_ratio > STEADY_MISS_CEILING {
+        return Err(format!(
+            "steady: miss ratio {:.4} above pinned ceiling {STEADY_MISS_CEILING}",
+            steady.miss_ratio
+        ));
+    }
+    println!(
+        "gate ok: steady soak clean (miss ratio {:.4} <= {STEADY_MISS_CEILING}, {} reports)",
+        steady.miss_ratio, steady.reports_emitted
+    );
+
+    if overload.live.shed_overload == 0 {
+        return Err(format!(
+            "overload: nothing shed at {OVERLOAD_RATE} pages/s with a {OVERLOAD_INFLIGHT}-txn bound"
+        ));
+    }
+    if overload.live.peak_inflight > OVERLOAD_INFLIGHT as u64 {
+        return Err(format!(
+            "overload: peak in-flight {} exceeded the bound {OVERLOAD_INFLIGHT}",
+            overload.live.peak_inflight
+        ));
+    }
+    if overload.completions == 0 {
+        return Err("overload: admitted work never completed".into());
+    }
+    println!(
+        "gate ok: overload shed {} jobs, peak in-flight {} <= {OVERLOAD_INFLIGHT}",
+        overload.live.shed_overload, overload.live.peak_inflight
+    );
+    Ok(())
+}
+
+/// Best-effort provenance, mirroring the criterion shim's stamp fields.
+fn provenance() -> (String, String, String) {
+    let git_sha = std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    let date_unix = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs().to_string())
+        .unwrap_or_else(|_| "unknown".to_string());
+    let host = std::env::var("HOSTNAME")
+        .ok()
+        .filter(|h| !h.is_empty())
+        .or_else(|| {
+            std::process::Command::new("uname")
+                .arg("-n")
+                .output()
+                .ok()
+                .filter(|o| o.status.success())
+                .and_then(|o| String::from_utf8(o.stdout).ok())
+                .map(|s| s.trim().to_string())
+                .filter(|h| !h.is_empty())
+        })
+        .unwrap_or_else(|| "unknown".to_string());
+    (git_sha, date_unix, host)
+}
+
+fn write_summary(path: &str, rows: &[Row]) -> Result<(), String> {
+    let (git_sha, date_unix, host) = provenance();
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"serve_gate\",");
+    let _ = writeln!(out, "  \"git_sha\": \"{git_sha}\",");
+    let _ = writeln!(out, "  \"date_unix\": \"{date_unix}\",");
+    let _ = writeln!(out, "  \"host\": \"{host}\",");
+    let _ = writeln!(
+        out,
+        "  \"workload\": {{\"steady_rate\": {STEADY_RATE}, \"overload_rate\": {OVERLOAD_RATE}, \
+         \"overload_inflight\": {OVERLOAD_INFLIGHT}, \"seed\": {SEED}}},"
+    );
+    out.push_str("  \"results\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let l = &row.report.live;
+        let _ = writeln!(
+            out,
+            "    {{\"group\": \"serve_gate\", \"id\": \"{}\", \"secs\": {:.1}, \
+             \"submitted\": {}, \"dropped\": {}, \"admitted\": {}, \"shed_overload\": {}, \
+             \"shed_infeasible\": {}, \"completions\": {}, \"miss_ratio\": {:.6}, \
+             \"window_miss_ratio\": {:.6}, \"p99_tardiness_units\": {:.4}, \
+             \"peak_inflight\": {}, \"reports\": {}}}{}",
+            row.name,
+            row.secs,
+            l.submitted,
+            l.dropped,
+            l.admitted,
+            l.shed_overload,
+            l.shed_infeasible,
+            row.report.completions,
+            row.report.miss_ratio,
+            row.report.window_miss_ratio,
+            row.report.p99_tardiness_units,
+            l.peak_inflight,
+            row.report.reports_emitted,
+            if i + 1 < rows.len() { "," } else { "" },
+        );
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).map_err(|e| format!("could not write {path}: {e}"))?;
+    println!("gate summary written to {path}");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path = "BENCH_serve_gate.json".to_string();
+    let mut secs = std::env::var("SERVE_GATE_SECS")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(30.0);
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--secs" {
+            match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v > 0.0 => secs = v,
+                _ => {
+                    eprintln!("serve_gate: --secs needs a positive number");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            path = arg.clone();
+        }
+    }
+    let run = run_rows(secs).and_then(|rows| {
+        write_summary(&path, &rows)?;
+        check_gates(&rows)
+    });
+    match run {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("serve_gate: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -155,6 +155,27 @@ impl TxnTable {
         }
     }
 
+    /// Re-anchor `t`'s arrival at `now`, preserving its SLA width
+    /// (`deadline − arrival`). The online serving path uses this at
+    /// delivery: a live universe is compiled with nominal arrival times,
+    /// but a request's SLA clock starts when admission actually delivers
+    /// it, so the engine rebases the spec to the wall-clock instant before
+    /// calling [`TxnTable::arrive`]. Purely-simulated runs never call this.
+    ///
+    /// # Panics
+    /// If `t` has already arrived (its deadline is then live state).
+    pub fn rebase_arrival(&mut self, t: TxnId, now: SimTime) {
+        assert_eq!(
+            self.states[t.index()].phase,
+            TxnPhase::Pending,
+            "{t} rebased after arrival"
+        );
+        let spec = &mut self.specs[t.index()];
+        let sla = spec.deadline.saturating_since(spec.arrival);
+        spec.arrival = now;
+        spec.deadline = now + sla;
+    }
+
     /// Undo an arrival: return a ready, never-dispatched `t` to `Pending`.
     ///
     /// This is the victim-side half of a cross-shard steal. The thief's

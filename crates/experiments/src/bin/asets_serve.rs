@@ -1,0 +1,199 @@
+//! `asets-serve` — the online serving front-end.
+//!
+//! Runs a wall-clock soak of the ASETS\* scheduler behind live ingest,
+//! admission control and SLO telemetry:
+//!
+//! ```text
+//! asets-serve                         # 5 s open-loop smoke at 10 pages/s
+//! asets-serve soak                    # 30 s soak with live SLO output
+//! asets-serve --mode closed --users 8 --think 50
+//! asets-serve --rate 200 --max-inflight 64 --shed-infeasible   # overload
+//! asets-serve soak --prometheus slo.prom --jsonl slo.jsonl
+//! ```
+//!
+//! Flags: `--duration SECS`, `--mode open|closed`, `--rate PAGES/S`,
+//! `--users N`, `--think MS`, `--policy NAME`, `--servers N`,
+//! `--max-inflight N`, `--shed-infeasible`, `--seed N`, `--scale TICKS/µS`,
+//! `--report-every MS`, `--prometheus PATH`, `--jsonl PATH`, `--quiet`.
+
+use asets_core::policy::{ImpactRule, PolicyKind};
+use asets_experiments::serve::{check_conservation, run_serve, ServeConfig, ServeMode};
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn parse_policy(name: &str) -> Result<PolicyKind, String> {
+    Ok(match name {
+        "fcfs" => PolicyKind::Fcfs,
+        "edf" => PolicyKind::Edf,
+        "srpt" => PolicyKind::Srpt,
+        "ls" | "least-slack" => PolicyKind::LeastSlack,
+        "hdf" => PolicyKind::Hdf,
+        "asets" => PolicyKind::Asets,
+        "hvf" => PolicyKind::Hvf,
+        "ready" => PolicyKind::Ready,
+        "asets-star" | "asets_star" => PolicyKind::AsetsStar {
+            impact: ImpactRule::Paper,
+        },
+        other => return Err(format!("unknown policy `{other}`")),
+    })
+}
+
+struct Cli {
+    cfg: ServeConfig,
+    prometheus: Option<String>,
+    jsonl: Option<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cfg = ServeConfig {
+        live_output: true,
+        ..ServeConfig::default()
+    };
+    let mut prometheus = None;
+    let mut jsonl = None;
+    let mut rate = None;
+    let mut users = None;
+    let mut think = None;
+    let mut mode = None;
+    let mut it = args.iter().peekable();
+    let next_val = |it: &mut std::iter::Peekable<std::slice::Iter<'_, String>>,
+                    flag: &str|
+     -> Result<String, String> {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "soak" => {
+                cfg.duration = Duration::from_secs(30);
+            }
+            "--duration" => {
+                let v: f64 = next_val(&mut it, "--duration")?
+                    .parse()
+                    .map_err(|e| format!("--duration: {e}"))?;
+                cfg.duration = Duration::from_secs_f64(v);
+            }
+            "--mode" => mode = Some(next_val(&mut it, "--mode")?),
+            "--rate" => {
+                rate = Some(
+                    next_val(&mut it, "--rate")?
+                        .parse::<f64>()
+                        .map_err(|e| format!("--rate: {e}"))?,
+                )
+            }
+            "--users" => {
+                users = Some(
+                    next_val(&mut it, "--users")?
+                        .parse::<u64>()
+                        .map_err(|e| format!("--users: {e}"))?,
+                )
+            }
+            "--think" => {
+                think = Some(
+                    next_val(&mut it, "--think")?
+                        .parse::<f64>()
+                        .map_err(|e| format!("--think: {e}"))?,
+                )
+            }
+            "--policy" => cfg.policy = parse_policy(&next_val(&mut it, "--policy")?)?,
+            "--servers" => {
+                cfg.servers = next_val(&mut it, "--servers")?
+                    .parse()
+                    .map_err(|e| format!("--servers: {e}"))?
+            }
+            "--max-inflight" => {
+                cfg.max_inflight = next_val(&mut it, "--max-inflight")?
+                    .parse()
+                    .map_err(|e| format!("--max-inflight: {e}"))?
+            }
+            "--shed-infeasible" => cfg.shed_infeasible = true,
+            "--seed" => {
+                cfg.seed = next_val(&mut it, "--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--scale" => {
+                cfg.scale = next_val(&mut it, "--scale")?
+                    .parse()
+                    .map_err(|e| format!("--scale: {e}"))?
+            }
+            "--report-every" => {
+                let ms: u64 = next_val(&mut it, "--report-every")?
+                    .parse()
+                    .map_err(|e| format!("--report-every: {e}"))?;
+                cfg.report_every = Duration::from_millis(ms.max(1));
+            }
+            "--prometheus" => prometheus = Some(next_val(&mut it, "--prometheus")?),
+            "--jsonl" => jsonl = Some(next_val(&mut it, "--jsonl")?),
+            "--quiet" => cfg.live_output = false,
+            other => {
+                return Err(format!(
+                    "unknown argument `{other}` (see --help in the doc)"
+                ))
+            }
+        }
+    }
+    cfg.mode = match mode.as_deref() {
+        None | Some("open") => ServeMode::Open {
+            pages_per_sec: rate.unwrap_or(10.0),
+        },
+        Some("closed") => ServeMode::Closed {
+            users: users.unwrap_or(8).clamp(1, 64),
+            mean_think_ms: think.unwrap_or(50.0),
+        },
+        Some(other) => return Err(format!("unknown mode `{other}` (open|closed)")),
+    };
+    Ok(Cli {
+        cfg,
+        prometheus,
+        jsonl,
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("asets-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "asets-serve: {:?} for {:.1}s, policy {}, {} servers, max in-flight {}",
+        cli.cfg.mode,
+        cli.cfg.duration.as_secs_f64(),
+        cli.cfg.policy.label(),
+        cli.cfg.servers,
+        cli.cfg.max_inflight,
+    );
+    let report = match run_serve(&cli.cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("asets-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{}", report.summary());
+    if let Err(e) = check_conservation(&report) {
+        eprintln!("asets-serve: counter conservation violated: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Some(path) = cli.prometheus {
+        if let Err(e) = std::fs::write(&path, &report.prometheus) {
+            eprintln!("asets-serve: could not write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("prometheus exposition written to {path}");
+    }
+    if let Some(path) = cli.jsonl {
+        let body = report.jsonl.join("\n") + "\n";
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("asets-serve: could not write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("{} JSONL reports written to {path}", report.reports_emitted);
+    }
+    ExitCode::SUCCESS
+}

@@ -24,7 +24,9 @@ pub mod config;
 pub mod figures;
 pub mod obs_support;
 pub mod report;
+pub mod serve;
 pub mod sweep;
 
 pub use config::{ExpConfig, FigureId};
 pub use report::Report;
+pub use serve::{check_conservation, run_serve, ServeConfig, ServeMode, ServeReport};

@@ -46,7 +46,7 @@ pub mod pool;
 pub mod pump;
 
 pub use pool::{Running, ServerPool};
-pub use pump::EventPump;
+pub use pump::{EventPump, Pump, SpecPump};
 
 use crate::stats::{BacklogSample, BacklogSeries, EpochStats, RunStats};
 use crate::trace::{Trace, TraceEvent};
@@ -81,10 +81,14 @@ pub struct SimResult {
 
 /// A discrete-event simulation of one transaction batch under one policy,
 /// on an M-server pool (M = 1 by default: the paper's model).
-pub struct Engine<S> {
+///
+/// Generic over the time/arrival seam `P`: the default [`EventPump`] runs
+/// in simulated time (every determinism pin uses it); a
+/// [`crate::live::LivePump`] runs the same engine against the wall clock.
+pub struct Engine<S, P = EventPump> {
     table: TxnTable,
     policy: S,
-    pump: EventPump,
+    pump: P,
     pool: ServerPool,
     stats: RunStats,
     trace: Option<Trace>,
@@ -103,9 +107,19 @@ pub struct Engine<S> {
 }
 
 impl<S: Scheduler> Engine<S> {
-    /// Build a single-server engine over a validated batch.
+    /// Build a single-server engine over a validated batch, in simulated
+    /// time (the default pump).
     pub fn new(specs: Vec<TxnSpec>, policy: S) -> Result<Self, DagError> {
         let pump = EventPump::new(&specs);
+        Self::with_pump(specs, policy, pump)
+    }
+}
+
+impl<S: Scheduler, P: Pump> Engine<S, P> {
+    /// Build a single-server engine over a validated batch with an
+    /// explicit pump — the generic constructor behind [`Engine::new`],
+    /// and the way the live front-end installs a wall-clock pump.
+    pub fn with_pump(specs: Vec<TxnSpec>, policy: S, pump: P) -> Result<Self, DagError> {
         let table = TxnTable::new(specs)?;
         Ok(Engine {
             table,
@@ -222,6 +236,12 @@ impl<S: Scheduler> Engine<S> {
         let now = self.pump.now();
         let wakeup = self.policy.next_wakeup(now).filter(|&w| w > now);
         let Some((t, _kind)) = self.pump.next_point(completion, wakeup) else {
+            if P::REAL_TIME {
+                // A drained wall-clock pump is normal termination: shed
+                // (never-admitted) transactions legitimately never
+                // complete, so `all_completed` cannot be the exit test.
+                return false;
+            }
             panic!(
                 "simulation stalled at {} with {}/{} completed: policy `{}` \
                  left ready transactions unscheduled",
@@ -279,6 +299,7 @@ impl<S: Scheduler> Engine<S> {
                             }
                         });
                         let released = self.table.complete(r.txn, t, served);
+                        self.pump.note_completed(r.txn);
                         self.stats.completed += 1;
                         self.stats.makespan = t;
                         self.record(TraceEvent::Completed {
@@ -317,6 +338,11 @@ impl<S: Scheduler> Engine<S> {
         self.pump.take_due_into(&mut self.due);
         for i in 0..self.due.len() {
             let id = self.due[i];
+            if P::REAL_TIME {
+                // Online serving: the SLA clock starts at admission, not
+                // at the universe's pre-generated nominal arrival.
+                self.table.rebase_arrival(id, t);
+            }
             let ready = self.table.arrive(id, t);
             self.record(TraceEvent::Arrived {
                 at: t,
@@ -367,6 +393,7 @@ impl<S: Scheduler> Engine<S> {
                         self.released.clear();
                         self.table
                             .complete_into(r.txn, t, served, &mut self.released);
+                        self.pump.note_completed(r.txn);
                         self.stats.completed += 1;
                         self.stats.makespan = t;
                         self.record(TraceEvent::Completed {
@@ -395,6 +422,9 @@ impl<S: Scheduler> Engine<S> {
         self.pump.take_due_into(&mut self.due);
         for i in 0..self.due.len() {
             let id = self.due[i];
+            if P::REAL_TIME {
+                self.table.rebase_arrival(id, t);
+            }
             let ready = self.table.arrive(id, t);
             self.record(TraceEvent::Arrived {
                 at: t,
@@ -613,14 +643,14 @@ impl<S: Scheduler> Engine<S> {
 
     /// Restrict the pump to arrivals passing `keep` (shard ownership).
     /// Must be called before the first step.
-    pub(crate) fn restrict_arrivals(&mut self, keep: impl FnMut(TxnId) -> bool) {
-        self.pump.retain_arrivals(keep);
+    pub(crate) fn restrict_arrivals(&mut self, mut keep: impl FnMut(TxnId) -> bool) {
+        self.pump.retain_arrivals(&mut keep);
     }
 
     /// The engine's next scheduling point, with the same completion >
     /// arrival > wakeup fold as [`Engine::step`] but no stall panic: a
     /// coordinated shard with nothing to do simply has no next point.
-    pub(crate) fn next_point_time(&self) -> Option<SimTime> {
+    pub(crate) fn next_point_time(&mut self) -> Option<SimTime> {
         let completion = self.pool.earliest_completion(&self.table);
         let now = self.pump.now();
         let wakeup = self.policy.next_wakeup(now).filter(|&w| w > now);
@@ -687,9 +717,14 @@ impl<S: Scheduler> Engine<S> {
         self.pump.admit_arrivals(entries);
     }
 
-    /// Final report over whatever completed on this engine's table (the
-    /// whole batch in a solo run; the shard's owned share when coordinated).
-    pub(crate) fn finish(self) -> SimResult {
+    /// Final report over whatever completed on this engine's table: the
+    /// whole batch in a solo run, the shard's owned share when
+    /// coordinated, or the admitted-and-finished subset of a live serve
+    /// loop (shed transactions have no outcome). Public since PR 8 so the
+    /// live front-end can drive [`Engine::step`] manually — interleaving
+    /// SLO reports between scheduling points — and still collect the
+    /// standard report.
+    pub fn finish(self) -> SimResult {
         let outcomes = self.table.outcomes();
         SimResult {
             summary: MetricsSummary::from_outcomes(&outcomes),

@@ -39,13 +39,18 @@
 
 pub mod engine;
 pub mod events;
+pub mod live;
 pub mod runner;
 pub mod sharded;
 pub mod stats;
 pub mod testutil;
 pub mod trace;
 
-pub use engine::{Engine, ServerPool, SimResult};
+pub use engine::{Engine, EventPump, Pump, ServerPool, SimResult, SpecPump};
+pub use live::{
+    IngestRing, JobBoard, JobProducer, JobStatus, LiveConfig, LiveFrontend, LivePump, LiveSnapshot,
+    LiveStats, LiveUniverse,
+};
 pub use runner::{
     compare_policies, simulate, simulate_batched, simulate_observed, simulate_per_event,
     simulate_traced, simulate_with,

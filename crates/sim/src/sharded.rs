@@ -23,7 +23,7 @@
 //! [`RunStats`] counters add; traces and backlog series interleave by
 //! instant with ties broken by shard index.
 
-use crate::engine::{Engine, SimResult};
+use crate::engine::{Engine, EventPump, Pump, SimResult, SpecPump};
 use crate::stats::BacklogSeries;
 use crate::stats::{EpochStats, RunStats};
 use crate::trace::{Trace, TraceEvent};
@@ -186,7 +186,7 @@ pub struct RebalanceStats {
 /// // 8 independent txns over 4 shards: 2 per shard, drained in parallel.
 /// assert_eq!(r.merged.stats.makespan, SimTime::from_units_int(4));
 /// ```
-pub struct ShardedRuntime {
+pub struct ShardedRuntime<P: SpecPump = EventPump> {
     specs: Vec<TxnSpec>,
     kind: PolicyKind,
     shards: usize,
@@ -195,11 +195,12 @@ pub struct ShardedRuntime {
     backlog: Option<SimDuration>,
     batched: bool,
     rebalance: Option<RebalanceConfig>,
+    pump: std::marker::PhantomData<P>,
 }
 
 impl ShardedRuntime {
     /// A runtime over `specs` under `kind`, defaulting to one shard with
-    /// one server — the paper's model.
+    /// one server — the paper's model — on the simulated [`EventPump`].
     pub fn new(specs: Vec<TxnSpec>, kind: PolicyKind) -> ShardedRuntime {
         ShardedRuntime {
             specs,
@@ -210,6 +211,27 @@ impl ShardedRuntime {
             backlog: None,
             batched: true,
             rebalance: None,
+            pump: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<P: SpecPump> ShardedRuntime<P> {
+    /// Swap the pump type every shard engine is built on. The simulated
+    /// [`EventPump`] is the default; any [`SpecPump`] (a pump
+    /// constructible from a spec calendar) slots in without touching the
+    /// partition/merge machinery.
+    pub fn pump_type<Q: SpecPump>(self) -> ShardedRuntime<Q> {
+        ShardedRuntime {
+            specs: self.specs,
+            kind: self.kind,
+            shards: self.shards,
+            servers: self.servers,
+            trace: self.trace,
+            backlog: self.backlog,
+            batched: self.batched,
+            rebalance: self.rebalance,
+            pump: std::marker::PhantomData,
         }
     }
 
@@ -217,7 +239,7 @@ impl ShardedRuntime {
     ///
     /// # Panics
     /// If `k == 0`.
-    pub fn shards(mut self, k: usize) -> ShardedRuntime {
+    pub fn shards(mut self, k: usize) -> Self {
         assert!(k >= 1, "need at least one shard");
         self.shards = k;
         self
@@ -227,7 +249,7 @@ impl ShardedRuntime {
     ///
     /// # Panics
     /// If `m == 0`.
-    pub fn servers(mut self, m: usize) -> ShardedRuntime {
+    pub fn servers(mut self, m: usize) -> Self {
         assert!(m >= 1, "need at least one server per shard");
         self.servers = m;
         self
@@ -237,26 +259,26 @@ impl ShardedRuntime {
     /// [`Engine::with_batching`]) and per-event produce bit-identical
     /// results — batching only coalesces policy maintenance. Ignored on
     /// observed runs, exactly as in the engine.
-    pub fn batched(mut self, on: bool) -> ShardedRuntime {
+    pub fn batched(mut self, on: bool) -> Self {
         self.batched = on;
         self
     }
 
     /// Opt out of the epoch-batched default: fire policy hooks interleaved
     /// with table mutations (the ablation baseline).
-    pub fn per_event(mut self) -> ShardedRuntime {
+    pub fn per_event(mut self) -> Self {
         self.batched = false;
         self
     }
 
     /// Record execution traces (merged across shards by instant).
-    pub fn with_trace(mut self) -> ShardedRuntime {
+    pub fn with_trace(mut self) -> Self {
         self.trace = true;
         self
     }
 
     /// Sample each shard's backlog at most once per `interval`.
-    pub fn with_backlog_sampling(mut self, interval: SimDuration) -> ShardedRuntime {
+    pub fn with_backlog_sampling(mut self, interval: SimDuration) -> Self {
         self.backlog = Some(interval);
         self
     }
@@ -281,7 +303,7 @@ impl ShardedRuntime {
     /// With `K = 1` the coordinator reduces to the plain engine loop and
     /// the result is bit-identical to [`crate::runner::simulate`],
     /// whatever the config says — there is no second shard to trade with.
-    pub fn rebalance(mut self, cfg: RebalanceConfig) -> ShardedRuntime {
+    pub fn rebalance(mut self, cfg: RebalanceConfig) -> Self {
         self.rebalance = Some(cfg);
         self
     }
@@ -340,7 +362,8 @@ impl ShardedRuntime {
             // batch moves into `run_shard` unchanged — the same single spec
             // clone as `runner::simulate`, which keeps this path within
             // noise of the plain engine (the shard_gate bench enforces it).
-            let (result, obs) = run_shard(self.specs, kind, knobs, |table| make(0, table), attach);
+            let (result, obs) =
+                run_shard::<P, O>(self.specs, kind, knobs, |table| make(0, table), attach);
             return Ok((
                 ShardedResult {
                     merged: result.clone(),
@@ -373,7 +396,7 @@ impl ShardedRuntime {
                 .map(|(i, specs)| {
                     let make = &make;
                     scope.spawn(move || {
-                        run_shard(specs, kind, knobs, |table| make(i, table), attach)
+                        run_shard::<P, O>(specs, kind, knobs, |table| make(i, table), attach)
                     })
                 })
                 .collect();
@@ -442,16 +465,17 @@ impl ShardedRuntime {
             comp_members.entry(key).or_default().push(TxnId(i as u32));
         }
 
-        let mut engines: Vec<Engine<Box<dyn Scheduler>>> = Vec::with_capacity(k);
+        let mut engines: Vec<Engine<Box<dyn Scheduler>, P>> = Vec::with_capacity(k);
         let mut shared_obs = Vec::with_capacity(k);
         let mut plain_obs = Vec::with_capacity(k);
         for s in 0..k {
             let table = TxnTable::new(self.specs.clone()).expect("validated global batch");
             let obs = make(s, &table);
             let policy = self.kind.build(&table);
-            let mut engine = Engine::new(self.specs.clone(), policy)
-                .expect("validated global batch")
-                .with_servers(self.servers);
+            let mut engine =
+                Engine::with_pump(self.specs.clone(), policy, P::from_specs(&self.specs))
+                    .expect("validated global batch")
+                    .with_servers(self.servers);
             if self.batched {
                 engine = engine.with_batching();
             }
@@ -477,7 +501,7 @@ impl ShardedRuntime {
         let mut done: usize = engines.iter().map(|e| e.completed()).sum();
         while done < n {
             let Some((t, next)) = engines
-                .iter()
+                .iter_mut()
                 .enumerate()
                 .filter_map(|(s, e)| e.next_point_time().map(|t| (t, s)))
                 .min()
@@ -565,10 +589,10 @@ impl ShardedRuntime {
 /// move (every member still unarrived, strictly in the future of `t`), plan
 /// with [`plan_rebalance`], and execute each move as pump surgery — the
 /// member arrivals leave the source calendar and join the destination's.
-fn migrate_components(
+fn migrate_components<P: Pump>(
     boundary: SimTime,
     t: SimTime,
-    engines: &mut [Engine<Box<dyn Scheduler>>],
+    engines: &mut [Engine<Box<dyn Scheduler>, P>],
     owner: &mut [u32],
     comp_members: &std::collections::BTreeMap<u32, Vec<TxnId>>,
     stats: &mut RebalanceStats,
@@ -637,10 +661,10 @@ fn migrate_components(
 /// victim policy's latest-start order, then step the thief at `now` so the
 /// loot is dispatched immediately — an idle shard generates no scheduling
 /// points of its own.
-fn steal_sweep(
+fn steal_sweep<P: Pump>(
     now: SimTime,
     steal_k: usize,
-    engines: &mut [Engine<Box<dyn Scheduler>>],
+    engines: &mut [Engine<Box<dyn Scheduler>, P>],
     owner: &mut [u32],
     keys: &[u32],
     comp_members: &std::collections::BTreeMap<u32, Vec<TxnId>>,
@@ -718,7 +742,7 @@ struct EngineKnobs {
 /// policy derived from that table) so the K=1 path is bit-identical. The
 /// observer is built *after* the table so it can inspect workflow
 /// structure up front.
-fn run_shard<O: Observer + 'static>(
+fn run_shard<P: SpecPump, O: Observer + 'static>(
     specs: Vec<TxnSpec>,
     kind: PolicyKind,
     knobs: EngineKnobs,
@@ -728,7 +752,8 @@ fn run_shard<O: Observer + 'static>(
     let table = TxnTable::new(specs.clone()).expect("validated on the global batch");
     let obs = make(&table);
     let policy = kind.build(&table);
-    let mut engine = Engine::new(specs, policy)
+    let pump = P::from_specs(&specs);
+    let mut engine = Engine::with_pump(specs, policy, pump)
         .expect("validated on the global batch")
         .with_servers(knobs.servers);
     if knobs.batched {

@@ -49,6 +49,18 @@ pub struct PageOutcome {
 }
 
 impl PageBinding {
+    /// The `(first txn id, fragment count)` tiling of the compiled batch —
+    /// the job table a live front-end admits against
+    /// (`asets_sim::live::LiveUniverse` consumes exactly this shape, one
+    /// job per page request).
+    pub fn jobs(&self) -> Vec<(u32, u32)> {
+        self.first_txn
+            .iter()
+            .zip(&self.fragment_count)
+            .map(|(first, &count)| (first.0, count as u32))
+            .collect()
+    }
+
     /// Fold per-transaction outcomes (ordered by id, as
     /// `TxnTable::outcomes` returns them) into per-page outcomes.
     pub fn page_outcomes(&self, outcomes: &[TxnOutcome]) -> Vec<PageOutcome> {
@@ -221,6 +233,17 @@ mod tests {
         assert_eq!(specs.len(), 4);
         assert_eq!(binding.first_txn, vec![TxnId(0), TxnId(2)]);
         assert_eq!(binding.of_txn[3], (1, 1));
+    }
+
+    #[test]
+    fn jobs_tile_the_compiled_specs() {
+        let (specs, binding) = compile_requests(&requests(), &db(), &CostModel::default()).unwrap();
+        let jobs = binding.jobs();
+        assert_eq!(jobs, vec![(0, 2), (2, 2)]);
+        assert_eq!(
+            jobs.iter().map(|&(_, n)| n as usize).sum::<usize>(),
+            specs.len()
+        );
     }
 
     #[test]

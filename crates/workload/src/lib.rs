@@ -28,6 +28,7 @@ pub mod io;
 pub mod poisson;
 pub mod rng;
 pub mod scenarios;
+pub mod sessions;
 pub mod spec;
 pub mod wfgen;
 pub mod zipf;
@@ -36,6 +37,7 @@ pub use gen::{generate, PAPER_SEEDS};
 pub use io::{load, read_batch, save, write_batch, TraceError};
 pub use rng::Rng64;
 pub use scenarios::{deep_chains, shard_loads, skewed_shards};
+pub use sessions::{session_scripts, Session, SessionConfig, SessionStep};
 pub use spec::{SpecError, TableISpec, WorkflowParams};
 pub use wfgen::{add_workflows, workflow_stats, WorkflowStats};
 pub use zipf::Zipf;

@@ -1,0 +1,230 @@
+//! Closed-loop user sessions for the online serving front-end.
+//!
+//! The Table I generators emit *open-loop* calendars: arrival times are
+//! drawn up front and the system's response never influences the offered
+//! load. A live web tier also sees *closed-loop* traffic — each emulated
+//! user requests a page, waits for it to settle, thinks, and requests the
+//! next one — so offered load self-regulates with service capacity (the
+//! classic interactive-benchmark model; think TPC-W emulated browsers).
+//!
+//! A [`Session`] is one user's deterministic script: a finite sequence of
+//! [`SessionStep`]s, each a page choice (Zipf-skewed popularity over the
+//! page universe) plus the exponential think time to insert *after* that
+//! page settles. Everything is pre-decidable from `(seed, user)` via the
+//! forked-substream RNG, so the script is reproducible even though the
+//! real-time interleaving of a live run is not: `tests` pin an exact
+//! script to catch drift, and the serve harness replays scripts against
+//! the wall clock.
+
+use crate::poisson::Exponential;
+use crate::rng::Rng64;
+use crate::zipf::Zipf;
+use asets_core::time::SimDuration;
+
+/// Shape of the closed-loop population.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionConfig {
+    /// Size of the page universe the users browse.
+    pub pages: u64,
+    /// Zipf skew of page popularity (`0` = uniform).
+    pub zipf_alpha: f64,
+    /// Mean think time between settled pages, in time units.
+    pub mean_think: f64,
+    /// Session length bounds (pages per session, inclusive).
+    pub min_pages: u64,
+    /// Upper session length bound (inclusive).
+    pub max_pages: u64,
+}
+
+impl Default for SessionConfig {
+    fn default() -> SessionConfig {
+        SessionConfig {
+            pages: 64,
+            zipf_alpha: 1.0,
+            mean_think: 5.0,
+            min_pages: 4,
+            max_pages: 12,
+        }
+    }
+}
+
+/// One step of a session: request `page`, wait for it to settle, then
+/// think for `think` before the next step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionStep {
+    /// 0-based page index into the universe.
+    pub page: u64,
+    /// Think time after the page settles.
+    pub think: SimDuration,
+}
+
+/// One emulated user's page-request script.
+#[derive(Debug, Clone)]
+pub struct Session {
+    rng: Rng64,
+    zipf: Zipf,
+    think: Exponential,
+    remaining: u64,
+}
+
+impl Session {
+    /// User `user`'s session under `cfg`, deterministically derived from
+    /// `seed` (users get disjoint RNG substreams, so adding a user never
+    /// perturbs another's script).
+    ///
+    /// # Panics
+    /// If `cfg.pages == 0`, `cfg.min_pages > cfg.max_pages`, or
+    /// `cfg.mean_think` is not positive and finite.
+    pub fn new(cfg: &SessionConfig, user: u64, seed: u64) -> Session {
+        assert!(cfg.pages >= 1, "page universe must be non-empty");
+        assert!(
+            cfg.min_pages <= cfg.max_pages,
+            "empty session-length range [{}, {}]",
+            cfg.min_pages,
+            cfg.max_pages
+        );
+        let mut rng = Rng64::new(seed).fork(user);
+        let remaining = rng.range_u64(cfg.min_pages, cfg.max_pages);
+        Session {
+            rng,
+            zipf: Zipf::new(cfg.pages, cfg.zipf_alpha),
+            think: Exponential::new(1.0 / cfg.mean_think),
+            remaining,
+        }
+    }
+
+    /// Pages left in this session.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// The next step, or `None` once the session is over.
+    pub fn next_step(&mut self) -> Option<SessionStep> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let page = self.zipf.sample(&mut self.rng) - 1;
+        let think = SimDuration::from_units(self.think.sample(&mut self.rng));
+        Some(SessionStep { page, think })
+    }
+
+    /// The whole remaining script at once.
+    pub fn script(mut self) -> Vec<SessionStep> {
+        let mut steps = Vec::with_capacity(self.remaining as usize);
+        while let Some(step) = self.next_step() {
+            steps.push(step);
+        }
+        steps
+    }
+}
+
+impl Iterator for Session {
+    type Item = SessionStep;
+
+    fn next(&mut self) -> Option<SessionStep> {
+        self.next_step()
+    }
+}
+
+/// Scripts for a population of `users`, one per user.
+pub fn session_scripts(cfg: &SessionConfig, users: u64, seed: u64) -> Vec<Vec<SessionStep>> {
+    (0..users)
+        .map(|u| Session::new(cfg, u, seed).script())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripts_are_deterministic_and_substream_isolated() {
+        let cfg = SessionConfig::default();
+        let a = session_scripts(&cfg, 4, 42);
+        let b = session_scripts(&cfg, 4, 42);
+        assert_eq!(a, b, "same seed, same scripts");
+        // A larger population reproduces the smaller one's scripts exactly.
+        let c = session_scripts(&cfg, 8, 42);
+        assert_eq!(&c[..4], &a[..]);
+        // A different seed diverges.
+        assert_ne!(session_scripts(&cfg, 4, 43), a);
+    }
+
+    #[test]
+    fn session_lengths_respect_bounds_and_pages_fit_universe() {
+        let cfg = SessionConfig {
+            pages: 16,
+            min_pages: 2,
+            max_pages: 5,
+            ..SessionConfig::default()
+        };
+        for (u, script) in session_scripts(&cfg, 64, 7).iter().enumerate() {
+            let n = script.len() as u64;
+            assert!((2..=5).contains(&n), "user {u}: {n} pages");
+            for step in script {
+                assert!(step.page < 16, "page index within universe");
+                assert!(step.think >= SimDuration::ZERO);
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_on_popular_pages() {
+        let cfg = SessionConfig {
+            pages: 100,
+            zipf_alpha: 1.2,
+            min_pages: 50,
+            max_pages: 50,
+            ..SessionConfig::default()
+        };
+        let hits: usize = session_scripts(&cfg, 200, 9)
+            .iter()
+            .flatten()
+            .filter(|s| s.page < 10)
+            .count();
+        // With α = 1.2 the top decile draws well over half the traffic.
+        assert!(hits > 5_000, "only {hits}/10000 hits in the top decile");
+    }
+
+    /// Pinned smoke script: any drift in the session RNG layout breaks
+    /// replayability of recorded live runs, so the exact first steps of a
+    /// known seed are frozen here.
+    #[test]
+    fn pinned_script_seed_42_user_0() {
+        let mut s = Session::new(&SessionConfig::default(), 0, 42);
+        let first: Vec<(u64, u64)> = (&mut s)
+            .take(3)
+            .map(|st| (st.page, st.think.ticks()))
+            .collect();
+        let again: Vec<(u64, u64)> = Session::new(&SessionConfig::default(), 0, 42)
+            .take(3)
+            .map(|st| (st.page, st.think.ticks()))
+            .collect();
+        assert_eq!(first, again);
+        // Freeze the observed values (regenerate deliberately if the RNG
+        // contract ever changes on purpose).
+        insta_like_pin(&first);
+    }
+
+    fn insta_like_pin(first: &[(u64, u64)]) {
+        let rendered: Vec<String> = first
+            .iter()
+            .map(|(p, t)| format!("page {p} think {t}"))
+            .collect();
+        let expected = pinned();
+        assert_eq!(
+            rendered, expected,
+            "pinned session script drifted; update the pin only for a \
+             deliberate RNG contract change"
+        );
+    }
+
+    fn pinned() -> Vec<String> {
+        vec![
+            String::from("page 0 think 10242848"),
+            String::from("page 6 think 650080"),
+            String::from("page 0 think 5890375"),
+        ]
+    }
+}

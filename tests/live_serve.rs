@@ -1,0 +1,137 @@
+//! Wall-clock serving loop, end to end: short deterministic-seed soaks
+//! through the full stack (stock database → compiled universe → ingest
+//! rings → admission → `LivePump` engine → SLO monitor).
+//!
+//! Live runs are *not* bit-reproducible — the wall-clock interleaving
+//! decides which jobs race admission — so these tests assert structural
+//! invariants (counter conservation, the in-flight bound, clean shutdown)
+//! and generous thresholds, never exact schedules. Durations are kept
+//! under a second per case to stay tier-1 friendly.
+
+use asets_experiments::serve::{check_conservation, run_serve, ServeConfig, ServeMode};
+use std::time::Duration;
+
+fn base(mode: ServeMode, duration_ms: u64) -> ServeConfig {
+    ServeConfig {
+        seed: 7,
+        duration: Duration::from_millis(duration_ms),
+        mode,
+        report_every: Duration::from_millis(150),
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn open_loop_soak_completes_cleanly() {
+    let cfg = base(
+        ServeMode::Open {
+            pages_per_sec: 20.0,
+        },
+        800,
+    );
+    let r = run_serve(&cfg).expect("soak runs");
+    check_conservation(&r).expect("counters conserve");
+    assert!(
+        r.completions > 0,
+        "a sane-load soak completes work: {}",
+        r.summary()
+    );
+    assert_eq!(r.live.dropped, 0, "no ring overflow at 20 pages/s");
+    assert_eq!(
+        r.live.shed_overload + r.live.shed_infeasible,
+        0,
+        "no shedding at sane load: {}",
+        r.summary()
+    );
+    assert!(
+        r.reports_emitted >= 2,
+        "periodic SLO reports flowed: {}",
+        r.summary()
+    );
+    assert_eq!(r.jsonl.len() as u64, r.reports_emitted);
+    assert!(
+        r.prometheus.contains("slo_completions_total"),
+        "prometheus exposition present"
+    );
+    assert!(!r.universe_exhausted, "universe sized to offered load");
+}
+
+#[test]
+fn overload_sheds_instead_of_queueing_unboundedly() {
+    let cfg = ServeConfig {
+        max_inflight: 12,
+        ..base(
+            ServeMode::Open {
+                pages_per_sec: 400.0,
+            },
+            700,
+        )
+    };
+    let r = run_serve(&cfg).expect("overload soak runs");
+    check_conservation(&r).expect("counters conserve");
+    assert!(
+        r.live.shed_overload > 0,
+        "admission must shed under 400 pages/s with a 12-txn bound: {}",
+        r.summary()
+    );
+    assert!(
+        r.live.peak_inflight <= 12,
+        "bounded in-flight invariant: peak {} > 12",
+        r.live.peak_inflight
+    );
+    assert!(r.completions > 0, "admitted work still completes");
+}
+
+#[test]
+fn infeasibility_shedding_protects_the_miss_ratio() {
+    let cfg = ServeConfig {
+        shed_infeasible: true,
+        ..base(
+            ServeMode::Open {
+                pages_per_sec: 300.0,
+            },
+            700,
+        )
+    };
+    let r = run_serve(&cfg).expect("soak runs");
+    check_conservation(&r).expect("counters conserve");
+    assert!(
+        r.live.shed_infeasible > 0,
+        "infeasible work is shed at 300 pages/s: {}",
+        r.summary()
+    );
+    // The whole point of the shed: what *is* admitted overwhelmingly
+    // meets its SLA even under 15x overload.
+    assert!(
+        r.miss_ratio < 0.3,
+        "admitted work mostly feasible, got miss ratio {:.3}",
+        r.miss_ratio
+    );
+}
+
+#[test]
+fn closed_loop_sessions_run_to_completion() {
+    let cfg = base(
+        ServeMode::Closed {
+            users: 4,
+            mean_think_ms: 20.0,
+        },
+        2_000,
+    );
+    let r = run_serve(&cfg).expect("closed soak runs");
+    check_conservation(&r).expect("counters conserve");
+    assert_eq!(r.live.dropped, 0, "closed-loop producers retry, never drop");
+    assert!(r.completions > 0);
+    // Sessions are short (4-12 pages); four users finish well inside the
+    // deadline, so the whole universe should have been submitted.
+    assert_eq!(
+        r.live.submitted,
+        r.universe_jobs,
+        "all session pages submitted: {}",
+        r.summary()
+    );
+    assert!(
+        r.wall <= Duration::from_millis(2_000) + Duration::from_secs(6),
+        "clean shutdown within deadline + settle grace"
+    );
+}
