@@ -1,8 +1,8 @@
 //! The observability tax, measured.
 //!
-//! Three variants of the exact `deep_workflow_scale/indexed/100` workload
+//! Variants of the exact `deep_workflow_scale/indexed/100` workload
 //! (10k transactions in 100-member interleaved chains under indexed
-//! ASETS\*):
+//! ASETS\*), per-event arm first, batch-native arm second:
 //!
 //! 1. `disabled` — no observer attached. This is PR 1's hot path and MUST
 //!    stay there: `ObserverSlot` is a single `Option` branch per decision
@@ -18,13 +18,26 @@
 //! 4. `spans` — a full `SpanRecorder` (flight ring *plus* lifecycle span
 //!    events and phase profiling). The delta over `flight_recorder` is the
 //!    span-tracing cost; `obs_gate` prints it as its own artifact row.
+//! 5. `disabled_batched` — the epoch-batched engine, unobserved: the
+//!    production default's baseline.
+//! 6. `batched` — the same `FlightRecorder` riding the *batched* engine.
+//!    `obs_gate` requires this to beat `flight_recorder` (the per-event
+//!    observed run) by its pinned speedup floor: observation must not
+//!    forfeit batching.
+//! 7. `sampled_64` — a 1-in-64 `SamplingObserver` around the recorder, on
+//!    the batched engine. Declines timing, samples spans, keeps counters
+//!    and the SLO sketches exact. `obs_gate` pins this near
+//!    `disabled_batched` — the always-on production configuration.
+//! 8. `bus_live` — a `BusObserver` pushing into a lock-free ring with the
+//!    collector thread live, on the batched engine: the scrape-endpoint
+//!    deployment shape.
 
 use asets_bench::chain_workload;
 use asets_core::obs::{share, NoopObserver, SharedObserver};
 use asets_core::policy::AsetsStar;
 use asets_core::table::TxnTable;
 use asets_core::txn::TxnSpec;
-use asets_obs::{FlightRecorder, SpanRecorder};
+use asets_obs::{FlightRecorder, SamplingObserver, SpanRecorder, TelemetryBus};
 use asets_sim::Engine;
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use std::cell::RefCell;
@@ -36,15 +49,25 @@ use std::rc::Rc;
 /// rather than eviction churn.
 const RING: usize = 1 << 20;
 
+/// Span-sampling period of the `sampled_64` variant (must match the
+/// `obs_gate` row name).
+const SAMPLE_PERIOD: u64 = 64;
+
+/// Bus ring capacity for `bus_live`: sized so a full run's events fit even
+/// if the collector never wakes mid-iteration (drops would understate the
+/// push cost).
+const BUS_RING: usize = 1 << 18;
+
 /// Time full runs of `specs` under indexed ASETS\* with an observer made by
 /// `make_obs` (or none), clones prepared outside the timed region.
 fn bench_observed<F>(
     g: &mut criterion::BenchmarkGroup<'_>,
     id: BenchmarkId,
     specs: &[TxnSpec],
+    batched: bool,
     make_obs: F,
 ) where
-    F: Fn() -> Option<SharedObserver> + Copy,
+    F: Fn() -> Option<SharedObserver>,
 {
     g.bench_with_input(id, &specs, |b, specs| {
         b.iter_batched(
@@ -53,6 +76,9 @@ fn bench_observed<F>(
                 let table = TxnTable::new(for_table).unwrap();
                 let policy = AsetsStar::with_defaults(&table);
                 let mut engine = Engine::new(for_sim, policy).unwrap();
+                if batched {
+                    engine = engine.with_batching();
+                }
                 if let Some(obs) = obs {
                     engine = engine.with_observer(obs);
                 }
@@ -67,20 +93,74 @@ fn observer_overhead(c: &mut Criterion) {
     let mut g = c.benchmark_group("observer_overhead");
     g.sample_size(10);
     let specs = chain_workload(10_000, 100);
-    bench_observed(&mut g, BenchmarkId::new("disabled", 100), &specs, || None);
-    bench_observed(&mut g, BenchmarkId::new("noop", 100), &specs, || {
+
+    // Per-event arm.
+    bench_observed(
+        &mut g,
+        BenchmarkId::new("disabled", 100),
+        &specs,
+        false,
+        || None,
+    );
+    bench_observed(&mut g, BenchmarkId::new("noop", 100), &specs, false, || {
         Some(share(&Rc::new(RefCell::new(NoopObserver))))
     });
     bench_observed(
         &mut g,
         BenchmarkId::new("flight_recorder", 100),
         &specs,
+        false,
         || Some(share(&FlightRecorder::shared(RING))),
     );
-    bench_observed(&mut g, BenchmarkId::new("spans", 100), &specs, || {
-        Some(share(&Rc::new(RefCell::new(SpanRecorder::new(RING)))))
-    });
+    bench_observed(
+        &mut g,
+        BenchmarkId::new("spans", 100),
+        &specs,
+        false,
+        || Some(share(&Rc::new(RefCell::new(SpanRecorder::new(RING))))),
+    );
+
+    // Batch-native arm.
+    bench_observed(
+        &mut g,
+        BenchmarkId::new("disabled_batched", 100),
+        &specs,
+        true,
+        || None,
+    );
+    bench_observed(
+        &mut g,
+        BenchmarkId::new("batched", 100),
+        &specs,
+        true,
+        || Some(share(&FlightRecorder::shared(RING))),
+    );
+    bench_observed(
+        &mut g,
+        BenchmarkId::new("sampled_64", 100),
+        &specs,
+        true,
+        || {
+            Some(share(&Rc::new(RefCell::new(SamplingObserver::new(
+                FlightRecorder::new(RING),
+                SAMPLE_PERIOD,
+            )))))
+        },
+    );
+    // One live bus for the whole variant: the collector thread drains while
+    // iterations run, which is exactly the deployment shape. The single
+    // ring is reused serially (one engine at a time), preserving SPSC.
+    let (mut observers, bus) = TelemetryBus::start(1, BUS_RING);
+    let bus_obs = share(&Rc::new(RefCell::new(observers.pop().unwrap())));
+    bench_observed(
+        &mut g,
+        BenchmarkId::new("bus_live", 100),
+        &specs,
+        true,
+        move || Some(bus_obs.clone()),
+    );
     g.finish();
+    bus.shutdown();
 }
 
 criterion_group!(benches, observer_overhead);

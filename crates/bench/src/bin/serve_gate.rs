@@ -16,14 +16,25 @@
 //!    bound): admission *must* shed, the in-flight bound must hold
 //!    (bounded queues, not collapse), and admitted work still completes.
 //!
+//! The steady soak also runs the full telemetry side-car: a live
+//! `TelemetryBus` + scrape endpoint, probed over real HTTP *while the
+//! soak runs*. The gate requires every mid-soak `GET /metrics`, `/slo`
+//! and `/health` to answer 200, and the bus's merged completion counter
+//! to equal the SLO monitor's exactly (zero ring drops tolerated at
+//! steady load) — counter conservation across the second pipeline.
+//!
 //! `--secs` (or `SERVE_GATE_SECS`) shrinks the steady soak for local
 //! runs; the summary JSON is provenance-stamped like `steal_gate`'s.
 
 use asets_experiments::serve::{
-    check_conservation, run_serve, ServeConfig, ServeMode, ServeReport,
+    check_conservation, run_serve, run_serve_with, ServeConfig, ServeMode, ServeReport,
+    ServeTelemetry,
 };
+use asets_obs::http_get;
 use std::fmt::Write as _;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Steady offered load, pages per wall second.
@@ -42,7 +53,21 @@ struct Row {
     name: &'static str,
     secs: f64,
     report: ServeReport,
+    scrape: Option<ScrapeStats>,
 }
+
+/// What the mid-soak HTTP probes and the post-soak bus saw.
+struct ScrapeStats {
+    probes: u64,
+    failures: u64,
+    metrics_well_formed: bool,
+    slo_well_formed: bool,
+    bus_completions: u64,
+    bus_drops: u64,
+}
+
+/// Wall cadence of the mid-soak scrape probes.
+const PROBE_EVERY: Duration = Duration::from_millis(250);
 
 fn steady_cfg(secs: f64) -> ServeConfig {
     ServeConfig {
@@ -66,6 +91,53 @@ fn overload_cfg(secs: f64) -> ServeConfig {
     }
 }
 
+/// Run the steady soak with the telemetry side-car attached and a probe
+/// thread scraping the endpoint over real HTTP for the whole soak.
+fn run_steady_scraped(cfg: &ServeConfig) -> Result<(ServeReport, ScrapeStats), String> {
+    let mut telemetry = ServeTelemetry::start("127.0.0.1:0")?;
+    let addr = telemetry.addr();
+    println!("  scrape endpoint live at {}", telemetry.url());
+    let stop = Arc::new(AtomicBool::new(false));
+    let probe_stop = Arc::clone(&stop);
+    let prober = std::thread::spawn(move || {
+        let (mut probes, mut failures) = (0u64, 0u64);
+        let (mut metrics_ok, mut slo_ok) = (false, false);
+        while !probe_stop.load(Ordering::Acquire) {
+            probes += 1;
+            match http_get(addr, "/metrics") {
+                Ok((200, body)) => metrics_ok |= body.contains("bus_completions_total"),
+                _ => failures += 1,
+            }
+            match http_get(addr, "/slo") {
+                Ok((200, body)) => slo_ok |= body.contains("slo_completions_total"),
+                _ => failures += 1,
+            }
+            if !matches!(http_get(addr, "/health"), Ok((200, _))) {
+                failures += 1;
+            }
+            std::thread::sleep(PROBE_EVERY);
+        }
+        (probes, failures, metrics_ok, slo_ok)
+    });
+    let report = run_serve_with(cfg, Some(&mut telemetry));
+    stop.store(true, Ordering::Release);
+    let (probes, failures, metrics_well_formed, slo_well_formed) =
+        prober.join().map_err(|_| "probe thread panicked")?;
+    let bus = telemetry.finish();
+    let report = report?;
+    Ok((
+        report,
+        ScrapeStats {
+            probes,
+            failures,
+            metrics_well_formed,
+            slo_well_formed,
+            bus_completions: bus.counter("bus_completions_total"),
+            bus_drops: bus.drops(),
+        },
+    ))
+}
+
 fn run_rows(steady_secs: f64) -> Result<Vec<Row>, String> {
     let overload_secs = steady_secs.clamp(1.0, 5.0);
     let mut rows = Vec::new();
@@ -77,9 +149,19 @@ fn run_rows(steady_secs: f64) -> Result<Vec<Row>, String> {
             "{name}: {:?} for {secs:.0}s, max in-flight {}",
             cfg.mode, cfg.max_inflight
         );
-        let report = run_serve(&cfg)?;
+        let (report, scrape) = if name == "steady" {
+            let (report, scrape) = run_steady_scraped(&cfg)?;
+            (report, Some(scrape))
+        } else {
+            (run_serve(&cfg)?, None)
+        };
         println!("  {}", report.summary());
-        rows.push(Row { name, secs, report });
+        rows.push(Row {
+            name,
+            secs,
+            report,
+            scrape,
+        });
     }
     Ok(rows)
 }
@@ -126,6 +208,44 @@ fn check_gates(rows: &[Row]) -> Result<(), String> {
     println!(
         "gate ok: steady soak clean (miss ratio {:.4} <= {STEADY_MISS_CEILING}, {} reports)",
         steady.miss_ratio, steady.reports_emitted
+    );
+
+    let scrape = rows[0]
+        .scrape
+        .as_ref()
+        .ok_or("steady: soak ran without the telemetry side-car")?;
+    if scrape.probes == 0 {
+        return Err("steady: scrape endpoint was never probed".into());
+    }
+    if scrape.failures > 0 {
+        return Err(format!(
+            "steady: {} of {} mid-soak scrape probes failed (gate: 0)",
+            scrape.failures,
+            scrape.probes * 3
+        ));
+    }
+    if !scrape.metrics_well_formed {
+        return Err("steady: no /metrics response carried bus_completions_total".into());
+    }
+    if !scrape.slo_well_formed {
+        return Err("steady: no /slo response carried slo_completions_total".into());
+    }
+    if scrape.bus_drops > 0 {
+        return Err(format!(
+            "steady: telemetry bus dropped {} events at steady load (gate: 0)",
+            scrape.bus_drops
+        ));
+    }
+    if scrape.bus_completions != steady.completions {
+        return Err(format!(
+            "steady: bus saw {} completions but the SLO monitor saw {} — \
+             counter conservation broken across the telemetry bus",
+            scrape.bus_completions, steady.completions
+        ));
+    }
+    println!(
+        "gate ok: scrape endpoint answered {} probes mid-soak, bus conserved {} completions",
+        scrape.probes, scrape.bus_completions
     );
 
     if overload.live.shed_overload == 0 {
@@ -196,13 +316,20 @@ fn write_summary(path: &str, rows: &[Row]) -> Result<(), String> {
     out.push_str("  \"results\": [\n");
     for (i, row) in rows.iter().enumerate() {
         let l = &row.report.live;
+        let scrape = row.scrape.as_ref().map_or(String::new(), |s| {
+            format!(
+                ", \"scrape_probes\": {}, \"scrape_failures\": {}, \
+                 \"bus_completions\": {}, \"bus_drops\": {}",
+                s.probes, s.failures, s.bus_completions, s.bus_drops
+            )
+        });
         let _ = writeln!(
             out,
             "    {{\"group\": \"serve_gate\", \"id\": \"{}\", \"secs\": {:.1}, \
              \"submitted\": {}, \"dropped\": {}, \"admitted\": {}, \"shed_overload\": {}, \
              \"shed_infeasible\": {}, \"completions\": {}, \"miss_ratio\": {:.6}, \
              \"window_miss_ratio\": {:.6}, \"p99_tardiness_units\": {:.4}, \
-             \"peak_inflight\": {}, \"reports\": {}}}{}",
+             \"peak_inflight\": {}, \"reports\": {}{}}}{}",
             row.name,
             row.secs,
             l.submitted,
@@ -216,6 +343,7 @@ fn write_summary(path: &str, rows: &[Row]) -> Result<(), String> {
             row.report.p99_tardiness_units,
             l.peak_inflight,
             row.report.reports_emitted,
+            scrape,
             if i + 1 < rows.len() { "," } else { "" },
         );
     }

@@ -25,6 +25,7 @@
 //! the policy via [`SharedObserver`] (`Rc<RefCell<…>>`: simulation runs are
 //! single-threaded; sweeps parallelize across engines, not within one).
 
+use crate::policy::LifecycleEvent;
 use crate::time::{SimDuration, SimTime, Slack};
 use crate::txn::TxnId;
 use crate::workflow::WfId;
@@ -294,6 +295,25 @@ pub struct CompletionInfo {
     pub met_deadline: bool,
 }
 
+/// Aggregate shape of one epoch (one coalesced scheduling point) — handed
+/// to [`Observer::on_epoch`] together with the coalesced lifecycle events,
+/// so a batch-native observer can account whole epochs without replaying
+/// per-event hooks. Counters are cumulative over the run so far, matching
+/// the engine's `EpochStats` telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochSummary {
+    /// The epoch's instant (the scheduling point being processed).
+    pub at: SimTime,
+    /// Lifecycle events coalesced into this epoch.
+    pub width: u32,
+    /// Epochs processed so far, including this one.
+    pub epochs: u64,
+    /// Lifecycle events processed so far, including this epoch's.
+    pub events: u64,
+    /// Widest epoch seen so far.
+    pub max_width: u32,
+}
+
 /// One phase of the engine's per-scheduling-point work, for the
 /// self-profiling spans ([`Observer::engine_phase`]). Wall-clock is only
 /// measured when an observer is attached, so the disabled path stays free
@@ -390,6 +410,24 @@ pub trait Observer {
     /// One engine phase of the current scheduling point took `wall_ns`
     /// nanoseconds (only reported while an observer is attached).
     fn engine_phase(&mut self, _at: SimTime, _phase: EnginePhase, _wall_ns: u64) {}
+
+    /// One whole epoch settled: `events` is the coalesced lifecycle slice
+    /// in engine order (the exact events the per-event hooks narrate one at
+    /// a time), `summary` its aggregate shape. Fired by *both* engine arms
+    /// after the maintain pass, so batch-native observers can account
+    /// epochs without caring which arm ran.
+    fn on_epoch(&mut self, _events: &[LifecycleEvent], _summary: &EpochSummary) {}
+
+    /// Whether this observer wants wall-clock latency in
+    /// [`Observer::sched_point`] / [`Observer::engine_phase`]. The engine
+    /// reads this once at attach; returning `false` removes every
+    /// `Instant::now()` from the scheduling-point path — `sched_point`
+    /// still fires with latency 0 (counters hang off it) but phase spans
+    /// are skipped entirely. This opt-out is what keeps a sampling
+    /// observer within a few percent of the unobserved engine.
+    fn wants_timing(&self) -> bool {
+        true
+    }
 }
 
 /// An observer that ignores everything — the disabled path.
@@ -397,6 +435,101 @@ pub trait Observer {
 pub struct NoopObserver;
 
 impl Observer for NoopObserver {}
+
+/// Fan-out: forward every hook to each wrapped observer in attach order.
+///
+/// The engine and policy take exactly one [`SharedObserver`]; `Tee` lets a
+/// run feed several sinks at once (an SLO monitor *and* a telemetry-bus
+/// ring, say) without the sinks knowing about each other. Timing is
+/// requested iff any branch wants it, so an all-sampling tee still keeps
+/// the zero-clock-read fast path.
+#[derive(Default)]
+pub struct Tee {
+    branches: Vec<SharedObserver>,
+}
+
+impl Tee {
+    /// An empty tee (forwards to nobody — equivalent to [`NoopObserver`]).
+    pub fn new() -> Tee {
+        Tee::default()
+    }
+
+    /// Add a branch; hooks reach branches in the order they were added.
+    pub fn with(mut self, obs: SharedObserver) -> Tee {
+        self.branches.push(obs);
+        self
+    }
+
+    /// Number of branches attached.
+    pub fn len(&self) -> usize {
+        self.branches.len()
+    }
+
+    /// True when no branches are attached.
+    pub fn is_empty(&self) -> bool {
+        self.branches.is_empty()
+    }
+}
+
+impl fmt::Debug for Tee {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tee({} branches)", self.branches.len())
+    }
+}
+
+macro_rules! tee_forward {
+    ($self:ident, $method:ident $(, $arg:expr)*) => {
+        for b in &$self.branches {
+            b.borrow_mut().$method($($arg),*);
+        }
+    };
+}
+
+impl Observer for Tee {
+    fn decision(&mut self, rec: &DecisionRecord) {
+        tee_forward!(self, decision, rec);
+    }
+
+    fn migration(&mut self, ev: &MigrationEvent) {
+        tee_forward!(self, migration, ev);
+    }
+
+    fn sched_point(&mut self, at: SimTime, latency_ns: u64) {
+        tee_forward!(self, sched_point, at, latency_ns);
+    }
+
+    fn dispatched(&mut self, at: SimTime, txn: TxnId, preempted: Option<TxnId>) {
+        tee_forward!(self, dispatched, at, txn, preempted);
+    }
+
+    fn arrived(&mut self, at: SimTime, txn: TxnId, ready: bool) {
+        tee_forward!(self, arrived, at, txn, ready);
+    }
+
+    fn became_ready(&mut self, at: SimTime, txn: TxnId) {
+        tee_forward!(self, became_ready, at, txn);
+    }
+
+    fn served(&mut self, server: u32, txn: TxnId, from: SimTime, until: SimTime, completed: bool) {
+        tee_forward!(self, served, server, txn, from, until, completed);
+    }
+
+    fn completed(&mut self, at: SimTime, txn: TxnId, info: &CompletionInfo) {
+        tee_forward!(self, completed, at, txn, info);
+    }
+
+    fn engine_phase(&mut self, at: SimTime, phase: EnginePhase, wall_ns: u64) {
+        tee_forward!(self, engine_phase, at, phase, wall_ns);
+    }
+
+    fn on_epoch(&mut self, events: &[LifecycleEvent], summary: &EpochSummary) {
+        tee_forward!(self, on_epoch, events, summary);
+    }
+
+    fn wants_timing(&self) -> bool {
+        self.branches.iter().any(|b| b.borrow().wants_timing())
+    }
+}
 
 /// Shared handle through which the engine and the policy report into the
 /// same observer. Simulations are single-threaded; `Rc<RefCell<…>>` keeps
@@ -548,6 +681,66 @@ mod tests {
             "{s}"
         );
         assert!(s.contains("EDF -> HDF"), "{s}");
+    }
+
+    #[test]
+    fn tee_forwards_to_every_branch_and_ors_timing() {
+        #[derive(Default)]
+        struct Count {
+            decisions: u32,
+            completions: u32,
+            timing: bool,
+        }
+        impl Observer for Count {
+            fn decision(&mut self, _rec: &DecisionRecord) {
+                self.decisions += 1;
+            }
+            fn completed(&mut self, _at: SimTime, _txn: TxnId, _info: &CompletionInfo) {
+                self.completions += 1;
+            }
+            fn wants_timing(&self) -> bool {
+                self.timing
+            }
+        }
+        let a = Rc::new(RefCell::new(Count::default()));
+        let b = Rc::new(RefCell::new(Count {
+            timing: true,
+            ..Count::default()
+        }));
+        let mut tee = Tee::new().with(share(&a)).with(share(&b));
+        assert_eq!(tee.len(), 2);
+        assert!(!tee.is_empty());
+        assert!(tee.wants_timing(), "any branch wanting timing wins");
+        let rec = DecisionRecord {
+            at: SimTime::ZERO,
+            rule: DecisionRule::Priority,
+            edf: None,
+            hdf: None,
+            impact_edf: 0,
+            impact_hdf: 0,
+            winner: Winner::Single,
+            chosen: TxnId(0),
+            edf_len: 1,
+            hdf_len: 0,
+        };
+        tee.decision(&rec);
+        tee.decision(&rec);
+        tee.completed(
+            SimTime::ZERO,
+            TxnId(0),
+            &CompletionInfo {
+                finish: SimTime::ZERO,
+                deadline: SimTime::ZERO,
+                tardiness: SimDuration::ZERO,
+                queue_wait: SimDuration::ZERO,
+                service: SimDuration::ZERO,
+                met_deadline: true,
+            },
+        );
+        assert_eq!(a.borrow().decisions, 2);
+        assert_eq!(b.borrow().decisions, 2);
+        assert_eq!(a.borrow().completions, 1);
+        assert!(!Tee::new().wants_timing(), "empty tee needs no clocks");
     }
 
     #[test]

@@ -112,8 +112,15 @@ enum CachedKind {
 /// through `migrate`, which moves list membership without changing any
 /// representative and is therefore caught by comparing the live tree tops
 /// against the snapshot here. On a snapshot match the replay window is
-/// per-[`CachedKind`]. Never consulted or written while an observer is
-/// attached: a replay would skip the decision record.
+/// per-[`CachedKind`].
+///
+/// With an observer attached the cache stays live: `rec` keeps the
+/// decision record of the original evaluation, and a replay re-derives the
+/// record a fresh evaluation would have produced at `now` — candidate
+/// slacks decay linearly while the tops are untouched (any service,
+/// completion or re-key of a top flows through `note_refresh` and drops
+/// the entry), so the replayed record is exactly what `decide` would emit,
+/// at cache-hit cost.
 #[derive(Debug, Clone, Copy)]
 struct CacheEntry {
     /// `(key, id)` tops of the two lists when the decision was made.
@@ -122,6 +129,9 @@ struct CacheEntry {
     chosen: Option<TxnId>,
     kind: CachedKind,
     at: SimTime,
+    /// The decision record emitted at `at` (observer attached and a
+    /// transaction was chosen), the template a replay re-derives from.
+    rec: Option<DecisionRecord>,
 }
 
 /// Workflow-level ASETS\* scheduler.
@@ -348,6 +358,27 @@ impl AsetsStar {
             self.hdf_ups.push((w.0, Some(Reverse(hdf_key(&rep)))));
             self.side[w.index()] = Side::Hdf;
         }
+        if self.obs.is_attached() {
+            // Same crossing provenance as `refresh`. The batched pass
+            // refreshes each touched workflow once, so only the epoch's
+            // *net* crossing is reported — intermediate flapping within one
+            // instant (possible per-event when several members settle) is
+            // coalesced away, which is the batch-native observation
+            // contract: event content identical, hook granularity coarser.
+            let to_hdf = match (prev, self.side[w.index()]) {
+                (Side::Edf, Side::Hdf) => Some(true),
+                (Side::Hdf, Side::Edf) => Some(false),
+                _ => None,
+            };
+            if let Some(to_hdf) = to_hdf {
+                let ev = MigrationEvent {
+                    at: now,
+                    subject: MigrationSubject::Workflow(w),
+                    to_hdf,
+                };
+                self.obs.emit(|o| o.migration(&ev));
+            }
+        }
     }
 
     /// Flush the re-keys staged by `refresh_into` into the three list trees.
@@ -451,10 +482,18 @@ impl AsetsStar {
         }
     }
 
-    /// Emit a one-sided decision record (only one list populated).
-    fn observe_unopposed(&self, table: &TxnTable, now: SimTime, w: WfId, head: TxnId, edf: bool) {
+    /// Build and emit a one-sided decision record (only one list
+    /// populated), returning it for the decision cache.
+    fn observe_unopposed(
+        &self,
+        table: &TxnTable,
+        now: SimTime,
+        w: WfId,
+        head: TxnId,
+        edf: bool,
+    ) -> Option<DecisionRecord> {
         if !self.obs.is_attached() {
-            return;
+            return None;
         }
         let rep = self.index.representative(w).expect("listed wf has a rep");
         let cand = self.wf_candidate(w, head, &rep, table, now);
@@ -475,24 +514,30 @@ impl AsetsStar {
             hdf_len: self.hdf.len() as u32,
         };
         self.obs.emit(|o| o.decision(&rec));
+        Some(rec)
     }
 
     /// The Fig. 7 decision between the two list tops, plus how long the
-    /// outcome stays replayable (for the decision cache).
-    fn decide(&self, table: &TxnTable, now: SimTime) -> (Option<TxnId>, CachedKind) {
+    /// outcome stays replayable and the decision record it emitted (for
+    /// the decision cache).
+    fn decide(
+        &self,
+        table: &TxnTable,
+        now: SimTime,
+    ) -> (Option<TxnId>, CachedKind, Option<DecisionRecord>) {
         let edf_top = self.edf.peek_id().map(WfId);
         let hdf_top = self.hdf.peek_id().map(WfId);
         match (edf_top, hdf_top) {
-            (None, None) => (None, CachedKind::Unopposed),
+            (None, None) => (None, CachedKind::Unopposed, None),
             (Some(a), None) => {
                 let head = self.head_of(a, self.cfg.edf_head);
-                self.observe_unopposed(table, now, a, head, true);
-                (Some(head), CachedKind::Unopposed)
+                let rec = self.observe_unopposed(table, now, a, head, true);
+                (Some(head), CachedKind::Unopposed, rec)
             }
             (None, Some(b)) => {
                 let head = self.head_of(b, self.cfg.hdf_head);
-                self.observe_unopposed(table, now, b, head, false);
-                (Some(head), CachedKind::Unopposed)
+                let rec = self.observe_unopposed(table, now, b, head, false);
+                (Some(head), CachedKind::Unopposed, rec)
             }
             (Some(a), Some(b)) => {
                 let head_a = self.head_of(a, self.cfg.edf_head);
@@ -503,8 +548,9 @@ impl AsetsStar {
                     impact_values(self.cfg.impact, table, now, head_a, &rep_a, head_b, &rep_b);
                 let edf_first = impact_a < impact_b;
                 let chosen = if edf_first { head_a } else { head_b };
+                let mut rec = None;
                 if self.obs.is_attached() {
-                    let rec = DecisionRecord {
+                    let r = DecisionRecord {
                         at: now,
                         rule: self.decision_rule(),
                         edf: Some(self.wf_candidate(a, head_a, &rep_a, table, now)),
@@ -516,16 +562,58 @@ impl AsetsStar {
                         edf_len: self.edf.len() as u32,
                         hdf_len: self.hdf.len() as u32,
                     };
-                    self.obs.emit(|o| o.decision(&rec));
+                    self.obs.emit(|o| o.decision(&r));
+                    rec = Some(r);
                 }
                 let kind = if edf_first && self.cfg.impact == ImpactRule::Paper {
                     CachedKind::EdfWinPaper
                 } else {
                     CachedKind::AtInstant
                 };
-                (Some(chosen), kind)
+                (Some(chosen), kind, rec)
             }
         }
+    }
+
+    /// Emit the decision record a fresh evaluation would produce at `now`,
+    /// re-derived from the cached record instead of the trees — the
+    /// observer-attached half of a cache hit.
+    ///
+    /// Exactness argument: cache validity means neither top was re-keyed
+    /// (`note_refresh`) nor displaced (top snapshot), so both heads, reps,
+    /// remaining times and weights are unchanged since `at`; the only
+    /// time-dependent inputs are the representatives' slacks, which decay
+    /// linearly with `now`. Re-deriving the impacts from the decayed
+    /// candidates via the same formulas as [`impact_values`] therefore
+    /// reproduces a fresh `decide` bit for bit (the winner cannot flip
+    /// inside the replay window — that is what [`CachedKind`] pins).
+    fn emit_replay(&self, now: SimTime) {
+        let Some(c) = &self.cache else { return };
+        let Some(mut rec) = c.rec else { return };
+        let dt = (now - c.at).ticks() as i128;
+        if let Some(cand) = &mut rec.edf {
+            cand.slack = crate::time::Slack::from_ticks(cand.slack.ticks() - dt);
+        }
+        if let Some(cand) = &mut rec.hdf {
+            cand.slack = crate::time::Slack::from_ticks(cand.slack.ticks() - dt);
+        }
+        rec.at = now;
+        // List lengths may drift below the tops without invalidating the
+        // cache; report the live ones, like a fresh evaluation would.
+        rec.edf_len = self.edf.len() as u32;
+        rec.hdf_len = self.hdf.len() as u32;
+        if rec.is_comparison() {
+            if let (Some(a), Some(b)) = (rec.edf, rec.hdf) {
+                let (r_a, r_b) = (a.r.ticks() as i128, b.r.ticks() as i128);
+                let (w_a, w_b) = (a.weight as i128, b.weight as i128);
+                rec.impact_edf = match self.cfg.impact {
+                    ImpactRule::Paper => r_a * w_b,
+                    ImpactRule::Symmetric => (r_a - b.slack.ticks()) * w_b,
+                };
+                rec.impact_hdf = (r_b - a.slack.ticks()) * w_a;
+            }
+        }
+        self.obs.emit(|o| o.decision(&rec));
     }
 }
 
@@ -624,20 +712,6 @@ impl Scheduler for AsetsStar {
     }
 
     fn on_batch(&mut self, events: &[LifecycleEvent], table: &TxnTable, now: SimTime) {
-        if self.obs.is_attached() {
-            // Observers record per-hook migration provenance; coalescing
-            // would drop the intermediate records. Replay the exact
-            // per-event hook sequence instead.
-            for &ev in events {
-                match ev {
-                    LifecycleEvent::Complete(t) => self.on_complete(t, table, now),
-                    LifecycleEvent::Ready(t) => self.on_ready(t, table, now),
-                    LifecycleEvent::Requeue(t) => self.on_requeue(t, table, now),
-                    LifecycleEvent::BlockedArrival(t) => self.on_blocked_arrival(t, table, now),
-                }
-            }
-            return;
-        }
         // One bulk index pass over the whole epoch, then one refresh per
         // *touched workflow* — the per-event path refreshes once per
         // (event × workflows-of-member), re-deriving the same final keys
@@ -656,21 +730,23 @@ impl Scheduler for AsetsStar {
 
     fn select(&mut self, table: &TxnTable, now: SimTime) -> Option<TxnId> {
         self.migrate(now);
-        if self.obs.is_attached() {
-            // Cache replays would skip the decision record.
-            return self.decide(table, now).0;
-        }
         if let Some(chosen) = self.cached_choice(now) {
             self.cache_hits += 1;
+            // Observed runs replay the cached record re-derived at `now`
+            // instead of bypassing the cache (see `emit_replay`).
+            if self.obs.is_attached() {
+                self.emit_replay(now);
+            }
             return chosen;
         }
-        let (chosen, kind) = self.decide(table, now);
+        let (chosen, kind, rec) = self.decide(table, now);
         self.cache = Some(CacheEntry {
             edf_top: self.edf.peek(),
             hdf_top: self.hdf.peek(),
             chosen,
             kind,
             at: now,
+            rec,
         });
         chosen
     }
@@ -764,6 +840,8 @@ impl Scheduler for AsetsStar {
 
     fn attach_observer(&mut self, obs: crate::obs::SharedObserver) {
         self.obs.attach(obs);
+        // A mid-run attach must not replay an entry cached unobserved (its
+        // `rec` is `None`, so the replay would emit nothing).
         self.cache = None;
     }
 }

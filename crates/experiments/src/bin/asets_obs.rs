@@ -70,6 +70,25 @@ fn why(dump: &Dump, args: &[String]) -> Result<(), String> {
     };
     let hits = dump.why(txn, at);
     if hits.is_empty() {
+        // A transaction with no decisions may never have entered the
+        // scheduler at all: check the live path's admission sheds.
+        if let Some(shed) = dump.shed_of(txn) {
+            println!(
+                "[{:>10.3}] {txn} never ran: job {} ({} txns starting at T{}) was shed — {} \
+                 ({} txns in flight)",
+                shed.at.as_units(),
+                shed.job,
+                shed.txns,
+                shed.first_txn.0,
+                if shed.overload {
+                    "in-flight bound"
+                } else {
+                    "SLA infeasible"
+                },
+                shed.inflight,
+            );
+            return Ok(());
+        }
         let when = at.map_or(String::new(), |t| format!(" at {:.3}", t.as_units()));
         return Err(format!("no recorded decision chose {txn}{when}"));
     }
@@ -207,6 +226,7 @@ fn summary(dump: &Dump) {
     let mut dispatches = 0usize;
     let mut preemptions = 0usize;
     let mut rebalances = 0usize;
+    let mut admissions = 0usize;
     let mut edf_wins = 0usize;
     let mut hdf_wins = 0usize;
     for (_, ev) in &dump.events {
@@ -230,6 +250,7 @@ fn summary(dump: &Dump) {
                 }
             }
             RecordedEvent::Rebalance(_) => rebalances += 1,
+            RecordedEvent::Admission(_) => admissions += 1,
         }
     }
     println!("{} events", dump.events.len());
@@ -238,6 +259,9 @@ fn summary(dump: &Dump) {
     println!("  dispatches: {dispatches} ({preemptions} preempting)");
     if rebalances > 0 {
         println!("  rebalances: {rebalances}");
+    }
+    if admissions > 0 {
+        println!("  admission sheds: {admissions}");
     }
     if let Some((seq, ev)) = dump.events.first() {
         println!(

@@ -9,15 +9,22 @@
 //! asets-serve --mode closed --users 8 --think 50
 //! asets-serve --rate 200 --max-inflight 64 --shed-infeasible   # overload
 //! asets-serve soak --prometheus slo.prom --jsonl slo.jsonl
+//! asets-serve soak --scrape 127.0.0.1:9898     # live GET /metrics, /slo
+//! asets-serve --flight-out flight.jsonl        # asets-obs why explains sheds
 //! ```
 //!
 //! Flags: `--duration SECS`, `--mode open|closed`, `--rate PAGES/S`,
 //! `--users N`, `--think MS`, `--policy NAME`, `--servers N`,
 //! `--max-inflight N`, `--shed-infeasible`, `--seed N`, `--scale TICKS/µS`,
-//! `--report-every MS`, `--prometheus PATH`, `--jsonl PATH`, `--quiet`.
+//! `--report-every MS`, `--prometheus PATH`, `--jsonl PATH`,
+//! `--scrape ADDR` (live scrape endpoint, `:0` picks a port),
+//! `--flight-out PATH` (admission flight dump for `asets-obs`), `--quiet`.
 
 use asets_core::policy::{ImpactRule, PolicyKind};
-use asets_experiments::serve::{check_conservation, run_serve, ServeConfig, ServeMode};
+use asets_experiments::serve::{
+    check_conservation, run_serve_with, ServeConfig, ServeMode, ServeTelemetry,
+};
+use asets_obs::FlightRecorder;
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -42,6 +49,8 @@ struct Cli {
     cfg: ServeConfig,
     prometheus: Option<String>,
     jsonl: Option<String>,
+    scrape: Option<String>,
+    flight_out: Option<String>,
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
@@ -51,6 +60,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     };
     let mut prometheus = None;
     let mut jsonl = None;
+    let mut scrape = None;
+    let mut flight_out = None;
     let mut rate = None;
     let mut users = None;
     let mut think = None;
@@ -126,6 +137,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             }
             "--prometheus" => prometheus = Some(next_val(&mut it, "--prometheus")?),
             "--jsonl" => jsonl = Some(next_val(&mut it, "--jsonl")?),
+            "--scrape" => scrape = Some(next_val(&mut it, "--scrape")?),
+            "--flight-out" => flight_out = Some(next_val(&mut it, "--flight-out")?),
             "--quiet" => cfg.live_output = false,
             other => {
                 return Err(format!(
@@ -148,6 +161,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         cfg,
         prometheus,
         jsonl,
+        scrape,
+        flight_out,
     })
 }
 
@@ -168,7 +183,23 @@ fn main() -> ExitCode {
         cli.cfg.servers,
         cli.cfg.max_inflight,
     );
-    let report = match run_serve(&cli.cfg) {
+    let mut telemetry = match cli.scrape.as_deref() {
+        Some(addr) => match ServeTelemetry::start(addr) {
+            Ok(t) => {
+                println!(
+                    "scrape endpoint live at {} (GET /metrics, /slo, /health)",
+                    t.url()
+                );
+                Some(t)
+            }
+            Err(e) => {
+                eprintln!("asets-serve: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let report = match run_serve_with(&cli.cfg, telemetry.as_mut()) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("asets-serve: {e}");
@@ -176,6 +207,15 @@ fn main() -> ExitCode {
         }
     };
     println!("{}", report.summary());
+    if let Some(t) = telemetry.take() {
+        let bus = t.finish();
+        println!(
+            "telemetry bus: {} completions, {} decisions, {} dropped events",
+            bus.counter("bus_completions_total"),
+            bus.counter("bus_decisions_total"),
+            bus.drops(),
+        );
+    }
     if let Err(e) = check_conservation(&report) {
         eprintln!("asets-serve: counter conservation violated: {e}");
         return ExitCode::FAILURE;
@@ -194,6 +234,18 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("{} JSONL reports written to {path}", report.reports_emitted);
+    }
+    if let Some(path) = cli.flight_out {
+        let mut rec = FlightRecorder::new(report.admission.events.len().max(16));
+        rec.ingest_admission(&report.admission);
+        if let Err(e) = rec.dump_to(std::path::Path::new(&path)) {
+            eprintln!("asets-serve: could not write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "{} admission events written to {path} (try: asets-obs summary {path})",
+            report.admission.events.len()
+        );
     }
     ExitCode::SUCCESS
 }

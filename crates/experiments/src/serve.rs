@@ -23,12 +23,14 @@
 //! live run. Everything asserted by gates is therefore either structural
 //! (counter conservation) or thresholded, never bit-exact.
 
-use asets_core::obs::share;
+use asets_core::obs::{share, Tee};
 use asets_core::policy::{PolicyKind, Scheduler};
 use asets_core::table::TxnTable;
 use asets_core::time::SimDuration;
-use asets_obs::SloMonitor;
-use asets_sim::live::{JobBoard, JobStatus, LiveConfig, LiveFrontend, LiveSnapshot};
+use asets_obs::{BusHandle, BusObserver, ScrapeServer, SloMonitor, TelemetryBus};
+use asets_sim::live::{
+    AdmissionStats, JobBoard, JobStatus, LiveConfig, LiveFrontend, LiveSnapshot,
+};
 use asets_sim::Engine;
 use asets_webdb::app::stock::{stock_database, stock_page_template, StockDbParams};
 use asets_webdb::{compile_requests, CostModel, PageRequest};
@@ -118,6 +120,70 @@ impl Default for ServeConfig {
     }
 }
 
+/// The always-on telemetry side-car of a soak: a single-shard
+/// [`TelemetryBus`] whose observer rides the engine (tee'd with the SLO
+/// monitor) and a [`ScrapeServer`] answering `GET /metrics`, `GET /slo`
+/// and `GET /health` from the bus's merged state — *while the soak runs*,
+/// not after it. Build one, read [`ServeTelemetry::addr`] for the
+/// OS-assigned port, then hand it to [`run_serve_with`]; keep it alive
+/// after the soak to scrape final state, and [`ServeTelemetry::finish`]
+/// it for shutdown-ordered counters.
+pub struct ServeTelemetry {
+    bus: BusHandle,
+    observer: Option<BusObserver>,
+    scrape: ScrapeServer,
+}
+
+/// Per-soak bus buffering: events between collector drains. Sized for an
+/// overload soak's burst arrivals (each page is 4 transactions and every
+/// transaction emits a handful of events) with the collector's 1 ms
+/// drain cadence.
+const BUS_CAPACITY: usize = 64 * 1024;
+
+impl ServeTelemetry {
+    /// Start the bus and bind the scrape endpoint on `addr` (use
+    /// `"127.0.0.1:0"` to let the OS pick a port).
+    pub fn start(addr: &str) -> Result<ServeTelemetry, String> {
+        let (mut observers, bus) = TelemetryBus::start(1, BUS_CAPACITY);
+        let metrics_bus = bus.clone();
+        let slo_bus = bus.clone();
+        let scrape = ScrapeServer::start(
+            addr,
+            Arc::new(move || metrics_bus.prometheus()),
+            Arc::new(move || slo_bus.slo_jsonl()),
+        )
+        .map_err(|e| format!("scrape bind {addr}: {e}"))?;
+        Ok(ServeTelemetry {
+            bus,
+            observer: observers.pop(),
+            scrape,
+        })
+    }
+
+    /// The scrape endpoint's bound address.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.scrape.addr()
+    }
+
+    /// The scrape endpoint's base URL.
+    pub fn url(&self) -> String {
+        self.scrape.url()
+    }
+
+    /// The live bus handle (merged counters and SLO state mid-soak).
+    pub fn bus(&self) -> &BusHandle {
+        &self.bus
+    }
+
+    /// Stop the scrape endpoint, final-drain the bus, and return the
+    /// handle for post-run counter assertions.
+    pub fn finish(mut self) -> BusHandle {
+        self.scrape.stop();
+        self.bus.shutdown();
+        self.bus
+    }
+}
+
 /// What came out of a soak.
 #[derive(Debug, Clone)]
 pub struct ServeReport {
@@ -146,6 +212,9 @@ pub struct ServeReport {
     pub universe_exhausted: bool,
     /// Wall time actually spent in the serve loop.
     pub wall: Duration,
+    /// Admission telemetry: run totals plus every retained shed event, in
+    /// the shape `FlightRecorder::ingest_admission` consumes.
+    pub admission: AdmissionStats,
 }
 
 impl ServeReport {
@@ -329,6 +398,16 @@ fn closed_loop(
 
 /// Run one soak to completion and report.
 pub fn run_serve(cfg: &ServeConfig) -> Result<ServeReport, String> {
+    run_serve_with(cfg, None)
+}
+
+/// Like [`run_serve`], but with an optional live-telemetry side-car: the
+/// bus observer is tee'd onto the engine next to the SLO monitor, so the
+/// scrape endpoint answers with current counters for the whole soak.
+pub fn run_serve_with(
+    cfg: &ServeConfig,
+    telemetry: Option<&mut ServeTelemetry>,
+) -> Result<ServeReport, String> {
     assert!(cfg.scale > 0 && cfg.servers > 0);
     let universe = build_universe(cfg)?;
     let n_producers = match cfg.mode {
@@ -351,15 +430,27 @@ pub fn run_serve(cfg: &ServeConfig) -> Result<ServeReport, String> {
         board,
         stats,
         universe: _,
+        admissions,
     } = frontend;
 
     let table = TxnTable::new(universe.specs.clone()).map_err(|e| format!("{e}"))?;
     let policy: Box<dyn Scheduler> = cfg.policy.build(&table);
     let monitor = Rc::new(RefCell::new(SloMonitor::new()));
+    // The SLO monitor always rides the engine; a telemetry side-car adds
+    // its bus observer through a tee so neither sink knows the other.
+    let observer = match telemetry.and_then(|t| t.observer.take()) {
+        Some(bus_obs) => {
+            let tee = Tee::new()
+                .with(share(&monitor))
+                .with(share(&Rc::new(RefCell::new(bus_obs))));
+            share(&Rc::new(RefCell::new(tee)))
+        }
+        None => share(&monitor),
+    };
     let mut engine = Engine::with_pump(universe.specs.clone(), policy, pump)
         .map_err(|e| format!("{e}"))?
         .with_servers(cfg.servers)
-        .with_observer(share(&monitor));
+        .with_observer(observer);
 
     let started = Instant::now();
     let deadline = started + cfg.duration;
@@ -439,6 +530,7 @@ pub fn run_serve(cfg: &ServeConfig) -> Result<ServeReport, String> {
         universe_jobs: total_jobs,
         universe_exhausted: exhausted.load(Ordering::Relaxed),
         wall,
+        admission: admissions.stats(&live),
         live,
     })
 }

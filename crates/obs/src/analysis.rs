@@ -15,7 +15,7 @@ use asets_core::obs::{
 use asets_core::time::{SimDuration, SimTime, Slack};
 use asets_core::txn::TxnId;
 use asets_core::workflow::WfId;
-use asets_sim::RebalanceEvent;
+use asets_sim::{AdmissionEvent, RebalanceEvent};
 use std::path::Path;
 
 /// A parsed flight-recorder dump: `(seq, event)` pairs in dump order.
@@ -73,6 +73,24 @@ impl Dump {
             RecordedEvent::Rebalance(r) => Some((*s, r)),
             _ => None,
         })
+    }
+
+    /// All admission-control sheds (live-path runs).
+    pub fn admissions(&self) -> impl Iterator<Item = (u64, &AdmissionEvent)> {
+        self.events.iter().filter_map(|(s, e)| match e {
+            RecordedEvent::Admission(a) => Some((*s, a)),
+            _ => None,
+        })
+    }
+
+    /// Why did `txn` never run — the admission shed (if any) whose job
+    /// owned it. The complement of [`Dump::why`]: a transaction either
+    /// dispatched (decisions explain it) or its job was turned away at
+    /// the door (this explains it).
+    pub fn shed_of(&self, txn: TxnId) -> Option<AdmissionEvent> {
+        self.admissions()
+            .find(|(_, a)| (a.first_txn.0..a.first_txn.0 + a.txns).contains(&txn.0))
+            .map(|(_, a)| *a)
     }
 
     /// Why did `txn` run — every decision that chose it, optionally
@@ -346,6 +364,18 @@ fn parse_event(obj: &FlatObj) -> Result<(u64, RecordedEvent), String> {
             },
             other => return Err(format!("unknown rebalance action {other:?}")),
         }),
+        Some("admission") => RecordedEvent::Admission(AdmissionEvent {
+            at,
+            job: obj.int("job").ok_or("missing job")? as u32,
+            first_txn: TxnId(obj.int("txn").ok_or("missing txn")? as u32),
+            txns: obj.int("txns").ok_or("missing txns")? as u32,
+            overload: match obj.str("reason") {
+                Some("overload") => true,
+                Some("infeasible") => false,
+                other => return Err(format!("unknown admission reason {other:?}")),
+            },
+            inflight: obj.int("inflight").unwrap_or(0) as u32,
+        }),
         other => return Err(format!("unknown event kind {other:?}")),
     };
     Ok((seq, ev))
@@ -477,6 +507,31 @@ mod tests {
             restored[1],
             RebalanceEvent::Steal { txn: TxnId(4), .. }
         ));
+    }
+
+    #[test]
+    fn admission_events_round_trip_and_explain_sheds() {
+        let shed = AdmissionEvent {
+            at: SimTime::from_units_int(4),
+            job: 7,
+            first_txn: TxnId(21),
+            txns: 3,
+            overload: true,
+            inflight: 16,
+        };
+        let d = dump_of(vec![
+            RecordedEvent::Decision(eq1_record(8)),
+            RecordedEvent::Admission(shed),
+        ]);
+        let restored: Vec<AdmissionEvent> = d.admissions().map(|(_, a)| *a).collect();
+        assert_eq!(restored, vec![shed]);
+        // Every member transaction of the shed job resolves to the event.
+        for t in 21..24 {
+            assert_eq!(d.shed_of(TxnId(t)), Some(shed), "T{t}");
+        }
+        // A transaction outside the job does not.
+        assert_eq!(d.shed_of(TxnId(20)), None);
+        assert_eq!(d.shed_of(TxnId(24)), None);
     }
 
     #[test]

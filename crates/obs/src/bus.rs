@@ -1,0 +1,454 @@
+//! The telemetry bus: per-shard lock-free event rings drained by one
+//! collector thread into merged live metrics.
+//!
+//! Simulation observers are `Rc<RefCell<…>>` — deliberately
+//! single-threaded. A sharded or live run wants the opposite: each shard
+//! thread must publish telemetry without locks on its hot path, and one
+//! place must hold the merged, scrape-able state. The bus provides that
+//! seam:
+//!
+//! * [`BusObserver`] — an `Observer` owned by one shard thread. Every hook
+//!   reduces to pushing a small `Copy` [`BusEvent`] into that shard's
+//!   [`BusRing`], a bounded SPSC ring in the same idiom as the live
+//!   front-end's ingest ring (monotonic head/tail cursors,
+//!   acquire/release pairing, wait-free on both sides). A full ring
+//!   *drops* the event and counts the drop — telemetry backpressure must
+//!   never stall the scheduler.
+//! * A collector thread — spawned by [`TelemetryBus::start`] — drains
+//!   every ring into one [`BusState`]: a [`MetricsRegistry`] of
+//!   conservation-checkable counters plus a merged [`SloMonitor`] fed by
+//!   every completion.
+//! * [`BusHandle`] — snapshot access for the scrape endpoint
+//!   ([`BusHandle::prometheus`], [`BusHandle::slo_jsonl`]) and orderly
+//!   [`BusHandle::shutdown`] (final drain, so nothing published before
+//!   shutdown is lost unless the ring itself dropped it).
+//!
+//! The observer reports `wants_timing() == false`: the bus carries
+//! counters and SLO sketches, not latency spans, so shard threads keep a
+//! clock-free scheduling-point path.
+
+use crate::metrics::MetricsRegistry;
+use crate::slo::SloMonitor;
+use asets_core::obs::{CompletionInfo, EpochSummary, MigrationEvent, Observer};
+use asets_core::policy::LifecycleEvent;
+use asets_core::time::SimTime;
+use asets_core::txn::TxnId;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// One telemetry event, sized to copy through the ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BusEvent {
+    /// A scheduling point was processed.
+    SchedPoint,
+    /// The policy emitted a decision record.
+    Decision,
+    /// A server hand-off.
+    Dispatch,
+    /// An EDF↔HDF migration (`true` = toward HDF).
+    Migration(bool),
+    /// An arrival was delivered (`true` = ready on arrival).
+    Arrival(bool),
+    /// A transaction completed, with its full completion info.
+    Completion(CompletionInfo),
+    /// One engine epoch settled, with its coalesced width.
+    Epoch(u32),
+}
+
+/// Bounded lock-free SPSC ring of [`BusEvent`]s.
+///
+/// Same cursor discipline as the live front-end's `IngestRing`, but slots
+/// are plain `UnsafeCell`s (events are multi-word): a slot is written only
+/// by the producer *before* the `Release` store of `tail`, and read only
+/// by the consumer *after* the `Acquire` load of `tail`, so the
+/// release/acquire pair orders the copy. SPSC is enforced by
+/// construction — one non-clonable producer per ring ([`BusObserver`]),
+/// one consumer (the collector thread).
+#[derive(Debug)]
+pub struct BusRing {
+    slots: Box<[UnsafeCell<BusEvent>]>,
+    /// Consumer cursor (monotonic; slot = head % capacity).
+    head: AtomicUsize,
+    /// Producer cursor (monotonic; slot = tail % capacity).
+    tail: AtomicUsize,
+    /// Events rejected because the ring was full.
+    drops: AtomicU64,
+}
+
+// Safety: the only shared mutable state is `slots`, and the head/tail
+// protocol above guarantees a slot is never accessed by both sides at
+// once. See `push`/`drain_into`.
+unsafe impl Sync for BusRing {}
+unsafe impl Send for BusRing {}
+
+impl BusRing {
+    /// A ring holding up to `capacity` pending events.
+    ///
+    /// # Panics
+    /// If `capacity == 0`.
+    pub fn new(capacity: usize) -> BusRing {
+        assert!(capacity > 0, "ring capacity must be positive");
+        BusRing {
+            slots: (0..capacity)
+                .map(|_| UnsafeCell::new(BusEvent::SchedPoint))
+                .collect(),
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+            drops: AtomicU64::new(0),
+        }
+    }
+
+    /// Queue capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Events dropped at this ring so far.
+    pub fn drops(&self) -> u64 {
+        self.drops.load(Ordering::Relaxed)
+    }
+
+    /// Producer side: push `ev`, or count a drop when full. Never blocks.
+    fn push(&self, ev: BusEvent) {
+        let tail = self.tail.load(Ordering::Relaxed);
+        let head = self.head.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) == self.slots.len() {
+            self.drops.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        // Safety: slot `tail` is ours until the Release store below; the
+        // consumer will not read it before observing that store.
+        unsafe { *self.slots[tail % self.slots.len()].get() = ev };
+        self.tail.store(tail.wrapping_add(1), Ordering::Release);
+    }
+
+    /// Consumer side: move every queued event into `out`; returns how many.
+    fn drain_into(&self, out: &mut Vec<BusEvent>) -> usize {
+        let mut head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Acquire);
+        let n = tail.wrapping_sub(head);
+        out.reserve(n);
+        while head != tail {
+            // Safety: `head < tail` ⟹ the producer's Release store for
+            // this slot happened before our Acquire of `tail`.
+            out.push(unsafe { *self.slots[head % self.slots.len()].get() });
+            head = head.wrapping_add(1);
+        }
+        self.head.store(head, Ordering::Release);
+        n
+    }
+
+    /// Queued events (approximate from anywhere but the consumer).
+    pub fn len(&self) -> usize {
+        self.tail
+            .load(Ordering::Acquire)
+            .wrapping_sub(self.head.load(Ordering::Relaxed))
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The collector's merged state: conservation-checkable counters plus a
+/// run-wide SLO monitor over every completion that crossed the bus.
+#[derive(Debug, Default)]
+pub struct BusState {
+    /// Merged counters/gauges (`bus_*` namespace).
+    pub registry: MetricsRegistry,
+    /// Merged SLO sketches.
+    pub slo: SloMonitor,
+}
+
+impl BusState {
+    fn apply(&mut self, ev: BusEvent) {
+        let m = &mut self.registry;
+        match ev {
+            BusEvent::SchedPoint => m.inc("bus_sched_points_total"),
+            BusEvent::Decision => m.inc("bus_decisions_total"),
+            BusEvent::Dispatch => m.inc("bus_dispatches_total"),
+            BusEvent::Migration(to_hdf) => {
+                m.inc("bus_migrations_total");
+                if to_hdf {
+                    m.inc("bus_migrations_to_hdf_total");
+                }
+            }
+            BusEvent::Arrival(ready) => {
+                m.inc("bus_arrivals_total");
+                if ready {
+                    m.inc("bus_arrivals_ready_total");
+                }
+            }
+            BusEvent::Completion(info) => {
+                m.inc("bus_completions_total");
+                self.slo.record(&info);
+            }
+            BusEvent::Epoch(width) => {
+                m.inc("bus_epochs_total");
+                m.add("bus_epoch_events_total", u64::from(width));
+            }
+        }
+    }
+}
+
+/// The per-shard producer: an [`Observer`] that publishes every hook as a
+/// ring event. `Send` but deliberately not `Clone` — one per ring keeps
+/// the SPSC contract.
+#[derive(Debug)]
+pub struct BusObserver {
+    ring: Arc<BusRing>,
+}
+
+impl BusObserver {
+    /// The shard's ring (for depth/drop introspection in tests).
+    pub fn ring(&self) -> &BusRing {
+        &self.ring
+    }
+}
+
+impl Observer for BusObserver {
+    fn decision(&mut self, _rec: &asets_core::obs::DecisionRecord) {
+        self.ring.push(BusEvent::Decision);
+    }
+
+    fn migration(&mut self, ev: &MigrationEvent) {
+        self.ring.push(BusEvent::Migration(ev.to_hdf));
+    }
+
+    fn sched_point(&mut self, _at: SimTime, _latency_ns: u64) {
+        self.ring.push(BusEvent::SchedPoint);
+    }
+
+    fn dispatched(&mut self, _at: SimTime, _txn: TxnId, _preempted: Option<TxnId>) {
+        self.ring.push(BusEvent::Dispatch);
+    }
+
+    fn arrived(&mut self, _at: SimTime, _txn: TxnId, ready: bool) {
+        self.ring.push(BusEvent::Arrival(ready));
+    }
+
+    fn completed(&mut self, _at: SimTime, _txn: TxnId, info: &CompletionInfo) {
+        self.ring.push(BusEvent::Completion(*info));
+    }
+
+    fn on_epoch(&mut self, _events: &[LifecycleEvent], summary: &EpochSummary) {
+        self.ring.push(BusEvent::Epoch(summary.width));
+    }
+
+    fn wants_timing(&self) -> bool {
+        false
+    }
+}
+
+/// How long the collector sleeps when every ring came up empty.
+const COLLECTOR_IDLE: Duration = Duration::from_millis(1);
+
+/// Handle to a running telemetry bus: snapshot access for the scrape
+/// endpoint plus orderly shutdown. Cheap to clone; all clones share the
+/// same collector.
+#[derive(Debug, Clone)]
+pub struct BusHandle {
+    state: Arc<Mutex<BusState>>,
+    rings: Vec<Arc<BusRing>>,
+    stop: Arc<AtomicBool>,
+    collector: Arc<Mutex<Option<JoinHandle<()>>>>,
+}
+
+impl BusHandle {
+    /// Total events dropped across every shard ring.
+    pub fn drops(&self) -> u64 {
+        self.rings.iter().map(|r| r.drops()).sum()
+    }
+
+    /// Run `f` against the merged state under the collector lock.
+    pub fn with_state<R>(&self, f: impl FnOnce(&BusState) -> R) -> R {
+        f(&self.state.lock().unwrap())
+    }
+
+    /// Current value of merged counter `name`.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.with_state(|s| s.registry.counter(name))
+    }
+
+    /// Prometheus text exposition of the merged state: the `bus_*`
+    /// counters, liveness gauges (ring depth, drops, shard count), and the
+    /// merged SLO series — one well-formed scrape body.
+    pub fn prometheus(&self) -> String {
+        let depth: usize = self.rings.iter().map(|r| r.len()).sum();
+        let mut s = self.state.lock().unwrap();
+        s.registry.set("bus_shards", self.rings.len() as u64);
+        s.registry.set("bus_ring_depth", depth as u64);
+        s.registry.set("bus_dropped_events", self.drops());
+        let mut out = s.registry.to_prometheus();
+        out.push_str(&s.slo.to_prometheus());
+        out
+    }
+
+    /// JSONL exposition of the merged SLO state (the `/slo` endpoint).
+    pub fn slo_jsonl(&self) -> String {
+        self.with_state(|s| s.slo.to_jsonl())
+    }
+
+    /// Stop the collector: final-drain every ring, then join the thread.
+    /// Idempotent; snapshots keep working afterwards.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.collector.lock().unwrap().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The telemetry bus constructor.
+#[derive(Debug)]
+pub struct TelemetryBus;
+
+impl TelemetryBus {
+    /// Start a bus for `shards` producers with `capacity` events of
+    /// buffering each. Returns one [`BusObserver`] per shard (move each
+    /// into its shard thread / engine) and the [`BusHandle`] the scrape
+    /// endpoint serves from. The collector thread runs until
+    /// [`BusHandle::shutdown`].
+    pub fn start(shards: usize, capacity: usize) -> (Vec<BusObserver>, BusHandle) {
+        assert!(shards > 0, "need at least one shard");
+        let rings: Vec<Arc<BusRing>> = (0..shards)
+            .map(|_| Arc::new(BusRing::new(capacity)))
+            .collect();
+        let producers = rings
+            .iter()
+            .map(|r| BusObserver {
+                ring: Arc::clone(r),
+            })
+            .collect();
+        let state = Arc::new(Mutex::new(BusState::default()));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let thread_rings = rings.clone();
+        let thread_state = Arc::clone(&state);
+        let thread_stop = Arc::clone(&stop);
+        let collector = std::thread::Builder::new()
+            .name("telemetry-bus".into())
+            .spawn(move || {
+                let mut buf = Vec::new();
+                loop {
+                    let stopping = thread_stop.load(Ordering::Acquire);
+                    let mut drained = 0;
+                    for ring in &thread_rings {
+                        drained += ring.drain_into(&mut buf);
+                    }
+                    if !buf.is_empty() {
+                        let mut s = thread_state.lock().unwrap();
+                        for &ev in &buf {
+                            s.apply(ev);
+                        }
+                        buf.clear();
+                    }
+                    if stopping && drained == 0 {
+                        // The stop flag was visible *before* this drain
+                        // pass, so anything pushed before shutdown() was
+                        // either consumed or dropped at the ring.
+                        return;
+                    }
+                    if drained == 0 {
+                        std::thread::sleep(COLLECTOR_IDLE);
+                    }
+                }
+            })
+            .expect("spawn telemetry collector");
+
+        let handle = BusHandle {
+            state,
+            rings,
+            stop,
+            collector: Arc::new(Mutex::new(Some(collector))),
+        };
+        (producers, handle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asets_core::time::SimDuration;
+
+    fn info(met: bool) -> CompletionInfo {
+        CompletionInfo {
+            finish: SimTime::from_units_int(5),
+            deadline: SimTime::from_units_int(if met { 6 } else { 4 }),
+            tardiness: SimDuration::from_ticks(if met { 0 } else { 9 }),
+            queue_wait: SimDuration::ZERO,
+            service: SimDuration::from_units_int(1),
+            met_deadline: met,
+        }
+    }
+
+    #[test]
+    fn ring_wraps_and_counts_drops() {
+        let ring = BusRing::new(2);
+        ring.push(BusEvent::SchedPoint);
+        ring.push(BusEvent::Decision);
+        ring.push(BusEvent::Dispatch); // full → dropped
+        assert_eq!(ring.drops(), 1);
+        let mut out = Vec::new();
+        assert_eq!(ring.drain_into(&mut out), 2);
+        assert_eq!(out, vec![BusEvent::SchedPoint, BusEvent::Decision]);
+        ring.push(BusEvent::Epoch(3));
+        assert_eq!(ring.drain_into(&mut out), 1, "freed slots are reusable");
+    }
+
+    #[test]
+    fn collector_merges_shards_and_survives_shutdown() {
+        let (mut producers, handle) = TelemetryBus::start(2, 1024);
+        let mut b = producers.pop().unwrap();
+        let mut a = producers.pop().unwrap();
+        let ta = std::thread::spawn(move || {
+            for i in 0..500u32 {
+                a.sched_point(SimTime::ZERO, 0);
+                a.completed(SimTime::ZERO, TxnId(i), &info(i % 2 == 0));
+            }
+        });
+        let tb = std::thread::spawn(move || {
+            for i in 0..300u32 {
+                b.sched_point(SimTime::ZERO, 0);
+                b.arrived(SimTime::ZERO, TxnId(i), true);
+            }
+        });
+        ta.join().unwrap();
+        tb.join().unwrap();
+        handle.shutdown();
+        assert_eq!(handle.drops(), 0);
+        assert_eq!(handle.counter("bus_sched_points_total"), 800);
+        assert_eq!(handle.counter("bus_completions_total"), 500);
+        assert_eq!(handle.counter("bus_arrivals_total"), 300);
+        handle.with_state(|s| {
+            assert_eq!(s.slo.completions(), 500);
+            assert_eq!(s.slo.misses(), 250);
+        });
+        let prom = handle.prometheus();
+        assert!(prom.contains("bus_sched_points_total 800"), "{prom}");
+        assert!(prom.contains("bus_shards 2"), "{prom}");
+        assert!(prom.contains("slo_completions_total 500"), "{prom}");
+        for line in handle.slo_jsonl().lines() {
+            crate::json::parse_flat(line).expect(line);
+        }
+        handle.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn full_ring_drops_instead_of_blocking() {
+        let ring = Arc::new(BusRing::new(4));
+        let mut obs = BusObserver {
+            ring: Arc::clone(&ring),
+        };
+        for _ in 0..10 {
+            obs.sched_point(SimTime::ZERO, 0);
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.drops(), 6);
+        assert!(!obs.wants_timing());
+    }
+}

@@ -25,6 +25,13 @@
 //!   trace JSON.
 //! * [`SloMonitor`] / [`QuantileSketch`] — streaming tardiness/queue-wait
 //!   percentiles and windowed deadline-miss ratio in fixed memory.
+//! * [`SamplingObserver`] — deterministic 1-in-N span sampling around any
+//!   inner observer, with exact counters and SLO sketches for the whole
+//!   population.
+//! * [`TelemetryBus`] / [`BusHandle`] — per-shard lock-free telemetry
+//!   rings drained by a collector thread into merged scrape-able state.
+//! * [`ScrapeServer`] — a hand-rolled `GET /metrics` + `/slo` + `/health`
+//!   HTTP endpoint over the bus (or any snapshot source).
 //!
 //! ## Wiring
 //!
@@ -62,25 +69,31 @@
 #![warn(rust_2018_idioms)]
 
 pub mod analysis;
+pub mod bus;
 pub mod json;
 pub mod metrics;
 pub mod recorder;
+pub mod sample;
+pub mod scrape;
 pub mod slo;
 pub mod span;
 pub mod timeline;
 
 pub use analysis::{derive_impacts, CheckFailure, Dump};
+pub use bus::{BusEvent, BusHandle, BusObserver, BusRing, BusState, TelemetryBus};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use recorder::{
     dump_sharded, event_line, event_line_labeled, FlightRecorder, PanicDump, RecordedEvent,
     LATENCY_NS_BOUNDS, LIST_LEN_BOUNDS,
 };
+pub use sample::{SampleCounters, SamplingObserver};
+pub use scrape::{http_get, ScrapeServer};
 pub use slo::{QuantileSketch, SloMonitor, DEFAULT_SLO_WINDOW};
 pub use span::{dump_spans, PhaseAgg, SpanCollector, SpanEvent, SpanRecorder};
 pub use timeline::{DispatchEdge, PhaseProfile, RunSegment, Timeline, TxnTimeline};
 
 // Re-export the hook layer so downstream users need only one obs import.
 pub use asets_core::obs::{
-    share, Candidate, CompletionInfo, DecisionRecord, DecisionRule, EnginePhase, MigrationEvent,
-    MigrationSubject, NoopObserver, Observer, ObserverSlot, SharedObserver, Winner,
+    share, Candidate, CompletionInfo, DecisionRecord, DecisionRule, EnginePhase, EpochSummary,
+    MigrationEvent, MigrationSubject, NoopObserver, Observer, ObserverSlot, SharedObserver, Winner,
 };

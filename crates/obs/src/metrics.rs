@@ -100,10 +100,11 @@ impl Histogram {
     }
 }
 
-/// A named collection of counters and histograms.
+/// A named collection of counters, gauges and histograms.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MetricsRegistry {
     counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, u64>,
     histograms: BTreeMap<&'static str, Histogram>,
 }
 
@@ -126,6 +127,17 @@ impl MetricsRegistry {
     /// Current value of counter `name` (0 if never touched).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Set gauge `name` to `v` (last write wins — point-in-time values
+    /// like ring depth or in-flight count, as opposed to counters).
+    pub fn set(&mut self, name: &'static str, v: u64) {
+        self.gauges.insert(name, v);
+    }
+
+    /// Current value of gauge `name` (0 if never set).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
     }
 
     /// Register histogram `name` over `bounds`; a no-op if it already
@@ -176,6 +188,10 @@ impl MetricsRegistry {
             let _ = writeln!(out, "# TYPE {name} counter");
             let _ = writeln!(out, "{name}{lone} {v}");
         }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name}{lone} {v}");
+        }
         for (name, h) in &self.histograms {
             let _ = writeln!(out, "# TYPE {name} histogram");
             for (bound, cum) in h.cumulative() {
@@ -215,6 +231,15 @@ impl MetricsRegistry {
             let line = tag(JsonObject::new()
                 .str("metric", name)
                 .str("type", "counter")
+                .int("value", *v as i128))
+            .finish();
+            out.push_str(&line);
+            out.push('\n');
+        }
+        for (name, v) in &self.gauges {
+            let line = tag(JsonObject::new()
+                .str("metric", name)
+                .str("type", "gauge")
                 .int("value", *v as i128))
             .finish();
             out.push_str(&line);
@@ -283,6 +308,22 @@ mod tests {
         m.add("sched_points_total", 4);
         assert_eq!(m.counter("sched_points_total"), 5);
         assert_eq!(m.counter("never_touched"), 0);
+    }
+
+    #[test]
+    fn gauges_overwrite_and_export() {
+        let mut m = MetricsRegistry::new();
+        m.set("bus_ring_depth", 7);
+        m.set("bus_ring_depth", 3);
+        assert_eq!(m.gauge("bus_ring_depth"), 3);
+        assert_eq!(m.gauge("never_set"), 0);
+        let text = m.to_prometheus();
+        assert!(text.contains("# TYPE bus_ring_depth gauge"), "{text}");
+        assert!(text.contains("bus_ring_depth 3"), "{text}");
+        let line = m.to_jsonl();
+        let obj = parse_flat(line.lines().next().unwrap()).unwrap();
+        assert_eq!(obj.str("type"), Some("gauge"));
+        assert_eq!(obj.int("value"), Some(3));
     }
 
     #[test]

@@ -15,7 +15,7 @@ use crate::metrics::MetricsRegistry;
 use asets_core::obs::{DecisionRecord, MigrationEvent, MigrationSubject, Observer};
 use asets_core::time::SimTime;
 use asets_core::txn::TxnId;
-use asets_sim::{BacklogSeries, RebalanceEvent, RebalanceStats};
+use asets_sim::{AdmissionEvent, AdmissionStats, BacklogSeries, RebalanceEvent, RebalanceStats};
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::io;
@@ -50,6 +50,9 @@ pub enum RecordedEvent {
     /// A cross-shard rebalancing action from a coordinated sharded run —
     /// ingested post-run via [`FlightRecorder::ingest_rebalance`].
     Rebalance(RebalanceEvent),
+    /// An admission-control shed from a live-path run — ingested via
+    /// [`FlightRecorder::ingest_admission`].
+    Admission(AdmissionEvent),
 }
 
 impl RecordedEvent {
@@ -62,6 +65,7 @@ impl RecordedEvent {
             RecordedEvent::Rebalance(
                 RebalanceEvent::Migration { at, .. } | RebalanceEvent::Steal { at, .. },
             ) => *at,
+            RecordedEvent::Admission(a) => a.at,
         }
     }
 }
@@ -184,9 +188,10 @@ impl FlightRecorder {
                     *txn = g(*txn);
                     *preempted = preempted.map(g);
                 }
-                // Rebalance events come from the coordinated runtime, which
-                // already speaks global ids — nothing to rewrite.
-                RecordedEvent::Rebalance(_) => {}
+                // Rebalance and admission events come from the coordinated
+                // runtime / live front-end, which already speak global
+                // ids — nothing to rewrite.
+                RecordedEvent::Rebalance(_) | RecordedEvent::Admission(_) => {}
             }
         }
     }
@@ -215,6 +220,23 @@ impl FlightRecorder {
         self.metrics.add("rebalance_steals", stats.steals);
         for e in &stats.events {
             self.push(RecordedEvent::Rebalance(*e));
+        }
+    }
+
+    /// Fold a live run's admission telemetry into the recorder, mirroring
+    /// [`FlightRecorder::ingest_rebalance`]: totals become counters, shed
+    /// events become ring events, so `asets-obs why` can answer for a
+    /// transaction that never ran because its job was turned away.
+    pub fn ingest_admission(&mut self, stats: &AdmissionStats) {
+        self.metrics.add("admission_admitted_jobs", stats.admitted);
+        self.metrics
+            .add("admission_ring_dropped_jobs", stats.ring_dropped);
+        self.metrics
+            .add("admission_shed_overload_jobs", stats.shed_overload);
+        self.metrics
+            .add("admission_shed_infeasible_jobs", stats.shed_infeasible);
+        for e in &stats.events {
+            self.push(RecordedEvent::Admission(*e));
         }
     }
 
@@ -387,6 +409,16 @@ fn event_line_inner(seq: u64, ev: &RecordedEvent) -> String {
                 .int("to", to as i128)
                 .finish(),
         },
+        RecordedEvent::Admission(a) => JsonObject::new()
+            .str("kind", "admission")
+            .str("reason", if a.overload { "overload" } else { "infeasible" })
+            .int("seq", seq as i128)
+            .int("at", a.at.ticks() as i128)
+            .int("job", a.job as i128)
+            .int("txn", a.first_txn.0 as i128)
+            .int("txns", a.txns as i128)
+            .int("inflight", a.inflight as i128)
+            .finish(),
     }
 }
 
@@ -583,6 +615,50 @@ mod tests {
         let s = crate::json::parse_flat(lines[1]).unwrap();
         assert_eq!(s.str("action"), Some("steal"));
         assert_eq!(s.int("txn"), Some(7));
+    }
+
+    #[test]
+    fn admission_telemetry_ingests_as_counters_and_ring_events() {
+        use asets_sim::AdmissionStats;
+        let mut rec = FlightRecorder::new(8);
+        rec.ingest_admission(&AdmissionStats {
+            admitted: 40,
+            ring_dropped: 2,
+            shed_overload: 3,
+            shed_infeasible: 1,
+            events: vec![
+                AdmissionEvent {
+                    at: SimTime::from_units_int(5),
+                    job: 9,
+                    first_txn: TxnId(27),
+                    txns: 3,
+                    overload: true,
+                    inflight: 12,
+                },
+                AdmissionEvent {
+                    at: SimTime::from_units_int(6),
+                    job: 10,
+                    first_txn: TxnId(30),
+                    txns: 2,
+                    overload: false,
+                    inflight: 11,
+                },
+            ],
+        });
+        assert_eq!(rec.metrics().counter("admission_admitted_jobs"), 40);
+        assert_eq!(rec.metrics().counter("admission_shed_overload_jobs"), 3);
+        assert_eq!(rec.metrics().counter("admission_shed_infeasible_jobs"), 1);
+        assert_eq!(rec.len(), 2);
+        let dump = rec.dump();
+        let lines: Vec<&str> = dump.lines().collect();
+        let o = crate::json::parse_flat(lines[0]).unwrap();
+        assert_eq!(o.str("kind"), Some("admission"));
+        assert_eq!(o.str("reason"), Some("overload"));
+        assert_eq!(o.int("txn"), Some(27));
+        assert_eq!(o.int("inflight"), Some(12));
+        let i = crate::json::parse_flat(lines[1]).unwrap();
+        assert_eq!(i.str("reason"), Some("infeasible"));
+        assert_eq!(i.int("job"), Some(10));
     }
 
     #[test]

@@ -527,6 +527,84 @@ mod tests {
         }
     }
 
+    /// K-way sharded merge: K monitors with *misaligned* windows (every
+    /// shard a different window size, fed different interleaves) absorbed
+    /// into one must equal the union on everything mergeable — counters,
+    /// all three sketches, every quantile — while the window stays the
+    /// absorber's own (order-sensitive state cannot merge).
+    #[test]
+    fn absorb_sketches_merges_k_way_with_misaligned_windows() {
+        for k in [2usize, 4] {
+            let mut shards: Vec<SloMonitor> = (0..k)
+                .map(|s| SloMonitor::with_window(3 + 5 * s)) // 3, 8, 13, 18
+                .collect();
+            let mut union = SloMonitor::with_window(1024);
+            for i in 0..600u64 {
+                // Deterministic skewed spread: shard by a multiplicative
+                // hash so shard loads differ, tardiness spans bucket scales.
+                let shard = ((i.wrapping_mul(2654435761)) >> 7) as usize % k;
+                let tardy = (i % 97) * (i % 13) * 1000;
+                let ci = info(tardy, tardy == 0);
+                shards[shard].record(&ci);
+                union.record(&ci);
+            }
+            let mut merged = shards.swap_remove(0);
+            let merged_window = merged.window_len();
+            for other in &shards {
+                merged.absorb_sketches(other);
+            }
+            assert_eq!(merged.completions(), union.completions(), "K={k}");
+            assert_eq!(merged.misses(), union.misses(), "K={k}");
+            assert_eq!(merged.miss_ratio(), union.miss_ratio(), "K={k}");
+            for (name, sk, usk) in [
+                ("tardiness", merged.tardiness(), union.tardiness()),
+                ("queue_wait", merged.queue_wait(), union.queue_wait()),
+                ("earliness", merged.earliness(), union.earliness()),
+            ] {
+                assert_eq!(sk.count(), usk.count(), "{name} K={k}");
+                assert_eq!(sk.sum(), usk.sum(), "{name} K={k}");
+                assert_eq!(sk.max(), usk.max(), "{name} K={k}");
+                assert_eq!(sk.min(), usk.min(), "{name} K={k}");
+                for q in [0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+                    assert_eq!(sk.quantile(q), usk.quantile(q), "{name} q={q} K={k}");
+                }
+            }
+            assert_eq!(
+                merged.window_len(),
+                merged_window.min(merged.completions() as usize),
+                "absorb keeps the absorber's own window (K={k})"
+            );
+        }
+    }
+
+    /// Absorb order does not matter for sketches: bucket-wise addition is
+    /// commutative and associative, so left-fold and right-fold agree.
+    #[test]
+    fn sketch_absorb_is_order_independent() {
+        let parts: Vec<QuantileSketch> = (0..4)
+            .map(|s| {
+                let mut sk = QuantileSketch::new();
+                for i in 0..200u64 {
+                    sk.observe((i * 31 + s * 7919) % 100_000);
+                }
+                sk
+            })
+            .collect();
+        let mut fwd = QuantileSketch::new();
+        for p in &parts {
+            fwd.absorb(p);
+        }
+        let mut rev = QuantileSketch::new();
+        for p in parts.iter().rev() {
+            rev.absorb(p);
+        }
+        assert_eq!(fwd.count(), rev.count());
+        assert_eq!(fwd.sum(), rev.sum());
+        for q in [0.1, 0.5, 0.99] {
+            assert_eq!(fwd.quantile(q), rev.quantile(q));
+        }
+    }
+
     fn info(tardy: u64, met: bool) -> CompletionInfo {
         CompletionInfo {
             finish: SimTime::from_units_int(10),

@@ -52,7 +52,7 @@ use crate::stats::{BacklogSample, BacklogSeries, EpochStats, RunStats};
 use crate::trace::{Trace, TraceEvent};
 use asets_core::dag::DagError;
 use asets_core::metrics::MetricsSummary;
-use asets_core::obs::{CompletionInfo, EnginePhase, SharedObserver};
+use asets_core::obs::{CompletionInfo, EnginePhase, EpochSummary, SharedObserver};
 use asets_core::policy::{LifecycleEvent, Scheduler};
 use asets_core::table::TxnTable;
 use asets_core::time::SimDuration;
@@ -94,6 +94,10 @@ pub struct Engine<S, P = EventPump> {
     trace: Option<Trace>,
     backlog: Option<(SimDuration, BacklogSeries)>,
     obs: Option<SharedObserver>,
+    /// Whether the attached observer wants wall-clock latencies (cached at
+    /// attach from [`asets_core::obs::Observer::wants_timing`]); `false`
+    /// removes every `Instant` read from the scheduling-point path.
+    obs_timing: bool,
     batched: bool,
     epoch: EpochStats,
     // Reused per-point scratch (no allocations on the hot path).
@@ -130,6 +134,7 @@ impl<S: Scheduler, P: Pump> Engine<S, P> {
             trace: None,
             backlog: None,
             obs: None,
+            obs_timing: true,
             batched: false,
             epoch: EpochStats::default(),
             choices: Vec::new(),
@@ -158,11 +163,11 @@ impl<S: Scheduler, P: Pump> Engine<S, P> {
     /// coalesce index maintenance across the batch. Outcomes, stats and
     /// traces are bit-identical to the per-event mode — the same events are
     /// delivered in the same order, only hook timing is deferred — which
-    /// `tests/batched_determinism.rs` pins across every policy kind.
-    ///
-    /// Ignored while an observer is attached: observers contract to hear
-    /// hooks interleaved with table mutations, so the engine falls back to
-    /// the per-event arm rather than change what provenance records say.
+    /// `tests/batched_determinism.rs` pins across every policy kind, with
+    /// and without an observer attached: the batched arm fires the same
+    /// lifecycle hooks (plus [`asets_core::obs::Observer::on_epoch`]) in
+    /// the same order, so attaching an observer no longer changes which
+    /// engine arm runs.
     pub fn with_batching(mut self) -> Self {
         self.batched = true;
         self
@@ -184,11 +189,15 @@ impl<S: Scheduler, P: Pump> Engine<S, P> {
 
     /// Attach an observer: the engine reports scheduling points (with
     /// wall-clock decision latency) and dispatches, and hands the same
-    /// observer to the policy for decision/migration provenance. Costs one
-    /// `Instant::now` pair per scheduling point when attached; nothing when
-    /// not.
+    /// observer to the policy for decision/migration provenance. Costs a
+    /// few `Instant::now` reads per scheduling point when attached —
+    /// unless the observer opts out via
+    /// [`asets_core::obs::Observer::wants_timing`] (read once here), in
+    /// which case the point path takes zero clock reads and latencies
+    /// report as 0. Nothing is paid when detached.
     pub fn with_observer(mut self, obs: SharedObserver) -> Self {
         self.policy.attach_observer(obs.clone());
+        self.obs_timing = obs.borrow().wants_timing();
         self.obs = Some(obs);
         self
     }
@@ -257,20 +266,24 @@ impl<S: Scheduler, P: Pump> Engine<S, P> {
 
     /// Process the scheduling point at instant `t`.
     fn step_to(&mut self, t: SimTime) {
-        if self.batched && self.obs.is_none() {
+        if self.batched {
             self.step_to_batched(t);
             return;
         }
         let gap = self.pump.advance(t);
         // Self-profiling clock: one Instant per phase boundary, and only
-        // when an observer is attached — the disabled path takes no reads.
-        let phase_started = self.obs.as_ref().map(|_| Instant::now());
+        // when an attached observer wants timing — the disabled path (and
+        // the sampled path) takes no reads.
+        let phase_started = (self.obs.is_some() && self.obs_timing).then(Instant::now);
 
         // 1. Settle every server, in index order. Completions fire their
         // policy events immediately; survivors are paused (service credited)
-        // and remembered with their server for affinity resume.
+        // and remembered with their server for affinity resume. The epoch's
+        // lifecycle events are mirrored into the reused scratch so
+        // `on_epoch` can hand observers the coalesced slice in both arms.
         let mut width = 0u32;
         self.paused.clear();
+        self.events.clear();
         for s in 0..self.pool.len() {
             match self.pool.take(s) {
                 Some(r) => {
@@ -311,17 +324,20 @@ impl<S: Scheduler, P: Pump> Engine<S, P> {
                             obs.borrow_mut().completed(t, r.txn, info);
                         }
                         self.policy.on_complete(r.txn, &self.table, t);
+                        self.events.push(LifecycleEvent::Complete(r.txn));
                         width += 1;
                         for d in released {
                             if let Some(obs) = &self.obs {
                                 obs.borrow_mut().became_ready(t, d);
                             }
                             self.policy.on_ready(d, &self.table, t);
+                            self.events.push(LifecycleEvent::Ready(d));
                             width += 1;
                         }
                     } else {
                         self.table.pause(r.txn, served);
                         self.policy.on_requeue(r.txn, &self.table, t);
+                        self.events.push(LifecycleEvent::Requeue(r.txn));
                         width += 1;
                         self.paused.push((s, r.txn));
                     }
@@ -354,8 +370,10 @@ impl<S: Scheduler, P: Pump> Engine<S, P> {
             }
             if ready {
                 self.policy.on_ready(id, &self.table, t);
+                self.events.push(LifecycleEvent::Ready(id));
             } else {
                 self.policy.on_blocked_arrival(id, &self.table, t);
+                self.events.push(LifecycleEvent::BlockedArrival(id));
             }
             width += 1;
         }
@@ -363,6 +381,7 @@ impl<S: Scheduler, P: Pump> Engine<S, P> {
         // Settle + arrivals is the policy's index-maintenance window.
         let _ = self.emit_phase(t, EnginePhase::Maintain, phase_started);
         self.epoch.note(width);
+        self.emit_epoch(t, width);
 
         // 3. Sample backlog if due.
         self.sample_backlog(t);
@@ -374,13 +393,18 @@ impl<S: Scheduler, P: Pump> Engine<S, P> {
     /// statistics as the per-event arm, but every policy hook of the
     /// instant is deferred into one [`Scheduler::on_batch`] call *after*
     /// the table has settled — the equivalence argument lives on that
-    /// method. Only runs unobserved (`step_to` falls back otherwise), so
-    /// the observer plumbing of the per-event arm has no counterpart here.
+    /// method. Observer lifecycle hooks (`served`/`completed`/`arrived`/…)
+    /// fire in the same order as the per-event arm; only the *policy*
+    /// hooks are deferred, so provenance records differ at most in when
+    /// within the instant they were computed, never in content.
     fn step_to_batched(&mut self, t: SimTime) {
         let gap = self.pump.advance(t);
+        let phase_started = (self.obs.is_some() && self.obs_timing).then(Instant::now);
 
         // 1. Settle every server; stash lifecycle events instead of firing
-        // hooks. `complete_into` reuses the released-dependents scratch.
+        // policy hooks. `complete_into` reuses the released-dependents
+        // scratch. Observer lifecycle hooks still fire inline — they
+        // narrate table mutations, which happen here in both arms.
         self.paused.clear();
         self.events.clear();
         for s in 0..self.pool.len() {
@@ -389,7 +413,27 @@ impl<S: Scheduler, P: Pump> Engine<S, P> {
                     let served = t - r.since;
                     self.stats.busy += served;
                     let finishing = served == self.table.remaining(r.txn);
+                    if let Some(obs) = &self.obs {
+                        obs.borrow_mut()
+                            .served(s as u32, r.txn, r.since, t, finishing);
+                    }
                     if finishing {
+                        // Completion context captured *before* the state is
+                        // consumed, exactly like the per-event arm.
+                        let info = self.obs.is_some().then(|| {
+                            let spec = self.table.spec(r.txn);
+                            let ready_at = self.table.state(r.txn).ready_at.unwrap_or(spec.arrival);
+                            CompletionInfo {
+                                finish: t,
+                                deadline: spec.deadline,
+                                tardiness: t.saturating_since(spec.deadline),
+                                queue_wait: t
+                                    .saturating_since(ready_at)
+                                    .saturating_sub(spec.length),
+                                service: spec.length,
+                                met_deadline: t <= spec.deadline,
+                            }
+                        });
                         self.released.clear();
                         self.table
                             .complete_into(r.txn, t, served, &mut self.released);
@@ -401,8 +445,14 @@ impl<S: Scheduler, P: Pump> Engine<S, P> {
                             txn: r.txn,
                             met_deadline: t <= self.table.deadline(r.txn),
                         });
+                        if let (Some(obs), Some(info)) = (&self.obs, &info) {
+                            obs.borrow_mut().completed(t, r.txn, info);
+                        }
                         self.events.push(LifecycleEvent::Complete(r.txn));
                         for i in 0..self.released.len() {
+                            if let Some(obs) = &self.obs {
+                                obs.borrow_mut().became_ready(t, self.released[i]);
+                            }
                             self.events.push(LifecycleEvent::Ready(self.released[i]));
                         }
                     } else {
@@ -431,6 +481,9 @@ impl<S: Scheduler, P: Pump> Engine<S, P> {
                 txn: id,
                 ready,
             });
+            if let Some(obs) = &self.obs {
+                obs.borrow_mut().arrived(t, id, ready);
+            }
             self.events.push(if ready {
                 LifecycleEvent::Ready(id)
             } else {
@@ -441,10 +494,30 @@ impl<S: Scheduler, P: Pump> Engine<S, P> {
         // 3. One maintain pass over the whole epoch, in the exact order the
         // per-event arm would have fired the hooks.
         self.policy.on_batch(&self.events, &self.table, t);
-        self.epoch.note(self.events.len() as u32);
+        let _ = self.emit_phase(t, EnginePhase::Maintain, phase_started);
+        let width = self.events.len() as u32;
+        self.epoch.note(width);
+        self.emit_epoch(t, width);
 
         self.sample_backlog(t);
         self.select_and_dispatch(t);
+    }
+
+    /// Hand the attached observer the epoch it just heard piecemeal: the
+    /// coalesced lifecycle slice plus the run's cumulative epoch telemetry.
+    /// Fired by both engine arms right after `EpochStats::note`, so
+    /// batch-native observers see identical summaries in either mode.
+    fn emit_epoch(&self, t: SimTime, width: u32) {
+        if let Some(obs) = &self.obs {
+            let summary = EpochSummary {
+                at: t,
+                width,
+                epochs: self.epoch.epochs,
+                events: self.epoch.events,
+                max_width: self.epoch.max_epoch_width,
+            };
+            obs.borrow_mut().on_epoch(&self.events, &summary);
+        }
     }
 
     /// Select and dispatch at instant `t` — phase 4 of a scheduling point,
@@ -454,17 +527,23 @@ impl<S: Scheduler, P: Pump> Engine<S, P> {
     fn select_and_dispatch(&mut self, t: SimTime) {
         self.stats.scheduling_points += 1;
         let slots = self.pool.len();
-        let started = self.obs.as_ref().map(|_| Instant::now());
+        let started = (self.obs.is_some() && self.obs_timing).then(Instant::now);
         self.choices.clear();
         self.policy
             .select_many(&self.table, t, slots, &mut self.choices);
-        if let (Some(obs), Some(started)) = (&self.obs, started) {
-            let latency_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        if let Some(obs) = &self.obs {
+            // `sched_point` always fires (counters hang off it); the Select
+            // phase span only exists when latency was actually measured.
+            let latency_ns = started
+                .map(|s| s.elapsed().as_nanos().min(u64::MAX as u128) as u64)
+                .unwrap_or(0);
             let mut o = obs.borrow_mut();
             o.sched_point(t, latency_ns);
-            o.engine_phase(t, EnginePhase::Select, latency_ns);
+            if started.is_some() {
+                o.engine_phase(t, EnginePhase::Select, latency_ns);
+            }
         }
-        let dispatch_started = self.obs.as_ref().map(|_| Instant::now());
+        let dispatch_started = (self.obs.is_some() && self.obs_timing).then(Instant::now);
 
         if self.choices.is_empty() {
             assert!(

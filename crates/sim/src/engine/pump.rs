@@ -144,14 +144,6 @@ impl EventPump {
         gap
     }
 
-    /// Deliver every arrival due at the current instant, in id order.
-    #[deprecated(note = "allocates per scheduling point; use `take_due_into` with a reused buffer")]
-    pub fn take_due(&mut self) -> Vec<TxnId> {
-        let mut due = Vec::new();
-        self.take_due_into(&mut due);
-        due
-    }
-
     /// Deliver every arrival due at the current instant into a caller-owned
     /// buffer (appends), in id order.
     pub fn take_due_into(&mut self, due: &mut Vec<TxnId>) {
@@ -230,8 +222,8 @@ mod tests {
     use super::*;
     use crate::testutil::{at, ind, units};
 
-    /// Drain the due batch through the zero-alloc path (the allocating
-    /// `take_due` is deprecated; the engine never calls it).
+    /// Drain the due batch through the zero-alloc path (the engine always
+    /// goes through `take_due_into` with a reused buffer).
     fn due_of(pump: &mut EventPump) -> Vec<TxnId> {
         let mut due = Vec::new();
         pump.take_due_into(&mut due);

@@ -48,12 +48,12 @@ pub mod trace;
 
 pub use engine::{Engine, EventPump, Pump, ServerPool, SimResult, SpecPump};
 pub use live::{
-    IngestRing, JobBoard, JobProducer, JobStatus, LiveConfig, LiveFrontend, LivePump, LiveSnapshot,
-    LiveStats, LiveUniverse,
+    AdmissionEvent, AdmissionLog, AdmissionStats, IngestRing, JobBoard, JobProducer, JobStatus,
+    LiveConfig, LiveFrontend, LivePump, LiveSnapshot, LiveStats, LiveUniverse,
 };
 pub use runner::{
-    compare_policies, simulate, simulate_batched, simulate_observed, simulate_per_event,
-    simulate_traced, simulate_with,
+    compare_policies, simulate, simulate_batched, simulate_observed, simulate_observed_per_event,
+    simulate_per_event, simulate_traced, simulate_with,
 };
 pub use sharded::{
     RebalanceConfig, RebalanceEvent, RebalanceStats, ShardRun, ShardedResult, ShardedRuntime,

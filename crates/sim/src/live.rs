@@ -34,7 +34,7 @@ use asets_core::time::{SimDuration, SimTime};
 use asets_core::txn::{TxnId, TxnSpec};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Bounded lock-free single-producer/single-consumer ring of job ids.
@@ -246,6 +246,102 @@ impl LiveStats {
     }
 }
 
+/// One admission-control rejection, with enough context to answer "why
+/// was this job shed": which bound fired and how loaded the pump was at
+/// the instant it fired. Admitted jobs are *not* logged (counters cover
+/// them); sheds are rare and are exactly what post-mortems ask about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionEvent {
+    /// The admission stamp (simulated time of the rejection).
+    pub at: SimTime,
+    /// The shed job.
+    pub job: u32,
+    /// First member transaction of the job.
+    pub first_txn: TxnId,
+    /// Member transaction count.
+    pub txns: u32,
+    /// `true`: the in-flight bound fired; `false`: the SLA-infeasibility
+    /// shed fired.
+    pub overload: bool,
+    /// In-flight transactions at the rejection (what the job was priced
+    /// against).
+    pub inflight: u32,
+}
+
+/// Bounded shed-event log shared between the pump (writer) and the serve
+/// harness (reader). Keeps the **last** `cap` events, flight-recorder
+/// style; `total` keeps counting past evictions. The mutex is uncontended
+/// in practice — sheds are rare and the reader polls.
+#[derive(Debug)]
+pub struct AdmissionLog {
+    events: Mutex<VecDeque<AdmissionEvent>>,
+    cap: usize,
+    total: AtomicU64,
+}
+
+impl AdmissionLog {
+    /// Default retained-event bound.
+    pub const DEFAULT_CAPACITY: usize = 4096;
+
+    /// A log keeping the last `cap` shed events.
+    pub fn new(cap: usize) -> AdmissionLog {
+        assert!(cap > 0, "admission log needs a non-empty ring");
+        AdmissionLog {
+            events: Mutex::new(VecDeque::with_capacity(cap.min(256))),
+            cap,
+            total: AtomicU64::new(0),
+        }
+    }
+
+    fn push(&self, ev: AdmissionEvent) {
+        let mut q = self.events.lock().unwrap();
+        if q.len() == self.cap {
+            q.pop_front();
+        }
+        q.push_back(ev);
+        self.total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Sheds ever logged (≥ retained; the difference was evicted).
+    pub fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Copy of the retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<AdmissionEvent> {
+        self.events.lock().unwrap().iter().copied().collect()
+    }
+
+    /// Assemble the flight-recorder ingest payload from this log plus the
+    /// run's counters.
+    pub fn stats(&self, snap: &LiveSnapshot) -> AdmissionStats {
+        AdmissionStats {
+            admitted: snap.admitted,
+            ring_dropped: snap.dropped,
+            shed_overload: snap.shed_overload,
+            shed_infeasible: snap.shed_infeasible,
+            events: self.snapshot(),
+        }
+    }
+}
+
+/// Admission telemetry in the shape `FlightRecorder::ingest_admission`
+/// consumes: run-wide totals plus the retained shed events — the
+/// admission-control counterpart of `RebalanceStats`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Jobs admitted.
+    pub admitted: u64,
+    /// Jobs dropped at a full ingest ring (never reached admission).
+    pub ring_dropped: u64,
+    /// Jobs shed by the in-flight bound.
+    pub shed_overload: u64,
+    /// Jobs shed as SLA-infeasible.
+    pub shed_infeasible: u64,
+    /// Retained shed events, oldest first.
+    pub events: Vec<AdmissionEvent>,
+}
+
 /// The pre-compiled job/transaction universe of one soak: which contiguous
 /// transaction range each job (page) owns, plus the aggregates admission
 /// control prices against.
@@ -450,6 +546,9 @@ pub struct LivePump {
     /// Service demand of the in-flight set — the backlog estimate the
     /// infeasibility shed prices against.
     inflight_service: SimDuration,
+    /// Shed-event log (shared with the serve harness via
+    /// [`LiveFrontend::admissions`]).
+    admissions: Arc<AdmissionLog>,
 }
 
 /// Everything the live loop needs, wired together: the pump (for the
@@ -468,6 +567,10 @@ pub struct LiveFrontend {
     pub stats: Arc<LiveStats>,
     /// The compiled universe (aggregates, membership).
     pub universe: Arc<LiveUniverse>,
+    /// Shed-event log — feed [`AdmissionLog::stats`] into
+    /// `FlightRecorder::ingest_admission` after the run so `asets-obs why`
+    /// can explain sheds the same way it explains dispatches.
+    pub admissions: Arc<AdmissionLog>,
 }
 
 impl LiveFrontend {
@@ -495,6 +598,7 @@ impl LiveFrontend {
                 finished: false,
             })
             .collect();
+        let admissions = Arc::new(AdmissionLog::new(AdmissionLog::DEFAULT_CAPACITY));
         let pump = LivePump {
             start: Instant::now(),
             scale: cfg.scale,
@@ -509,6 +613,7 @@ impl LiveFrontend {
             pending: VecDeque::new(),
             inflight: 0,
             inflight_service: SimDuration::ZERO,
+            admissions: Arc::clone(&admissions),
         };
         LiveFrontend {
             pump,
@@ -516,6 +621,7 @@ impl LiveFrontend {
             board,
             stats,
             universe,
+            admissions,
         }
     }
 }
@@ -552,6 +658,7 @@ impl LivePump {
         if self.inflight + count > self.cfg.max_inflight {
             self.board.mark_shed(job);
             self.stats.shed_overload.fetch_add(1, Ordering::Relaxed);
+            self.log_shed(job, stamp, true);
             return;
         }
         if self.cfg.shed_infeasible {
@@ -563,6 +670,7 @@ impl LivePump {
             if estimate > self.universe.job_sla[job as usize] {
                 self.board.mark_shed(job);
                 self.stats.shed_infeasible.fetch_add(1, Ordering::Relaxed);
+                self.log_shed(job, stamp, false);
                 return;
             }
         }
@@ -577,6 +685,17 @@ impl LivePump {
             .fetch_max(self.inflight, Ordering::Relaxed);
         self.board.mark_admitted(job);
         self.stats.admitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn log_shed(&self, job: u32, stamp: SimTime, overload: bool) {
+        self.admissions.push(AdmissionEvent {
+            at: stamp,
+            job,
+            first_txn: TxnId(self.universe.job_first[job as usize]),
+            txns: self.universe.job_count[job as usize],
+            overload,
+            inflight: self.inflight as u32,
+        });
     }
 
     fn rings_empty(&self) -> bool {

@@ -58,8 +58,26 @@ pub fn simulate_batched(specs: Vec<TxnSpec>, kind: PolicyKind) -> Result<SimResu
 /// Run `specs` under `kind` with `obs` attached to both the engine (trace
 /// events, scheduling-point latency) and the policy (decision/migration
 /// provenance). Trace recording is enabled too, so callers can cross-check
-/// dispatches against decision records.
+/// dispatches against decision records. Epoch-batched like [`simulate`]:
+/// observation no longer forces the per-event arm (use
+/// [`simulate_observed_per_event`] for the ablation baseline).
 pub fn simulate_observed(
+    specs: Vec<TxnSpec>,
+    kind: PolicyKind,
+    obs: asets_core::obs::SharedObserver,
+) -> Result<SimResult, DagError> {
+    let table = TxnTable::new(specs.clone())?;
+    let policy = kind.build(&table);
+    Ok(Engine::new(specs, policy)?
+        .with_batching()
+        .with_trace()
+        .with_observer(obs)
+        .run())
+}
+
+/// [`simulate_observed`] on the per-event engine arm — the baseline the
+/// `obs_gate` observed-batched row compares against.
+pub fn simulate_observed_per_event(
     specs: Vec<TxnSpec>,
     kind: PolicyKind,
     obs: asets_core::obs::SharedObserver,

@@ -257,8 +257,8 @@ impl<P: SpecPump> ShardedRuntime<P> {
 
     /// Choose the engine mode explicitly. Epoch-batched (the default; see
     /// [`Engine::with_batching`]) and per-event produce bit-identical
-    /// results — batching only coalesces policy maintenance. Ignored on
-    /// observed runs, exactly as in the engine.
+    /// results — batching only coalesces policy maintenance — with or
+    /// without observers attached.
     pub fn batched(mut self, on: bool) -> Self {
         self.batched = on;
         self

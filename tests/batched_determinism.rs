@@ -9,9 +9,81 @@
 //! lets the batched mode be the default in benchmarks without a separate
 //! truth baseline.
 
+use asets_core::obs::{share, CompletionInfo, DecisionRecord, EpochSummary, MigrationEvent};
 use asets_core::prelude::*;
 use asets_sim::{Engine, ShardedRuntime, SimResult};
 use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A recording tap: every hook's arguments, verbatim and in order, so two
+/// runs can be compared hook for hook. Declines timing so latencies are 0
+/// in both engine arms and the streams stay bit-comparable.
+#[derive(Default, Debug, Clone, PartialEq)]
+struct Tap {
+    points: Vec<SimTime>,
+    decisions: Vec<DecisionRecord>,
+    migrations: Vec<MigrationEvent>,
+    dispatches: Vec<(SimTime, TxnId, Option<TxnId>)>,
+    arrivals: Vec<(SimTime, TxnId, bool)>,
+    ready: Vec<(SimTime, TxnId)>,
+    served: Vec<(u32, TxnId, SimTime, SimTime, bool)>,
+    completions: Vec<(SimTime, TxnId, CompletionInfo)>,
+    epochs: Vec<EpochSummary>,
+    epoch_events: u64,
+}
+
+impl Observer for Tap {
+    fn decision(&mut self, rec: &DecisionRecord) {
+        self.decisions.push(*rec);
+    }
+    fn migration(&mut self, ev: &MigrationEvent) {
+        self.migrations.push(*ev);
+    }
+    fn sched_point(&mut self, at: SimTime, _latency_ns: u64) {
+        self.points.push(at);
+    }
+    fn dispatched(&mut self, at: SimTime, txn: TxnId, preempted: Option<TxnId>) {
+        self.dispatches.push((at, txn, preempted));
+    }
+    fn arrived(&mut self, at: SimTime, txn: TxnId, ready: bool) {
+        self.arrivals.push((at, txn, ready));
+    }
+    fn became_ready(&mut self, at: SimTime, txn: TxnId) {
+        self.ready.push((at, txn));
+    }
+    fn served(&mut self, server: u32, txn: TxnId, from: SimTime, until: SimTime, completed: bool) {
+        self.served.push((server, txn, from, until, completed));
+    }
+    fn completed(&mut self, at: SimTime, txn: TxnId, info: &CompletionInfo) {
+        self.completions.push((at, txn, *info));
+    }
+    fn on_epoch(&mut self, events: &[asets_core::policy::LifecycleEvent], summary: &EpochSummary) {
+        self.epochs.push(*summary);
+        self.epoch_events += events.len() as u64;
+    }
+    fn wants_timing(&self) -> bool {
+        false
+    }
+}
+
+impl Tap {
+    /// The hook stream with migrations dropped, for cross-arm comparison.
+    ///
+    /// Migration *granularity* is the one documented divergence between
+    /// the arms (`refresh_into` in `asets_star.rs`): the batched pass
+    /// refreshes each touched workflow once per epoch and reports the
+    /// *net* EDF↔HDF crossing, while the per-event arm narrates every
+    /// intermediate step — a workflow that leaves the lists and re-enters
+    /// on the other side within one instant crosses silently per-event but
+    /// visibly batched, and vice versa for flapping. Every other channel
+    /// (decisions, dispatches, lifecycle spans, epochs) is bit-identical.
+    fn sans_migrations(&self) -> Tap {
+        let mut t = self.clone();
+        t.migrations.clear();
+        t
+    }
+}
 
 /// A random dependent, weighted workload (the shard-determinism strategy).
 fn workload_strategy(max_n: usize) -> impl Strategy<Value = Vec<TxnSpec>> {
@@ -155,33 +227,83 @@ proptest! {
     }
 }
 
-/// An observer forces the per-event arm (hooks interleaved with mutations
-/// is the observer contract), so a batched+observed engine must still
-/// match the per-event observed run exactly — the flag quietly yields.
-#[test]
-fn observer_disables_batching_without_divergence() {
-    use asets_core::obs::share;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+/// Run `specs` under `kind` observed by a fresh [`Tap`], in either engine
+/// mode, returning the result and the recorded hook stream.
+fn run_tapped(
+    specs: &[TxnSpec],
+    kind: PolicyKind,
+    servers: usize,
+    batched: bool,
+) -> (SimResult, Tap) {
+    let table = TxnTable::new(specs.to_vec()).expect("acyclic");
+    let policy = kind.build(&table);
+    let tap = Rc::new(RefCell::new(Tap::default()));
+    let mut engine = Engine::new(specs.to_vec(), policy)
+        .expect("acyclic")
+        .with_servers(servers)
+        .with_trace()
+        .with_observer(share(&tap));
+    if batched {
+        engine = engine.with_batching();
+    }
+    let r = engine.run();
+    let recorded = tap.borrow().clone();
+    (r, recorded)
+}
 
-    #[derive(Default)]
-    struct Count(u64);
-    impl Observer for Count {
-        fn sched_point(&mut self, _at: SimTime, _latency_ns: u64) {
-            self.0 += 1;
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Observation is a pure tap, not a mode switch: with an observer
+    /// attached, the batched engine still matches the per-event engine bit
+    /// for bit — outcomes, stats, trace, *and* the full hook stream the
+    /// observer heard (decisions, migrations, dispatches, lifecycle spans,
+    /// epochs) — for every policy kind at M=1 and M=4. Before this
+    /// contract, attaching an observer silently fell back to the per-event
+    /// arm; that fallback is deleted, so this is what keeps production
+    /// telemetry from forfeiting the batched-mode speedup.
+    #[test]
+    fn observed_batched_is_bit_identical(specs in workload_strategy(24)) {
+        for kind in all_kinds() {
+            for servers in [1usize, 4] {
+                let (per_event, tap_pe) = run_tapped(&specs, kind, servers, false);
+                let (batched, tap_b) = run_tapped(&specs, kind, servers, true);
+                let tag = format!("{} M={}", kind.label(), servers);
+                prop_assert_eq!(&batched.outcomes, &per_event.outcomes, "{}", &tag);
+                prop_assert_eq!(&batched.stats, &per_event.stats, "{}", &tag);
+                prop_assert_eq!(&batched.trace, &per_event.trace, "{}", &tag);
+                prop_assert_eq!(&batched.summary, &per_event.summary, "{}", &tag);
+                prop_assert_eq!(&batched.epochs, &per_event.epochs, "{}", &tag);
+                prop_assert_eq!(
+                    tap_b.sans_migrations(), tap_pe.sans_migrations(),
+                    "hook stream ({})", &tag
+                );
+                // And observation never changed what happened: the observed
+                // run equals the unobserved one.
+                let unobserved = run_engine(&specs, kind, servers, true);
+                prop_assert_eq!(&batched.outcomes, &unobserved.outcomes, "{}", &tag);
+                prop_assert_eq!(&batched.stats, &unobserved.stats, "{}", &tag);
+                prop_assert_eq!(&batched.trace, &unobserved.trace, "{}", &tag);
+            }
         }
     }
+}
 
-    let specs: Vec<TxnSpec> = (0..40)
+/// The same contract through the sharded runtime: K observed shard engines
+/// in batched mode hear exactly the per-event hook streams and merge to
+/// the same result, at K=1 (the inline fast path) and K=4.
+#[test]
+fn observed_batched_sharded_is_bit_identical() {
+    let specs: Vec<TxnSpec> = (0..48)
         .map(|i| {
-            let arrival = SimTime::from_units_int(i % 7);
-            let length = SimDuration::from_units_int(1 + i % 4);
+            let arrival = SimTime::from_units_int(i % 11);
+            let length = SimDuration::from_units_int(1 + i % 5);
             TxnSpec {
                 arrival,
-                deadline: arrival + length + SimDuration::from_units_int(i % 9),
+                deadline: arrival + length + SimDuration::from_units_int(i % 13),
                 length,
-                weight: Weight(1 + (i % 3) as u32),
-                deps: if i % 5 == 4 {
+                weight: Weight(1 + (i % 4) as u32),
+                deps: if i % 6 == 5 {
                     vec![TxnId(i as u32 - 1)]
                 } else {
                     vec![]
@@ -189,33 +311,35 @@ fn observer_disables_batching_without_divergence() {
             }
         })
         .collect();
-
-    let kind = PolicyKind::asets_star();
-    let run_observed = |batched: bool| {
-        let table = TxnTable::new(specs.clone()).expect("acyclic");
-        let policy = kind.build(&table);
-        let cap = Rc::new(RefCell::new(Count::default()));
-        let mut engine = Engine::new(specs.clone(), policy)
-            .expect("acyclic")
-            .with_trace()
-            .with_observer(share(&cap));
-        if batched {
-            engine = engine.with_batching();
+    for kind in [PolicyKind::asets_star(), PolicyKind::Edf] {
+        for k in [1usize, 4] {
+            let run = |batched: bool| {
+                ShardedRuntime::new(specs.clone(), kind)
+                    .shards(k)
+                    .batched(batched)
+                    .with_trace()
+                    .run_observed(|_shard, _table| Tap::default())
+                    .expect("acyclic")
+            };
+            let (base, taps_pe) = run(false);
+            let (flagged, taps_b) = run(true);
+            let tag = format!("{} K={k}", kind.label());
+            assert_eq!(flagged.merged.outcomes, base.merged.outcomes, "{tag}");
+            assert_eq!(flagged.merged.stats, base.merged.stats, "{tag}");
+            assert_eq!(flagged.merged.trace, base.merged.trace, "{tag}");
+            assert_eq!(flagged.merged.epochs, base.merged.epochs, "{tag}");
+            assert_eq!(flagged.shard_of, base.shard_of, "{tag}");
+            let (norm_b, norm_pe): (Vec<_>, Vec<_>) = (
+                taps_b.iter().map(Tap::sans_migrations).collect(),
+                taps_pe.iter().map(Tap::sans_migrations).collect(),
+            );
+            assert_eq!(norm_b, norm_pe, "per-shard hook streams ({tag})");
+            assert!(
+                taps_b.iter().map(|t| t.completions.len()).sum::<usize>() == specs.len(),
+                "every completion reaches exactly one shard tap ({tag})"
+            );
         }
-        let r = engine.run();
-        let points = cap.borrow().0;
-        (r, points)
-    };
-
-    let (base, base_points) = run_observed(false);
-    let (flagged, flagged_points) = run_observed(true);
-    assert_eq!(flagged.outcomes, base.outcomes);
-    assert_eq!(flagged.stats, base.stats);
-    assert_eq!(flagged.trace, base.trace);
-    assert_eq!(
-        flagged_points, base_points,
-        "observer hears every point in both configurations"
-    );
+    }
 }
 
 /// Epoch telemetry reports real coalescing: simultaneous arrivals land in

@@ -164,6 +164,53 @@ fn rebalance_telemetry_flows_into_the_flight_recorder() {
     assert_eq!(restored, stats.events);
 }
 
+/// The telemetry bus rides sharded observed runs: one [`BusObserver`] per
+/// shard engine, rings drained by the collector into one merged registry,
+/// and the merged counters agree exactly with the run's own statistics.
+#[test]
+fn telemetry_bus_merges_sharded_observed_runs() {
+    use asets_obs::TelemetryBus;
+    use asets_sim::ShardedRuntime;
+    use std::sync::Mutex;
+
+    let n = 400;
+    let specs = asets_workload::skewed_shards(n, 8, 1.5, 7);
+    let shards = 4;
+    let (observers, bus) = TelemetryBus::start(shards, 1 << 14);
+    let slots = Mutex::new(observers.into_iter().map(Some).collect::<Vec<_>>());
+    let (result, _obs) = ShardedRuntime::new(specs, PolicyKind::asets_star())
+        .shards(shards)
+        .batched(true)
+        .run_observed(|shard, _table| {
+            slots.lock().unwrap()[shard]
+                .take()
+                .expect("one observer per shard")
+        })
+        .unwrap();
+    bus.shutdown();
+    assert_eq!(bus.drops(), 0, "rings sized for the run must not drop");
+    assert_eq!(bus.counter("bus_completions_total"), n as u64);
+    assert_eq!(bus.counter("bus_arrivals_total"), n as u64);
+    assert_eq!(
+        bus.counter("bus_sched_points_total"),
+        result.merged.stats.scheduling_points,
+        "merged bus counters equal the merged run stats"
+    );
+    assert_eq!(
+        bus.counter("bus_epochs_total"),
+        result.merged.stats.scheduling_points,
+        "batched shard engines report one epoch per point"
+    );
+    assert!(bus.counter("bus_decisions_total") > 0);
+    let prom = bus.prometheus();
+    assert!(prom.contains("bus_shards 4"), "{prom}");
+    let slo = bus.slo_jsonl();
+    assert!(
+        slo.contains("\"slo_completions_total\",\"type\":\"counter\",\"value\":400"),
+        "{slo}"
+    );
+}
+
 fn units(u: u64) -> SimDuration {
     SimDuration::from_units_int(u)
 }
