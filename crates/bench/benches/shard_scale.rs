@@ -62,35 +62,46 @@ fn shard_scale(c: &mut Criterion) {
 }
 
 /// Rebalancing overhead on the Zipf-skewed web batch: the coordinated
-/// K = 4 runtime with no rebalancing, with epoch migration, and with
-/// migration + stealing. Wall-clock cost of the rebalancer itself; the
-/// simulated-throughput *win* it buys is gated by `steal_gate`.
+/// K = 4 runtime with no rebalancing, with epoch migration, with
+/// migration + stealing, and the threaded driver on the same config.
+/// Wall-clock cost of the rebalancer itself; the simulated-throughput
+/// *win* it buys is gated by `steal_gate`. The threaded row only shows
+/// its scale-out on multi-core hosts — on one core it documents the
+/// barrier-protocol overhead instead.
 fn shard_skew(c: &mut Criterion) {
     let mut g = c.benchmark_group("shard_skew");
     g.sample_size(10);
-    let specs = skewed_shards(4_000, 32, 2.0, 11);
-    let modes: [(&str, RebalanceConfig); 3] = [
-        ("static", RebalanceConfig::default()),
+    let specs = skewed_shards(4_000, 16, 1.5, 11);
+    let modes: [(&str, RebalanceConfig, bool); 4] = [
+        ("static", RebalanceConfig::default(), false),
         (
             "migrate",
             RebalanceConfig::migrate_every(SimDuration::from_units_int(200)),
+            false,
         ),
         (
             "migrate_steal",
             RebalanceConfig::migrate_every(SimDuration::from_units_int(200)).with_steal(4),
+            false,
+        ),
+        (
+            "threaded",
+            RebalanceConfig::migrate_every(SimDuration::from_units_int(200)).with_steal(4),
+            true,
         ),
     ];
-    for (label, cfg) in modes {
+    for (label, cfg, threaded) in modes {
         g.bench_with_input(BenchmarkId::new(label, 4_000), &specs, |b, specs| {
             b.iter_batched(
                 || specs.to_vec(),
                 |specs| {
-                    let r = ShardedRuntime::new(specs, PolicyKind::asets_star())
+                    let mut rt = ShardedRuntime::new(specs, PolicyKind::asets_star())
                         .shards(4)
-                        .rebalance(cfg)
-                        .run()
-                        .unwrap();
-                    black_box(r.merged.summary.avg_tardiness)
+                        .rebalance(cfg);
+                    if threaded {
+                        rt = rt.threaded();
+                    }
+                    black_box(rt.run().unwrap().merged.summary.avg_tardiness)
                 },
                 BatchSize::LargeInput,
             )

@@ -71,10 +71,11 @@ fn bench(c: &mut Criterion) {
         // working set under sustained ingest. The fragment cache stays
         // warm across batches (one cache for the whole run, like one
         // server process), so this row prices the steady-state cache-hit
-        // compile cost rather than the cold first batch. Comparing it to
-        // the uncached row shows where that cost lives: a hit skips the
-        // cost-model profile but still pays per-fragment plan
-        // optimization, which dominates.
+        // compile cost rather than the cold first batch. A hit skips both
+        // the cost-model profile and — via the optimized-plan memo keyed
+        // by raw-plan fingerprint — per-fragment plan optimization, so
+        // sustained recompiles beat the uncached row instead of losing to
+        // it on optimizer overhead.
         use asets_webdb::cache::{CacheConfig, FragmentCache};
         let requests = stock_requests(50, SimDuration::from_units_int(4));
         let cost = CostModel::default();

@@ -11,14 +11,25 @@
 use crate::dag::{DagError, DepDag};
 use crate::time::{SimDuration, SimTime, Slack};
 use crate::txn::{TxnId, TxnOutcome, TxnPhase, TxnSpec, TxnState, Weight};
+use std::sync::Arc;
 
 /// Runtime table over a validated batch of transactions.
+///
+/// The immutable batch description — specs and the validated dependency
+/// DAG — lives behind [`Arc`]s, so cloning a *fresh* table (the sharded
+/// runtimes instantiate one identical full-batch table per shard engine)
+/// copies only the per-transaction state vector instead of re-validating
+/// and re-allocating the whole batch. The only spec mutation in the
+/// system, [`TxnTable::rebase_arrival`] on the live serving path, goes
+/// through copy-on-write and is free there because a live engine's table
+/// is never shared.
 #[derive(Debug, Clone)]
 pub struct TxnTable {
-    specs: Vec<TxnSpec>,
+    specs: Arc<Vec<TxnSpec>>,
     states: Vec<TxnState>,
-    dag: DepDag,
+    dag: Arc<DepDag>,
     completed: usize,
+    ready: usize,
 }
 
 impl TxnTable {
@@ -27,10 +38,11 @@ impl TxnTable {
         let dag = DepDag::build(&specs)?;
         let states = specs.iter().map(TxnState::new).collect();
         Ok(TxnTable {
-            specs,
+            specs: Arc::new(specs),
             states,
-            dag,
+            dag: Arc::new(dag),
             completed: 0,
+            ready: 0,
         })
     }
 
@@ -52,6 +64,15 @@ impl TxnTable {
         self.completed
     }
 
+    /// Number of transactions currently in the `Ready` phase (waiting,
+    /// not running) — an O(1) gauge maintained across every lifecycle
+    /// transition. Work stealing reads this constantly: a thief posts only
+    /// when its own count is zero, and victims are ranked by it.
+    #[inline]
+    pub fn ready_count(&self) -> usize {
+        self.ready
+    }
+
     /// True iff every transaction has completed.
     #[inline]
     pub fn all_completed(&self) -> bool {
@@ -62,6 +83,12 @@ impl TxnTable {
     #[inline]
     pub fn spec(&self, t: TxnId) -> &TxnSpec {
         &self.specs[t.index()]
+    }
+
+    /// The whole spec slice, indexed by transaction id.
+    #[inline]
+    pub fn specs(&self) -> &[TxnSpec] {
+        &self.specs
     }
 
     /// The runtime state of `t`.
@@ -148,6 +175,7 @@ impl TxnTable {
         if st.blocked_on == 0 {
             st.phase = TxnPhase::Ready;
             st.ready_at = Some(now);
+            self.ready += 1;
             true
         } else {
             st.phase = TxnPhase::Blocked;
@@ -170,7 +198,7 @@ impl TxnTable {
             TxnPhase::Pending,
             "{t} rebased after arrival"
         );
-        let spec = &mut self.specs[t.index()];
+        let spec = &mut Arc::make_mut(&mut self.specs)[t.index()];
         let sla = spec.deadline.saturating_since(spec.arrival);
         spec.arrival = now;
         spec.deadline = now + sla;
@@ -193,6 +221,7 @@ impl TxnTable {
         assert_eq!(st.remaining, full, "{t} already served; cannot retract");
         st.phase = TxnPhase::Pending;
         st.ready_at = None;
+        self.ready -= 1;
     }
 
     /// Mark `t` as the running transaction.
@@ -203,6 +232,7 @@ impl TxnTable {
         let st = &mut self.states[t.index()];
         assert_eq!(st.phase, TxnPhase::Ready, "{t} must be Ready to run");
         st.phase = TxnPhase::Running;
+        self.ready -= 1;
     }
 
     /// Credit `served` time to the running transaction `t` (it keeps
@@ -239,6 +269,7 @@ impl TxnTable {
             "{t} paused with zero remaining — should complete instead"
         );
         self.states[t.index()].phase = TxnPhase::Ready;
+        self.ready += 1;
     }
 
     /// Count a genuine preemption of `t` (it was paused and a different
@@ -300,6 +331,7 @@ impl TxnTable {
             if st.blocked_on == 0 && st.phase == TxnPhase::Blocked {
                 st.phase = TxnPhase::Ready;
                 st.ready_at = Some(now);
+                self.ready += 1;
                 released.push(s);
             }
         }

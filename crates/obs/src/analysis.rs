@@ -361,6 +361,17 @@ fn parse_event(obj: &FlatObj) -> Result<(u64, RecordedEvent), String> {
                 txn: TxnId(obj.int("txn").ok_or("missing txn")? as u32),
                 from: obj.int("from").ok_or("missing from")? as u32,
                 to: obj.int("to").ok_or("missing to")? as u32,
+                // Dumps from before the threaded protocol carry no request
+                // or grant clocks; those steals were synchronous sweeps, so
+                // both default to the grab instant.
+                requested_at: obj
+                    .int("requested_at")
+                    .map(|t| SimTime::from_ticks(t as u64))
+                    .unwrap_or(at),
+                granted_at: obj
+                    .int("granted_at")
+                    .map(|t| SimTime::from_ticks(t as u64))
+                    .unwrap_or(at),
             },
             other => return Err(format!("unknown rebalance action {other:?}")),
         }),
@@ -486,8 +497,13 @@ mod tests {
                     txn: TxnId(4),
                     from: 0,
                     to: 1,
+                    // Threaded-protocol clocks: asked at 4, answered at 5,
+                    // effective at the boundary 6.
+                    requested_at: SimTime::from_units_int(4),
+                    granted_at: SimTime::from_units_int(5),
                 },
             ],
+            ..Default::default()
         });
         let dump = Dump::parse(&rec.dump()).unwrap();
         let restored: Vec<RebalanceEvent> = dump.rebalances().map(|(_, e)| *e).collect();
@@ -503,10 +519,40 @@ mod tests {
                 work_ticks: 9,
             }
         );
-        assert!(matches!(
+        assert_eq!(
             restored[1],
-            RebalanceEvent::Steal { txn: TxnId(4), .. }
-        ));
+            RebalanceEvent::Steal {
+                at: SimTime::from_units_int(6),
+                txn: TxnId(4),
+                from: 0,
+                to: 1,
+                requested_at: SimTime::from_units_int(4),
+                granted_at: SimTime::from_units_int(5),
+            },
+            "protocol clocks survive the JSONL round trip"
+        );
+    }
+
+    #[test]
+    fn legacy_steal_lines_parse_with_synchronous_clocks() {
+        // Dumps written before the threaded protocol have no
+        // requested_at/granted_at; both must default to the grab instant.
+        let line =
+            r#"{"kind":"rebalance","action":"steal","seq":0,"at":6000000,"txn":4,"from":0,"to":1}"#;
+        let dump = Dump::parse(line).unwrap();
+        let restored: Vec<RebalanceEvent> = dump.rebalances().map(|(_, e)| *e).collect();
+        match restored[0] {
+            RebalanceEvent::Steal {
+                at,
+                requested_at,
+                granted_at,
+                ..
+            } => {
+                assert_eq!(requested_at, at);
+                assert_eq!(granted_at, at);
+            }
+            other => panic!("expected a steal, got {other:?}"),
+        }
     }
 
     #[test]

@@ -218,6 +218,9 @@ impl FlightRecorder {
         self.metrics
             .add("rebalance_migrated_work_ticks", stats.migrated_work);
         self.metrics.add("rebalance_steals", stats.steals);
+        self.metrics
+            .add("rebalance_steal_requests", stats.steal_requests);
+        self.metrics.add("rebalance_barriers", stats.barriers);
         for e in &stats.events {
             self.push(RecordedEvent::Rebalance(*e));
         }
@@ -399,7 +402,14 @@ fn event_line_inner(seq: u64, ev: &RecordedEvent) -> String {
                 .int("txns", txns as i128)
                 .int("work_ticks", work_ticks as i128)
                 .finish(),
-            RebalanceEvent::Steal { at, txn, from, to } => JsonObject::new()
+            RebalanceEvent::Steal {
+                at,
+                txn,
+                from,
+                to,
+                requested_at,
+                granted_at,
+            } => JsonObject::new()
                 .str("kind", "rebalance")
                 .str("action", "steal")
                 .int("seq", seq as i128)
@@ -407,6 +417,8 @@ fn event_line_inner(seq: u64, ev: &RecordedEvent) -> String {
                 .int("txn", txn.0 as i128)
                 .int("from", from as i128)
                 .int("to", to as i128)
+                .int("requested_at", requested_at.ticks() as i128)
+                .int("granted_at", granted_at.ticks() as i128)
                 .finish(),
         },
         RecordedEvent::Admission(a) => JsonObject::new()
@@ -585,6 +597,8 @@ mod tests {
             migrated_txns: 3,
             migrated_work: 40,
             steals: 1,
+            steal_requests: 1,
+            barriers: 4,
             events: vec![
                 RebalanceEvent::Migration {
                     at: SimTime::from_units_int(10),
@@ -599,12 +613,16 @@ mod tests {
                     txn: TxnId(7),
                     from: 1,
                     to: 0,
+                    requested_at: SimTime::from_units_int(11),
+                    granted_at: SimTime::from_units_int(12),
                 },
             ],
         };
         rec.ingest_rebalance(&stats);
         assert_eq!(rec.metrics().counter("rebalance_migrated_txns"), 3);
         assert_eq!(rec.metrics().counter("rebalance_steals"), 1);
+        assert_eq!(rec.metrics().counter("rebalance_steal_requests"), 1);
+        assert_eq!(rec.metrics().counter("rebalance_barriers"), 4);
         assert_eq!(rec.len(), 2);
         let dump = rec.dump();
         let lines: Vec<&str> = dump.lines().collect();

@@ -125,7 +125,16 @@ impl<S: Scheduler, P: Pump> Engine<S, P> {
     /// and the way the live front-end installs a wall-clock pump.
     pub fn with_pump(specs: Vec<TxnSpec>, policy: S, pump: P) -> Result<Self, DagError> {
         let table = TxnTable::new(specs)?;
-        Ok(Engine {
+        Ok(Self::from_table(table, policy, pump))
+    }
+
+    /// Build an engine over an already-validated table. The sharded
+    /// runtimes instantiate K identical full-batch engines; validating the
+    /// batch once and handing each engine a cheap clone of the master table
+    /// (spec and DAG storage is shared, see [`TxnTable`]) keeps per-shard
+    /// setup proportional to state, not to batch description.
+    pub(crate) fn from_table(table: TxnTable, policy: S, pump: P) -> Self {
+        Engine {
             table,
             policy,
             pump,
@@ -144,7 +153,7 @@ impl<S: Scheduler, P: Pump> Engine<S, P> {
             events: Vec::new(),
             due: Vec::new(),
             released: Vec::new(),
-        })
+        }
     }
 
     /// Use a pool of `servers` logical servers instead of the default
@@ -741,6 +750,28 @@ impl<S: Scheduler, P: Pump> Engine<S, P> {
         self.step_to(t);
     }
 
+    /// The engine's clock (the pump's current instant). The threaded
+    /// rebalancing driver stamps steal requests and grants with it.
+    pub(crate) fn now(&self) -> SimTime {
+        self.pump.now()
+    }
+
+    /// Drive every scheduling point strictly before `horizon` and return
+    /// the first point at/after it (`None` when the engine has no further
+    /// event of its own). This is one shard's epoch window in the threaded
+    /// rebalancing runtime: between two barriers a shard engine runs
+    /// entirely on local state, so the whole window is a single call when
+    /// stealing is off. (With stealing on, the driver interleaves channel
+    /// drains between points via `next_point_time`/`step_at` instead.)
+    pub(crate) fn run_window(&mut self, horizon: SimTime) -> Option<SimTime> {
+        loop {
+            match self.next_point_time() {
+                Some(t) if t < horizon => self.step_to(t),
+                other => return other,
+            }
+        }
+    }
+
     /// Completed transactions so far (on this shard's table).
     pub(crate) fn completed(&self) -> usize {
         self.table.completed_count()
@@ -753,11 +784,9 @@ impl<S: Scheduler, P: Pump> Engine<S, P> {
 
     /// Transactions ready but not running — the shard's waiting backlog
     /// gauge (a steal thief must read zero here; victims are ranked by it).
+    /// O(1): the table maintains the count across lifecycle transitions.
     pub(crate) fn waiting_ready(&self) -> usize {
-        self.table
-            .ids()
-            .filter(|&t| self.table.state(t).phase == TxnPhase::Ready)
-            .count()
+        self.table.ready_count()
     }
 
     /// Ask the policy for up to `k` steal candidates (latest-start order).

@@ -44,6 +44,7 @@ pub mod runner;
 pub mod sharded;
 pub mod stats;
 pub mod testutil;
+pub mod threaded;
 pub mod trace;
 
 pub use engine::{Engine, EventPump, Pump, ServerPool, SimResult, SpecPump};

@@ -456,6 +456,12 @@ pub struct LiveConfig {
     pub rings: usize,
     /// Per-ring queued-job capacity.
     pub ring_capacity: usize,
+    /// Smoothing factor of the EWMA over observed per-fragment service
+    /// times that replaces the compiled-cost backlog estimate once warm.
+    pub ewma_alpha: f64,
+    /// Completions observed before the estimator trusts itself; until
+    /// then the infeasibility shed prices against compiled costs.
+    pub estimator_warmup: u64,
 }
 
 impl Default for LiveConfig {
@@ -469,6 +475,8 @@ impl Default for LiveConfig {
             poll: Duration::from_micros(200),
             rings: 1,
             ring_capacity: 1024,
+            ewma_alpha: 0.2,
+            estimator_warmup: 64,
         }
     }
 }
@@ -544,8 +552,12 @@ pub struct LivePump {
     /// Admitted, not yet completed (transactions).
     inflight: usize,
     /// Service demand of the in-flight set — the backlog estimate the
-    /// infeasibility shed prices against.
+    /// infeasibility shed prices against until the estimator is warm.
     inflight_service: SimDuration,
+    /// EWMA of observed per-fragment service time, in time units.
+    ewma_units: f64,
+    /// Completions the estimator has seen.
+    service_samples: u64,
     /// Shed-event log (shared with the serve harness via
     /// [`LiveFrontend::admissions`]).
     admissions: Arc<AdmissionLog>,
@@ -613,6 +625,8 @@ impl LiveFrontend {
             pending: VecDeque::new(),
             inflight: 0,
             inflight_service: SimDuration::ZERO,
+            ewma_units: 0.0,
+            service_samples: 0,
             admissions: Arc::clone(&admissions),
         };
         LiveFrontend {
@@ -665,9 +679,19 @@ impl LivePump {
             // Optimistic response-time estimate: the admitted backlog
             // spread over the pool, plus this job's own demand. If even
             // that exceeds the job's tightest SLA, admitting it only
-            // buys a guaranteed miss that delays feasible work.
-            let estimate = self.inflight_service / self.cfg.servers as u64 + service;
-            if estimate > self.universe.job_sla[job as usize] {
+            // buys a guaranteed miss that delays feasible work. Once the
+            // completion-fed EWMA is warm it replaces compiled costs —
+            // the estimator tracks the service times the pool actually
+            // delivers, so a biased cost model stops steering admission.
+            let infeasible = if self.service_samples >= self.cfg.estimator_warmup {
+                let estimate = (self.inflight as f64 / self.cfg.servers as f64 + count as f64)
+                    * self.ewma_units;
+                estimate > self.universe.job_sla[job as usize].as_units()
+            } else {
+                let estimate = self.inflight_service / self.cfg.servers as u64 + service;
+                estimate > self.universe.job_sla[job as usize]
+            };
+            if infeasible {
                 self.board.mark_shed(job);
                 self.stats.shed_infeasible.fetch_add(1, Ordering::Relaxed);
                 self.log_shed(job, stamp, false);
@@ -710,6 +734,13 @@ impl LivePump {
     /// In-flight (admitted, not completed) transactions right now.
     pub fn inflight(&self) -> usize {
         self.inflight
+    }
+
+    /// The completion-fed per-fragment service estimate, once warm
+    /// (`None` while admission still prices against compiled costs).
+    pub fn estimated_service(&self) -> Option<SimDuration> {
+        (self.service_samples >= self.cfg.estimator_warmup)
+            .then(|| SimDuration::from_units(self.ewma_units))
     }
 }
 
@@ -790,9 +821,16 @@ impl Pump for LivePump {
 
     fn note_completed(&mut self, t: TxnId) {
         self.inflight -= 1;
-        self.inflight_service = self
-            .inflight_service
-            .saturating_sub(self.universe.txn_len[t.index()]);
+        let served = self.universe.txn_len[t.index()];
+        self.inflight_service = self.inflight_service.saturating_sub(served);
+        // Feed the admission estimator: every completion is one observed
+        // per-fragment service time.
+        self.service_samples += 1;
+        if self.service_samples == 1 {
+            self.ewma_units = served.as_units();
+        } else {
+            self.ewma_units += self.cfg.ewma_alpha * (served.as_units() - self.ewma_units);
+        }
         self.board.note_txn_done(self.universe.job_of(t));
         self.stats.completed_txns.fetch_add(1, Ordering::Relaxed);
     }

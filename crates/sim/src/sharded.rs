@@ -133,7 +133,9 @@ pub enum RebalanceEvent {
     },
     /// An idle shard stole a ready, never-served singleton transaction.
     Steal {
-        /// Simulated instant of the grab.
+        /// Simulated instant the handoff takes effect on the thief (the
+        /// grab instant in coordinated mode; the epoch boundary the grant
+        /// rides to in threaded mode).
         at: SimTime,
         /// The stolen transaction.
         txn: TxnId,
@@ -141,6 +143,13 @@ pub enum RebalanceEvent {
         from: u32,
         /// Thief shard.
         to: u32,
+        /// The requesting (thief) shard's clock when it asked. Equal to
+        /// `at` in coordinated mode, where request and grant are one
+        /// synchronous sweep.
+        requested_at: SimTime,
+        /// The granting (victim) shard's clock when it answered. Equal to
+        /// `at` in coordinated mode.
+        granted_at: SimTime,
     },
 }
 
@@ -157,6 +166,13 @@ pub struct RebalanceStats {
     pub migrated_work: u64,
     /// Transactions stolen.
     pub steals: u64,
+    /// Steal requests posted by idle shards. Coordinated sweeps grab
+    /// synchronously, so this stays zero there; the threaded runtime
+    /// counts every request message an idle thief put on a channel.
+    pub steal_requests: u64,
+    /// Epoch barriers crossed (threaded runtime only; the coordinated
+    /// loop has no barrier).
+    pub barriers: u64,
     /// Every action, in order (migrations at epoch boundaries, steals at
     /// scheduling points).
     pub events: Vec<RebalanceEvent>,
@@ -187,15 +203,16 @@ pub struct RebalanceStats {
 /// assert_eq!(r.merged.stats.makespan, SimTime::from_units_int(4));
 /// ```
 pub struct ShardedRuntime<P: SpecPump = EventPump> {
-    specs: Vec<TxnSpec>,
-    kind: PolicyKind,
-    shards: usize,
-    servers: usize,
-    trace: bool,
-    backlog: Option<SimDuration>,
-    batched: bool,
-    rebalance: Option<RebalanceConfig>,
-    pump: std::marker::PhantomData<P>,
+    pub(crate) specs: Vec<TxnSpec>,
+    pub(crate) kind: PolicyKind,
+    pub(crate) shards: usize,
+    pub(crate) servers: usize,
+    pub(crate) trace: bool,
+    pub(crate) backlog: Option<SimDuration>,
+    pub(crate) batched: bool,
+    pub(crate) rebalance: Option<RebalanceConfig>,
+    pub(crate) threaded: bool,
+    pub(crate) pump: std::marker::PhantomData<P>,
 }
 
 impl ShardedRuntime {
@@ -211,6 +228,7 @@ impl ShardedRuntime {
             backlog: None,
             batched: true,
             rebalance: None,
+            threaded: false,
             pump: std::marker::PhantomData,
         }
     }
@@ -231,6 +249,7 @@ impl<P: SpecPump> ShardedRuntime<P> {
             backlog: self.backlog,
             batched: self.batched,
             rebalance: self.rebalance,
+            threaded: self.threaded,
             pump: std::marker::PhantomData,
         }
     }
@@ -308,6 +327,22 @@ impl<P: SpecPump> ShardedRuntime<P> {
         self
     }
 
+    /// Run the rebalanced modes on the *threaded* driver
+    /// ([`crate::threaded`]): K shard threads each stepping their own
+    /// engine in parallel, synchronized only at epoch boundaries by a
+    /// barrier, exchanging migration payloads and steal grants over
+    /// bounded lock-free SPSC channels. Deterministic for a fixed
+    /// seed/config (every cross-shard effect lands at a barrier-ordered
+    /// logical instant); the coordinated loop remains the semantic oracle.
+    ///
+    /// Requires [`ShardedRuntime::rebalance`] with `epoch: Some(..)` —
+    /// the epoch is the barrier cadence. With `K = 1` the run falls back
+    /// to the coordinated path (bit-identical to the plain engine).
+    pub fn threaded(mut self) -> Self {
+        self.threaded = true;
+        self
+    }
+
     /// Run every shard to completion and merge.
     ///
     /// Dependency errors (unknown ids, cycles) are detected on the *global*
@@ -343,6 +378,9 @@ impl<P: SpecPump> ShardedRuntime<P> {
         // every dependency inside its shard).
         DepDag::build(&self.specs)?;
         if let Some(cfg) = self.rebalance {
+            if self.threaded && self.shards > 1 {
+                return self.run_threaded(make, attach, cfg);
+            }
             return self.run_coordinated(make, attach, cfg);
         }
         let n = self.specs.len();
@@ -468,14 +506,14 @@ impl<P: SpecPump> ShardedRuntime<P> {
         let mut engines: Vec<Engine<Box<dyn Scheduler>, P>> = Vec::with_capacity(k);
         let mut shared_obs = Vec::with_capacity(k);
         let mut plain_obs = Vec::with_capacity(k);
+        // One validated master table; each shard engine gets a cheap clone
+        // (shared spec/DAG storage, fresh state).
+        let master = TxnTable::new(self.specs.clone()).expect("validated global batch");
         for s in 0..k {
-            let table = TxnTable::new(self.specs.clone()).expect("validated global batch");
-            let obs = make(s, &table);
-            let policy = self.kind.build(&table);
-            let mut engine =
-                Engine::with_pump(self.specs.clone(), policy, P::from_specs(&self.specs))
-                    .expect("validated global batch")
-                    .with_servers(self.servers);
+            let obs = make(s, &master);
+            let policy = self.kind.build(&master);
+            let mut engine = Engine::from_table(master.clone(), policy, P::from_specs(&self.specs))
+                .with_servers(self.servers);
             if self.batched {
                 engine = engine.with_batching();
             }
@@ -709,6 +747,10 @@ fn steal_sweep<P: Pump>(
                     txn: c,
                     from: victim as u32,
                     to: thief as u32,
+                    // The sweep is synchronous: request, grant and
+                    // injection all happen at `now`.
+                    requested_at: now,
+                    granted_at: now,
                 });
                 grabbed += 1;
             }
@@ -730,11 +772,11 @@ impl Observer for NoopObserver {}
 
 /// Engine-construction knobs forwarded unchanged to every shard engine.
 #[derive(Clone, Copy)]
-struct EngineKnobs {
-    servers: usize,
-    trace: bool,
-    backlog: Option<SimDuration>,
-    batched: bool,
+pub(crate) struct EngineKnobs {
+    pub(crate) servers: usize,
+    pub(crate) trace: bool,
+    pub(crate) backlog: Option<SimDuration>,
+    pub(crate) batched: bool,
 }
 
 /// Run one shard's specs to completion on the current thread. Mirrors
@@ -802,7 +844,7 @@ fn remap(mut result: SimResult, to_global: &[TxnId]) -> SimResult {
 }
 
 /// Merge remapped per-shard results into one global [`SimResult`].
-fn merge(shards: &[ShardRun], trace: bool, backlog: bool) -> SimResult {
+pub(crate) fn merge(shards: &[ShardRun], trace: bool, backlog: bool) -> SimResult {
     let mut outcomes: Vec<TxnOutcome> = shards
         .iter()
         .flat_map(|s| s.result.outcomes.iter().copied())

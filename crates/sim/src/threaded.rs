@@ -1,0 +1,1074 @@
+//! The threaded rebalancing driver: K shard threads, barrier-synchronized
+//! epochs, lock-free cross-shard message channels.
+//!
+//! [`crate::sharded`]'s coordinated loop buys dynamic balancing by driving
+//! all K engines from one clock on one thread: every event pays a global
+//! min-scan over the shard engines plus an O(K·n) steal sweep. This module
+//! removes that serialization tax. Each shard thread steps its own engine
+//! through an *epoch window* `[B, B')` without talking to anyone, and all
+//! cross-shard traffic — migration payloads, steal grants — takes effect
+//! only at window boundaries, where a [`std::sync::Barrier`] lines the
+//! threads up. Between boundaries the only sharing is bounded lock-free
+//! SPSC rings ([`Chan`], the [`crate::live::IngestRing`] idiom generalized
+//! to typed messages), and rings are *written during* a window but *read
+//! after* the next barrier, so every message is ordered by barrier
+//! happens-before, never by delivery timing.
+//!
+//! Per round, each thread:
+//!
+//! 1. **answers** steal requests buffered at the last drain (grants ride to
+//!    the *next* boundary; see below),
+//! 2. **runs** its engine up to (not including) the horizon,
+//! 3. **posts** one steal request if it ended the window idle,
+//! 4. **reports** load / backlog / movable components and waits (`#1`),
+//! 5. shard 0 — the deterministic **leader** — takes all reports, plans
+//!    migrations with [`plan_rebalance`] (greedy largest-work-first under
+//!    the `2·work ≤ gap` rule), picks the next boundary, and publishes the
+//!    plan (`#2`),
+//! 6. **executes** its slice of the plan — extracting calendar entries for
+//!    components it sends away and pushing them to the destination's ring —
+//!    and waits (`#3`),
+//! 7. **drains** its inboxes: migrated arrivals and steal grants join the
+//!    calendar, requests are buffered for the next answer phase, acks
+//!    release the thief to ask again. Rings are parity-paired —
+//!    `chans[round & 1]` — so a neighbour racing ahead into round E+1
+//!    pushes into the *other* ring set and can never land a message in a
+//!    ring still being drained for round E; three barriers per round, not
+//!    four.
+//!
+//! ## The asynchronous steal protocol
+//!
+//! Coordinated stealing is a synchronous sweep: the thief grabs from the
+//! victim's queue mid-instant. Threads cannot do that without locking both
+//! engines, so stealing becomes request/grant: an idle thief posts
+//! `Request{epoch, want, at}` stamped with its clock; the victim answers at
+//! its next answer phase — one epoch later, the first scheduling point at
+//! which the request is deterministically visible — retracting up to `want`
+//! ready never-served singletons ([`Scheduler::steal_candidates`] order)
+//! and granting them *effective at the boundary its current window ends
+//! on*; the thief admits each grant as a normal calendar arrival at that
+//! boundary. The thief's clock only ever meets arrivals at or after its
+//! last step, so time never runs backward, and because a grant's effect
+//! time is a function of the epoch it was issued in — never of when the
+//! message physically moved — the run is bit-identical across executions
+//! for a fixed seed and config. [`RebalanceEvent::Steal`] records all three
+//! clocks (`requested_at`, `granted_at`, effect `at`).
+//!
+//! ## Why decisions stay deterministic
+//!
+//! * Every round-E push precedes barrier `#1` or `#3` of round E, every
+//!   round-E drain runs after `#3`, and round-E±1 traffic rides the other
+//!   parity's rings. Reaching round E+2 — the same parity again — means
+//!   passing barrier `#1` of round E+1, which waits on every thread's
+//!   round-E drain; so each drain sees exactly the round-E message set,
+//!   every run.
+//! * The victim acts on requests only at the answer phase, from state at
+//!   the window start; grants land only at the boundary. No decision reads
+//!   a ring mid-window.
+//! * The leader is fixed (shard 0) and plans from the full report vector;
+//!   thief victim-selection uses the *previous* plan's backlog snapshot.
+//! * No wall clock anywhere: horizons, effect times and stamps are all
+//!   simulated instants derived from the epoch cadence.
+//!
+//! The coordinated loop remains the semantic oracle: same ownership
+//! invariants (whole components migrate only while fully unarrived; only
+//! ready never-served singletons are stolen), same planner, same merge.
+
+use crate::engine::{Engine, SimResult, SpecPump};
+use crate::sharded::{
+    merge, EngineKnobs, RebalanceConfig, RebalanceEvent, RebalanceStats, ShardRun, ShardedResult,
+    ShardedRuntime,
+};
+use asets_core::dag::DagError;
+use asets_core::obs::{share, Observer};
+use asets_core::policy::{PolicyKind, Scheduler};
+use asets_core::shard::{partition, plan_rebalance, routing_keys, ComponentMove, MovableComponent};
+use asets_core::table::TxnTable;
+use asets_core::time::{SimDuration, SimTime};
+use asets_core::txn::TxnId;
+use std::cell::{RefCell, UnsafeCell};
+use std::collections::BTreeMap;
+use std::mem::MaybeUninit;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex};
+
+/// Slots per cross-shard ring. Bounds every round's traffic: the leader
+/// budgets migration payloads per channel (see [`Shared::mig_budget`]) and
+/// steal traffic is at most one request, `steal_k` grants and one ack.
+pub(crate) const MSG_RING_CAPACITY: usize = 1024;
+
+/// Bounded lock-free SPSC ring of `Copy` messages — [`crate::live::IngestRing`]
+/// generalized from `u32` job ids to typed payloads. Monotonic cursors,
+/// slot = cursor % capacity; the producer owns `tail`, the consumer owns
+/// `head`, and each reads the other side with `Acquire` to see slot writes.
+///
+/// The SPSC discipline is by construction: in the channel matrix
+/// `chans[a][b]`, thread `a` is the only pusher and thread `b` the only
+/// popper.
+pub(crate) struct Chan<T: Copy> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// Consumer cursor (monotonic).
+    head: AtomicUsize,
+    /// Producer cursor (monotonic).
+    tail: AtomicUsize,
+}
+
+// SAFETY: a slot is written by the single producer strictly before the
+// `Release` store of `tail`, and read by the single consumer strictly after
+// the `Acquire` load of `tail` (and vice versa for reuse after `head`), so
+// no slot is ever accessed concurrently. `T: Copy` means reads need no
+// ownership transfer and abandoned messages need no drop.
+unsafe impl<T: Copy + Send> Sync for Chan<T> {}
+
+impl<T: Copy> Chan<T> {
+    /// A ring holding up to `capacity` in-flight messages.
+    ///
+    /// # Panics
+    /// If `capacity == 0`.
+    pub(crate) fn new(capacity: usize) -> Chan<T> {
+        assert!(capacity > 0, "channel capacity must be positive");
+        Chan {
+            slots: (0..capacity)
+                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                .collect(),
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+        }
+    }
+
+    /// Producer side: push `value`, or return `false` when the ring is
+    /// full. In the threaded protocol a full ring is a planner bug, not
+    /// backpressure — the receiver is parked at a barrier and will never
+    /// drain mid-window — so callers assert the result.
+    pub(crate) fn push(&self, value: T) -> bool {
+        let tail = self.tail.load(Ordering::Relaxed);
+        let head = self.head.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) == self.slots.len() {
+            return false;
+        }
+        // SAFETY: `head`'s Acquire proves the consumer is done with this
+        // slot; only this thread writes slots (single producer).
+        unsafe { (*self.slots[tail % self.slots.len()].get()).write(value) };
+        self.tail.store(tail.wrapping_add(1), Ordering::Release);
+        true
+    }
+
+    /// Consumer side: pop the oldest message, if any.
+    pub(crate) fn pop(&self) -> Option<T> {
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        // SAFETY: `tail`'s Acquire proves the producer initialized this
+        // slot; only this thread reads slots (single consumer).
+        let value = unsafe { (*self.slots[head % self.slots.len()].get()).assume_init() };
+        self.head.store(head.wrapping_add(1), Ordering::Release);
+        Some(value)
+    }
+}
+
+/// A cross-shard message. Everything is `Copy`: calendar entries and steal
+/// control traffic, never spec payloads — every engine holds the full
+/// global table, so moving a transaction is pure calendar surgery.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Msg {
+    /// A migrated component member's calendar entry (original arrival).
+    Arrival {
+        /// The spec's arrival instant (strictly beyond the boundary).
+        at: SimTime,
+        /// The member transaction.
+        txn: TxnId,
+    },
+    /// A steal grant: `txn` was retracted from the victim and arrives on
+    /// the thief at `effect` — the boundary the victim's current window
+    /// ends on, which is ≥ every clock the thief can have inside it.
+    Grant {
+        /// Boundary instant the grant takes effect at on the thief.
+        effect: SimTime,
+        /// The stolen transaction.
+        txn: TxnId,
+    },
+    /// An idle thief asking for work.
+    Request {
+        /// The thief's epoch index when it posted (visibility stamp).
+        epoch: u64,
+        /// Transactions wanted (idle servers, clamped by `steal_k`).
+        want: u32,
+        /// The thief's clock when it posted (telemetry: `requested_at`).
+        at: SimTime,
+    },
+    /// Closes a request (sent even when zero transactions were granted);
+    /// the thief may post again after receiving it.
+    Ack {
+        /// Epoch stamp of the request being closed.
+        epoch: u64,
+    },
+}
+
+/// A buffered steal request, waiting for the receiving victim's next
+/// answer phase.
+struct PendingReq {
+    from: u32,
+    epoch: u64,
+    want: u32,
+    at: SimTime,
+}
+
+/// One shard's boundary snapshot, published before barrier `#1`.
+struct Report {
+    /// Remaining work of owned, uncompleted transactions (ticks).
+    load: u64,
+    /// Ready transactions waiting for a server.
+    waiting: usize,
+    /// Completions on this shard's table. Every transaction completes on
+    /// exactly one table (its final owner), so the global done test is
+    /// `Σ completed == n` — grants in flight keep the sum short.
+    completed: usize,
+    /// The engine's next scheduling point at or beyond the boundary.
+    next_point: Option<SimTime>,
+    /// Fully-unarrived owned components, eligible for migration.
+    movable: Vec<MovableComponent>,
+    /// True iff this shard posted a steal request this window.
+    posted: bool,
+    /// Steal requests answered at this window's answer phase.
+    answered: u32,
+}
+
+/// The leader's verdict for one boundary, published before barrier `#2`.
+#[derive(Clone)]
+struct Plan {
+    /// Every transaction completed: all threads exit this round.
+    done: bool,
+    /// No scheduling point anywhere, nothing in flight, work incomplete —
+    /// provably unreachable; every thread panics rather than spinning.
+    stalled: bool,
+    /// Horizon of the next window. `boundary + epoch` while anything is in
+    /// flight; otherwise skipped ahead to cover the earliest next point.
+    next_boundary: SimTime,
+    /// Per-shard waiting backlog — next window's thieves pick victims from
+    /// this snapshot (one round stale, deterministically so).
+    waiting: Vec<usize>,
+    /// Migrations to execute at this boundary.
+    moves: Vec<ComponentMove>,
+}
+
+/// Static facts about one component, precomputed once in
+/// [`ShardedRuntime::run_threaded`]: migration eligibility and planning
+/// weight are functions of the specs alone, never of runtime state.
+struct CompInfo {
+    /// Earliest member arrival. The component is fully unarrived — hence
+    /// movable — exactly while `min_arrival > horizon`.
+    min_arrival: SimTime,
+    /// Total member length in ticks (the planner's weight).
+    work: u64,
+}
+
+/// Read-only protocol state borrowed into every worker thread.
+struct Shared<'a> {
+    k: usize,
+    n: usize,
+    cfg: RebalanceConfig,
+    epoch: SimDuration,
+    /// Migration calendar entries the planner may route through one
+    /// channel per round, leaving headroom for steal traffic.
+    mig_budget: usize,
+    /// `chans[round & 1][a][b]`: messages from shard `a` to shard `b`,
+    /// double-buffered by round parity so a drain never shares a ring with
+    /// a faster neighbour's next-round pushes.
+    chans: &'a [Vec<Vec<Chan<Msg>>>; 2],
+    barrier: &'a Barrier,
+    reports: &'a [Mutex<Option<Report>>],
+    plan_slot: &'a Mutex<Option<Plan>>,
+    /// Component membership by routing key, members ascending.
+    comp_members: &'a BTreeMap<u32, Vec<TxnId>>,
+    /// Per-component static facts, same keys as `comp_members`.
+    comp_info: &'a BTreeMap<u32, CompInfo>,
+    /// Routing key of every transaction.
+    keys: &'a [u32],
+    /// The initial (static) partition; arrival restriction baseline.
+    shard_of: &'a [u32],
+}
+
+impl<P: SpecPump> ShardedRuntime<P> {
+    /// The threaded driver behind [`ShardedRuntime::threaded`]. Same
+    /// contract as `run_coordinated` — full global table per engine,
+    /// restricted arrivals, results merged in global ids — but the K
+    /// engines run on K threads and trade work over [`Chan`]s.
+    ///
+    /// # Panics
+    /// If the rebalance config has no epoch (the barrier needs a cadence).
+    pub(crate) fn run_threaded<O, F>(
+        self,
+        make: F,
+        attach: bool,
+        cfg: RebalanceConfig,
+    ) -> Result<(ShardedResult, Vec<O>), DagError>
+    where
+        O: Observer + Send + 'static,
+        F: Fn(usize, &TxnTable) -> O + Sync,
+    {
+        let epoch = cfg
+            .epoch
+            .expect("threaded rebalancing needs an epoch (the barrier cadence): build the config with RebalanceConfig::migrate_every");
+        assert!(!epoch.is_zero(), "epoch must be positive");
+        let n = self.specs.len();
+        let k = self.shards;
+        let keys = routing_keys(&self.specs);
+        let static_plan = partition(&self.specs, k);
+        let shard_of = static_plan.shard_of;
+        let mut comp_members: BTreeMap<u32, Vec<TxnId>> = BTreeMap::new();
+        for (i, &key) in keys.iter().enumerate() {
+            comp_members.entry(key).or_default().push(TxnId(i as u32));
+        }
+        let comp_info: BTreeMap<u32, CompInfo> = comp_members
+            .iter()
+            .map(|(&key, members)| {
+                let min_arrival = members
+                    .iter()
+                    .map(|&m| self.specs[m.index()].arrival)
+                    .min()
+                    .expect("components are non-empty");
+                let work = members
+                    .iter()
+                    .map(|&m| self.specs[m.index()].length.ticks())
+                    .sum();
+                (key, CompInfo { min_arrival, work })
+            })
+            .collect();
+
+        let chans: [Vec<Vec<Chan<Msg>>>; 2] = std::array::from_fn(|_| {
+            (0..k)
+                .map(|_| (0..k).map(|_| Chan::new(MSG_RING_CAPACITY)).collect())
+                .collect()
+        });
+        let barrier = Barrier::new(k);
+        let reports: Vec<Mutex<Option<Report>>> = (0..k).map(|_| Mutex::new(None)).collect();
+        let plan_slot: Mutex<Option<Plan>> = Mutex::new(None);
+        let shared = Shared {
+            k,
+            n,
+            cfg,
+            epoch,
+            mig_budget: MSG_RING_CAPACITY.saturating_sub(cfg.steal_k + 2),
+            chans: &chans,
+            barrier: &barrier,
+            reports: &reports,
+            plan_slot: &plan_slot,
+            comp_members: &comp_members,
+            comp_info: &comp_info,
+            keys: &keys,
+            shard_of: &shard_of,
+        };
+        let knobs = EngineKnobs {
+            servers: self.servers,
+            trace: self.trace,
+            backlog: self.backlog,
+            batched: self.batched,
+        };
+        let kind = self.kind;
+        // One validated master table; each worker thread gets a cheap clone
+        // (shared spec/DAG storage, fresh state) instead of re-validating
+        // the full batch K times.
+        let master = TxnTable::new(self.specs.clone()).expect("validated global batch");
+        let master_ref = &master;
+        let make = &make;
+        let shared_ref = &shared;
+
+        let runs: Vec<(SimResult, O, RebalanceStats)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..k)
+                .map(|s| {
+                    scope.spawn(move || {
+                        run_worker::<P, O>(
+                            s,
+                            master_ref.clone(),
+                            kind,
+                            knobs,
+                            shared_ref,
+                            |table| make(s, table),
+                            attach,
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard thread panicked"))
+                .collect()
+        });
+
+        let mut stats = RebalanceStats::default();
+        let mut shards = Vec::with_capacity(k);
+        let mut observers = Vec::with_capacity(k);
+        for (s, (result, obs, local)) in runs.into_iter().enumerate() {
+            stats.migration_rounds += local.migration_rounds;
+            stats.migrated_components += local.migrated_components;
+            stats.migrated_txns += local.migrated_txns;
+            stats.migrated_work += local.migrated_work;
+            stats.steals += local.steals;
+            stats.steal_requests += local.steal_requests;
+            stats.barriers += local.barriers;
+            stats.events.extend(local.events);
+            let txns: Vec<TxnId> = result.outcomes.iter().map(|o| o.id).collect();
+            shards.push(ShardRun {
+                shard: s,
+                txns,
+                result,
+            });
+            observers.push(obs);
+        }
+        // Shard-local logs are deterministic; a global order needs a rule.
+        // Stable sort by (instant, kind, shards): migrations (leader log)
+        // before steals at the same boundary, each shard's internal order
+        // preserved.
+        stats.events.sort_by_key(|e| match *e {
+            RebalanceEvent::Migration {
+                at, key, from, to, ..
+            } => (at, 0u8, from, to, key),
+            RebalanceEvent::Steal {
+                at, txn, from, to, ..
+            } => (at, 1u8, from, to, txn.0),
+        });
+
+        let merged = merge(&shards, self.trace, self.backlog.is_some());
+        Ok((
+            ShardedResult {
+                merged,
+                shards,
+                shard_of,
+                rebalance: Some(stats),
+            },
+            observers,
+        ))
+    }
+}
+
+/// One shard thread: build the policy and observer locally (they are
+/// deliberately not `Sync`) over a cheap clone of the master table, then
+/// run the barrier rounds until the leader declares the batch done.
+/// Returns the finished result, the observer and this shard's slice of the
+/// rebalance telemetry.
+fn run_worker<P: SpecPump, O: Observer + 'static>(
+    s: usize,
+    table: TxnTable,
+    kind: PolicyKind,
+    knobs: EngineKnobs,
+    shared: &Shared<'_>,
+    make: impl FnOnce(&TxnTable) -> O,
+    attach: bool,
+) -> (SimResult, O, RebalanceStats) {
+    let obs = make(&table);
+    let policy = kind.build(&table);
+    let pump = P::from_specs(table.specs());
+    let mut engine: Engine<Box<dyn Scheduler>, P> =
+        Engine::from_table(table, policy, pump).with_servers(knobs.servers);
+    if knobs.batched {
+        engine = engine.with_batching();
+    }
+    if knobs.trace {
+        engine = engine.with_trace();
+    }
+    if let Some(interval) = knobs.backlog {
+        engine = engine.with_backlog_sampling(interval);
+    }
+    let mut kept: Option<O> = None;
+    let mut shared_obs: Option<Rc<RefCell<O>>> = None;
+    if attach {
+        let rc = Rc::new(RefCell::new(obs));
+        engine = engine.with_observer(share(&rc));
+        shared_obs = Some(rc);
+    } else {
+        kept = Some(obs);
+    }
+    engine.restrict_arrivals(|t| shared.shard_of[t.index()] == s as u32);
+
+    // Evolving ownership, this shard's view: authoritative for everything
+    // it reports (loads scan only owned ids). Migration updates come from
+    // the plan (all shards see them); steal updates from the grant (victim
+    // clears at grant, thief sets at drain) — the one-round gap where a
+    // granted transaction is in neither load is harmless, because a stolen
+    // singleton has an in-past arrival and can never look movable.
+    let mut owned: Vec<bool> = shared.shard_of.iter().map(|&o| o == s as u32).collect();
+    // Owned components still plausibly movable, ascending by key (the
+    // report order the leader expects). Compacted permanently once the
+    // horizon passes a component's earliest arrival — the horizon is
+    // monotone, so eligibility never comes back — or on loss of ownership;
+    // migration gains re-insert in key order.
+    let mut owned_comps: Vec<u32> = shared
+        .comp_members
+        .keys()
+        .copied()
+        .filter(|&key| owned[key as usize])
+        .collect();
+    // Owned, uncompleted transactions — the load scan's working set,
+    // compacted in place as transactions finish so a round's report costs
+    // O(alive), not O(n).
+    let mut owned_alive: Vec<TxnId> = (0..shared.n as u32)
+        .map(TxnId)
+        .filter(|t| owned[t.index()])
+        .collect();
+    let steal = shared.cfg.steal;
+    let mut stats = RebalanceStats::default();
+    let mut horizon = SimTime::ZERO + shared.epoch;
+    let mut epoch_idx: u64 = 0;
+    // The epoch stamp of this shard's unanswered steal request, if any.
+    let mut pending_post: Option<u64> = None;
+    let mut last_waiting: Vec<usize> = vec![0; shared.k];
+    let mut req_buf: Vec<PendingReq> = Vec::new();
+    let mut candidates: Vec<TxnId> = Vec::new();
+    let mut entries: Vec<(SimTime, TxnId)> = Vec::new();
+
+    loop {
+        // This round's ring set: everything pushed in round E is drained in
+        // round E from `chans[E & 1]`; a neighbour already in round E+1
+        // writes the other set.
+        let par = (epoch_idx & 1) as usize;
+        // Answer phase: every request drained at the last barrier gets its
+        // reply at this shard's first scheduling opportunity of the new
+        // window, from pre-window state — deterministic by barrier order.
+        let mut answered = 0u32;
+        if steal && !req_buf.is_empty() {
+            let mut acts = std::mem::take(&mut req_buf);
+            acts.sort_by_key(|r| (r.epoch, r.from));
+            let now = engine.now();
+            for req in acts {
+                debug_assert!(
+                    req.epoch < epoch_idx,
+                    "requests act one epoch after posting"
+                );
+                candidates.clear();
+                // Over-ask: some candidates fail the singleton filter.
+                engine.steal_candidates_into(req.want as usize * 4, &mut candidates);
+                let mut granted = 0u32;
+                for &c in &candidates {
+                    if granted >= req.want {
+                        break;
+                    }
+                    if shared.comp_members[&shared.keys[c.index()]].len() != 1 {
+                        continue;
+                    }
+                    debug_assert!(owned[c.index()], "ready candidates are owned");
+                    engine.retract_stolen(c, now);
+                    owned[c.index()] = false;
+                    let sent = shared.chans[par][s][req.from as usize].push(Msg::Grant {
+                        effect: horizon,
+                        txn: c,
+                    });
+                    assert!(sent, "steal grant overflowed the ring");
+                    stats.steals += 1;
+                    stats.events.push(RebalanceEvent::Steal {
+                        at: horizon,
+                        txn: c,
+                        from: s as u32,
+                        to: req.from,
+                        requested_at: req.at,
+                        granted_at: now,
+                    });
+                    granted += 1;
+                }
+                let sent =
+                    shared.chans[par][s][req.from as usize].push(Msg::Ack { epoch: req.epoch });
+                assert!(sent, "steal ack overflowed the ring");
+                answered += 1;
+            }
+        }
+
+        // Run the window: every scheduling point strictly below the
+        // horizon, no cross-shard interaction.
+        let next_point = engine.run_window(horizon);
+
+        // Post phase: idle at the window's end with no ready work — ask
+        // the shard that reported the deepest backlog at the last barrier.
+        let mut posted = false;
+        if steal
+            && pending_post.is_none()
+            && engine.idle_servers() > 0
+            && engine.waiting_ready() == 0
+        {
+            if let Some(victim) = pick_victim(&last_waiting, s) {
+                let want = engine.idle_servers().min(shared.cfg.steal_k) as u32;
+                let sent = shared.chans[par][s][victim].push(Msg::Request {
+                    epoch: epoch_idx,
+                    want,
+                    at: engine.now(),
+                });
+                assert!(sent, "steal request overflowed the ring");
+                pending_post = Some(epoch_idx);
+                stats.steal_requests += 1;
+                posted = true;
+            }
+        }
+
+        // Report phase: boundary snapshot for the leader. Both scans
+        // compact their working set as they go, so steady-state rounds cost
+        // O(live work), not O(n).
+        let report = {
+            let table = engine.table();
+            let mut load = 0u64;
+            owned_alive.retain(|&id| {
+                if !owned[id.index()] || table.state(id).is_completed() {
+                    return false;
+                }
+                load += table.remaining(id).ticks();
+                true
+            });
+            // A component is movable iff fully unarrived: under restricted
+            // arrivals every member with `arrival > horizon` is still
+            // `Pending`, so the static `min_arrival` test is exact.
+            let mut movable = Vec::new();
+            owned_comps.retain(|&key| {
+                if !owned[key as usize] || shared.comp_info[&key].min_arrival <= horizon {
+                    return false;
+                }
+                movable.push(MovableComponent {
+                    key,
+                    owner: s as u32,
+                    work: shared.comp_info[&key].work,
+                });
+                true
+            });
+            Report {
+                load,
+                waiting: engine.waiting_ready(),
+                completed: engine.completed(),
+                next_point,
+                movable,
+                posted,
+                answered,
+            }
+        };
+        *shared.reports[s].lock().unwrap() = Some(report);
+        shared.barrier.wait(); // #1: all reports published
+
+        if s == 0 {
+            let reps: Vec<Report> = shared
+                .reports
+                .iter()
+                .map(|slot| slot.lock().unwrap().take().expect("every shard reported"))
+                .collect();
+            let plan = leader_plan(&reps, horizon, shared, &mut stats);
+            *shared.plan_slot.lock().unwrap() = Some(plan);
+        }
+        shared.barrier.wait(); // #2: plan published
+
+        let plan = shared
+            .plan_slot
+            .lock()
+            .unwrap()
+            .clone()
+            .expect("leader planned");
+        assert!(
+            !plan.stalled,
+            "threaded run stalled on shard {s}: no scheduling points, nothing in flight, work incomplete"
+        );
+        last_waiting.clone_from(&plan.waiting);
+        if plan.done {
+            break;
+        }
+
+        // Execute phase: this shard's slice of the migration plan. Every
+        // shard applies the ownership updates that involve it; sources
+        // additionally extract the calendar entries and ship them.
+        for mv in &plan.moves {
+            let members = &shared.comp_members[&mv.key];
+            if mv.from == s as u32 {
+                entries.clear();
+                engine.extract_arrivals(members, &mut entries);
+                debug_assert_eq!(
+                    entries.len(),
+                    members.len(),
+                    "movable components are fully unarrived"
+                );
+                for &(at, txn) in &entries {
+                    let sent = shared.chans[par][s][mv.to as usize].push(Msg::Arrival { at, txn });
+                    assert!(
+                        sent,
+                        "migration payload overflowed the ring (planner budget)"
+                    );
+                }
+                for &m in members {
+                    owned[m.index()] = false;
+                }
+            } else if mv.to == s as u32 {
+                for &m in members {
+                    owned[m.index()] = true;
+                }
+                owned_alive.extend_from_slice(members);
+                // Keep the movable working set sorted by key so reports
+                // list components in the same order every run.
+                let pos = owned_comps.partition_point(|&key| key < mv.key);
+                owned_comps.insert(pos, mv.key);
+            }
+        }
+        shared.barrier.wait(); // #3: all boundary sends complete
+
+        // Drain phase: this round's inboxes in sender order. Everything
+        // sent this round is visible (the senders passed barrier #1 or #3
+        // after pushing); anything newer targets the other parity's rings.
+        entries.clear();
+        for from in 0..shared.k {
+            if from == s {
+                continue;
+            }
+            while let Some(msg) = shared.chans[par][from][s].pop() {
+                match msg {
+                    Msg::Arrival { at, txn } => entries.push((at, txn)),
+                    Msg::Grant { effect, txn } => {
+                        owned[txn.index()] = true;
+                        // A stolen singleton's arrival is in the past, so it
+                        // joins the load but never the movable set.
+                        owned_alive.push(txn);
+                        entries.push((effect, txn));
+                    }
+                    Msg::Request { epoch, want, at } => req_buf.push(PendingReq {
+                        from: from as u32,
+                        epoch,
+                        want,
+                        at,
+                    }),
+                    Msg::Ack { epoch } => {
+                        if pending_post == Some(epoch) {
+                            pending_post = None;
+                        }
+                    }
+                }
+            }
+        }
+        if !entries.is_empty() {
+            engine.admit_arrivals(&entries);
+        }
+        // No closing barrier: a fast peer's round-E+1 pushes land in the
+        // other parity's rings, and its round-E+2 pushes — this parity
+        // again — are fenced by barrier #1 of round E+1, which waits on
+        // this thread's report (sequenced after this drain).
+        horizon = plan.next_boundary;
+        epoch_idx += 1;
+    }
+
+    let result = engine.finish();
+    let obs = match shared_obs {
+        Some(rc) => Rc::try_unwrap(rc)
+            .unwrap_or_else(|_| panic!("engine retained the observer past run"))
+            .into_inner(),
+        None => kept.expect("unattached observer kept locally"),
+    };
+    (result, obs, stats)
+}
+
+/// Deepest waiting backlog among the other shards, ties toward the lower
+/// index; `None` when nobody has ready work to spare.
+fn pick_victim(waiting: &[usize], s: usize) -> Option<usize> {
+    (0..waiting.len())
+        .filter(|&v| v != s && waiting[v] > 0)
+        .max_by_key(|&v| (waiting[v], std::cmp::Reverse(v)))
+}
+
+/// The leader's boundary decision: done test, migration plan (flow-control
+/// filtered to the per-channel budget), next horizon. Runs on shard 0
+/// between barriers `#1` and `#2`; `stats` is the leader's local log, so
+/// migration counters and events are recorded exactly once.
+fn leader_plan(
+    reports: &[Report],
+    boundary: SimTime,
+    shared: &Shared<'_>,
+    stats: &mut RebalanceStats,
+) -> Plan {
+    stats.barriers += 1;
+    let completed: usize = reports.iter().map(|r| r.completed).sum();
+    let done = completed == shared.n;
+    let waiting: Vec<usize> = reports.iter().map(|r| r.waiting).collect();
+    if done {
+        return Plan {
+            done,
+            stalled: false,
+            next_boundary: boundary + shared.epoch,
+            waiting,
+            moves: Vec::new(),
+        };
+    }
+
+    let loads: Vec<u64> = reports.iter().map(|r| r.load).collect();
+    let movable: Vec<MovableComponent> = reports
+        .iter()
+        .flat_map(|r| r.movable.iter().copied())
+        .collect();
+    let planned = plan_rebalance(&loads, &movable);
+    // Flow control: a component's calendar entries must fit the channel
+    // alongside this round's steal traffic. Dropped moves are replanned at
+    // the next boundary from fresh loads.
+    let mut used: BTreeMap<(u32, u32), usize> = BTreeMap::new();
+    let mut moves = Vec::with_capacity(planned.len());
+    for mv in planned {
+        let len = shared.comp_members[&mv.key].len();
+        let slot = used.entry((mv.from, mv.to)).or_insert(0);
+        if *slot + len > shared.mig_budget {
+            continue;
+        }
+        *slot += len;
+        moves.push(mv);
+    }
+    if !moves.is_empty() {
+        stats.migration_rounds += 1;
+    }
+    for mv in &moves {
+        let members = &shared.comp_members[&mv.key];
+        stats.migrated_components += 1;
+        stats.migrated_txns += members.len() as u64;
+        stats.migrated_work += mv.work;
+        stats.events.push(RebalanceEvent::Migration {
+            at: boundary,
+            key: mv.key,
+            from: mv.from,
+            to: mv.to,
+            txns: members.len() as u32,
+            work_ticks: mv.work,
+        });
+    }
+
+    // Next horizon: anything in flight (migration payloads landing at this
+    // drain, steal requests posted or answered this window) pins the next
+    // boundary one epoch out; otherwise skip idle epochs so a quiet stretch
+    // costs one barrier round, not span/epoch of them.
+    let traffic = !moves.is_empty() || reports.iter().any(|r| r.posted || r.answered > 0);
+    let min_point = reports.iter().filter_map(|r| r.next_point).min();
+    let (next_boundary, stalled) = if traffic {
+        (boundary + shared.epoch, false)
+    } else {
+        match min_point {
+            Some(m) => {
+                let mut b = boundary + shared.epoch;
+                while b <= m {
+                    b += shared.epoch;
+                }
+                (b, false)
+            }
+            None => (boundary + shared.epoch, true),
+        }
+    };
+    Plan {
+        done,
+        stalled,
+        next_boundary,
+        waiting,
+        moves,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sharded::ShardedRuntime;
+    use crate::testutil::{dep, ind, units};
+    use asets_core::metrics::MetricsSummary;
+
+    #[test]
+    fn chan_wraps_and_preserves_fifo() {
+        let chan: Chan<u64> = Chan::new(2);
+        assert!(chan.push(1));
+        assert!(chan.push(2));
+        assert_eq!(chan.pop(), Some(1));
+        assert!(chan.push(3), "slot freed by pop is reusable");
+        assert_eq!(chan.pop(), Some(2));
+        assert_eq!(chan.pop(), Some(3));
+        assert_eq!(chan.pop(), None);
+    }
+
+    #[test]
+    fn chan_full_rejects_push() {
+        let chan: Chan<u64> = Chan::new(2);
+        assert!(chan.push(1));
+        assert!(chan.push(2));
+        assert!(!chan.push(3), "bounded: third push must be refused");
+        chan.pop();
+        assert!(chan.push(3), "accepts again after a pop");
+    }
+
+    #[test]
+    fn chan_carries_messages_across_threads() {
+        // The ThreadSanitizer target: concurrent producer/consumer over one
+        // ring, FIFO and no losses under real contention.
+        const N: u64 = 10_000;
+        let chan: Chan<u64> = Chan::new(64);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                for i in 0..N {
+                    while !chan.push(i) {
+                        std::hint::spin_loop();
+                    }
+                }
+            });
+            let mut expect = 0u64;
+            while expect < N {
+                if let Some(v) = chan.pop() {
+                    assert_eq!(v, expect, "FIFO order violated");
+                    expect += 1;
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+            assert_eq!(chan.pop(), None);
+        });
+    }
+
+    /// Skewed batch: heavy singletons piled on one shard plus a big cheap
+    /// chain that finishes instantly, leaving its shard idle.
+    fn skewed_specs() -> Vec<asets_core::txn::TxnSpec> {
+        let mut specs: Vec<asets_core::txn::TxnSpec> = (0..8).map(|_| ind(0, 100, 10)).collect();
+        let first = specs.len() as u32;
+        specs.push(ind(0, 100, 1));
+        for i in 1..9u32 {
+            specs.push(dep(0, 100, 1, &[first + i - 1]));
+        }
+        specs
+    }
+
+    #[test]
+    fn threaded_run_completes_and_merges_exactly() {
+        let specs = skewed_specs();
+        let n = specs.len();
+        let cfg = RebalanceConfig::migrate_every(units(5)).with_steal(4);
+        let r = ShardedRuntime::new(specs, asets_core::policy::PolicyKind::Edf)
+            .shards(2)
+            .rebalance(cfg)
+            .threaded()
+            .run()
+            .unwrap();
+        assert_eq!(r.merged.stats.completed, n as u64);
+        assert_eq!(
+            r.merged.summary,
+            MetricsSummary::from_outcomes(&r.merged.outcomes)
+        );
+        let ids: Vec<u32> = r.merged.outcomes.iter().map(|o| o.id.0).collect();
+        assert_eq!(ids, (0..n as u32).collect::<Vec<_>>());
+        let reb = r.rebalance.unwrap();
+        assert!(reb.barriers > 0, "threaded runs cross barriers");
+    }
+
+    #[test]
+    fn threaded_stealing_beats_the_static_split() {
+        let specs = skewed_specs();
+        let cfg = RebalanceConfig::migrate_every(units(5)).with_steal(4);
+        let r = ShardedRuntime::new(specs.clone(), asets_core::policy::PolicyKind::Edf)
+            .shards(2)
+            .rebalance(cfg)
+            .threaded()
+            .run()
+            .unwrap();
+        let reb = r.rebalance.as_ref().unwrap();
+        assert!(reb.steals > 0, "idle shard must have stolen: {reb:?}");
+        assert!(
+            reb.steal_requests > 0,
+            "threaded steals ride the request/grant protocol"
+        );
+        let static_r = ShardedRuntime::new(specs, asets_core::policy::PolicyKind::Edf)
+            .shards(2)
+            .run()
+            .unwrap();
+        assert!(
+            r.merged.stats.makespan < static_r.merged.stats.makespan,
+            "stolen {} vs static {}",
+            r.merged.stats.makespan,
+            static_r.merged.stats.makespan
+        );
+    }
+
+    #[test]
+    fn threaded_is_bit_identical_across_runs() {
+        let cfg = RebalanceConfig::migrate_every(units(7)).with_steal(3);
+        let run = || {
+            ShardedRuntime::new(skewed_specs(), asets_core::policy::PolicyKind::asets_star())
+                .shards(4)
+                .rebalance(cfg)
+                .threaded()
+                .with_trace()
+                .run()
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.merged.outcomes, b.merged.outcomes);
+        assert_eq!(a.merged.stats, b.merged.stats);
+        assert_eq!(a.merged.trace, b.merged.trace);
+        assert_eq!(a.rebalance, b.rebalance);
+        for (sa, sb) in a.shards.iter().zip(&b.shards) {
+            assert_eq!(sa.txns, sb.txns, "per-shard completion sets must match");
+        }
+    }
+
+    #[test]
+    fn steal_events_carry_protocol_clocks() {
+        let specs = skewed_specs();
+        let cfg = RebalanceConfig::migrate_every(units(5)).with_steal(4);
+        let r = ShardedRuntime::new(specs, asets_core::policy::PolicyKind::Edf)
+            .shards(2)
+            .rebalance(cfg)
+            .threaded()
+            .run()
+            .unwrap();
+        let reb = r.rebalance.unwrap();
+        let mut steals = 0;
+        for e in &reb.events {
+            if let RebalanceEvent::Steal {
+                at,
+                requested_at,
+                granted_at,
+                ..
+            } = e
+            {
+                steals += 1;
+                assert!(requested_at <= at, "request precedes the effect boundary");
+                assert!(granted_at <= at, "grant precedes the effect boundary");
+            }
+        }
+        assert_eq!(steals as u64, reb.steals);
+    }
+
+    #[test]
+    fn k1_threaded_falls_back_to_the_coordinated_oracle() {
+        let specs = vec![
+            ind(0, 9, 3),
+            dep(0, 15, 2, &[0]),
+            ind(1, 4, 2),
+            ind(2, 30, 5),
+        ];
+        let plain = crate::runner::simulate_traced(
+            specs.clone(),
+            asets_core::policy::PolicyKind::asets_star(),
+        )
+        .unwrap();
+        let cfg = RebalanceConfig::migrate_every(units(5)).with_steal(2);
+        let r = ShardedRuntime::new(specs, asets_core::policy::PolicyKind::asets_star())
+            .rebalance(cfg)
+            .threaded()
+            .with_trace()
+            .run()
+            .unwrap();
+        assert_eq!(r.merged.outcomes, plain.outcomes);
+        assert_eq!(r.merged.stats, plain.stats);
+        assert_eq!(r.merged.trace, plain.trace);
+    }
+
+    #[test]
+    fn quiet_stretches_skip_epochs() {
+        // Arrivals at 0 and 1000 with a tiny epoch: without skip-ahead the
+        // run would cross ~500 barriers; the leader jumps the gap.
+        let mut specs = vec![ind(0, 10, 2), ind(0, 10, 2)];
+        specs.push(ind(1000, 1010, 2));
+        specs.push(ind(1000, 1010, 2));
+        let cfg = RebalanceConfig::migrate_every(units(2)).with_steal(2);
+        let r = ShardedRuntime::new(specs, asets_core::policy::PolicyKind::Edf)
+            .shards(2)
+            .rebalance(cfg)
+            .threaded()
+            .run()
+            .unwrap();
+        assert_eq!(r.merged.stats.completed, 4);
+        let reb = r.rebalance.unwrap();
+        assert!(
+            reb.barriers < 50,
+            "idle epochs must be skipped, crossed {} barriers",
+            reb.barriers
+        );
+    }
+}

@@ -15,7 +15,8 @@
 //! Entries expire after a TTL in *simulated* time — freshness is a QoD
 //! knob, exactly the QoS/QoD trade-off the paper cites.
 
-use crate::query::plan::Plan;
+use crate::query::optimize::optimize;
+use crate::query::plan::{Plan, QueryError};
 use crate::storage::Database;
 use asets_core::time::{SimDuration, SimTime};
 use std::collections::hash_map::DefaultHasher;
@@ -73,6 +74,10 @@ pub struct FragmentCache {
     /// Hits served from a copy whose base tables had changed since
     /// materialization — content the user saw that was already stale.
     stale_hits: u64,
+    /// Optimized plans memoized by *raw* plan fingerprint, so repeat
+    /// compilations of the same fragment skip the optimizer entirely.
+    plans: HashMap<PlanFingerprint, Plan>,
+    plan_memo_hits: u64,
 }
 
 /// The base tables a plan reads, sorted and deduplicated.
@@ -99,7 +104,32 @@ impl FragmentCache {
             hits: 0,
             misses: 0,
             stale_hits: 0,
+            plans: HashMap::new(),
+            plan_memo_hits: 0,
         }
+    }
+
+    /// Optimize `raw` against the catalog, memoized by the raw plan's
+    /// structural fingerprint: the first call per plan shape pays
+    /// [`optimize`] (validation + rewrites), repeats return the stored
+    /// result. Sound because the optimizer reads only the catalog —
+    /// schemas and primary keys, both fixed at table creation — never row
+    /// data, so a raw plan always optimizes to the same shape for the
+    /// lifetime of the cache.
+    pub fn optimize_memo(&mut self, raw: &Plan, db: &Database) -> Result<Plan, QueryError> {
+        let key = fingerprint(raw);
+        if let Some(plan) = self.plans.get(&key) {
+            self.plan_memo_hits += 1;
+            return Ok(plan.clone());
+        }
+        let optimized = optimize(raw, db)?;
+        self.plans.insert(key, optimized.clone());
+        Ok(optimized)
+    }
+
+    /// Compilations that skipped the optimizer via the plan memo.
+    pub fn plan_memo_hits(&self) -> u64 {
+        self.plan_memo_hits
     }
 
     /// The configuration.
@@ -144,7 +174,9 @@ impl FragmentCache {
             }
             _ => {
                 self.misses += 1;
-                let expiry = now + self.config.ttl;
+                // Saturating: `ttl: SimDuration::MAX` means "never expires",
+                // not a wrapped-around instant in the past.
+                let expiry = now.saturating_add(self.config.ttl);
                 self.entries.insert(
                     key,
                     Entry {
@@ -299,6 +331,20 @@ mod tests {
     }
 
     #[test]
+    fn max_ttl_never_expires() {
+        let mut c = FragmentCache::new(CacheConfig {
+            ttl: SimDuration::MAX,
+            hit_cost: SimDuration::from_units(0.2),
+        });
+        let plan = Plan::scan("stocks");
+        assert!(!c.probe(&plan, at(5)).is_hit());
+        assert!(
+            c.probe(&plan, SimTime::from_ticks(u64::MAX / 2)).is_hit(),
+            "expiry saturates instead of wrapping past `now`"
+        );
+    }
+
+    #[test]
     fn empty_cache_ratio_is_zero() {
         assert_eq!(cache(1).hit_ratio(), 0.0);
         assert_eq!(cache(1).staleness_ratio(), 0.0);
@@ -339,6 +385,32 @@ mod tests {
         assert!(!c.probe_versioned(&plan, at(200), &db).is_hit());
         assert!(c.probe_versioned(&plan, at(201), &db).is_hit());
         assert_eq!(c.stale_hits(), 1, "fresh copy again");
+    }
+
+    #[test]
+    fn optimize_memo_matches_direct_optimization() {
+        use crate::schema::{Column, Schema};
+        use crate::storage::Table;
+        use crate::value::ValueType;
+        let mut db = Database::new();
+        let schema = Schema::new(vec![
+            Column::required("symbol", ValueType::Str),
+            Column::required("price", ValueType::Float),
+        ])
+        .unwrap();
+        db.create(Table::with_primary_key("stocks", schema, "symbol").unwrap())
+            .unwrap();
+        let raw = Plan::scan("stocks").filter(Expr::col("symbol").eq(Expr::lit(Value::str("A"))));
+        let mut c = cache(10);
+        let first = c.optimize_memo(&raw, &db).unwrap();
+        assert_eq!(first, optimize(&raw, &db).unwrap());
+        assert_eq!(c.plan_memo_hits(), 0, "first call pays the optimizer");
+        let second = c.optimize_memo(&raw, &db).unwrap();
+        assert_eq!(second, first);
+        assert_eq!(c.plan_memo_hits(), 1, "repeat is served from the memo");
+        // A different shape misses the memo and errors like the optimizer.
+        assert!(c.optimize_memo(&Plan::scan("missing"), &db).is_err());
+        assert_eq!(c.plan_memo_hits(), 1);
     }
 
     #[test]

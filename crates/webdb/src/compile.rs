@@ -138,7 +138,13 @@ fn compile_inner(
         for (f, frag) in req.template.fragments().iter().enumerate() {
             // Fragments execute their *optimized* plans (index lookups,
             // fused filters), so lengths are profiled on the same shape.
-            let plan = crate::query::optimize::optimize(&frag.plan, db)?;
+            // With a cache, the optimized plan itself is memoized by the
+            // raw plan's fingerprint — a sustained stream of repeat pages
+            // pays the optimizer once per fragment shape, not per request.
+            let plan = match cache.as_deref_mut() {
+                Some(c) => c.optimize_memo(&frag.plan, db)?,
+                None => crate::query::optimize::optimize(&frag.plan, db)?,
+            };
             let hit = match cache.as_deref_mut() {
                 Some(c) => c.probe_versioned(&plan, req.submit, db).is_hit(),
                 None => false,
@@ -312,6 +318,11 @@ mod tests {
         assert_eq!(specs[3].length, hit);
         assert_eq!(cache.hits(), 3);
         assert_eq!(cache.misses(), 1);
+        assert_eq!(
+            cache.plan_memo_hits(),
+            3,
+            "only the first fragment ever runs the optimizer"
+        );
     }
 
     #[test]

@@ -11,6 +11,69 @@
 use asets_experiments::serve::{check_conservation, run_serve, ServeConfig, ServeMode};
 use std::time::Duration;
 
+#[test]
+fn admission_estimator_learns_from_completions() {
+    // Structural check on the completion-fed EWMA: cold admission prices
+    // against compiled costs; after `estimator_warmup` completions the
+    // observed per-fragment mean takes over and can reverse a shed.
+    use asets_core::time::SimTime;
+    use asets_core::txn::{TxnId, TxnSpec, Weight};
+    use asets_sim::{LiveConfig, LiveFrontend, Pump};
+
+    let spec = |deadline: u64, len: u64| {
+        TxnSpec::independent(
+            SimTime::ZERO,
+            SimTime::from_units_int(deadline),
+            asets_core::time::SimDuration::from_units_int(len),
+            Weight::ONE,
+        )
+    };
+    // Jobs 0..8: single 1-unit fragments with roomy SLAs. Jobs 8 and 9:
+    // single fragments whose *compiled* cost (500) dwarfs their SLA (50).
+    let mut specs: Vec<TxnSpec> = (0..8).map(|_| spec(1000, 1)).collect();
+    specs.push(spec(50, 500));
+    specs.push(spec(50, 500));
+    let jobs: Vec<(u32, u32)> = (0..10).map(|j| (j, 1)).collect();
+    let mut fe = LiveFrontend::new(
+        &specs,
+        &jobs,
+        LiveConfig {
+            shed_infeasible: true,
+            ewma_alpha: 0.3,
+            estimator_warmup: 4,
+            ..LiveConfig::default()
+        },
+    );
+
+    // Cold: job 8's compiled demand alone busts its SLA — shed.
+    assert!(fe.producers[0].submit(8));
+    fe.pump.next_point(None, None);
+    assert_eq!(fe.stats.snapshot().shed_infeasible, 1);
+    assert!(fe.pump.estimated_service().is_none(), "not warm yet");
+
+    // Warm up on four observed 1-unit completions.
+    for j in 0..4 {
+        assert!(fe.producers[0].submit(j));
+    }
+    fe.pump.next_point(None, None);
+    for t in 0..4 {
+        fe.pump.note_completed(TxnId(t));
+    }
+    let learned = fe.pump.estimated_service().expect("4 samples = warm");
+    assert!(
+        (learned.as_units() - 1.0).abs() < 1e-9,
+        "every observation was 1 unit, learned {learned:?}"
+    );
+
+    // Warm: the estimator prices job 9 at one observed-mean fragment,
+    // well inside its SLA — admitted where compiled costs said shed.
+    assert!(fe.producers[0].submit(9));
+    fe.pump.next_point(None, None);
+    let s = fe.stats.snapshot();
+    assert_eq!(s.shed_infeasible, 1, "no new shed once warm");
+    assert_eq!(s.admitted, 5, "four warmup jobs plus the reversed one");
+}
+
 fn base(mode: ServeMode, duration_ms: u64) -> ServeConfig {
     ServeConfig {
         seed: 7,

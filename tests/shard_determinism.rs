@@ -291,3 +291,113 @@ proptest! {
         prop_assert_eq!(&a.shard_of, &b.shard_of);
     }
 }
+
+proptest! {
+    // Threaded runs spawn real threads per case; fewer cases keep tier-1
+    // wall time bounded without thinning the space much (each case covers
+    // every policy kind).
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The threaded driver is bit-identical across repeated executions:
+    /// thread scheduling never leaks into outcomes, traces, telemetry or
+    /// per-shard completion sets, for every policy kind at K∈{2,4}.
+    #[test]
+    fn threaded_runs_are_reproducible_bit_for_bit(
+        specs in workload_strategy(20),
+        k in 2usize..5,
+        epoch in 3u64..16,
+    ) {
+        let cfg = RebalanceConfig::migrate_every(SimDuration::from_units_int(epoch)).with_steal(3);
+        for kind in all_kinds() {
+            let run = || {
+                ShardedRuntime::new(specs.clone(), kind)
+                    .shards(k)
+                    .rebalance(cfg)
+                    .threaded()
+                    .with_trace()
+                    .run()
+                    .expect("acyclic")
+            };
+            let a = run();
+            let b = run();
+            prop_assert_eq!(&a.merged.outcomes, &b.merged.outcomes, "{}", kind.label());
+            prop_assert_eq!(&a.merged.stats, &b.merged.stats, "{}", kind.label());
+            prop_assert_eq!(&a.merged.trace, &b.merged.trace, "{}", kind.label());
+            prop_assert_eq!(&a.rebalance, &b.rebalance, "{}", kind.label());
+            prop_assert_eq!(&a.shard_of, &b.shard_of, "{}", kind.label());
+            for (sa, sb) in a.shards.iter().zip(&b.shards) {
+                prop_assert_eq!(&sa.txns, &sb.txns, "{}", kind.label());
+            }
+        }
+    }
+
+    /// Conservation under threaded rebalancing: replaying the event log
+    /// over the static partition yields exactly the shard each
+    /// transaction completed on — no transaction is lost, duplicated, or
+    /// teleported outside a recorded migration or steal.
+    #[test]
+    fn threaded_rebalancing_conserves_transactions(
+        specs in workload_strategy(28),
+        k in 2usize..5,
+        epoch in 3u64..16,
+    ) {
+        let n = specs.len();
+        let keys = asets_core::shard::routing_keys(&specs);
+        let cfg = RebalanceConfig::migrate_every(SimDuration::from_units_int(epoch)).with_steal(3);
+        let r = ShardedRuntime::new(specs, PolicyKind::asets_star())
+            .shards(k)
+            .rebalance(cfg)
+            .threaded()
+            .run()
+            .expect("acyclic");
+
+        // Every id completes exactly once across the shard engines.
+        let mut completed_on = vec![u32::MAX; n];
+        for (s, shard) in r.shards.iter().enumerate() {
+            for t in &shard.txns {
+                prop_assert_eq!(completed_on[t.index()], u32::MAX, "txn {} completed twice", t.0);
+                completed_on[t.index()] = s as u32;
+            }
+        }
+        prop_assert!(
+            completed_on.iter().all(|&s| s != u32::MAX),
+            "every txn completes somewhere"
+        );
+
+        // Replay the globally ordered event log over the static partition:
+        // a migration moves its whole component (all ids sharing the
+        // routing key) from the current owner; a steal moves one
+        // transaction from its current owner. The replayed final owner
+        // must be exactly where each transaction completed.
+        let mut owner: Vec<u32> = r.shard_of.clone();
+        let stats = r.rebalance.as_ref().expect("threaded run");
+        for e in &stats.events {
+            match *e {
+                RebalanceEvent::Migration { key, from, to, txns, .. } => {
+                    prop_assert!(from != to && (from as usize) < k && (to as usize) < k);
+                    let members: Vec<usize> = (0..n).filter(|&i| keys[i] == key).collect();
+                    prop_assert_eq!(members.len() as u32, txns, "whole components migrate");
+                    for &m in &members {
+                        prop_assert_eq!(owner[m], from, "migrations leave the current owner");
+                        owner[m] = to;
+                    }
+                }
+                RebalanceEvent::Steal { txn, from, to, .. } => {
+                    prop_assert!(from != to && (from as usize) < k && (to as usize) < k);
+                    prop_assert_eq!(owner[txn.index()], from, "steals leave the current owner");
+                    // Only singleton components are ever stolen.
+                    prop_assert_eq!(keys.iter().filter(|&&x| x == keys[txn.index()]).count(), 1);
+                    owner[txn.index()] = to;
+                }
+            }
+        }
+        for i in 0..n {
+            prop_assert_eq!(
+                completed_on[i],
+                owner[i],
+                "txn {} completed off its replayed owner",
+                i
+            );
+        }
+    }
+}
